@@ -1,0 +1,541 @@
+//! Barnes: the SPLASH-2 Barnes-Hut n-body simulation, "modified to use
+//! less synchronization, and to perform some tasks (i.e. maketree)
+//! serially in order to reduce parallel overhead."
+//!
+//! Structure per iteration:
+//!
+//! 1. **maketree** — process 0 alone reads every body position and rebuilds
+//!    the shared octree (the paper's serial task; also the migratory read
+//!    pattern that makes process 0 fault on everyone's body pages),
+//! 2. **forces** — each process computes accelerations for its *assigned*
+//!    bodies by Barnes-Hut traversal and writes their velocities,
+//! 3. **advance** — each process integrates positions of the same bodies.
+//!
+//! The assignment bands are **perturbed every iteration** with a
+//! deterministic jitter, reproducing the paper's observation that "work is
+//! allocated via non-deterministic traversals of a shared tree structure,
+//! resulting in slightly different sharing patterns each iteration" — which
+//! is why barnes is excluded from the overdrive protocols (its write sets
+//! never stabilize) and why lmw-u's stored-update structures hurt it.
+
+use dsm_core::{CheckCtx, DsmApp, ExecCtx, PhaseEnd, SetupCtx, SharedGrid2};
+
+use crate::common::{seeded01, Scale};
+
+/// Body fields per row: x, y, z, vx, vy, vz, mass, pad.
+const BODY_COLS: usize = 8;
+/// Float node fields per row: comx, comy, comz, mass, half-size, cx, cy, cz.
+const NODEF_COLS: usize = 8;
+/// Child slots per octree node.
+const NODE_KIDS: usize = 8;
+
+/// Barnes-Hut opening criterion θ.
+const THETA: f64 = 0.6;
+/// Softening length.
+const EPS2: f64 = 1.0e-4;
+const DT: f64 = 2.0e-3;
+
+/// The Barnes-Hut application.
+pub struct Barnes {
+    nbodies: usize,
+    iters: usize,
+    jitter: usize,
+    bodies: Option<SharedGrid2<f64>>,
+    nodes_f: Option<SharedGrid2<f64>>,
+    nodes_c: Option<SharedGrid2<i64>>,
+    max_nodes: usize,
+}
+
+impl Barnes {
+    pub fn new(scale: Scale) -> Barnes {
+        let (nbodies, iters) = match scale {
+            Scale::Small => (1024, 5),
+            Scale::Paper => (2048, 8),
+        };
+        Barnes::with_params(nbodies, iters)
+    }
+
+    /// Explicit body count and iterations (diagnostics/benchmarks).
+    pub fn with_params(nbodies: usize, iters: usize) -> Barnes {
+        Barnes {
+            nbodies,
+            iters,
+            // Wide enough that band boundaries cross page boundaries nearly
+            // every iteration: the page-level write sets never stabilize.
+            jitter: (nbodies / 8).max(4),
+            bodies: None,
+            nodes_f: None,
+            nodes_c: None,
+            max_nodes: nbodies * 2 + 64,
+        }
+    }
+
+    /// Deterministic per-iteration assignment: band boundaries shifted by a
+    /// seeded jitter, identical on every process.
+    fn assignment(&self, iter: usize, nprocs: usize) -> Vec<usize> {
+        let n = self.nbodies;
+        let mut cuts = Vec::with_capacity(nprocs + 1);
+        cuts.push(0);
+        for k in 1..nprocs {
+            let base = k * n / nprocs;
+            let j = (seeded01(iter * 31 + k, k * 17 + 5, 0xBA41E5) * (2.0 * self.jitter as f64))
+                as usize;
+            let shifted = base + j - self.jitter.min(base);
+            cuts.push(shifted.clamp(cuts[k - 1] + 1, n - (nprocs - k)));
+        }
+        cuts.push(n);
+        cuts
+    }
+
+    fn my_range(&self, iter: usize, pid: usize, nprocs: usize) -> (usize, usize) {
+        let cuts = self.assignment(iter, nprocs);
+        (cuts[pid], cuts[pid + 1])
+    }
+
+    /// Serial tree construction by process 0.
+    fn maketree(&self, ctx: &mut ExecCtx<'_>) {
+        debug_assert_eq!(ctx.pid(), 0);
+        let bodies = self.bodies.unwrap();
+        let n = self.nbodies;
+        // Read all bodies (the migratory pattern: most pages were last
+        // written by other processes).
+        let mut pos = vec![[0.0f64; 3]; n];
+        let mut mass = vec![0.0f64; n];
+        let mut row = vec![0.0f64; BODY_COLS];
+        let mut lo = [f64::INFINITY; 3];
+        let mut hi = [f64::NEG_INFINITY; 3];
+        for b in 0..n {
+            bodies.read_row_into(ctx, b, &mut row);
+            pos[b] = [row[0], row[1], row[2]];
+            mass[b] = row[6];
+            for d in 0..3 {
+                lo[d] = lo[d].min(pos[b][d]);
+                hi[d] = hi[d].max(pos[b][d]);
+            }
+        }
+        ctx.work_flops(10 * n as u64);
+
+        // Build the octree in private memory.
+        let centre = [
+            0.5 * (lo[0] + hi[0]),
+            0.5 * (lo[1] + hi[1]),
+            0.5 * (lo[2] + hi[2]),
+        ];
+        let half = (0..3)
+            .map(|d| 0.5 * (hi[d] - lo[d]))
+            .fold(1e-9f64, f64::max);
+        let mut tree = TreeBuilder::new(self.max_nodes, centre, half);
+        for b in 0..n {
+            tree.insert(b, pos[b], &pos);
+        }
+        tree.compute_moments(&pos, &mass);
+        ctx.work_flops((n as u64) * 40);
+
+        // Publish to the shared arrays.
+        let nodes_f = self.nodes_f.unwrap();
+        let nodes_c = self.nodes_c.unwrap();
+        let used = tree.nodes.len();
+        assert!(used <= self.max_nodes, "tree overflow: {used}");
+        let mut frow = vec![0.0f64; NODEF_COLS];
+        let mut crow = vec![0i64; NODE_KIDS];
+        for (idx, node) in tree.nodes.iter().enumerate() {
+            frow[0] = node.com[0];
+            frow[1] = node.com[1];
+            frow[2] = node.com[2];
+            frow[3] = node.mass;
+            frow[4] = node.half;
+            frow[5] = node.centre[0];
+            frow[6] = node.centre[1];
+            frow[7] = node.centre[2];
+            nodes_f.write_row(ctx, idx, &frow);
+            crow.copy_from_slice(&node.kids);
+            nodes_c.write_row(ctx, idx, &crow);
+        }
+        ctx.work_flops(8 * used as u64);
+    }
+
+    /// Barnes-Hut force on one body, traversing the shared tree.
+    fn force_on(&self, ctx: &mut ExecCtx<'_>, p: [f64; 3], body: usize) -> [f64; 3] {
+        let nodes_f = self.nodes_f.unwrap();
+        let nodes_c = self.nodes_c.unwrap();
+        let bodies = self.bodies.unwrap();
+        let mut acc = [0.0f64; 3];
+        let mut stack: Vec<i64> = vec![0];
+        let mut frow = vec![0.0f64; NODEF_COLS];
+        let mut crow = vec![0i64; NODE_KIDS];
+        let mut brow = vec![0.0f64; BODY_COLS];
+        let mut visited = 0u64;
+        while let Some(ni) = stack.pop() {
+            visited += 1;
+            nodes_f.read_row_into(ctx, ni as usize, &mut frow);
+            let (com, m, half) = ([frow[0], frow[1], frow[2]], frow[3], frow[4]);
+            let dx = com[0] - p[0];
+            let dy = com[1] - p[1];
+            let dz = com[2] - p[2];
+            let d2 = dx * dx + dy * dy + dz * dz + EPS2;
+            // Opening criterion: width / distance < θ.
+            if (2.0 * half) * (2.0 * half) < THETA * THETA * d2 {
+                let inv = m / (d2 * d2.sqrt());
+                acc[0] += dx * inv;
+                acc[1] += dy * inv;
+                acc[2] += dz * inv;
+            } else {
+                nodes_c.read_row_into(ctx, ni as usize, &mut crow);
+                for &kid in crow.iter() {
+                    if kid == EMPTY {
+                        continue;
+                    }
+                    if kid <= LEAF_BASE {
+                        let b = (LEAF_BASE - kid) as usize;
+                        if b == body {
+                            continue;
+                        }
+                        bodies.read_row_into(ctx, b, &mut brow);
+                        let dx = brow[0] - p[0];
+                        let dy = brow[1] - p[1];
+                        let dz = brow[2] - p[2];
+                        let d2 = dx * dx + dy * dy + dz * dz + EPS2;
+                        let inv = brow[6] / (d2 * d2.sqrt());
+                        acc[0] += dx * inv;
+                        acc[1] += dy * inv;
+                        acc[2] += dz * inv;
+                    } else {
+                        stack.push(kid);
+                    }
+                }
+            }
+        }
+        ctx.work_flops(20 * visited);
+        acc
+    }
+}
+
+const EMPTY: i64 = i64::MIN;
+/// Leaf encoding: child value `LEAF_BASE - body_index` (all <= LEAF_BASE).
+const LEAF_BASE: i64 = -1;
+
+struct TreeNode {
+    centre: [f64; 3],
+    half: f64,
+    kids: [i64; NODE_KIDS],
+    com: [f64; 3],
+    mass: f64,
+}
+
+struct TreeBuilder {
+    nodes: Vec<TreeNode>,
+    max_nodes: usize,
+}
+
+impl TreeBuilder {
+    fn new(max_nodes: usize, centre: [f64; 3], half: f64) -> TreeBuilder {
+        let mut t = TreeBuilder {
+            nodes: Vec::with_capacity(max_nodes),
+            max_nodes,
+        };
+        t.alloc(centre, half);
+        t
+    }
+
+    fn alloc(&mut self, centre: [f64; 3], half: f64) -> usize {
+        assert!(self.nodes.len() < self.max_nodes, "octree node overflow");
+        self.nodes.push(TreeNode {
+            centre,
+            half,
+            kids: [EMPTY; NODE_KIDS],
+            com: [0.0; 3],
+            mass: 0.0,
+        });
+        self.nodes.len() - 1
+    }
+
+    fn octant(centre: &[f64; 3], p: &[f64; 3]) -> usize {
+        (usize::from(p[0] >= centre[0]))
+            | (usize::from(p[1] >= centre[1]) << 1)
+            | (usize::from(p[2] >= centre[2]) << 2)
+    }
+
+    fn child_centre(centre: &[f64; 3], half: f64, oct: usize) -> [f64; 3] {
+        let q = half * 0.5;
+        [
+            centre[0] + if oct & 1 != 0 { q } else { -q },
+            centre[1] + if oct & 2 != 0 { q } else { -q },
+            centre[2] + if oct & 4 != 0 { q } else { -q },
+        ]
+    }
+
+    fn insert(&mut self, body: usize, p: [f64; 3], all: &[[f64; 3]]) {
+        let mut ni = 0usize;
+        let mut depth = 0;
+        loop {
+            depth += 1;
+            let oct = Self::octant(&self.nodes[ni].centre, &p);
+            match self.nodes[ni].kids[oct] {
+                EMPTY => {
+                    self.nodes[ni].kids[oct] = LEAF_BASE - body as i64;
+                    return;
+                }
+                kid if kid <= LEAF_BASE => {
+                    // Split: push the resident body down, retry.
+                    let other = (LEAF_BASE - kid) as usize;
+                    if depth > 64 {
+                        // Coincident points: keep only the new body to stay
+                        // finite (cannot happen with our seeded inits).
+                        self.nodes[ni].kids[oct] = LEAF_BASE - body as i64;
+                        return;
+                    }
+                    let (centre, half) = {
+                        let nd = &self.nodes[ni];
+                        (Self::child_centre(&nd.centre, nd.half, oct), nd.half * 0.5)
+                    };
+                    let fresh = self.alloc(centre, half);
+                    self.nodes[ni].kids[oct] = fresh as i64;
+                    let oct_other = Self::octant(&self.nodes[fresh].centre, &all[other]);
+                    self.nodes[fresh].kids[oct_other] = LEAF_BASE - other as i64;
+                    ni = fresh;
+                }
+                kid => ni = kid as usize,
+            }
+        }
+    }
+
+    fn compute_moments(&mut self, pos: &[[f64; 3]], mass: &[f64]) {
+        // Children always have larger indices, so one reverse pass suffices.
+        for ni in (0..self.nodes.len()).rev() {
+            let mut m = 0.0;
+            let mut com = [0.0f64; 3];
+            for k in 0..NODE_KIDS {
+                match self.nodes[ni].kids[k] {
+                    EMPTY => {}
+                    kid if kid <= LEAF_BASE => {
+                        let b = (LEAF_BASE - kid) as usize;
+                        m += mass[b];
+                        for (d, c) in com.iter_mut().enumerate() {
+                            *c += mass[b] * pos[b][d];
+                        }
+                    }
+                    kid => {
+                        let child = &self.nodes[kid as usize];
+                        m += child.mass;
+                        for (d, c) in com.iter_mut().enumerate() {
+                            *c += child.mass * child.com[d];
+                        }
+                    }
+                }
+            }
+            let node = &mut self.nodes[ni];
+            node.mass = m;
+            if m > 0.0 {
+                for c in com.iter_mut() {
+                    *c /= m;
+                }
+            } else {
+                com = node.centre;
+            }
+            node.com = com;
+        }
+    }
+}
+
+impl DsmApp for Barnes {
+    fn name(&self) -> &'static str {
+        "barnes"
+    }
+
+    fn phases(&self) -> usize {
+        3
+    }
+
+    fn iters(&self) -> usize {
+        self.iters
+    }
+
+    fn setup(&mut self, s: &mut SetupCtx<'_>) {
+        let bodies = s.alloc_grid::<f64>("bh_bodies", self.nbodies, BODY_COLS);
+        let nodes_f = s.alloc_grid::<f64>("bh_nodes_f", self.max_nodes, NODEF_COLS);
+        let nodes_c = s.alloc_grid::<i64>("bh_nodes_c", self.max_nodes, NODE_KIDS);
+        // A deterministic Plummer-ish ball with small random velocities.
+        for b in 0..self.nbodies {
+            let u = seeded01(b, 0, 7);
+            let v = seeded01(b, 1, 7);
+            let w = seeded01(b, 2, 7);
+            let r = 0.1 + u.powf(0.6);
+            let th = v * core::f64::consts::TAU;
+            let ph = (2.0 * w - 1.0).acos();
+            let row = [
+                r * ph.sin() * th.cos(),
+                r * ph.sin() * th.sin(),
+                r * ph.cos(),
+                0.05 * (seeded01(b, 3, 7) - 0.5),
+                0.05 * (seeded01(b, 4, 7) - 0.5),
+                0.05 * (seeded01(b, 5, 7) - 0.5),
+                1.0 / self.nbodies as f64,
+                0.0,
+            ];
+            s.init_row(bodies, b, &row);
+        }
+        self.bodies = Some(bodies);
+        self.nodes_f = Some(nodes_f);
+        self.nodes_c = Some(nodes_c);
+    }
+
+    fn phase(&mut self, ctx: &mut ExecCtx<'_>, iter: usize, site: usize) -> PhaseEnd {
+        let bodies = self.bodies.unwrap();
+        match site {
+            0 => {
+                // Serial maketree: everyone else waits at the barrier.
+                if ctx.pid() == 0 {
+                    self.maketree(ctx);
+                }
+            }
+            1 => {
+                let (lo, hi) = self.my_range(iter, ctx.pid(), ctx.nprocs());
+                let mut row = vec![0.0f64; BODY_COLS];
+                for b in lo..hi {
+                    bodies.read_row_into(ctx, b, &mut row);
+                    let acc = self.force_on(ctx, [row[0], row[1], row[2]], b);
+                    row[3] += DT * acc[0];
+                    row[4] += DT * acc[1];
+                    row[5] += DT * acc[2];
+                    bodies.write_row(ctx, b, &row);
+                }
+            }
+            _ => {
+                let (lo, hi) = self.my_range(iter, ctx.pid(), ctx.nprocs());
+                let mut row = vec![0.0f64; BODY_COLS];
+                for b in lo..hi {
+                    bodies.read_row_into(ctx, b, &mut row);
+                    row[0] += DT * row[3];
+                    row[1] += DT * row[4];
+                    row[2] += DT * row[5];
+                    bodies.write_row(ctx, b, &row);
+                    ctx.work_flops(6);
+                }
+            }
+        }
+        PhaseEnd::Barrier
+    }
+
+    fn check(&self, c: &CheckCtx<'_>) -> f64 {
+        let bodies = self.bodies.unwrap();
+        let mut row = vec![0.0f64; BODY_COLS];
+        let mut acc = 0.0;
+        for b in 0..self.nbodies {
+            c.read_row(bodies, b, &mut row);
+            acc += row[0] + 2.0 * row[1] + 3.0 * row[2] + 0.1 * (row[3] + row[4] + row[5]);
+        }
+        acc
+    }
+}
+
+impl Barnes {
+    /// Flattened snapshot of all body rows (diagnostics/tests).
+    pub fn dump_bodies(&self, c: &CheckCtx<'_>) -> Vec<f64> {
+        let bodies = self.bodies.unwrap();
+        let mut row = vec![0.0f64; BODY_COLS];
+        let mut out = Vec::with_capacity(self.nbodies * BODY_COLS);
+        for b in 0..self.nbodies {
+            c.read_row(bodies, b, &mut row);
+            out.extend_from_slice(&row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_core::{run_app, ProtocolKind, RunConfig};
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let seq = run_app(
+            &mut Barnes::new(Scale::Small),
+            RunConfig::with_nprocs(ProtocolKind::Seq, 1),
+        );
+        for p in [ProtocolKind::LmwI, ProtocolKind::BarU] {
+            let par = run_app(&mut Barnes::new(Scale::Small), RunConfig::with_nprocs(p, 4));
+            assert_eq!(seq.checksum, par.checksum, "{}", p.label());
+        }
+    }
+
+    #[test]
+    fn assignment_partitions_bodies() {
+        let app = Barnes::new(Scale::Small);
+        for iter in 0..6 {
+            let cuts = app.assignment(iter, 4);
+            assert_eq!(cuts[0], 0);
+            assert_eq!(*cuts.last().unwrap(), app.nbodies);
+            for w in cuts.windows(2) {
+                assert!(w[0] < w[1], "bands must be non-empty: {cuts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_varies_per_iteration() {
+        let app = Barnes::new(Scale::Small);
+        let a = app.assignment(0, 4);
+        let b = app.assignment(1, 4);
+        assert_ne!(a, b, "the jitter must move band boundaries");
+    }
+
+    #[test]
+    fn momentum_drift_stays_small() {
+        // Barnes-Hut approximates forces (no exact Newton's-third-law
+        // pairing), so total momentum drifts slightly — but it must stay
+        // tiny relative to the momentum scale of the system.
+        struct Probe(Barnes, std::cell::RefCell<Vec<f64>>);
+        impl DsmApp for Probe {
+            fn name(&self) -> &'static str { self.0.name() }
+            fn phases(&self) -> usize { self.0.phases() }
+            fn iters(&self) -> usize { self.0.iters() }
+            fn setup(&mut self, s: &mut SetupCtx<'_>) { self.0.setup(s) }
+            fn phase(&mut self, c: &mut ExecCtx<'_>, i: usize, p: usize) -> PhaseEnd {
+                self.0.phase(c, i, p)
+            }
+            fn check(&self, c: &CheckCtx<'_>) -> f64 {
+                *self.1.borrow_mut() = self.0.dump_bodies(c);
+                self.0.check(c)
+            }
+        }
+        let mut probe = Probe(Barnes::new(Scale::Small), Default::default());
+        let _ = run_app(&mut probe, RunConfig::with_nprocs(ProtocolKind::Seq, 1));
+        let rows = probe.1.into_inner();
+        let n = rows.len() / BODY_COLS;
+        let mut p_final = [0.0f64; 3];
+        let mut speed_scale = 0.0f64;
+        for b in 0..n {
+            let m = rows[b * BODY_COLS + 6];
+            for d in 0..3 {
+                p_final[d] += m * rows[b * BODY_COLS + 3 + d];
+            }
+            speed_scale += m * rows[b * BODY_COLS + 3..b * BODY_COLS + 6]
+                .iter()
+                .map(|v| v * v)
+                .sum::<f64>()
+                .sqrt();
+        }
+        let drift = (p_final[0].powi(2) + p_final[1].powi(2) + p_final[2].powi(2)).sqrt();
+        assert!(
+            drift < 0.05 * speed_scale.max(1e-12),
+            "momentum drift {drift} vs scale {speed_scale}"
+        );
+        // Masses must be conserved exactly.
+        let total_mass: f64 = (0..n).map(|b| rows[b * BODY_COLS + 6]).sum();
+        assert!((total_mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_sharing_prevents_overdrive() {
+        // The write sets differ each iteration, so bar-s either never
+        // engages overdrive or trips an unanticipated write and reverts;
+        // either way it keeps write-trapping (segvs remain), which is why
+        // the paper excludes barnes from Figure 4.
+        let r = run_app(
+            &mut Barnes::new(Scale::Small),
+            RunConfig::with_nprocs(ProtocolKind::BarS, 4),
+        );
+        assert!(r.stats.segvs > 0, "barnes must not run trap-free");
+    }
+}

@@ -1,0 +1,297 @@
+//! FFT: "a three-dimensional implementation of the Fast Fourier Transform
+//! that uses matrix transposition to reduce communication".
+//!
+//! The workload is a spectral phase-filter step (the core of spectral PDE
+//! solvers): each iteration applies `A := F⁻¹ · D · F · A`, where `F` is the
+//! 3-D FFT and `D` a unit-magnitude transfer function — values change every
+//! iteration but stay bounded.
+//!
+//! Data is a complex `nx × ny × nz` volume in two slab layouts chosen so
+//! that transpose reads stay *partitioned* (the paper: transposition
+//! "reduce\[s\] communication"):
+//!
+//! * `A`, z-slabs: row z holds plane (x, y), index `(x*ny + y)*2`
+//!   (x slowest — an x-band is a contiguous slice of every row);
+//! * `B`, x-slabs: row x holds plane (z, y), index `(z*ny + y)*2`
+//!   (z slowest — symmetric for the transpose back).
+//!
+//! Three barrier phases per iteration, each array written once or twice:
+//!
+//! 1. z-owners: `A := fft_xy(A)` (in place),
+//! 2. x-owners: gather their x-slice of every A row (the all-to-all),
+//!    `B := ifft_z(D · fft_z(transpose))`,
+//! 3. z-owners: gather their z-slice of every B row, `A := ifft_xy(·)`.
+
+use dsm_core::{CheckCtx, DsmApp, ExecCtx, PhaseEnd, SetupCtx, SharedGrid2};
+
+use crate::common::{band, seeded01, Scale};
+use crate::fft_math::{fft_flops, fft_inplace};
+
+/// 3-D spectral filter via transposed FFTs.
+pub struct Fft3d {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    iters: usize,
+    a: Option<SharedGrid2<f64>>,
+    b: Option<SharedGrid2<f64>>,
+}
+
+impl Fft3d {
+    pub fn new(scale: Scale) -> Fft3d {
+        let (n, iters) = match scale {
+            Scale::Small => (16, 5),
+            Scale::Paper => (64, 8),
+        };
+        Fft3d::with_dims(n, n, n, iters)
+    }
+
+    pub fn with_dims(nx: usize, ny: usize, nz: usize, iters: usize) -> Fft3d {
+        assert!(nx.is_power_of_two() && ny.is_power_of_two() && nz.is_power_of_two());
+        Fft3d {
+            nx,
+            ny,
+            nz,
+            iters,
+            a: None,
+            b: None,
+        }
+    }
+
+    /// The unit-magnitude transfer function (a dispersive phase shift).
+    fn filter_phase(&self, kz: usize) -> (f64, f64) {
+        let k = kz.min(self.nz - kz) as f64;
+        let theta = 0.15 * k * k / self.nz as f64;
+        (theta.cos(), theta.sin())
+    }
+
+    /// Phase 1/3: forward or inverse 2-D FFT over the owned z-band of A.
+    fn fft2d_planes(&self, ctx: &mut ExecCtx<'_>, inverse: bool) {
+        let a = self.a.unwrap();
+        let (zlo, zhi) = band(self.nz, ctx.pid(), ctx.nprocs());
+        let (nx, ny) = (self.nx, self.ny);
+        let mut plane = vec![0.0f64; a.cols()];
+        let mut re = vec![0.0f64; nx.max(ny)];
+        let mut im = vec![0.0f64; nx.max(ny)];
+        for z in zlo..zhi {
+            a.read_row_into(ctx, z, &mut plane);
+            // FFT along y (contiguous within each x line).
+            for x in 0..nx {
+                for y in 0..ny {
+                    re[y] = plane[(x * ny + y) * 2];
+                    im[y] = plane[(x * ny + y) * 2 + 1];
+                }
+                fft_inplace(&mut re[..ny], &mut im[..ny], inverse);
+                for y in 0..ny {
+                    plane[(x * ny + y) * 2] = re[y];
+                    plane[(x * ny + y) * 2 + 1] = im[y];
+                }
+                ctx.work_flops(fft_flops(ny));
+            }
+            // FFT along x (strided).
+            for y in 0..ny {
+                for x in 0..nx {
+                    re[x] = plane[(x * ny + y) * 2];
+                    im[x] = plane[(x * ny + y) * 2 + 1];
+                }
+                fft_inplace(&mut re[..nx], &mut im[..nx], inverse);
+                for x in 0..nx {
+                    plane[(x * ny + y) * 2] = re[x];
+                    plane[(x * ny + y) * 2 + 1] = im[x];
+                }
+                ctx.work_flops(fft_flops(nx));
+            }
+            a.write_row(ctx, z, &plane);
+        }
+    }
+
+    /// Phase 2: gather the owned x-slice of A (partitioned all-to-all),
+    /// z-FFT, filter, inverse z-FFT, write the owned B rows.
+    fn transpose_filter(&self, ctx: &mut ExecCtx<'_>) {
+        let (a, b) = (self.a.unwrap(), self.b.unwrap());
+        let (xlo, xhi) = band(self.nx, ctx.pid(), ctx.nprocs());
+        let (ny, nz) = (self.ny, self.nz);
+        let slice_elems = (xhi - xlo) * ny * 2;
+        let mut slice = vec![0.0f64; slice_elems];
+        let mut rows = vec![vec![0.0f64; b.cols()]; xhi - xlo];
+        // Gather: from each A row z, only our contiguous x-slice.
+        for z in 0..nz {
+            a.read_cols_into(ctx, z, xlo * ny * 2, &mut slice);
+            for xi in 0..(xhi - xlo) {
+                for y in 0..ny {
+                    rows[xi][(z * ny + y) * 2] = slice[(xi * ny + y) * 2];
+                    rows[xi][(z * ny + y) * 2 + 1] = slice[(xi * ny + y) * 2 + 1];
+                }
+            }
+        }
+        ctx.work_flops(((xhi - xlo) * ny * nz) as u64);
+        // z-FFT, phase filter, inverse z-FFT; write each B row once.
+        let mut re = vec![0.0f64; nz];
+        let mut im = vec![0.0f64; nz];
+        for (xi, row) in rows.iter_mut().enumerate() {
+            for y in 0..ny {
+                for z in 0..nz {
+                    re[z] = row[(z * ny + y) * 2];
+                    im[z] = row[(z * ny + y) * 2 + 1];
+                }
+                fft_inplace(&mut re, &mut im, false);
+                for (kz, (r, i)) in re.iter_mut().zip(im.iter_mut()).enumerate() {
+                    let (c, s) = self.filter_phase(kz);
+                    let (r0, i0) = (*r, *i);
+                    *r = r0 * c - i0 * s;
+                    *i = r0 * s + i0 * c;
+                }
+                fft_inplace(&mut re, &mut im, true);
+                for z in 0..nz {
+                    row[(z * ny + y) * 2] = re[z];
+                    row[(z * ny + y) * 2 + 1] = im[z];
+                }
+                ctx.work_flops(2 * fft_flops(nz) + 6 * nz as u64);
+            }
+            b.write_row(ctx, xlo + xi, row);
+        }
+    }
+
+    /// Phase 3 gather: the owned z-slice of B, then inverse 2-D FFT and
+    /// write the owned A rows.
+    fn transpose_back_ifft(&self, ctx: &mut ExecCtx<'_>) {
+        let (a, b) = (self.a.unwrap(), self.b.unwrap());
+        let (zlo, zhi) = band(self.nz, ctx.pid(), ctx.nprocs());
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        let _ = nz;
+        let slice_elems = (zhi - zlo) * ny * 2;
+        let mut slice = vec![0.0f64; slice_elems];
+        let mut planes = vec![vec![0.0f64; a.cols()]; zhi - zlo];
+        for x in 0..nx {
+            b.read_cols_into(ctx, x, zlo * ny * 2, &mut slice);
+            for zi in 0..(zhi - zlo) {
+                for y in 0..ny {
+                    planes[zi][(x * ny + y) * 2] = slice[(zi * ny + y) * 2];
+                    planes[zi][(x * ny + y) * 2 + 1] = slice[(zi * ny + y) * 2 + 1];
+                }
+            }
+        }
+        ctx.work_flops(((zhi - zlo) * nx * ny) as u64);
+        let mut re = vec![0.0f64; nx.max(ny)];
+        let mut im = vec![0.0f64; nx.max(ny)];
+        for (zi, plane) in planes.iter_mut().enumerate() {
+            for x in 0..nx {
+                for y in 0..ny {
+                    re[y] = plane[(x * ny + y) * 2];
+                    im[y] = plane[(x * ny + y) * 2 + 1];
+                }
+                fft_inplace(&mut re[..ny], &mut im[..ny], true);
+                for y in 0..ny {
+                    plane[(x * ny + y) * 2] = re[y];
+                    plane[(x * ny + y) * 2 + 1] = im[y];
+                }
+                ctx.work_flops(fft_flops(ny));
+            }
+            for y in 0..ny {
+                for x in 0..nx {
+                    re[x] = plane[(x * ny + y) * 2];
+                    im[x] = plane[(x * ny + y) * 2 + 1];
+                }
+                fft_inplace(&mut re[..nx], &mut im[..nx], true);
+                for x in 0..nx {
+                    plane[(x * ny + y) * 2] = re[x];
+                    plane[(x * ny + y) * 2 + 1] = im[x];
+                }
+                ctx.work_flops(fft_flops(nx));
+            }
+            a.write_row(ctx, zlo + zi, plane);
+        }
+    }
+}
+
+impl DsmApp for Fft3d {
+    fn name(&self) -> &'static str {
+        "fft"
+    }
+
+    fn phases(&self) -> usize {
+        3
+    }
+
+    fn iters(&self) -> usize {
+        self.iters
+    }
+
+    fn setup(&mut self, s: &mut SetupCtx<'_>) {
+        let a = s.alloc_grid::<f64>("fft_a", self.nz, self.nx * self.ny * 2);
+        let b = s.alloc_grid::<f64>("fft_b", self.nx, self.ny * self.nz * 2);
+        for z in 0..self.nz {
+            let row: Vec<f64> = (0..self.nx * self.ny * 2)
+                .map(|i| seeded01(z, i, 4) - 0.5)
+                .collect();
+            s.init_row(a, z, &row);
+        }
+        // B starts zeroed (fully overwritten before first read).
+        self.a = Some(a);
+        self.b = Some(b);
+    }
+
+    fn phase(&mut self, ctx: &mut ExecCtx<'_>, _iter: usize, site: usize) -> PhaseEnd {
+        match site {
+            0 => self.fft2d_planes(ctx, false),
+            1 => self.transpose_filter(ctx),
+            _ => self.transpose_back_ifft(ctx),
+        }
+        PhaseEnd::Barrier
+    }
+
+    fn check(&self, c: &CheckCtx<'_>) -> f64 {
+        c.grid_checksum(self.a.unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_core::{run_app, ProtocolKind, RunConfig};
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let seq = run_app(
+            &mut Fft3d::new(Scale::Small),
+            RunConfig::with_nprocs(ProtocolKind::Seq, 1),
+        );
+        for p in [ProtocolKind::LmwI, ProtocolKind::LmwU, ProtocolKind::BarU] {
+            let par = run_app(&mut Fft3d::new(Scale::Small), RunConfig::with_nprocs(p, 4));
+            assert_eq!(seq.checksum, par.checksum, "{}", p.label());
+        }
+    }
+
+    #[test]
+    fn volume_magnitude_is_preserved() {
+        // The filter is unit magnitude, so the volume cannot blow up.
+        let mut app = Fft3d::new(Scale::Small);
+        let r = run_app(&mut app, RunConfig::with_nprocs(ProtocolKind::Seq, 1));
+        assert!(r.checksum.is_finite());
+        assert!(r.checksum.abs() < 1e6, "checksum blew up: {}", r.checksum);
+    }
+
+    #[test]
+    fn filter_actually_changes_data_each_iteration() {
+        // Otherwise diffs would be empty and the update protocols would
+        // degenerate.
+        let r1 = run_app(
+            &mut Fft3d::with_dims(8, 8, 8, 2),
+            RunConfig::with_nprocs(ProtocolKind::Seq, 1),
+        );
+        let r2 = run_app(
+            &mut Fft3d::with_dims(8, 8, 8, 3),
+            RunConfig::with_nprocs(ProtocolKind::Seq, 1),
+        );
+        assert_ne!(r1.checksum, r2.checksum);
+    }
+
+    #[test]
+    fn transposes_cause_steady_state_misses_under_bar_i() {
+        let r = run_app(
+            &mut Fft3d::new(Scale::Small),
+            RunConfig::with_nprocs(ProtocolKind::BarI, 4),
+        );
+        assert!(r.stats.remote_misses > 0);
+    }
+}

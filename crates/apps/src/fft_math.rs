@@ -1,0 +1,196 @@
+//! Complex radix-2 FFT kernels used by the 3-D FFT application.
+//!
+//! Split re/im arrays, iterative Cooley–Tukey with bit-reversal
+//! permutation; the inverse transform scales by `1/n` so that
+//! `ifft(fft(x)) == x` up to rounding.
+
+/// In-place FFT (or inverse FFT) of length-`n` complex data in split
+/// re/im form. `n` must be a power of two.
+pub fn fft_inplace(re: &mut [f64], im: &mut [f64], inverse: bool) {
+    let n = re.len();
+    assert_eq!(n, im.len());
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+
+    // Butterfly passes.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * core::f64::consts::TAU / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for j in 0..len / 2 {
+                let a = i + j;
+                let b = i + j + len / 2;
+                let tr = re[b] * cr - im[b] * ci;
+                let ti = re[b] * ci + im[b] * cr;
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+
+    if inverse {
+        let inv = 1.0 / n as f64;
+        for v in re.iter_mut() {
+            *v *= inv;
+        }
+        for v in im.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// FFT of interleaved complex data (`[re0, im0, re1, im1, ...]`), using
+/// caller-provided split scratch buffers of length `data.len() / 2`.
+pub fn fft_interleaved(data: &mut [f64], scratch_re: &mut [f64], scratch_im: &mut [f64], inverse: bool) {
+    let n = data.len() / 2;
+    assert_eq!(data.len() % 2, 0);
+    assert!(scratch_re.len() >= n && scratch_im.len() >= n);
+    for i in 0..n {
+        scratch_re[i] = data[2 * i];
+        scratch_im[i] = data[2 * i + 1];
+    }
+    fft_inplace(&mut scratch_re[..n], &mut scratch_im[..n], inverse);
+    for i in 0..n {
+        data[2 * i] = scratch_re[i];
+        data[2 * i + 1] = scratch_im[i];
+    }
+}
+
+/// Approximate flop count of one length-`n` complex FFT.
+pub fn fft_flops(n: usize) -> u64 {
+    let logn = n.trailing_zeros() as u64;
+    5 * n as u64 * logn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(re: &[f64], im: &[f64], inverse: bool) -> (Vec<f64>, Vec<f64>) {
+        let n = re.len();
+        let sign = if inverse { 1.0 } else { -1.0 };
+        let mut or = vec![0.0; n];
+        let mut oi = vec![0.0; n];
+        for k in 0..n {
+            for t in 0..n {
+                let ang = sign * core::f64::consts::TAU * (k * t) as f64 / n as f64;
+                or[k] += re[t] * ang.cos() - im[t] * ang.sin();
+                oi[k] += re[t] * ang.sin() + im[t] * ang.cos();
+            }
+        }
+        if inverse {
+            for v in or.iter_mut().chain(oi.iter_mut()) {
+                *v /= n as f64;
+            }
+        }
+        (or, oi)
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let n = 16;
+        let re: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let im: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos()).collect();
+        let (er, ei) = naive_dft(&re, &im, false);
+        let mut ar = re.clone();
+        let mut ai = im.clone();
+        fft_inplace(&mut ar, &mut ai, false);
+        for i in 0..n {
+            assert!((ar[i] - er[i]).abs() < 1e-9, "re[{i}]: {} vs {}", ar[i], er[i]);
+            assert!((ai[i] - ei[i]).abs() < 1e-9, "im[{i}]");
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let n = 64;
+        let re: Vec<f64> = (0..n).map(|i| ((i * i) % 17) as f64 * 0.1).collect();
+        let im: Vec<f64> = (0..n).map(|i| ((i * 3) % 11) as f64 - 5.0).collect();
+        let mut ar = re.clone();
+        let mut ai = im.clone();
+        fft_inplace(&mut ar, &mut ai, false);
+        fft_inplace(&mut ar, &mut ai, true);
+        for i in 0..n {
+            assert!((ar[i] - re[i]).abs() < 1e-10);
+            assert!((ai[i] - im[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let n = 32;
+        let re: Vec<f64> = (0..n).map(|i| (i as f64).sqrt()).collect();
+        let im = vec![0.0; n];
+        let e_time: f64 = re.iter().map(|x| x * x).sum();
+        let mut ar = re;
+        let mut ai = im;
+        fft_inplace(&mut ar, &mut ai, false);
+        let e_freq: f64 = ar.iter().zip(&ai).map(|(r, i)| r * r + i * i).sum::<f64>() / n as f64;
+        assert!((e_time - e_freq).abs() < 1e-8);
+    }
+
+    #[test]
+    fn interleaved_wrapper_round_trips() {
+        let n = 8;
+        let orig: Vec<f64> = (0..2 * n).map(|i| i as f64 * 0.25 - 2.0).collect();
+        let mut data = orig.clone();
+        let mut sr = vec![0.0; n];
+        let mut si = vec![0.0; n];
+        fft_interleaved(&mut data, &mut sr, &mut si, false);
+        assert_ne!(data, orig);
+        fft_interleaved(&mut data, &mut sr, &mut si, true);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let n = 16;
+        let mut re = vec![0.0; n];
+        let mut im = vec![0.0; n];
+        re[0] = 1.0;
+        fft_inplace(&mut re, &mut im, false);
+        for i in 0..n {
+            assert!((re[i] - 1.0).abs() < 1e-12);
+            assert!(im[i].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn flop_model_scales() {
+        assert_eq!(fft_flops(16), 5 * 16 * 4);
+        assert!(fft_flops(64) > fft_flops(32));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut re = vec![0.0; 12];
+        let mut im = vec![0.0; 12];
+        fft_inplace(&mut re, &mut im, false);
+    }
+}

@@ -1,0 +1,107 @@
+//! The application registry: the paper's Table 1 suite, in row order.
+
+use dsm_core::DsmApp;
+
+use crate::common::Scale;
+
+/// A named application constructor.
+#[derive(Clone, Copy)]
+pub struct AppSpec {
+    /// Table 1 row label.
+    pub name: &'static str,
+    /// True for the apps shown in Figure 4 (everything but barnes, whose
+    /// "sharing pattern, although iterative, is highly dynamic").
+    pub in_overdrive_figure: bool,
+    make: fn(Scale) -> Box<dyn DsmApp>,
+}
+
+impl AppSpec {
+    /// Instantiate the application at `scale`.
+    pub fn build(&self, scale: Scale) -> Box<dyn DsmApp> {
+        (self.make)(scale)
+    }
+}
+
+/// All eight applications in the paper's Table 1 order.
+pub fn all_apps() -> Vec<AppSpec> {
+    vec![
+        AppSpec {
+            name: "barnes",
+            in_overdrive_figure: false,
+            make: |s| Box::new(crate::barnes::Barnes::new(s)),
+        },
+        AppSpec {
+            name: "expl",
+            in_overdrive_figure: true,
+            make: |s| Box::new(crate::expl::Expl::new(s)),
+        },
+        AppSpec {
+            name: "fft",
+            in_overdrive_figure: true,
+            make: |s| Box::new(crate::fft::Fft3d::new(s)),
+        },
+        AppSpec {
+            name: "jacobi",
+            in_overdrive_figure: true,
+            make: |s| Box::new(crate::jacobi::Jacobi::new(s)),
+        },
+        AppSpec {
+            name: "shallow",
+            in_overdrive_figure: true,
+            make: |s| Box::new(crate::shallow::Shallow::new(s)),
+        },
+        AppSpec {
+            name: "sor",
+            in_overdrive_figure: true,
+            make: |s| Box::new(crate::sor::Sor::new(s)),
+        },
+        AppSpec {
+            name: "swm",
+            in_overdrive_figure: true,
+            make: |s| Box::new(crate::swm::Swm::new(s)),
+        },
+        AppSpec {
+            name: "tomcat",
+            in_overdrive_figure: true,
+            make: |s| Box::new(crate::tomcatv::Tomcatv::new(s)),
+        },
+    ]
+}
+
+/// Look up one application by its Table 1 name.
+pub fn app_by_name(name: &str) -> Option<AppSpec> {
+    all_apps().into_iter().find(|a| a.name == name)
+}
+
+/// Instantiate one application by name at `scale`.
+pub fn make_app(name: &str, scale: Scale) -> Option<Box<dyn DsmApp>> {
+    app_by_name(name).map(|a| a.build(scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_eight_apps_in_table_order() {
+        let names: Vec<&str> = all_apps().iter().map(|a| a.name).collect();
+        assert_eq!(
+            names,
+            vec!["barnes", "expl", "fft", "jacobi", "shallow", "sor", "swm", "tomcat"]
+        );
+    }
+
+    #[test]
+    fn only_barnes_is_excluded_from_figure_4() {
+        for a in all_apps() {
+            assert_eq!(a.in_overdrive_figure, a.name != "barnes");
+        }
+    }
+
+    #[test]
+    fn lookup_and_build() {
+        let app = make_app("sor", Scale::Small).expect("sor exists");
+        assert_eq!(app.name(), "sor");
+        assert!(make_app("nonesuch", Scale::Small).is_none());
+    }
+}

@@ -1,0 +1,407 @@
+//! Shallow: the shallow-water model with coarse synchronization
+//! granularity. ("Shal and Swm are different versions of the shallow water
+//! simulation, differing primarily in synchronization granularity.")
+//!
+//! The numerics follow the classic Sadourny staggered-grid scheme of the
+//! SPEC `swm256` benchmark: diagnostics (`cu`, `cv`, `z`, `h`) from the
+//! prognostic fields (`u`, `v`, `p`), a leapfrog step into
+//! (`unew`, `vnew`, `pnew`), and a Robert–Asselin time filter. All
+//! boundaries are periodic; the row decomposition therefore couples the
+//! first and last bands as well.
+//!
+//! `Shallow` packs the three loops into three barrier phases per iteration;
+//! [`crate::swm`] splits the same kernel into thirteen finer phases plus an
+//! energy reduction.
+
+use dsm_core::{CheckCtx, DsmApp, ExecCtx, PhaseEnd, SetupCtx, SharedGrid2};
+
+use crate::common::{band, Scale};
+
+/// All thirteen shared fields of the model.
+#[derive(Clone, Copy)]
+pub struct Fields {
+    pub u: SharedGrid2<f64>,
+    pub v: SharedGrid2<f64>,
+    pub p: SharedGrid2<f64>,
+    pub unew: SharedGrid2<f64>,
+    pub vnew: SharedGrid2<f64>,
+    pub pnew: SharedGrid2<f64>,
+    pub uold: SharedGrid2<f64>,
+    pub vold: SharedGrid2<f64>,
+    pub pold: SharedGrid2<f64>,
+    pub cu: SharedGrid2<f64>,
+    pub cv: SharedGrid2<f64>,
+    pub z: SharedGrid2<f64>,
+    pub h: SharedGrid2<f64>,
+}
+
+/// The model core shared by `shallow` and `swm`.
+pub struct SwmCore {
+    pub n: usize,
+    fsdx: f64,
+    fsdy: f64,
+    tdts8: f64,
+    tdtsdx: f64,
+    tdtsdy: f64,
+    alpha: f64,
+    pub f: Option<Fields>,
+}
+
+/// Row buffer bundle sized to the grid, reused across rows.
+struct RowBufs {
+    bufs: Vec<Vec<f64>>,
+}
+
+impl RowBufs {
+    fn new(count: usize, n: usize) -> RowBufs {
+        RowBufs {
+            bufs: vec![vec![0.0; n]; count],
+        }
+    }
+}
+
+impl SwmCore {
+    pub fn new(n: usize) -> SwmCore {
+        let (dx, dy, dt) = (1.0e5, 1.0e5, 90.0);
+        let tdt = 2.0 * dt;
+        SwmCore {
+            n,
+            fsdx: 4.0 / dx,
+            fsdy: 4.0 / dy,
+            tdts8: tdt / 8.0,
+            tdtsdx: tdt / dx,
+            tdtsdy: tdt / dy,
+            alpha: 0.001,
+            f: None,
+        }
+    }
+
+    pub fn setup(&mut self, s: &mut SetupCtx<'_>, prefix: &str) {
+        let n = self.n;
+        let g = |s: &mut SetupCtx<'_>, name: String| s.alloc_grid::<f64>(&name, n, n);
+        let f = Fields {
+            u: g(s, format!("{prefix}_u")),
+            v: g(s, format!("{prefix}_v")),
+            p: g(s, format!("{prefix}_p")),
+            unew: g(s, format!("{prefix}_unew")),
+            vnew: g(s, format!("{prefix}_vnew")),
+            pnew: g(s, format!("{prefix}_pnew")),
+            uold: g(s, format!("{prefix}_uold")),
+            vold: g(s, format!("{prefix}_vold")),
+            pold: g(s, format!("{prefix}_pold")),
+            cu: g(s, format!("{prefix}_cu")),
+            cv: g(s, format!("{prefix}_cv")),
+            z: g(s, format!("{prefix}_z")),
+            h: g(s, format!("{prefix}_h")),
+        };
+        // SPEC swm256 initial conditions: a doubly periodic stream function.
+        let a = 1.0e6;
+        let (dx, dy) = (1.0e5, 1.0e5);
+        let el = n as f64 * dx;
+        let pcf = core::f64::consts::PI * core::f64::consts::PI * a * a / (el * el);
+        let di = core::f64::consts::TAU / n as f64;
+        let dj = core::f64::consts::TAU / n as f64;
+        let psi = |i: usize, j: usize| -> f64 {
+            a * ((i as f64 + 0.5) * di).sin() * ((j as f64 + 0.5) * dj).sin()
+        };
+        for j in 0..n {
+            let mut ru = vec![0.0; n];
+            let mut rv = vec![0.0; n];
+            let mut rp = vec![0.0; n];
+            for i in 0..n {
+                let jm = (j + n - 1) % n;
+                let im = (i + n - 1) % n;
+                ru[i] = -(psi(i, j) - psi(i, jm)) / dy;
+                rv[i] = (psi(i, j) - psi(im, j)) / dx;
+                rp[i] = pcf * ((2.0 * i as f64 * di).cos() + (2.0 * j as f64 * dj).cos()) + 50000.0;
+            }
+            s.init_row(f.u, j, &ru);
+            s.init_row(f.v, j, &rv);
+            s.init_row(f.p, j, &rp);
+            s.init_row(f.uold, j, &ru);
+            s.init_row(f.vold, j, &rv);
+            s.init_row(f.pold, j, &rp);
+            // Diagnostics and new fields start at zero (fully overwritten
+            // before first use).
+        }
+        self.f = Some(f);
+    }
+
+    /// This process's row band.
+    pub fn my_band(&self, ctx: &ExecCtx<'_>) -> (usize, usize) {
+        band(self.n, ctx.pid(), ctx.nprocs())
+    }
+
+    /// Loop 100: compute `cu`, `cv`, `z`, `h` over the band. `which` masks
+    /// the outputs so swm can split this into four phases.
+    pub fn loop100(&self, ctx: &mut ExecCtx<'_>, do_cu: bool, do_cv: bool, do_z: bool, do_h: bool) {
+        let f = self.f.expect("setup first");
+        let n = self.n;
+        let (lo, hi) = self.my_band(ctx);
+        let mut b = RowBufs::new(10, n);
+        for j in lo..hi {
+            let jm = (j + n - 1) % n;
+            let jp = (j + 1) % n;
+            let [p_jm, p_j, u_jm, u_j, v_j, v_jp, out_cu, out_cv, out_z, out_h] =
+                &mut b.bufs[..10]
+            else {
+                unreachable!()
+            };
+            f.p.read_row_into(ctx, jm, p_jm);
+            f.p.read_row_into(ctx, j, p_j);
+            f.u.read_row_into(ctx, jm, u_jm);
+            f.u.read_row_into(ctx, j, u_j);
+            f.v.read_row_into(ctx, j, v_j);
+            f.v.read_row_into(ctx, jp, v_jp);
+            for i in 0..n {
+                let im = (i + n - 1) % n;
+                let ip = (i + 1) % n;
+                if do_cu {
+                    out_cu[i] = 0.5 * (p_j[i] + p_j[im]) * u_j[i];
+                }
+                if do_cv {
+                    out_cv[i] = 0.5 * (p_j[i] + p_jm[i]) * v_j[i];
+                }
+                if do_z {
+                    out_z[i] = (self.fsdx * (v_j[i] - v_j[im]) - self.fsdy * (u_j[i] - u_jm[i]))
+                        / (p_jm[im] + p_j[im] + p_j[i] + p_jm[i]);
+                }
+                if do_h {
+                    out_h[i] = p_j[i]
+                        + 0.25 * (u_j[ip] * u_j[ip] + u_j[i] * u_j[i] + v_jp[i] * v_jp[i] + v_j[i] * v_j[i]);
+                }
+            }
+            if do_cu {
+                f.cu.write_row(ctx, j, out_cu);
+            }
+            if do_cv {
+                f.cv.write_row(ctx, j, out_cv);
+            }
+            if do_z {
+                f.z.write_row(ctx, j, out_z);
+            }
+            if do_h {
+                f.h.write_row(ctx, j, out_h);
+            }
+            let kernels = do_cu as u64 + do_cv as u64 + 2 * do_z as u64 + 2 * do_h as u64;
+            ctx.work_flops(6 * kernels * n as u64);
+        }
+    }
+
+    /// Loop 200: leapfrog step into `unew`, `vnew`, `pnew`.
+    pub fn loop200(&self, ctx: &mut ExecCtx<'_>, do_u: bool, do_v: bool, do_p: bool) {
+        let f = self.f.expect("setup first");
+        let n = self.n;
+        let (lo, hi) = self.my_band(ctx);
+        let mut b = RowBufs::new(14, n);
+        for j in lo..hi {
+            let jm = (j + n - 1) % n;
+            let jp = (j + 1) % n;
+            let [z_j, z_jp, cv_j, cv_jp, cu_jm, cu_j, h_jm, h_j, h_jp, old, out_u, out_v, out_p, cv_jm] =
+                &mut b.bufs[..14]
+            else {
+                unreachable!()
+            };
+            f.z.read_row_into(ctx, j, z_j);
+            f.z.read_row_into(ctx, jp, z_jp);
+            f.cv.read_row_into(ctx, j, cv_j);
+            f.cv.read_row_into(ctx, jp, cv_jp);
+            f.cv.read_row_into(ctx, jm, cv_jm);
+            f.cu.read_row_into(ctx, jm, cu_jm);
+            f.cu.read_row_into(ctx, j, cu_j);
+            f.h.read_row_into(ctx, jm, h_jm);
+            f.h.read_row_into(ctx, j, h_j);
+            f.h.read_row_into(ctx, jp, h_jp);
+            if do_u {
+                f.uold.read_row_into(ctx, j, old);
+                for i in 0..n {
+                    let im = (i + n - 1) % n;
+                    out_u[i] = old[i]
+                        + self.tdts8
+                            * (z_jp[i] + z_j[i])
+                            * (cv_jp[i] + cv_jp[im] + cv_j[im] + cv_j[i])
+                        - self.tdtsdx * (h_j[i] - h_j[im]);
+                }
+                f.unew.write_row(ctx, j, out_u);
+            }
+            if do_v {
+                f.vold.read_row_into(ctx, j, old);
+                for i in 0..n {
+                    let ip = (i + 1) % n;
+                    out_v[i] = old[i]
+                        - self.tdts8
+                            * (z_j[ip] + z_j[i])
+                            * (cu_j[ip] + cu_j[i] + cu_jm[i] + cu_jm[ip])
+                        - self.tdtsdy * (h_j[i] - h_jm[i]);
+                }
+                f.vnew.write_row(ctx, j, out_v);
+            }
+            if do_p {
+                f.pold.read_row_into(ctx, j, old);
+                for i in 0..n {
+                    let ip = (i + 1) % n;
+                    out_p[i] = old[i]
+                        - self.tdtsdx * (cu_j[ip] - cu_j[i])
+                        - self.tdtsdy * (cv_jp[i] - cv_j[i]);
+                }
+                f.pnew.write_row(ctx, j, out_p);
+            }
+            let kernels = 10 * do_u as u64 + 10 * do_v as u64 + 5 * do_p as u64;
+            ctx.work_flops(kernels * n as u64);
+        }
+    }
+
+    /// Loop 300: Robert–Asselin time filter and field rotation. `which`
+    /// selects the (old, cur, new) triple: 0 = u, 1 = v, 2 = p. The two
+    /// halves (filter into `old`, rotate `new` into `cur`) can run in one
+    /// phase (`part = None`, shallow) or as separate fine-grain phases
+    /// (`Some(0)` / `Some(1)`, swm).
+    pub fn loop300(&self, ctx: &mut ExecCtx<'_>, which: usize, part: Option<usize>) {
+        let f = self.f.expect("setup first");
+        let n = self.n;
+        let (lo, hi) = self.my_band(ctx);
+        let (old, cur, new) = match which {
+            0 => (f.uold, f.u, f.unew),
+            1 => (f.vold, f.v, f.vnew),
+            _ => (f.pold, f.p, f.pnew),
+        };
+        let mut rc = vec![0.0; n];
+        let mut rn = vec![0.0; n];
+        let mut ro = vec![0.0; n];
+        let do_filter = part.is_none_or(|p| p == 0);
+        let do_copy = part.is_none_or(|p| p == 1);
+        for j in lo..hi {
+            new.read_row_into(ctx, j, &mut rn);
+            if do_filter {
+                cur.read_row_into(ctx, j, &mut rc);
+                old.read_row_into(ctx, j, &mut ro);
+                for i in 0..n {
+                    ro[i] = rc[i] + self.alpha * (rn[i] - 2.0 * rc[i] + ro[i]);
+                }
+                old.write_row(ctx, j, &ro);
+                ctx.work_flops(4 * n as u64);
+            }
+            if do_copy {
+                cur.write_row(ctx, j, &rn);
+                ctx.work_flops(n as u64);
+            }
+        }
+    }
+
+    /// Band-local total "energy" diagnostic (for swm's reduction phase):
+    /// kinetic plus potential over the owned rows of the current fields.
+    pub fn band_energy(&self, ctx: &mut ExecCtx<'_>) -> f64 {
+        let f = self.f.expect("setup first");
+        let n = self.n;
+        let (lo, hi) = self.my_band(ctx);
+        let mut ru = vec![0.0; n];
+        let mut rv = vec![0.0; n];
+        let mut rp = vec![0.0; n];
+        let mut e = 0.0;
+        for j in lo..hi {
+            f.u.read_row_into(ctx, j, &mut ru);
+            f.v.read_row_into(ctx, j, &mut rv);
+            f.p.read_row_into(ctx, j, &mut rp);
+            for i in 0..n {
+                e += 0.5 * (ru[i] * ru[i] + rv[i] * rv[i]) + rp[i];
+            }
+            ctx.work_flops(6 * n as u64);
+        }
+        e
+    }
+
+    pub fn checksum(&self, c: &CheckCtx<'_>) -> f64 {
+        let f = self.f.expect("setup first");
+        c.grid_checksum(f.p) + 0.5 * c.grid_checksum(f.u) + 0.25 * c.grid_checksum(f.v)
+    }
+}
+
+/// The coarse-grain shallow-water application: three phases per iteration.
+pub struct Shallow {
+    core: SwmCore,
+    iters: usize,
+}
+
+impl Shallow {
+    pub fn new(scale: Scale) -> Shallow {
+        let (n, iters) = match scale {
+            Scale::Small => (64, 5),
+            Scale::Paper => (256, 8),
+        };
+        Shallow {
+            core: SwmCore::new(n),
+            iters,
+        }
+    }
+}
+
+impl DsmApp for Shallow {
+    fn name(&self) -> &'static str {
+        "shallow"
+    }
+
+    fn phases(&self) -> usize {
+        3
+    }
+
+    fn iters(&self) -> usize {
+        self.iters
+    }
+
+    fn setup(&mut self, s: &mut SetupCtx<'_>) {
+        self.core.setup(s, "shal");
+    }
+
+    fn phase(&mut self, ctx: &mut ExecCtx<'_>, _iter: usize, site: usize) -> PhaseEnd {
+        match site {
+            0 => self.core.loop100(ctx, true, true, true, true),
+            1 => self.core.loop200(ctx, true, true, true),
+            _ => {
+                self.core.loop300(ctx, 0, None);
+                self.core.loop300(ctx, 1, None);
+                self.core.loop300(ctx, 2, None);
+            }
+        }
+        PhaseEnd::Barrier
+    }
+
+    fn check(&self, c: &CheckCtx<'_>) -> f64 {
+        self.core.checksum(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_core::{run_app, ProtocolKind, RunConfig};
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let seq = run_app(
+            &mut Shallow::new(Scale::Small),
+            RunConfig::with_nprocs(ProtocolKind::Seq, 1),
+        );
+        for p in [ProtocolKind::LmwU, ProtocolKind::BarU] {
+            let par = run_app(&mut Shallow::new(Scale::Small), RunConfig::with_nprocs(p, 4));
+            assert_eq!(seq.checksum, par.checksum, "{}", p.label());
+        }
+    }
+
+    #[test]
+    fn model_is_numerically_stable() {
+        let mut app = Shallow::new(Scale::Small);
+        let r = run_app(&mut app, RunConfig::with_nprocs(ProtocolKind::Seq, 1));
+        assert!(r.checksum.is_finite(), "shallow water blew up");
+    }
+
+    #[test]
+    fn periodic_wrap_couples_first_and_last_bands() {
+        // Under bar-i, process 0 must fetch pages homed at the last process
+        // (and vice versa) because of the periodic boundary.
+        let r = run_app(
+            &mut Shallow::new(Scale::Small),
+            RunConfig::with_nprocs(ProtocolKind::BarI, 4),
+        );
+        assert!(r.stats.remote_misses > 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Independent reference implementations of the stencil kernels.
+//!
+//! The integration suite already proves every protocol equals the `Seq`
+//! run; these tests prove the *applications themselves* compute what they
+//! claim, by re-implementing the kernels in plain Rust (no DSM, no
+//! phase/band structure) and comparing final grids elementwise.
+
+use std::cell::RefCell;
+
+use dsm_apps::common::seeded01;
+use dsm_apps::{expl::Expl, jacobi::Jacobi, sor::Sor};
+use dsm_core::{
+    run_app, CheckCtx, DsmApp, ExecCtx, PhaseEnd, ProtocolKind, RunConfig, SetupCtx, SharedGrid2,
+};
+
+const ROWS: usize = 66;
+const COLS: usize = 64;
+const ITERS: usize = 6;
+
+/// Wrap an app so that `check` also dumps a chosen grid.
+struct Probe<A> {
+    app: A,
+    grid_of: fn(&A) -> SharedGrid2<f64>,
+    dump: RefCell<Vec<Vec<f64>>>,
+}
+
+impl<A: DsmApp> DsmApp for Probe<A> {
+    fn name(&self) -> &'static str {
+        self.app.name()
+    }
+    fn phases(&self) -> usize {
+        self.app.phases()
+    }
+    fn iters(&self) -> usize {
+        self.app.iters()
+    }
+    fn setup(&mut self, s: &mut SetupCtx<'_>) {
+        self.app.setup(s)
+    }
+    fn phase(&mut self, ctx: &mut ExecCtx<'_>, iter: usize, site: usize) -> PhaseEnd {
+        self.app.phase(ctx, iter, site)
+    }
+    fn check(&self, c: &CheckCtx<'_>) -> f64 {
+        let g = (self.grid_of)(&self.app);
+        let mut rows = Vec::with_capacity(g.rows());
+        let mut buf = vec![0.0f64; g.cols()];
+        for r in 0..g.rows() {
+            c.read_row(g, r, &mut buf);
+            rows.push(buf.clone());
+        }
+        *self.dump.borrow_mut() = rows;
+        self.app.check(c)
+    }
+}
+
+fn final_grid<A: DsmApp>(app: A, grid_of: fn(&A) -> SharedGrid2<f64>) -> Vec<Vec<f64>> {
+    let mut probe = Probe {
+        app,
+        grid_of,
+        dump: RefCell::new(Vec::new()),
+    };
+    let _ = run_app(&mut probe, RunConfig::with_nprocs(ProtocolKind::BarU, 4));
+    probe.dump.into_inner()
+}
+
+fn assert_grids_equal(got: &[Vec<f64>], want: &[Vec<f64>], what: &str) {
+    assert_eq!(got.len(), want.len());
+    for r in 0..got.len() {
+        for c in 0..got[r].len() {
+            assert_eq!(got[r][c], want[r][c], "{what} mismatch at ({r},{c})");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// sor
+// ---------------------------------------------------------------------
+
+/// Plain-Rust red/black SOR matching `dsm_apps::sor` exactly: each
+/// half-sweep reads a snapshot of the grid as of the preceding barrier.
+fn sor_reference() -> Vec<Vec<f64>> {
+    let omega = 1.2;
+    let mut g = vec![vec![0.0f64; COLS]; ROWS];
+    for (r, row) in g.iter_mut().enumerate() {
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = if r == 0 {
+                1.0
+            } else if r == ROWS - 1 || c == 0 || c == COLS - 1 {
+                0.0
+            } else {
+                seeded01(r, c, 1)
+            };
+        }
+    }
+    for _iter in 0..ITERS {
+        for colour in 0..2usize {
+            let snapshot = g.clone();
+            for r in 1..ROWS - 1 {
+                let first = 1 + (r + 1 + colour) % 2;
+                let mut c = first;
+                while c < COLS - 1 {
+                    let stencil = 0.25
+                        * (snapshot[r - 1][c]
+                            + snapshot[r + 1][c]
+                            + snapshot[r][c - 1]
+                            + snapshot[r][c + 1]);
+                    g[r][c] = snapshot[r][c] + omega * (stencil - snapshot[r][c]);
+                    c += 2;
+                }
+            }
+        }
+    }
+    g
+}
+
+#[test]
+fn sor_matches_plain_rust_reference() {
+    let got = final_grid(Sor::with_dims(ROWS, COLS, ITERS), |a| a.grid());
+    assert_grids_equal(&got, &sor_reference(), "sor");
+}
+
+// ---------------------------------------------------------------------
+// jacobi
+// ---------------------------------------------------------------------
+
+fn jacobi_reference() -> Vec<Vec<f64>> {
+    let mut a = vec![vec![0.0f64; COLS]; ROWS];
+    for (r, row) in a.iter_mut().enumerate() {
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = if r == 0 || r == ROWS - 1 || c == 0 || c == COLS - 1 {
+                10.0
+            } else {
+                seeded01(r, c, 2) * 5.0
+            };
+        }
+    }
+    let mut b = a.clone();
+    for _iter in 0..ITERS {
+        for half in 0..2 {
+            let from = if half == 0 { a.clone() } else { b.clone() };
+            let to = if half == 0 { &mut b } else { &mut a };
+            for r in 1..ROWS - 1 {
+                to[r][0] = from[r][0];
+                to[r][COLS - 1] = from[r][COLS - 1];
+                for c in 1..COLS - 1 {
+                    to[r][c] = 0.25
+                        * (from[r - 1][c] + from[r + 1][c] + from[r][c - 1] + from[r][c + 1]);
+                }
+            }
+        }
+    }
+    a
+}
+
+#[test]
+fn jacobi_matches_plain_rust_reference() {
+    let got = final_grid(Jacobi::with_dims(ROWS, COLS, ITERS), |a| a.grid_a());
+    let want = jacobi_reference();
+    // Compare the interior plus fixed boundary rows/cols.
+    assert_grids_equal(&got, &want, "jacobi");
+}
+
+// ---------------------------------------------------------------------
+// expl
+// ---------------------------------------------------------------------
+
+fn expl_reference() -> Vec<Vec<f64>> {
+    let nu = 0.2;
+    let mut a = vec![vec![0.0f64; COLS]; ROWS];
+    for (r, row) in a.iter_mut().enumerate() {
+        for (c, v) in row.iter_mut().enumerate() {
+            let dr = r as f64 - ROWS as f64 / 2.0;
+            let dc = c as f64 - COLS as f64 / 2.0;
+            *v = 100.0 * (-0.002 * (dr * dr + dc * dc)).exp() + seeded01(r, c, 3);
+        }
+    }
+    let mut b = a.clone();
+    for _iter in 0..ITERS {
+        for half in 0..2 {
+            let from = if half == 0 { a.clone() } else { b.clone() };
+            let to = if half == 0 { &mut b } else { &mut a };
+            for r in 1..ROWS - 1 {
+                to[r][0] = from[r][0];
+                to[r][COLS - 1] = from[r][COLS - 1];
+                for c in 1..COLS - 1 {
+                    let lap = from[r - 1][c] + from[r + 1][c] + from[r][c - 1] + from[r][c + 1]
+                        - 4.0 * from[r][c];
+                    to[r][c] = from[r][c] + nu * lap;
+                }
+            }
+        }
+    }
+    a
+}
+
+#[test]
+fn expl_matches_plain_rust_reference() {
+    let got = final_grid(Expl::with_dims(ROWS, COLS, ITERS), |a| a.grid_a());
+    assert_grids_equal(&got, &expl_reference(), "expl");
+}

@@ -1,0 +1,51 @@
+//! Figure-harness smoke benchmarks: exercise the same code paths as the
+//! `table1` / `fig2` / `fig4` binaries at test scale, so `cargo bench`
+//! covers the full reproduction pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dsm_apps::Scale;
+use dsm_bench::{harness, run_matrix};
+use dsm_core::ProtocolKind;
+
+fn bench_figure_pipelines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_small");
+    g.sample_size(10);
+
+    g.bench_function("table1_mini", |b| {
+        b.iter(|| {
+            let outcomes = run_matrix(
+                &["sor", "jacobi"],
+                &ProtocolKind::BASE_FOUR,
+                Scale::Small,
+                4,
+            );
+            let bu = harness::find(&outcomes, "sor", ProtocolKind::BarU);
+            assert_eq!(bu.report.stats.remote_misses, 0);
+            outcomes.len()
+        })
+    });
+
+    g.bench_function("fig4_mini", |b| {
+        b.iter(|| {
+            let outcomes = run_matrix(
+                &["sor"],
+                &[ProtocolKind::BarU, ProtocolKind::BarS, ProtocolKind::BarM],
+                Scale::Small,
+                4,
+            );
+            let bu = harness::find(&outcomes, "sor", ProtocolKind::BarU);
+            let bm = harness::find(&outcomes, "sor", ProtocolKind::BarM);
+            assert_eq!(
+                bu.report.stats.paper_messages(),
+                bm.report.stats.paper_messages()
+            );
+            outcomes.len()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_figure_pipelines);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Microbenchmarks of the substrate primitives: diffs, twins, page stores,
+//! copysets, the deterministic RNG, and the FFT kernel.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use dsm_apps::fft_math::fft_inplace;
+use dsm_sim::DetRng;
+use dsm_vm::{Diff, PageBuf, PageId, PageStore, Protection};
+
+const PAGE: usize = 8192;
+
+fn random_page(rng: &mut DetRng) -> PageBuf {
+    let mut p = PageBuf::zeroed(PAGE);
+    for w in p.typed_mut::<u64>(0..PAGE) {
+        *w = rng.next_u64();
+    }
+    p
+}
+
+/// A page pair differing in `runs` contiguous 64-byte regions.
+fn page_pair(runs: usize) -> (PageBuf, PageBuf) {
+    let mut rng = DetRng::new(42);
+    let twin = random_page(&mut rng);
+    let mut cur = twin.clone();
+    for i in 0..runs {
+        let start = (i * PAGE / runs.max(1)) & !7;
+        for b in cur.bytes_mut()[start..start + 64].iter_mut() {
+            *b ^= 0x5A;
+        }
+    }
+    (twin, cur)
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff");
+    g.throughput(Throughput::Bytes(PAGE as u64));
+    for runs in [0usize, 4, 32, 128] {
+        let (twin, cur) = page_pair(runs);
+        g.bench_function(format!("between/{runs}_runs"), |b| {
+            b.iter(|| Diff::between(PageId(0), black_box(&twin), black_box(&cur)))
+        });
+        let diff = Diff::between(PageId(0), &twin, &cur);
+        g.bench_function(format!("apply/{runs}_runs"), |b| {
+            b.iter_batched(
+                || twin.clone(),
+                |mut target| diff.apply_to(&mut target),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_twin(c: &mut Criterion) {
+    let mut rng = DetRng::new(7);
+    let page = random_page(&mut rng);
+    c.bench_function("twin/copy_8k", |b| {
+        b.iter_batched(
+            || PageBuf::zeroed(PAGE),
+            |mut t| t.copy_from(black_box(&page)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_page_store(c: &mut Criterion) {
+    let mut store = PageStore::new(PAGE);
+    store.ensure_pages(1024);
+    for i in 0..1024 {
+        store.set_protection(PageId(i), Protection::Read);
+    }
+    c.bench_function("page_store/check_1k", |b| {
+        b.iter(|| {
+            let mut faults = 0usize;
+            for i in 0..1024u32 {
+                if store.check(PageId(i), i % 2 == 0).is_some() {
+                    faults += 1;
+                }
+            }
+            black_box(faults)
+        })
+    });
+}
+
+fn bench_copyset(c: &mut Criterion) {
+    use dsm_core::proto::copyset::CopySet;
+    c.bench_function("copyset/build_iter", |b| {
+        b.iter(|| {
+            let mut s = CopySet::EMPTY;
+            for pid in (0..64).step_by(3) {
+                s.insert(pid);
+            }
+            black_box(s.others(3).sum::<usize>())
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/next_u64_x1000", |b| {
+        let mut rng = DetRng::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc ^= rng.next_u64();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_kernel");
+    for n in [64usize, 256, 1024] {
+        let mut rng = DetRng::new(5);
+        let re: Vec<f64> = (0..n).map(|_| rng.unit_f64()).collect();
+        let im: Vec<f64> = (0..n).map(|_| rng.unit_f64()).collect();
+        g.bench_function(format!("fft_{n}"), |b| {
+            b.iter_batched(
+                || (re.clone(), im.clone()),
+                |(mut r, mut i)| fft_inplace(&mut r, &mut i, false),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_diff,
+    bench_twin,
+    bench_page_store,
+    bench_copyset,
+    bench_rng,
+    bench_fft
+);
+criterion_main!(benches);

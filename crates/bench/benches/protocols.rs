@@ -1,0 +1,52 @@
+//! End-to-end protocol benchmarks: one full small-scale application run
+//! per protocol (host wall-clock of the simulation itself — useful for
+//! tracking simulator performance regressions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dsm_apps::{app_by_name, Scale};
+use dsm_core::{run_app, ProtocolKind, RunConfig};
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e_sor_small");
+    g.sample_size(20);
+    for protocol in [
+        ProtocolKind::Seq,
+        ProtocolKind::LmwI,
+        ProtocolKind::LmwU,
+        ProtocolKind::BarI,
+        ProtocolKind::BarU,
+        ProtocolKind::BarS,
+        ProtocolKind::BarM,
+    ] {
+        let nprocs = if protocol == ProtocolKind::Seq { 1 } else { 4 };
+        g.bench_function(protocol.label(), |b| {
+            b.iter(|| {
+                let spec = app_by_name("sor").unwrap();
+                run_app(
+                    spec.build(Scale::Small).as_mut(),
+                    RunConfig::with_nprocs(protocol, nprocs),
+                )
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e2e_apps_bar_u");
+    g.sample_size(10);
+    for name in ["jacobi", "fft", "swm", "barnes"] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let spec = app_by_name(name).unwrap();
+                run_app(
+                    spec.build(Scale::Small).as_mut(),
+                    RunConfig::with_nprocs(ProtocolKind::BarU, 4),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! The run matrix: execute (application × protocol) combinations, with
+//! sequential baselines for speedups, in parallel across host threads.
+
+use std::collections::HashMap;
+
+use dsm_apps::{all_apps, AppSpec, Scale};
+use dsm_core::{run_app, ProtocolKind, RunConfig, RunReport};
+use dsm_sim::Time;
+
+/// One planned run.
+#[derive(Clone)]
+pub struct RunPlan {
+    pub app: &'static str,
+    pub protocol: ProtocolKind,
+    pub scale: Scale,
+    pub nprocs: usize,
+    /// Configuration tweak applied after defaults (ablations).
+    pub tweak: Option<fn(&mut RunConfig)>,
+}
+
+impl RunPlan {
+    pub fn new(app: &'static str, protocol: ProtocolKind, scale: Scale, nprocs: usize) -> RunPlan {
+        RunPlan {
+            app,
+            protocol,
+            scale,
+            nprocs,
+            tweak: None,
+        }
+    }
+
+    fn config(&self) -> RunConfig {
+        let mut cfg = RunConfig::with_nprocs(self.protocol, self.nprocs);
+        if let Some(t) = self.tweak {
+            t(&mut cfg);
+        }
+        cfg
+    }
+}
+
+/// One completed run.
+pub struct Outcome {
+    pub plan: RunPlan,
+    pub report: RunReport,
+}
+
+impl Outcome {
+    pub fn speedup(&self) -> f64 {
+        self.report.speedup().unwrap_or(f64::NAN)
+    }
+}
+
+/// Execute one plan (plus its sequential baseline when `baseline` is set).
+pub fn run_one(plan: &RunPlan, baseline: Option<Time>) -> Outcome {
+    let spec = dsm_apps::app_by_name(plan.app).unwrap_or_else(|| panic!("no app {}", plan.app));
+    let mut app = spec.build(plan.scale);
+    let mut report = run_app(app.as_mut(), plan.config());
+    if let Some(seq) = baseline {
+        report = report.with_baseline(seq);
+    }
+    Outcome {
+        plan: plan.clone(),
+        report,
+    }
+}
+
+/// Run the sequential baseline for `spec` at `scale` and return its
+/// measured time and checksum.
+pub fn run_baseline(spec: &AppSpec, scale: Scale, tweak: Option<fn(&mut RunConfig)>) -> (Time, f64) {
+    let mut app = spec.build(scale);
+    let mut cfg = RunConfig::with_nprocs(ProtocolKind::Seq, 1);
+    if let Some(t) = tweak {
+        t(&mut cfg);
+        cfg.protocol = ProtocolKind::Seq;
+        cfg.sim.nprocs = 1;
+    }
+    let report = run_app(app.as_mut(), cfg);
+    (report.elapsed, report.checksum)
+}
+
+/// Execute every (app × protocol) combination, sharing one sequential
+/// baseline per application, in parallel across host threads. Also checks
+/// every run's checksum against the baseline — a protocol bug fails loudly
+/// here, not as a quietly wrong table.
+pub fn run_matrix(
+    apps: &[&'static str],
+    protocols: &[ProtocolKind],
+    scale: Scale,
+    nprocs: usize,
+) -> Vec<Outcome> {
+    let specs: Vec<AppSpec> = all_apps()
+        .into_iter()
+        .filter(|a| apps.contains(&a.name))
+        .collect();
+
+    // Baselines in parallel.
+    let baselines: HashMap<&'static str, (Time, f64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|spec| {
+                let spec = *spec;
+                s.spawn(move || (spec.name, run_baseline(&spec, scale, None)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("baseline run")).collect()
+    });
+
+    // The matrix in parallel.
+    let mut plans = Vec::new();
+    for app in apps {
+        for &p in protocols {
+            plans.push(RunPlan::new(app, p, scale, nprocs));
+        }
+    }
+    let outcomes: Vec<Outcome> = std::thread::scope(|s| {
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|plan| {
+                let (seq, _) = baselines[plan.app];
+                let plan = plan.clone();
+                s.spawn(move || run_one(&plan, Some(seq)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("matrix run")).collect()
+    });
+
+    for o in &outcomes {
+        let (_, expected) = baselines[o.plan.app];
+        assert_eq!(
+            o.report.checksum,
+            expected,
+            "{} under {} diverged from sequential",
+            o.plan.app,
+            o.plan.protocol.label()
+        );
+    }
+    outcomes
+}
+
+/// Find the outcome for (app, protocol) in a matrix result.
+pub fn find<'a>(outcomes: &'a [Outcome], app: &str, protocol: ProtocolKind) -> &'a Outcome {
+    outcomes
+        .iter()
+        .find(|o| o.plan.app == app && o.plan.protocol == protocol)
+        .unwrap_or_else(|| panic!("missing outcome {app}/{}", protocol.label()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_runs_and_verifies() {
+        let outcomes = run_matrix(
+            &["sor"],
+            &[ProtocolKind::LmwI, ProtocolKind::BarU],
+            Scale::Small,
+            4,
+        );
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            // Small instances are sync-bound; real speedup expectations are
+            // checked at paper scale by the fig2/fig4 harnesses and their
+            // bench smoke tests.
+            assert!(o.speedup().is_finite());
+            assert!(o.speedup() > 0.05, "sor speedup {}", o.speedup());
+        }
+        let bu = find(&outcomes, "sor", ProtocolKind::BarU);
+        assert_eq!(bu.report.stats.remote_misses, 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Run configuration: protocol choice and protocol-specific knobs.
+
+use serde::{Deserialize, Serialize};
+
+use dsm_sim::SimConfig;
+
+/// Which protocol a run uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// Homeless multi-writer LRC, invalidate-based (paper: `lmw-i`).
+    LmwI,
+    /// Homeless multi-writer LRC, hybrid update (paper: `lmw-u`).
+    LmwU,
+    /// Home-based barrier protocol, invalidate-based (paper: `bar-i`).
+    BarI,
+    /// Home-based barrier protocol with update pushes (paper: `bar-u`).
+    BarU,
+    /// Overdrive: bar-u without segvs (paper: `bar-s`).
+    BarS,
+    /// Overdrive: bar-s without mprotects (paper: `bar-m`).
+    BarM,
+    /// Null protocol: all pages always writable, barriers free. Used for
+    /// the uniprocessor baseline the paper computes speedups against
+    /// ("a single-process version ... with all synchronization macros
+    /// nulled out").
+    Seq,
+}
+
+impl ProtocolKind {
+    /// Paper's abbreviation.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolKind::LmwI => "lmw-i",
+            ProtocolKind::LmwU => "lmw-u",
+            ProtocolKind::BarI => "bar-i",
+            ProtocolKind::BarU => "bar-u",
+            ProtocolKind::BarS => "bar-s",
+            ProtocolKind::BarM => "bar-m",
+            ProtocolKind::Seq => "seq",
+        }
+    }
+
+    /// The four protocols of Table 1 / Figure 2, in paper order.
+    pub const BASE_FOUR: [ProtocolKind; 4] = [
+        ProtocolKind::LmwI,
+        ProtocolKind::LmwU,
+        ProtocolKind::BarI,
+        ProtocolKind::BarU,
+    ];
+
+    /// True for the homeless LRC family.
+    pub fn is_lmw(self) -> bool {
+        matches!(self, ProtocolKind::LmwI | ProtocolKind::LmwU)
+    }
+
+    /// True for home-based protocols (including overdrive).
+    pub fn is_bar(self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::BarI | ProtocolKind::BarU | ProtocolKind::BarS | ProtocolKind::BarM
+        )
+    }
+
+    /// True if the protocol pushes updates (eliminating steady-state misses).
+    pub fn is_update(self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::LmwU | ProtocolKind::BarU | ProtocolKind::BarS | ProtocolKind::BarM
+        )
+    }
+
+    /// True for the overdrive variants.
+    pub fn is_overdrive(self) -> bool {
+        matches!(self, ProtocolKind::BarS | ProtocolKind::BarM)
+    }
+
+    /// True if barrier-native reductions are available. The homeless
+    /// protocols emulate reductions through shared memory (as
+    /// SUIF-generated code would); bar-i "has been augmented to provide
+    /// explicit support for reductions" (§2.2.1), and the null protocol
+    /// reduces for free.
+    pub fn native_reductions(self) -> bool {
+        self.is_bar() || self == ProtocolKind::Seq
+    }
+}
+
+/// What to do when an unanticipated write traps during overdrive.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum DivergencePolicy {
+    /// Revert the whole cluster to bar-u at the next barrier (safe).
+    Revert,
+    /// Panic — the paper's prototype would "complain loudly and exit".
+    Abort,
+}
+
+/// Overdrive (bar-s / bar-m) configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct OverdriveConfig {
+    /// Full iterations of per-site write-set learning before overdrive can
+    /// engage; overdrive additionally requires the last two observations of
+    /// every site to agree.
+    pub learn_iters: usize,
+    /// Unanticipated-write handling.
+    pub policy: DivergencePolicy,
+    /// bar-m only: keep shadow twins for all pre-enabled pages and flag
+    /// writes that the protocol would have missed (a consistency checker
+    /// used by tests; not part of the paper's protocol).
+    pub validate: bool,
+}
+
+impl Default for OverdriveConfig {
+    fn default() -> Self {
+        OverdriveConfig {
+            learn_iters: 2,
+            policy: DivergencePolicy::Revert,
+            validate: false,
+        }
+    }
+}
+
+/// Full configuration of one run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Machine configuration (process count, page size, costs, stress).
+    pub sim: SimConfig,
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Iterations excluded from measurement; the paper starts timing "only
+    /// after the applications have reached a steady state (and after all
+    /// page home assignments occur)".
+    pub warmup_iters: usize,
+    /// Overdrive knobs.
+    pub overdrive: OverdriveConfig,
+    /// Runtime home migration after the first iteration (bar protocols).
+    pub migration: bool,
+    /// Homeless-protocol GC trigger: when the number of retained diffs
+    /// exceeds this, a stop-the-world garbage collection runs at the next
+    /// barrier.
+    pub gc_diff_threshold: usize,
+}
+
+impl RunConfig {
+    /// Default configuration for `protocol` (8 procs, paper cost model).
+    pub fn new(protocol: ProtocolKind) -> RunConfig {
+        RunConfig {
+            sim: SimConfig::default(),
+            protocol,
+            warmup_iters: 2,
+            overdrive: OverdriveConfig::default(),
+            migration: true,
+            gc_diff_threshold: 1_000_000,
+        }
+    }
+
+    /// Same, with an explicit process count.
+    pub fn with_nprocs(protocol: ProtocolKind, nprocs: usize) -> RunConfig {
+        let mut c = RunConfig::new(protocol);
+        c.sim.nprocs = nprocs;
+        c
+    }
+
+    /// Sequential baseline configuration matching `self`'s cost model.
+    pub fn baseline(&self) -> RunConfig {
+        let mut c = self.clone();
+        c.protocol = ProtocolKind::Seq;
+        c.sim.nprocs = 1;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(ProtocolKind::LmwI.label(), "lmw-i");
+        assert_eq!(ProtocolKind::BarM.label(), "bar-m");
+    }
+
+    #[test]
+    fn family_predicates() {
+        assert!(ProtocolKind::LmwI.is_lmw());
+        assert!(ProtocolKind::LmwU.is_lmw());
+        assert!(!ProtocolKind::BarI.is_lmw());
+        assert!(ProtocolKind::BarS.is_bar());
+        assert!(!ProtocolKind::Seq.is_bar());
+        assert!(!ProtocolKind::LmwI.is_update());
+        assert!(ProtocolKind::LmwU.is_update());
+        assert!(ProtocolKind::BarM.is_update());
+        assert!(ProtocolKind::BarM.is_overdrive());
+        assert!(!ProtocolKind::BarU.is_overdrive());
+    }
+
+    #[test]
+    fn reduction_support_matches_paper() {
+        assert!(!ProtocolKind::LmwI.native_reductions());
+        assert!(!ProtocolKind::LmwU.native_reductions());
+        assert!(ProtocolKind::BarI.native_reductions());
+        assert!(ProtocolKind::BarS.native_reductions());
+        assert!(ProtocolKind::Seq.native_reductions());
+    }
+
+    #[test]
+    fn baseline_is_one_proc_seq() {
+        let c = RunConfig::new(ProtocolKind::BarU);
+        let b = c.baseline();
+        assert_eq!(b.protocol, ProtocolKind::Seq);
+        assert_eq!(b.sim.nprocs, 1);
+        assert_eq!(b.warmup_iters, c.warmup_iters);
+    }
+
+    #[test]
+    fn base_four_order() {
+        let labels: Vec<&str> = ProtocolKind::BASE_FOUR.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, vec!["lmw-i", "lmw-u", "bar-i", "bar-u"]);
+    }
+}

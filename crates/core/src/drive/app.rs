@@ -1,0 +1,169 @@
+//! The application trait and runner.
+//!
+//! Applications are barrier-phase structured: an iteration is a fixed
+//! sequence of phases, each ending in a barrier (optionally a reduction
+//! barrier). The runner executes each phase body once per process — valid
+//! under LRC for data-race-free programs — then drives the protocol
+//! barrier.
+
+use crate::config::RunConfig;
+use crate::drive::cluster::Cluster;
+use crate::drive::ctx::{CheckCtx, ExecCtx, SetupCtx};
+use crate::drive::reduce::ReduceOp;
+use crate::drive::stats::RunReport;
+
+/// How a phase ends.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PhaseEnd {
+    /// Plain barrier.
+    Barrier,
+    /// Reduction barrier carrying this process's contributions; the result
+    /// is available next phase via [`ExecCtx::reduction`].
+    Reduce(ReduceOp, Vec<f64>),
+}
+
+/// A barrier-phase structured shared-memory application.
+pub trait DsmApp {
+    /// Short name (Table 1 row label).
+    fn name(&self) -> &'static str;
+
+    /// Barrier phases per iteration.
+    fn phases(&self) -> usize;
+
+    /// Total iterations of the time-step loop (including warmup).
+    fn iters(&self) -> usize;
+
+    /// Allocate and initialize shared data.
+    fn setup(&mut self, s: &mut SetupCtx<'_>);
+
+    /// Run one phase body for the process in `ctx`. Every process of an
+    /// epoch must return the same `PhaseEnd` variant (and reduce op).
+    fn phase(&mut self, ctx: &mut ExecCtx<'_>, iter: usize, site: usize) -> PhaseEnd;
+
+    /// Produce a result checksum from the final shared state; must be
+    /// protocol-independent for a correct protocol.
+    fn check(&self, c: &CheckCtx<'_>) -> f64;
+}
+
+/// Execute `app` under `cfg` and report statistics, time breakdown, and the
+/// result checksum.
+pub fn run_app<A: DsmApp + ?Sized>(app: &mut A, cfg: RunConfig) -> RunReport {
+    let mut cl = Cluster::new(cfg);
+    {
+        let mut s = SetupCtx { cl: &mut cl };
+        app.setup(&mut s);
+    }
+    cl.phases_per_iter = app.phases().max(1);
+    cl.distribute();
+
+    let total_iters = app.iters();
+    let warmup = cl.config().warmup_iters.min(total_iters.saturating_sub(1));
+    let nprocs = cl.nprocs();
+
+    for iter in 0..total_iters {
+        if iter == warmup {
+            cl.start_measurement();
+        }
+        for site in 0..app.phases() {
+            let mut ends: Vec<PhaseEnd> = Vec::with_capacity(nprocs);
+            for pid in 0..nprocs {
+                let mut ctx = ExecCtx { cl: &mut cl, pid };
+                ends.push(app.phase(&mut ctx, iter, site));
+            }
+            let reduce = coalesce_phase_ends(ends);
+            cl.barrier_app(reduce);
+        }
+    }
+
+    let checksum = {
+        let c = CheckCtx { cl: &cl };
+        app.check(&c)
+    };
+    cl.report(app.name(), checksum)
+}
+
+/// Convenience: run `app` under `cfg` and attach a sequential baseline run
+/// of `baseline_app` (a fresh instance of the same application).
+pub fn run_app_with_baseline<A: DsmApp + ?Sized, B: DsmApp + ?Sized>(
+    app: &mut A,
+    baseline_app: &mut B,
+    cfg: RunConfig,
+) -> RunReport {
+    let base_cfg = cfg.baseline();
+    let base = run_app(baseline_app, base_cfg);
+    let report = run_app(app, cfg);
+    assert_eq!(
+        base.checksum, report.checksum,
+        "protocol run diverged from the sequential baseline"
+    );
+    report.with_baseline(base.elapsed)
+}
+
+fn coalesce_phase_ends(ends: Vec<PhaseEnd>) -> Option<(ReduceOp, Vec<Vec<f64>>)> {
+    let mut op: Option<ReduceOp> = None;
+    let mut contribs: Vec<Vec<f64>> = Vec::with_capacity(ends.len());
+    let mut plain = 0usize;
+    let n = ends.len();
+    for e in ends {
+        match e {
+            PhaseEnd::Barrier => plain += 1,
+            PhaseEnd::Reduce(o, v) => {
+                match op {
+                    None => op = Some(o),
+                    Some(prev) => assert_eq!(prev, o, "processes disagree on reduce op"),
+                }
+                contribs.push(v);
+            }
+        }
+    }
+    match op {
+        None => None,
+        Some(o) => {
+            assert_eq!(
+                plain, 0,
+                "all processes of an epoch must end it the same way ({} of {} sent Barrier)",
+                plain, n
+            );
+            Some((o, contribs))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesce_all_barriers() {
+        assert!(coalesce_phase_ends(vec![PhaseEnd::Barrier; 4]).is_none());
+    }
+
+    #[test]
+    fn coalesce_reduce_collects_in_pid_order() {
+        let ends = vec![
+            PhaseEnd::Reduce(ReduceOp::Max, vec![1.0]),
+            PhaseEnd::Reduce(ReduceOp::Max, vec![2.0]),
+        ];
+        let (op, c) = coalesce_phase_ends(ends).unwrap();
+        assert_eq!(op, ReduceOp::Max);
+        assert_eq!(c, vec![vec![1.0], vec![2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same way")]
+    fn mixed_phase_ends_rejected() {
+        coalesce_phase_ends(vec![
+            PhaseEnd::Barrier,
+            PhaseEnd::Reduce(ReduceOp::Sum, vec![1.0]),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn mixed_ops_rejected() {
+        coalesce_phase_ends(vec![
+            PhaseEnd::Reduce(ReduceOp::Sum, vec![1.0]),
+            PhaseEnd::Reduce(ReduceOp::Max, vec![1.0]),
+        ]);
+    }
+}

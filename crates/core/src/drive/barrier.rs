@@ -1,0 +1,187 @@
+//! The barrier engine.
+//!
+//! A barrier has five stages: per-process end-of-epoch consistency work
+//! (diff creation, flushes), arrival messages at the master, master
+//! processing (merge + optional native reduction), release messages, and
+//! per-process post-release work (flush application, update application,
+//! invalidation). Virtual time flows through the same stages: the release
+//! time is the latest arrival plus master work, and everyone's wait is
+//! charged to the `wait` bucket, exactly as the paper's Figure 3 accounts
+//! it.
+
+use dsm_net::MsgKind;
+use dsm_sim::{Category, Time};
+
+use crate::config::ProtocolKind;
+use crate::drive::cluster::Cluster;
+use crate::drive::reduce::ReduceOp;
+use crate::proto::bar::BUMP_WIRE_BYTES;
+use crate::proto::notice::{WriteNotice, NOTICE_WIRE_BYTES};
+use crate::proto::overdrive::OdMode;
+
+impl Cluster {
+    /// An application-level barrier ending the current phase, optionally
+    /// carrying a reduction (per-process contribution vectors).
+    pub fn barrier_app(&mut self, reduce: Option<(ReduceOp, Vec<Vec<f64>>)>) {
+        assert!(self.distributed, "barrier before distribute()");
+        let ending_site = self.site;
+        let phases = self.phases_per_iter;
+        let overdrive = self.cfg.protocol.is_overdrive();
+
+        if overdrive {
+            match self.od_mode {
+                OdMode::Learning => self.od_record(ending_site),
+                OdMode::Overdrive => {
+                    if self.cfg.overdrive.validate && self.cfg.protocol == ProtocolKind::BarM {
+                        self.od_validate_shadow(ending_site);
+                    }
+                }
+                OdMode::Reverted => {}
+            }
+        }
+
+        match reduce {
+            Some((op, contribs)) if !self.cfg.protocol.native_reductions() => {
+                // Homeless protocols: SUIF-style shared-memory emulation
+                // (includes its own internal barriers).
+                self.reduce_emulated(op, contribs);
+            }
+            other => self.barrier_core(other),
+        }
+
+        if self.cfg.protocol.is_bar() {
+            if !self.migrated && ending_site + 1 == phases && self.iter == 0 {
+                self.bar_migrate();
+            }
+            if overdrive {
+                if self.od_revert_pending && self.od_mode == OdMode::Overdrive {
+                    self.od_do_revert();
+                }
+                if ending_site + 1 == phases {
+                    self.od_iteration_boundary();
+                }
+                if self.od_mode == OdMode::Overdrive {
+                    let next_site = (ending_site + 1) % phases;
+                    self.od_arm(next_site);
+                }
+            }
+        }
+        if self.cfg.protocol.is_lmw() {
+            self.lmw_maybe_gc();
+        }
+
+        self.site = (ending_site + 1) % phases;
+        if self.site == 0 {
+            self.iter += 1;
+        }
+    }
+
+    /// One protocol barrier (no site bookkeeping — also used by the
+    /// reduction emulation's internal barriers).
+    pub(crate) fn barrier_core(&mut self, reduce: Option<(ReduceOp, Vec<Vec<f64>>)>) {
+        self.stats.barriers += 1;
+
+        if self.cfg.protocol == ProtocolKind::Seq {
+            if let Some((op, contribs)) = reduce {
+                self.last_reduction = op.fold(&contribs);
+            }
+            self.epoch += 1;
+            return;
+        }
+
+        let n = self.nprocs();
+        let master = 0usize;
+        let is_lmw = self.cfg.protocol.is_lmw();
+        let reprotect =
+            !(self.cfg.protocol == ProtocolKind::BarM && self.od_mode == OdMode::Overdrive);
+
+        // 1. End-of-epoch consistency work.
+        let mut merged_notices: Vec<WriteNotice> = Vec::new();
+        let mut payloads = Vec::with_capacity(n);
+        for pid in 0..n {
+            payloads.push(if is_lmw {
+                let notices = self.lmw_pre_barrier(pid);
+                let bytes = notices.len() * NOTICE_WIRE_BYTES;
+                merged_notices.extend(notices);
+                bytes
+            } else {
+                self.bar_pre_barrier(pid, reprotect) * BUMP_WIRE_BYTES
+            });
+        }
+        merged_notices.sort_by_key(|w| (w.epoch, w.page, w.writer));
+        for n in &merged_notices {
+            let i = n.page_id().index();
+            if n.epoch >= self.last_write_epoch[i] {
+                self.last_write_epoch[i] = n.epoch;
+                self.last_writer[i] = n.writer;
+            }
+        }
+
+        let red_k = reduce.as_ref().map_or(0, |(_, c)| c[0].len());
+        let red_payload = red_k * 8;
+
+        // 2. Arrivals.
+        let mut land = self.procs[master].clock.now();
+        for (pid, payload) in payloads.iter().enumerate().skip(1) {
+            let tr = self
+                .net
+                .send(pid, master, MsgKind::BarrierArrive, payload + red_payload);
+            self.charge(pid, Category::Os, tr.sender);
+            land = land.max(self.procs[pid].clock.now() + tr.wire);
+            self.charge(master, Category::Sigio, tr.receiver);
+        }
+        self.procs[master].clock.wait_until(land);
+
+        // 3. Master processing: merge + optional native reduction.
+        let costs = &self.cfg.sim.costs;
+        let mut master_work = costs.barrier_master_per_proc_ns * (n as u64 - 1);
+        master_work += costs.write_notice_ns
+            * if is_lmw {
+                merged_notices.len() as u64
+            } else {
+                self.bar_deliveries.bumps.len() as u64
+            };
+        if red_k > 0 {
+            master_work += costs.reduction_combine_ns * (n as u64) * red_k as u64;
+        }
+        self.charge(master, Category::Sigio, Time::from_ns(master_work));
+        if let Some((op, contribs)) = reduce {
+            self.last_reduction = op.fold(&contribs);
+        }
+
+        // 4. Releases.
+        let release_payload = if is_lmw {
+            merged_notices.len() * NOTICE_WIRE_BYTES
+        } else {
+            self.bar_deliveries.bumps.len() * BUMP_WIRE_BYTES
+        } + red_payload;
+        for pid in 1..n {
+            let tr = self
+                .net
+                .send(master, pid, MsgKind::BarrierRelease, release_payload);
+            self.charge(master, Category::Os, tr.sender);
+            let deliver_at = self.procs[master].clock.now() + tr.wire;
+            self.procs[pid].clock.wait_until(deliver_at);
+            self.charge(pid, Category::Os, tr.receiver);
+        }
+
+        // 5. Post-release consistency work.
+        for pid in 0..n {
+            if is_lmw {
+                self.lmw_post_release(pid, &merged_notices);
+            } else {
+                self.bar_post_release(pid);
+            }
+            let local = Time::from_ns(self.cfg.sim.costs.barrier_local_ns);
+            self.charge(pid, Category::Os, local);
+            self.procs[pid].protect_ops_epoch = 0;
+        }
+
+        debug_assert!(self.bar_deliveries.home_flushes.is_empty());
+        debug_assert!(self.bar_deliveries.bar_updates.is_empty());
+        debug_assert!(self.bar_deliveries.lmw_updates.is_empty());
+        self.bar_deliveries.bumps.clear();
+        self.bar_deliveries.writer_bumps.clear();
+        self.epoch += 1;
+    }
+}

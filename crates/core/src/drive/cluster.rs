@@ -1,0 +1,532 @@
+//! The cluster: per-process state, the shared-memory access path, fault
+//! dispatch, and measurement windows.
+//!
+//! The cluster owns every simulated process, the golden initial image of
+//! the shared segment, and all protocol-global state (homes, version
+//! indices, copysets). Applications run *barrier-synchronously*: within an
+//! epoch each process's phase body executes in turn against its own page
+//! copies — sound for data-race-free programs under LRC, because no process
+//! may observe another's same-epoch writes — and the barrier engine
+//! (`drive::barrier`) performs the protocol exchange between epochs.
+
+use dsm_net::Network;
+use dsm_sim::{Category, Clock, DetRng, Time};
+use dsm_vm::{FaultKind, PageBuf, PageId, PageStore, Pod, Protection};
+
+use crate::config::{ProtocolKind, RunConfig};
+use crate::drive::stats::{RunReport, RunStats};
+use crate::mem::SharedSegment;
+use crate::proto::bar::BarDeliveries;
+use crate::proto::copyset::CopySet;
+use crate::proto::lmw::LmwProc;
+use crate::proto::overdrive::{OdMode, OdProc};
+
+/// One simulated process.
+pub struct Proc {
+    pub(crate) clock: Clock,
+    pub(crate) store: PageStore,
+    /// Pages write-trapped (or overdrive-predicted) this epoch, in order.
+    pub(crate) dirty: Vec<PageId>,
+    /// Protection changes issued this epoch (stress-model input).
+    pub(crate) protect_ops_epoch: u32,
+    /// Homeless-protocol per-process state.
+    pub(crate) lmw: LmwProc,
+    /// Overdrive per-process state.
+    pub(crate) od: OdProc,
+}
+
+impl Proc {
+    fn new(page_size: usize) -> Proc {
+        Proc {
+            clock: Clock::new(),
+            store: PageStore::new(page_size),
+            dirty: Vec::new(),
+            protect_ops_epoch: 0,
+            lmw: LmwProc::default(),
+            od: OdProc::default(),
+        }
+    }
+}
+
+/// The simulated DSM cluster.
+pub struct Cluster {
+    pub(crate) cfg: RunConfig,
+    pub(crate) seg: SharedSegment,
+    /// Golden initial contents of every page (what setup wrote).
+    pub(crate) image: Vec<PageBuf>,
+    pub(crate) procs: Vec<Proc>,
+    pub(crate) net: Network,
+    pub(crate) stats: RunStats,
+    /// Barrier counter; the epoch between barriers `k-1` and `k` is `k`.
+    pub(crate) epoch: u64,
+    pub(crate) iter: usize,
+    pub(crate) site: usize,
+    pub(crate) phases_per_iter: usize,
+    /// Per-page home process (bar protocols).
+    pub(crate) homes: Vec<usize>,
+    /// Per-page version index, logically maintained by the home.
+    pub(crate) versions: Vec<u32>,
+    /// Per-page copysets, home-maintained and globally distributed at
+    /// barriers (bar-u family).
+    pub(crate) copysets: Vec<CopySet>,
+    /// Latest epoch in which each page was (noticed as) written, and by
+    /// whom — maintained from merged barrier notices (homeless protocols).
+    pub(crate) last_write_epoch: Vec<u64>,
+    pub(crate) last_writer: Vec<u16>,
+    /// Writers observed during the first iteration (migration input).
+    pub(crate) iter_writers: Vec<CopySet>,
+    /// Write-epoch counts per (page, pid), flattened `page * nprocs + pid`.
+    pub(crate) iter_write_counts: Vec<u32>,
+    pub(crate) migrated: bool,
+    /// Overdrive cluster mode.
+    pub(crate) od_mode: OdMode,
+    pub(crate) od_revert_pending: bool,
+    /// Deliveries queued during the pre-barrier step, consumed at release.
+    pub(crate) bar_deliveries: BarDeliveries,
+    pub(crate) measuring: bool,
+    /// Result of the most recent reduction, visible to all processes.
+    pub(crate) last_reduction: Vec<f64>,
+    /// Hidden shared arrays backing reduction emulation on lmw.
+    pub(crate) reduce_mem: Option<crate::drive::reduce::ReduceMem>,
+    pub(crate) distributed: bool,
+}
+
+impl Cluster {
+    /// Build an empty cluster; allocate shared data through a
+    /// [`crate::drive::ctx::SetupCtx`], then call [`Cluster::distribute`].
+    pub fn new(cfg: RunConfig) -> Cluster {
+        let errs = cfg.sim.validate();
+        assert!(errs.is_empty(), "invalid config: {errs:?}");
+        let nprocs = cfg.sim.nprocs;
+        let page_size = cfg.sim.page_size;
+        let rng = DetRng::new(cfg.sim.seed);
+        let net = Network::new(
+            nprocs.max(2), // a 1-proc baseline still constructs a network
+            cfg.sim.costs.clone(),
+            cfg.sim.flush_drop_prob,
+            rng.derive(0xA11CE),
+        );
+        Cluster {
+            seg: SharedSegment::new(page_size),
+            image: Vec::new(),
+            procs: (0..nprocs).map(|_| Proc::new(page_size)).collect(),
+            net,
+            stats: RunStats::default(),
+            epoch: 1,
+            iter: 0,
+            site: 0,
+            phases_per_iter: 1,
+            homes: Vec::new(),
+            versions: Vec::new(),
+            copysets: Vec::new(),
+            last_write_epoch: Vec::new(),
+            last_writer: Vec::new(),
+            iter_writers: Vec::new(),
+            iter_write_counts: Vec::new(),
+            migrated: false,
+            od_mode: OdMode::Learning,
+            od_revert_pending: false,
+            bar_deliveries: BarDeliveries::default(),
+            measuring: false,
+            last_reduction: Vec::new(),
+            reduce_mem: None,
+            distributed: false,
+            cfg,
+        }
+    }
+
+    /// Number of processes.
+    pub fn nprocs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &RunConfig {
+        &self.cfg
+    }
+
+    /// Protocol statistics for the current measurement window.
+    ///
+    /// The network counters live in the network layer; this snapshot merges
+    /// them in (use this rather than field access when reporting live).
+    pub fn stats(&self) -> RunStats {
+        let mut s = self.stats.clone();
+        s.net = self.net.stats().clone();
+        s
+    }
+
+    /// Diffs currently retained across all processes (homeless protocols
+    /// hold them until GC; home-based protocols drop them within the
+    /// barrier, so this is 0 for them between barriers).
+    pub fn retained_diffs(&self) -> usize {
+        self.procs.iter().map(|p| p.lmw.retained_diffs()).sum()
+    }
+
+    /// True while an overdrive protocol is running trap-free.
+    pub fn overdrive_engaged(&self) -> bool {
+        self.od_mode == OdMode::Overdrive
+    }
+
+    // ------------------------------------------------------------------
+    // Manual driving (alternative to the DsmApp runner)
+    // ------------------------------------------------------------------
+
+    /// Allocation/initialization context; use before [`Cluster::distribute`].
+    pub fn setup_ctx(&mut self) -> crate::drive::ctx::SetupCtx<'_> {
+        crate::drive::ctx::SetupCtx { cl: self }
+    }
+
+    /// Execution context for process `pid` (one phase body at a time;
+    /// separate the epochs with [`Cluster::barrier_app`]).
+    pub fn exec_ctx(&mut self, pid: usize) -> crate::drive::ctx::ExecCtx<'_> {
+        assert!(pid < self.nprocs(), "no process {pid}");
+        crate::drive::ctx::ExecCtx { cl: self, pid }
+    }
+
+    /// Uncharged snapshot-read context for verification.
+    pub fn check_ctx(&self) -> crate::drive::ctx::CheckCtx<'_> {
+        crate::drive::ctx::CheckCtx { cl: self }
+    }
+
+    /// Declare the number of barrier phases per iteration (the overdrive
+    /// protocols predict per phase site). The [`crate::drive::app::run_app`]
+    /// runner sets this from the application automatically.
+    pub fn set_phases_per_iter(&mut self, phases: usize) {
+        self.phases_per_iter = phases.max(1);
+    }
+
+    /// Current page-size granularity.
+    #[inline]
+    pub(crate) fn page_size(&self) -> usize {
+        self.cfg.sim.page_size
+    }
+
+    // ------------------------------------------------------------------
+    // Setup and distribution
+    // ------------------------------------------------------------------
+
+    /// Grow per-page tables and the image to the current segment size.
+    pub(crate) fn grow_tables(&mut self) {
+        let n = self.seg.npages();
+        let ps = self.page_size();
+        while self.image.len() < n {
+            self.image.push(PageBuf::zeroed(ps));
+        }
+        self.homes.resize(n, 0);
+        self.versions.resize(n, 1);
+        self.copysets.resize(n, CopySet::EMPTY);
+        self.last_write_epoch.resize(n, 0);
+        self.last_writer.resize(n, 0);
+        self.iter_writers.resize(n, CopySet::EMPTY);
+        self.iter_write_counts.resize(n * self.nprocs(), 0);
+        for p in &mut self.procs {
+            p.store.ensure_pages(n);
+        }
+    }
+
+    /// Finish setup: freeze the initial image as the distributed state.
+    ///
+    /// Every process logically receives a valid read-only copy of every
+    /// initialized page (the paper excludes startup distribution from its
+    /// measurements, and so do we — frames materialize lazily from the
+    /// image on first touch).
+    pub fn distribute(&mut self) {
+        assert!(!self.distributed, "distribute() called twice");
+        self.grow_tables();
+        self.distributed = true;
+    }
+
+    /// Begin the measurement window (the paper starts timing "only after
+    /// the applications have reached a steady state").
+    pub fn start_measurement(&mut self) {
+        for p in &mut self.procs {
+            p.clock.reset_measurement();
+        }
+        self.net.reset_stats();
+        self.stats = RunStats::default();
+        self.measuring = true;
+    }
+
+    /// Produce the report for the current measurement window.
+    pub fn report(&self, app: &str, checksum: f64) -> RunReport {
+        let mut stats = self.stats.clone();
+        stats.net = self.net.stats().clone();
+        RunReport {
+            app: app.to_string(),
+            protocol: self.cfg.protocol,
+            nprocs: self.nprocs(),
+            per_proc: self.procs.iter().map(|p| p.clock.breakdown()).collect(),
+            elapsed: self
+                .procs
+                .iter()
+                .map(|p| p.clock.measured())
+                .max()
+                .unwrap_or(Time::ZERO),
+            segment_pages: self.seg.npages(),
+            stats,
+            checksum,
+            seq_elapsed: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Charging helpers
+    // ------------------------------------------------------------------
+
+    #[inline]
+    pub(crate) fn charge(&mut self, pid: usize, cat: Category, t: Time) {
+        self.procs[pid].clock.advance(cat, t);
+    }
+
+    /// Charge one `mprotect` with the stress multiplier and count it.
+    pub(crate) fn charge_mprotect(&mut self, pid: usize) {
+        let base = Time::from_ns(self.cfg.sim.costs.mprotect_ns);
+        let ops = self.procs[pid].protect_ops_epoch;
+        let cost = self.cfg.sim.stress.mprotect_cost(base, ops, self.seg.npages());
+        self.procs[pid].protect_ops_epoch += 1;
+        self.stats.mprotects += 1;
+        self.charge(pid, Category::Os, cost);
+    }
+
+    /// Charge one segv delivery and count it.
+    pub(crate) fn charge_segv(&mut self, pid: usize) {
+        self.stats.segvs += 1;
+        let t = Time::from_ns(self.cfg.sim.costs.segv_ns);
+        self.charge(pid, Category::Os, t);
+    }
+
+    /// Transition `page`'s protection for `pid`, charging an `mprotect`
+    /// only when the protection actually changes.
+    pub(crate) fn set_prot(&mut self, pid: usize, page: PageId, prot: Protection) {
+        let old = self.procs[pid].store.set_protection(page, prot);
+        if old != prot {
+            self.charge_mprotect(pid);
+        }
+    }
+
+    /// Two distinct processes, mutably.
+    pub(crate) fn pair_mut(procs: &mut [Proc], a: usize, b: usize) -> (&mut Proc, &mut Proc) {
+        assert_ne!(a, b);
+        if a < b {
+            let (lo, hi) = procs.split_at_mut(b);
+            (&mut lo[a], &mut hi[0])
+        } else {
+            let (lo, hi) = procs.split_at_mut(a);
+            (&mut hi[0], &mut lo[b])
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The access path
+    // ------------------------------------------------------------------
+
+    /// Make `[addr, addr+bytes)` accessible to `pid`, faulting as needed.
+    pub(crate) fn ensure_access(&mut self, pid: usize, addr: usize, bytes: usize, write: bool) {
+        debug_assert!(bytes > 0);
+        let ps = self.page_size();
+        let first = addr / ps;
+        let last = (addr + bytes - 1) / ps;
+        for pg in first..=last {
+            self.ensure_page(pid, PageId(pg as u32), write);
+        }
+    }
+
+    fn ensure_page(&mut self, pid: usize, page: PageId, write: bool) {
+        debug_assert!(self.distributed, "access before distribute()");
+        self.materialize_pristine(pid, page);
+        let mut guard = 0;
+        while let Some(kind) = self.procs[pid].store.check(page, write) {
+            self.handle_fault(pid, page, kind);
+            guard += 1;
+            assert!(guard <= 3, "fault handler made no progress on {page:?}");
+        }
+    }
+
+    /// First touch of a page by this process: hand it the initial
+    /// distributed copy. Valid only if the page is still at its initial
+    /// version; otherwise the frame materializes stale-invalid and the
+    /// normal fault path brings it current.
+    pub(crate) fn materialize_pristine(&mut self, pid: usize, page: PageId) {
+        if self.procs[pid].store.frame(page).is_some() {
+            return;
+        }
+        let valid = match self.cfg.protocol {
+            ProtocolKind::Seq => true,
+            p if p.is_lmw() => self.last_write_epoch[page.index()] == 0,
+            _ => self.versions[page.index()] == 1,
+        };
+        let image = &self.image[page.index()];
+        let f = self.procs[pid].store.frame_mut(page);
+        f.data.copy_from(image);
+        f.prot = if valid { Protection::Read } else { Protection::Invalid };
+        f.version_seen = 1;
+        // Acquiring a cached copy makes this process part of the page's
+        // copyset ("bitmaps that specify which processors cache a given
+        // page"); the home-based update protocols push to it from now on.
+        if self.cfg.protocol.is_bar() && self.cfg.protocol.is_update() {
+            self.copysets[page.index()].insert(pid);
+        }
+    }
+
+    fn handle_fault(&mut self, pid: usize, page: PageId, kind: FaultKind) {
+        match self.cfg.protocol {
+            ProtocolKind::Seq => {
+                // Null protocol: everything is always accessible, free.
+                self.procs[pid].store.set_protection(page, Protection::ReadWrite);
+            }
+            p if p.is_lmw() => self.lmw_fault(pid, page, kind),
+            _ => self.bar_fault(pid, page, kind),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Typed element and byte-range access (used by the handles in `mem`)
+    // ------------------------------------------------------------------
+
+    /// Developer tracing: set `DSM_WATCH=<byte addr>` (debug builds only)
+    /// to log every access overlapping that address with the resident
+    /// value — invaluable for differential protocol debugging.
+    #[cfg(debug_assertions)]
+    pub(crate) fn watch_hit(&self, pid: usize, addr: usize, len: usize, what: &str) {
+        static WATCH: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+        let target =
+            WATCH.get_or_init(|| std::env::var("DSM_WATCH").ok().and_then(|w| w.parse().ok()));
+        if let Some(target) = *target {
+            if addr <= target && target < addr + len {
+                let ps = self.page_size();
+                let page = PageId::containing(target, ps);
+                let off = PageId::offset(target, ps);
+                let val = self.procs[pid]
+                    .store
+                    .frame(page)
+                    .map(|f| f64::from_ne_bytes(f.data.bytes()[off..off + 8].try_into().unwrap()));
+                eprintln!("[watch] {what} pid={pid} epoch={} val={val:?}", self.epoch);
+            }
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    pub(crate) fn watch_hit(&self, _pid: usize, _addr: usize, _len: usize, _what: &str) {}
+
+    pub(crate) fn read_scalar<T: Pod>(&mut self, pid: usize, addr: usize) -> T {
+        let sz = core::mem::size_of::<T>();
+        debug_assert!(
+            addr.is_multiple_of(sz),
+            "scalar access must be naturally aligned (addr {addr}, size {sz})"
+        );
+        self.ensure_access(pid, addr, sz, false);
+        let ps = self.page_size();
+        let page = PageId::containing(addr, ps);
+        let off = PageId::offset(addr, ps);
+        let f = self.procs[pid].store.frame(page).expect("faulted page present");
+        f.data.typed::<T>(off..off + sz)[0]
+    }
+
+    pub(crate) fn write_scalar<T: Pod>(&mut self, pid: usize, addr: usize, v: T) {
+        let sz = core::mem::size_of::<T>();
+        debug_assert!(addr.is_multiple_of(sz));
+        self.ensure_access(pid, addr, sz, true);
+        let ps = self.page_size();
+        let page = PageId::containing(addr, ps);
+        let off = PageId::offset(addr, ps);
+        let f = self.procs[pid].store.frame_mut(page);
+        f.data.typed_mut::<T>(off..off + sz)[0] = v;
+    }
+
+    /// Copy `out.len()` bytes starting at `addr` into `out`.
+    pub(crate) fn read_bytes(&mut self, pid: usize, addr: usize, out: &mut [u8]) {
+        if out.is_empty() {
+            return;
+        }
+        self.ensure_access(pid, addr, out.len(), false);
+        self.watch_hit(pid, addr, out.len(), "read ");
+        let ps = self.page_size();
+        let mut done = 0;
+        while done < out.len() {
+            let a = addr + done;
+            let page = PageId::containing(a, ps);
+            let off = PageId::offset(a, ps);
+            let n = (ps - off).min(out.len() - done);
+            let f = self.procs[pid].store.frame(page).expect("faulted page present");
+            out[done..done + n].copy_from_slice(&f.data.bytes()[off..off + n]);
+            done += n;
+        }
+    }
+
+    /// Copy `src` into shared memory starting at `addr`.
+    pub(crate) fn write_bytes(&mut self, pid: usize, addr: usize, src: &[u8]) {
+        if src.is_empty() {
+            return;
+        }
+        self.ensure_access(pid, addr, src.len(), true);
+        let ps = self.page_size();
+        let mut done = 0;
+        while done < src.len() {
+            let a = addr + done;
+            let page = PageId::containing(a, ps);
+            let off = PageId::offset(a, ps);
+            let n = (ps - off).min(src.len() - done);
+            let f = self.procs[pid].store.frame_mut(page);
+            f.data.bytes_mut()[off..off + n].copy_from_slice(&src[done..done + n]);
+            done += n;
+        }
+        self.watch_hit(pid, addr, src.len(), "write");
+    }
+
+    /// Setup-time write into the golden image (uncharged, pre-distribution).
+    pub(crate) fn write_image_bytes(&mut self, addr: usize, src: &[u8]) {
+        assert!(!self.distributed, "image writes only before distribute()");
+        self.grow_tables();
+        let ps = self.page_size();
+        let mut done = 0;
+        while done < src.len() {
+            let a = addr + done;
+            let page = a / ps;
+            let off = a % ps;
+            let n = (ps - off).min(src.len() - done);
+            self.image[page].bytes_mut()[off..off + n].copy_from_slice(&src[done..done + n]);
+            done += n;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Uncharged snapshot reads (correctness checking)
+    // ------------------------------------------------------------------
+
+    /// Reconstruct the globally current contents of `page` without charging
+    /// any cost — used by result verification after a run.
+    pub(crate) fn snapshot_page(&self, page: PageId) -> PageBuf {
+        match self.cfg.protocol {
+            ProtocolKind::Seq => self.procs[0]
+                .store
+                .frame(page)
+                .map(|f| f.data.clone())
+                .unwrap_or_else(|| self.image[page.index()].clone()),
+            p if p.is_lmw() => self.lmw_snapshot_page(page),
+            _ => {
+                // Home-based: the home copy is current after the last barrier.
+                let home = self.homes[page.index()];
+                self.procs[home]
+                    .store
+                    .frame(page)
+                    .map(|f| f.data.clone())
+                    .unwrap_or_else(|| self.image[page.index()].clone())
+            }
+        }
+    }
+
+    /// Uncharged byte-range snapshot read spanning pages.
+    pub(crate) fn snapshot_bytes(&self, addr: usize, out: &mut [u8]) {
+        let ps = self.page_size();
+        let mut done = 0;
+        while done < out.len() {
+            let a = addr + done;
+            let page = PageId::containing(a, ps);
+            let off = PageId::offset(a, ps);
+            let n = (ps - off).min(out.len() - done);
+            let buf = self.snapshot_page(page);
+            out[done..done + n].copy_from_slice(&buf.bytes()[off..off + n]);
+            done += n;
+        }
+    }
+}

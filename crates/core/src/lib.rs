@@ -1,0 +1,42 @@
+//! # dsm-core — the paper's protocol stack
+//!
+//! This crate implements the contribution of Keleher's *Update Protocols and
+//! Iterative Scientific Applications* (IPPS 1998): six software-DSM
+//! protocols for barrier-structured iterative programs, together with the
+//! shared-memory API and the cluster driver that executes applications
+//! against them.
+//!
+//! ## Protocols
+//!
+//! | kind | family | description |
+//! |---|---|---|
+//! | [`ProtocolKind::LmwI`] | homeless LRC | multi-writer lazy release consistency with invalidation: write notices piggybacked on barriers, diffs fetched on fault, diffs retained until GC |
+//! | [`ProtocolKind::LmwU`] | homeless LRC | hybrid invalidate/update: copyset-driven single-message flushes; arriving updates are stored and applied at the next local fault |
+//! | [`ProtocolKind::BarI`] | home-based | statically homed pages with runtime home migration; diffs flushed to the home and discarded; whole-page fault service; per-page version indices |
+//! | [`ProtocolKind::BarU`] | home-based | bar-i plus copyset-driven update pushes applied inside the barrier (no consumer segv / protection change) |
+//! | [`ProtocolKind::BarS`] | overdrive | bar-u minus segvs: per-barrier-site write prediction, eager twins, eager write-enables |
+//! | [`ProtocolKind::BarM`] | overdrive | bar-s minus mprotects: predicted pages stay writable for the whole overdrive phase |
+//!
+//! ## Layering
+//!
+//! * [`mem`] — the shared-memory API: page-granular segment allocator and
+//!   typed handles ([`mem::SharedArray`], [`mem::SharedGrid2`],
+//!   [`mem::SharedScalar`]).
+//! * [`proto`] — protocol building blocks (copysets, write notices) and the
+//!   per-family implementations.
+//! * [`drive`] — the [`drive::cluster::Cluster`]: per-process state, the
+//!   fault path, the barrier engine, reductions, the application trait and
+//!   runner, and run statistics (Table 1 columns + Figure 3 breakdown).
+
+pub mod config;
+pub mod drive;
+pub mod mem;
+pub mod proto;
+
+pub use config::{DivergencePolicy, OverdriveConfig, ProtocolKind, RunConfig};
+pub use drive::app::{run_app, run_app_with_baseline, DsmApp, PhaseEnd};
+pub use drive::cluster::Cluster;
+pub use drive::ctx::{CheckCtx, ExecCtx, SetupCtx};
+pub use drive::reduce::ReduceOp;
+pub use drive::stats::{RunReport, RunStats};
+pub use mem::{SharedArray, SharedGrid2, SharedScalar};

@@ -1,0 +1,42 @@
+//! The shared-memory API.
+//!
+//! Applications never touch page frames directly; they hold lightweight
+//! `Copy` handles describing where their data lives in the shared segment
+//! and access elements or rows through an [`crate::drive::ctx::ExecCtx`],
+//! which performs the protection check → fault → protocol-service path of a
+//! real DSM on every access.
+
+pub mod array;
+pub mod grid;
+pub mod segment;
+
+pub use array::SharedArray;
+pub use grid::SharedGrid2;
+pub use segment::SharedSegment;
+
+use dsm_vm::Pod;
+
+/// A single shared scalar, allocated on its own page.
+///
+/// Implemented as a one-element [`SharedArray`]; convenient for flags and
+/// residuals.
+#[derive(Clone, Copy, Debug)]
+pub struct SharedScalar<T: Pod> {
+    pub(crate) arr: SharedArray<T>,
+}
+
+impl<T: Pod> SharedScalar<T> {
+    pub(crate) fn new(arr: SharedArray<T>) -> Self {
+        SharedScalar { arr }
+    }
+
+    /// Byte address within the shared segment.
+    pub fn addr(&self) -> usize {
+        self.arr.base()
+    }
+
+    /// Underlying one-element array handle.
+    pub fn as_array(&self) -> SharedArray<T> {
+        self.arr
+    }
+}

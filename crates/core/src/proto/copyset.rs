@@ -1,0 +1,150 @@
+//! Per-page copysets.
+//!
+//! "Accesses to shared pages are tracked by using per-page copysets, which
+//! are bitmaps that specify which processors cache a given page" (§2.1.2).
+
+use serde::{Deserialize, Serialize};
+
+/// A set of processor ids, as a 64-bit bitmap.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash, Serialize, Deserialize)]
+pub struct CopySet(u64);
+
+impl CopySet {
+    /// The empty set.
+    pub const EMPTY: CopySet = CopySet(0);
+
+    /// A singleton set.
+    pub fn single(pid: usize) -> CopySet {
+        let mut s = CopySet::EMPTY;
+        s.insert(pid);
+        s
+    }
+
+    #[inline]
+    pub fn insert(&mut self, pid: usize) {
+        debug_assert!(pid < 64);
+        self.0 |= 1 << pid;
+    }
+
+    #[inline]
+    pub fn remove(&mut self, pid: usize) {
+        debug_assert!(pid < 64);
+        self.0 &= !(1 << pid);
+    }
+
+    #[inline]
+    pub fn contains(&self, pid: usize) -> bool {
+        debug_assert!(pid < 64);
+        self.0 & (1 << pid) != 0
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Union in place.
+    #[inline]
+    pub fn union_with(&mut self, other: CopySet) {
+        self.0 |= other.0;
+    }
+
+    /// Iterate members in ascending pid order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let bits = self.0;
+        (0..64).filter(move |i| bits & (1 << i) != 0)
+    }
+
+    /// Members other than `pid`, ascending.
+    pub fn others(&self, pid: usize) -> impl Iterator<Item = usize> + '_ {
+        self.iter().filter(move |&p| p != pid)
+    }
+
+    /// The member with the lowest pid, if any.
+    pub fn first(&self) -> Option<usize> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+}
+
+impl FromIterator<usize> for CopySet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = CopySet::EMPTY;
+        for pid in iter {
+            s.insert(pid);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = CopySet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(3);
+        s.insert(7);
+        assert!(s.contains(3) && s.contains(7) && !s.contains(4));
+        assert_eq!(s.len(), 2);
+        s.remove(3);
+        assert!(!s.contains(3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut s = CopySet::EMPTY;
+        s.insert(5);
+        s.insert(5);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s: CopySet = [6, 1, 4].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 4, 6]);
+    }
+
+    #[test]
+    fn others_excludes_self() {
+        let s: CopySet = [0, 2, 5].into_iter().collect();
+        assert_eq!(s.others(2).collect::<Vec<_>>(), vec![0, 5]);
+        assert_eq!(s.others(1).collect::<Vec<_>>(), vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn union_and_first() {
+        let mut a: CopySet = [1, 2].into_iter().collect();
+        let b: CopySet = [2, 6].into_iter().collect();
+        a.union_with(b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 6]);
+        assert_eq!(a.first(), Some(1));
+        assert_eq!(CopySet::EMPTY.first(), None);
+    }
+
+    #[test]
+    fn boundary_pid_63() {
+        let mut s = CopySet::EMPTY;
+        s.insert(63);
+        assert!(s.contains(63));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![63]);
+    }
+
+    #[test]
+    fn single_constructor() {
+        let s = CopySet::single(9);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(9));
+    }
+}

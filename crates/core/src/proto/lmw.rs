@@ -1,0 +1,545 @@
+//! Homeless multi-writer LRC: `lmw-i` and `lmw-u`.
+//!
+//! Faithful to §2.1 of the paper:
+//!
+//! * modifications are captured as diffs against twins, **lazily** — the
+//!   twin accumulates across barrier epochs and the diff is only created
+//!   when some consumer requests it (or when a foreign write notice forces
+//!   sealing). This is the TreadMarks behaviour the paper contrasts with
+//!   the home-based family ("diffs are created promptly at the end of each
+//!   interval rather than lazily, as with homeless protocols");
+//! * **write notices** naming the modified intervals ride on barrier
+//!   messages and invalidate remote copies;
+//! * faults fetch the named diffs from their creators and apply them to the
+//!   pre-existing replica;
+//! * diffs and notices are **retained indefinitely** — "no diff, nor any of
+//!   the write notices that name diffs, can be discarded until
+//!   garbage-collection occurs";
+//! * `lmw-u` additionally pushes diffs as single unreliable flushes to the
+//!   processors in the writer's per-page copyset (sealing those pages every
+//!   barrier). Arriving updates are **stored, not applied**: "lmw-u does
+//!   not immediately validate pages when diffs ... arrive by update.
+//!   Instead, lmw merely stores updates to locally invalid pages and checks
+//!   to see if all required diffs are present when the next access to that
+//!   page occurs. This next access is signaled by a segmentation fault."
+
+use std::collections::HashMap;
+
+use dsm_net::MsgKind;
+use dsm_sim::{Category, Time};
+use dsm_vm::{Diff, FaultKind, PageBuf, PageId, Protection};
+
+use crate::config::ProtocolKind;
+use crate::drive::cluster::Cluster;
+use crate::proto::copyset::CopySet;
+use crate::proto::notice::{WriteNotice, NOTICE_WIRE_BYTES};
+
+/// A sealed diff covering this writer's modifications in the epoch range
+/// `[lo, hi]`. Foreign notices force sealing, so no other process wrote the
+/// page within `[lo, hi)`; concurrent writes *at* `hi` are disjoint
+/// (race-free programs), which makes `(hi, lo, writer)` a sound application
+/// order.
+#[derive(Clone, Debug)]
+pub struct Segment {
+    pub lo: u64,
+    pub hi: u64,
+    pub diff: Diff,
+}
+
+/// Per-process homeless-protocol state.
+#[derive(Default, Debug)]
+pub struct LmwProc {
+    /// Sealed segments this process created, per page, ascending `hi`.
+    /// Retained until GC (the paper's "voracious appetite for memory").
+    pub segments: HashMap<u32, Vec<Segment>>,
+    /// Pages with an accumulating (un-diffed) twin:
+    /// page → (first dirty epoch, last dirty epoch).
+    pub pending: HashMap<u32, (u64, u64)>,
+    /// Write notices received but not yet applied locally, per page.
+    pub known_notices: HashMap<u32, Vec<WriteNotice>>,
+    /// lmw-u: updates that arrived by flush: page → (writer, lo, hi, diff).
+    pub pending_updates: HashMap<u32, Vec<(u16, u64, u64, Diff)>>,
+    /// lmw-u: this process's view of who caches each page it writes.
+    pub copysets: HashMap<u32, CopySet>,
+    /// Per (page, writer): highest segment `hi` applied locally. Together
+    /// with the frame's `applied_through` floor (raised by full-page
+    /// fetches) this decides exactly which intervals still need fetching —
+    /// a coarser single watermark would re-apply multi-epoch segments whose
+    /// older words can clobber this process's own newer writes.
+    pub applied: HashMap<(u32, u16), u64>,
+}
+
+impl LmwProc {
+    /// Total retained diffs (GC-pressure metric).
+    pub fn retained_diffs(&self) -> usize {
+        self.segments.values().map(Vec::len).sum::<usize>()
+            + self.pending_updates.values().map(Vec::len).sum::<usize>()
+    }
+}
+
+impl Cluster {
+    // ------------------------------------------------------------------
+    // Fault path
+    // ------------------------------------------------------------------
+
+    pub(crate) fn lmw_fault(&mut self, pid: usize, page: PageId, kind: FaultKind) {
+        self.charge_segv(pid);
+        if kind.needs_validation() {
+            self.lmw_validate(pid, page);
+        }
+        if kind.is_write() {
+            let f = self.procs[pid].store.frame_mut(page);
+            if f.twin.is_none() {
+                f.make_twin();
+                let twin_cost = self.cfg.sim.costs.twin_create(self.page_size());
+                self.charge(pid, Category::Os, twin_cost);
+                self.stats.twins += 1;
+            }
+            let epoch = self.epoch;
+            self.procs[pid]
+                .lmw
+                .pending
+                .entry(page.0)
+                .and_modify(|(_, last)| *last = epoch)
+                .or_insert((epoch, epoch));
+            self.set_prot(pid, page, Protection::ReadWrite);
+            self.procs[pid].dirty.push(page);
+        }
+    }
+
+    /// Seal `writer`'s pending accumulation for `page` into a segment,
+    /// charging the page-length comparison to `cat` on `writer`'s clock.
+    /// Returns false if nothing was pending.
+    fn lmw_seal(&mut self, writer: usize, page: PageId, cat: Category) -> bool {
+        let Some((lo, hi)) = self.procs[writer].lmw.pending.remove(&page.0) else {
+            return false;
+        };
+        let scan = self.cfg.sim.costs.diff_create(self.page_size());
+        self.charge(writer, cat, scan);
+        self.stats.diffs_created += 1;
+        let f = self.procs[writer].store.frame_mut(page);
+        let diff = f.diff_against_twin(page);
+        f.drop_twin();
+        if diff.is_empty() {
+            self.stats.empty_diffs += 1;
+            return true;
+        }
+        self.procs[writer]
+            .lmw
+            .segments
+            .entry(page.0)
+            .or_default()
+            .push(Segment { lo, hi, diff });
+        true
+    }
+
+    /// Bring `pid`'s copy of `page` current: apply stored updates, fetch
+    /// missing segments from their creators, apply in interval order.
+    pub(crate) fn lmw_validate(&mut self, pid: usize, page: PageId) {
+        let mut notices = self
+            .procs[pid]
+            .lmw
+            .known_notices
+            .remove(&page.0)
+            .unwrap_or_default();
+        notices.retain(|n| n.writer as usize != pid);
+        notices.sort_by_key(|n| (n.epoch, n.writer));
+
+        let floor = self
+            .procs[pid]
+            .store
+            .frame(page)
+            .map(|f| f.applied_through)
+            .unwrap_or(0);
+        let applied_w = |lmw: &LmwProc, w: u16| -> u64 {
+            lmw.applied.get(&(page.0, w)).copied().unwrap_or(0).max(floor)
+        };
+
+        if notices.is_empty() {
+            // Cold fault (possible after GC): fetch a full current copy
+            // from the page's last writer.
+            self.lmw_fetch_full(pid, page);
+            return;
+        }
+
+        let mut to_apply: Vec<(u64, u64, u16, Diff)> = Vec::new();
+
+        // lmw-u: consult the pending-update store — this per-fault scan is
+        // exactly the data-structure overhead the paper blames for
+        // Barnes/swm under lmw-u.
+        //
+        // Coverage is per epoch *range*: a stored update for intervals
+        // [lo, hi] says nothing about the same writer's earlier (or
+        // dropped) intervals, which must still be fetched.
+        let mut covered: HashMap<u16, Vec<(u64, u64)>> = HashMap::new();
+        if self.cfg.protocol == ProtocolKind::LmwU {
+            let stored = self
+                .procs[pid]
+                .lmw
+                .pending_updates
+                .remove(&page.0)
+                .unwrap_or_default();
+            let lookup = Time::from_ns(self.cfg.sim.costs.update_store_lookup_ns);
+            self.charge(pid, Category::Os, lookup.scale(stored.len().max(1) as u64));
+            for (w, lo, hi, diff) in stored {
+                if hi > applied_w(&self.procs[pid].lmw, w) {
+                    covered.entry(w).or_default().push((lo, hi));
+                    to_apply.push((hi, lo, w, diff));
+                }
+            }
+        }
+        let is_covered = |covered: &HashMap<u16, Vec<(u64, u64)>>, w: u16, e: u64| {
+            covered
+                .get(&w)
+                .is_some_and(|v| v.iter().any(|&(lo, hi)| lo <= e && e <= hi))
+        };
+
+        // Which writers still have intervals we cannot cover locally?
+        let mut fetch_writers: Vec<u16> = Vec::new();
+        for n in &notices {
+            if n.epoch > applied_w(&self.procs[pid].lmw, n.writer)
+                && !is_covered(&covered, n.writer, n.epoch)
+                && !fetch_writers.contains(&n.writer)
+            {
+                fetch_writers.push(n.writer);
+            }
+        }
+        fetch_writers.sort_unstable();
+
+        let used_net = !fetch_writers.is_empty();
+        for &w in &fetch_writers {
+            let writer = w as usize;
+            // The writer seals any pending accumulation on demand (lazy
+            // diff creation) — served in its sigio handler.
+            self.lmw_seal(writer, page, Category::Sigio);
+            let req = self
+                .net
+                .send(pid, writer, MsgKind::DiffRequest, NOTICE_WIRE_BYTES);
+            let since = applied_w(&self.procs[pid].lmw, w);
+            let segs: Vec<Segment> = self.procs[writer]
+                .lmw
+                .segments
+                .get(&page.0)
+                .map(|v| v.iter().filter(|s| s.hi > since).cloned().collect())
+                .unwrap_or_default();
+            let reply_bytes: usize = segs.iter().map(|s| s.diff.wire_bytes()).sum();
+            let rep = self.net.send(writer, pid, MsgKind::DiffReply, reply_bytes);
+            let prep = Time::from_ns(self.cfg.sim.costs.page_prep_ns);
+            self.charge(pid, Category::Wait, req.total() + prep + rep.total());
+            self.charge(writer, Category::Sigio, req.receiver + prep + rep.sender);
+            for s in segs {
+                // Skip duplicates of segments already covered by updates.
+                if !to_apply.iter().any(|(hi, lo, tw, _)| *tw == w && *hi == s.hi && *lo == s.lo) {
+                    to_apply.push((s.hi, s.lo, w, s.diff));
+                }
+            }
+            if self.cfg.protocol == ProtocolKind::LmwU {
+                self.procs[writer]
+                    .lmw
+                    .copysets
+                    .entry(page.0)
+                    .or_default()
+                    .insert(pid);
+            }
+        }
+
+        // Apply in interval order: ascending hi, then ascending lo (an
+        // earlier-starting segment\'s words are older than a same-hi
+        // segment that started at hi), then writer (same-epoch concurrent
+        // diffs are disjoint, so that tie is harmless).
+        to_apply.sort_by_key(|(hi, lo, w, _)| (*hi, *lo, *w));
+        for (_, _, _, diff) in &to_apply {
+            let cost = self.cfg.sim.costs.diff_apply(diff.payload_bytes());
+            self.charge(pid, Category::Os, cost);
+        }
+        let f = self.procs[pid].store.frame_mut(page);
+        for (_, _, _, diff) in &to_apply {
+            diff.apply_to(&mut f.data);
+        }
+        for (hi, _, w, _) in &to_apply {
+            let e = self.procs[pid].lmw.applied.entry((page.0, *w)).or_insert(0);
+            *e = (*e).max(*hi);
+        }
+
+        self.set_prot(pid, page, Protection::Read);
+        if used_net {
+            self.stats.remote_misses += 1;
+        } else {
+            self.stats.local_faults += 1;
+        }
+    }
+
+    /// Full-page fetch from the page's last writer (cold fault after GC).
+    fn lmw_fetch_full(&mut self, pid: usize, page: PageId) {
+        if std::env::var_os("DSM_DEBUG").is_some() {
+            eprintln!("fetch_full pid={pid} page={page:?} epoch={}", self.epoch);
+        }
+        let writer = self.last_writer[page.index()] as usize;
+        if writer == pid || self.last_write_epoch[page.index()] == 0 {
+            // Our own copy (or the initial image) is already current.
+            self.set_prot(pid, page, Protection::Read);
+            self.stats.local_faults += 1;
+            return;
+        }
+        // Make sure the server's copy is current first (it may itself hold
+        // stale words written by other processes).
+        if !self.procs[writer].store.protection(page).readable() {
+            self.lmw_validate(writer, page);
+        }
+        let ps = self.page_size();
+        let req = self.net.send(pid, writer, MsgKind::PageRequest, 0);
+        let rep = self.net.send(writer, pid, MsgKind::PageReply, ps);
+        let prep = Time::from_ns(self.cfg.sim.costs.page_prep_ns);
+        let fixed = Time::from_ns(self.cfg.sim.costs.page_fault_fixed_ns);
+        self.charge(pid, Category::Wait, req.total() + prep + rep.total() + fixed);
+        self.charge(writer, Category::Sigio, req.receiver + prep + rep.sender);
+        let epoch = self.last_write_epoch[page.index()];
+        {
+            let (me, srv) = Cluster::pair_mut(&mut self.procs, pid, writer);
+            let src = srv.store.frame(page).expect("server frame").data.clone();
+            let f = me.store.frame_mut(page);
+            f.data.copy_from(&src);
+            // A full copy raises the all-writers floor.
+            f.applied_through = f.applied_through.max(epoch);
+        }
+        self.set_prot(pid, page, Protection::Read);
+        self.stats.remote_misses += 1;
+        if self.cfg.protocol == ProtocolKind::LmwU {
+            self.procs[writer]
+                .lmw
+                .copysets
+                .entry(page.0)
+                .or_default()
+                .insert(pid);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Barrier hooks (called by drive::barrier)
+    // ------------------------------------------------------------------
+
+    /// End-of-epoch work before arriving at the barrier: emit write notices
+    /// for dirty pages; keep twins accumulating (lazy diffs) except for
+    /// lmw-u copyset pages, which are sealed and flushed now.
+    pub(crate) fn lmw_pre_barrier(&mut self, pid: usize) -> Vec<WriteNotice> {
+        let dirty = core::mem::take(&mut self.procs[pid].dirty);
+        let mut notices = Vec::with_capacity(dirty.len());
+        for page in dirty {
+            // Re-arm the write trap for the next epoch; the twin survives.
+            self.set_prot(pid, page, Protection::Read);
+            let cs = if self.cfg.protocol == ProtocolKind::LmwU {
+                self.procs[pid]
+                    .lmw
+                    .copysets
+                    .get(&page.0)
+                    .copied()
+                    .unwrap_or(CopySet::EMPTY)
+            } else {
+                CopySet::EMPTY
+            };
+            if cs.others(pid).next().is_some() {
+                // Update path: seal now and push the newest segment.
+                self.lmw_seal(pid, page, Category::Os);
+                let seg: Option<Segment> = self
+                    .procs[pid]
+                    .lmw
+                    .segments
+                    .get(&page.0)
+                    .and_then(|v| v.last())
+                    .filter(|s| s.hi == self.epoch)
+                    .cloned();
+                let Some(seg) = seg else {
+                    // The seal produced an empty diff: nothing changed, no
+                    // notice, no flush.
+                    continue;
+                };
+                notices.push(WriteNotice::new(page, pid, self.epoch));
+                let members: Vec<usize> = cs.others(pid).collect();
+                for q in members {
+                    let tr = self
+                        .net
+                        .send(pid, q, MsgKind::UpdateFlush, seg.diff.wire_bytes());
+                    self.charge(pid, Category::Os, tr.sender);
+                    if tr.delivered {
+                        self.bar_deliveries.lmw_updates.push((
+                            q,
+                            page,
+                            pid as u16,
+                            seg.lo,
+                            seg.hi,
+                            seg.diff.clone(),
+                            tr.receiver,
+                        ));
+                    }
+                }
+            } else {
+                // Invalidate path: notice only; the diff stays latent in
+                // the accumulating twin until someone asks.
+                notices.push(WriteNotice::new(page, pid, self.epoch));
+            }
+        }
+        notices
+    }
+
+    /// Post-release work: record and act on the merged write notices, and
+    /// (lmw-u) file away arriving update flushes.
+    pub(crate) fn lmw_post_release(&mut self, pid: usize, merged: &[WriteNotice]) {
+        let notice_cost = Time::from_ns(self.cfg.sim.costs.write_notice_ns);
+        for n in merged {
+            if n.writer as usize == pid {
+                continue;
+            }
+            self.charge(pid, Category::Os, notice_cost);
+            // A foreign write forces sealing of our own accumulation for
+            // that page: segments of different writers must not interleave.
+            if self.procs[pid].lmw.pending.contains_key(&n.page) {
+                self.lmw_seal(pid, n.page_id(), Category::Os);
+            }
+            // Copyset heuristic: seeing p's write notice for a page this
+            // process also caches means p holds (a modified copy of) the
+            // page — p belongs in our copyset for it.
+            if self.cfg.protocol == ProtocolKind::LmwU
+                && self.procs[pid].store.frame(n.page_id()).is_some()
+            {
+                self.procs[pid]
+                    .lmw
+                    .copysets
+                    .entry(n.page)
+                    .or_default()
+                    .insert(n.writer as usize);
+            }
+            self.procs[pid]
+                .lmw
+                .known_notices
+                .entry(n.page)
+                .or_default()
+                .push(*n);
+            if self.procs[pid].store.protection(n.page_id()).readable() {
+                self.set_prot(pid, n.page_id(), Protection::Invalid);
+            }
+        }
+        // Updates addressed to this process, flushed before the senders
+        // arrived at the barrier.
+        let all = core::mem::take(&mut self.bar_deliveries.lmw_updates);
+        let (mine, rest): (Vec<_>, Vec<_>) = all.into_iter().partition(|(dst, ..)| *dst == pid);
+        self.bar_deliveries.lmw_updates = rest;
+        for (_, page, writer, lo, hi, diff, recv) in mine {
+            self.charge(pid, Category::Sigio, recv);
+            // Insertion slows down as the out-of-order store grows — stale
+            // copyset members never drain theirs (the Barnes pathology).
+            let resident = self.procs[pid]
+                .lmw
+                .pending_updates
+                .values()
+                .map(Vec::len)
+                .sum::<usize>() as u64;
+            let insert_cost = Time::from_ns(
+                self.cfg.sim.costs.update_store_insert_ns
+                    + self.cfg.sim.costs.update_store_per_pending_ns * resident,
+            );
+            self.charge(pid, Category::Os, insert_cost);
+            self.stats.update_inserts += 1;
+            self.procs[pid]
+                .lmw
+                .pending_updates
+                .entry(page.0)
+                .or_default()
+                .push((writer, lo, hi, diff));
+        }
+    }
+
+    /// Stop-the-world garbage collection: make every noticed page current
+    /// everywhere, then discard all retained segments, notices, and stored
+    /// updates.
+    pub(crate) fn lmw_maybe_gc(&mut self) {
+        let total: usize = self.procs.iter().map(|p| p.lmw.retained_diffs()).sum();
+        if total <= self.cfg.gc_diff_threshold {
+            return;
+        }
+        self.stats.gc_events += 1;
+        let n = self.nprocs();
+        for pid in 0..n {
+            let pages: Vec<u32> = self.procs[pid]
+                .lmw
+                .known_notices
+                .iter()
+                .filter(|(_, v)| !v.is_empty())
+                .map(|(pg, _)| *pg)
+                .collect();
+            for pg in pages {
+                let page = PageId(pg);
+                self.materialize_pristine(pid, page);
+                if !self.procs[pid].store.protection(page).readable() {
+                    self.lmw_validate(pid, page);
+                }
+            }
+        }
+        let gc_per_diff = Time::from_ns(self.cfg.sim.costs.gc_per_diff_ns);
+        for pid in 0..n {
+            let dropped = self.procs[pid].lmw.retained_diffs() as u64;
+            self.stats.gc_diffs_discarded += dropped;
+            self.charge(pid, Category::Os, gc_per_diff.scale(dropped));
+            let lmw = &mut self.procs[pid].lmw;
+            lmw.segments.clear();
+            lmw.pending_updates.clear();
+            lmw.known_notices.clear();
+            lmw.applied.clear();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot (verification only, uncharged)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn lmw_snapshot_page(&self, page: PageId) -> PageBuf {
+        let p0 = &self.procs[0];
+        let mut buf = p0
+            .store
+            .frame(page)
+            .map(|f| f.data.clone())
+            .unwrap_or_else(|| self.image[page.index()].clone());
+        let floor = p0.store.frame(page).map(|f| f.applied_through).unwrap_or(0);
+        let applied_w = |w: u16| -> u64 {
+            p0.lmw.applied.get(&(page.0, w)).copied().unwrap_or(0).max(floor)
+        };
+        let notices = p0
+            .lmw
+            .known_notices
+            .get(&page.0)
+            .cloned()
+            .unwrap_or_default();
+        // Gather every relevant sealed segment plus each writer's unsealed
+        // accumulation (as a virtual diff), then apply in interval order.
+        let mut writers: Vec<u16> = notices
+            .iter()
+            .filter(|n| n.writer != 0)
+            .map(|n| n.writer)
+            .collect();
+        writers.sort_unstable();
+        writers.dedup();
+        let mut to_apply: Vec<(u64, u64, u16, Diff)> = Vec::new();
+        for w in writers {
+            let since = applied_w(w);
+            let proc = &self.procs[w as usize];
+            if let Some(segs) = proc.lmw.segments.get(&page.0) {
+                for s in segs {
+                    if s.hi > since {
+                        to_apply.push((s.hi, s.lo, w, s.diff.clone()));
+                    }
+                }
+            }
+            if let Some(&(lo, hi)) = proc.lmw.pending.get(&page.0) {
+                if let Some(f) = proc.store.frame(page) {
+                    if f.twin.is_some() && hi > since {
+                        to_apply.push((hi, lo, w, f.diff_against_twin(page)));
+                    }
+                }
+            }
+        }
+        to_apply.sort_by_key(|(hi, lo, w, _)| (*hi, *lo, *w));
+        for (_, _, _, diff) in &to_apply {
+            diff.apply_to(&mut buf);
+        }
+        buf
+    }
+}

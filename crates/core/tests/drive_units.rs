@@ -1,0 +1,356 @@
+//! Focused unit tests of the cluster driver: barrier timing, pristine
+//! materialization, home migration policy, reductions, and the typed
+//! shared-memory accessors.
+
+use dsm_core::{Cluster, ProtocolKind, ReduceOp, RunConfig, SharedArray, SharedGrid2};
+use dsm_sim::Time;
+
+fn cluster(protocol: ProtocolKind, nprocs: usize) -> Cluster {
+    Cluster::new(RunConfig::with_nprocs(protocol, nprocs))
+}
+
+// ---------------------------------------------------------------------
+// Setup and access preconditions
+// ---------------------------------------------------------------------
+
+#[test]
+#[should_panic(expected = "barrier before distribute")]
+fn barrier_requires_distribute() {
+    let mut cl = cluster(ProtocolKind::BarU, 2);
+    cl.barrier_app(None);
+}
+
+#[test]
+#[should_panic(expected = "distribute() called twice")]
+fn distribute_is_once() {
+    let mut cl = cluster(ProtocolKind::BarU, 2);
+    cl.distribute();
+    cl.distribute();
+}
+
+#[test]
+#[should_panic(expected = "no process")]
+fn exec_ctx_checks_pid() {
+    let mut cl = cluster(ProtocolKind::BarU, 2);
+    cl.distribute();
+    let _ = cl.exec_ctx(2);
+}
+
+#[test]
+#[should_panic(expected = "image writes only before distribute")]
+fn init_after_distribute_rejected() {
+    let mut cl = cluster(ProtocolKind::BarU, 2);
+    let arr: SharedArray<f64> = cl.setup_ctx().alloc_array("a", 4);
+    cl.distribute();
+    let mut s = cl.setup_ctx();
+    s.init(arr, 0, 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Barrier timing
+// ---------------------------------------------------------------------
+
+#[test]
+fn barrier_synchronizes_clocks() {
+    // Give the processes very different amounts of work; after the barrier
+    // every process's elapsed time must be at least the slowest one's
+    // pre-barrier time.
+    let mut cl = cluster(ProtocolKind::BarU, 4);
+    let _arr: SharedArray<f64> = cl.setup_ctx().alloc_array("a", 16);
+    cl.distribute();
+    for pid in 0..4 {
+        let mut ctx = cl.exec_ctx(pid);
+        ctx.work_flops(1_000 * (pid as u64 + 1) * (pid as u64 + 1));
+    }
+    cl.barrier_app(None);
+    let report = cl.report("t", 0.0);
+    let slowest_app = report.per_proc.iter().map(|b| b.app).max().unwrap();
+    for (pid, b) in report.per_proc.iter().enumerate() {
+        assert!(
+            b.total() >= slowest_app,
+            "p{pid} left the barrier before the slowest process arrived"
+        );
+    }
+    // The fast processes must have been charged wait time.
+    assert!(report.per_proc[0].wait > Time::ZERO);
+    assert_eq!(report.per_proc[3].wait.as_ns(), {
+        // The slowest process never waits on arrival; it may wait only for
+        // the (cheap) release path, which is charged to Os on receipt.
+        report.per_proc[3].wait.as_ns()
+    });
+}
+
+#[test]
+fn seq_barriers_are_free() {
+    let mut cl = cluster(ProtocolKind::Seq, 1);
+    let _arr: SharedArray<f64> = cl.setup_ctx().alloc_array("a", 16);
+    cl.distribute();
+    for _ in 0..10 {
+        cl.barrier_app(None);
+    }
+    let report = cl.report("t", 0.0);
+    assert_eq!(report.elapsed, Time::ZERO);
+    assert_eq!(report.stats.barriers, 10);
+    assert_eq!(cl.stats().paper_messages(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------
+
+fn reduce_once(protocol: ProtocolKind, op: ReduceOp, contribs: &[f64]) -> Vec<f64> {
+    let mut cl = cluster(protocol, contribs.len());
+    let _arr: SharedArray<f64> = cl.setup_ctx().alloc_array("a", 16);
+    cl.distribute();
+    let vecs: Vec<Vec<f64>> = contribs.iter().map(|&v| vec![v, -v]).collect();
+    cl.barrier_app(Some((op, vecs)));
+    cl.exec_ctx(0).reduction().to_vec()
+}
+
+#[test]
+fn native_and_emulated_reductions_agree() {
+    let contribs = [3.5, -1.0, 7.25, 0.5];
+    for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min] {
+        let native = reduce_once(ProtocolKind::BarU, op, &contribs);
+        let emulated = reduce_once(ProtocolKind::LmwI, op, &contribs);
+        assert_eq!(native, emulated, "{op:?}");
+        assert_eq!(native.len(), 2);
+    }
+}
+
+#[test]
+fn reduction_values_are_correct() {
+    let r = reduce_once(ProtocolKind::BarU, ReduceOp::Sum, &[1.0, 2.0, 3.0]);
+    assert_eq!(r, vec![6.0, -6.0]);
+    let r = reduce_once(ProtocolKind::BarI, ReduceOp::Max, &[1.0, -2.0, 3.0]);
+    assert_eq!(r, vec![3.0, 2.0]);
+    let r = reduce_once(ProtocolKind::LmwU, ReduceOp::Min, &[1.0, -2.0, 3.0]);
+    assert_eq!(r, vec![-2.0, -3.0]);
+}
+
+#[test]
+fn emulated_reduction_costs_extra_barriers_and_traffic() {
+    let mut native = cluster(ProtocolKind::BarU, 4);
+    let _a: SharedArray<f64> = native.setup_ctx().alloc_array("a", 4);
+    native.distribute();
+    native.barrier_app(Some((ReduceOp::Sum, vec![vec![1.0]; 4])));
+    let mut emulated = cluster(ProtocolKind::LmwU, 4);
+    let _a: SharedArray<f64> = emulated.setup_ctx().alloc_array("a", 4);
+    emulated.distribute();
+    emulated.barrier_app(Some((ReduceOp::Sum, vec![vec![1.0]; 4])));
+    assert_eq!(native.stats().barriers, 1);
+    assert_eq!(emulated.stats().barriers, 2, "slots barrier + result barrier");
+    assert!(emulated.stats().segvs > 0, "slot/result page faults");
+}
+
+// ---------------------------------------------------------------------
+// Home migration policy
+// ---------------------------------------------------------------------
+
+#[test]
+fn pages_migrate_to_their_heaviest_writer() {
+    // Process 2 writes the page in both epochs of iteration 0; process 1
+    // writes it once. After iteration 0 the home must be process 2: its
+    // steady-state writes then need no home flushes.
+    let mut cl = cluster(ProtocolKind::BarI, 4);
+    let arr: SharedArray<f64> = cl.setup_ctx().alloc_array("a", 8);
+    cl.set_phases_per_iter(2);
+    cl.distribute();
+
+    for iter in 0..4 {
+        // site 0: p1 and p2 write disjoint words
+        {
+            let mut ctx = cl.exec_ctx(1);
+            arr.set(&mut ctx, 0, iter as f64);
+        }
+        {
+            let mut ctx = cl.exec_ctx(2);
+            arr.set(&mut ctx, 1, iter as f64 * 2.0);
+        }
+        cl.barrier_app(None);
+        // site 1: only p2 writes
+        {
+            let mut ctx = cl.exec_ctx(2);
+            arr.set(&mut ctx, 2, iter as f64 * 3.0);
+        }
+        cl.barrier_app(None);
+    }
+    let stats = cl.stats();
+    assert_eq!(stats.migrations, 1, "the page must migrate once");
+    // After migration, p2's site-1 writes are home writes: no diff flushes
+    // in the epochs where only the home writes.
+    let c = cl.check_ctx();
+    assert_eq!(c.read(arr, 0), 3.0);
+    assert_eq!(c.read(arr, 1), 6.0);
+    assert_eq!(c.read(arr, 2), 9.0);
+}
+
+#[test]
+fn migration_ties_break_to_the_lowest_pid() {
+    // p1 and p3 write equally often; the tie must go to p1
+    // (deterministic). Observable via the home effect: p1's writes stop
+    // needing diffs after migration, p3's do not.
+    let mut cl = cluster(ProtocolKind::BarI, 4);
+    let arr: SharedArray<f64> = cl.setup_ctx().alloc_array("a", 8);
+    cl.set_phases_per_iter(1);
+    cl.distribute();
+    for iter in 0..6 {
+        {
+            let mut ctx = cl.exec_ctx(1);
+            arr.set(&mut ctx, 0, iter as f64);
+        }
+        {
+            let mut ctx = cl.exec_ctx(3);
+            arr.set(&mut ctx, 1, iter as f64);
+        }
+        cl.barrier_app(None);
+    }
+    assert_eq!(cl.stats().migrations, 1);
+    // 6 epochs, two writers. Pre-migration (epoch 1): both diff. After:
+    // p1 is home (no diffs), p3 diffs every epoch.
+    let diffs = cl.stats().diffs_created;
+    assert!(
+        (5..=8).contains(&diffs),
+        "expected ~1 diff per epoch from p3 plus epoch-1 extras, got {diffs}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Pristine materialization
+// ---------------------------------------------------------------------
+
+#[test]
+fn untouched_pages_read_initial_values_without_traffic() {
+    let mut cl = cluster(ProtocolKind::BarU, 4);
+    let arr: SharedArray<f64> = {
+        let mut s = cl.setup_ctx();
+        let arr = s.alloc_array("a", 2048);
+        s.init(arr, 2000, 42.0);
+        arr
+    };
+    cl.distribute();
+    cl.barrier_app(None);
+    let before = cl.stats().paper_messages();
+    {
+        let mut ctx = cl.exec_ctx(3);
+        assert_eq!(arr.get(&mut ctx, 2000), 42.0);
+    }
+    let after = cl.stats().paper_messages();
+    assert_eq!(before, after, "a pristine page must not cost a fetch");
+}
+
+#[test]
+fn written_pages_are_not_pristine_for_late_readers() {
+    let mut cl = cluster(ProtocolKind::BarI, 4);
+    let arr: SharedArray<f64> = cl.setup_ctx().alloc_array("a", 8);
+    cl.distribute();
+    {
+        let mut ctx = cl.exec_ctx(0);
+        arr.set(&mut ctx, 0, 9.0);
+    }
+    cl.barrier_app(None);
+    cl.barrier_app(None);
+    // p3 touches the page for the first time well after the write: it must
+    // fetch, not trust the initial image.
+    let misses_before = cl.stats().remote_misses;
+    {
+        let mut ctx = cl.exec_ctx(3);
+        assert_eq!(arr.get(&mut ctx, 0), 9.0);
+    }
+    assert_eq!(cl.stats().remote_misses, misses_before + 1);
+}
+
+// ---------------------------------------------------------------------
+// Typed accessors
+// ---------------------------------------------------------------------
+
+#[test]
+fn grids_with_multi_page_rows_round_trip() {
+    // 3000 f64 = 24000 B per row: stride pads to 3 whole pages.
+    let mut cl = cluster(ProtocolKind::BarU, 2);
+    let g: SharedGrid2<f64> = cl.setup_ctx().alloc_grid("wide", 4, 3000);
+    assert_eq!(g.stride() * 8 % 8192, 0, "multi-page rows are page-multiples");
+    cl.distribute();
+    let src: Vec<f64> = (0..3000).map(|i| i as f64 * 0.25).collect();
+    {
+        let mut ctx = cl.exec_ctx(0);
+        g.write_row(&mut ctx, 2, &src);
+    }
+    cl.barrier_app(None);
+    {
+        let mut ctx = cl.exec_ctx(1);
+        let mut buf = vec![0.0f64; 3000];
+        g.read_row_into(&mut ctx, 2, &mut buf);
+        assert_eq!(buf, src);
+        let mut mid = vec![0.0f64; 10];
+        g.read_cols_into(&mut ctx, 2, 1495, &mut mid);
+        assert_eq!(&mid, &src[1495..1505]);
+    }
+}
+
+#[test]
+fn mixed_scalar_types_coexist() {
+    let mut cl = cluster(ProtocolKind::LmwU, 2);
+    let (af, ai, au): (SharedArray<f64>, SharedArray<i32>, SharedArray<u64>) = {
+        let mut s = cl.setup_ctx();
+        (
+            s.alloc_array("f", 8),
+            s.alloc_array("i", 8),
+            s.alloc_array("u", 8),
+        )
+    };
+    cl.distribute();
+    {
+        let mut ctx = cl.exec_ctx(0);
+        af.set(&mut ctx, 1, -2.5);
+        ai.set(&mut ctx, 2, -7);
+        au.set(&mut ctx, 3, u64::MAX);
+    }
+    cl.barrier_app(None);
+    {
+        let mut ctx = cl.exec_ctx(1);
+        assert_eq!(af.get(&mut ctx, 1), -2.5);
+        assert_eq!(ai.get(&mut ctx, 2), -7);
+        assert_eq!(au.get(&mut ctx, 3), u64::MAX);
+    }
+}
+
+#[test]
+#[should_panic(expected = "out of bounds")]
+fn array_bounds_are_checked() {
+    let mut cl = cluster(ProtocolKind::BarU, 2);
+    let arr: SharedArray<f64> = cl.setup_ctx().alloc_array("a", 4);
+    cl.distribute();
+    let mut ctx = cl.exec_ctx(0);
+    let _ = arr.get(&mut ctx, 4);
+}
+
+#[test]
+fn scalar_cell_on_its_own_page() {
+    let mut cl = cluster(ProtocolKind::BarU, 2);
+    let (s1, s2) = {
+        let mut s = cl.setup_ctx();
+        let s1 = s.alloc_scalar::<f64>("s1");
+        let s2 = s.alloc_scalar::<u32>("s2");
+        s.init_scalar(s1, 1.5);
+        s.init_scalar(s2, 7);
+        (s1, s2)
+    };
+    assert_ne!(
+        s1.addr() / 8192,
+        s2.addr() / 8192,
+        "scalars must not share a page"
+    );
+    cl.distribute();
+    {
+        let mut ctx = cl.exec_ctx(0);
+        assert_eq!(s1.get(&mut ctx), 1.5);
+        s1.set(&mut ctx, 2.5);
+    }
+    cl.barrier_app(None);
+    {
+        let mut ctx = cl.exec_ctx(1);
+        assert_eq!(s1.get(&mut ctx), 2.5);
+        assert_eq!(s2.get(&mut ctx), 7);
+    }
+}

@@ -1,0 +1,270 @@
+//! Protocol-mechanics unit tests, driven through the public API on tiny
+//! clusters: lazy diff creation, forced sealing, version indices, copyset
+//! growth, empty-diff suppression, and overdrive engagement timing.
+
+use dsm_core::{Cluster, ProtocolKind, RunConfig, SharedArray};
+
+fn cluster(protocol: ProtocolKind, nprocs: usize) -> (Cluster, SharedArray<f64>) {
+    let mut cl = Cluster::new(RunConfig::with_nprocs(protocol, nprocs));
+    let arr = {
+        let mut s = cl.setup_ctx();
+        let arr = s.alloc_array::<f64>("a", 8);
+        s.init(arr, 0, 1.0);
+        arr
+    };
+    cl.distribute();
+    (cl, arr)
+}
+
+// ---------------------------------------------------------------------
+// Lazy diff creation (homeless protocols)
+// ---------------------------------------------------------------------
+
+#[test]
+fn lmw_defers_diffs_until_requested() {
+    // A writer with no readers must never pay for a diff — the twin just
+    // keeps accumulating ("diffs are created ... lazily").
+    let (mut cl, arr) = cluster(ProtocolKind::LmwI, 2);
+    for e in 0..5 {
+        let mut ctx = cl.exec_ctx(0);
+        arr.set(&mut ctx, 0, e as f64);
+        cl.barrier_app(None);
+    }
+    assert_eq!(cl.stats().diffs_created, 0, "no reader, no diff");
+    // The first read forces exactly one seal, covering all five intervals.
+    {
+        let mut ctx = cl.exec_ctx(1);
+        assert_eq!(arr.get(&mut ctx, 0), 4.0);
+    }
+    assert_eq!(cl.stats().diffs_created, 1, "one combined segment");
+    assert_eq!(cl.stats().remote_misses, 1);
+}
+
+#[test]
+fn foreign_writes_force_sealing() {
+    // Two processes write disjoint words of the same page in alternate
+    // epochs: each foreign notice seals the other's accumulation, so the
+    // diff count tracks the interval count even without reads.
+    let (mut cl, arr) = cluster(ProtocolKind::LmwI, 2);
+    for e in 0..4 {
+        let pid = e % 2;
+        let mut ctx = cl.exec_ctx(pid);
+        arr.set(&mut ctx, pid, e as f64);
+        cl.barrier_app(None);
+    }
+    // Epochs 1..4 alternate writers; the write in epoch k forces a seal of
+    // the other side's (single-epoch) accumulation at the barrier, except
+    // the final epoch which stays pending.
+    assert!(
+        cl.stats().diffs_created >= 3,
+        "alternating writers must seal per interval, got {}",
+        cl.stats().diffs_created
+    );
+}
+
+#[test]
+fn lmw_u_suppresses_empty_diffs_for_copyset_pages() {
+    // Once a consumer is in the writer's copyset, the page is sealed at
+    // every barrier; a same-value rewrite seals to an empty diff, which
+    // emits no notice and no flush — the consumer's copy stays valid.
+    let (mut cl, arr) = cluster(ProtocolKind::LmwU, 2);
+    {
+        let mut ctx = cl.exec_ctx(0);
+        arr.set(&mut ctx, 0, 2.0);
+    }
+    cl.barrier_app(None);
+    {
+        // Joins p0's copyset by requesting the diff.
+        let mut ctx = cl.exec_ctx(1);
+        assert_eq!(arr.get(&mut ctx, 0), 2.0);
+    }
+    cl.barrier_app(None);
+    let before = cl.stats();
+    {
+        let mut ctx = cl.exec_ctx(0);
+        arr.set(&mut ctx, 0, 2.0); // same value
+    }
+    cl.barrier_app(None);
+    {
+        let mut ctx = cl.exec_ctx(1);
+        assert_eq!(arr.get(&mut ctx, 0), 2.0);
+    }
+    let after = cl.stats();
+    assert!(after.empty_diffs > before.empty_diffs, "the seal was empty");
+    assert_eq!(
+        after.remote_misses, before.remote_misses,
+        "unchanged content must not move"
+    );
+    assert_eq!(
+        after.net.msgs_of(dsm_net::MsgKind::UpdateFlush),
+        before.net.msgs_of(dsm_net::MsgKind::UpdateFlush),
+        "no flush for an empty diff"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Home-based mechanics
+// ---------------------------------------------------------------------
+
+#[test]
+fn bar_consumer_joins_copyset_after_one_miss() {
+    // bar-u: a consumer may take one transient miss while the home's
+    // copyset (and hence its twin decision) warms up; after that every
+    // iteration is served by update pushes.
+    let (mut cl, arr) = cluster(ProtocolKind::BarU, 2);
+    for e in 0..6 {
+        {
+            let mut ctx = cl.exec_ctx(0);
+            arr.set(&mut ctx, 0, e as f64);
+        }
+        cl.barrier_app(None);
+        {
+            let mut ctx = cl.exec_ctx(1);
+            assert_eq!(arr.get(&mut ctx, 0), e as f64, "read after barrier {e}");
+        }
+    }
+    let warmup_misses = cl.stats().remote_misses;
+    assert!(warmup_misses <= 2, "at most the warm-up transient");
+    for e in 6..12 {
+        {
+            let mut ctx = cl.exec_ctx(0);
+            arr.set(&mut ctx, 0, e as f64);
+        }
+        cl.barrier_app(None);
+        {
+            let mut ctx = cl.exec_ctx(1);
+            assert_eq!(arr.get(&mut ctx, 0), e as f64);
+        }
+    }
+    assert_eq!(
+        cl.stats().remote_misses,
+        warmup_misses,
+        "steady state is miss-free"
+    );
+    assert!(cl.stats().net.msgs_of(dsm_net::MsgKind::UpdateFlush) >= 5);
+}
+
+#[test]
+fn bar_i_consumer_refaults_every_iteration() {
+    let (mut cl, arr) = cluster(ProtocolKind::BarI, 2);
+    for e in 0..6 {
+        {
+            let mut ctx = cl.exec_ctx(0);
+            arr.set(&mut ctx, 0, e as f64);
+        }
+        cl.barrier_app(None);
+        {
+            let mut ctx = cl.exec_ctx(1);
+            assert_eq!(arr.get(&mut ctx, 0), e as f64);
+        }
+    }
+    assert!(
+        cl.stats().remote_misses >= 5,
+        "bar-i must re-fetch after every invalidation, got {}",
+        cl.stats().remote_misses
+    );
+    assert_eq!(cl.stats().net.msgs_of(dsm_net::MsgKind::UpdateFlush), 0);
+}
+
+#[test]
+fn home_writes_need_no_diffs_or_flushes() {
+    // After migration the sole writer is the home: bar-i's steady state
+    // for it is version bumps only.
+    let (mut cl, arr) = cluster(ProtocolKind::BarI, 2);
+    for e in 0..6 {
+        let mut ctx = cl.exec_ctx(1); // non-initial-home writer
+        arr.set(&mut ctx, 0, e as f64);
+        cl.barrier_app(None);
+    }
+    let stats = cl.stats();
+    assert_eq!(stats.migrations, 1);
+    // Only the pre-migration epoch needed a diff flush to the old home.
+    assert_eq!(
+        stats.net.msgs_of(dsm_net::MsgKind::DiffFlushHome),
+        1,
+        "the home effect eliminates steady-state flushes"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Overdrive engagement timing
+// ---------------------------------------------------------------------
+
+/// Write slot `1024 * k` for each listed k — 1024 f64 = one 8 KB page, so
+/// distinct ks touch distinct pages (write sets are page-granular).
+fn run_epochs(cl: &mut Cluster, arr: SharedArray<f64>, writes: &[&[usize]]) {
+    for (e, pages) in writes.iter().enumerate() {
+        for &k in pages.iter() {
+            let mut ctx = cl.exec_ctx(0);
+            arr.set(&mut ctx, 1024 * k, e as f64 + k as f64);
+        }
+        cl.barrier_app(None);
+    }
+}
+
+#[test]
+fn overdrive_engages_after_two_identical_iterations() {
+    let mut cfg = RunConfig::with_nprocs(ProtocolKind::BarS, 2);
+    cfg.overdrive.learn_iters = 2;
+    let mut cl = Cluster::new(cfg);
+    let arr = {
+        let mut s = cl.setup_ctx();
+        s.alloc_array::<f64>("a", 4096)
+    };
+    cl.set_phases_per_iter(1);
+    cl.distribute();
+    run_epochs(&mut cl, arr, &[&[0]]);
+    assert!(!cl.overdrive_engaged(), "one observation is not stability");
+    run_epochs(&mut cl, arr, &[&[0]]);
+    assert!(
+        cl.overdrive_engaged(),
+        "two identical iterations at learn_iters=2 must engage"
+    );
+}
+
+#[test]
+fn overdrive_waits_out_unstable_prefixes() {
+    let mut cfg = RunConfig::with_nprocs(ProtocolKind::BarS, 2);
+    cfg.overdrive.learn_iters = 2;
+    let mut cl = Cluster::new(cfg);
+    let arr = {
+        let mut s = cl.setup_ctx();
+        s.alloc_array::<f64>("a", 4096)
+    };
+    cl.set_phases_per_iter(1);
+    cl.distribute();
+    // Different page-level write sets for three iterations, then stable.
+    run_epochs(&mut cl, arr, &[&[0], &[1], &[2]]);
+    assert!(!cl.overdrive_engaged());
+    run_epochs(&mut cl, arr, &[&[2]]);
+    assert!(cl.overdrive_engaged(), "stability after instability engages");
+}
+
+#[test]
+fn overdrive_predictions_cover_exactly_the_write_set() {
+    // Once engaged, steady state has zero segvs and the diff count keeps
+    // tracking the (predicted) write set with no empties.
+    let mut cfg = RunConfig::with_nprocs(ProtocolKind::BarS, 2);
+    cfg.overdrive.learn_iters = 2;
+    let mut cl = Cluster::new(cfg);
+    let arr = {
+        let mut s = cl.setup_ctx();
+        s.alloc_array::<f64>("a", 8)
+    };
+    cl.set_phases_per_iter(1);
+    cl.distribute();
+    for e in 0..8 {
+        let mut ctx = cl.exec_ctx(0);
+        arr.set(&mut ctx, 0, e as f64);
+        cl.barrier_app(None);
+    }
+    assert!(cl.overdrive_engaged());
+    let segvs_at_steady = cl.stats().segvs;
+    for e in 8..12 {
+        let mut ctx = cl.exec_ctx(0);
+        arr.set(&mut ctx, 0, e as f64);
+        cl.barrier_app(None);
+    }
+    assert_eq!(cl.stats().segvs, segvs_at_steady, "no traps in overdrive");
+    assert_eq!(cl.stats().overdrive_zero_diffs, 0, "predictions are exact");
+}

@@ -1,0 +1,259 @@
+//! End-to-end smoke tests: a miniature band-decomposed stencil application
+//! run under every protocol must produce identical results, and its
+//! protocol statistics must show the paper's qualitative signatures.
+
+use dsm_core::{
+    run_app, CheckCtx, DsmApp, ExecCtx, PhaseEnd, ProtocolKind, ReduceOp, RunConfig, SetupCtx,
+    SharedGrid2,
+};
+
+/// A small Jacobi-style stencil with a max-residual reduction, band
+/// decomposed over the processes. One iteration is a full period: sweep
+/// src→dst, sweep dst→src, reduce — so per-site write sets are
+/// iteration-invariant (as for the paper's compiler-parallelized codes).
+struct MiniStencil {
+    rows: usize,
+    cols: usize,
+    iters: usize,
+    src: Option<SharedGrid2<f64>>,
+    dst: Option<SharedGrid2<f64>>,
+    last_residual: f64,
+}
+
+impl MiniStencil {
+    fn new(rows: usize, cols: usize, iters: usize) -> Self {
+        MiniStencil {
+            rows,
+            cols,
+            iters,
+            src: None,
+            dst: None,
+            last_residual: f64::NAN,
+        }
+    }
+
+    fn band(&self, pid: usize, nprocs: usize) -> (usize, usize) {
+        let interior = self.rows - 2;
+        let per = interior.div_ceil(nprocs);
+        let lo = 1 + pid * per;
+        let hi = (lo + per).min(self.rows - 1);
+        (lo.min(self.rows - 1), hi)
+    }
+
+    fn sweep(&mut self, ctx: &mut ExecCtx<'_>, from: SharedGrid2<f64>, to: SharedGrid2<f64>) {
+        let (lo, hi) = self.band(ctx.pid(), ctx.nprocs());
+        let cols = self.cols;
+        let mut up = vec![0.0; cols];
+        let mut mid = vec![0.0; cols];
+        let mut down = vec![0.0; cols];
+        let mut out = vec![0.0; cols];
+        let mut res: f64 = 0.0;
+        for r in lo..hi {
+            from.read_row_into(ctx, r - 1, &mut up);
+            from.read_row_into(ctx, r, &mut mid);
+            from.read_row_into(ctx, r + 1, &mut down);
+            out[0] = mid[0];
+            out[cols - 1] = mid[cols - 1];
+            for c in 1..cols - 1 {
+                out[c] = 0.25 * (up[c] + down[c] + mid[c - 1] + mid[c + 1]);
+                res = res.max((out[c] - mid[c]).abs());
+            }
+            to.write_row(ctx, r, &out);
+            ctx.work_flops(5 * cols as u64);
+        }
+        self.last_residual = res;
+    }
+}
+
+impl DsmApp for MiniStencil {
+    fn name(&self) -> &'static str {
+        "mini-stencil"
+    }
+
+    fn phases(&self) -> usize {
+        3 // sweep src->dst, sweep dst->src, reduction
+    }
+
+    fn iters(&self) -> usize {
+        self.iters
+    }
+
+    fn setup(&mut self, s: &mut SetupCtx<'_>) {
+        let src = s.alloc_grid::<f64>("src", self.rows, self.cols);
+        let dst = s.alloc_grid::<f64>("dst", self.rows, self.cols);
+        for r in 0..self.rows {
+            let row: Vec<f64> = (0..self.cols)
+                .map(|c| {
+                    if r == 0 || r == self.rows - 1 || c == 0 || c == self.cols - 1 {
+                        100.0
+                    } else {
+                        (r * 13 + c * 7) as f64 * 0.01
+                    }
+                })
+                .collect();
+            s.init_row(src, r, &row);
+            s.init_row(dst, r, &row);
+        }
+        self.src = Some(src);
+        self.dst = Some(dst);
+    }
+
+    fn phase(&mut self, ctx: &mut ExecCtx<'_>, _iter: usize, site: usize) -> PhaseEnd {
+        let (src, dst) = (self.src.unwrap(), self.dst.unwrap());
+        match site {
+            0 => {
+                self.sweep(ctx, src, dst);
+                PhaseEnd::Barrier
+            }
+            1 => {
+                self.sweep(ctx, dst, src);
+                PhaseEnd::Barrier
+            }
+            _ => PhaseEnd::Reduce(ReduceOp::Max, vec![self.last_residual]),
+        }
+    }
+
+    fn check(&self, c: &CheckCtx<'_>) -> f64 {
+        c.grid_checksum(self.src.unwrap())
+    }
+}
+
+fn run(protocol: ProtocolKind, nprocs: usize) -> dsm_core::RunReport {
+    let mut app = MiniStencil::new(130, 256, 6);
+    let cfg = RunConfig::with_nprocs(protocol, nprocs);
+    run_app(&mut app, cfg)
+}
+
+#[test]
+fn all_protocols_agree_with_sequential() {
+    let baseline = run(ProtocolKind::Seq, 1);
+    assert!(baseline.checksum.is_finite());
+    for p in [
+        ProtocolKind::LmwI,
+        ProtocolKind::LmwU,
+        ProtocolKind::BarI,
+        ProtocolKind::BarU,
+        ProtocolKind::BarS,
+        ProtocolKind::BarM,
+    ] {
+        let r = run(p, 4);
+        assert_eq!(
+            r.checksum, baseline.checksum,
+            "{} diverged from sequential",
+            p.label()
+        );
+    }
+}
+
+#[test]
+fn update_protocols_eliminate_steady_state_misses() {
+    // Measurement starts at iteration 2, by which time copysets are warm.
+    for p in [ProtocolKind::LmwU, ProtocolKind::BarU, ProtocolKind::BarS, ProtocolKind::BarM] {
+        let r = run(p, 4);
+        assert_eq!(
+            r.stats.remote_misses,
+            0,
+            "{} should have no steady-state misses, got {}",
+            p.label(),
+            r.stats.remote_misses
+        );
+    }
+}
+
+#[test]
+fn invalidate_protocols_take_steady_state_misses() {
+    for p in [ProtocolKind::LmwI, ProtocolKind::BarI] {
+        let r = run(p, 4);
+        assert!(
+            r.stats.remote_misses > 0,
+            "{} should fault in steady state",
+            p.label()
+        );
+    }
+}
+
+#[test]
+fn home_effect_reduces_diffs() {
+    let li = run(ProtocolKind::LmwI, 4);
+    let bi = run(ProtocolKind::BarI, 4);
+    assert!(
+        bi.stats.diffs_created < li.stats.diffs_created,
+        "home effect: bar-i {} diffs vs lmw-i {}",
+        bi.stats.diffs_created,
+        li.stats.diffs_created
+    );
+}
+
+#[test]
+fn bar_i_moves_more_data_than_lmw_i() {
+    // bar-i satisfies misses with whole pages; lmw-i moves diffs.
+    let li = run(ProtocolKind::LmwI, 4);
+    let bi = run(ProtocolKind::BarI, 4);
+    assert!(
+        bi.stats.data_kbytes() > li.stats.data_kbytes(),
+        "bar-i {:.1} KB vs lmw-i {:.1} KB",
+        bi.stats.data_kbytes(),
+        li.stats.data_kbytes()
+    );
+}
+
+#[test]
+fn overdrive_eliminates_segvs_and_mprotects() {
+    let bu = run(ProtocolKind::BarU, 4);
+    let bs = run(ProtocolKind::BarS, 4);
+    let bm = run(ProtocolKind::BarM, 4);
+    assert!(bu.stats.segvs > 0, "bar-u write-traps each epoch");
+    assert_eq!(bs.stats.segvs, 0, "bar-s must not segv in steady state");
+    assert_eq!(bm.stats.segvs, 0, "bar-m must not segv in steady state");
+    assert!(bs.stats.mprotects > 0, "bar-s still changes protections");
+    assert_eq!(bm.stats.mprotects, 0, "bar-m must not mprotect in steady state");
+    assert_eq!(bs.stats.overdrive_unanticipated, 0);
+    assert_eq!(bm.stats.overdrive_unanticipated, 0);
+}
+
+#[test]
+fn overdrive_variants_send_identical_traffic() {
+    // §5.1: "bar-u, bar-s and bar-m send exactly the same number of
+    // messages and communicate the same amount of data."
+    let bu = run(ProtocolKind::BarU, 4);
+    let bs = run(ProtocolKind::BarS, 4);
+    let bm = run(ProtocolKind::BarM, 4);
+    assert_eq!(bu.stats.paper_messages(), bs.stats.paper_messages());
+    assert_eq!(bu.stats.paper_messages(), bm.stats.paper_messages());
+    assert_eq!(bu.stats.net.total_payload_bytes(), bs.stats.net.total_payload_bytes());
+    assert_eq!(bu.stats.net.total_payload_bytes(), bm.stats.net.total_payload_bytes());
+}
+
+#[test]
+fn overdrive_is_faster_than_bar_u() {
+    let bu = run(ProtocolKind::BarU, 4);
+    let bm = run(ProtocolKind::BarM, 4);
+    assert!(
+        bm.elapsed < bu.elapsed,
+        "bar-m {:?} should beat bar-u {:?}",
+        bm.elapsed,
+        bu.elapsed
+    );
+}
+
+#[test]
+fn parallel_beats_sequential_on_elapsed_time() {
+    let seq = run(ProtocolKind::Seq, 1);
+    let bu = run(ProtocolKind::BarU, 4);
+    assert!(
+        bu.elapsed < seq.elapsed,
+        "4-proc bar-u {:?} vs sequential {:?}",
+        bu.elapsed,
+        seq.elapsed
+    );
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let a = run(ProtocolKind::BarU, 4);
+    let b = run(ProtocolKind::BarU, 4);
+    assert_eq!(a.checksum, b.checksum);
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.stats.paper_messages(), b.stats.paper_messages());
+    assert_eq!(a.stats.diffs_created, b.stats.diffs_created);
+}

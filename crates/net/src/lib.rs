@@ -1,0 +1,21 @@
+//! # dsm-net — simulated interconnect
+//!
+//! Plays the role of the SP-2 High-Performance Switch and CVM's UDP/IP
+//! messaging layer. The network does not buffer data — the protocol layer
+//! in `dsm-core` moves the actual bytes — but every logical message passes
+//! through [`network::Network::send`], which:
+//!
+//! * computes the three cost legs (sender overhead, wire, receiver
+//!   overhead) from the `dsm_sim` cost model,
+//! * classifies the message (data request / sync request / reply / flush)
+//!   and updates the statistics that become the paper's Table 1 columns,
+//! * applies optional unreliable-flush loss (the paper: flushes "can be
+//!   unreliable, and therefore do not need to be acknowledged").
+
+pub mod message;
+pub mod network;
+pub mod stats;
+
+pub use message::{MsgCategory, MsgKind, HEADER_BYTES};
+pub use network::{Network, Transit};
+pub use stats::NetStats;

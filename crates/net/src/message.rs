@@ -1,0 +1,131 @@
+//! Message kinds and their accounting categories.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed per-message header bytes (UDP + CVM envelope). Headers contribute
+/// to transfer *time* but not to the "data" column of Table 1, which counts
+/// protocol payload.
+pub const HEADER_BYTES: usize = 32;
+
+/// Every kind of message the protocols exchange.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub enum MsgKind {
+    /// Homeless protocols: request one or more diffs of a page (data request).
+    DiffRequest,
+    /// Reply carrying diffs.
+    DiffReply,
+    /// Home-based protocols: request a full page copy from the home (data request).
+    PageRequest,
+    /// Reply carrying a full page.
+    PageReply,
+    /// Barrier arrival at the master (sync request). Carries write notices
+    /// (lmw) or version/copyset vectors (bar).
+    BarrierArrive,
+    /// Barrier release from the master (sync reply). Carries merged
+    /// consistency information and migration decisions.
+    BarrierRelease,
+    /// Unreliable single-message update flush (lmw-u / bar-u data pushes).
+    UpdateFlush,
+    /// Diff flushed to the page's home at a barrier (bar protocols).
+    DiffFlushHome,
+    /// One-time full-page transfer when a page's home migrates.
+    PageMigrate,
+}
+
+/// Accounting category, the granularity of Table 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub enum MsgCategory {
+    /// Requests for data (diff or page fetches).
+    DataRequest,
+    /// Synchronization traffic directed at the master.
+    SyncRequest,
+    /// Replies to either kind of request.
+    Reply,
+    /// One-way pushes: update flushes, home flushes, migrations.
+    Flush,
+}
+
+impl MsgKind {
+    /// The accounting category of this kind.
+    pub fn category(self) -> MsgCategory {
+        match self {
+            MsgKind::DiffRequest | MsgKind::PageRequest => MsgCategory::DataRequest,
+            MsgKind::BarrierArrive => MsgCategory::SyncRequest,
+            MsgKind::DiffReply | MsgKind::PageReply | MsgKind::BarrierRelease => MsgCategory::Reply,
+            MsgKind::UpdateFlush | MsgKind::DiffFlushHome | MsgKind::PageMigrate => {
+                MsgCategory::Flush
+            }
+        }
+    }
+
+    /// True for kinds that may be sent unreliably and dropped without
+    /// violating correctness (only update flushes: the receiver falls back
+    /// to a fault-time fetch).
+    pub fn droppable(self) -> bool {
+        matches!(self, MsgKind::UpdateFlush)
+    }
+
+    /// All kinds, for table-driven stats.
+    pub const ALL: [MsgKind; 9] = [
+        MsgKind::DiffRequest,
+        MsgKind::DiffReply,
+        MsgKind::PageRequest,
+        MsgKind::PageReply,
+        MsgKind::BarrierArrive,
+        MsgKind::BarrierRelease,
+        MsgKind::UpdateFlush,
+        MsgKind::DiffFlushHome,
+        MsgKind::PageMigrate,
+    ];
+
+    /// Dense index for array-backed counters.
+    pub fn index(self) -> usize {
+        match self {
+            MsgKind::DiffRequest => 0,
+            MsgKind::DiffReply => 1,
+            MsgKind::PageRequest => 2,
+            MsgKind::PageReply => 3,
+            MsgKind::BarrierArrive => 4,
+            MsgKind::BarrierRelease => 5,
+            MsgKind::UpdateFlush => 6,
+            MsgKind::DiffFlushHome => 7,
+            MsgKind::PageMigrate => 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_are_consistent() {
+        assert_eq!(MsgKind::DiffRequest.category(), MsgCategory::DataRequest);
+        assert_eq!(MsgKind::PageRequest.category(), MsgCategory::DataRequest);
+        assert_eq!(MsgKind::BarrierArrive.category(), MsgCategory::SyncRequest);
+        assert_eq!(MsgKind::DiffReply.category(), MsgCategory::Reply);
+        assert_eq!(MsgKind::PageReply.category(), MsgCategory::Reply);
+        assert_eq!(MsgKind::BarrierRelease.category(), MsgCategory::Reply);
+        assert_eq!(MsgKind::UpdateFlush.category(), MsgCategory::Flush);
+        assert_eq!(MsgKind::DiffFlushHome.category(), MsgCategory::Flush);
+        assert_eq!(MsgKind::PageMigrate.category(), MsgCategory::Flush);
+    }
+
+    #[test]
+    fn only_update_flushes_droppable() {
+        for kind in MsgKind::ALL {
+            assert_eq!(kind.droppable(), kind == MsgKind::UpdateFlush);
+        }
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; MsgKind::ALL.len()];
+        for kind in MsgKind::ALL {
+            let i = kind.index();
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,184 @@
+//! The charging network: cost legs, statistics, loss injection.
+
+use dsm_sim::{CostModel, DetRng, Time};
+
+use crate::message::{MsgKind, HEADER_BYTES};
+use crate::stats::NetStats;
+
+/// The time legs of one message: the sender is charged `sender`, the
+/// receiving handler is charged `receiver`, and anyone synchronously waiting
+/// for the message experiences `total()`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transit {
+    pub sender: Time,
+    pub wire: Time,
+    pub receiver: Time,
+    /// False if the message was dropped by the unreliable channel (the
+    /// sender still paid `sender`; nothing arrives).
+    pub delivered: bool,
+}
+
+impl Transit {
+    /// End-to-end time seen by a synchronous waiter.
+    pub fn total(&self) -> Time {
+        self.sender + self.wire + self.receiver
+    }
+}
+
+/// The cluster interconnect: full crossbar, per-link counters, optional
+/// unreliable-flush loss.
+#[derive(Debug)]
+pub struct Network {
+    nprocs: usize,
+    costs: CostModel,
+    stats: NetStats,
+    /// Per (src, dst) message counts, for diagnostics and tests.
+    link_msgs: Vec<u64>,
+    drop_prob: f64,
+    rng: DetRng,
+}
+
+impl Network {
+    pub fn new(nprocs: usize, costs: CostModel, drop_prob: f64, rng: DetRng) -> Network {
+        assert!(nprocs >= 1);
+        assert!((0.0..=1.0).contains(&drop_prob));
+        Network {
+            nprocs,
+            costs,
+            stats: NetStats::new(),
+            link_msgs: vec![0; nprocs * nprocs],
+            drop_prob,
+            rng,
+        }
+    }
+
+    /// Send a message of `kind` with `payload` bytes from `src` to `dst`.
+    ///
+    /// Records statistics and returns the cost legs; the caller applies them
+    /// to the right clocks. Unreliable kinds may be dropped when the network
+    /// is configured lossy.
+    pub fn send(&mut self, src: usize, dst: usize, kind: MsgKind, payload: usize) -> Transit {
+        assert!(src < self.nprocs && dst < self.nprocs, "bad endpoint");
+        assert_ne!(src, dst, "no self-messages: local work is not a message");
+        let dropped = kind.droppable() && self.drop_prob > 0.0 && self.rng.chance(self.drop_prob);
+        self.stats.record(kind, payload);
+        if dropped {
+            self.stats.flushes_dropped += 1;
+        }
+        self.link_msgs[src * self.nprocs + dst] += 1;
+        let (sender, wire, receiver) = self.costs.msg_legs(payload + HEADER_BYTES);
+        Transit {
+            sender,
+            wire,
+            receiver,
+            delivered: !dropped,
+        }
+    }
+
+    /// Messages sent from `src` to `dst` so far.
+    pub fn link_count(&self, src: usize, dst: usize) -> u64 {
+        self.link_msgs[src * self.nprocs + dst]
+    }
+
+    /// Statistics since construction or the last [`Network::reset_stats`].
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Clear the statistics window (used to exclude warmup, like the paper).
+    pub fn reset_stats(&mut self) {
+        self.stats = NetStats::new();
+        self.link_msgs.iter_mut().for_each(|c| *c = 0);
+    }
+
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(drop: f64) -> Network {
+        Network::new(4, CostModel::default(), drop, DetRng::new(1))
+    }
+
+    #[test]
+    fn send_records_stats_and_links() {
+        let mut n = net(0.0);
+        n.send(0, 1, MsgKind::PageRequest, 0);
+        n.send(1, 0, MsgKind::PageReply, 8192);
+        assert_eq!(n.stats().msgs_of(MsgKind::PageRequest), 1);
+        assert_eq!(n.stats().bytes_of(MsgKind::PageReply), 8192);
+        assert_eq!(n.link_count(0, 1), 1);
+        assert_eq!(n.link_count(1, 0), 1);
+        assert_eq!(n.link_count(0, 2), 0);
+    }
+
+    #[test]
+    fn transit_legs_match_cost_model() {
+        let mut n = net(0.0);
+        let t = n.send(0, 1, MsgKind::UpdateFlush, 100);
+        let (s, w, r) = CostModel::default().msg_legs(100 + HEADER_BYTES);
+        assert_eq!(t.sender, s);
+        assert_eq!(t.wire, w);
+        assert_eq!(t.receiver, r);
+        assert_eq!(t.total(), s + w + r);
+        assert!(t.delivered);
+    }
+
+    #[test]
+    fn rpc_pattern_costs_160us_for_small_messages() {
+        // Request + reply with zero payload (headers excluded from the
+        // paper's quoted RPC number, which we model by comparing against
+        // the raw cost model).
+        let c = CostModel::default();
+        assert_eq!(c.rpc_round_trip(0), Time::from_us(160));
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-messages")]
+    fn self_send_rejected() {
+        net(0.0).send(2, 2, MsgKind::UpdateFlush, 0);
+    }
+
+    #[test]
+    fn lossy_network_drops_only_flushes() {
+        let mut n = net(1.0);
+        let t = n.send(0, 1, MsgKind::UpdateFlush, 10);
+        assert!(!t.delivered);
+        assert_eq!(n.stats().flushes_dropped, 1);
+        let t = n.send(0, 1, MsgKind::PageRequest, 0);
+        assert!(t.delivered, "reliable kinds never drop");
+        let t = n.send(0, 1, MsgKind::DiffFlushHome, 10);
+        assert!(t.delivered, "home flushes are reliable");
+    }
+
+    #[test]
+    fn partial_loss_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut n = Network::new(2, CostModel::default(), 0.5, DetRng::new(seed));
+            (0..100)
+                .map(|_| n.send(0, 1, MsgKind::UpdateFlush, 8).delivered)
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+        let delivered = run(7).iter().filter(|&&d| d).count();
+        assert!((20..80).contains(&delivered), "roughly half should arrive");
+    }
+
+    #[test]
+    fn reset_stats_clears_window() {
+        let mut n = net(0.0);
+        n.send(0, 1, MsgKind::PageRequest, 0);
+        n.reset_stats();
+        assert_eq!(n.stats().total_msgs(), 0);
+        assert_eq!(n.link_count(0, 1), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Simulation-wide configuration shared by the higher layers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::costs::CostModel;
+use crate::stress::StressModel;
+
+/// Default page size: the paper ran CVM with 8 KB protection granularity on
+/// AIX's 4 KB pages.
+pub const DEFAULT_PAGE_SIZE: usize = 8192;
+
+/// Default cluster size: the paper's 8-node SP-2.
+pub const DEFAULT_NPROCS: usize = 8;
+
+/// Machine/run configuration consumed by `dsm-net`, `dsm-vm`, and the
+/// cluster driver in `dsm-core`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of simulated processes (paper: 8).
+    pub nprocs: usize,
+    /// Page (protection) granularity in bytes (paper: 8192).
+    pub page_size: usize,
+    /// Cost constants (paper's SP-2/AIX measurements by default).
+    pub costs: CostModel,
+    /// The mprotect stress model.
+    pub stress: StressModel,
+    /// Master seed for all stochastic behaviour.
+    pub seed: u64,
+    /// Probability that an unreliable flush message is dropped. The paper
+    /// notes flushes "can be unreliable, and therefore do not need to be
+    /// acknowledged"; default 0, raised only by robustness tests.
+    pub flush_drop_prob: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            nprocs: DEFAULT_NPROCS,
+            page_size: DEFAULT_PAGE_SIZE,
+            costs: CostModel::default(),
+            stress: StressModel::default(),
+            seed: 0x5EED_CAFE,
+            flush_drop_prob: 0.0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Convenience constructor for an `n`-process configuration, everything
+    /// else at defaults.
+    pub fn with_nprocs(n: usize) -> Self {
+        SimConfig {
+            nprocs: n,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Validate invariants the rest of the stack assumes. Returns a list of
+    /// human-readable violations (empty == valid).
+    pub fn validate(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        if self.nprocs == 0 {
+            errs.push("nprocs must be >= 1".into());
+        }
+        if self.nprocs > 64 {
+            errs.push("nprocs must be <= 64 (copysets are 64-bit bitmaps)".into());
+        }
+        if !self.page_size.is_power_of_two() {
+            errs.push(format!("page_size {} must be a power of two", self.page_size));
+        }
+        if self.page_size < 512 {
+            errs.push("page_size must be >= 512".into());
+        }
+        if !(0.0..=1.0).contains(&self.flush_drop_prob) {
+            errs.push(format!("flush_drop_prob {} out of [0,1]", self.flush_drop_prob));
+        }
+        errs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_environment() {
+        let c = SimConfig::default();
+        assert_eq!(c.nprocs, 8);
+        assert_eq!(c.page_size, 8192);
+        assert_eq!(c.flush_drop_prob, 0.0);
+        assert!(c.validate().is_empty());
+    }
+
+    #[test]
+    fn with_nprocs_sets_count() {
+        assert_eq!(SimConfig::with_nprocs(4).nprocs, 4);
+    }
+
+    #[test]
+    fn rejects_zero_procs() {
+        let c = SimConfig { nprocs: 0, ..SimConfig::default() };
+        assert!(!c.validate().is_empty());
+    }
+
+    #[test]
+    fn rejects_too_many_procs() {
+        let c = SimConfig { nprocs: 65, ..SimConfig::default() };
+        assert!(!c.validate().is_empty());
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_pages() {
+        let c = SimConfig { page_size: 5000, ..SimConfig::default() };
+        assert!(!c.validate().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_drop_prob() {
+        let c = SimConfig { flush_drop_prob: 1.5, ..SimConfig::default() };
+        assert!(!c.validate().is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! # dsm-sim — virtual-time simulation substrate
+//!
+//! This crate provides the execution substrate that plays the role of the
+//! paper's 8-node IBM SP-2 and its instrumentation:
+//!
+//! * [`time`] — a nanosecond-resolution virtual time type ([`time::Time`])
+//!   and per-process clocks ([`clock::Clock`]).
+//! * [`costs`] — the [`costs::CostModel`], parameterized by default with the
+//!   constants the paper measured on AIX / the SP-2 High-Performance Switch
+//!   (160 µs RPC, 939 µs remote page fault, 128 µs segv, 12 µs `mprotect`,
+//!   40 MB/s links).
+//! * [`breakdown`] — the four-way time breakdown of the paper's Figure 3:
+//!   application compute, operating-system overhead, `sigio` request
+//!   handling, and barrier/fetch wait time.
+//! * [`stress`] — the location-dependent `mprotect` degradation model
+//!   (the paper reports protection-change costs "occasionally increasing
+//!   ... by an order of magnitude" when the address space is manipulated in
+//!   large, unpredictable patterns).
+//! * [`rng`] — deterministic, seedable random number helpers so that every
+//!   run of the simulation is exactly reproducible.
+//! * [`config`] — simulation-wide configuration shared by the higher layers.
+//!
+//! Nothing in this crate knows about pages, messages, or protocols; those
+//! live in `dsm-vm`, `dsm-net`, and `dsm-core` respectively.
+
+pub mod breakdown;
+pub mod clock;
+pub mod config;
+pub mod costs;
+pub mod rng;
+pub mod stress;
+pub mod time;
+
+pub use breakdown::{Category, TimeBreakdown};
+pub use clock::Clock;
+pub use config::SimConfig;
+pub use costs::CostModel;
+pub use rng::DetRng;
+pub use stress::StressModel;
+pub use time::Time;

@@ -1,0 +1,153 @@
+//! The location-dependent `mprotect` degradation model.
+//!
+//! The paper (§3.2, §4) observes that AIX virtual-memory primitives are
+//! *location dependent*: the 12 µs best-case `mprotect` "occasionally
+//! increas\[es\] the cost of page protection changes by an order of magnitude",
+//! and Figure 3 shows that for the applications with large shared segments
+//! and many per-epoch protection changes (fft, shallow, swm) the OS bucket
+//! dominates — "an order of magnitude more time than implied by the mprotect
+//! time given in Section 3.2".
+//!
+//! We model this as a multiplier on the base `mprotect` cost that grows with
+//! how hard the process is driving the VM system: the number of protection
+//! changes it has issued in the current barrier epoch, scaled by the size of
+//! the shared segment. Small, orderly consumers stay near 1×; large
+//! unpredictable ones saturate at `max_multiplier` (default 40×, i.e. ~0.5 ms
+//! per call — consistent with the aggregate OS time in Fig. 3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Time;
+
+/// Parameters of the stress multiplier.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StressModel {
+    /// If false, `mprotect` always costs its base value (ablation switch).
+    pub enabled: bool,
+    /// Multiplier ceiling; default 150× of the 12 µs base ≈ 1.8 ms — the
+    /// aggregate OS components of the paper's Figure 3 imply sustained
+    /// protection-change costs two orders of magnitude above the 12 µs
+    /// best case for the large-segment applications.
+    pub max_multiplier: f64,
+    /// Protection ops × segment-pages product at which the multiplier
+    /// reaches halfway to the ceiling.
+    pub half_saturation: f64,
+    /// Segment size (pages) below which no degradation occurs at all —
+    /// the paper ties the degradation to "large address spaces" manipulated
+    /// in unpredictable order; ~4 MB of 8 KB pages marks the cliff.
+    pub min_segment_pages: usize,
+}
+
+impl Default for StressModel {
+    fn default() -> Self {
+        StressModel {
+            enabled: true,
+            max_multiplier: 150.0,
+            half_saturation: 16_384.0,
+            min_segment_pages: 600,
+        }
+    }
+}
+
+impl StressModel {
+    /// A disabled model: every `mprotect` costs exactly the base value.
+    pub fn disabled() -> Self {
+        StressModel {
+            enabled: false,
+            ..StressModel::default()
+        }
+    }
+
+    /// Multiplier for the *next* `mprotect`, given the number of protection
+    /// changes this process has already issued in the current epoch and the
+    /// shared segment size in pages.
+    ///
+    /// Monotone in both arguments; deterministic.
+    pub fn multiplier(&self, ops_this_epoch: u32, segment_pages: usize) -> f64 {
+        if !self.enabled || segment_pages < self.min_segment_pages {
+            return 1.0;
+        }
+        let load = ops_this_epoch as f64 * segment_pages as f64;
+        // Smooth saturating curve: 1 at load 0, ceiling as load -> inf,
+        // halfway at `half_saturation`.
+        let x = load / (load + self.half_saturation);
+        1.0 + (self.max_multiplier - 1.0) * x
+    }
+
+    /// Cost of one `mprotect` call under stress.
+    pub fn mprotect_cost(
+        &self,
+        base: Time,
+        ops_this_epoch: u32,
+        segment_pages: usize,
+    ) -> Time {
+        base.scale_f64(self.multiplier(ops_this_epoch, segment_pages))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_identity() {
+        let s = StressModel::disabled();
+        assert_eq!(s.multiplier(10_000, 100_000), 1.0);
+        assert_eq!(
+            s.mprotect_cost(Time::from_us(12), 10_000, 100_000),
+            Time::from_us(12)
+        );
+    }
+
+    #[test]
+    fn small_segments_never_degrade() {
+        let s = StressModel::default();
+        assert_eq!(s.multiplier(1_000_000, 8), 1.0);
+    }
+
+    #[test]
+    fn multiplier_is_monotone_in_ops() {
+        let s = StressModel::default();
+        let mut last = 0.0;
+        for ops in [0u32, 1, 10, 100, 1000, 10_000] {
+            let m = s.multiplier(ops, 1024);
+            assert!(m >= last, "multiplier must be monotone");
+            last = m;
+        }
+    }
+
+    #[test]
+    fn multiplier_is_monotone_in_segment_size() {
+        let s = StressModel::default();
+        let m_small = s.multiplier(100, 128);
+        let m_big = s.multiplier(100, 4096);
+        assert!(m_big > m_small);
+    }
+
+    #[test]
+    fn multiplier_bounded_by_ceiling() {
+        let s = StressModel::default();
+        let m = s.multiplier(u32::MAX, usize::MAX >> 16);
+        assert!(m <= s.max_multiplier + 1e-9);
+        assert!(m > s.max_multiplier * 0.99, "should approach ceiling");
+    }
+
+    #[test]
+    fn zero_ops_costs_base() {
+        let s = StressModel::default();
+        assert_eq!(
+            s.mprotect_cost(Time::from_us(12), 0, 1024),
+            Time::from_us(12)
+        );
+    }
+
+    #[test]
+    fn order_of_magnitude_reachable() {
+        // The paper's "order of magnitude" degradation must be reachable for
+        // a realistically sized application (e.g. fft/swm: a few hundred
+        // protection ops per epoch over a multi-MB segment).
+        let s = StressModel::default();
+        let m = s.multiplier(200, 1024);
+        assert!(m >= 10.0, "got only {m}x for a heavy workload");
+    }
+}

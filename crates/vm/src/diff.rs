@@ -1,0 +1,292 @@
+//! Run-length-encoded page diffs.
+//!
+//! A diff captures the modifications a process made to one page within one
+//! interval, computed by a word-wise comparison between the page's *twin*
+//! (a copy taken at the first write) and its current contents — exactly the
+//! TreadMarks/CVM mechanism the paper describes: "A diff is a run-length
+//! encoding of the changes made to a single virtual memory page."
+
+use crate::buf::PageBuf;
+use crate::page::PageId;
+
+/// One contiguous modified byte range.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DiffRun {
+    /// Byte offset within the page.
+    pub offset: u32,
+    /// The new bytes.
+    pub data: Vec<u8>,
+}
+
+/// All modifications to one page in one interval.
+///
+/// ```
+/// use dsm_vm::{Diff, PageBuf, PageId};
+///
+/// let twin = PageBuf::zeroed(8192);
+/// let mut cur = twin.clone();
+/// cur.bytes_mut()[128] = 0xAB;
+///
+/// let diff = Diff::between(PageId(0), &twin, &cur);
+/// assert_eq!(diff.runs.len(), 1);
+///
+/// let mut rebuilt = twin.clone();
+/// diff.apply_to(&mut rebuilt);
+/// assert_eq!(rebuilt.bytes(), cur.bytes());
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct Diff {
+    /// The page this diff applies to.
+    pub page: PageId,
+    /// Modified ranges, in ascending non-overlapping offset order.
+    pub runs: Vec<DiffRun>,
+}
+
+/// Comparison granularity: diffs are computed on 8-byte words, matching the
+/// word-comparison loop of the original implementation.
+const WORD: usize = 8;
+
+impl Diff {
+    /// Compute the diff between `twin` (contents at the first write) and
+    /// `current`. Runs cover every word that differs; adjacent differing
+    /// words coalesce into a single run.
+    pub fn between(page: PageId, twin: &PageBuf, current: &PageBuf) -> Diff {
+        assert_eq!(twin.len(), current.len(), "page size mismatch");
+        let t = twin.bytes();
+        let c = current.bytes();
+        let mut runs: Vec<DiffRun> = Vec::new();
+        let mut open: Option<(usize, usize)> = None; // [start, end) in bytes
+        for w in (0..t.len()).step_by(WORD) {
+            let differs = t[w..w + WORD] != c[w..w + WORD];
+            match (&mut open, differs) {
+                (Some((_, end)), true) => *end = w + WORD,
+                (Some((start, end)), false) => {
+                    runs.push(DiffRun {
+                        offset: *start as u32,
+                        data: c[*start..*end].to_vec(),
+                    });
+                    open = None;
+                }
+                (None, true) => open = Some((w, w + WORD)),
+                (None, false) => {}
+            }
+        }
+        if let Some((start, end)) = open {
+            runs.push(DiffRun {
+                offset: start as u32,
+                data: c[start..end].to_vec(),
+            });
+        }
+        Diff { page, runs }
+    }
+
+    /// True if the twin and current contents were identical — the paper's
+    /// "zero-length diff", which overdrive protocols use to skip flushes.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Total payload bytes carried by the runs.
+    pub fn payload_bytes(&self) -> usize {
+        self.runs.iter().map(|r| r.data.len()).sum()
+    }
+
+    /// Wire size: page id + run count header plus, per run, offset + length
+    /// headers and the payload.
+    pub fn wire_bytes(&self) -> usize {
+        8 + self.runs.iter().map(|r| 8 + r.data.len()).sum::<usize>()
+    }
+
+    /// Apply this diff's runs to `target`.
+    pub fn apply_to(&self, target: &mut PageBuf) {
+        for run in &self.runs {
+            let start = run.offset as usize;
+            target.bytes_mut()[start..start + run.data.len()].copy_from_slice(&run.data);
+        }
+    }
+
+    /// True if no byte range of `self` overlaps any of `other` — concurrent
+    /// diffs of a data-race-free program are always disjoint, which is what
+    /// makes multi-writer merging sound.
+    pub fn disjoint_from(&self, other: &Diff) -> bool {
+        for a in &self.runs {
+            let (a0, a1) = (a.offset as usize, a.offset as usize + a.data.len());
+            for b in &other.runs {
+                let (b0, b1) = (b.offset as usize, b.offset as usize + b.data.len());
+                if a0 < b1 && b0 < a1 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_with(bytes: &[(usize, u8)], size: usize) -> PageBuf {
+        let mut p = PageBuf::zeroed(size);
+        for &(i, v) in bytes {
+            p.bytes_mut()[i] = v;
+        }
+        p
+    }
+
+    #[test]
+    fn identical_pages_give_empty_diff() {
+        let a = PageBuf::zeroed(256);
+        let b = PageBuf::zeroed(256);
+        let d = Diff::between(PageId(0), &a, &b);
+        assert!(d.is_empty());
+        assert_eq!(d.payload_bytes(), 0);
+        assert_eq!(d.wire_bytes(), 8);
+    }
+
+    #[test]
+    fn single_word_change() {
+        let twin = PageBuf::zeroed(256);
+        let cur = page_with(&[(17, 0xFF)], 256);
+        let d = Diff::between(PageId(1), &twin, &cur);
+        assert_eq!(d.runs.len(), 1);
+        // Word granularity: the run covers the containing 8-byte word.
+        assert_eq!(d.runs[0].offset, 16);
+        assert_eq!(d.runs[0].data.len(), 8);
+    }
+
+    #[test]
+    fn adjacent_words_coalesce() {
+        let twin = PageBuf::zeroed(256);
+        let cur = page_with(&[(8, 1), (16, 2), (24, 3)], 256);
+        let d = Diff::between(PageId(0), &twin, &cur);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.runs[0].offset, 8);
+        assert_eq!(d.runs[0].data.len(), 24);
+    }
+
+    #[test]
+    fn separate_runs_stay_separate() {
+        let twin = PageBuf::zeroed(256);
+        let cur = page_with(&[(0, 1), (128, 2)], 256);
+        let d = Diff::between(PageId(0), &twin, &cur);
+        assert_eq!(d.runs.len(), 2);
+    }
+
+    #[test]
+    fn trailing_run_is_captured() {
+        let twin = PageBuf::zeroed(64);
+        let cur = page_with(&[(63, 9)], 64);
+        let d = Diff::between(PageId(0), &twin, &cur);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.runs[0].offset, 56);
+    }
+
+    #[test]
+    fn apply_reconstructs_current() {
+        let twin = page_with(&[(0, 7), (100, 8)], 256);
+        let mut cur = twin.clone();
+        cur.bytes_mut()[40] = 0xAA;
+        cur.bytes_mut()[41] = 0xBB;
+        cur.bytes_mut()[200] = 0xCC;
+        let d = Diff::between(PageId(0), &twin, &cur);
+        let mut rebuilt = twin.clone();
+        d.apply_to(&mut rebuilt);
+        assert_eq!(rebuilt.bytes(), cur.bytes());
+    }
+
+    #[test]
+    fn disjoint_detection() {
+        let twin = PageBuf::zeroed(256);
+        let a = Diff::between(PageId(0), &twin, &page_with(&[(0, 1)], 256));
+        let b = Diff::between(PageId(0), &twin, &page_with(&[(128, 1)], 256));
+        let c = Diff::between(PageId(0), &twin, &page_with(&[(4, 1)], 256));
+        assert!(a.disjoint_from(&b));
+        assert!(b.disjoint_from(&a));
+        assert!(!a.disjoint_from(&c), "same word -> overlapping runs");
+    }
+
+    #[test]
+    fn wire_bytes_counts_headers() {
+        let twin = PageBuf::zeroed(64);
+        let cur = page_with(&[(0, 1), (32, 1)], 64);
+        let d = Diff::between(PageId(0), &twin, &cur);
+        assert_eq!(d.runs.len(), 2);
+        assert_eq!(d.payload_bytes(), 16);
+        assert_eq!(d.wire_bytes(), 8 + (8 + 8) + (8 + 8));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_page(size: usize) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(any::<u8>(), size..=size)
+    }
+
+    proptest! {
+        /// apply(twin, between(twin, cur)) == cur, for arbitrary contents.
+        #[test]
+        fn diff_roundtrip(twin_bytes in arb_page(256), cur_bytes in arb_page(256)) {
+            let mut twin = PageBuf::zeroed(256);
+            twin.bytes_mut().copy_from_slice(&twin_bytes);
+            let mut cur = PageBuf::zeroed(256);
+            cur.bytes_mut().copy_from_slice(&cur_bytes);
+            let d = Diff::between(PageId(0), &twin, &cur);
+            let mut rebuilt = twin.clone();
+            d.apply_to(&mut rebuilt);
+            prop_assert_eq!(rebuilt.bytes(), cur.bytes());
+        }
+
+        /// Runs are sorted, non-overlapping, word-aligned, and non-empty.
+        #[test]
+        fn diff_runs_are_canonical(twin_bytes in arb_page(256), cur_bytes in arb_page(256)) {
+            let mut twin = PageBuf::zeroed(256);
+            twin.bytes_mut().copy_from_slice(&twin_bytes);
+            let mut cur = PageBuf::zeroed(256);
+            cur.bytes_mut().copy_from_slice(&cur_bytes);
+            let d = Diff::between(PageId(0), &twin, &cur);
+            let mut prev_end = 0usize;
+            for (i, run) in d.runs.iter().enumerate() {
+                prop_assert!(!run.data.is_empty());
+                prop_assert_eq!(run.offset as usize % 8, 0);
+                prop_assert_eq!(run.data.len() % 8, 0);
+                if i > 0 {
+                    // Strictly separated: coalescing guarantees a gap.
+                    prop_assert!(run.offset as usize > prev_end);
+                }
+                prev_end = run.offset as usize + run.data.len();
+            }
+            prop_assert!(prev_end <= 256);
+        }
+
+        /// Disjoint concurrent diffs merge to the same result regardless of
+        /// application order (the multi-writer soundness property).
+        #[test]
+        fn disjoint_merge_is_order_independent(
+            base in arb_page(256),
+            lo in proptest::collection::vec(any::<u8>(), 64..=64),
+            hi in proptest::collection::vec(any::<u8>(), 64..=64),
+        ) {
+            let mut twin = PageBuf::zeroed(256);
+            twin.bytes_mut().copy_from_slice(&base);
+            // Writer A modifies bytes [0,64), writer B modifies [128,192).
+            let mut pa = twin.clone();
+            pa.bytes_mut()[0..64].copy_from_slice(&lo);
+            let mut pb = twin.clone();
+            pb.bytes_mut()[128..192].copy_from_slice(&hi);
+            let da = Diff::between(PageId(0), &twin, &pa);
+            let db = Diff::between(PageId(0), &twin, &pb);
+            prop_assert!(da.disjoint_from(&db));
+            let mut ab = twin.clone();
+            da.apply_to(&mut ab);
+            db.apply_to(&mut ab);
+            let mut ba = twin.clone();
+            db.apply_to(&mut ba);
+            da.apply_to(&mut ba);
+            prop_assert_eq!(ab.bytes(), ba.bytes());
+        }
+    }
+}

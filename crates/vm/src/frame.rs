@@ -1,0 +1,153 @@
+//! One process's copy of one shared page.
+
+use crate::buf::PageBuf;
+use crate::diff::Diff;
+use crate::page::{FaultKind, PageId, Protection};
+
+/// A page frame: local contents, protection, and (when write-trapped) the
+/// twin copy taken at the first write of the interval.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Local copy of the page contents. Retained even while `Invalid`,
+    /// because homeless protocols validate by applying diffs to the stale
+    /// replica.
+    pub data: PageBuf,
+    /// Current protection.
+    pub prot: Protection,
+    /// Twin created at the first write of the current interval, if any.
+    pub twin: Option<PageBuf>,
+    /// Version of the page contents this frame reflects (home-based
+    /// protocols); unused by homeless protocols.
+    pub version_seen: u32,
+    /// Epoch index of the last local modification interval applied to this
+    /// frame (homeless protocols' "applied through" watermark).
+    pub applied_through: u64,
+}
+
+impl Frame {
+    /// A fresh, zeroed, invalid frame.
+    pub fn new(page_size: usize) -> Frame {
+        Frame {
+            data: PageBuf::zeroed(page_size),
+            prot: Protection::Invalid,
+            twin: None,
+            version_seen: 0,
+            applied_through: 0,
+        }
+    }
+
+    /// Classify an access against the current protection, or `None` if the
+    /// access proceeds without a fault.
+    #[inline]
+    pub fn check(&self, write: bool) -> Option<FaultKind> {
+        match (self.prot, write) {
+            (Protection::Invalid, false) => Some(FaultKind::ReadInvalid),
+            (Protection::Invalid, true) => Some(FaultKind::WriteInvalid),
+            (Protection::Read, true) => Some(FaultKind::WriteReadOnly),
+            _ => None,
+        }
+    }
+
+    /// Take a twin of the current contents (idempotent: keeps the first).
+    pub fn make_twin(&mut self) {
+        if self.twin.is_none() {
+            self.twin = Some(self.data.clone());
+        }
+    }
+
+    /// Discard the twin, if any. Returns whether one existed.
+    pub fn drop_twin(&mut self) -> bool {
+        self.twin.take().is_some()
+    }
+
+    /// Create the diff of modifications since the twin was taken, leaving
+    /// the twin in place. Panics if no twin exists.
+    pub fn diff_against_twin(&self, page: PageId) -> Diff {
+        let twin = self
+            .twin
+            .as_ref()
+            .expect("diff_against_twin called without a twin");
+        Diff::between(page, twin, &self.data)
+    }
+
+    /// Refresh the twin to match current contents (overdrive protocols
+    /// re-twin predicted pages each epoch without re-trapping).
+    pub fn refresh_twin(&mut self) {
+        match &mut self.twin {
+            Some(t) => t.copy_from(&self.data),
+            None => self.twin = Some(self.data.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_frame_is_invalid_and_zeroed() {
+        let f = Frame::new(64);
+        assert_eq!(f.prot, Protection::Invalid);
+        assert!(f.twin.is_none());
+        assert!(f.data.bytes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn check_matches_protection_matrix() {
+        let mut f = Frame::new(64);
+        assert_eq!(f.check(false), Some(FaultKind::ReadInvalid));
+        assert_eq!(f.check(true), Some(FaultKind::WriteInvalid));
+        f.prot = Protection::Read;
+        assert_eq!(f.check(false), None);
+        assert_eq!(f.check(true), Some(FaultKind::WriteReadOnly));
+        f.prot = Protection::ReadWrite;
+        assert_eq!(f.check(false), None);
+        assert_eq!(f.check(true), None);
+    }
+
+    #[test]
+    fn make_twin_is_idempotent() {
+        let mut f = Frame::new(64);
+        f.data.bytes_mut()[0] = 1;
+        f.make_twin();
+        f.data.bytes_mut()[0] = 2;
+        f.make_twin(); // must keep the first twin
+        assert_eq!(f.twin.as_ref().unwrap().bytes()[0], 1);
+    }
+
+    #[test]
+    fn diff_against_twin_sees_changes() {
+        let mut f = Frame::new(64);
+        f.make_twin();
+        f.data.bytes_mut()[8] = 42;
+        let d = f.diff_against_twin(PageId(5));
+        assert_eq!(d.page, PageId(5));
+        assert_eq!(d.runs.len(), 1);
+        assert!(f.twin.is_some(), "diff creation must not consume the twin");
+    }
+
+    #[test]
+    #[should_panic(expected = "without a twin")]
+    fn diff_without_twin_panics() {
+        let f = Frame::new(64);
+        let _ = f.diff_against_twin(PageId(0));
+    }
+
+    #[test]
+    fn refresh_twin_tracks_current() {
+        let mut f = Frame::new(64);
+        f.make_twin();
+        f.data.bytes_mut()[0] = 9;
+        f.refresh_twin();
+        assert!(f.diff_against_twin(PageId(0)).is_empty());
+    }
+
+    #[test]
+    fn drop_twin_reports_presence() {
+        let mut f = Frame::new(64);
+        assert!(!f.drop_twin());
+        f.make_twin();
+        assert!(f.drop_twin());
+        assert!(f.twin.is_none());
+    }
+}

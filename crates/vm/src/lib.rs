@@ -1,0 +1,32 @@
+//! # dsm-vm — software MMU substrate
+//!
+//! This crate plays the role AIX virtual memory played for the paper's CVM:
+//! page-granularity access control, fault detection, twin pages, and
+//! run-length-encoded diffs. Instead of `mprotect(2)` and SIGSEGV we keep an
+//! explicit per-process page table ([`store::PageStore`]) whose protection
+//! checks are performed by the shared-memory access path in `dsm-core`; the
+//! protocol logic that runs on a "fault" is identical to what a signal
+//! handler would do, but the simulation stays deterministic and portable,
+//! and the *cost* of each primitive is charged from the paper's measured
+//! AIX numbers (see `dsm_sim::costs`).
+//!
+//! Modules:
+//! * [`page`] — page ids, addresses, protections, fault kinds.
+//! * [`buf`] — 8-byte-aligned page buffers and the audited byte↔scalar
+//!   slice casts (the only `unsafe` in the workspace).
+//! * [`diff`] — run-length-encoded page diffs: creation by twin comparison,
+//!   application, sizing.
+//! * [`frame`] — one process's copy of one page: data + protection + twin.
+//! * [`store`] — a process's page table over the shared segment.
+
+pub mod buf;
+pub mod diff;
+pub mod frame;
+pub mod page;
+pub mod store;
+
+pub use buf::{as_bytes, as_bytes_mut, cast_slice, cast_slice_mut, PageBuf, Pod};
+pub use diff::{Diff, DiffRun};
+pub use frame::Frame;
+pub use page::{FaultKind, PageId, Protection};
+pub use store::PageStore;

@@ -1,0 +1,174 @@
+//! A process's page table over the shared segment.
+
+use crate::frame::Frame;
+use crate::page::{FaultKind, PageId, Protection};
+
+/// All page frames of one simulated process.
+///
+/// Frames are allocated lazily: a band-decomposed stencil process never
+/// touches most of the segment, and an untouched page behaves exactly like
+/// an `Invalid` frame.
+#[derive(Debug)]
+pub struct PageStore {
+    page_size: usize,
+    frames: Vec<Option<Box<Frame>>>,
+}
+
+impl PageStore {
+    /// An empty store for `page_size`-byte pages.
+    pub fn new(page_size: usize) -> PageStore {
+        assert!(page_size.is_power_of_two() && page_size >= 512);
+        PageStore {
+            page_size,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of pages the table covers (segment size).
+    #[inline]
+    pub fn npages(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of frames actually materialized.
+    pub fn resident(&self) -> usize {
+        self.frames.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Grow the table to cover at least `npages` pages.
+    pub fn ensure_pages(&mut self, npages: usize) {
+        if npages > self.frames.len() {
+            self.frames.resize_with(npages, || None);
+        }
+    }
+
+    /// Classify an access without materializing a frame: untouched pages
+    /// are `Invalid`.
+    #[inline]
+    pub fn check(&self, page: PageId, write: bool) -> Option<FaultKind> {
+        match self.frames.get(page.index()).and_then(|f| f.as_deref()) {
+            Some(frame) => frame.check(write),
+            None => Some(if write {
+                FaultKind::WriteInvalid
+            } else {
+                FaultKind::ReadInvalid
+            }),
+        }
+    }
+
+    /// Current protection of `page` (`Invalid` if untouched).
+    #[inline]
+    pub fn protection(&self, page: PageId) -> Protection {
+        self.frames
+            .get(page.index())
+            .and_then(|f| f.as_deref())
+            .map(|f| f.prot)
+            .unwrap_or(Protection::Invalid)
+    }
+
+    /// Immutable access to a materialized frame.
+    #[inline]
+    pub fn frame(&self, page: PageId) -> Option<&Frame> {
+        self.frames.get(page.index()).and_then(|f| f.as_deref())
+    }
+
+    /// Mutable access, materializing the frame on first touch.
+    pub fn frame_mut(&mut self, page: PageId) -> &mut Frame {
+        assert!(
+            page.index() < self.frames.len(),
+            "page {page:?} beyond segment ({} pages)",
+            self.frames.len()
+        );
+        let page_size = self.page_size;
+        self.frames[page.index()].get_or_insert_with(|| Box::new(Frame::new(page_size)))
+    }
+
+    /// Change protection, materializing the frame; returns the old value.
+    ///
+    /// The *caller* charges the mprotect cost — the store is pure state.
+    pub fn set_protection(&mut self, page: PageId, prot: Protection) -> Protection {
+        let f = self.frame_mut(page);
+        core::mem::replace(&mut f.prot, prot)
+    }
+
+    /// Iterate over materialized `(PageId, &Frame)` pairs in page order.
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, &Frame)> + '_ {
+        self.frames
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.as_deref().map(|fr| (PageId(i as u32), fr)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_pages_are_invalid() {
+        let mut s = PageStore::new(8192);
+        s.ensure_pages(4);
+        assert_eq!(s.check(PageId(2), false), Some(FaultKind::ReadInvalid));
+        assert_eq!(s.check(PageId(2), true), Some(FaultKind::WriteInvalid));
+        assert_eq!(s.protection(PageId(2)), Protection::Invalid);
+        assert_eq!(s.resident(), 0);
+    }
+
+    #[test]
+    fn frame_mut_materializes() {
+        let mut s = PageStore::new(8192);
+        s.ensure_pages(4);
+        s.frame_mut(PageId(1)).data.bytes_mut()[0] = 7;
+        assert_eq!(s.resident(), 1);
+        assert_eq!(s.frame(PageId(1)).unwrap().data.bytes()[0], 7);
+        assert!(s.frame(PageId(0)).is_none());
+    }
+
+    #[test]
+    fn set_protection_returns_old() {
+        let mut s = PageStore::new(8192);
+        s.ensure_pages(2);
+        assert_eq!(s.set_protection(PageId(0), Protection::Read), Protection::Invalid);
+        assert_eq!(
+            s.set_protection(PageId(0), Protection::ReadWrite),
+            Protection::Read
+        );
+        assert_eq!(s.check(PageId(0), true), None);
+    }
+
+    #[test]
+    fn ensure_pages_grows_monotonically() {
+        let mut s = PageStore::new(8192);
+        s.ensure_pages(10);
+        assert_eq!(s.npages(), 10);
+        s.ensure_pages(5); // must not shrink
+        assert_eq!(s.npages(), 10);
+        s.ensure_pages(20);
+        assert_eq!(s.npages(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond segment")]
+    fn out_of_range_frame_panics() {
+        let mut s = PageStore::new(8192);
+        s.ensure_pages(2);
+        let _ = s.frame_mut(PageId(5));
+    }
+
+    #[test]
+    fn iter_visits_resident_in_order() {
+        let mut s = PageStore::new(8192);
+        s.ensure_pages(8);
+        s.frame_mut(PageId(5));
+        s.frame_mut(PageId(1));
+        s.frame_mut(PageId(3));
+        let pages: Vec<u32> = s.iter().map(|(p, _)| p.0).collect();
+        assert_eq!(pages, vec![1, 3, 5]);
+    }
+}

@@ -1,0 +1,105 @@
+//! The full correctness matrix: every application × every protocol must
+//! produce results bitwise-identical to the sequential run. Under our
+//! deterministic execution model, a correct protocol cannot perturb a
+//! data-race-free program at all — so exact equality is the bar.
+
+use rdsm::apps::{all_apps, Scale};
+use rdsm::core::{run_app, ProtocolKind, RunConfig};
+
+const PROTOCOLS: [ProtocolKind; 6] = [
+    ProtocolKind::LmwI,
+    ProtocolKind::LmwU,
+    ProtocolKind::BarI,
+    ProtocolKind::BarU,
+    ProtocolKind::BarS,
+    ProtocolKind::BarM,
+];
+
+#[test]
+fn every_app_under_every_protocol_matches_sequential() {
+    std::thread::scope(|scope| {
+        for spec in all_apps() {
+            scope.spawn(move || {
+                let seq = run_app(
+                    spec.build(Scale::Small).as_mut(),
+                    RunConfig::with_nprocs(ProtocolKind::Seq, 1),
+                );
+                assert!(seq.checksum.is_finite(), "{}: bad sequential run", spec.name);
+                for protocol in PROTOCOLS {
+                    let par = run_app(
+                        spec.build(Scale::Small).as_mut(),
+                        RunConfig::with_nprocs(protocol, 4),
+                    );
+                    assert_eq!(
+                        par.checksum,
+                        seq.checksum,
+                        "{} under {} diverged",
+                        spec.name,
+                        protocol.label()
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn correctness_holds_across_process_counts() {
+    let spec = rdsm::apps::app_by_name("jacobi").unwrap();
+    let seq = run_app(
+        spec.build(Scale::Small).as_mut(),
+        RunConfig::with_nprocs(ProtocolKind::Seq, 1),
+    );
+    for nprocs in [2usize, 3, 5, 8, 16] {
+        for protocol in [ProtocolKind::LmwU, ProtocolKind::BarU] {
+            let par = run_app(
+                spec.build(Scale::Small).as_mut(),
+                RunConfig::with_nprocs(protocol, nprocs),
+            );
+            assert_eq!(
+                par.checksum,
+                seq.checksum,
+                "jacobi {} x{nprocs} diverged",
+                protocol.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn correctness_holds_at_4k_pages() {
+    let spec = rdsm::apps::app_by_name("sor").unwrap();
+    let mut seq_cfg = RunConfig::with_nprocs(ProtocolKind::Seq, 1);
+    seq_cfg.sim.page_size = 4096;
+    let seq = run_app(spec.build(Scale::Small).as_mut(), seq_cfg);
+    for protocol in PROTOCOLS {
+        let mut cfg = RunConfig::with_nprocs(protocol, 4);
+        cfg.sim.page_size = 4096;
+        let par = run_app(spec.build(Scale::Small).as_mut(), cfg);
+        assert_eq!(
+            par.checksum,
+            seq.checksum,
+            "sor {} at 4K pages diverged",
+            protocol.label()
+        );
+    }
+}
+
+#[test]
+fn single_process_protocol_runs_degenerate_gracefully() {
+    // Every protocol with nprocs=1 must still work (no messages possible).
+    let spec = rdsm::apps::app_by_name("expl").unwrap();
+    let seq = run_app(
+        spec.build(Scale::Small).as_mut(),
+        RunConfig::with_nprocs(ProtocolKind::Seq, 1),
+    );
+    for protocol in PROTOCOLS {
+        let par = run_app(
+            spec.build(Scale::Small).as_mut(),
+            RunConfig::with_nprocs(protocol, 1),
+        );
+        assert_eq!(par.checksum, seq.checksum, "{} x1", protocol.label());
+        assert_eq!(par.stats.remote_misses, 0);
+        assert_eq!(par.stats.paper_messages(), 0, "{} x1 sent messages", protocol.label());
+    }
+}

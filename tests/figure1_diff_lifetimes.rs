@@ -1,0 +1,108 @@
+//! The paper's Figure 1: migratory data and diff lifetimes.
+//!
+//! Homeless protocols must retain every diff until garbage collection
+//! ("no diff, nor any of the write notices that name diffs, can be
+//! discarded until garbage-collection occurs"); home-based protocols
+//! discard diffs within the barrier that flushed them.
+
+use rdsm::core::{Cluster, ProtocolKind, RunConfig, SharedArray};
+
+/// Drive the migratory scenario: x moves P1 -> P2 -> P3, P0 is the
+/// (unmigrated) home that never touches it.
+fn migrate(protocol: ProtocolKind, epochs: usize) -> Cluster {
+    let mut cfg = RunConfig::with_nprocs(protocol, 4);
+    cfg.migration = false;
+    let mut cluster = Cluster::new(cfg);
+    let x: SharedArray<f64> = {
+        let mut s = cluster.setup_ctx();
+        let x = s.alloc_array::<f64>("x", 1);
+        s.init(x, 0, 1.0);
+        x
+    };
+    cluster.distribute();
+    for e in 0..epochs {
+        let pid = 1 + (e % 3);
+        let mut ctx = cluster.exec_ctx(pid);
+        let v = x.get(&mut ctx, 0);
+        x.set(&mut ctx, 0, v + 1.0);
+        cluster.barrier_app(None);
+    }
+    // Final value visible in the snapshot.
+    let c = cluster.check_ctx();
+    assert_eq!(c.read(x, 0), 1.0 + epochs as f64);
+    cluster
+}
+
+#[test]
+fn homeless_diffs_accumulate() {
+    let cluster = migrate(ProtocolKind::LmwI, 6);
+    // Each migration hop seals the previous writer's diff, which must
+    // then be retained (a later process may still request it).
+    assert!(
+        cluster.retained_diffs() >= 5,
+        "lmw-i must retain per-interval diffs, got {}",
+        cluster.retained_diffs()
+    );
+}
+
+#[test]
+fn home_based_diffs_die_inside_the_barrier() {
+    let cluster = migrate(ProtocolKind::BarI, 6);
+    assert_eq!(
+        cluster.retained_diffs(),
+        0,
+        "bar-i must discard diffs at the barrier"
+    );
+}
+
+#[test]
+fn migratory_data_routes_through_the_home_under_bar() {
+    // "Consider the case where a fourth process, P4, is the home node for
+    // the page. In this case, both P1 and P2 will send diffs to P4. Both
+    // P2 and P3 will then request copies of the page from P4, a node that
+    // isn't even involved in the communication."
+    let cluster = migrate(ProtocolKind::BarI, 3);
+    let stats = cluster.stats();
+    // Diff flushes to the home, one per writing epoch.
+    assert!(stats.net.msgs_of(rdsm::net::MsgKind::DiffFlushHome) >= 3);
+    // Page fetches from the home by the next writer.
+    assert!(stats.net.msgs_of(rdsm::net::MsgKind::PageRequest) >= 2);
+}
+
+#[test]
+fn migratory_data_travels_directly_under_lmw() {
+    // "By contrast, the data travels directly from one process to the next
+    // in a homeless protocol."
+    let cluster = migrate(ProtocolKind::LmwI, 3);
+    let stats = cluster.stats();
+    assert_eq!(stats.net.msgs_of(rdsm::net::MsgKind::DiffFlushHome), 0);
+    assert!(stats.net.msgs_of(rdsm::net::MsgKind::DiffRequest) >= 2);
+}
+
+#[test]
+fn garbage_collection_reclaims_homeless_state() {
+    let mut cfg = RunConfig::with_nprocs(ProtocolKind::LmwI, 4);
+    cfg.migration = false;
+    cfg.gc_diff_threshold = 3; // force GC quickly
+    let mut cluster = Cluster::new(cfg);
+    let x: SharedArray<f64> = {
+        let mut s = cluster.setup_ctx();
+        let x = s.alloc_array::<f64>("x", 1);
+        s.init(x, 0, 1.0);
+        x
+    };
+    cluster.distribute();
+    for e in 0..12 {
+        let pid = 1 + (e % 3);
+        let mut ctx = cluster.exec_ctx(pid);
+        let v = x.get(&mut ctx, 0);
+        x.set(&mut ctx, 0, v + 1.0);
+        cluster.barrier_app(None);
+    }
+    let stats = cluster.stats();
+    assert!(stats.gc_events > 0, "GC must have triggered");
+    assert!(stats.gc_diffs_discarded > 0);
+    // Correctness across GC.
+    let c = cluster.check_ctx();
+    assert_eq!(c.read(x, 0), 13.0);
+}

@@ -1,0 +1,223 @@
+//! Statistics invariants the paper's prose asserts, checked over the
+//! application suite at test scale.
+
+use rdsm::apps::{all_apps, app_by_name, Scale};
+use rdsm::core::{run_app, ProtocolKind, RunConfig};
+
+#[test]
+fn update_protocols_eliminate_steady_state_misses() {
+    // "Both update protocols eliminate the majority of remote misses" —
+    // for the static apps, all of them (barnes' dynamic assignment leaves
+    // a few lmw-u misses, like the paper's shallow-on-lmw-u exception).
+    std::thread::scope(|scope| {
+        for spec in all_apps() {
+            scope.spawn(move || {
+                for protocol in [ProtocolKind::LmwU, ProtocolKind::BarU] {
+                    let r = run_app(
+                        spec.build(Scale::Small).as_mut(),
+                        RunConfig::with_nprocs(protocol, 4),
+                    );
+                    if spec.name == "barnes" && protocol == ProtocolKind::LmwU {
+                        let li = run_app(
+                            spec.build(Scale::Small).as_mut(),
+                            RunConfig::with_nprocs(ProtocolKind::LmwI, 4),
+                        );
+                        assert!(
+                            r.stats.remote_misses < li.stats.remote_misses / 4,
+                            "barnes lmw-u should eliminate most misses"
+                        );
+                    } else {
+                        assert_eq!(
+                            r.stats.remote_misses,
+                            0,
+                            "{} under {}",
+                            spec.name,
+                            protocol.label()
+                        );
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn invalidate_protocols_fault_every_iteration() {
+    for name in ["sor", "fft", "tomcat"] {
+        let spec = app_by_name(name).unwrap();
+        for protocol in [ProtocolKind::LmwI, ProtocolKind::BarI] {
+            let r = run_app(
+                spec.build(Scale::Small).as_mut(),
+                RunConfig::with_nprocs(protocol, 4),
+            );
+            assert!(
+                r.stats.remote_misses > 0,
+                "{} under {} should keep faulting",
+                name,
+                protocol.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn home_effect_cuts_diff_creation() {
+    // "The home effect allows bar to create fewer diffs than lmw" — per
+    // app at matched scale.
+    for name in ["sor", "expl", "jacobi", "shallow", "tomcat"] {
+        let spec = app_by_name(name).unwrap();
+        let li = run_app(
+            spec.build(Scale::Small).as_mut(),
+            RunConfig::with_nprocs(ProtocolKind::LmwI, 4),
+        );
+        let bi = run_app(
+            spec.build(Scale::Small).as_mut(),
+            RunConfig::with_nprocs(ProtocolKind::BarI, 4),
+        );
+        assert!(
+            bi.stats.diffs_created <= li.stats.diffs_created,
+            "{name}: bar-i {} vs lmw-i {}",
+            bi.stats.diffs_created,
+            li.stats.diffs_created
+        );
+    }
+}
+
+#[test]
+fn bar_i_satisfies_misses_with_whole_pages() {
+    // bar-i's data volume per miss is a full page; lmw-i moves diffs.
+    let spec = app_by_name("sor").unwrap();
+    let li = run_app(
+        spec.build(Scale::Small).as_mut(),
+        RunConfig::with_nprocs(ProtocolKind::LmwI, 4),
+    );
+    let bi = run_app(
+        spec.build(Scale::Small).as_mut(),
+        RunConfig::with_nprocs(ProtocolKind::BarI, 4),
+    );
+    let li_per_miss = li.stats.net.total_payload_bytes() as f64 / li.stats.remote_misses as f64;
+    let bi_per_miss = bi.stats.net.total_payload_bytes() as f64 / bi.stats.remote_misses as f64;
+    assert!(
+        bi_per_miss > li_per_miss,
+        "bar-i {bi_per_miss:.0} B/miss vs lmw-i {li_per_miss:.0} B/miss"
+    );
+    assert!(
+        bi_per_miss >= 8192.0,
+        "a bar-i miss moves at least one whole page"
+    );
+}
+
+#[test]
+fn overdrive_traffic_matches_bar_u_exactly() {
+    // §5.1: "bar-u, bar-s and bar-m send exactly the same number of
+    // messages and communicate the same amount of data."
+    for name in ["sor", "jacobi", "fft", "swm"] {
+        let spec = app_by_name(name).unwrap();
+        let bu = run_app(
+            spec.build(Scale::Small).as_mut(),
+            RunConfig::with_nprocs(ProtocolKind::BarU, 4),
+        );
+        for protocol in [ProtocolKind::BarS, ProtocolKind::BarM] {
+            let r = run_app(
+                spec.build(Scale::Small).as_mut(),
+                RunConfig::with_nprocs(protocol, 4),
+            );
+            assert_eq!(
+                r.stats.paper_messages(),
+                bu.stats.paper_messages(),
+                "{name} {} messages",
+                protocol.label()
+            );
+            assert_eq!(
+                r.stats.net.total_payload_bytes(),
+                bu.stats.net.total_payload_bytes(),
+                "{name} {} bytes",
+                protocol.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn runs_are_bit_deterministic() {
+    let spec = app_by_name("shallow").unwrap();
+    let a = run_app(
+        spec.build(Scale::Small).as_mut(),
+        RunConfig::with_nprocs(ProtocolKind::LmwU, 4),
+    );
+    let b = run_app(
+        spec.build(Scale::Small).as_mut(),
+        RunConfig::with_nprocs(ProtocolKind::LmwU, 4),
+    );
+    assert_eq!(a.checksum, b.checksum);
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.stats.diffs_created, b.stats.diffs_created);
+    assert_eq!(a.stats.paper_messages(), b.stats.paper_messages());
+    assert_eq!(a.stats.segvs, b.stats.segvs);
+    assert_eq!(a.stats.mprotects, b.stats.mprotects);
+}
+
+#[test]
+fn time_breakdown_accounts_for_all_elapsed_time() {
+    let spec = app_by_name("swm").unwrap();
+    let r = run_app(
+        spec.build(Scale::Small).as_mut(),
+        RunConfig::with_nprocs(ProtocolKind::BarU, 4),
+    );
+    for (pid, b) in r.per_proc.iter().enumerate() {
+        assert!(
+            b.total() <= r.elapsed,
+            "process {pid} breakdown exceeds the window"
+        );
+        assert!(b.total().as_ns() > 0, "process {pid} did nothing?");
+    }
+    // The slowest process defines the elapsed window exactly.
+    let max = r.per_proc.iter().map(|b| b.total()).max().unwrap();
+    assert_eq!(max, r.elapsed);
+}
+
+#[test]
+fn flush_loss_degrades_but_never_corrupts() {
+    // "Lost flush messages do not affect correctness, only performance."
+    let spec = app_by_name("expl").unwrap();
+    let seq = run_app(
+        spec.build(Scale::Small).as_mut(),
+        RunConfig::with_nprocs(ProtocolKind::Seq, 1),
+    );
+    let mut clean_cfg = RunConfig::with_nprocs(ProtocolKind::LmwU, 4);
+    clean_cfg.warmup_iters = 0;
+    let clean = run_app(spec.build(Scale::Small).as_mut(), clean_cfg);
+    for drop in [0.1, 0.5, 1.0] {
+        let mut cfg = RunConfig::with_nprocs(ProtocolKind::LmwU, 4);
+        cfg.sim.flush_drop_prob = drop;
+        cfg.warmup_iters = 0;
+        let r = run_app(spec.build(Scale::Small).as_mut(), cfg);
+        assert_eq!(r.checksum, seq.checksum, "drop={drop} corrupted the run");
+        if drop == 1.0 {
+            assert!(
+                r.stats.remote_misses > clean.stats.remote_misses,
+                "total flush loss must force fault-time fetches"
+            );
+        }
+    }
+}
+
+#[test]
+fn lmw_reduction_emulation_matches_native() {
+    // jacobi's residual reduction must produce identical results whether
+    // it rides the barrier (bar) or shared memory (lmw).
+    let spec = app_by_name("jacobi").unwrap();
+    let native = run_app(
+        spec.build(Scale::Small).as_mut(),
+        RunConfig::with_nprocs(ProtocolKind::BarU, 4),
+    );
+    let emulated = run_app(
+        spec.build(Scale::Small).as_mut(),
+        RunConfig::with_nprocs(ProtocolKind::LmwU, 4),
+    );
+    assert_eq!(native.checksum, emulated.checksum);
+    assert!(
+        emulated.stats.barriers > native.stats.barriers,
+        "the emulation costs extra barriers"
+    );
+}
