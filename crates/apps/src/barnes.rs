@@ -163,7 +163,7 @@ impl Barnes {
         let mut stack: Vec<i64> = vec![0];
         let mut frow = vec![0.0f64; NODEF_COLS];
         let mut crow = vec![0i64; NODE_KIDS];
-        let mut brow = vec![0.0f64; BODY_COLS];
+        let mut bpos = [0.0f64; 3];
         let mut visited = 0u64;
         while let Some(ni) = stack.pop() {
             visited += 1;
@@ -190,12 +190,15 @@ impl Barnes {
                         if b == body {
                             continue;
                         }
-                        bodies.read_row_into(ctx, b, &mut brow);
-                        let dx = brow[0] - p[0];
-                        let dy = brow[1] - p[1];
-                        let dz = brow[2] - p[2];
+                        // Position and mass only: the owner of body `b` is
+                        // rewriting its velocity columns this same epoch.
+                        bodies.read_cols_into(ctx, b, 0, &mut bpos);
+                        let bm = bodies.get(ctx, b, 6);
+                        let dx = bpos[0] - p[0];
+                        let dy = bpos[1] - p[1];
+                        let dz = bpos[2] - p[2];
                         let d2 = dx * dx + dy * dy + dz * dz + EPS2;
-                        let inv = brow[6] / (d2 * d2.sqrt());
+                        let inv = bm / (d2 * d2.sqrt());
                         acc[0] += dx * inv;
                         acc[1] += dy * inv;
                         acc[2] += dz * inv;
@@ -487,10 +490,18 @@ mod tests {
         // tiny relative to the momentum scale of the system.
         struct Probe(Barnes, std::cell::RefCell<Vec<f64>>);
         impl DsmApp for Probe {
-            fn name(&self) -> &'static str { self.0.name() }
-            fn phases(&self) -> usize { self.0.phases() }
-            fn iters(&self) -> usize { self.0.iters() }
-            fn setup(&mut self, s: &mut SetupCtx<'_>) { self.0.setup(s) }
+            fn name(&self) -> &'static str {
+                self.0.name()
+            }
+            fn phases(&self) -> usize {
+                self.0.phases()
+            }
+            fn iters(&self) -> usize {
+                self.0.iters()
+            }
+            fn setup(&mut self, s: &mut SetupCtx<'_>) {
+                self.0.setup(s)
+            }
             fn phase(&mut self, c: &mut ExecCtx<'_>, i: usize, p: usize) -> PhaseEnd {
                 self.0.phase(c, i, p)
             }

@@ -64,7 +64,12 @@ pub fn fft_inplace(re: &mut [f64], im: &mut [f64], inverse: bool) {
 
 /// FFT of interleaved complex data (`[re0, im0, re1, im1, ...]`), using
 /// caller-provided split scratch buffers of length `data.len() / 2`.
-pub fn fft_interleaved(data: &mut [f64], scratch_re: &mut [f64], scratch_im: &mut [f64], inverse: bool) {
+pub fn fft_interleaved(
+    data: &mut [f64],
+    scratch_re: &mut [f64],
+    scratch_im: &mut [f64],
+    inverse: bool,
+) {
     let n = data.len() / 2;
     assert_eq!(data.len() % 2, 0);
     assert!(scratch_re.len() >= n && scratch_im.len() >= n);
@@ -119,7 +124,12 @@ mod tests {
         let mut ai = im.clone();
         fft_inplace(&mut ar, &mut ai, false);
         for i in 0..n {
-            assert!((ar[i] - er[i]).abs() < 1e-9, "re[{i}]: {} vs {}", ar[i], er[i]);
+            assert!(
+                (ar[i] - er[i]).abs() < 1e-9,
+                "re[{i}]: {} vs {}",
+                ar[i],
+                er[i]
+            );
             assert!((ai[i] - ei[i]).abs() < 1e-9, "im[{i}]");
         }
     }

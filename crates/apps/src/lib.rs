@@ -24,6 +24,8 @@
 //! traversals of a shared tree structure, resulting in slightly different
 //! sharing patterns each iteration").
 
+#![forbid(unsafe_code)]
+
 pub mod barnes;
 pub mod common;
 pub mod expl;

@@ -142,8 +142,7 @@ impl SwmCore {
         for j in lo..hi {
             let jm = (j + n - 1) % n;
             let jp = (j + 1) % n;
-            let [p_jm, p_j, u_jm, u_j, v_j, v_jp, out_cu, out_cv, out_z, out_h] =
-                &mut b.bufs[..10]
+            let [p_jm, p_j, u_jm, u_j, v_j, v_jp, out_cu, out_cv, out_z, out_h] = &mut b.bufs[..10]
             else {
                 unreachable!()
             };
@@ -168,7 +167,11 @@ impl SwmCore {
                 }
                 if do_h {
                     out_h[i] = p_j[i]
-                        + 0.25 * (u_j[ip] * u_j[ip] + u_j[i] * u_j[i] + v_jp[i] * v_jp[i] + v_j[i] * v_j[i]);
+                        + 0.25
+                            * (u_j[ip] * u_j[ip]
+                                + u_j[i] * u_j[i]
+                                + v_jp[i] * v_jp[i]
+                                + v_j[i] * v_j[i]);
                 }
             }
             if do_cu {
@@ -382,7 +385,10 @@ mod tests {
             RunConfig::with_nprocs(ProtocolKind::Seq, 1),
         );
         for p in [ProtocolKind::LmwU, ProtocolKind::BarU] {
-            let par = run_app(&mut Shallow::new(Scale::Small), RunConfig::with_nprocs(p, 4));
+            let par = run_app(
+                &mut Shallow::new(Scale::Small),
+                RunConfig::with_nprocs(p, 4),
+            );
             assert_eq!(seq.checksum, par.checksum, "{}", p.label());
         }
     }

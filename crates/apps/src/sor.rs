@@ -40,6 +40,12 @@ impl Sor {
 
     /// One half-sweep over this process's band, updating points whose
     /// colour `(r + c) % 2` matches `colour`.
+    ///
+    /// Band-boundary neighbour rows are owned (and rewritten) by the
+    /// adjacent process in this same epoch, so those are read point-wise —
+    /// only the opposite-colour columns the stencil actually consumes,
+    /// which the neighbour's half-sweep leaves untouched. Rows inside the
+    /// band are private to this process and move in bulk.
     fn half_sweep(&self, ctx: &mut ExecCtx<'_>, colour: usize) {
         let g = self.grid.unwrap();
         let (lo, hi) = interior_band(self.rows, ctx.pid(), ctx.nprocs());
@@ -48,10 +54,29 @@ impl Sor {
         let mut mid = vec![0.0; cols];
         let mut down = vec![0.0; cols];
         for r in lo..hi {
-            g.read_row_into(ctx, r - 1, &mut up);
-            g.read_row_into(ctx, r, &mut mid);
-            g.read_row_into(ctx, r + 1, &mut down);
             let first = 1 + (r + 1 + colour) % 2;
+            // `r - 1` belongs to the previous band unless it is the fixed
+            // top boundary row; `r + 1` to the next unless it is the fixed
+            // bottom one.
+            if r == lo && r > 1 {
+                let mut c = first;
+                while c < cols - 1 {
+                    up[c] = g.get(ctx, r - 1, c);
+                    c += 2;
+                }
+            } else {
+                g.read_row_into(ctx, r - 1, &mut up);
+            }
+            g.read_row_into(ctx, r, &mut mid);
+            if r + 1 == hi && r + 1 < self.rows - 1 {
+                let mut c = first;
+                while c < cols - 1 {
+                    down[c] = g.get(ctx, r + 1, c);
+                    c += 2;
+                }
+            } else {
+                g.read_row_into(ctx, r + 1, &mut down);
+            }
             let mut c = first;
             while c < cols - 1 {
                 let stencil = 0.25 * (up[c] + down[c] + mid[c - 1] + mid[c + 1]);
@@ -119,8 +144,14 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let seq = run_app(&mut Sor::new(Scale::Small), RunConfig::with_nprocs(ProtocolKind::Seq, 1));
-        let par = run_app(&mut Sor::new(Scale::Small), RunConfig::with_nprocs(ProtocolKind::BarU, 4));
+        let seq = run_app(
+            &mut Sor::new(Scale::Small),
+            RunConfig::with_nprocs(ProtocolKind::Seq, 1),
+        );
+        let par = run_app(
+            &mut Sor::new(Scale::Small),
+            RunConfig::with_nprocs(ProtocolKind::BarU, 4),
+        );
         assert_eq!(seq.checksum, par.checksum);
     }
 

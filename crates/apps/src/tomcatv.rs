@@ -242,7 +242,10 @@ mod tests {
             RunConfig::with_nprocs(ProtocolKind::Seq, 1),
         );
         for p in [ProtocolKind::LmwU, ProtocolKind::BarI] {
-            let par = run_app(&mut Tomcatv::new(Scale::Small), RunConfig::with_nprocs(p, 4));
+            let par = run_app(
+                &mut Tomcatv::new(Scale::Small),
+                RunConfig::with_nprocs(p, 4),
+            );
             assert_eq!(seq.checksum, par.checksum, "{}", p.label());
         }
     }

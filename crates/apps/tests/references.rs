@@ -143,8 +143,8 @@ fn jacobi_reference() -> Vec<Vec<f64>> {
                 to[r][0] = from[r][0];
                 to[r][COLS - 1] = from[r][COLS - 1];
                 for c in 1..COLS - 1 {
-                    to[r][c] = 0.25
-                        * (from[r - 1][c] + from[r + 1][c] + from[r][c - 1] + from[r][c + 1]);
+                    to[r][c] =
+                        0.25 * (from[r - 1][c] + from[r + 1][c] + from[r][c - 1] + from[r][c + 1]);
                 }
             }
         }

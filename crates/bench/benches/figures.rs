@@ -2,7 +2,8 @@
 //! `table1` / `fig2` / `fig4` binaries at test scale, so `cargo bench`
 //! covers the full reproduction pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dsm_bench::quick::Criterion;
+use dsm_bench::{criterion_group, criterion_main};
 
 use dsm_apps::Scale;
 use dsm_bench::{harness, run_matrix};

@@ -1,7 +1,8 @@
 //! Microbenchmarks of the substrate primitives: diffs, twins, page stores,
 //! copysets, the deterministic RNG, and the FFT kernel.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dsm_bench::quick::{BatchSize, Criterion, Throughput};
+use dsm_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use dsm_apps::fft_math::fft_inplace;

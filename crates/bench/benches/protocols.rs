@@ -2,7 +2,8 @@
 //! per protocol (host wall-clock of the simulation itself — useful for
 //! tracking simulator performance regressions).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dsm_bench::quick::Criterion;
+use dsm_bench::{criterion_group, criterion_main};
 
 use dsm_apps::{app_by_name, Scale};
 use dsm_core::{run_app, ProtocolKind, RunConfig};

@@ -6,6 +6,8 @@
 //! period between barrier synchronizations") per application. We measure
 //! both from instrumented bar-u runs at paper scale.
 
+#![forbid(unsafe_code)]
+
 use dsm_apps::{all_apps, Scale};
 use dsm_bench::table::TextTable;
 use dsm_bench::{harness, run_matrix};
@@ -13,7 +15,10 @@ use dsm_core::ProtocolKind;
 
 fn main() {
     let apps: Vec<&'static str> = all_apps().iter().map(|a| a.name).collect();
-    eprintln!("running bar-u across {} apps (8 procs, paper scale)...", apps.len());
+    eprintln!(
+        "running bar-u across {} apps (8 procs, paper scale)...",
+        apps.len()
+    );
     let outcomes = run_matrix(&apps, &[ProtocolKind::BarU], Scale::Paper, 8);
 
     let mut t = TextTable::new(vec![

@@ -1,0 +1,139 @@
+//! Checked-mode runner: every requested app × protocol under the full
+//! dsm-check instrumentation (happens-before races, the LRC coherence
+//! oracle, protocol invariants), summarized as one table row per run.
+//!
+//! ```text
+//! checked [--apps a,b,..] [--protocols lmw-i,bar-u,..] [--nprocs N] [--scale small|paper]
+//! ```
+//!
+//! Defaults: all eight paper apps, the five unconditionally-sound protocols
+//! (lmw-i, lmw-u, bar-i, bar-u, bar-s), 4 processes, small scale. Exits
+//! nonzero if any run flags a violation, so CI can use it as a smoke gate.
+
+#![forbid(unsafe_code)]
+
+use dsm_apps::{all_apps, app_by_name, Scale};
+use dsm_bench::table::TextTable;
+use dsm_check::checked_run;
+use dsm_core::{ProtocolKind, RunConfig};
+
+const SOUND: [ProtocolKind; 5] = [
+    ProtocolKind::LmwI,
+    ProtocolKind::LmwU,
+    ProtocolKind::BarI,
+    ProtocolKind::BarU,
+    ProtocolKind::BarS,
+];
+
+fn protocol_by_label(label: &str) -> ProtocolKind {
+    let all = [
+        ProtocolKind::Seq,
+        ProtocolKind::LmwI,
+        ProtocolKind::LmwU,
+        ProtocolKind::BarI,
+        ProtocolKind::BarU,
+        ProtocolKind::BarS,
+        ProtocolKind::BarM,
+    ];
+    all.into_iter()
+        .find(|p| p.label() == label)
+        .unwrap_or_else(|| panic!("unknown protocol {label:?}"))
+}
+
+struct Args {
+    apps: Vec<&'static str>,
+    protocols: Vec<ProtocolKind>,
+    nprocs: usize,
+    scale: Scale,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        apps: all_apps().iter().map(|s| s.name).collect(),
+        protocols: SOUND.to_vec(),
+        nprocs: 4,
+        scale: Scale::Small,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let val = it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--apps" => {
+                args.apps = val
+                    .split(',')
+                    .map(|a| {
+                        app_by_name(a)
+                            .unwrap_or_else(|| panic!("unknown app {a:?}"))
+                            .name
+                    })
+                    .collect();
+            }
+            "--protocols" => {
+                args.protocols = val.split(',').map(protocol_by_label).collect();
+            }
+            "--nprocs" => args.nprocs = val.parse().expect("--nprocs"),
+            "--scale" => {
+                args.scale = match val.as_str() {
+                    "small" => Scale::Small,
+                    "paper" => Scale::Paper,
+                    other => panic!("unknown scale {other:?}"),
+                }
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut t = TextTable::new(vec![
+        "app",
+        "protocol",
+        "events",
+        "reads",
+        "writes",
+        "barriers",
+        "hb edges",
+        "races",
+        "stale",
+        "invariant",
+        "verdict",
+    ]);
+    let mut dirty = 0usize;
+    for app in &args.apps {
+        let spec = app_by_name(app).unwrap();
+        for &protocol in &args.protocols {
+            let cfg = RunConfig::with_nprocs(protocol, args.nprocs);
+            let (_, check) = checked_run(spec.build(args.scale).as_mut(), cfg);
+            let clean = check.is_clean();
+            if !clean {
+                dirty += 1;
+                eprintln!(
+                    "--- {} under {}:\n{}",
+                    spec.name,
+                    protocol.label(),
+                    check.summary()
+                );
+            }
+            t.row(vec![
+                spec.name.to_string(),
+                protocol.label().to_string(),
+                check.events.to_string(),
+                check.reads.to_string(),
+                check.writes.to_string(),
+                check.barriers.to_string(),
+                check.hb_edges.to_string(),
+                check.races().to_string(),
+                check.stale_reads().to_string(),
+                check.invariant_violations().to_string(),
+                if clean { "clean" } else { "FLAGGED" }.to_string(),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    if dirty > 0 {
+        eprintln!("{dirty} run(s) flagged violations");
+        std::process::exit(1);
+    }
+}

@@ -2,6 +2,8 @@
 //! lmw-i / lmw-u / bar-i / bar-u over the nulled-synchronization
 //! uniprocessor baseline, for all eight applications.
 
+#![forbid(unsafe_code)]
+
 use dsm_apps::Scale;
 use dsm_bench::paper::FIG2_APPROX;
 use dsm_bench::table::{bar, TextTable};

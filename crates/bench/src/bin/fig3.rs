@@ -2,6 +2,8 @@
 //! per-application split of execution time into sigio handling, wait time,
 //! OS overhead (dominated by `mprotect`), and application compute.
 
+#![forbid(unsafe_code)]
+
 use dsm_apps::Scale;
 use dsm_bench::table::TextTable;
 use dsm_bench::{harness, run_matrix};
@@ -13,7 +15,10 @@ const APPS: [&str; 8] = [
 ];
 
 fn main() {
-    eprintln!("running bar-u across {} apps (8 procs, paper scale)...", APPS.len());
+    eprintln!(
+        "running bar-u across {} apps (8 procs, paper scale)...",
+        APPS.len()
+    );
     let outcomes = run_matrix(&APPS, &[ProtocolKind::BarU], Scale::Paper, 8);
 
     let mut t = TextTable::new(vec!["app", "sigio%", "wait%", "os%", "app%"]);
@@ -62,7 +67,11 @@ fn main() {
         println!(
             "{heavy}: OS fraction {:.1}% {}",
             100.0 * f,
-            if f > 0.10 { "(substantial, as in the paper)" } else { "(LOW — expected substantial)" }
+            if f > 0.10 {
+                "(substantial, as in the paper)"
+            } else {
+                "(LOW — expected substantial)"
+            }
         );
     }
 }

@@ -3,6 +3,8 @@
 //! sharing patterns (barnes is excluded: "its sharing pattern, although
 //! iterative, is highly dynamic").
 
+#![forbid(unsafe_code)]
+
 use dsm_apps::Scale;
 use dsm_bench::table::TextTable;
 use dsm_bench::{harness, run_matrix};
@@ -45,7 +47,12 @@ fn main() {
         m_gains.push(bm / bu - 1.0);
 
         // §5.1 invariants: identical traffic across bar-u/s/m.
-        let msgs = |p| harness::find(&outcomes, app, p).report.stats.paper_messages();
+        let msgs = |p| {
+            harness::find(&outcomes, app, p)
+                .report
+                .stats
+                .paper_messages()
+        };
         let bytes = |p: ProtocolKind| {
             harness::find(&outcomes, app, p)
                 .report
@@ -53,10 +60,26 @@ fn main() {
                 .net
                 .total_payload_bytes()
         };
-        assert_eq!(msgs(ProtocolKind::BarU), msgs(ProtocolKind::BarS), "{app} msgs u/s");
-        assert_eq!(msgs(ProtocolKind::BarU), msgs(ProtocolKind::BarM), "{app} msgs u/m");
-        assert_eq!(bytes(ProtocolKind::BarU), bytes(ProtocolKind::BarS), "{app} bytes u/s");
-        assert_eq!(bytes(ProtocolKind::BarU), bytes(ProtocolKind::BarM), "{app} bytes u/m");
+        assert_eq!(
+            msgs(ProtocolKind::BarU),
+            msgs(ProtocolKind::BarS),
+            "{app} msgs u/s"
+        );
+        assert_eq!(
+            msgs(ProtocolKind::BarU),
+            msgs(ProtocolKind::BarM),
+            "{app} msgs u/m"
+        );
+        assert_eq!(
+            bytes(ProtocolKind::BarU),
+            bytes(ProtocolKind::BarS),
+            "{app} bytes u/s"
+        );
+        assert_eq!(
+            bytes(ProtocolKind::BarU),
+            bytes(ProtocolKind::BarM),
+            "{app} bytes u/m"
+        );
     }
     println!("\nFigure 4 (measured): overdrive speedups — 8 processors\n");
     print!("{}", t.render());

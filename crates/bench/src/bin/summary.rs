@@ -7,6 +7,8 @@
 //! * overall, "our update home-based protocols average 51% better than the
 //!   original lmw invalidate protocols".
 
+#![forbid(unsafe_code)]
+
 use dsm_apps::Scale;
 use dsm_bench::paper::{mean_rel_change, PAPER_HEADLINES};
 use dsm_bench::table::TextTable;
@@ -27,7 +29,11 @@ fn main() {
         ProtocolKind::BarS,
         ProtocolKind::BarM,
     ];
-    eprintln!("running the full {}x{} matrix (8 procs, paper scale)...", ALL.len(), protocols.len());
+    eprintln!(
+        "running the full {}x{} matrix (8 procs, paper scale)...",
+        ALL.len(),
+        protocols.len()
+    );
     // barnes cannot run the overdrive protocols meaningfully, but they fall
     // back to bar-u behaviour, so the full matrix is safe.
     let outcomes = run_matrix(&ALL, &protocols, Scale::Paper, 8);

@@ -7,6 +7,8 @@
 //! * home migration on/off (how much the runtime assignment buys),
 //! * unreliable-flush loss (correctness holds; performance degrades).
 
+#![forbid(unsafe_code)]
+
 use dsm_apps::{app_by_name, Scale};
 use dsm_bench::harness::{run_baseline, run_one, RunPlan};
 use dsm_bench::table::TextTable;
@@ -26,7 +28,13 @@ fn plan_with(
 fn main() {
     // --- 1. processor-count sweep -------------------------------------
     println!("\n[1] processor-count sweep (sor + fft, bar-u vs lmw-i)\n");
-    let mut t = TextTable::new(vec!["nprocs", "sor lmw-i", "sor bar-u", "fft lmw-i", "fft bar-u"]);
+    let mut t = TextTable::new(vec![
+        "nprocs",
+        "sor lmw-i",
+        "sor bar-u",
+        "fft lmw-i",
+        "fft bar-u",
+    ]);
     for n in [2usize, 4, 8, 16] {
         let mut cells = vec![n.to_string()];
         for app in ["sor", "fft"] {
@@ -51,15 +59,27 @@ fn main() {
 
     // --- 2. page size --------------------------------------------------
     println!("\n[2] page size: 4 KB vs 8 KB (jacobi, bar-u and lmw-i)\n");
-    let mut t = TextTable::new(vec!["page", "jacobi lmw-i", "jacobi bar-u", "misses li", "dataKB bu"]);
+    let mut t = TextTable::new(vec![
+        "page",
+        "jacobi lmw-i",
+        "jacobi bar-u",
+        "misses li",
+        "dataKB bu",
+    ]);
     fn use_4k(c: &mut RunConfig) {
         c.sim.page_size = 4096;
     }
     for (label, tweak) in [("8192", None), ("4096", Some(use_4k as fn(&mut RunConfig)))] {
         let spec = app_by_name("jacobi").unwrap();
         let (seq, _) = run_baseline(&spec, Scale::Paper, tweak);
-        let li = run_one(&plan_with("jacobi", ProtocolKind::LmwI, 8, tweak), Some(seq));
-        let bu = run_one(&plan_with("jacobi", ProtocolKind::BarU, 8, tweak), Some(seq));
+        let li = run_one(
+            &plan_with("jacobi", ProtocolKind::LmwI, 8, tweak),
+            Some(seq),
+        );
+        let bu = run_one(
+            &plan_with("jacobi", ProtocolKind::BarU, 8, tweak),
+            Some(seq),
+        );
         t.row(vec![
             label.to_string(),
             format!("{:.2}", li.speedup()),
@@ -71,7 +91,9 @@ fn main() {
     print!("{}", t.render());
 
     // --- 3. stress model ----------------------------------------------
-    println!("\n[3] mprotect stress model on/off (swm): how much of bar-m's win is OS degradation\n");
+    println!(
+        "\n[3] mprotect stress model on/off (swm): how much of bar-m's win is OS degradation\n"
+    );
     let mut t = TextTable::new(vec!["stress", "bar-u", "bar-m", "bar-m gain"]);
     fn no_stress(c: &mut RunConfig) {
         c.sim.stress.enabled = false;
@@ -92,17 +114,29 @@ fn main() {
 
     // --- 4. home migration ---------------------------------------------
     println!("\n[4] runtime home migration on/off (sor + tomcat, bar-i)\n");
-    let mut t = TextTable::new(vec!["migration", "sor bar-i", "tomcat bar-i", "sor misses", "tomcat misses"]);
+    let mut t = TextTable::new(vec![
+        "migration",
+        "sor bar-i",
+        "tomcat bar-i",
+        "sor misses",
+        "tomcat misses",
+    ]);
     fn no_migration(c: &mut RunConfig) {
         c.migration = false;
     }
-    for (label, tweak) in [("on", None), ("off", Some(no_migration as fn(&mut RunConfig)))] {
+    for (label, tweak) in [
+        ("on", None),
+        ("off", Some(no_migration as fn(&mut RunConfig))),
+    ] {
         let mut cells = vec![label.to_string()];
         let mut misses = Vec::new();
         for app in ["sor", "tomcat"] {
             let spec = app_by_name(app).unwrap();
             let (seq, _) = run_baseline(&spec, Scale::Paper, tweak);
-            let o = run_one(&plan_with(spec.name, ProtocolKind::BarI, 8, tweak), Some(seq));
+            let o = run_one(
+                &plan_with(spec.name, ProtocolKind::BarI, 8, tweak),
+                Some(seq),
+            );
             cells.push(format!("{:.2}", o.speedup()));
             misses.push(format!("{}", o.report.stats.remote_misses));
         }
@@ -146,7 +180,10 @@ fn main() {
         c.sim.costs = dsm_sim::CostModel::modern();
         c.sim.stress.enabled = false; // a tuned OS: no degradation cliff
     }
-    for (label, tweak) in [("SP-2/AIX", None), ("modern", Some(modern as fn(&mut RunConfig)))] {
+    for (label, tweak) in [
+        ("SP-2/AIX", None),
+        ("modern", Some(modern as fn(&mut RunConfig))),
+    ] {
         let spec = app_by_name("swm").unwrap();
         let (seq, _) = run_baseline(&spec, Scale::Paper, tweak);
         let bu = run_one(&plan_with("swm", ProtocolKind::BarU, 8, tweak), Some(seq));

@@ -7,6 +7,8 @@
 //! update protocols eliminate misses, the home effect cuts diffs, bar-i
 //! moves whole pages (more data), bar-u needs the fewest messages.
 
+#![forbid(unsafe_code)]
+
 use dsm_apps::Scale;
 use dsm_bench::paper::TABLE1;
 use dsm_bench::table::{fmt_count, TextTable};
@@ -24,8 +26,23 @@ fn main() {
     let outcomes = run_matrix(&apps, &protocols, Scale::Paper, 8);
 
     let headers = vec![
-        "app", "diffs:li", "lu", "bi", "bu", "miss:li", "lu", "bi", "bu", "msgs:li", "lu", "bi",
-        "bu", "dataKB:li", "lu", "bi", "bu",
+        "app",
+        "diffs:li",
+        "lu",
+        "bi",
+        "bu",
+        "miss:li",
+        "lu",
+        "bi",
+        "bu",
+        "msgs:li",
+        "lu",
+        "bi",
+        "bu",
+        "dataKB:li",
+        "lu",
+        "bi",
+        "bu",
     ];
     let mut t = TextTable::new(headers.clone());
     for app in &apps {
@@ -80,7 +97,9 @@ fn main() {
         }
     }
     if shape_violations == 0 {
-        println!("\nall Table-1 shape checks passed (update protocols eliminate steady-state misses)");
+        println!(
+            "\nall Table-1 shape checks passed (update protocols eliminate steady-state misses)"
+        );
     } else {
         println!("\n{shape_violations} shape check(s) FAILED");
         std::process::exit(1);

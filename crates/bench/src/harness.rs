@@ -66,7 +66,11 @@ pub fn run_one(plan: &RunPlan, baseline: Option<Time>) -> Outcome {
 
 /// Run the sequential baseline for `spec` at `scale` and return its
 /// measured time and checksum.
-pub fn run_baseline(spec: &AppSpec, scale: Scale, tweak: Option<fn(&mut RunConfig)>) -> (Time, f64) {
+pub fn run_baseline(
+    spec: &AppSpec,
+    scale: Scale,
+    tweak: Option<fn(&mut RunConfig)>,
+) -> (Time, f64) {
     let mut app = spec.build(scale);
     let mut cfg = RunConfig::with_nprocs(ProtocolKind::Seq, 1);
     if let Some(t) = tweak {
@@ -102,7 +106,10 @@ pub fn run_matrix(
                 s.spawn(move || (spec.name, run_baseline(&spec, scale, None)))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("baseline run")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("baseline run"))
+            .collect()
     });
 
     // The matrix in parallel.
@@ -121,7 +128,10 @@ pub fn run_matrix(
                 s.spawn(move || run_one(&plan, Some(seq)))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("matrix run")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("matrix run"))
+            .collect()
     });
 
     for o in &outcomes {

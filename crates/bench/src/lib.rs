@@ -14,8 +14,11 @@
 //! The library provides the shared run matrix (host-parallel across
 //! independent runs), table formatting, and the paper's reference numbers.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 pub mod paper;
+pub mod quick;
 pub mod table;
 
 pub use harness::{run_matrix, run_one, Outcome, RunPlan};

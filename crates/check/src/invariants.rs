@@ -1,0 +1,266 @@
+//! Protocol-invariant checks over the event stream.
+//!
+//! Three families of invariants, each tied to a claim the protocols make:
+//!
+//! * **version monotonicity** (bar family): a page's version index moves by
+//!   exactly +1 per bump, and every bump starts from the last version the
+//!   checker saw — the index is a strictly increasing counter, never
+//!   skipped, never rolled back;
+//! * **copyset coverage** (update protocols): an update flush must address
+//!   every process that ever fetched the page — `lmw-u` tracks fetchers per
+//!   (page, writer) because its copysets are per-writer, the home-based
+//!   family tracks the global per-page fetcher set;
+//! * **GC safety** (homeless family): garbage collection validates every
+//!   noticed page before discarding, so at the moment a process discards
+//!   its retained state it must hold no live (recorded but unconsumed)
+//!   write notice — a live notice names a diff that is about to vanish.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::report::Violation;
+
+/// Which copyset bookkeeping a protocol wants.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum CopysetRule {
+    /// No update flushes (invalidate protocols, seq): nothing to check.
+    None,
+    /// `lmw-u`: fetchers tracked per (page, writer).
+    PerWriter,
+    /// `bar-u` / `bar-s` / `bar-m`: one global fetcher set per page.
+    PerPage,
+}
+
+/// One process's live (recorded, not yet consumed) notices, as a multiset.
+type LiveNotices = HashMap<(u32, u16, u64), u32>;
+
+pub struct InvariantState {
+    rule: CopysetRule,
+    /// Last version value seen per page.
+    versions: HashMap<u32, u32>,
+    /// Pages already reported for a version anomaly (one report per page
+    /// and kind).
+    flagged_skip: HashSet<u32>,
+    flagged_regress: HashSet<u32>,
+    /// Fetcher bitmaps.
+    per_writer_fetchers: HashMap<(u32, u16), u64>,
+    per_page_fetchers: HashMap<u32, u64>,
+    /// (page, writer) pairs already reported for a copyset omission.
+    flagged_copyset: HashSet<(u32, u16)>,
+    live: Vec<LiveNotices>,
+}
+
+impl InvariantState {
+    pub fn new(nprocs: usize, rule: CopysetRule) -> InvariantState {
+        InvariantState {
+            rule,
+            versions: HashMap::new(),
+            flagged_skip: HashSet::new(),
+            flagged_regress: HashSet::new(),
+            per_writer_fetchers: HashMap::new(),
+            per_page_fetchers: HashMap::new(),
+            flagged_copyset: HashSet::new(),
+            live: vec![LiveNotices::new(); nprocs],
+        }
+    }
+
+    pub fn on_version_bump(&mut self, page: u32, old: u32, new: u32, out: &mut Vec<Violation>) {
+        if let Some(&prev) = self.versions.get(&page) {
+            if old != prev && self.flagged_regress.insert(page) {
+                out.push(Violation::VersionRegression { page, prev, old });
+            }
+        }
+        if new != old + 1 && self.flagged_skip.insert(page) {
+            out.push(Violation::VersionSkip { page, old, new });
+        }
+        self.versions.insert(page, new);
+    }
+
+    pub fn on_fetch(&mut self, pid: usize, from: usize, page: u32) {
+        match self.rule {
+            CopysetRule::None => {}
+            CopysetRule::PerWriter => {
+                *self
+                    .per_writer_fetchers
+                    .entry((page, from as u16))
+                    .or_insert(0) |= 1u64 << pid;
+            }
+            CopysetRule::PerPage => {
+                *self.per_page_fetchers.entry(page).or_insert(0) |= 1u64 << pid;
+            }
+        }
+    }
+
+    pub fn on_update_flush(
+        &mut self,
+        writer: usize,
+        page: u32,
+        copyset: u64,
+        out: &mut Vec<Violation>,
+    ) {
+        let fetchers = match self.rule {
+            CopysetRule::None => return,
+            CopysetRule::PerWriter => self
+                .per_writer_fetchers
+                .get(&(page, writer as u16))
+                .copied()
+                .unwrap_or(0),
+            CopysetRule::PerPage => self.per_page_fetchers.get(&page).copied().unwrap_or(0),
+        };
+        let missing = fetchers & !copyset & !(1u64 << writer);
+        if missing != 0 && self.flagged_copyset.insert((page, writer as u16)) {
+            out.push(Violation::CopysetOmission {
+                page,
+                writer,
+                missing,
+            });
+        }
+    }
+
+    pub fn on_notice_record(&mut self, pid: usize, page: u32, writer: u16, epoch: u64) {
+        *self.live[pid].entry((page, writer, epoch)).or_insert(0) += 1;
+    }
+
+    pub fn on_notice_consume(&mut self, pid: usize, page: u32, writer: u16, epoch: u64) {
+        if let Some(c) = self.live[pid].get_mut(&(page, writer, epoch)) {
+            *c -= 1;
+            if *c == 0 {
+                self.live[pid].remove(&(page, writer, epoch));
+            }
+        }
+    }
+
+    pub fn on_gc_discard(&mut self, pid: usize, out: &mut Vec<Violation>) {
+        let mut entries: Vec<(u32, u16, u64)> = self.live[pid].keys().copied().collect();
+        entries.sort_unstable();
+        for (page, writer, epoch) in entries {
+            out.push(Violation::GcLiveNotice {
+                pid,
+                page,
+                writer,
+                epoch,
+            });
+        }
+        self.live[pid].clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn take(f: impl FnOnce(&mut Vec<Violation>)) -> Vec<Violation> {
+        let mut v = Vec::new();
+        f(&mut v);
+        v
+    }
+
+    #[test]
+    fn version_plus_one_is_clean() {
+        let mut inv = InvariantState::new(2, CopysetRule::PerPage);
+        assert!(take(|v| inv.on_version_bump(3, 1, 2, v)).is_empty());
+        assert!(take(|v| inv.on_version_bump(3, 2, 3, v)).is_empty());
+    }
+
+    #[test]
+    fn version_skip_flagged_once() {
+        let mut inv = InvariantState::new(2, CopysetRule::PerPage);
+        let v = take(|v| inv.on_version_bump(3, 1, 4, v));
+        assert!(matches!(
+            v[0],
+            Violation::VersionSkip {
+                page: 3,
+                old: 1,
+                new: 4
+            }
+        ));
+        assert!(take(|v| inv.on_version_bump(3, 4, 7, v)).is_empty());
+    }
+
+    #[test]
+    fn version_regression_flagged() {
+        let mut inv = InvariantState::new(2, CopysetRule::PerPage);
+        assert!(take(|v| inv.on_version_bump(3, 1, 2, v)).is_empty());
+        let v = take(|v| inv.on_version_bump(3, 1, 2, v));
+        assert!(matches!(
+            v[0],
+            Violation::VersionRegression {
+                page: 3,
+                prev: 2,
+                old: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn per_page_copyset_omission() {
+        let mut inv = InvariantState::new(4, CopysetRule::PerPage);
+        inv.on_fetch(1, 0, 7);
+        inv.on_fetch(2, 0, 7);
+        // Copyset covers p1 but not p2.
+        let v = take(|v| inv.on_update_flush(0, 7, 0b0010, v));
+        assert!(matches!(
+            v[0],
+            Violation::CopysetOmission {
+                page: 7,
+                writer: 0,
+                missing: 0b0100
+            }
+        ));
+        // Dedup per (page, writer).
+        assert!(take(|v| inv.on_update_flush(0, 7, 0b0010, v)).is_empty());
+    }
+
+    #[test]
+    fn per_writer_copyset_tracks_writer() {
+        let mut inv = InvariantState::new(4, CopysetRule::PerWriter);
+        inv.on_fetch(2, 1, 7); // p2 fetched p1's diffs
+                               // p3 flushing page 7 owes nothing to p1's fetchers.
+        assert!(take(|v| inv.on_update_flush(3, 7, 0, v)).is_empty());
+        // p1 flushing without p2 in the copyset is an omission.
+        let v = take(|v| inv.on_update_flush(1, 7, 0, v));
+        assert!(matches!(
+            v[0],
+            Violation::CopysetOmission {
+                page: 7,
+                writer: 1,
+                missing: 0b0100
+            }
+        ));
+    }
+
+    #[test]
+    fn writer_itself_never_missing() {
+        let mut inv = InvariantState::new(4, CopysetRule::PerPage);
+        inv.on_fetch(1, 0, 7);
+        assert!(take(|v| inv.on_update_flush(1, 7, 0, v)).is_empty());
+    }
+
+    #[test]
+    fn gc_with_live_notice_flagged() {
+        let mut inv = InvariantState::new(2, CopysetRule::None);
+        inv.on_notice_record(1, 4, 0, 9);
+        inv.on_notice_record(1, 4, 0, 9);
+        inv.on_notice_consume(1, 4, 0, 9);
+        let v = take(|v| inv.on_gc_discard(1, v));
+        assert_eq!(v.len(), 1);
+        assert!(matches!(
+            v[0],
+            Violation::GcLiveNotice {
+                pid: 1,
+                page: 4,
+                writer: 0,
+                epoch: 9
+            }
+        ));
+        // State cleared after report.
+        assert!(take(|v| inv.on_gc_discard(1, v)).is_empty());
+    }
+
+    #[test]
+    fn balanced_notices_are_clean() {
+        let mut inv = InvariantState::new(2, CopysetRule::None);
+        inv.on_notice_record(0, 4, 1, 9);
+        inv.on_notice_consume(0, 4, 1, 9);
+        assert!(take(|v| inv.on_gc_discard(0, v)).is_empty());
+    }
+}

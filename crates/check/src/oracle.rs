@@ -1,0 +1,288 @@
+//! The LRC coherence oracle.
+//!
+//! The oracle maintains what each read is *allowed* to return under lazy
+//! release consistency with barrier-only synchronization: the shared state
+//! as of the last barrier (all earlier epochs' writes folded together) plus
+//! the reader's own writes of the current epoch. A read observing anything
+//! else on a non-racy word is a coherence violation — in particular the
+//! silent divergence `bar-m` risks when its write-set prediction misses.
+//!
+//! State is value-level, not clock-level: a `committed` byte image of every
+//! touched page plus one masked per-epoch overlay per process. Overlays
+//! fold into `committed` at every barrier release in pid order (the order
+//! only matters for racy words, and those are suppressed at read time).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::report::Violation;
+
+const WORD: usize = 8;
+
+/// One process's uncommitted writes to one page this epoch.
+#[derive(Clone)]
+struct Overlay {
+    data: Vec<u8>,
+    /// 1 per byte written this epoch.
+    mask: Vec<u8>,
+}
+
+impl Overlay {
+    fn new(page_size: usize) -> Overlay {
+        Overlay {
+            data: vec![0; page_size],
+            mask: vec![0; page_size],
+        }
+    }
+}
+
+/// The oracle's shadow of the shared segment.
+pub struct OracleState {
+    page_size: usize,
+    /// Globally committed bytes (everything up to the last barrier).
+    /// Untouched pages are implicitly zero, matching the cluster's
+    /// zero-initialized image.
+    committed: HashMap<u32, Vec<u8>>,
+    /// Per-process current-epoch overlays.
+    overlays: Vec<HashMap<u32, Overlay>>,
+    /// Word keys already reported stale (one violation per word).
+    flagged: HashSet<u64>,
+}
+
+impl OracleState {
+    pub fn new(nprocs: usize, page_size: usize) -> OracleState {
+        OracleState {
+            page_size,
+            committed: HashMap::new(),
+            overlays: vec![HashMap::new(); nprocs],
+            flagged: HashSet::new(),
+        }
+    }
+
+    fn committed_page(&mut self, page: u32) -> &mut Vec<u8> {
+        let ps = self.page_size;
+        self.committed.entry(page).or_insert_with(|| vec![0; ps])
+    }
+
+    /// Setup-time write: goes straight into the committed image.
+    pub fn image_write(&mut self, addr: usize, data: &[u8]) {
+        let ps = self.page_size;
+        let mut done = 0;
+        while done < data.len() {
+            let a = addr + done;
+            let page = (a / ps) as u32;
+            let off = a % ps;
+            let n = (ps - off).min(data.len() - done);
+            self.committed_page(page)[off..off + n].copy_from_slice(&data[done..done + n]);
+            done += n;
+        }
+    }
+
+    /// An application write lands in the writer's overlay until the next
+    /// barrier commits it.
+    pub fn on_write(&mut self, pid: usize, addr: usize, data: &[u8]) {
+        let ps = self.page_size;
+        let mut done = 0;
+        while done < data.len() {
+            let a = addr + done;
+            let page = (a / ps) as u32;
+            let off = a % ps;
+            let n = (ps - off).min(data.len() - done);
+            let ov = self.overlays[pid]
+                .entry(page)
+                .or_insert_with(|| Overlay::new(ps));
+            ov.data[off..off + n].copy_from_slice(&data[done..done + n]);
+            for m in &mut ov.mask[off..off + n] {
+                *m = 1;
+            }
+            done += n;
+        }
+    }
+
+    /// What LRC says `pid` must observe at `[addr, addr+len)`. Also the
+    /// reference the race detector compares writes against to recognize
+    /// silent stores.
+    pub(crate) fn expected(&self, pid: usize, addr: usize, len: usize) -> Vec<u8> {
+        let ps = self.page_size;
+        let mut out = vec![0u8; len];
+        let mut done = 0;
+        while done < len {
+            let a = addr + done;
+            let page = (a / ps) as u32;
+            let off = a % ps;
+            let n = (ps - off).min(len - done);
+            if let Some(c) = self.committed.get(&page) {
+                out[done..done + n].copy_from_slice(&c[off..off + n]);
+            }
+            if let Some(ov) = self.overlays[pid].get(&page) {
+                for i in 0..n {
+                    if ov.mask[off + i] != 0 {
+                        out[done + i] = ov.data[off + i];
+                    }
+                }
+            }
+            done += n;
+        }
+        out
+    }
+
+    /// Compare an observed read against the oracle. Mismatching words that
+    /// are racy (per `is_racy`, keyed by byte address) are suppressed: a
+    /// racy read may legally return either value. Each offending word is
+    /// reported at most once per run.
+    pub fn on_read(
+        &mut self,
+        pid: usize,
+        addr: usize,
+        observed: &[u8],
+        epoch: u64,
+        is_racy: impl Fn(usize) -> bool,
+        out: &mut Vec<Violation>,
+    ) {
+        if observed.is_empty() {
+            return;
+        }
+        let expected = self.expected(pid, addr, observed.len());
+        if expected == observed {
+            return;
+        }
+        // Walk the mismatch word by word so racy-word suppression and
+        // violation dedup stay at the race detector's granularity.
+        let mut i = 0;
+        while i < observed.len() {
+            let a = addr + i;
+            let word_start = a - a % WORD;
+            let word_end = (word_start + WORD).min(addr + observed.len());
+            let lo = word_start.max(addr) - addr;
+            let hi = word_end - addr;
+            if expected[lo..hi] != observed[lo..hi] {
+                let key = (word_start / WORD) as u64;
+                if !is_racy(word_start) && self.flagged.insert(key) {
+                    out.push(Violation::StaleRead {
+                        pid,
+                        addr: word_start.max(addr),
+                        epoch,
+                        expected: expected[lo..hi].to_vec(),
+                        observed: observed[lo..hi].to_vec(),
+                    });
+                }
+            }
+            i = hi;
+        }
+    }
+
+    /// Barrier release: every process's epoch writes become globally
+    /// committed. Folding runs pid-ascending; the order is only observable
+    /// on racy words, which the read path suppresses.
+    pub fn barrier_release(&mut self) {
+        let ps = self.page_size;
+        for pid in 0..self.overlays.len() {
+            let overlays = core::mem::take(&mut self.overlays[pid]);
+            let mut pages: Vec<(u32, Overlay)> = overlays.into_iter().collect();
+            pages.sort_by_key(|(p, _)| *p);
+            for (page, ov) in pages {
+                let c = self.committed.entry(page).or_insert_with(|| vec![0; ps]);
+                for (i, b) in c.iter_mut().enumerate() {
+                    if ov.mask[i] != 0 {
+                        *b = ov.data[i];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PS: usize = 256;
+
+    fn read_clean(o: &mut OracleState, pid: usize, addr: usize, obs: &[u8]) -> Vec<Violation> {
+        let mut v = Vec::new();
+        o.on_read(pid, addr, obs, 1, |_| false, &mut v);
+        v
+    }
+
+    #[test]
+    fn zero_fill_default() {
+        let mut o = OracleState::new(2, PS);
+        assert!(read_clean(&mut o, 0, 40, &[0u8; 16]).is_empty());
+    }
+
+    #[test]
+    fn own_epoch_writes_visible() {
+        let mut o = OracleState::new(2, PS);
+        o.on_write(0, 8, &[7u8; 8]);
+        assert!(read_clean(&mut o, 0, 8, &[7u8; 8]).is_empty());
+        // The other process must still see the committed (zero) bytes.
+        assert!(read_clean(&mut o, 1, 8, &[0u8; 8]).is_empty());
+    }
+
+    #[test]
+    fn stale_read_after_barrier() {
+        let mut o = OracleState::new(2, PS);
+        o.on_write(0, 8, &[7u8; 8]);
+        o.barrier_release();
+        let v = read_clean(&mut o, 1, 8, &[0u8; 8]);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(
+            &v[0],
+            Violation::StaleRead {
+                pid: 1,
+                addr: 8,
+                ..
+            }
+        ));
+        // Reported once per word.
+        assert!(read_clean(&mut o, 1, 8, &[0u8; 8]).is_empty());
+    }
+
+    #[test]
+    fn racy_words_suppressed() {
+        let mut o = OracleState::new(2, PS);
+        o.on_write(0, 8, &[7u8; 8]);
+        o.barrier_release();
+        let mut v = Vec::new();
+        o.on_read(1, 8, &[0u8; 8], 2, |_| true, &mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn image_writes_seed_committed() {
+        let mut o = OracleState::new(2, PS);
+        o.image_write(PS - 4, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(read_clean(&mut o, 1, PS - 4, &[1, 2, 3, 4, 5, 6, 7, 8]).is_empty());
+    }
+
+    #[test]
+    fn later_writer_wins_at_fold() {
+        let mut o = OracleState::new(2, PS);
+        o.on_write(0, 0, &[1u8; 8]);
+        o.on_write(1, 0, &[2u8; 8]);
+        o.barrier_release();
+        assert!(read_clean(&mut o, 0, 0, &[2u8; 8]).is_empty());
+    }
+
+    #[test]
+    fn mismatch_reports_word_slice() {
+        let mut o = OracleState::new(1, PS);
+        o.image_write(0, &[9u8; 24]);
+        let mut obs = vec![9u8; 24];
+        obs[10] = 0; // word 1 differs
+        let v = read_clean(&mut o, 0, 0, &obs);
+        assert_eq!(v.len(), 1);
+        match &v[0] {
+            Violation::StaleRead {
+                addr,
+                expected,
+                observed,
+                ..
+            } => {
+                assert_eq!(*addr, 8);
+                assert_eq!(expected.len(), 8);
+                assert_eq!(observed[2], 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

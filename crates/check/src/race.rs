@@ -1,0 +1,368 @@
+//! Happens-before race detection over shadow memory.
+//!
+//! Each process carries a vector clock; barriers join every clock (the
+//! cluster's only synchronization is barrier-shaped, so after every release
+//! the clocks agree — but the detector does not rely on that and performs
+//! the general FastTrack-style epoch test). Every 8-byte word of touched
+//! shared memory has a shadow cell holding the last write (clock, pid) and
+//! the last read clock with a reader bitmap; an access races with a prior
+//! access iff the prior stamp is not `<=` the accessor's clock entry for
+//! the prior pid.
+//!
+//! **Silent stores are not writes.** The protocols under test propagate
+//! writes by twin/diff comparison: a store of the value the writer's view
+//! already holds produces no diff, no write notice, and no coherence
+//! action, so no other process can ever observe it. The detector therefore
+//! skips any written word whose bytes equal the writer's LRC-expected view
+//! (supplied by the caller from the coherence oracle) — matching the
+//! system's own value-based definition of a write, and keeping bulk
+//! "read-modify-rewrite the whole row" idioms from reporting races on the
+//! words they pass through unchanged.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::report::RaceKind;
+
+/// One vector clock.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VectorClock(pub Vec<u32>);
+
+impl VectorClock {
+    pub fn new(n: usize) -> VectorClock {
+        VectorClock(vec![0; n])
+    }
+
+    /// Elementwise max, in place.
+    pub fn join(&mut self, other: &VectorClock) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Has the stamp `(clock, pid)` happened before this clock's owner?
+    #[inline]
+    pub fn covers(&self, clock: u32, pid: usize) -> bool {
+        clock <= self.0[pid]
+    }
+}
+
+/// Shadow state of one 8-byte word. Zero clocks mean "never accessed"
+/// (clock values start at 1), so the all-zero default is the identity.
+#[derive(Clone, Copy, Default)]
+struct Word {
+    /// Last write: the writer's clock value and pid.
+    wc: u32,
+    wp: u16,
+    /// Last read clock and the bitmap of pids that read at that clock.
+    rc: u32,
+    rp: u64,
+}
+
+const WORD: usize = 8;
+
+/// The race detector.
+pub struct RaceState {
+    clocks: Vec<VectorClock>,
+    /// Shadow cells, one boxed slice per touched page.
+    shadow: HashMap<u32, Box<[Word]>>,
+    /// Word keys (addr / 8) found racy; used for dedup and to let the
+    /// coherence oracle suppress mismatches on racy words (under LRC a racy
+    /// read may legally return either value).
+    racy: HashSet<u64>,
+    words_per_page: usize,
+    page_size: usize,
+}
+
+/// A race found by one access, before deduplication.
+pub struct RaceHit {
+    pub kind: RaceKind,
+    pub word_key: u64,
+    pub first_pid: usize,
+    pub second_pid: usize,
+}
+
+impl RaceState {
+    pub fn new(nprocs: usize, page_size: usize) -> RaceState {
+        let mut clocks = vec![VectorClock::new(nprocs); nprocs];
+        for (p, c) in clocks.iter_mut().enumerate() {
+            c.0[p] = 1;
+        }
+        RaceState {
+            clocks,
+            shadow: HashMap::new(),
+            racy: HashSet::new(),
+            words_per_page: page_size / WORD,
+            page_size,
+        }
+    }
+
+    /// All-process barrier: join every clock into every other and advance
+    /// each process's own component. Returns the number of happens-before
+    /// edges the barrier added (fan-in plus fan-out through the master).
+    pub fn barrier(&mut self) -> u64 {
+        let n = self.clocks.len();
+        let mut j = VectorClock::new(n);
+        for c in &self.clocks {
+            j.join(c);
+        }
+        for (p, c) in self.clocks.iter_mut().enumerate() {
+            c.0.copy_from_slice(&j.0);
+            c.0[p] += 1;
+        }
+        2 * (n as u64).saturating_sub(1)
+    }
+
+    /// True if `addr`'s word has been flagged racy.
+    pub fn word_is_racy(&self, addr: usize) -> bool {
+        self.racy.contains(&((addr / WORD) as u64))
+    }
+
+    pub fn words_shadowed(&self) -> u64 {
+        (self.shadow.len() * self.words_per_page) as u64
+    }
+
+    /// Record a write of `new` at `addr` by `pid`; push newly racy words
+    /// into `out`. `cur` is the writer's LRC-expected view of the same
+    /// range: words where `new == cur` are silent stores and are skipped
+    /// entirely (no race test, no stamp).
+    pub fn on_write(
+        &mut self,
+        pid: usize,
+        addr: usize,
+        new: &[u8],
+        cur: &[u8],
+        out: &mut Vec<RaceHit>,
+    ) {
+        debug_assert_eq!(new.len(), cur.len());
+        self.on_access(pid, addr, new.len(), Some((new, cur)), out);
+    }
+
+    /// Record a read of `[addr, addr + len)` by `pid`.
+    pub fn on_read(&mut self, pid: usize, addr: usize, len: usize, out: &mut Vec<RaceHit>) {
+        self.on_access(pid, addr, len, None, out);
+    }
+
+    fn on_access(
+        &mut self,
+        pid: usize,
+        addr: usize,
+        len: usize,
+        write: Option<(&[u8], &[u8])>,
+        out: &mut Vec<RaceHit>,
+    ) {
+        if len == 0 {
+            return;
+        }
+        let is_write = write.is_some();
+        let clock = self.clocks[pid].clone();
+        let c = clock.0[pid];
+        let first = addr / WORD;
+        let last = (addr + len - 1) / WORD;
+        let ps = self.page_size;
+        let mut w = first;
+        while w <= last {
+            let page = (w * WORD / ps) as u32;
+            let base = page as usize * self.words_per_page;
+            let end_of_page = base + self.words_per_page - 1;
+            let hi = last.min(end_of_page);
+            let wpp = self.words_per_page;
+            let cells = self
+                .shadow
+                .entry(page)
+                .or_insert_with(|| vec![Word::default(); wpp].into_boxed_slice());
+            for widx in (w - base)..=(hi - base) {
+                let cell = &mut cells[widx];
+                let key = (base + widx) as u64;
+                if let Some((new, cur)) = write {
+                    // Silent store: this word is rewritten with the bytes
+                    // the writer already sees; the diff-based protocols
+                    // cannot propagate it, so it is not a write here either.
+                    let ws = key as usize * WORD;
+                    let lo = ws.max(addr) - addr;
+                    let hi_b = (ws + WORD).min(addr + len) - addr;
+                    if new[lo..hi_b] == cur[lo..hi_b] {
+                        continue;
+                    }
+                }
+                // Prior write vs this access.
+                if cell.wc != 0
+                    && cell.wp as usize != pid
+                    && !clock.covers(cell.wc, cell.wp as usize)
+                    && self.racy.insert(key)
+                {
+                    out.push(RaceHit {
+                        kind: if is_write {
+                            RaceKind::WriteWrite
+                        } else {
+                            RaceKind::WriteRead
+                        },
+                        word_key: key,
+                        first_pid: cell.wp as usize,
+                        second_pid: pid,
+                    });
+                }
+                if is_write {
+                    // Prior reads vs this write.
+                    if cell.rc != 0 {
+                        let others = cell.rp & !(1u64 << pid);
+                        let mut bits = others;
+                        while bits != 0 {
+                            let q = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            if !clock.covers(cell.rc, q) {
+                                if self.racy.insert(key) {
+                                    out.push(RaceHit {
+                                        kind: RaceKind::ReadWrite,
+                                        word_key: key,
+                                        first_pid: q,
+                                        second_pid: pid,
+                                    });
+                                }
+                                break;
+                            }
+                        }
+                    }
+                    cell.wc = c;
+                    cell.wp = pid as u16;
+                } else {
+                    // Record the read: same-clock reads accumulate in the
+                    // bitmap, a newer clock restarts it.
+                    if c > cell.rc {
+                        cell.rc = c;
+                        cell.rp = 1u64 << pid;
+                    } else {
+                        cell.rp |= 1u64 << pid;
+                    }
+                }
+            }
+            w = hi + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PS: usize = 256;
+
+    fn hits(st: &mut RaceState, f: impl FnOnce(&mut RaceState, &mut Vec<RaceHit>)) -> Vec<RaceHit> {
+        let mut v = Vec::new();
+        f(st, &mut v);
+        v
+    }
+
+    /// A changing write: `len` bytes of `val` over a view of zeros.
+    fn wr(st: &mut RaceState, pid: usize, addr: usize, len: usize, val: u8) -> Vec<RaceHit> {
+        let new = vec![val; len];
+        let cur = vec![0u8; len];
+        hits(st, |s, v| s.on_write(pid, addr, &new, &cur, v))
+    }
+
+    #[test]
+    fn same_epoch_write_write_races() {
+        let mut st = RaceState::new(2, PS);
+        assert!(wr(&mut st, 0, 16, 8, 1).is_empty());
+        let h = wr(&mut st, 1, 16, 8, 2);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].kind, RaceKind::WriteWrite);
+    }
+
+    #[test]
+    fn barrier_orders_accesses() {
+        let mut st = RaceState::new(2, PS);
+        assert!(wr(&mut st, 0, 16, 8, 1).is_empty());
+        st.barrier();
+        assert!(wr(&mut st, 1, 16, 8, 2).is_empty());
+        st.barrier();
+        assert!(hits(&mut st, |s, v| s.on_read(0, 16, 8, v)).is_empty());
+    }
+
+    #[test]
+    fn read_then_unordered_write_races() {
+        let mut st = RaceState::new(2, PS);
+        assert!(hits(&mut st, |s, v| s.on_read(0, 8, 8, v)).is_empty());
+        let h = wr(&mut st, 1, 8, 8, 1);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].kind, RaceKind::ReadWrite);
+    }
+
+    #[test]
+    fn write_then_unordered_read_races() {
+        let mut st = RaceState::new(2, PS);
+        assert!(wr(&mut st, 0, 8, 8, 1).is_empty());
+        let h = hits(&mut st, |s, v| s.on_read(1, 8, 8, v));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].kind, RaceKind::WriteRead);
+    }
+
+    #[test]
+    fn concurrent_reads_do_not_race() {
+        let mut st = RaceState::new(3, PS);
+        for p in 0..3 {
+            assert!(hits(&mut st, |s, v| s.on_read(p, 32, 8, v)).is_empty());
+        }
+    }
+
+    #[test]
+    fn own_rewrite_does_not_race() {
+        let mut st = RaceState::new(2, PS);
+        assert!(wr(&mut st, 0, 0, 8, 1).is_empty());
+        assert!(wr(&mut st, 0, 0, 8, 2).is_empty());
+        assert!(hits(&mut st, |s, v| s.on_read(0, 0, 8, v)).is_empty());
+    }
+
+    #[test]
+    fn race_reported_once_per_word() {
+        let mut st = RaceState::new(2, PS);
+        let _ = wr(&mut st, 0, 16, 8, 1);
+        assert_eq!(wr(&mut st, 1, 16, 8, 2).len(), 1);
+        assert!(wr(&mut st, 1, 16, 8, 3).is_empty());
+        assert!(st.word_is_racy(16));
+        assert!(!st.word_is_racy(24));
+    }
+
+    #[test]
+    fn range_access_races_per_overlapping_word() {
+        let mut st = RaceState::new(2, PS);
+        let _ = wr(&mut st, 0, 0, 32, 1);
+        // Writes overlap in words 1 and 2 only.
+        let h = wr(&mut st, 1, 8, 16, 2);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn spans_cross_pages() {
+        let mut st = RaceState::new(2, PS);
+        let _ = wr(&mut st, 0, PS - 8, 16, 1);
+        let h = wr(&mut st, 1, PS - 8, 16, 2);
+        assert_eq!(h.len(), 2);
+        assert!(st.words_shadowed() >= 2 * (PS / 8) as u64);
+    }
+
+    #[test]
+    fn silent_store_is_not_a_write() {
+        let mut st = RaceState::new(2, PS);
+        // p0 reads the word; p1 "rewrites" it with the bytes it already
+        // sees — no diff would ever leave p1, so no race.
+        assert!(hits(&mut st, |s, v| s.on_read(0, 16, 8, v)).is_empty());
+        let same = [5u8; 8];
+        assert!(hits(&mut st, |s, v| s.on_write(1, 16, &same, &same, v)).is_empty());
+        // And a silent store does not stamp the word: a later read by p0
+        // still races with nothing.
+        assert!(hits(&mut st, |s, v| s.on_read(0, 16, 8, v)).is_empty());
+    }
+
+    #[test]
+    fn mixed_silent_and_changing_words_race_only_where_changed() {
+        let mut st = RaceState::new(2, PS);
+        let _ = wr(&mut st, 0, 0, 32, 1);
+        // p1 rewrites 4 words but only word 2 actually changes.
+        let cur = [7u8; 32];
+        let mut new = [7u8; 32];
+        new[16..24].fill(9);
+        let h = hits(&mut st, |s, v| s.on_write(1, 0, &new, &cur, v));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].word_key, 2);
+    }
+}

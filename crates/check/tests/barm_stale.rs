@@ -1,0 +1,144 @@
+//! The bar-m divergence signal: a misprediction stress application whose
+//! write sets are stable through learning and then, once overdrive has
+//! engaged, writes a pre-enabled page at the *wrong* barrier site. Under
+//! `bar-m` that write never traps, never diffs, and is silently lost —
+//! LRC-visible as a stale read on every other process, which the checker's
+//! coherence oracle must flag. Under `bar-s` (and plain `bar-u`) the same
+//! write traps as unanticipated, the cluster reverts, and the run is clean.
+
+use dsm_check::{checked_run, Violation};
+use dsm_core::{
+    CheckCtx, DsmApp, ExecCtx, PhaseEnd, ProtocolKind, RunConfig, SetupCtx, SharedArray,
+};
+
+/// Three barrier sites per iteration. p0 writes `a[0]` at site 0 and
+/// `b[0]` at site 1, every iteration — a stable prediction. p1 reads
+/// `a[0]` and `a[1]` at site 2, one barrier after the writes. At iteration
+/// 3 (well after overdrive engages at the end of iteration 1), p0
+/// additionally writes `a[1]` during site 1: page `a` is pre-enabled
+/// (predicted for site 0), so bar-m misses the write.
+struct MissPredict {
+    a: Option<SharedArray<f64>>,
+    b: Option<SharedArray<f64>>,
+}
+
+impl MissPredict {
+    fn new() -> MissPredict {
+        MissPredict { a: None, b: None }
+    }
+}
+
+impl DsmApp for MissPredict {
+    fn name(&self) -> &'static str {
+        "miss-predict"
+    }
+
+    fn phases(&self) -> usize {
+        3
+    }
+
+    fn iters(&self) -> usize {
+        6
+    }
+
+    fn setup(&mut self, s: &mut SetupCtx<'_>) {
+        let a = s.alloc_array::<f64>("a", 8);
+        let b = s.alloc_array::<f64>("b", 8);
+        for i in 0..8 {
+            s.init(a, i, 0.0);
+            s.init(b, i, 0.0);
+        }
+        self.a = Some(a);
+        self.b = Some(b);
+    }
+
+    fn phase(&mut self, ctx: &mut ExecCtx<'_>, iter: usize, site: usize) -> PhaseEnd {
+        let (a, b) = (self.a.unwrap(), self.b.unwrap());
+        match (site, ctx.pid()) {
+            (0, 0) => a.set(ctx, 0, 1.0 + iter as f64),
+            (1, 0) => {
+                b.set(ctx, 0, 2.0 + iter as f64);
+                if iter == 3 {
+                    // The misprediction: page `a` is writable (pre-enabled
+                    // for site 0) but was not predicted for site 1.
+                    a.set(ctx, 1, 99.0);
+                }
+            }
+            (2, 1) => {
+                let _ = a.get(ctx, 0);
+                let _ = a.get(ctx, 1);
+            }
+            _ => {}
+        }
+        PhaseEnd::Barrier
+    }
+
+    fn check(&self, c: &CheckCtx<'_>) -> f64 {
+        c.read(self.a.unwrap(), 0) + c.read(self.b.unwrap(), 0)
+    }
+}
+
+#[test]
+fn bar_m_misprediction_triggers_stale_read() {
+    let cfg = RunConfig::with_nprocs(ProtocolKind::BarM, 2);
+    let (run, check) = checked_run(&mut MissPredict::new(), cfg);
+    assert!(
+        run.stats.overdrive_unanticipated == 0,
+        "the rogue write must not trap under bar-m"
+    );
+    assert!(
+        check.stale_reads() >= 1,
+        "oracle missed the divergence:\n{}",
+        check.summary()
+    );
+    assert_eq!(
+        check.races(),
+        0,
+        "no race was planted:\n{}",
+        check.summary()
+    );
+    assert_eq!(check.invariant_violations(), 0, "{}", check.summary());
+    let stale = check
+        .violations
+        .iter()
+        .find_map(|v| match v {
+            Violation::StaleRead {
+                pid,
+                expected,
+                observed,
+                ..
+            } => Some((*pid, expected.clone(), observed.clone())),
+            _ => None,
+        })
+        .unwrap();
+    assert_eq!(stale.0, 1, "the reader is p1");
+    assert_eq!(
+        stale.1,
+        99.0f64.to_ne_bytes().to_vec(),
+        "expected the lost write"
+    );
+    assert_eq!(
+        stale.2,
+        0.0f64.to_ne_bytes().to_vec(),
+        "observed the stale zero"
+    );
+}
+
+#[test]
+fn bar_s_catches_the_same_write_and_stays_clean() {
+    let cfg = RunConfig::with_nprocs(ProtocolKind::BarS, 2);
+    let (run, check) = checked_run(&mut MissPredict::new(), cfg);
+    assert!(
+        run.stats.overdrive_unanticipated > 0,
+        "bar-s must trap the unanticipated write"
+    );
+    assert!(run.stats.overdrive_reversions > 0, "bar-s must revert");
+    assert!(check.is_clean(), "bar-s flagged:\n{}", check.summary());
+}
+
+#[test]
+fn bar_u_runs_the_stress_app_clean() {
+    let cfg = RunConfig::with_nprocs(ProtocolKind::BarU, 2);
+    let (_, check) = checked_run(&mut MissPredict::new(), cfg);
+    assert!(check.is_clean(), "bar-u flagged:\n{}", check.summary());
+}

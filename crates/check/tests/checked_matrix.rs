@@ -1,0 +1,97 @@
+//! The checked matrix: all eight paper applications under every sound
+//! protocol must come out clean — no races, no stale reads, no invariant
+//! violations — and installing the checker must not perturb the run at all
+//! (same virtual time, same checksum as an unchecked run).
+//!
+//! `bar-m` is exercised separately (`barm_stale.rs`): it is deliberately
+//! unsound under mispredicted write sets, which none of the paper apps
+//! trigger, but the suite here sticks to the protocols whose cleanliness is
+//! unconditional.
+
+use dsm_apps::{all_apps, Scale};
+use dsm_check::checked_run;
+use dsm_core::{run_app, ProtocolKind, RunConfig};
+
+const PROTOCOLS: [ProtocolKind; 5] = [
+    ProtocolKind::LmwI,
+    ProtocolKind::LmwU,
+    ProtocolKind::BarI,
+    ProtocolKind::BarU,
+    ProtocolKind::BarS,
+];
+
+#[test]
+fn every_app_is_clean_and_unperturbed_under_checking() {
+    std::thread::scope(|scope| {
+        for spec in all_apps() {
+            scope.spawn(move || {
+                for protocol in PROTOCOLS {
+                    let cfg = RunConfig::with_nprocs(protocol, 4);
+                    let plain = run_app(spec.build(Scale::Small).as_mut(), cfg.clone());
+                    let (run, check) = checked_run(spec.build(Scale::Small).as_mut(), cfg);
+                    assert_eq!(
+                        run.elapsed,
+                        plain.elapsed,
+                        "{} under {}: checking changed virtual time",
+                        spec.name,
+                        protocol.label()
+                    );
+                    assert_eq!(
+                        run.checksum,
+                        plain.checksum,
+                        "{} under {}: checking changed the result",
+                        spec.name,
+                        protocol.label()
+                    );
+                    assert!(
+                        check.is_clean(),
+                        "{} under {} flagged:\n{}",
+                        spec.name,
+                        protocol.label(),
+                        check.summary()
+                    );
+                    assert!(check.reads > 0 && check.writes > 0 && check.barriers > 0);
+                    assert!(check.hb_edges > 0);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn bar_m_is_clean_when_predictions_hold() {
+    // The paper apps' write sets are iteration-invariant (barnes aside, and
+    // its instability keeps overdrive from ever engaging), so even the
+    // unsound protocol runs clean on them — the checker's silence here is
+    // the baseline that makes its bar-m divergence signal meaningful.
+    for spec in all_apps() {
+        let cfg = RunConfig::with_nprocs(ProtocolKind::BarM, 4);
+        let (_, check) = checked_run(spec.build(Scale::Small).as_mut(), cfg);
+        assert!(
+            check.is_clean(),
+            "{} under bar-m flagged:\n{}",
+            spec.name,
+            check.summary()
+        );
+    }
+}
+
+#[test]
+fn checked_gc_run_is_clean() {
+    // Force homeless-protocol garbage collections during a checked run: the
+    // GC-safety invariant (no live notice at discard time) must hold.
+    let spec = dsm_apps::app_by_name("sor").unwrap();
+    for protocol in [ProtocolKind::LmwI, ProtocolKind::LmwU] {
+        let mut cfg = RunConfig::with_nprocs(protocol, 4);
+        cfg.gc_diff_threshold = 8;
+        let (run, check) = checked_run(spec.build(Scale::Small).as_mut(), cfg);
+        assert!(run.stats.gc_events > 0, "threshold too high to trigger GC");
+        assert!(check.gc_discards > 0);
+        assert!(
+            check.is_clean(),
+            "sor with eager GC under {} flagged:\n{}",
+            protocol.label(),
+            check.summary()
+        );
+    }
+}

@@ -1,11 +1,9 @@
 //! Run configuration: protocol choice and protocol-specific knobs.
 
-use serde::{Deserialize, Serialize};
-
 use dsm_sim::SimConfig;
 
 /// Which protocol a run uses.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum ProtocolKind {
     /// Homeless multi-writer LRC, invalidate-based (paper: `lmw-i`).
     LmwI,
@@ -85,7 +83,7 @@ impl ProtocolKind {
 }
 
 /// What to do when an unanticipated write traps during overdrive.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum DivergencePolicy {
     /// Revert the whole cluster to bar-u at the next barrier (safe).
     Revert,
@@ -94,7 +92,7 @@ pub enum DivergencePolicy {
 }
 
 /// Overdrive (bar-s / bar-m) configuration.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct OverdriveConfig {
     /// Full iterations of per-site write-set learning before overdrive can
     /// engage; overdrive additionally requires the last two observations of
@@ -119,7 +117,7 @@ impl Default for OverdriveConfig {
 }
 
 /// Full configuration of one run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RunConfig {
     /// Machine configuration (process count, page size, costs, stress).
     pub sim: SimConfig,

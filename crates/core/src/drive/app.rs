@@ -6,6 +6,7 @@
 //! under LRC for data-race-free programs — then drives the protocol
 //! barrier.
 
+use crate::check::CheckSink;
 use crate::config::RunConfig;
 use crate::drive::cluster::Cluster;
 use crate::drive::ctx::{CheckCtx, ExecCtx, SetupCtx};
@@ -48,7 +49,32 @@ pub trait DsmApp {
 /// Execute `app` under `cfg` and report statistics, time breakdown, and the
 /// result checksum.
 pub fn run_app<A: DsmApp + ?Sized>(app: &mut A, cfg: RunConfig) -> RunReport {
+    run_app_inner(app, cfg, None)
+}
+
+/// Execute `app` under `cfg` with a checking sink installed for the whole
+/// run — before setup, so the sink observes the initial-image writes.
+///
+/// The virtual-time result is identical to [`run_app`]: the sink only
+/// observes, it is never charged. Checkers that need to report afterwards
+/// should hand in a handle to shared state (see `dsm-check`).
+pub fn run_app_checked<A: DsmApp + ?Sized>(
+    app: &mut A,
+    cfg: RunConfig,
+    sink: Box<dyn CheckSink>,
+) -> RunReport {
+    run_app_inner(app, cfg, Some(sink))
+}
+
+fn run_app_inner<A: DsmApp + ?Sized>(
+    app: &mut A,
+    cfg: RunConfig,
+    sink: Option<Box<dyn CheckSink>>,
+) -> RunReport {
     let mut cl = Cluster::new(cfg);
+    if let Some(sink) = sink {
+        cl.install_check_sink(sink);
+    }
     {
         let mut s = SetupCtx { cl: &mut cl };
         app.setup(&mut s);

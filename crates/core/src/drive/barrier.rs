@@ -12,6 +12,7 @@
 use dsm_net::MsgKind;
 use dsm_sim::{Category, Time};
 
+use crate::check::CheckEvent;
 use crate::config::ProtocolKind;
 use crate::drive::cluster::Cluster;
 use crate::drive::reduce::ReduceOp;
@@ -83,8 +84,15 @@ impl Cluster {
 
         if self.cfg.protocol == ProtocolKind::Seq {
             if let Some((op, contribs)) = reduce {
+                self.emit(CheckEvent::Reduction {
+                    op: op.label(),
+                    len: contribs[0].len(),
+                });
                 self.last_reduction = op.fold(&contribs);
             }
+            let epoch = self.epoch;
+            self.emit(CheckEvent::BarrierArrive { pid: 0, epoch });
+            self.emit(CheckEvent::BarrierRelease { epoch });
             self.epoch += 1;
             return;
         }
@@ -121,6 +129,10 @@ impl Cluster {
         let red_payload = red_k * 8;
 
         // 2. Arrivals.
+        for pid in 0..n {
+            let epoch = self.epoch;
+            self.emit(CheckEvent::BarrierArrive { pid, epoch });
+        }
         let mut land = self.procs[master].clock.now();
         for (pid, payload) in payloads.iter().enumerate().skip(1) {
             let tr = self
@@ -146,6 +158,10 @@ impl Cluster {
         }
         self.charge(master, Category::Sigio, Time::from_ns(master_work));
         if let Some((op, contribs)) = reduce {
+            self.emit(CheckEvent::Reduction {
+                op: op.label(),
+                len: contribs[0].len(),
+            });
             self.last_reduction = op.fold(&contribs);
         }
 
@@ -182,6 +198,8 @@ impl Cluster {
         debug_assert!(self.bar_deliveries.lmw_updates.is_empty());
         self.bar_deliveries.bumps.clear();
         self.bar_deliveries.writer_bumps.clear();
+        let epoch = self.epoch;
+        self.emit(CheckEvent::BarrierRelease { epoch });
         self.epoch += 1;
     }
 }

@@ -11,8 +11,9 @@
 
 use dsm_net::Network;
 use dsm_sim::{Category, Clock, DetRng, Time};
-use dsm_vm::{FaultKind, PageBuf, PageId, PageStore, Pod, Protection};
+use dsm_vm::{as_bytes, FaultKind, PageBuf, PageId, PageStore, Pod, Protection};
 
+use crate::check::{CheckEvent, CheckSink};
 use crate::config::{ProtocolKind, RunConfig};
 use crate::drive::stats::{RunReport, RunStats};
 use crate::mem::SharedSegment;
@@ -89,6 +90,9 @@ pub struct Cluster {
     /// Hidden shared arrays backing reduction emulation on lmw.
     pub(crate) reduce_mem: Option<crate::drive::reduce::ReduceMem>,
     pub(crate) distributed: bool,
+    /// Optional checking sink; `None` (the default) costs one branch per
+    /// choke point and leaves the run bit-identical to an unchecked one.
+    pub(crate) check: Option<Box<dyn CheckSink>>,
 }
 
 impl Cluster {
@@ -131,7 +135,28 @@ impl Cluster {
             last_reduction: Vec::new(),
             reduce_mem: None,
             distributed: false,
+            check: None,
             cfg,
+        }
+    }
+
+    /// Install a checking sink. Install before setup to observe the
+    /// initial-image writes; the sink then receives every access, barrier,
+    /// and protocol event until removed.
+    pub fn install_check_sink(&mut self, sink: Box<dyn CheckSink>) {
+        self.check = Some(sink);
+    }
+
+    /// Remove and return the installed checking sink, if any.
+    pub fn take_check_sink(&mut self) -> Option<Box<dyn CheckSink>> {
+        self.check.take()
+    }
+
+    /// Forward one event to the installed sink, if any.
+    #[inline]
+    pub(crate) fn emit(&mut self, ev: CheckEvent<'_>) {
+        if let Some(sink) = self.check.as_mut() {
+            sink.on_event(ev);
         }
     }
 
@@ -282,7 +307,11 @@ impl Cluster {
     pub(crate) fn charge_mprotect(&mut self, pid: usize) {
         let base = Time::from_ns(self.cfg.sim.costs.mprotect_ns);
         let ops = self.procs[pid].protect_ops_epoch;
-        let cost = self.cfg.sim.stress.mprotect_cost(base, ops, self.seg.npages());
+        let cost = self
+            .cfg
+            .sim
+            .stress
+            .mprotect_cost(base, ops, self.seg.npages());
         self.procs[pid].protect_ops_epoch += 1;
         self.stats.mprotects += 1;
         self.charge(pid, Category::Os, cost);
@@ -358,7 +387,11 @@ impl Cluster {
         let image = &self.image[page.index()];
         let f = self.procs[pid].store.frame_mut(page);
         f.data.copy_from(image);
-        f.prot = if valid { Protection::Read } else { Protection::Invalid };
+        f.prot = if valid {
+            Protection::Read
+        } else {
+            Protection::Invalid
+        };
         f.version_seen = 1;
         // Acquiring a cached copy makes this process part of the page's
         // copyset ("bitmaps that specify which processors cache a given
@@ -372,7 +405,9 @@ impl Cluster {
         match self.cfg.protocol {
             ProtocolKind::Seq => {
                 // Null protocol: everything is always accessible, free.
-                self.procs[pid].store.set_protection(page, Protection::ReadWrite);
+                self.procs[pid]
+                    .store
+                    .set_protection(page, Protection::ReadWrite);
             }
             p if p.is_lmw() => self.lmw_fault(pid, page, kind),
             _ => self.bar_fault(pid, page, kind),
@@ -418,8 +453,17 @@ impl Cluster {
         let ps = self.page_size();
         let page = PageId::containing(addr, ps);
         let off = PageId::offset(addr, ps);
-        let f = self.procs[pid].store.frame(page).expect("faulted page present");
-        f.data.typed::<T>(off..off + sz)[0]
+        let f = self.procs[pid]
+            .store
+            .frame(page)
+            .expect("faulted page present");
+        let v = f.data.typed::<T>(off..off + sz)[0];
+        self.emit(CheckEvent::Read {
+            pid,
+            addr,
+            data: as_bytes(core::slice::from_ref(&v)),
+        });
+        v
     }
 
     pub(crate) fn write_scalar<T: Pod>(&mut self, pid: usize, addr: usize, v: T) {
@@ -431,6 +475,11 @@ impl Cluster {
         let off = PageId::offset(addr, ps);
         let f = self.procs[pid].store.frame_mut(page);
         f.data.typed_mut::<T>(off..off + sz)[0] = v;
+        self.emit(CheckEvent::Write {
+            pid,
+            addr,
+            data: as_bytes(core::slice::from_ref(&v)),
+        });
     }
 
     /// Copy `out.len()` bytes starting at `addr` into `out`.
@@ -447,10 +496,18 @@ impl Cluster {
             let page = PageId::containing(a, ps);
             let off = PageId::offset(a, ps);
             let n = (ps - off).min(out.len() - done);
-            let f = self.procs[pid].store.frame(page).expect("faulted page present");
+            let f = self.procs[pid]
+                .store
+                .frame(page)
+                .expect("faulted page present");
             out[done..done + n].copy_from_slice(&f.data.bytes()[off..off + n]);
             done += n;
         }
+        self.emit(CheckEvent::Read {
+            pid,
+            addr,
+            data: out,
+        });
     }
 
     /// Copy `src` into shared memory starting at `addr`.
@@ -471,6 +528,11 @@ impl Cluster {
             done += n;
         }
         self.watch_hit(pid, addr, src.len(), "write");
+        self.emit(CheckEvent::Write {
+            pid,
+            addr,
+            data: src,
+        });
     }
 
     /// Setup-time write into the golden image (uncharged, pre-distribution).
@@ -487,6 +549,7 @@ impl Cluster {
             self.image[page].bytes_mut()[off..off + n].copy_from_slice(&src[done..done + n]);
             done += n;
         }
+        self.emit(CheckEvent::ImageWrite { addr, data: src });
     }
 
     // ------------------------------------------------------------------

@@ -75,7 +75,8 @@ impl<T: Pod> SharedArray<T> {
             return;
         }
         assert!(start + src.len() <= self.len(), "range out of bounds");
-        ctx.cl.write_bytes(ctx.pid, self.addr_of(start), as_bytes(src));
+        ctx.cl
+            .write_bytes(ctx.pid, self.addr_of(start), as_bytes(src));
     }
 }
 
@@ -190,7 +191,8 @@ impl SetupCtx<'_> {
 
     /// Initialize one array element.
     pub fn init<T: Pod>(&mut self, a: SharedArray<T>, i: usize, v: T) {
-        self.cl.write_image_bytes(a.addr_of(i), as_bytes(core::slice::from_ref(&v)));
+        self.cl
+            .write_image_bytes(a.addr_of(i), as_bytes(core::slice::from_ref(&v)));
     }
 
     /// Initialize a contiguous array range.
@@ -201,7 +203,8 @@ impl SetupCtx<'_> {
 
     /// Initialize one grid element.
     pub fn init_grid<T: Pod>(&mut self, g: SharedGrid2<T>, r: usize, c: usize, v: T) {
-        self.cl.write_image_bytes(g.addr_of(r, c), as_bytes(core::slice::from_ref(&v)));
+        self.cl
+            .write_image_bytes(g.addr_of(r, c), as_bytes(core::slice::from_ref(&v)));
     }
 
     /// Initialize a whole grid row.

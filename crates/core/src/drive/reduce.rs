@@ -8,15 +8,13 @@
 //! combine by process 0, and a second barrier — generating exactly the kind
 //! of diff/miss traffic Table 1 shows for the reduction-heavy codes.
 
-use serde::{Deserialize, Serialize};
-
 use dsm_sim::{Category, Time};
 
 use crate::drive::cluster::Cluster;
 use crate::mem::SharedArray;
 
 /// Associative combining operators.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ReduceOp {
     Sum,
     Max,
@@ -24,6 +22,15 @@ pub enum ReduceOp {
 }
 
 impl ReduceOp {
+    /// Short name for reports and the checking event stream.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReduceOp::Sum => "sum",
+            ReduceOp::Max => "max",
+            ReduceOp::Min => "min",
+        }
+    }
+
     /// Identity element.
     pub fn identity(self) -> f64 {
         match self {

@@ -1,8 +1,6 @@
 //! Run statistics: the paper's Table 1 columns, Figure 3 breakdown, and
 //! speedups.
 
-use serde::{Deserialize, Serialize};
-
 use dsm_net::NetStats;
 use dsm_sim::{Time, TimeBreakdown};
 
@@ -13,7 +11,7 @@ use crate::config::ProtocolKind;
 /// The first four derived quantities (`diffs_created`, `remote_misses`,
 /// [`RunStats::paper_messages`], [`RunStats::data_kbytes`]) are the columns
 /// of the paper's Table 1.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RunStats {
     /// Diff creations (page-length comparisons), including empty results.
     pub diffs_created: u64,
@@ -64,7 +62,7 @@ impl RunStats {
 }
 
 /// Everything a run produces.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RunReport {
     pub app: String,
     pub protocol: ProtocolKind,

@@ -28,13 +28,17 @@
 //!   fault path, the barrier engine, reductions, the application trait and
 //!   runner, and run statistics (Table 1 columns + Figure 3 breakdown).
 
+#![forbid(unsafe_code)]
+
+pub mod check;
 pub mod config;
 pub mod drive;
 pub mod mem;
 pub mod proto;
 
+pub use check::{CheckEvent, CheckSink, CountingSink};
 pub use config::{DivergencePolicy, OverdriveConfig, ProtocolKind, RunConfig};
-pub use drive::app::{run_app, run_app_with_baseline, DsmApp, PhaseEnd};
+pub use drive::app::{run_app, run_app_checked, run_app_with_baseline, DsmApp, PhaseEnd};
 pub use drive::cluster::Cluster;
 pub use drive::ctx::{CheckCtx, ExecCtx, SetupCtx};
 pub use drive::reduce::ReduceOp;

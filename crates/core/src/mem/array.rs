@@ -28,7 +28,10 @@ impl<T: Pod> Copy for SharedArray<T> {}
 impl<T: Pod> SharedArray<T> {
     /// Construct from a base byte address (must be `T`-aligned) and length.
     pub(crate) fn from_raw(base: usize, len: usize) -> Self {
-        assert!(base.is_multiple_of(core::mem::align_of::<T>()), "misaligned array base");
+        assert!(
+            base.is_multiple_of(core::mem::align_of::<T>()),
+            "misaligned array base"
+        );
         SharedArray {
             base,
             len,

@@ -47,7 +47,10 @@ pub(crate) fn page_friendly_stride<T: Pod>(cols: usize, page_size: usize) -> usi
 impl<T: Pod> SharedGrid2<T> {
     pub(crate) fn from_raw(base: usize, rows: usize, cols: usize, stride: usize) -> Self {
         assert!(stride >= cols);
-        assert!(base.is_multiple_of(core::mem::align_of::<T>()), "misaligned grid base");
+        assert!(
+            base.is_multiple_of(core::mem::align_of::<T>()),
+            "misaligned grid base"
+        );
         SharedGrid2 {
             base,
             rows,

@@ -21,6 +21,7 @@ use dsm_net::MsgKind;
 use dsm_sim::{Category, Time};
 use dsm_vm::{Diff, FaultKind, PageId, Protection};
 
+use crate::check::CheckEvent;
 use crate::drive::cluster::Cluster;
 use crate::proto::overdrive::OdMode;
 
@@ -118,18 +119,32 @@ impl Cluster {
         let rep = self.net.send(home, pid, MsgKind::PageReply, ps);
         let prep = Time::from_ns(self.cfg.sim.costs.page_prep_ns);
         let fixed = Time::from_ns(self.cfg.sim.costs.page_fault_fixed_ns);
-        self.charge(pid, Category::Wait, req.total() + prep + rep.total() + fixed);
+        self.charge(
+            pid,
+            Category::Wait,
+            req.total() + prep + rep.total() + fixed,
+        );
         self.charge(home, Category::Sigio, req.receiver + prep + rep.sender);
         let version = self.versions[page.index()];
         {
             let (me, hm) = Cluster::pair_mut(&mut self.procs, pid, home);
-            let src = hm.store.frame(page).expect("home frame present").data.clone();
+            let src = hm
+                .store
+                .frame(page)
+                .expect("home frame present")
+                .data
+                .clone();
             let f = me.store.frame_mut(page);
             f.data.copy_from(&src);
             f.version_seen = version;
         }
         self.set_prot(pid, page, Protection::Read);
         self.stats.remote_misses += 1;
+        self.emit(CheckEvent::Fetch {
+            pid,
+            from: home,
+            page: page.0,
+        });
         if self.cfg.protocol.is_update() {
             // The home learns its consumers; distribution of copyset
             // changes piggybacks on the next barrier release.
@@ -151,7 +166,10 @@ impl Cluster {
         let mut contributions = 0usize;
         for page in dirty {
             let home = self.homes[page.index()];
-            let has_twin = self.procs[pid].store.frame(page).is_some_and(|f| f.twin.is_some());
+            let has_twin = self.procs[pid]
+                .store
+                .frame(page)
+                .is_some_and(|f| f.twin.is_some());
             // The home effect decides at diff time: a home page with no
             // consumers never needs its modifications summarized, even if
             // overdrive armed a (pure-overhead) twin on it.
@@ -174,7 +192,14 @@ impl Cluster {
                         self.stats.overdrive_zero_diffs += 1;
                     }
                 } else {
+                    let old = self.versions[page.index()];
                     self.bar_deliveries.bump(page, &mut self.versions);
+                    let new = self.versions[page.index()];
+                    self.emit(CheckEvent::VersionBump {
+                        page: page.0,
+                        old,
+                        new,
+                    });
                     self.bar_deliveries.writer_bumps.push((pid, page));
                     contributions += 1;
                     if pid != home {
@@ -182,23 +207,36 @@ impl Cluster {
                             self.net
                                 .send(pid, home, MsgKind::DiffFlushHome, diff.wire_bytes());
                         self.charge(pid, Category::Os, tr.sender);
-                        self.bar_deliveries
-                            .home_flushes
-                            .push((home, page, diff.clone(), tr.receiver));
+                        self.bar_deliveries.home_flushes.push((
+                            home,
+                            page,
+                            diff.clone(),
+                            tr.receiver,
+                        ));
                     }
                     if is_update {
+                        let cs = self.copysets[page.index()];
+                        self.emit(CheckEvent::UpdateFlush {
+                            writer: pid,
+                            page: page.0,
+                            copyset: cs.bits(),
+                        });
                         let members: Vec<usize> = self.copysets[page.index()]
                             .others(pid)
                             .filter(|&q| q != home)
                             .collect();
                         for q in members {
-                            let tr =
-                                self.net.send(pid, q, MsgKind::UpdateFlush, diff.wire_bytes());
+                            let tr = self
+                                .net
+                                .send(pid, q, MsgKind::UpdateFlush, diff.wire_bytes());
                             self.charge(pid, Category::Os, tr.sender);
                             if tr.delivered {
-                                self.bar_deliveries
-                                    .bar_updates
-                                    .push((q, page, diff.clone(), tr.receiver));
+                                self.bar_deliveries.bar_updates.push((
+                                    q,
+                                    page,
+                                    diff.clone(),
+                                    tr.receiver,
+                                ));
                             }
                         }
                     }
@@ -208,7 +246,14 @@ impl Cluster {
                 // ("modifications made by the home node are merely noted
                 // locally").
                 debug_assert_eq!(pid, home, "non-home dirty pages always have twins");
+                let old = self.versions[page.index()];
                 self.bar_deliveries.bump(page, &mut self.versions);
+                let new = self.versions[page.index()];
+                self.emit(CheckEvent::VersionBump {
+                    page: page.0,
+                    old,
+                    new,
+                });
                 self.bar_deliveries.writer_bumps.push((pid, page));
                 contributions += 1;
             }
@@ -303,8 +348,7 @@ impl Cluster {
             if self.homes[page.index()] == pid {
                 continue;
             }
-            let stale = self
-                .procs[pid]
+            let stale = self.procs[pid]
                 .store
                 .frame(page)
                 .is_some_and(|f| f.prot.readable() && f.version_seen < newv);
@@ -371,7 +415,12 @@ impl Cluster {
             let version = self.versions[pg];
             {
                 let (old_p, new_p) = Cluster::pair_mut(&mut self.procs, old_home, new_home);
-                let src = old_p.store.frame(page).expect("old home frame").data.clone();
+                let src = old_p
+                    .store
+                    .frame(page)
+                    .expect("old home frame")
+                    .data
+                    .clone();
                 let f = new_p.store.frame_mut(page);
                 f.data.copy_from(&src);
                 f.version_seen = version;

@@ -3,10 +3,8 @@
 //! "Accesses to shared pages are tracked by using per-page copysets, which
 //! are bitmaps that specify which processors cache a given page" (§2.1.2).
 
-use serde::{Deserialize, Serialize};
-
 /// A set of processor ids, as a 64-bit bitmap.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
 pub struct CopySet(u64);
 
 impl CopySet {
@@ -18,6 +16,18 @@ impl CopySet {
         let mut s = CopySet::EMPTY;
         s.insert(pid);
         s
+    }
+
+    /// The raw bitmap (bit `p` set iff process `p` is a member).
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstruct a set from its raw bitmap.
+    #[inline]
+    pub fn from_bits(bits: u64) -> CopySet {
+        CopySet(bits)
     }
 
     #[inline]

@@ -29,6 +29,7 @@ use dsm_net::MsgKind;
 use dsm_sim::{Category, Time};
 use dsm_vm::{Diff, FaultKind, PageBuf, PageId, Protection};
 
+use crate::check::CheckEvent;
 use crate::config::ProtocolKind;
 use crate::drive::cluster::Cluster;
 use crate::proto::copyset::CopySet;
@@ -136,23 +137,33 @@ impl Cluster {
     /// Bring `pid`'s copy of `page` current: apply stored updates, fetch
     /// missing segments from their creators, apply in interval order.
     pub(crate) fn lmw_validate(&mut self, pid: usize, page: PageId) {
-        let mut notices = self
-            .procs[pid]
+        let mut notices = self.procs[pid]
             .lmw
             .known_notices
             .remove(&page.0)
             .unwrap_or_default();
+        for n in &notices {
+            self.emit(CheckEvent::NoticeConsume {
+                pid,
+                page: n.page,
+                writer: n.writer,
+                epoch: n.epoch,
+            });
+        }
         notices.retain(|n| n.writer as usize != pid);
         notices.sort_by_key(|n| (n.epoch, n.writer));
 
-        let floor = self
-            .procs[pid]
+        let floor = self.procs[pid]
             .store
             .frame(page)
             .map(|f| f.applied_through)
             .unwrap_or(0);
         let applied_w = |lmw: &LmwProc, w: u16| -> u64 {
-            lmw.applied.get(&(page.0, w)).copied().unwrap_or(0).max(floor)
+            lmw.applied
+                .get(&(page.0, w))
+                .copied()
+                .unwrap_or(0)
+                .max(floor)
         };
 
         if notices.is_empty() {
@@ -173,8 +184,7 @@ impl Cluster {
         // dropped) intervals, which must still be fetched.
         let mut covered: HashMap<u16, Vec<(u64, u64)>> = HashMap::new();
         if self.cfg.protocol == ProtocolKind::LmwU {
-            let stored = self
-                .procs[pid]
+            let stored = self.procs[pid]
                 .lmw
                 .pending_updates
                 .remove(&page.0)
@@ -209,6 +219,11 @@ impl Cluster {
         let used_net = !fetch_writers.is_empty();
         for &w in &fetch_writers {
             let writer = w as usize;
+            self.emit(CheckEvent::Fetch {
+                pid,
+                from: writer,
+                page: page.0,
+            });
             // The writer seals any pending accumulation on demand (lazy
             // diff creation) — served in its sigio handler.
             self.lmw_seal(writer, page, Category::Sigio);
@@ -229,7 +244,10 @@ impl Cluster {
             self.charge(writer, Category::Sigio, req.receiver + prep + rep.sender);
             for s in segs {
                 // Skip duplicates of segments already covered by updates.
-                if !to_apply.iter().any(|(hi, lo, tw, _)| *tw == w && *hi == s.hi && *lo == s.lo) {
+                if !to_apply
+                    .iter()
+                    .any(|(hi, lo, tw, _)| *tw == w && *hi == s.hi && *lo == s.lo)
+                {
                     to_apply.push((s.hi, s.lo, w, s.diff));
                 }
             }
@@ -286,12 +304,21 @@ impl Cluster {
         if !self.procs[writer].store.protection(page).readable() {
             self.lmw_validate(writer, page);
         }
+        self.emit(CheckEvent::Fetch {
+            pid,
+            from: writer,
+            page: page.0,
+        });
         let ps = self.page_size();
         let req = self.net.send(pid, writer, MsgKind::PageRequest, 0);
         let rep = self.net.send(writer, pid, MsgKind::PageReply, ps);
         let prep = Time::from_ns(self.cfg.sim.costs.page_prep_ns);
         let fixed = Time::from_ns(self.cfg.sim.costs.page_fault_fixed_ns);
-        self.charge(pid, Category::Wait, req.total() + prep + rep.total() + fixed);
+        self.charge(
+            pid,
+            Category::Wait,
+            req.total() + prep + rep.total() + fixed,
+        );
         self.charge(writer, Category::Sigio, req.receiver + prep + rep.sender);
         let epoch = self.last_write_epoch[page.index()];
         {
@@ -340,8 +367,7 @@ impl Cluster {
             if cs.others(pid).next().is_some() {
                 // Update path: seal now and push the newest segment.
                 self.lmw_seal(pid, page, Category::Os);
-                let seg: Option<Segment> = self
-                    .procs[pid]
+                let seg: Option<Segment> = self.procs[pid]
                     .lmw
                     .segments
                     .get(&page.0)
@@ -354,6 +380,11 @@ impl Cluster {
                     continue;
                 };
                 notices.push(WriteNotice::new(page, pid, self.epoch));
+                self.emit(CheckEvent::UpdateFlush {
+                    writer: pid,
+                    page: page.0,
+                    copyset: cs.bits(),
+                });
                 let members: Vec<usize> = cs.others(pid).collect();
                 for q in members {
                     let tr = self
@@ -408,6 +439,12 @@ impl Cluster {
                     .or_default()
                     .insert(n.writer as usize);
             }
+            self.emit(CheckEvent::NoticeRecord {
+                pid,
+                page: n.page,
+                writer: n.writer,
+                epoch: n.epoch,
+            });
             self.procs[pid]
                 .lmw
                 .known_notices
@@ -477,6 +514,10 @@ impl Cluster {
         let gc_per_diff = Time::from_ns(self.cfg.sim.costs.gc_per_diff_ns);
         for pid in 0..n {
             let dropped = self.procs[pid].lmw.retained_diffs() as u64;
+            self.emit(CheckEvent::GcDiscard {
+                pid,
+                retained: dropped as usize,
+            });
             self.stats.gc_diffs_discarded += dropped;
             self.charge(pid, Category::Os, gc_per_diff.scale(dropped));
             let lmw = &mut self.procs[pid].lmw;
@@ -500,7 +541,12 @@ impl Cluster {
             .unwrap_or_else(|| self.image[page.index()].clone());
         let floor = p0.store.frame(page).map(|f| f.applied_through).unwrap_or(0);
         let applied_w = |w: u16| -> u64 {
-            p0.lmw.applied.get(&(page.0, w)).copied().unwrap_or(0).max(floor)
+            p0.lmw
+                .applied
+                .get(&(page.0, w))
+                .copied()
+                .unwrap_or(0)
+                .max(floor)
         };
         let notices = p0
             .lmw

@@ -6,11 +6,10 @@
 //! also names the diff that needs to be applied" (§2.1.1).
 
 use dsm_vm::PageId;
-use serde::{Deserialize, Serialize};
 
 /// A notice that `writer` modified `page` during barrier `epoch`, naming
 /// the diff `(page, epoch, writer)`.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub struct WriteNotice {
     pub page: u32,
     pub writer: u16,
@@ -44,7 +43,7 @@ impl WriteNotice {
 }
 
 /// Unique name of a diff: which page, which interval, which writer.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
 pub struct DiffKey {
     pub page: u32,
     pub epoch: u64,
@@ -74,9 +73,21 @@ mod tests {
 
     #[test]
     fn diff_keys_order_by_page_then_epoch() {
-        let a = DiffKey { page: 1, epoch: 5, writer: 0 };
-        let b = DiffKey { page: 1, epoch: 6, writer: 0 };
-        let c = DiffKey { page: 2, epoch: 0, writer: 0 };
+        let a = DiffKey {
+            page: 1,
+            epoch: 5,
+            writer: 0,
+        };
+        let b = DiffKey {
+            page: 1,
+            epoch: 6,
+            writer: 0,
+        };
+        let c = DiffKey {
+            page: 2,
+            epoch: 0,
+            writer: 0,
+        };
         assert!(a < b && b < c);
     }
 }

@@ -1,0 +1,122 @@
+//! Algebraic laws of `CopySet`, checked over random member sets. The
+//! protocol stack leans on these silently — update flushes iterate
+//! copysets, the checker's copyset invariant compares them against fetcher
+//! bitmaps — so the laws are pinned here rather than assumed.
+
+use dsm_core::proto::CopySet;
+use dsm_sim::prop::{check, Gen};
+
+fn random_pids(g: &mut Gen) -> Vec<usize> {
+    let n = g.below(12);
+    g.vec_of(n, |g| g.below(64))
+}
+
+fn build(pids: &[usize]) -> CopySet {
+    pids.iter().copied().collect()
+}
+
+#[test]
+fn membership_matches_construction() {
+    check("membership_matches_construction", 256, |g| {
+        let pids = random_pids(g);
+        let s = build(&pids);
+        for p in 0..64 {
+            assert_eq!(s.contains(p), pids.contains(&p), "pid {p} of {pids:?}");
+        }
+        assert_eq!(s.is_empty(), pids.is_empty());
+    });
+}
+
+#[test]
+fn insertion_order_is_irrelevant_and_idempotent() {
+    check("insertion_order_is_irrelevant_and_idempotent", 256, |g| {
+        let pids = random_pids(g);
+        let forward = build(&pids);
+        let reversed: CopySet = pids.iter().rev().copied().collect();
+        let doubled: CopySet = pids.iter().chain(pids.iter()).copied().collect();
+        assert_eq!(forward, reversed);
+        assert_eq!(forward, doubled);
+    });
+}
+
+#[test]
+fn len_agrees_with_iteration_and_iteration_ascends() {
+    check("len_agrees_with_iteration", 256, |g| {
+        let s = build(&random_pids(g));
+        let members: Vec<usize> = s.iter().collect();
+        assert_eq!(members.len(), s.len());
+        assert!(members.windows(2).all(|w| w[0] < w[1]), "{members:?}");
+        assert_eq!(s.first(), members.first().copied());
+        for &p in &members {
+            assert!(s.contains(p));
+        }
+    });
+}
+
+#[test]
+fn union_is_a_semilattice() {
+    check("union_is_a_semilattice", 256, |g| {
+        let (a, b, c) = (
+            build(&random_pids(g)),
+            build(&random_pids(g)),
+            build(&random_pids(g)),
+        );
+        let u = |mut x: CopySet, y: CopySet| {
+            x.union_with(y);
+            x
+        };
+        assert_eq!(u(a, b), u(b, a), "commutative");
+        assert_eq!(u(u(a, b), c), u(a, u(b, c)), "associative");
+        assert_eq!(u(a, a), a, "idempotent");
+        assert_eq!(u(a, CopySet::EMPTY), a, "identity");
+        // Union membership is pointwise disjunction.
+        let ab = u(a, b);
+        for p in 0..64 {
+            assert_eq!(ab.contains(p), a.contains(p) || b.contains(p));
+        }
+    });
+}
+
+#[test]
+fn remove_inverts_insert_on_fresh_members() {
+    check("remove_inverts_insert", 256, |g| {
+        let mut pids = random_pids(g);
+        let fresh = g.below(64);
+        pids.retain(|&p| p != fresh);
+        let before = build(&pids);
+        let mut s = before;
+        s.insert(fresh);
+        assert!(s.contains(fresh));
+        assert_eq!(s.len(), before.len() + 1);
+        s.remove(fresh);
+        assert_eq!(s, before);
+        // Removing an absent member is a no-op.
+        s.remove(fresh);
+        assert_eq!(s, before);
+    });
+}
+
+#[test]
+fn bits_round_trip_and_singletons() {
+    check("bits_round_trip", 256, |g| {
+        let s = build(&random_pids(g));
+        assert_eq!(CopySet::from_bits(s.bits()), s);
+        assert_eq!(s.bits().count_ones() as usize, s.len());
+        let p = g.below(64);
+        let single = CopySet::single(p);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.first(), Some(p));
+        assert_eq!(single.bits(), 1u64 << p);
+    });
+}
+
+#[test]
+fn others_is_iter_minus_self() {
+    check("others_is_iter_minus_self", 256, |g| {
+        let s = build(&random_pids(g));
+        let p = g.below(64);
+        let others: Vec<usize> = s.others(p).collect();
+        let expect: Vec<usize> = s.iter().filter(|&q| q != p).collect();
+        assert_eq!(others, expect);
+    });
+}

@@ -139,7 +139,11 @@ fn emulated_reduction_costs_extra_barriers_and_traffic() {
     emulated.distribute();
     emulated.barrier_app(Some((ReduceOp::Sum, vec![vec![1.0]; 4])));
     assert_eq!(native.stats().barriers, 1);
-    assert_eq!(emulated.stats().barriers, 2, "slots barrier + result barrier");
+    assert_eq!(
+        emulated.stats().barriers,
+        2,
+        "slots barrier + result barrier"
+    );
     assert!(emulated.stats().segvs > 0, "slot/result page faults");
 }
 
@@ -269,7 +273,11 @@ fn grids_with_multi_page_rows_round_trip() {
     // 3000 f64 = 24000 B per row: stride pads to 3 whole pages.
     let mut cl = cluster(ProtocolKind::BarU, 2);
     let g: SharedGrid2<f64> = cl.setup_ctx().alloc_grid("wide", 4, 3000);
-    assert_eq!(g.stride() * 8 % 8192, 0, "multi-page rows are page-multiples");
+    assert_eq!(
+        g.stride() * 8 % 8192,
+        0,
+        "multi-page rows are page-multiples"
+    );
     cl.distribute();
     let src: Vec<f64> = (0..3000).map(|i| i as f64 * 0.25).collect();
     {

@@ -237,7 +237,10 @@ fn overdrive_waits_out_unstable_prefixes() {
     run_epochs(&mut cl, arr, &[&[0], &[1], &[2]]);
     assert!(!cl.overdrive_engaged());
     run_epochs(&mut cl, arr, &[&[2]]);
-    assert!(cl.overdrive_engaged(), "stability after instability engages");
+    assert!(
+        cl.overdrive_engaged(),
+        "stability after instability engages"
+    );
 }
 
 #[test]

@@ -7,7 +7,7 @@
 //! per-process lanes and a process writes only its own lanes (any process
 //! may read anything).
 
-use proptest::prelude::*;
+use dsm_sim::prop::{check, Gen};
 
 use dsm_core::{Cluster, DivergencePolicy, ProtocolKind, RunConfig, SharedArray};
 
@@ -28,26 +28,29 @@ struct W {
 /// One epoch of a random program: per-process writes and reads.
 #[derive(Clone, Debug)]
 struct Epoch {
-    writes: Vec<Vec<W>>,          // per pid
+    writes: Vec<Vec<W>>,             // per pid
     reads: Vec<Vec<(usize, usize)>>, // per pid: (page, absolute word index)
 }
 
-fn arb_epoch() -> impl Strategy<Value = Epoch> {
-    let write = (0..NPAGES, 0..LANE, -1000i32..1000).prop_map(|(page, idx, v)| W {
-        page,
-        idx,
-        value: v as f64 * 0.5,
+fn gen_epoch(g: &mut Gen) -> Epoch {
+    let writes = g.vec_of(NPROCS, |g| {
+        let n = g.below(5);
+        g.vec_of(n, |g| W {
+            page: g.below(NPAGES),
+            idx: g.below(LANE),
+            value: (g.range(0, 2000) as f64 - 1000.0) * 0.5,
+        })
     });
-    let reads = proptest::collection::vec((0..NPAGES, 0..PAGE_WORDS), 0..6);
-    (
-        proptest::collection::vec(proptest::collection::vec(write, 0..5), NPROCS..=NPROCS),
-        proptest::collection::vec(reads, NPROCS..=NPROCS),
-    )
-        .prop_map(|(writes, reads)| Epoch { writes, reads })
+    let reads = g.vec_of(NPROCS, |g| {
+        let n = g.below(6);
+        g.vec_of(n, |g| (g.below(NPAGES), g.below(PAGE_WORDS)))
+    });
+    Epoch { writes, reads }
 }
 
-fn arb_program() -> impl Strategy<Value = Vec<Epoch>> {
-    proptest::collection::vec(arb_epoch(), 3..8)
+fn gen_program(g: &mut Gen) -> Vec<Epoch> {
+    let len = g.range(3, 8);
+    g.vec_of(len, gen_epoch)
 }
 
 /// The LRC oracle: `committed` is the state as of the last barrier;
@@ -128,7 +131,8 @@ fn run(program: &[Epoch], mut cfg: RunConfig) -> Vec<Vec<f64>> {
                 }
                 let want = oracle.read(pid, page, word);
                 assert_eq!(
-                    got, want,
+                    got,
+                    want,
                     "LRC violation: p{pid} read {page}:{word} under {}",
                     cfg.protocol.label()
                 );
@@ -149,7 +153,8 @@ fn run(program: &[Epoch], mut cfg: RunConfig) -> Vec<Vec<f64>> {
     for (p, page) in image.iter().enumerate() {
         for (w, v) in page.iter().enumerate() {
             assert_eq!(
-                *v, oracle.committed[p][w],
+                *v,
+                oracle.committed[p][w],
                 "final state mismatch at {p}:{w} under {}",
                 cfg.protocol.label()
             );
@@ -165,14 +170,13 @@ fn base_cfg(protocol: ProtocolKind) -> RunConfig {
     cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    /// All protocols (except bar-m, which is *documented* as unsound for
-    /// non-repeating patterns) satisfy the LRC oracle — every read and the
-    /// final image are asserted inside `run` — and agree with each other.
-    #[test]
-    fn random_programs_agree(program in arb_program()) {
+/// All protocols (except bar-m, which is *documented* as unsound for
+/// non-repeating patterns) satisfy the LRC oracle — every read and the
+/// final image are asserted inside `run` — and agree with each other.
+#[test]
+fn random_programs_agree() {
+    check("random_programs_agree", 48, |g| {
+        let program = gen_program(g);
         let mut images = Vec::new();
         for protocol in [
             ProtocolKind::LmwI,
@@ -184,36 +188,44 @@ proptest! {
             images.push(run(&program, base_cfg(protocol)));
         }
         for pair in images.windows(2) {
-            prop_assert_eq!(&pair[0], &pair[1]);
+            assert_eq!(&pair[0], &pair[1]);
         }
-    }
+    });
+}
 
-    /// With GC forced aggressively, the homeless protocols stay correct.
-    #[test]
-    fn random_programs_survive_gc(program in arb_program()) {
+/// With GC forced aggressively, the homeless protocols stay correct.
+#[test]
+fn random_programs_survive_gc() {
+    check("random_programs_survive_gc", 48, |g| {
+        let program = gen_program(g);
         for protocol in [ProtocolKind::LmwI, ProtocolKind::LmwU] {
             let mut cfg = base_cfg(protocol);
             cfg.gc_diff_threshold = 2;
             let _ = run(&program, cfg); // oracle asserted inside
         }
-    }
+    });
+}
 
-    /// With flush loss, lmw-u stays correct (flushes are an optimization).
-    #[test]
-    fn random_programs_survive_flush_loss(program in arb_program(), drop in 0.0f64..1.0) {
+/// With flush loss, lmw-u stays correct (flushes are an optimization).
+#[test]
+fn random_programs_survive_flush_loss() {
+    check("random_programs_survive_flush_loss", 48, |g| {
+        let program = gen_program(g);
+        let drop = g.f64_in(0.0, 1.0);
         let mut cfg = base_cfg(ProtocolKind::LmwU);
         cfg.sim.flush_drop_prob = drop;
         let _ = run(&program, cfg); // oracle asserted inside
-    }
+    });
+}
 
-    /// Programs whose per-process write sets repeat every epoch are safe
-    /// for bar-m too (values vary, pages do not).
-    #[test]
-    fn repeating_programs_are_safe_for_bar_m(
-        epoch0 in arb_epoch(),
-        repeats in 4usize..9,
-        salt in -100i32..100,
-    ) {
+/// Programs whose per-process write sets repeat every epoch are safe
+/// for bar-m too (values vary, pages do not).
+#[test]
+fn repeating_programs_are_safe_for_bar_m() {
+    check("repeating_programs_are_safe_for_bar_m", 48, |g| {
+        let epoch0 = gen_epoch(g);
+        let repeats = g.range(4, 9);
+        let salt = g.range(0, 200) as i32 - 100;
         // Repeat the same write/read structure with varying values.
         let program: Vec<Epoch> = (0..repeats)
             .map(|k| {
@@ -229,5 +241,5 @@ proptest! {
         for protocol in [ProtocolKind::BarS, ProtocolKind::BarM] {
             let _ = run(&program, base_cfg(protocol)); // oracle asserted inside
         }
-    }
+    });
 }

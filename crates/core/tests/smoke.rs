@@ -138,7 +138,8 @@ fn all_protocols_agree_with_sequential() {
     ] {
         let r = run(p, 4);
         assert_eq!(
-            r.checksum, baseline.checksum,
+            r.checksum,
+            baseline.checksum,
             "{} diverged from sequential",
             p.label()
         );
@@ -148,7 +149,12 @@ fn all_protocols_agree_with_sequential() {
 #[test]
 fn update_protocols_eliminate_steady_state_misses() {
     // Measurement starts at iteration 2, by which time copysets are warm.
-    for p in [ProtocolKind::LmwU, ProtocolKind::BarU, ProtocolKind::BarS, ProtocolKind::BarM] {
+    for p in [
+        ProtocolKind::LmwU,
+        ProtocolKind::BarU,
+        ProtocolKind::BarS,
+        ProtocolKind::BarM,
+    ] {
         let r = run(p, 4);
         assert_eq!(
             r.stats.remote_misses,
@@ -206,7 +212,10 @@ fn overdrive_eliminates_segvs_and_mprotects() {
     assert_eq!(bs.stats.segvs, 0, "bar-s must not segv in steady state");
     assert_eq!(bm.stats.segvs, 0, "bar-m must not segv in steady state");
     assert!(bs.stats.mprotects > 0, "bar-s still changes protections");
-    assert_eq!(bm.stats.mprotects, 0, "bar-m must not mprotect in steady state");
+    assert_eq!(
+        bm.stats.mprotects, 0,
+        "bar-m must not mprotect in steady state"
+    );
     assert_eq!(bs.stats.overdrive_unanticipated, 0);
     assert_eq!(bm.stats.overdrive_unanticipated, 0);
 }
@@ -220,8 +229,14 @@ fn overdrive_variants_send_identical_traffic() {
     let bm = run(ProtocolKind::BarM, 4);
     assert_eq!(bu.stats.paper_messages(), bs.stats.paper_messages());
     assert_eq!(bu.stats.paper_messages(), bm.stats.paper_messages());
-    assert_eq!(bu.stats.net.total_payload_bytes(), bs.stats.net.total_payload_bytes());
-    assert_eq!(bu.stats.net.total_payload_bytes(), bm.stats.net.total_payload_bytes());
+    assert_eq!(
+        bu.stats.net.total_payload_bytes(),
+        bs.stats.net.total_payload_bytes()
+    );
+    assert_eq!(
+        bu.stats.net.total_payload_bytes(),
+        bm.stats.net.total_payload_bytes()
+    );
 }
 
 #[test]

@@ -12,6 +12,8 @@
 //! * applies optional unreliable-flush loss (the paper: flushes "can be
 //!   unreliable, and therefore do not need to be acknowledged").
 
+#![forbid(unsafe_code)]
+
 pub mod message;
 pub mod network;
 pub mod stats;

@@ -1,14 +1,12 @@
 //! Message kinds and their accounting categories.
 
-use serde::{Deserialize, Serialize};
-
 /// Fixed per-message header bytes (UDP + CVM envelope). Headers contribute
 /// to transfer *time* but not to the "data" column of Table 1, which counts
 /// protocol payload.
 pub const HEADER_BYTES: usize = 32;
 
 /// Every kind of message the protocols exchange.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum MsgKind {
     /// Homeless protocols: request one or more diffs of a page (data request).
     DiffRequest,
@@ -33,7 +31,7 @@ pub enum MsgKind {
 }
 
 /// Accounting category, the granularity of Table 1.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum MsgCategory {
     /// Requests for data (diff or page fetches).
     DataRequest,

@@ -1,11 +1,9 @@
 //! Traffic statistics — the raw material of the paper's Table 1.
 
-use serde::{Deserialize, Serialize};
-
 use crate::message::{MsgCategory, MsgKind};
 
 /// Message and byte counters, per kind.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NetStats {
     msgs: [u64; MsgKind::ALL.len()],
     payload_bytes: [u64; MsgKind::ALL.len()],

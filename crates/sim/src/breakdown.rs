@@ -14,12 +14,10 @@
 use core::fmt;
 use core::ops::{Add, AddAssign};
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::Time;
 
 /// The attribution category for a span of virtual time.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum Category {
     /// Useful application computation.
     App,
@@ -47,7 +45,7 @@ impl Category {
 }
 
 /// Accumulated time per category for one process (or aggregated over all).
-#[derive(Clone, Copy, Default, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
 pub struct TimeBreakdown {
     /// Useful application computation.
     pub app: Time,

@@ -1,7 +1,5 @@
 //! Per-process virtual clocks with category attribution.
 
-use serde::{Deserialize, Serialize};
-
 use crate::breakdown::{Category, TimeBreakdown};
 use crate::time::Time;
 
@@ -11,7 +9,7 @@ use crate::time::Time;
 /// [`Category`], so `now() == breakdown().total() + base`, where `base` is
 /// the instant the clock was last reset (used to exclude warmup iterations
 /// from measured statistics, as the paper does).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Clock {
     now: Time,
     base: Time,

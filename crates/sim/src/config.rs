@@ -1,7 +1,5 @@
 //! Simulation-wide configuration shared by the higher layers.
 
-use serde::{Deserialize, Serialize};
-
 use crate::costs::CostModel;
 use crate::stress::StressModel;
 
@@ -14,7 +12,7 @@ pub const DEFAULT_NPROCS: usize = 8;
 
 /// Machine/run configuration consumed by `dsm-net`, `dsm-vm`, and the
 /// cluster driver in `dsm-core`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SimConfig {
     /// Number of simulated processes (paper: 8).
     pub nprocs: usize,
@@ -66,13 +64,19 @@ impl SimConfig {
             errs.push("nprocs must be <= 64 (copysets are 64-bit bitmaps)".into());
         }
         if !self.page_size.is_power_of_two() {
-            errs.push(format!("page_size {} must be a power of two", self.page_size));
+            errs.push(format!(
+                "page_size {} must be a power of two",
+                self.page_size
+            ));
         }
         if self.page_size < 512 {
             errs.push("page_size must be >= 512".into());
         }
         if !(0.0..=1.0).contains(&self.flush_drop_prob) {
-            errs.push(format!("flush_drop_prob {} out of [0,1]", self.flush_drop_prob));
+            errs.push(format!(
+                "flush_drop_prob {} out of [0,1]",
+                self.flush_drop_prob
+            ));
         }
         errs
     }
@@ -98,25 +102,37 @@ mod tests {
 
     #[test]
     fn rejects_zero_procs() {
-        let c = SimConfig { nprocs: 0, ..SimConfig::default() };
+        let c = SimConfig {
+            nprocs: 0,
+            ..SimConfig::default()
+        };
         assert!(!c.validate().is_empty());
     }
 
     #[test]
     fn rejects_too_many_procs() {
-        let c = SimConfig { nprocs: 65, ..SimConfig::default() };
+        let c = SimConfig {
+            nprocs: 65,
+            ..SimConfig::default()
+        };
         assert!(!c.validate().is_empty());
     }
 
     #[test]
     fn rejects_non_power_of_two_pages() {
-        let c = SimConfig { page_size: 5000, ..SimConfig::default() };
+        let c = SimConfig {
+            page_size: 5000,
+            ..SimConfig::default()
+        };
         assert!(!c.validate().is_empty());
     }
 
     #[test]
     fn rejects_bad_drop_prob() {
-        let c = SimConfig { flush_drop_prob: 1.5, ..SimConfig::default() };
+        let c = SimConfig {
+            flush_drop_prob: 1.5,
+            ..SimConfig::default()
+        };
         assert!(!c.validate().is_empty());
     }
 }

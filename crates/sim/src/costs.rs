@@ -13,8 +13,6 @@
 //! The composed costs below are calibrated so the primitive paths land on
 //! the paper's numbers; each helper documents its composition.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::Time;
 
 /// Cost constants for every primitive the simulation charges.
@@ -30,7 +28,7 @@ use crate::time::Time;
 /// assert_eq!(costs.rpc_round_trip(0), Time::from_us(160));
 /// assert!((costs.remote_page_fault(8192).as_us_f64() - 939.0).abs() < 1.0);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CostModel {
     /// Sender-side per-message syscall + protocol-stack overhead (ns).
     pub send_overhead_ns: u64,
@@ -148,11 +146,11 @@ impl CostModel {
         CostModel {
             send_overhead_ns: 700,
             recv_overhead_ns: 700,
-            wire_latency_ns: 1_100,   // 2.5 µs one-way, 5 µs RPC
-            per_byte_ns: 0,           // >10 GbE: latency dominates at 8 KB
-            copy_per_byte_ns: 0,      // zero-copy NICs
-            segv_ns: 3_500,           // modern signal delivery
-            mprotect_ns: 450,         // modern mprotect + TLB shootdown
+            wire_latency_ns: 1_100, // 2.5 µs one-way, 5 µs RPC
+            per_byte_ns: 0,         // >10 GbE: latency dominates at 8 KB
+            copy_per_byte_ns: 0,    // zero-copy NICs
+            segv_ns: 3_500,         // modern signal delivery
+            mprotect_ns: 450,       // modern mprotect + TLB shootdown
             page_fault_fixed_ns: 2_000,
             twin_copy_per_byte_ns: 0, // ~10 GB/s memcpy: < 1 µs per page
             diff_scan_per_byte_ns: 0,
@@ -250,7 +248,10 @@ mod tests {
         let t = c.remote_page_fault(8192);
         // Paper: 939 µs. Allow sub-µs rounding slack from composition.
         let us = t.as_us_f64();
-        assert!((us - 939.0).abs() < 1.0, "remote fault = {us} µs, expected ≈939");
+        assert!(
+            (us - 939.0).abs() < 1.0,
+            "remote fault = {us} µs, expected ≈939"
+        );
     }
 
     #[test]

@@ -18,15 +18,21 @@
 //!   large, unpredictable patterns).
 //! * [`rng`] — deterministic, seedable random number helpers so that every
 //!   run of the simulation is exactly reproducible.
+//! * [`prop`] — a small deterministic property-test harness built on
+//!   [`rng::DetRng`] (the workspace builds offline and carries no external
+//!   test dependencies).
 //! * [`config`] — simulation-wide configuration shared by the higher layers.
 //!
 //! Nothing in this crate knows about pages, messages, or protocols; those
 //! live in `dsm-vm`, `dsm-net`, and `dsm-core` respectively.
 
+#![forbid(unsafe_code)]
+
 pub mod breakdown;
 pub mod clock;
 pub mod config;
 pub mod costs;
+pub mod prop;
 pub mod rng;
 pub mod stress;
 pub mod time;

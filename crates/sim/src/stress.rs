@@ -15,12 +15,10 @@
 //! unpredictable ones saturate at `max_multiplier` (default 40×, i.e. ~0.5 ms
 //! per call — consistent with the aggregate OS time in Fig. 3).
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::Time;
 
 /// Parameters of the stress multiplier.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct StressModel {
     /// If false, `mprotect` always costs its base value (ablation switch).
     pub enabled: bool,
@@ -75,12 +73,7 @@ impl StressModel {
     }
 
     /// Cost of one `mprotect` call under stress.
-    pub fn mprotect_cost(
-        &self,
-        base: Time,
-        ops_this_epoch: u32,
-        segment_pages: usize,
-    ) -> Time {
+    pub fn mprotect_cost(&self, base: Time, ops_this_epoch: u32, segment_pages: usize) -> Time {
         base.scale_f64(self.multiplier(ops_this_epoch, segment_pages))
     }
 }

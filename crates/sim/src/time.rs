@@ -8,14 +8,12 @@ use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A point in (or span of) virtual time, in nanoseconds.
 ///
 /// `Time` is used both for instants (a process clock reading) and durations
 /// (a cost charged by the cost model); the arithmetic is identical and the
 /// simulation never needs a wall-clock epoch.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Time(pub u64);
 
 impl Time {
@@ -184,8 +182,14 @@ mod tests {
 
     #[test]
     fn saturating_sub_clamps() {
-        assert_eq!(Time::from_us(1).saturating_sub(Time::from_us(2)), Time::ZERO);
-        assert_eq!(Time::from_us(5).saturating_sub(Time::from_us(2)), Time::from_us(3));
+        assert_eq!(
+            Time::from_us(1).saturating_sub(Time::from_us(2)),
+            Time::ZERO
+        );
+        assert_eq!(
+            Time::from_us(5).saturating_sub(Time::from_us(2)),
+            Time::from_us(3)
+        );
     }
 
     #[test]

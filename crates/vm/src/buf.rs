@@ -33,7 +33,10 @@ unsafe impl Pod for f64 {}
 /// of `size_of::<T>()`.
 pub fn cast_slice<T: Pod>(bytes: &[u8]) -> &[T] {
     let size = core::mem::size_of::<T>();
-    assert!(size > 0 && bytes.len().is_multiple_of(size), "length not a multiple of element size");
+    assert!(
+        size > 0 && bytes.len().is_multiple_of(size),
+        "length not a multiple of element size"
+    );
     assert!(
         (bytes.as_ptr() as usize).is_multiple_of(core::mem::align_of::<T>()),
         "misaligned cast"
@@ -46,7 +49,10 @@ pub fn cast_slice<T: Pod>(bytes: &[u8]) -> &[T] {
 /// Mutable version of [`cast_slice`].
 pub fn cast_slice_mut<T: Pod>(bytes: &mut [u8]) -> &mut [T] {
     let size = core::mem::size_of::<T>();
-    assert!(size > 0 && bytes.len().is_multiple_of(size), "length not a multiple of element size");
+    assert!(
+        size > 0 && bytes.len().is_multiple_of(size),
+        "length not a multiple of element size"
+    );
     assert!(
         (bytes.as_ptr() as usize).is_multiple_of(core::mem::align_of::<T>()),
         "misaligned cast"
@@ -83,7 +89,10 @@ impl PageBuf {
     /// A zeroed buffer of `page_size` bytes. `page_size` must be a multiple
     /// of 8.
     pub fn zeroed(page_size: usize) -> Self {
-        assert!(page_size.is_multiple_of(8), "page size must be a multiple of 8");
+        assert!(
+            page_size.is_multiple_of(8),
+            "page size must be a multiple of 8"
+        );
         PageBuf {
             words: vec![0u64; page_size / 8].into_boxed_slice(),
         }
@@ -190,7 +199,10 @@ mod tests {
     fn copy_from_copies_everything() {
         let mut a = PageBuf::zeroed(64);
         let mut b = PageBuf::zeroed(64);
-        a.bytes_mut().iter_mut().enumerate().for_each(|(i, x)| *x = i as u8);
+        a.bytes_mut()
+            .iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = i as u8);
         b.copy_from(&a);
         assert_eq!(a.bytes(), b.bytes());
         // Independent after copy.

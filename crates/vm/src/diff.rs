@@ -220,73 +220,86 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use dsm_sim::prop::{check, Gen};
 
-    fn arb_page(size: usize) -> impl Strategy<Value = Vec<u8>> {
-        proptest::collection::vec(any::<u8>(), size..=size)
+    /// A 256-byte page with random contents. A sparse variant (mostly equal
+    /// to a base page) exercises the run-coalescing logic harder than pure
+    /// noise, which differs almost everywhere.
+    fn random_page(g: &mut Gen) -> PageBuf {
+        let mut p = PageBuf::zeroed(256);
+        p.bytes_mut().copy_from_slice(&g.bytes(256));
+        p
     }
 
-    proptest! {
-        /// apply(twin, between(twin, cur)) == cur, for arbitrary contents.
-        #[test]
-        fn diff_roundtrip(twin_bytes in arb_page(256), cur_bytes in arb_page(256)) {
-            let mut twin = PageBuf::zeroed(256);
-            twin.bytes_mut().copy_from_slice(&twin_bytes);
-            let mut cur = PageBuf::zeroed(256);
-            cur.bytes_mut().copy_from_slice(&cur_bytes);
+    fn sparse_variant(g: &mut Gen, base: &PageBuf) -> PageBuf {
+        let mut p = base.clone();
+        for _ in 0..g.range(0, 12) {
+            let i = g.below(256);
+            p.bytes_mut()[i] = g.u64() as u8;
+        }
+        p
+    }
+
+    /// apply(twin, between(twin, cur)) == cur, for arbitrary contents.
+    #[test]
+    fn diff_roundtrip() {
+        check("diff_roundtrip", 200, |g| {
+            let twin = random_page(g);
+            let cur = if g.chance(0.5) {
+                random_page(g)
+            } else {
+                sparse_variant(g, &twin)
+            };
             let d = Diff::between(PageId(0), &twin, &cur);
             let mut rebuilt = twin.clone();
             d.apply_to(&mut rebuilt);
-            prop_assert_eq!(rebuilt.bytes(), cur.bytes());
-        }
+            assert_eq!(rebuilt.bytes(), cur.bytes());
+        });
+    }
 
-        /// Runs are sorted, non-overlapping, word-aligned, and non-empty.
-        #[test]
-        fn diff_runs_are_canonical(twin_bytes in arb_page(256), cur_bytes in arb_page(256)) {
-            let mut twin = PageBuf::zeroed(256);
-            twin.bytes_mut().copy_from_slice(&twin_bytes);
-            let mut cur = PageBuf::zeroed(256);
-            cur.bytes_mut().copy_from_slice(&cur_bytes);
+    /// Runs are sorted, non-overlapping, word-aligned, and non-empty.
+    #[test]
+    fn diff_runs_are_canonical() {
+        check("diff_runs_are_canonical", 200, |g| {
+            let twin = random_page(g);
+            let cur = sparse_variant(g, &twin);
             let d = Diff::between(PageId(0), &twin, &cur);
             let mut prev_end = 0usize;
             for (i, run) in d.runs.iter().enumerate() {
-                prop_assert!(!run.data.is_empty());
-                prop_assert_eq!(run.offset as usize % 8, 0);
-                prop_assert_eq!(run.data.len() % 8, 0);
+                assert!(!run.data.is_empty());
+                assert_eq!(run.offset as usize % 8, 0);
+                assert_eq!(run.data.len() % 8, 0);
                 if i > 0 {
                     // Strictly separated: coalescing guarantees a gap.
-                    prop_assert!(run.offset as usize > prev_end);
+                    assert!(run.offset as usize > prev_end);
                 }
                 prev_end = run.offset as usize + run.data.len();
             }
-            prop_assert!(prev_end <= 256);
-        }
+            assert!(prev_end <= 256);
+        });
+    }
 
-        /// Disjoint concurrent diffs merge to the same result regardless of
-        /// application order (the multi-writer soundness property).
-        #[test]
-        fn disjoint_merge_is_order_independent(
-            base in arb_page(256),
-            lo in proptest::collection::vec(any::<u8>(), 64..=64),
-            hi in proptest::collection::vec(any::<u8>(), 64..=64),
-        ) {
-            let mut twin = PageBuf::zeroed(256);
-            twin.bytes_mut().copy_from_slice(&base);
+    /// Disjoint concurrent diffs merge to the same result regardless of
+    /// application order (the multi-writer soundness property).
+    #[test]
+    fn disjoint_merge_is_order_independent() {
+        check("disjoint_merge_is_order_independent", 200, |g| {
+            let twin = random_page(g);
             // Writer A modifies bytes [0,64), writer B modifies [128,192).
             let mut pa = twin.clone();
-            pa.bytes_mut()[0..64].copy_from_slice(&lo);
+            pa.bytes_mut()[0..64].copy_from_slice(&g.bytes(64));
             let mut pb = twin.clone();
-            pb.bytes_mut()[128..192].copy_from_slice(&hi);
+            pb.bytes_mut()[128..192].copy_from_slice(&g.bytes(64));
             let da = Diff::between(PageId(0), &twin, &pa);
             let db = Diff::between(PageId(0), &twin, &pb);
-            prop_assert!(da.disjoint_from(&db));
+            assert!(da.disjoint_from(&db));
             let mut ab = twin.clone();
             da.apply_to(&mut ab);
             db.apply_to(&mut ab);
             let mut ba = twin.clone();
             db.apply_to(&mut ba);
             da.apply_to(&mut ba);
-            prop_assert_eq!(ab.bytes(), ba.bytes());
-        }
+            assert_eq!(ab.bytes(), ba.bytes());
+        });
     }
 }

@@ -19,6 +19,8 @@
 //! * [`frame`] — one process's copy of one page: data + protection + twin.
 //! * [`store`] — a process's page table over the shared segment.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod buf;
 pub mod diff;
 pub mod frame;

@@ -134,7 +134,10 @@ mod tests {
     fn set_protection_returns_old() {
         let mut s = PageStore::new(8192);
         s.ensure_pages(2);
-        assert_eq!(s.set_protection(PageId(0), Protection::Read), Protection::Invalid);
+        assert_eq!(
+            s.set_protection(PageId(0), Protection::Read),
+            Protection::Invalid
+        );
         assert_eq!(
             s.set_protection(PageId(0), Protection::ReadWrite),
             Protection::Read

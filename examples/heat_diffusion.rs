@@ -39,7 +39,8 @@ fn main() {
         )
         .with_baseline(baseline.elapsed);
         assert_eq!(
-            report.checksum, baseline.checksum,
+            report.checksum,
+            baseline.checksum,
             "{} diverged!",
             protocol.label()
         );

@@ -29,7 +29,10 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use dsm_apps as apps;
+pub use dsm_check as check;
 pub use dsm_core as core;
 pub use dsm_net as net;
 pub use dsm_sim as sim;

@@ -24,7 +24,11 @@ fn every_app_under_every_protocol_matches_sequential() {
                     spec.build(Scale::Small).as_mut(),
                     RunConfig::with_nprocs(ProtocolKind::Seq, 1),
                 );
-                assert!(seq.checksum.is_finite(), "{}: bad sequential run", spec.name);
+                assert!(
+                    seq.checksum.is_finite(),
+                    "{}: bad sequential run",
+                    spec.name
+                );
                 for protocol in PROTOCOLS {
                     let par = run_app(
                         spec.build(Scale::Small).as_mut(),
@@ -100,6 +104,11 @@ fn single_process_protocol_runs_degenerate_gracefully() {
         );
         assert_eq!(par.checksum, seq.checksum, "{} x1", protocol.label());
         assert_eq!(par.stats.remote_misses, 0);
-        assert_eq!(par.stats.paper_messages(), 0, "{} x1 sent messages", protocol.label());
+        assert_eq!(
+            par.stats.paper_messages(),
+            0,
+            "{} x1 sent messages",
+            protocol.label()
+        );
     }
 }
