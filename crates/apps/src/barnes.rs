@@ -78,7 +78,7 @@ impl Barnes {
         cuts.push(0);
         for k in 1..nprocs {
             let base = k * n / nprocs;
-            let j = (seeded01(iter * 31 + k, k * 17 + 5, 0xBA41E5) * (2.0 * self.jitter as f64))
+            let j = (seeded01(iter * 31 + k, k * 17 + 5, 0x00BA_41E5) * (2.0 * self.jitter as f64))
                 as usize;
             let shifted = base + j - self.jitter.min(base);
             cuts.push(shifted.clamp(cuts[k - 1] + 1, n - (nprocs - k)));
@@ -181,7 +181,7 @@ impl Barnes {
                 acc[2] += dz * inv;
             } else {
                 nodes_c.read_row_into(ctx, ni as usize, &mut crow);
-                for &kid in crow.iter() {
+                for &kid in &crow {
                     if kid == EMPTY {
                         continue;
                     }
@@ -329,7 +329,7 @@ impl TreeBuilder {
             let node = &mut self.nodes[ni];
             node.mass = m;
             if m > 0.0 {
-                for c in com.iter_mut() {
+                for c in &mut com {
                     *c /= m;
                 }
             } else {
@@ -500,7 +500,7 @@ mod tests {
                 self.0.iters()
             }
             fn setup(&mut self, s: &mut SetupCtx<'_>) {
-                self.0.setup(s)
+                self.0.setup(s);
             }
             fn phase(&mut self, c: &mut ExecCtx<'_>, i: usize, p: usize) -> PhaseEnd {
                 self.0.phase(c, i, p)
@@ -510,7 +510,7 @@ mod tests {
                 self.0.check(c)
             }
         }
-        let mut probe = Probe(Barnes::new(Scale::Small), Default::default());
+        let mut probe = Probe(Barnes::new(Scale::Small), std::cell::RefCell::default());
         let _ = run_app(&mut probe, RunConfig::with_nprocs(ProtocolKind::Seq, 1));
         let rows = probe.1.into_inner();
         let n = rows.len() / BODY_COLS;

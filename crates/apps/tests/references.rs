@@ -35,7 +35,7 @@ impl<A: DsmApp> DsmApp for Probe<A> {
         self.app.iters()
     }
     fn setup(&mut self, s: &mut SetupCtx<'_>) {
-        self.app.setup(s)
+        self.app.setup(s);
     }
     fn phase(&mut self, ctx: &mut ExecCtx<'_>, iter: usize, site: usize) -> PhaseEnd {
         self.app.phase(ctx, iter, site)
@@ -115,7 +115,7 @@ fn sor_reference() -> Vec<Vec<f64>> {
 
 #[test]
 fn sor_matches_plain_rust_reference() {
-    let got = final_grid(Sor::with_dims(ROWS, COLS, ITERS), |a| a.grid());
+    let got = final_grid(Sor::with_dims(ROWS, COLS, ITERS), dsm_apps::sor::Sor::grid);
     assert_grids_equal(&got, &sor_reference(), "sor");
 }
 
@@ -154,7 +154,10 @@ fn jacobi_reference() -> Vec<Vec<f64>> {
 
 #[test]
 fn jacobi_matches_plain_rust_reference() {
-    let got = final_grid(Jacobi::with_dims(ROWS, COLS, ITERS), |a| a.grid_a());
+    let got = final_grid(
+        Jacobi::with_dims(ROWS, COLS, ITERS),
+        dsm_apps::jacobi::Jacobi::grid_a,
+    );
     let want = jacobi_reference();
     // Compare the interior plus fixed boundary rows/cols.
     assert_grids_equal(&got, &want, "jacobi");
@@ -195,6 +198,9 @@ fn expl_reference() -> Vec<Vec<f64>> {
 
 #[test]
 fn expl_matches_plain_rust_reference() {
-    let got = final_grid(Expl::with_dims(ROWS, COLS, ITERS), |a| a.grid_a());
+    let got = final_grid(
+        Expl::with_dims(ROWS, COLS, ITERS),
+        dsm_apps::expl::Expl::grid_a,
+    );
     assert_grids_equal(&got, &expl_reference(), "expl");
 }

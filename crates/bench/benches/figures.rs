@@ -24,7 +24,7 @@ fn bench_figure_pipelines(c: &mut Criterion) {
             let bu = harness::find(&outcomes, "sor", ProtocolKind::BarU);
             assert_eq!(bu.report.stats.remote_misses, 0);
             outcomes.len()
-        })
+        });
     });
 
     g.bench_function("fig4_mini", |b| {
@@ -42,7 +42,7 @@ fn bench_figure_pipelines(c: &mut Criterion) {
                 bm.report.stats.paper_messages()
             );
             outcomes.len()
-        })
+        });
     });
 
     g.finish();

@@ -26,7 +26,7 @@ fn page_pair(runs: usize) -> (PageBuf, PageBuf) {
     let mut cur = twin.clone();
     for i in 0..runs {
         let start = (i * PAGE / runs.max(1)) & !7;
-        for b in cur.bytes_mut()[start..start + 64].iter_mut() {
+        for b in &mut cur.bytes_mut()[start..start + 64] {
             *b ^= 0x5A;
         }
     }
@@ -39,7 +39,7 @@ fn bench_diff(c: &mut Criterion) {
     for runs in [0usize, 4, 32, 128] {
         let (twin, cur) = page_pair(runs);
         g.bench_function(format!("between/{runs}_runs"), |b| {
-            b.iter(|| Diff::between(PageId(0), black_box(&twin), black_box(&cur)))
+            b.iter(|| Diff::between(PageId(0), black_box(&twin), black_box(&cur)));
         });
         let diff = Diff::between(PageId(0), &twin, &cur);
         g.bench_function(format!("apply/{runs}_runs"), |b| {
@@ -47,7 +47,7 @@ fn bench_diff(c: &mut Criterion) {
                 || twin.clone(),
                 |mut target| diff.apply_to(&mut target),
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     g.finish();
@@ -61,7 +61,7 @@ fn bench_twin(c: &mut Criterion) {
             || PageBuf::zeroed(PAGE),
             |mut t| t.copy_from(black_box(&page)),
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -80,7 +80,7 @@ fn bench_page_store(c: &mut Criterion) {
                 }
             }
             black_box(faults)
-        })
+        });
     });
 }
 
@@ -93,7 +93,7 @@ fn bench_copyset(c: &mut Criterion) {
                 s.insert(pid);
             }
             black_box(s.others(3).sum::<usize>())
-        })
+        });
     });
 }
 
@@ -106,7 +106,7 @@ fn bench_rng(c: &mut Criterion) {
                 acc ^= rng.next_u64();
             }
             black_box(acc)
-        })
+        });
     });
 }
 
@@ -121,7 +121,7 @@ fn bench_fft(c: &mut Criterion) {
                 || (re.clone(), im.clone()),
                 |(mut r, mut i)| fft_inplace(&mut r, &mut i, false),
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     g.finish();

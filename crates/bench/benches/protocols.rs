@@ -28,7 +28,7 @@ fn bench_protocols(c: &mut Criterion) {
                     spec.build(Scale::Small).as_mut(),
                     RunConfig::with_nprocs(protocol, nprocs),
                 )
-            })
+            });
         });
     }
     g.finish();
@@ -43,7 +43,7 @@ fn bench_protocols(c: &mut Criterion) {
                     spec.build(Scale::Small).as_mut(),
                     RunConfig::with_nprocs(ProtocolKind::BarU, 4),
                 )
-            })
+            });
         });
     }
     g.finish();

@@ -1,0 +1,343 @@
+//! Systematic schedule & fault-space exploration runner (dsm-explore).
+//!
+//! ```text
+//! explore [--apps a,b,..] [--protocols lmw-u,bar-u,..] [--nprocs N]
+//!         [--iters-cap N] [--budget N] [--drop-points N] [--defers N]
+//!         [--no-por] [--no-prune] [--por-factor] [--hunt]
+//!         [--save-trace PATH] [--replay FILE]
+//! ```
+//!
+//! Default mode explores every requested app × protocol cell up to a
+//! per-protocol schedule budget, running each schedule under the full
+//! `dsm-check` oracles, and exits nonzero on any violation. `--por-factor`
+//! appends the partial-order-reduction measurement section and `--hunt`
+//! the planted-bug regression section (the two extra sections of the
+//! committed `results/explore-baseline.txt`). `--replay FILE` re-executes
+//! a saved violating schedule instead and prints its findings.
+//!
+//! All output is deterministic (schedule counts, not wall-clock), so the
+//! committed baselines can be `diff`ed byte-for-byte in CI.
+
+#![forbid(unsafe_code)]
+
+use dsm_apps::{all_apps, app_by_name, Scale};
+use dsm_bench::table::TextTable;
+use dsm_core::{DsmApp, PlantedBug, ProtocolKind, RunConfig};
+use dsm_explore::{
+    config_for_trace, explore, protocol_by_label, replay, Bounds, CappedApp, ChoiceTrace,
+    ExploreOpts, RegressApp,
+};
+
+/// The six real protocols (seq has no inter-process choices to explore).
+const PROTOCOLS: [ProtocolKind; 6] = [
+    ProtocolKind::LmwI,
+    ProtocolKind::LmwU,
+    ProtocolKind::BarI,
+    ProtocolKind::BarU,
+    ProtocolKind::BarS,
+    ProtocolKind::BarM,
+];
+
+/// Per-protocol schedule budgets: update protocols branch on every
+/// droppable flush, so their fault space is far larger than the
+/// invalidate protocols'.
+fn default_budget(p: ProtocolKind) -> usize {
+    match p {
+        ProtocolKind::Seq => 8,
+        ProtocolKind::LmwI => 64,
+        ProtocolKind::LmwU => 256,
+        ProtocolKind::BarI => 96,
+        ProtocolKind::BarU => 192,
+        ProtocolKind::BarS | ProtocolKind::BarM => 128,
+    }
+}
+
+struct Args {
+    apps: Vec<&'static str>,
+    protocols: Vec<ProtocolKind>,
+    nprocs: usize,
+    iters_cap: usize,
+    budget: Option<usize>,
+    bounds: Bounds,
+    por_factor: bool,
+    hunt: bool,
+    save_trace: Option<String>,
+    replay: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        apps: all_apps().iter().map(|s| s.name).collect(),
+        protocols: PROTOCOLS.to_vec(),
+        nprocs: 2,
+        iters_cap: 2,
+        budget: None,
+        bounds: Bounds::default(),
+        por_factor: false,
+        hunt: false,
+        save_trace: None,
+        replay: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--no-por" => args.bounds.por = false,
+            "--no-prune" => args.bounds.state_prune = false,
+            "--por-factor" => args.por_factor = true,
+            "--hunt" => args.hunt = true,
+            _ => {
+                let val = it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+                match flag.as_str() {
+                    "--apps" => {
+                        args.apps = val
+                            .split(',')
+                            .map(|a| {
+                                app_by_name(a)
+                                    .unwrap_or_else(|| panic!("unknown app {a:?}"))
+                                    .name
+                            })
+                            .collect();
+                    }
+                    "--protocols" => {
+                        args.protocols = val
+                            .split(',')
+                            .map(|l| {
+                                protocol_by_label(l)
+                                    .unwrap_or_else(|| panic!("unknown protocol {l:?}"))
+                            })
+                            .collect();
+                    }
+                    "--nprocs" => args.nprocs = val.parse().expect("--nprocs"),
+                    "--iters-cap" => args.iters_cap = val.parse().expect("--iters-cap"),
+                    "--budget" => args.budget = Some(val.parse().expect("--budget")),
+                    "--drop-points" => {
+                        args.bounds.max_drop_points = val.parse().expect("--drop-points");
+                    }
+                    "--defers" => args.bounds.max_defers = val.parse().expect("--defers"),
+                    "--save-trace" => args.save_trace = Some(val),
+                    "--replay" => args.replay = Some(val),
+                    other => panic!("unknown flag {other:?}"),
+                }
+            }
+        }
+    }
+    args
+}
+
+/// Build the application a trace (or the hunt) names: the purpose-built
+/// regression app, or a registry app capped to the exploration iteration
+/// budget.
+fn build_app(name: &str, iters_cap: usize) -> Box<dyn DsmApp> {
+    if name == "regress" {
+        Box::new(RegressApp::new())
+    } else {
+        let spec = app_by_name(name).unwrap_or_else(|| panic!("unknown app {name:?}"));
+        Box::new(CappedApp::new(spec.build(Scale::Small), iters_cap))
+    }
+}
+
+fn replay_mode(path: &str) -> ! {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read trace {path:?}: {e}"));
+    let trace = ChoiceTrace::parse(&text).unwrap_or_else(|e| panic!("bad trace {path:?}: {e}"));
+    let cfg = config_for_trace(&trace);
+    println!(
+        "replaying {} choice points: {} under {} ({} procs, planted={})",
+        trace.choices.len(),
+        trace.app,
+        trace.protocol.label(),
+        trace.nprocs,
+        trace.planted.label(),
+    );
+    let report = replay(|| build_app(&trace.app, trace.iters_cap), &cfg, &trace);
+    println!(
+        "races={} stale={} invariant={}",
+        report.races(),
+        report.stale_reads(),
+        report.invariant_violations()
+    );
+    print!("{}", report.summary());
+    if report.is_clean() {
+        println!("replayed schedule is clean");
+    }
+    std::process::exit(0);
+}
+
+/// The POR measurement: same bounded tree of the regression app, POR on
+/// vs off, state pruning off in both arms so only the reduction differs.
+fn por_factor_section(nprocs: usize) {
+    println!("\n== partial-order reduction (regress, lmw-u, {nprocs} procs) ==\n");
+    let cfg = RunConfig::with_nprocs(ProtocolKind::LmwU, nprocs);
+    let base = Bounds {
+        state_prune: false,
+        ..Bounds::default()
+    };
+    let on = explore(
+        || Box::new(RegressApp::new()),
+        &cfg,
+        &ExploreOpts {
+            max_schedules: 5000,
+            stop_on_violation: false,
+            bounds: Bounds { por: true, ..base },
+        },
+    );
+    let cap = 2000;
+    let off = explore(
+        || Box::new(RegressApp::new()),
+        &cfg,
+        &ExploreOpts {
+            max_schedules: cap,
+            stop_on_violation: false,
+            bounds: Bounds { por: false, ..base },
+        },
+    );
+    println!(
+        "por on : {} schedules (frontier exhausted: {})",
+        on.schedules, on.frontier_exhausted
+    );
+    let off_count = if off.frontier_exhausted {
+        format!("{} schedules", off.schedules)
+    } else {
+        format!(">= {} schedules (budget cap)", off.schedules)
+    };
+    println!("por off: {off_count}");
+    #[allow(clippy::cast_precision_loss)]
+    let factor = off.schedules as f64 / on.schedules.max(1) as f64;
+    let cmp = if off.frontier_exhausted { "" } else { ">= " };
+    println!("reduction factor: {cmp}{factor:.1}x");
+    assert!(
+        factor >= 10.0,
+        "POR reduction fell below the 10x acceptance bar"
+    );
+}
+
+/// The planted-bug regression: systematic exploration must find the
+/// lmw-u coverage-gap bug in well under 1000 schedules.
+fn hunt_section(save_trace: Option<&str>) -> bool {
+    println!("\n== planted-bug hunt (regress, lmw-u, 2 procs, lmw-u-coverage-gap) ==\n");
+    let mut cfg = RunConfig::with_nprocs(ProtocolKind::LmwU, 2);
+    cfg.planted = PlantedBug::LmwUCoverageGap;
+    let opts = ExploreOpts {
+        max_schedules: 1000,
+        stop_on_violation: true,
+        bounds: Bounds::default(),
+    };
+    let rep = explore(|| Box::new(RegressApp::new()), &cfg, &opts);
+    let Some(v) = rep.violation else {
+        println!("NOT FOUND within {} schedules", rep.schedules);
+        return false;
+    };
+    println!(
+        "violation found at schedule {} ({} choice points, {} stale reads)",
+        v.schedule_index,
+        v.choices.len(),
+        v.report.stale_reads()
+    );
+    if let Some(path) = save_trace {
+        let trace = ChoiceTrace {
+            app: "regress".to_string(),
+            protocol: cfg.protocol,
+            nprocs: 2,
+            iters_cap: 0,
+            planted: cfg.planted,
+            bounds: opts.bounds,
+            choices: v.choices,
+        };
+        std::fs::write(path, trace.to_text())
+            .unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+        println!("replayable trace saved to {path}");
+    }
+    true
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(path) = &args.replay {
+        replay_mode(path);
+    }
+
+    println!("== bounded schedule/fault-space exploration ==");
+    println!(
+        "config: nprocs={} iters-cap={} drop-points={} defers={} por={} prune={}",
+        args.nprocs,
+        args.iters_cap,
+        args.bounds.max_drop_points,
+        args.bounds.max_defers,
+        if args.bounds.por { "on" } else { "off" },
+        if args.bounds.state_prune { "on" } else { "off" },
+    );
+    println!();
+
+    let mut t = TextTable::new(vec![
+        "app",
+        "protocol",
+        "budget",
+        "schedules",
+        "checked",
+        "pruned",
+        "max pts",
+        "frontier",
+        "verdict",
+    ]);
+    let mut dirty = 0usize;
+    for app in &args.apps {
+        for &protocol in &args.protocols {
+            let budget = args.budget.unwrap_or_else(|| default_budget(protocol));
+            let cfg = RunConfig::with_nprocs(protocol, args.nprocs);
+            let opts = ExploreOpts {
+                max_schedules: budget,
+                stop_on_violation: true,
+                bounds: args.bounds,
+            };
+            let rep = explore(|| build_app(app, args.iters_cap), &cfg, &opts);
+            if let Some(v) = &rep.violation {
+                dirty += 1;
+                eprintln!(
+                    "--- {app} under {} (schedule {}):\n{}",
+                    protocol.label(),
+                    v.schedule_index,
+                    v.report.summary()
+                );
+            }
+            t.row(vec![
+                (*app).to_string(),
+                protocol.label().to_string(),
+                budget.to_string(),
+                rep.schedules.to_string(),
+                rep.completed.to_string(),
+                rep.pruned.to_string(),
+                rep.max_points.to_string(),
+                if rep.frontier_exhausted {
+                    "done"
+                } else {
+                    "budget"
+                }
+                .to_string(),
+                if rep.violation.is_some() {
+                    "FLAGGED"
+                } else {
+                    "clean"
+                }
+                .to_string(),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+
+    if args.por_factor {
+        por_factor_section(args.nprocs);
+    }
+    let mut hunt_ok = true;
+    if args.hunt {
+        hunt_ok = hunt_section(args.save_trace.as_deref());
+    }
+
+    if dirty > 0 {
+        eprintln!("{dirty} cell(s) flagged violations");
+        std::process::exit(1);
+    }
+    if !hunt_ok {
+        eprintln!("planted-bug hunt failed to find the violation");
+        std::process::exit(1);
+    }
+}

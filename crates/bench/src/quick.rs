@@ -98,6 +98,9 @@ fn target_window() -> Duration {
 
 impl Bencher {
     /// Time `f`, excluding nothing: the routine is the whole iteration.
+    /// Named after the criterion-style convention (`b.iter(...)`), not the
+    /// `Iterator` protocol.
+    #[allow(clippy::iter_not_returning_iterator)]
     pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
         for _ in 0..2 {
             black_box(f());

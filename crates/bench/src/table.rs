@@ -35,15 +35,16 @@ impl TextTable {
         }
         let mut out = String::new();
         let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            use std::fmt::Write;
             let mut line = String::new();
             for (i, c) in cells.iter().enumerate() {
                 if i > 0 {
                     line.push_str("  ");
                 }
                 if i == 0 {
-                    line.push_str(&format!("{c:<w$}", w = width[i]));
+                    let _ = write!(line, "{c:<w$}", w = width[i]);
                 } else {
-                    line.push_str(&format!("{c:>w$}", w = width[i]));
+                    let _ = write!(line, "{c:>w$}", w = width[i]);
                 }
             }
             line
@@ -114,7 +115,7 @@ mod tests {
     fn count_formatting() {
         assert_eq!(fmt_count(5), "5");
         assert_eq!(fmt_count(1234), "1,234");
-        assert_eq!(fmt_count(1234567), "1,234,567");
+        assert_eq!(fmt_count(1_234_567), "1,234,567");
     }
 
     #[test]

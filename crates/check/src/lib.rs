@@ -57,6 +57,9 @@ impl CheckState {
         }
     }
 
+    // Takes the event by value to mirror the CheckSink trait contract
+    // (sinks own the event; the borrow inside is tied to the emitter).
+    #[allow(clippy::needless_pass_by_value)]
     fn on_event(&mut self, ev: CheckEvent<'_>) {
         let CheckState {
             report,

@@ -82,6 +82,43 @@ impl ProtocolKind {
     }
 }
 
+/// Deliberately seeded protocol bugs, used by exploration regression
+/// tests: the model checker must demonstrate it can find ordering- and
+/// fault-dependent bugs, so each variant gates one precisely scoped
+/// deviation from the correct protocol. `None` (the default, and the only
+/// value any measurement path uses) is the correct protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PlantedBug {
+    /// Correct protocol.
+    #[default]
+    None,
+    /// lmw-u fault-time coverage treats a stored update for epochs
+    /// `[lo, hi]` as covering *every* epoch `<= hi`, so an earlier dropped
+    /// flush from the same writer is never re-fetched. Visible only when a
+    /// middle flush is lost while a later one arrives — exactly the kind of
+    /// fault/ordering interleaving a single schedule cannot show.
+    LmwUCoverageGap,
+}
+
+impl PlantedBug {
+    /// Stable name (used by the exploration trace format).
+    pub fn label(self) -> &'static str {
+        match self {
+            PlantedBug::None => "none",
+            PlantedBug::LmwUCoverageGap => "lmw-u-coverage-gap",
+        }
+    }
+
+    /// Inverse of [`PlantedBug::label`].
+    pub fn from_label(s: &str) -> Option<PlantedBug> {
+        match s {
+            "none" => Some(PlantedBug::None),
+            "lmw-u-coverage-gap" => Some(PlantedBug::LmwUCoverageGap),
+            _ => None,
+        }
+    }
+}
+
 /// What to do when an unanticipated write traps during overdrive.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum DivergencePolicy {
@@ -135,6 +172,9 @@ pub struct RunConfig {
     /// exceeds this, a stop-the-world garbage collection runs at the next
     /// barrier.
     pub gc_diff_threshold: usize,
+    /// Seeded bug under exploration regression tests; [`PlantedBug::None`]
+    /// everywhere else.
+    pub planted: PlantedBug,
 }
 
 impl RunConfig {
@@ -147,6 +187,7 @@ impl RunConfig {
             overdrive: OverdriveConfig::default(),
             migration: true,
             gc_diff_threshold: 1_000_000,
+            planted: PlantedBug::default(),
         }
     }
 
@@ -158,6 +199,7 @@ impl RunConfig {
     }
 
     /// Sequential baseline configuration matching `self`'s cost model.
+    #[must_use]
     pub fn baseline(&self) -> RunConfig {
         let mut c = self.clone();
         c.protocol = ProtocolKind::Seq;

@@ -49,7 +49,7 @@ pub trait DsmApp {
 /// Execute `app` under `cfg` and report statistics, time breakdown, and the
 /// result checksum.
 pub fn run_app<A: DsmApp + ?Sized>(app: &mut A, cfg: RunConfig) -> RunReport {
-    run_app_inner(app, cfg, None)
+    run_app_inner(app, cfg, None, None)
 }
 
 /// Execute `app` under `cfg` with a checking sink installed for the whole
@@ -63,15 +63,33 @@ pub fn run_app_checked<A: DsmApp + ?Sized>(
     cfg: RunConfig,
     sink: Box<dyn CheckSink>,
 ) -> RunReport {
-    run_app_inner(app, cfg, Some(sink))
+    run_app_inner(app, cfg, Some(sink), None)
+}
+
+/// Execute `app` under `cfg` with an explicit decision scheduler (and
+/// optionally a checking sink) installed before setup. With the default
+/// [`dsm_sim::VirtualTimeScheduler`] this is identical to [`run_app`];
+/// `dsm-explore` passes an enumerating scheduler to drive one explored
+/// schedule per call.
+pub fn run_app_scheduled<A: DsmApp + ?Sized>(
+    app: &mut A,
+    cfg: RunConfig,
+    sink: Option<Box<dyn CheckSink>>,
+    sched: dsm_sim::SharedScheduler,
+) -> RunReport {
+    run_app_inner(app, cfg, sink, Some(sched))
 }
 
 fn run_app_inner<A: DsmApp + ?Sized>(
     app: &mut A,
     cfg: RunConfig,
     sink: Option<Box<dyn CheckSink>>,
+    sched: Option<dsm_sim::SharedScheduler>,
 ) -> RunReport {
     let mut cl = Cluster::new(cfg);
+    if let Some(sched) = sched {
+        cl.install_scheduler(sched);
+    }
     if let Some(sink) = sink {
         cl.install_check_sink(sink);
     }
@@ -147,8 +165,7 @@ fn coalesce_phase_ends(ends: Vec<PhaseEnd>) -> Option<(ReduceOp, Vec<Vec<f64>>)>
         Some(o) => {
             assert_eq!(
                 plain, 0,
-                "all processes of an epoch must end it the same way ({} of {} sent Barrier)",
-                plain, n
+                "all processes of an epoch must end it the same way ({plain} of {n} sent Barrier)"
             );
             Some((o, contribs))
         }

@@ -45,14 +45,26 @@ impl Cluster {
             Some((op, contribs)) if !self.cfg.protocol.native_reductions() => {
                 // Homeless protocols: SUIF-style shared-memory emulation
                 // (includes its own internal barriers).
-                self.reduce_emulated(op, contribs);
+                self.reduce_emulated(op, &contribs);
             }
             other => self.barrier_core(other),
         }
 
         if self.cfg.protocol.is_bar() {
-            if !self.migrated && ending_site + 1 == phases && self.iter == 0 {
-                self.bar_migrate();
+            // The migration decision is ready at the end of the first
+            // iteration; the default executes it immediately (today's
+            // timing), while an exploring scheduler may defer it across
+            // later barriers to probe migration-timing interleavings.
+            let decision_ready = ending_site + 1 == phases && self.iter == 0;
+            if !self.migrated && self.cfg.migration && (decision_ready || self.migration_pending) {
+                let defer = self.exploring && {
+                    let iter = self.iter;
+                    self.sched.borrow_mut().defer_migration(iter)
+                };
+                self.migration_pending = defer;
+                if !defer {
+                    self.bar_migrate();
+                }
             }
             if overdrive {
                 if self.od_revert_pending && self.od_mode == OdMode::Overdrive {
@@ -94,6 +106,7 @@ impl Cluster {
             self.emit(CheckEvent::BarrierArrive { pid: 0, epoch });
             self.emit(CheckEvent::BarrierRelease { epoch });
             self.epoch += 1;
+            self.explore_barrier_checkpoint();
             return;
         }
 
@@ -103,18 +116,20 @@ impl Cluster {
         let reprotect =
             !(self.cfg.protocol == ProtocolKind::BarM && self.od_mode == OdMode::Overdrive);
 
-        // 1. End-of-epoch consistency work.
+        // 1. End-of-epoch consistency work, in arrival order (the queueing
+        //    order of the in-flight flushes; canonical `0..n` by default).
+        let order = self.arrival_order(n);
         let mut merged_notices: Vec<WriteNotice> = Vec::new();
-        let mut payloads = Vec::with_capacity(n);
-        for pid in 0..n {
-            payloads.push(if is_lmw {
+        let mut payloads = vec![0usize; n];
+        for pid in order {
+            payloads[pid] = if is_lmw {
                 let notices = self.lmw_pre_barrier(pid);
                 let bytes = notices.len() * NOTICE_WIRE_BYTES;
                 merged_notices.extend(notices);
                 bytes
             } else {
                 self.bar_pre_barrier(pid, reprotect) * BUMP_WIRE_BYTES
-            });
+            };
         }
         merged_notices.sort_by_key(|w| (w.epoch, w.page, w.writer));
         for n in &merged_notices {
@@ -201,5 +216,6 @@ impl Cluster {
         let epoch = self.epoch;
         self.emit(CheckEvent::BarrierRelease { epoch });
         self.epoch += 1;
+        self.explore_barrier_checkpoint();
     }
 }

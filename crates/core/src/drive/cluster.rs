@@ -9,8 +9,11 @@
 //! may observe another's same-epoch writes — and the barrier engine
 //! (`drive::barrier`) performs the protocol exchange between epochs.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use dsm_net::Network;
-use dsm_sim::{Category, Clock, DetRng, Time};
+use dsm_sim::{Category, Clock, DetRng, SharedScheduler, Time, VirtualTimeScheduler};
 use dsm_vm::{as_bytes, FaultKind, PageBuf, PageId, PageStore, Pod, Protection};
 
 use crate::check::{CheckEvent, CheckSink};
@@ -93,6 +96,20 @@ pub struct Cluster {
     /// Optional checking sink; `None` (the default) costs one branch per
     /// choke point and leaves the run bit-identical to an unchecked one.
     pub(crate) check: Option<Box<dyn CheckSink>>,
+    /// Decision scheduler shared with the network. The default
+    /// [`VirtualTimeScheduler`] reproduces historical behaviour exactly;
+    /// `dsm-explore` installs an enumerating one.
+    pub(crate) sched: SharedScheduler,
+    /// Cached `sched.exploring()` so the default path pays one branch per
+    /// choice point and never constructs candidates.
+    pub(crate) exploring: bool,
+    /// Incremental hash of every event emitted so far (exploration only);
+    /// folded into the visited-set key so pruning can never hide a checker
+    /// verdict.
+    pub(crate) trace_hash: u64,
+    /// A migration decision was ready but the scheduler deferred it to a
+    /// later barrier (exploration only; always false on the default path).
+    pub(crate) migration_pending: bool,
 }
 
 impl Cluster {
@@ -104,11 +121,15 @@ impl Cluster {
         let nprocs = cfg.sim.nprocs;
         let page_size = cfg.sim.page_size;
         let rng = DetRng::new(cfg.sim.seed);
-        let net = Network::new(
+        // The same derived stream the network always consumed, now behind
+        // the scheduler trait: bit-identical to the pre-scheduler code.
+        let sched: SharedScheduler =
+            Rc::new(RefCell::new(VirtualTimeScheduler::new(rng.derive(0xA11CE))));
+        let net = Network::with_scheduler(
             nprocs.max(2), // a 1-proc baseline still constructs a network
             cfg.sim.costs.clone(),
             cfg.sim.flush_drop_prob,
-            rng.derive(0xA11CE),
+            Rc::clone(&sched),
         );
         Cluster {
             seg: SharedSegment::new(page_size),
@@ -136,8 +157,23 @@ impl Cluster {
             reduce_mem: None,
             distributed: false,
             check: None,
+            sched,
+            exploring: false,
+            trace_hash: 0,
+            migration_pending: false,
             cfg,
         }
+    }
+
+    /// Install a decision scheduler (shared with the network). Install
+    /// before [`Cluster::distribute`] so every post-setup decision flows
+    /// through it; the replaced default scheduler's RNG stream is
+    /// abandoned whole, not resumed.
+    pub fn install_scheduler(&mut self, sched: SharedScheduler) {
+        assert!(!self.distributed, "install scheduler before distribute()");
+        self.exploring = sched.borrow().exploring();
+        self.net.set_scheduler(Rc::clone(&sched));
+        self.sched = sched;
     }
 
     /// Install a checking sink. Install before setup to observe the
@@ -152,9 +188,13 @@ impl Cluster {
         self.check.take()
     }
 
-    /// Forward one event to the installed sink, if any.
+    /// Forward one event to the installed sink, if any. Exploration also
+    /// folds every event into the running trace hash (see `drive::hash`).
     #[inline]
     pub(crate) fn emit(&mut self, ev: CheckEvent<'_>) {
+        if self.exploring {
+            self.trace_hash = crate::drive::hash::fold_event(self.trace_hash, &ev);
+        }
         if let Some(sink) = self.check.as_mut() {
             sink.on_event(ev);
         }
@@ -563,8 +603,7 @@ impl Cluster {
             ProtocolKind::Seq => self.procs[0]
                 .store
                 .frame(page)
-                .map(|f| f.data.clone())
-                .unwrap_or_else(|| self.image[page.index()].clone()),
+                .map_or_else(|| self.image[page.index()].clone(), |f| f.data.clone()),
             p if p.is_lmw() => self.lmw_snapshot_page(page),
             _ => {
                 // Home-based: the home copy is current after the last barrier.
@@ -572,8 +611,7 @@ impl Cluster {
                 self.procs[home]
                     .store
                     .frame(page)
-                    .map(|f| f.data.clone())
-                    .unwrap_or_else(|| self.image[page.index()].clone())
+                    .map_or_else(|| self.image[page.index()].clone(), |f| f.data.clone())
             }
         }
     }

@@ -56,7 +56,7 @@ impl<T: Pod> SharedArray<T> {
 
     /// Write element `i`.
     pub fn set(&self, ctx: &mut ExecCtx<'_>, i: usize, v: T) {
-        ctx.cl.write_scalar(ctx.pid, self.addr_of(i), v)
+        ctx.cl.write_scalar(ctx.pid, self.addr_of(i), v);
     }
 
     /// Read `out.len()` elements starting at `start` into `out`.
@@ -88,7 +88,7 @@ impl<T: Pod> SharedGrid2<T> {
 
     /// Write element `(r, c)`.
     pub fn set(&self, ctx: &mut ExecCtx<'_>, r: usize, c: usize, v: T) {
-        ctx.cl.write_scalar(ctx.pid, self.addr_of(r, c), v)
+        ctx.cl.write_scalar(ctx.pid, self.addr_of(r, c), v);
     }
 
     /// Read row `r` (its `cols()` used elements) into `out`.
@@ -139,7 +139,7 @@ impl<T: Pod> SharedScalar<T> {
 
     /// Write the value.
     pub fn set(&self, ctx: &mut ExecCtx<'_>, v: T) {
-        self.arr.set(ctx, 0, v)
+        self.arr.set(ctx, 0, v);
     }
 }
 

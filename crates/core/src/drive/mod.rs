@@ -5,5 +5,6 @@ pub mod app;
 pub mod barrier;
 pub mod cluster;
 pub mod ctx;
+pub mod hash;
 pub mod reduce;
 pub mod stats;

@@ -51,7 +51,7 @@ impl ReduceOp {
 
     /// Fold the per-process contribution vectors elementwise.
     pub fn fold(self, contribs: &[Vec<f64>]) -> Vec<f64> {
-        let k = contribs.first().map_or(0, |c| c.len());
+        let k = contribs.first().map_or(0, std::vec::Vec::len);
         let mut acc = vec![self.identity(); k];
         for c in contribs {
             assert_eq!(c.len(), k, "ragged reduction contributions");
@@ -76,7 +76,7 @@ impl Cluster {
     /// SUIF-style shared-memory reduction: slot writes, barrier, serial
     /// combine at process 0, barrier. The operations below go through the
     /// full protocol machinery, so the emulation pays real faults and diffs.
-    pub(crate) fn reduce_emulated(&mut self, op: ReduceOp, contribs: Vec<Vec<f64>>) {
+    pub(crate) fn reduce_emulated(&mut self, op: ReduceOp, contribs: &[Vec<f64>]) {
         let n = self.nprocs();
         assert_eq!(contribs.len(), n);
         let k = contribs[0].len();

@@ -97,6 +97,7 @@ impl RunReport {
     }
 
     /// Attach a sequential baseline time.
+    #[must_use]
     pub fn with_baseline(mut self, seq: Time) -> Self {
         self.seq_elapsed = Some(seq);
         self

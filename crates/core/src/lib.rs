@@ -37,8 +37,10 @@ pub mod mem;
 pub mod proto;
 
 pub use check::{CheckEvent, CheckSink, CountingSink};
-pub use config::{DivergencePolicy, OverdriveConfig, ProtocolKind, RunConfig};
-pub use drive::app::{run_app, run_app_checked, run_app_with_baseline, DsmApp, PhaseEnd};
+pub use config::{DivergencePolicy, OverdriveConfig, PlantedBug, ProtocolKind, RunConfig};
+pub use drive::app::{
+    run_app, run_app_checked, run_app_scheduled, run_app_with_baseline, DsmApp, PhaseEnd,
+};
 pub use drive::cluster::Cluster;
 pub use drive::ctx::{CheckCtx, ExecCtx, SetupCtx};
 pub use drive::reduce::ReduceOp;

@@ -18,6 +18,7 @@ pub struct SharedArray<T: Pod> {
 
 // Manual impls: `derive` would bound them on `T: Clone/Copy`, and the
 // PhantomData makes that unnecessary.
+#[allow(clippy::expl_impl_clone_on_copy)]
 impl<T: Pod> Clone for SharedArray<T> {
     fn clone(&self) -> Self {
         *self

@@ -21,6 +21,9 @@ pub struct SharedGrid2<T: Pod> {
     _t: PhantomData<fn() -> T>,
 }
 
+// Manual impls: `derive` would bound them on `T: Clone/Copy`, and the
+// PhantomData makes that unnecessary.
+#[allow(clippy::expl_impl_clone_on_copy)]
 impl<T: Pod> Clone for SharedGrid2<T> {
     fn clone(&self) -> Self {
         *self

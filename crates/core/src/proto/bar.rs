@@ -272,6 +272,7 @@ impl Cluster {
         let all = core::mem::take(&mut self.bar_deliveries.home_flushes);
         let (mine, rest): (Vec<_>, Vec<_>) = all.into_iter().partition(|(h, ..)| *h == pid);
         self.bar_deliveries.home_flushes = rest;
+        let mine = self.delivery_order(mine, |t| t.1 .0);
         for (_, page, diff, recv) in mine {
             self.charge(pid, Category::Sigio, recv);
             let cost = self.cfg.sim.costs.diff_apply(diff.payload_bytes());
@@ -299,6 +300,7 @@ impl Cluster {
         let all = core::mem::take(&mut self.bar_deliveries.bar_updates);
         let (mine, rest): (Vec<_>, Vec<_>) = all.into_iter().partition(|(d, ..)| *d == pid);
         self.bar_deliveries.bar_updates = rest;
+        let mine = self.delivery_order(mine, |t| t.1 .0);
         let mut by_page: Vec<(PageId, Vec<Diff>)> = Vec::new();
         for (_, page, diff, recv) in mine {
             self.charge(pid, Category::Sigio, recv);
@@ -314,8 +316,7 @@ impl Cluster {
             let received: &[Diff] = by_page
                 .iter()
                 .find(|(p, _)| *p == page)
-                .map(|(_, v)| v.as_slice())
-                .unwrap_or(&[]);
+                .map_or(&[], |(_, v)| v.as_slice());
             let my_contrib = self
                 .bar_deliveries
                 .writer_bumps

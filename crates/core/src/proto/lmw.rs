@@ -30,7 +30,7 @@ use dsm_sim::{Category, Time};
 use dsm_vm::{Diff, FaultKind, PageBuf, PageId, Protection};
 
 use crate::check::CheckEvent;
-use crate::config::ProtocolKind;
+use crate::config::{PlantedBug, ProtocolKind};
 use crate::drive::cluster::Cluster;
 use crate::proto::copyset::CopySet;
 use crate::proto::notice::{WriteNotice, NOTICE_WIRE_BYTES};
@@ -156,8 +156,7 @@ impl Cluster {
         let floor = self.procs[pid]
             .store
             .frame(page)
-            .map(|f| f.applied_through)
-            .unwrap_or(0);
+            .map_or(0, |f| f.applied_through);
         let applied_w = |lmw: &LmwProc, w: u16| -> u64 {
             lmw.applied
                 .get(&(page.0, w))
@@ -198,10 +197,17 @@ impl Cluster {
                 }
             }
         }
-        let is_covered = |covered: &HashMap<u16, Vec<(u64, u64)>>, w: u16, e: u64| {
-            covered
-                .get(&w)
-                .is_some_and(|v| v.iter().any(|&(lo, hi)| lo <= e && e <= hi))
+        let planted = self.cfg.planted;
+        let is_covered = move |covered: &HashMap<u16, Vec<(u64, u64)>>, w: u16, e: u64| {
+            covered.get(&w).is_some_and(|v| {
+                v.iter().any(|&(lo, hi)| match planted {
+                    PlantedBug::None => lo <= e && e <= hi,
+                    // Seeded regression bug: pretends a stored [lo, hi]
+                    // update covers every epoch up to hi, so an earlier
+                    // dropped flush from the same writer is never fetched.
+                    PlantedBug::LmwUCoverageGap => e <= hi,
+                })
+            })
         };
 
         // Which writers still have intervals we cannot cover locally?
@@ -460,6 +466,7 @@ impl Cluster {
         let all = core::mem::take(&mut self.bar_deliveries.lmw_updates);
         let (mine, rest): (Vec<_>, Vec<_>) = all.into_iter().partition(|(dst, ..)| *dst == pid);
         self.bar_deliveries.lmw_updates = rest;
+        let mine = self.delivery_order(mine, |t| t.1 .0);
         for (_, page, writer, lo, hi, diff, recv) in mine {
             self.charge(pid, Category::Sigio, recv);
             // Insertion slows down as the out-of-order store grows — stale
@@ -537,9 +544,8 @@ impl Cluster {
         let mut buf = p0
             .store
             .frame(page)
-            .map(|f| f.data.clone())
-            .unwrap_or_else(|| self.image[page.index()].clone());
-        let floor = p0.store.frame(page).map(|f| f.applied_through).unwrap_or(0);
+            .map_or_else(|| self.image[page.index()].clone(), |f| f.data.clone());
+        let floor = p0.store.frame(page).map_or(0, |f| f.applied_through);
         let applied_w = |w: u16| -> u64 {
             p0.lmw
                 .applied

@@ -194,7 +194,7 @@ fn home_writes_need_no_diffs_or_flushes() {
 /// distinct ks touch distinct pages (write sets are page-granular).
 fn run_epochs(cl: &mut Cluster, arr: SharedArray<f64>, writes: &[&[usize]]) {
     for (e, pages) in writes.iter().enumerate() {
-        for &k in pages.iter() {
+        for &k in *pages {
             let mut ctx = cl.exec_ctx(0);
             arr.set(&mut ctx, 1024 * k, e as f64 + k as f64);
         }

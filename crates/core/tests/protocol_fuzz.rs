@@ -77,8 +77,7 @@ impl Oracle {
             .iter()
             .rev()
             .find(|(p, w, _)| *p == page && *w == word)
-            .map(|(_, _, v)| *v)
-            .unwrap_or(self.committed[page][word])
+            .map_or(self.committed[page][word], |(_, _, v)| *v)
     }
 
     /// True if reading `(page, word)` from `pid` this epoch would race with

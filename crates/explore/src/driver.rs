@@ -1,0 +1,246 @@
+//! The stateless DFS driver: enumerate schedules, check each one.
+//!
+//! Every schedule is a full from-scratch execution of the application
+//! under an [`ExploreScheduler`] carrying a forced choice prefix; the
+//! driver backtracks by re-running with the deepest not-yet-exhausted
+//! choice point incremented (standard stateless model checking à la
+//! Loom/Shuttle/VeriSoft). Each execution runs under the full `dsm-check`
+//! oracle stack — race detector, LRC coherence oracle, protocol
+//! invariants — and the first violating schedule is reported as a
+//! replayable choice trace.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::Once;
+
+use dsm_check::{CheckReport, Checker};
+use dsm_core::{run_app_scheduled, DsmApp, RunConfig};
+use dsm_sim::{ExplorePruned, SharedScheduler};
+
+use crate::sched::{Bounds, ChoicePoint, ExploreScheduler, Visited};
+use crate::trace::ChoiceTrace;
+
+/// Exploration options.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreOpts {
+    /// Hard cap on executed schedules (budget).
+    pub max_schedules: usize,
+    pub bounds: Bounds,
+    /// Stop at the first violating schedule (replay artifacts want the
+    /// shortest trace; baselines want the full count).
+    pub stop_on_violation: bool,
+}
+
+impl Default for ExploreOpts {
+    fn default() -> ExploreOpts {
+        ExploreOpts {
+            max_schedules: 1000,
+            bounds: Bounds::default(),
+            stop_on_violation: true,
+        }
+    }
+}
+
+/// The first violating schedule found.
+#[derive(Clone, Debug)]
+pub struct ViolationFound {
+    /// 0-based index of the violating schedule in exploration order.
+    pub schedule_index: usize,
+    /// The resolved choice points — a replayable trace.
+    pub choices: Vec<ChoicePoint>,
+    /// The checker's findings.
+    pub report: CheckReport,
+}
+
+/// Outcome of one bounded exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// Executions attempted (completed + pruned).
+    pub schedules: usize,
+    /// Executions that ran to the end and were checked.
+    pub completed: usize,
+    /// Executions abandoned by visited-state pruning.
+    pub pruned: usize,
+    /// True if the whole bounded choice tree was covered within budget.
+    pub frontier_exhausted: bool,
+    /// Deepest choice log observed (tree depth indicator).
+    pub max_points: usize,
+    pub violation: Option<ViolationFound>,
+}
+
+/// Suppress the default panic-hook output for [`ExplorePruned`] unwinds —
+/// pruning is control flow here, not failure. Installed once per process;
+/// all other panics still reach the previous hook.
+pub fn silence_prune_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ExplorePruned>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Systematically explore the bounded schedule/fault space of `make_app`
+/// under `cfg`, running every schedule under the full `dsm-check` oracles.
+///
+/// `make_app` is called once per schedule: every execution needs a fresh
+/// application instance (stateless model checking replays from scratch).
+pub fn explore<F>(mut make_app: F, cfg: &RunConfig, opts: &ExploreOpts) -> ExploreReport
+where
+    F: FnMut() -> Box<dyn DsmApp>,
+{
+    silence_prune_panics();
+    let visited: Option<Visited> = opts
+        .bounds
+        .state_prune
+        .then(|| Rc::new(RefCell::new(HashSet::new())));
+    let mut prefix: Vec<u32> = Vec::new();
+    let mut out = ExploreReport {
+        schedules: 0,
+        completed: 0,
+        pruned: 0,
+        frontier_exhausted: false,
+        max_points: 0,
+        violation: None,
+    };
+    loop {
+        if out.schedules >= opts.max_schedules {
+            break;
+        }
+        let (log, result) = run_one(
+            &mut make_app,
+            cfg,
+            opts.bounds,
+            prefix.clone(),
+            visited.clone(),
+        );
+        out.schedules += 1;
+        out.max_points = out.max_points.max(log.len());
+        match result {
+            Some(check) => {
+                out.completed += 1;
+                if !check.is_clean() && out.violation.is_none() {
+                    out.violation = Some(ViolationFound {
+                        schedule_index: out.schedules - 1,
+                        choices: log.clone(),
+                        report: check,
+                    });
+                    if opts.stop_on_violation {
+                        break;
+                    }
+                }
+            }
+            None => out.pruned += 1,
+        }
+        if let Some(p) = next_prefix(&log) {
+            prefix = p
+        } else {
+            out.frontier_exhausted = true;
+            break;
+        }
+    }
+    out
+}
+
+/// Execute one schedule; `None` result means the execution was pruned.
+fn run_one<F>(
+    make_app: &mut F,
+    cfg: &RunConfig,
+    bounds: Bounds,
+    prefix: Vec<u32>,
+    visited: Option<Visited>,
+) -> (Vec<ChoicePoint>, Option<CheckReport>)
+where
+    F: FnMut() -> Box<dyn DsmApp>,
+{
+    let sched = Rc::new(RefCell::new(ExploreScheduler::new(bounds, prefix, visited)));
+    let shared: SharedScheduler = Rc::<RefCell<ExploreScheduler>>::clone(&sched);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut app = make_app();
+        let checker = Checker::new(cfg);
+        run_app_scheduled(app.as_mut(), cfg.clone(), Some(checker.sink()), shared);
+        checker.report()
+    }));
+    let log = sched.borrow().log().to_vec();
+    match result {
+        Ok(check) => (log, Some(check)),
+        Err(payload) => {
+            if payload.downcast_ref::<ExplorePruned>().is_some() {
+                (log, None)
+            } else {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Deepest-first backtracking: the next DFS prefix, or `None` when every
+/// choice point on the current path is exhausted.
+fn next_prefix(log: &[ChoicePoint]) -> Option<Vec<u32>> {
+    for i in (0..log.len()).rev() {
+        if log[i].chosen + 1 < log[i].alts {
+            let mut p: Vec<u32> = log[..i].iter().map(|c| c.chosen).collect();
+            p.push(log[i].chosen + 1);
+            return Some(p);
+        }
+    }
+    None
+}
+
+/// Re-execute exactly the schedule a trace records, under full checking.
+///
+/// State pruning is disabled (the replayed schedule must run to the end)
+/// and the replayed choice points are asserted to match the trace — a
+/// changed binary whose choice tree drifted fails loudly instead of
+/// replaying a silently different schedule.
+pub fn replay<F>(mut make_app: F, cfg: &RunConfig, trace: &ChoiceTrace) -> CheckReport
+where
+    F: FnMut() -> Box<dyn DsmApp>,
+{
+    let bounds = Bounds {
+        state_prune: false,
+        ..trace.bounds
+    };
+    let prefix: Vec<u32> = trace.choices.iter().map(|c| c.chosen).collect();
+    let (log, result) = run_one(&mut make_app, cfg, bounds, prefix, None);
+    let report = result.expect("replay never prunes");
+    assert_eq!(
+        log, trace.choices,
+        "replayed choice points diverged from the trace"
+    );
+    report
+}
+
+/// The run configuration a trace describes.
+pub fn config_for_trace(trace: &ChoiceTrace) -> RunConfig {
+    let mut cfg = RunConfig::with_nprocs(trace.protocol, trace.nprocs);
+    cfg.planted = trace.planted;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_sim::ChoiceKind;
+
+    fn pt(chosen: u32, alts: u32) -> ChoicePoint {
+        ChoicePoint {
+            kind: ChoiceKind::Drop,
+            chosen,
+            alts,
+        }
+    }
+
+    #[test]
+    fn backtracking_increments_deepest_open_point() {
+        assert_eq!(next_prefix(&[pt(0, 2), pt(1, 2)]), Some(vec![1]));
+        assert_eq!(next_prefix(&[pt(0, 2), pt(0, 3)]), Some(vec![0, 1]));
+        assert_eq!(next_prefix(&[pt(1, 2), pt(1, 2)]), None);
+        assert_eq!(next_prefix(&[]), None);
+    }
+}

@@ -1,0 +1,193 @@
+//! Tier-1 exploration tests: the planted bug is found, violating traces
+//! replay exactly, POR pays for itself, and the paper apps stay clean
+//! under bounded exploration.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dsm_apps::{app_by_name, Scale};
+use dsm_core::{run_app, run_app_scheduled, DsmApp, PlantedBug, ProtocolKind, RunConfig};
+use dsm_explore::{explore, replay, Bounds, CappedApp, ChoiceTrace, ExploreOpts, RegressApp};
+use dsm_sim::VirtualTimeScheduler;
+
+fn regress_cfg(planted: PlantedBug) -> RunConfig {
+    let mut cfg = RunConfig::with_nprocs(ProtocolKind::LmwU, 2);
+    cfg.planted = planted;
+    cfg
+}
+
+fn make_regress() -> Box<dyn DsmApp> {
+    Box::new(RegressApp::new())
+}
+
+#[test]
+fn regress_is_clean_under_every_schedule_without_the_bug() {
+    let cfg = regress_cfg(PlantedBug::None);
+    let opts = ExploreOpts {
+        max_schedules: 2000,
+        stop_on_violation: true,
+        bounds: Bounds::default(),
+    };
+    let rep = explore(make_regress, &cfg, &opts);
+    assert!(rep.violation.is_none(), "correct protocol must stay clean");
+    assert!(
+        rep.frontier_exhausted,
+        "the bounded tree must be fully covered ({} schedules run)",
+        rep.schedules
+    );
+    assert!(rep.schedules > 1, "the tree must actually branch");
+}
+
+#[test]
+fn planted_ordering_bug_is_found_quickly() {
+    let cfg = regress_cfg(PlantedBug::LmwUCoverageGap);
+    let opts = ExploreOpts {
+        max_schedules: 1000,
+        stop_on_violation: true,
+        bounds: Bounds::default(),
+    };
+    let rep = explore(make_regress, &cfg, &opts);
+    let v = rep
+        .violation
+        .expect("the planted coverage-gap bug must be found within 1000 schedules");
+    assert!(
+        v.report.stale_reads() > 0,
+        "the coherence oracle flags the skipped interval: {}",
+        v.report.summary()
+    );
+    assert!(
+        v.choices.iter().any(|c| c.chosen > 0),
+        "the violating schedule diverges from the canonical one"
+    );
+}
+
+#[test]
+fn violating_schedule_replays_to_the_same_report() {
+    let cfg = regress_cfg(PlantedBug::LmwUCoverageGap);
+    let opts = ExploreOpts {
+        max_schedules: 1000,
+        stop_on_violation: true,
+        bounds: Bounds::default(),
+    };
+    let rep = explore(make_regress, &cfg, &opts);
+    let v = rep.violation.expect("bug found");
+
+    let trace = ChoiceTrace {
+        app: "regress".to_string(),
+        protocol: cfg.protocol,
+        nprocs: 2,
+        iters_cap: 0,
+        planted: cfg.planted,
+        bounds: opts.bounds,
+        choices: v.choices.clone(),
+    };
+    // Round-trip through the text format, then re-execute.
+    let parsed = ChoiceTrace::parse(&trace.to_text()).expect("well-formed trace");
+    let replayed = replay(make_regress, &cfg, &parsed);
+    assert_eq!(
+        replayed.summary(),
+        v.report.summary(),
+        "replay must reproduce the exact findings"
+    );
+    assert!(replayed.stale_reads() > 0);
+}
+
+#[test]
+fn committed_repro_trace_replays() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/repro/lmw-u-coverage-gap.trace"
+    );
+    let text = std::fs::read_to_string(path).expect("committed trace present");
+    let trace = ChoiceTrace::parse(&text).expect("committed trace parses");
+    assert_eq!(trace.app, "regress");
+    let cfg = dsm_explore::config_for_trace(&trace);
+    let report = replay(make_regress, &cfg, &trace);
+    assert!(
+        report.stale_reads() > 0,
+        "the committed artifact must still reproduce the violation: {}",
+        report.summary()
+    );
+}
+
+#[test]
+fn por_cuts_the_schedule_count_at_least_10x() {
+    // Same bounded tree, POR on vs off; state pruning off in both arms so
+    // the comparison is purely the reduction's effect.
+    let cfg = regress_cfg(PlantedBug::None);
+    let on = explore(
+        make_regress,
+        &cfg,
+        &ExploreOpts {
+            max_schedules: 5000,
+            stop_on_violation: false,
+            bounds: Bounds {
+                por: true,
+                state_prune: false,
+                ..Bounds::default()
+            },
+        },
+    );
+    assert!(on.frontier_exhausted);
+    let cap = on.schedules * 10;
+    let off = explore(
+        make_regress,
+        &cfg,
+        &ExploreOpts {
+            max_schedules: cap,
+            stop_on_violation: false,
+            bounds: Bounds {
+                por: false,
+                state_prune: false,
+                ..Bounds::default()
+            },
+        },
+    );
+    assert!(
+        !off.frontier_exhausted || off.schedules >= cap,
+        "POR factor below 10x: {} with vs {} without",
+        on.schedules,
+        off.schedules
+    );
+}
+
+#[test]
+fn paper_app_is_clean_under_bounded_exploration() {
+    let spec = app_by_name("jacobi").expect("registry app");
+    let cfg = RunConfig::with_nprocs(ProtocolKind::LmwU, 2);
+    let opts = ExploreOpts {
+        max_schedules: 300,
+        stop_on_violation: true,
+        bounds: Bounds::default(),
+    };
+    let rep = explore(
+        || Box::new(CappedApp::new(spec.build(Scale::Small), 2)),
+        &cfg,
+        &opts,
+    );
+    assert!(
+        rep.violation.is_none(),
+        "jacobi under lmw-u must be clean on every explored schedule"
+    );
+    assert!(rep.schedules > 1, "exploration must branch");
+}
+
+#[test]
+fn explicit_default_scheduler_matches_run_app() {
+    let spec = app_by_name("jacobi").expect("registry app");
+    let cfg = RunConfig::with_nprocs(ProtocolKind::BarU, 4);
+    let mut plain_app = spec.build(Scale::Small);
+    let plain = run_app(plain_app.as_mut(), cfg.clone());
+    // Installing the default scheduler explicitly (fresh stream from the
+    // same derivation the cluster uses) is bit-identical to run_app.
+    let mut sched_app = spec.build(Scale::Small);
+    let rng = dsm_sim::DetRng::new(cfg.sim.seed).derive(0xA11CE);
+    let sched = Rc::new(RefCell::new(VirtualTimeScheduler::new(rng)));
+    let scheduled = run_app_scheduled(sched_app.as_mut(), cfg, None, sched);
+    assert_eq!(plain.elapsed, scheduled.elapsed);
+    assert_eq!(plain.checksum, scheduled.checksum);
+    assert_eq!(
+        plain.stats.net.total_msgs(),
+        scheduled.stats.net.total_msgs()
+    );
+}

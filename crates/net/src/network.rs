@@ -1,6 +1,10 @@
 //! The charging network: cost legs, statistics, loss injection.
 
-use dsm_sim::{CostModel, DetRng, Time};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use dsm_sim::{CostModel, DetRng, SharedScheduler, Time, VirtualTimeScheduler};
 
 use crate::message::{MsgKind, HEADER_BYTES};
 use crate::stats::NetStats;
@@ -27,7 +31,6 @@ impl Transit {
 
 /// The cluster interconnect: full crossbar, per-link counters, optional
 /// unreliable-flush loss.
-#[derive(Debug)]
 pub struct Network {
     nprocs: usize,
     costs: CostModel,
@@ -35,11 +38,35 @@ pub struct Network {
     /// Per (src, dst) message counts, for diagnostics and tests.
     link_msgs: Vec<u64>,
     drop_prob: f64,
-    rng: DetRng,
+    /// Resolves the drop decision for droppable kinds. The default wraps
+    /// the RNG stream handed to [`Network::new`]; an exploration driver
+    /// swaps in its own via [`Network::set_scheduler`].
+    sched: SharedScheduler,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("nprocs", &self.nprocs)
+            .field("drop_prob", &self.drop_prob)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Network {
     pub fn new(nprocs: usize, costs: CostModel, drop_prob: f64, rng: DetRng) -> Network {
+        let sched = Rc::new(RefCell::new(VirtualTimeScheduler::new(rng)));
+        Network::with_scheduler(nprocs, costs, drop_prob, sched)
+    }
+
+    /// Build with an explicit decision scheduler (shared with the cluster).
+    pub fn with_scheduler(
+        nprocs: usize,
+        costs: CostModel,
+        drop_prob: f64,
+        sched: SharedScheduler,
+    ) -> Network {
         assert!(nprocs >= 1);
         assert!((0.0..=1.0).contains(&drop_prob));
         Network {
@@ -48,8 +75,13 @@ impl Network {
             stats: NetStats::new(),
             link_msgs: vec![0; nprocs * nprocs],
             drop_prob,
-            rng,
+            sched,
         }
+    }
+
+    /// Replace the decision scheduler (exploration installs its own).
+    pub fn set_scheduler(&mut self, sched: SharedScheduler) {
+        self.sched = sched;
     }
 
     /// Send a message of `kind` with `payload` bytes from `src` to `dst`.
@@ -57,16 +89,24 @@ impl Network {
     /// Records statistics and returns the cost legs; the caller applies them
     /// to the right clocks. Unreliable kinds may be dropped when the network
     /// is configured lossy.
+    ///
+    /// Charge-then-drop: statistics and the full cost legs — including the
+    /// sender leg — are committed *before* the drop decision. This is the
+    /// paper's semantics: flushes "can be unreliable, and therefore do not
+    /// need to be acknowledged", so the sender cannot know the message was
+    /// lost and pays its send-side cost either way. Only the `delivered`
+    /// flag (and the receiver's behaviour) differ for a dropped flush.
     pub fn send(&mut self, src: usize, dst: usize, kind: MsgKind, payload: usize) -> Transit {
         assert!(src < self.nprocs && dst < self.nprocs, "bad endpoint");
         assert_ne!(src, dst, "no self-messages: local work is not a message");
-        let dropped = kind.droppable() && self.drop_prob > 0.0 && self.rng.chance(self.drop_prob);
         self.stats.record(kind, payload);
+        self.link_msgs[src * self.nprocs + dst] += 1;
+        let (sender, wire, receiver) = self.costs.msg_legs(payload + HEADER_BYTES);
+        let dropped =
+            kind.droppable() && self.sched.borrow_mut().flush_drop(src, dst, self.drop_prob);
         if dropped {
             self.stats.flushes_dropped += 1;
         }
-        self.link_msgs[src * self.nprocs + dst] += 1;
-        let (sender, wire, receiver) = self.costs.msg_legs(payload + HEADER_BYTES);
         Transit {
             sender,
             wire,
@@ -157,6 +197,52 @@ mod tests {
         assert!(t.delivered, "reliable kinds never drop");
         let t = n.send(0, 1, MsgKind::DiffFlushHome, 10);
         assert!(t.delivered, "home flushes are reliable");
+    }
+
+    #[test]
+    fn dropped_flush_still_pays_sender_and_records_stats() {
+        // Charge-then-drop: the sender of an unreliable flush cannot know
+        // the message is lost, so its legs and the traffic statistics are
+        // identical to the delivered case; only `delivered` (and the
+        // drop counter) differ.
+        let mut lossy = net(1.0);
+        let mut clean = net(0.0);
+        let t_drop = lossy.send(0, 1, MsgKind::UpdateFlush, 256);
+        let t_ok = clean.send(0, 1, MsgKind::UpdateFlush, 256);
+        assert!(!t_drop.delivered);
+        assert!(t_ok.delivered);
+        assert_eq!(t_drop.sender, t_ok.sender, "sender leg charged either way");
+        assert_eq!(t_drop.wire, t_ok.wire);
+        assert_eq!(t_drop.receiver, t_ok.receiver);
+        assert_eq!(
+            lossy.stats().msgs_of(MsgKind::UpdateFlush),
+            clean.stats().msgs_of(MsgKind::UpdateFlush)
+        );
+        assert_eq!(
+            lossy.stats().bytes_of(MsgKind::UpdateFlush),
+            clean.stats().bytes_of(MsgKind::UpdateFlush)
+        );
+        assert_eq!(lossy.link_count(0, 1), 1, "link counter ticks on drop too");
+        assert_eq!(lossy.stats().flushes_dropped, 1);
+        assert_eq!(clean.stats().flushes_dropped, 0);
+    }
+
+    #[test]
+    fn injected_scheduler_decides_drops() {
+        // A scripted scheduler: drop every other flush, ignoring `prob`.
+        struct EveryOther(u32);
+        impl dsm_sim::Scheduler for EveryOther {
+            fn flush_drop(&mut self, _s: usize, _d: usize, _p: f64) -> bool {
+                self.0 += 1;
+                self.0.is_multiple_of(2)
+            }
+        }
+        let sched: dsm_sim::SharedScheduler = Rc::new(RefCell::new(EveryOther(0)));
+        let mut n = Network::with_scheduler(2, CostModel::default(), 0.0, sched);
+        assert!(n.send(0, 1, MsgKind::UpdateFlush, 8).delivered);
+        assert!(!n.send(0, 1, MsgKind::UpdateFlush, 8).delivered);
+        assert!(n.send(0, 1, MsgKind::UpdateFlush, 8).delivered);
+        assert_eq!(n.stats().flushes_dropped, 1);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   large, unpredictable patterns).
 //! * [`rng`] — deterministic, seedable random number helpers so that every
 //!   run of the simulation is exactly reproducible.
+//! * [`sched`] — the decision [`sched::Scheduler`] trait behind which every
+//!   environment choice (flush loss, message ordering, migration timing)
+//!   lives, with the bit-identical default [`sched::VirtualTimeScheduler`].
 //! * [`prop`] — a small deterministic property-test harness built on
 //!   [`rng::DetRng`] (the workspace builds offline and carries no external
 //!   test dependencies).
@@ -34,6 +37,7 @@ pub mod config;
 pub mod costs;
 pub mod prop;
 pub mod rng;
+pub mod sched;
 pub mod stress;
 pub mod time;
 
@@ -42,5 +46,8 @@ pub use clock::Clock;
 pub use config::SimConfig;
 pub use costs::CostModel;
 pub use rng::DetRng;
+pub use sched::{
+    Candidate, ChoiceKind, ExplorePruned, Scheduler, SharedScheduler, VirtualTimeScheduler,
+};
 pub use stress::StressModel;
 pub use time::Time;

@@ -127,9 +127,7 @@ mod tests {
     fn check_propagates_failures() {
         check("fails", 10, |g| {
             // Fail deterministically on a mid-stream case.
-            if g.case_seed % 3 == 0 {
-                panic!("boom");
-            }
+            assert!(g.case_seed % 3 != 0, "boom");
         });
     }
 
@@ -139,5 +137,95 @@ mod tests {
         for n in [0usize, 1, 7, 8, 9, 255] {
             assert_eq!(g.bytes(n).len(), n);
         }
+    }
+
+    // ---- DetRng stream-splitting properties --------------------------
+    //
+    // The scheduler refactor leans on `derive`: the cluster hands the
+    // network's scheduler a derived stream, so replay stability and
+    // parent/child independence are now load-bearing for bit-identity.
+
+    fn draws(r: &mut DetRng, n: usize) -> Vec<u64> {
+        (0..n).map(|_| r.next_u64()).collect()
+    }
+
+    #[test]
+    fn prop_derive_is_replay_stable_across_clone() {
+        check("derive-clone-stable", 200, |g| {
+            let parent = DetRng::new(g.u64());
+            let stream = g.u64();
+            // Deriving from a clone (fork) is the same as deriving from
+            // the original, and deriving twice gives the same stream.
+            let mut a = parent.derive(stream);
+            let mut b = parent.clone().derive(stream);
+            let mut c = parent.derive(stream);
+            let expect = draws(&mut a, 16);
+            assert_eq!(expect, draws(&mut b, 16), "clone-derived stream differs");
+            assert_eq!(expect, draws(&mut c, 16), "re-derived stream differs");
+        });
+    }
+
+    #[test]
+    fn prop_child_draws_do_not_perturb_parent() {
+        check("derive-parent-isolated", 200, |g| {
+            let seed = g.u64();
+            let stream = g.u64();
+            let spin = g.range(1, 64);
+            let mut plain = DetRng::new(seed);
+            let mut forked = DetRng::new(seed);
+            let mut child = forked.derive(stream);
+            for _ in 0..spin {
+                child.next_u64();
+            }
+            assert_eq!(
+                draws(&mut plain, 16),
+                draws(&mut forked, 16),
+                "child draws leaked into the parent's sequence"
+            );
+        });
+    }
+
+    #[test]
+    fn prop_distinct_streams_are_independent() {
+        check("derive-streams-distinct", 200, |g| {
+            let parent = DetRng::new(g.u64());
+            let s1 = g.u64();
+            let mut s2 = g.u64();
+            if s2 == s1 {
+                s2 = s2.wrapping_add(1);
+            }
+            let a = draws(&mut parent.derive(s1), 16);
+            let b = draws(&mut parent.derive(s2), 16);
+            assert_ne!(a, b, "distinct stream ids produced the same stream");
+            // The child must not replay the parent's own sequence either.
+            let c = draws(&mut parent.clone(), 16);
+            assert_ne!(a, c, "child stream mirrors its parent");
+            // No positional collisions: across 200 cases x 16 positions,
+            // even one equal word would be a red flag for the salt mix.
+            let collisions = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+            assert_eq!(collisions, 0, "positionally correlated streams");
+        });
+    }
+
+    #[test]
+    fn prop_derivation_is_state_dependent_but_deterministic() {
+        check("derive-after-draws", 200, |g| {
+            let seed = g.u64();
+            let stream = g.u64();
+            let spin = g.range(1, 64);
+            // Same seed, same draw count, same stream id: same child.
+            let mut x = DetRng::new(seed);
+            let mut y = DetRng::new(seed);
+            for _ in 0..spin {
+                x.next_u64();
+                y.next_u64();
+            }
+            let a = draws(&mut x.derive(stream), 8);
+            assert_eq!(a, draws(&mut y.derive(stream), 8));
+            // Deriving from a different position yields a different child
+            // (derivation keys off the parent's current state).
+            let fresh = draws(&mut DetRng::new(seed).derive(stream), 8);
+            assert_ne!(a, fresh, "derivation ignored the parent's position");
+        });
     }
 }

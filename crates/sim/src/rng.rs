@@ -56,6 +56,7 @@ impl DetRng {
     /// Derive an independent stream for subsystem `stream` — e.g. one per
     /// process — without correlating draws between streams or perturbing
     /// the parent's own sequence.
+    #[must_use]
     pub fn derive(&self, stream: u64) -> DetRng {
         let mut mix = stream ^ 0xA076_1D64_78BD_642F;
         let salt = splitmix64(&mut mix);

@@ -1,0 +1,261 @@
+//! The decision scheduler: every nondeterministic choice the virtual
+//! cluster makes, behind one trait.
+//!
+//! The protocols above this crate contain exactly four kinds of
+//! "environment" decisions:
+//!
+//! * **drop** — whether an unreliable flush message is lost in transit;
+//! * **arrival** — the order in which processes run their end-of-epoch
+//!   consistency work (which is the queueing order of their in-flight
+//!   flushes);
+//! * **delivery** — the order in which one process consumes the one-way
+//!   messages addressed to it at a barrier release;
+//! * **migration** — whether a pending home-migration decision executes at
+//!   this barrier or is deferred to a later one.
+//!
+//! The default [`VirtualTimeScheduler`] resolves them exactly the way the
+//! cluster always has: drops come from a [`DetRng`] Bernoulli draw and every
+//! ordering choice takes the first (canonical) candidate, so a run under the
+//! default scheduler is bit-identical — in virtual time, statistics, and
+//! results — to the pre-scheduler code. A model checker (see the
+//! `dsm-explore` crate) substitutes its own implementation to enumerate
+//! bounded choice sequences instead.
+//!
+//! This crate knows nothing about pages or messages; candidates carry
+//! opaque `u32` resource labels (the cluster uses page ids) whose only
+//! meaning is that two candidates with disjoint label sets *commute*.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::rng::DetRng;
+
+/// Which kind of decision a choice point resolves.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChoiceKind {
+    /// Drop/deliver for one unreliable flush.
+    Drop,
+    /// Pre-barrier processing order among processes.
+    Arrival,
+    /// Consumption order of queued one-way messages at one receiver.
+    Delivery,
+    /// Execute-now/defer for a pending home migration.
+    Migration,
+}
+
+impl ChoiceKind {
+    /// Stable lowercase name (used by the trace format).
+    pub fn label(self) -> &'static str {
+        match self {
+            ChoiceKind::Drop => "drop",
+            ChoiceKind::Arrival => "arrival",
+            ChoiceKind::Delivery => "delivery",
+            ChoiceKind::Migration => "migration",
+        }
+    }
+
+    /// Inverse of [`ChoiceKind::label`].
+    pub fn from_label(s: &str) -> Option<ChoiceKind> {
+        match s {
+            "drop" => Some(ChoiceKind::Drop),
+            "arrival" => Some(ChoiceKind::Arrival),
+            "delivery" => Some(ChoiceKind::Delivery),
+            "migration" => Some(ChoiceKind::Migration),
+            _ => None,
+        }
+    }
+}
+
+/// One schedulable alternative at an ordering choice point.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// Acting process (arriving pid for `Arrival`; the writer for
+    /// `Delivery` entries).
+    pub actor: u16,
+    /// Conflict footprint: sorted, deduplicated resource labels (the
+    /// cluster passes page ids). Two candidates with disjoint footprints
+    /// commute — scheduling them in either order reaches the same state.
+    pub footprint: Vec<u32>,
+}
+
+impl Candidate {
+    /// True if the two footprints share a label (candidates conflict).
+    pub fn conflicts_with(&self, other: &Candidate) -> bool {
+        // Both sides are sorted: one merge walk.
+        let (mut i, mut j) = (0, 0);
+        while i < self.footprint.len() && j < other.footprint.len() {
+            match self.footprint[i].cmp(&other.footprint[j]) {
+                core::cmp::Ordering::Less => i += 1,
+                core::cmp::Ordering::Greater => j += 1,
+                core::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+}
+
+/// Resolver for the cluster's environment decisions.
+///
+/// Implementations are consulted synchronously from inside the cluster and
+/// must not re-enter it. `choose` returns an index into `cands`; it is only
+/// called with two or more candidates.
+pub trait Scheduler {
+    /// True for schedule-enumerating implementations. The cluster caches
+    /// this at installation and only pays for candidate construction (and
+    /// state hashing) when it is set.
+    fn exploring(&self) -> bool {
+        false
+    }
+
+    /// Whether the unreliable flush `src → dst` is dropped. `prob` is the
+    /// configured loss probability (the default implementation draws on
+    /// it; an explorer enumerates instead).
+    fn flush_drop(&mut self, src: usize, dst: usize, prob: f64) -> bool;
+
+    /// Pick the next candidate to schedule.
+    fn choose(&mut self, kind: ChoiceKind, cands: &[Candidate]) -> usize {
+        let _ = (kind, cands);
+        0
+    }
+
+    /// Whether a ready home-migration decision is deferred past this
+    /// barrier (`iter` is the ending iteration index).
+    fn defer_migration(&mut self, iter: usize) -> bool {
+        let _ = iter;
+        false
+    }
+
+    /// Observe the cluster's structural state hash at the end of a
+    /// barrier. Returning `false` abandons the execution (the cluster
+    /// unwinds with an [`ExplorePruned`] payload); the default continues.
+    fn observe_barrier(&mut self, state_hash: u64) -> bool {
+        let _ = state_hash;
+        true
+    }
+}
+
+/// Shared handle: the cluster and the network consult the same scheduler.
+pub type SharedScheduler = Rc<RefCell<dyn Scheduler>>;
+
+/// Panic payload used to abandon a pruned execution. Carried through
+/// `panic_any` so an exploration driver can `catch_unwind` and count it
+/// without treating it as a failure.
+#[derive(Clone, Copy, Debug)]
+pub struct ExplorePruned;
+
+/// The default scheduler: the cluster's historical behaviour.
+///
+/// Drops draw from the owned [`DetRng`] stream exactly as the network used
+/// to (a `prob <= 0` draw consumes no generator state), and every ordering
+/// choice resolves to the canonical first candidate — which is what the
+/// hard-coded loops did before the trait existed.
+#[derive(Clone, Debug)]
+pub struct VirtualTimeScheduler {
+    rng: DetRng,
+}
+
+impl VirtualTimeScheduler {
+    /// Wrap an RNG stream (the cluster derives one from the run seed).
+    pub fn new(rng: DetRng) -> VirtualTimeScheduler {
+        VirtualTimeScheduler { rng }
+    }
+
+    /// Convenience: seed a fresh stream.
+    pub fn from_seed(seed: u64) -> VirtualTimeScheduler {
+        VirtualTimeScheduler::new(DetRng::new(seed))
+    }
+}
+
+impl Scheduler for VirtualTimeScheduler {
+    fn flush_drop(&mut self, _src: usize, _dst: usize, prob: f64) -> bool {
+        self.rng.chance(prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scheduler_is_not_exploring() {
+        let s = VirtualTimeScheduler::from_seed(1);
+        assert!(!s.exploring());
+    }
+
+    #[test]
+    fn drop_draws_match_raw_rng() {
+        let mut s = VirtualTimeScheduler::new(DetRng::new(9));
+        let mut r = DetRng::new(9);
+        for i in 0..64 {
+            let p = f64::from(i % 3) * 0.4;
+            assert_eq!(s.flush_drop(0, 1, p), r.chance(p));
+        }
+    }
+
+    #[test]
+    fn zero_probability_consumes_no_state() {
+        let mut s = VirtualTimeScheduler::new(DetRng::new(5));
+        let mut r = DetRng::new(5);
+        for _ in 0..10 {
+            assert!(!s.flush_drop(0, 1, 0.0));
+        }
+        // The stream is untouched: the next positive draw matches a fresh
+        // generator's first draw.
+        assert_eq!(s.flush_drop(0, 1, 0.5), r.chance(0.5));
+    }
+
+    #[test]
+    fn ordering_defaults_are_canonical() {
+        let mut s = VirtualTimeScheduler::from_seed(2);
+        let cands = vec![
+            Candidate {
+                actor: 1,
+                footprint: vec![3],
+            },
+            Candidate {
+                actor: 0,
+                footprint: vec![3],
+            },
+        ];
+        assert_eq!(s.choose(ChoiceKind::Arrival, &cands), 0);
+        assert!(!s.defer_migration(0));
+        assert!(s.observe_barrier(0xDEAD));
+    }
+
+    #[test]
+    fn conflict_detection_is_set_intersection() {
+        let a = Candidate {
+            actor: 0,
+            footprint: vec![1, 4, 9],
+        };
+        let b = Candidate {
+            actor: 1,
+            footprint: vec![2, 4],
+        };
+        let c = Candidate {
+            actor: 2,
+            footprint: vec![3, 5],
+        };
+        let empty = Candidate {
+            actor: 3,
+            footprint: vec![],
+        };
+        assert!(a.conflicts_with(&b));
+        assert!(b.conflicts_with(&a));
+        assert!(!a.conflicts_with(&c));
+        assert!(!empty.conflicts_with(&a));
+    }
+
+    #[test]
+    fn kind_labels_round_trip() {
+        for k in [
+            ChoiceKind::Drop,
+            ChoiceKind::Arrival,
+            ChoiceKind::Delivery,
+            ChoiceKind::Migration,
+        ] {
+            assert_eq!(ChoiceKind::from_label(k.label()), Some(k));
+        }
+        assert_eq!(ChoiceKind::from_label("bogus"), None);
+    }
+}

@@ -64,24 +64,28 @@ impl Time {
 
     /// Saturating subtraction: `self - rhs`, or zero if `rhs` is later.
     #[inline]
+    #[must_use]
     pub fn saturating_sub(self, rhs: Time) -> Time {
         Time(self.0.saturating_sub(rhs.0))
     }
 
     /// The later of two instants.
     #[inline]
+    #[must_use]
     pub fn max(self, rhs: Time) -> Time {
         Time(self.0.max(rhs.0))
     }
 
     /// The earlier of two instants.
     #[inline]
+    #[must_use]
     pub fn min(self, rhs: Time) -> Time {
         Time(self.0.min(rhs.0))
     }
 
     /// Scale a duration by an integer factor.
     #[inline]
+    #[must_use]
     pub fn scale(self, factor: u64) -> Time {
         Time(self.0 * factor)
     }
@@ -92,6 +96,7 @@ impl Time {
     /// determinism is preserved (the factor itself is a pure function of
     /// integer state).
     #[inline]
+    #[must_use]
     pub fn scale_f64(self, factor: f64) -> Time {
         debug_assert!(factor >= 0.0, "negative time scale");
         Time((self.0 as f64 * factor).round() as u64)

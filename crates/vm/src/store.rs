@@ -68,8 +68,7 @@ impl PageStore {
         self.frames
             .get(page.index())
             .and_then(|f| f.as_deref())
-            .map(|f| f.prot)
-            .unwrap_or(Protection::Invalid)
+            .map_or(Protection::Invalid, |f| f.prot)
     }
 
     /// Immutable access to a materialized frame.

@@ -10,7 +10,7 @@ use rdsm::core::{
 
 /// A two-phase app over a fixed 4-row layout (row r owned by process
 /// `r % nprocs`, so the computed function is independent of the process
-/// count): stable write sets, except that at `diverge_iter` process 0
+/// count): stable write sets, except that at `rogue_iter` process 0
 /// writes its phase-0 row during phase 1 — in a slot that phase 0 never
 /// touches. Later epochs read that slot, so a missed propagation changes
 /// the final result.
@@ -20,7 +20,7 @@ struct Diverge {
     a: Option<SharedGrid2<f64>>,
     /// grid b: row r accumulates what its owner read from the next row.
     b: Option<SharedGrid2<f64>>,
-    diverge_iter: Option<usize>,
+    rogue_iter: Option<usize>,
     iters: usize,
     cols: usize,
 }
@@ -29,11 +29,11 @@ struct Diverge {
 const ROWS: usize = 4;
 
 impl Diverge {
-    fn new(diverge_iter: Option<usize>, iters: usize) -> Diverge {
+    fn new(rogue_iter: Option<usize>, iters: usize) -> Diverge {
         Diverge {
             a: None,
             b: None,
-            diverge_iter,
+            rogue_iter,
             iters,
             cols: 16,
         }
@@ -68,30 +68,27 @@ impl DsmApp for Diverge {
         let (a, b) = (self.a.unwrap(), self.b.unwrap());
         let p = ctx.pid();
         let n = ctx.nprocs();
-        match site {
-            0 => {
-                for r in (0..ROWS).filter(|r| r % n == p) {
-                    // Read the next row's slot 1 from the previous epoch
-                    // (only ever written by the divergent access, so a
-                    // missed propagation is observable here), then update
-                    // this row. Word-disjoint from the concurrent slot-0
-                    // writes: race-free.
-                    let q = (r + 1) % ROWS;
-                    let v1 = a.get(ctx, q, 1);
-                    let acc = b.get(ctx, r, 0);
-                    b.set(ctx, r, 0, acc + (iter + 1) as f64 + 2.0 * v1);
-                    a.set(ctx, r, 0, (iter * 10 + r) as f64);
-                    ctx.work_flops(8);
-                }
+        if site == 0 {
+            for r in (0..ROWS).filter(|r| r % n == p) {
+                // Read the next row's slot 1 from the previous epoch
+                // (only ever written by the divergent access, so a
+                // missed propagation is observable here), then update
+                // this row. Word-disjoint from the concurrent slot-0
+                // writes: race-free.
+                let q = (r + 1) % ROWS;
+                let v1 = a.get(ctx, q, 1);
+                let acc = b.get(ctx, r, 0);
+                b.set(ctx, r, 0, acc + (iter + 1) as f64 + 2.0 * v1);
+                a.set(ctx, r, 0, (iter * 10 + r) as f64);
+                ctx.work_flops(8);
             }
-            _ => {
-                // Phase 1 normally writes nothing at all.
-                ctx.work_flops(4);
-                if self.diverge_iter == Some(iter) && p == 0 {
-                    // The unanticipated write: page a[0] belongs to phase
-                    // 0's write set, not phase 1's.
-                    a.set(ctx, 0, 1, 999.0);
-                }
+        } else {
+            // Phase 1 normally writes nothing at all.
+            ctx.work_flops(4);
+            if self.rogue_iter == Some(iter) && p == 0 {
+                // The unanticipated write: page a[0] belongs to phase
+                // 0's write set, not phase 1's.
+                a.set(ctx, 0, 1, 999.0);
             }
         }
         PhaseEnd::Barrier

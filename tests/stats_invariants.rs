@@ -172,7 +172,12 @@ fn time_breakdown_accounts_for_all_elapsed_time() {
         assert!(b.total().as_ns() > 0, "process {pid} did nothing?");
     }
     // The slowest process defines the elapsed window exactly.
-    let max = r.per_proc.iter().map(|b| b.total()).max().unwrap();
+    let max = r
+        .per_proc
+        .iter()
+        .map(rdsm::sim::TimeBreakdown::total)
+        .max()
+        .unwrap();
     assert_eq!(max, r.elapsed);
 }
 
