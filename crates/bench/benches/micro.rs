@@ -6,8 +6,9 @@ use dsm_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use dsm_apps::fft_math::fft_inplace;
+use dsm_core::{Cluster, ProtocolKind, RunConfig, SharedArray};
 use dsm_sim::DetRng;
-use dsm_vm::{Diff, PageBuf, PageId, PageStore, Protection};
+use dsm_vm::{BufPool, Diff, Frame, PageBuf, PageId, PageStore, Protection};
 
 const PAGE: usize = 8192;
 
@@ -50,6 +51,82 @@ fn bench_diff(c: &mut Criterion) {
             );
         });
     }
+    g.finish();
+}
+
+/// Dirty-range tracked diffing: a twinned frame is written in `runs`
+/// sparse spots (or densely), then diffed. The tracked path scans only
+/// the recorded dirty ranges; the full scan walks the whole page. The
+/// gap between the two is the win `Frame::diff_against_twin` buys the
+/// barrier paths of every protocol.
+fn bench_ranged_diff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ranged_diff");
+    g.throughput(Throughput::Bytes(PAGE as u64));
+    for (label, writes) in [("sparse_4", 4usize), ("dense_128", 128)] {
+        let mut frame = Frame::new(PAGE);
+        let mut rng = DetRng::new(9);
+        frame.fill_from(&random_page(&mut rng));
+        frame.make_twin();
+        for i in 0..writes {
+            let at = (i * PAGE / writes) & !7;
+            frame.write_at(at, &[0xA5u8; 8]);
+        }
+        g.bench_function(format!("tracked/{label}"), |b| {
+            b.iter(|| black_box(&frame).diff_against_twin(PageId(0)));
+        });
+        g.bench_function(format!("full_scan/{label}"), |b| {
+            let twin = frame.twin().expect("twinned");
+            b.iter(|| Diff::between(PageId(0), black_box(twin), black_box(frame.data())));
+        });
+        g.bench_function(format!("tracked_pooled/{label}"), |b| {
+            let mut pool = BufPool::new();
+            b.iter(|| {
+                let d = black_box(&frame).diff_against_twin_in(PageId(0), &mut pool);
+                pool.put_diff(d);
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Structural state hashing with the per-frame cache: a clean re-hash hits
+/// every cache, a sparse one re-walks a single mutated frame, and the
+/// uncached variant re-walks everything (the explorer's old cost model).
+fn bench_state_hash(c: &mut Criterion) {
+    const WORDS: usize = 4096;
+    let mut cluster = Cluster::new(RunConfig::with_nprocs(ProtocolKind::BarU, 4));
+    let arr: SharedArray<f64> = {
+        let mut s = cluster.setup_ctx();
+        s.alloc_array::<f64>("bench", WORDS)
+    };
+    cluster.set_phases_per_iter(1);
+    cluster.distribute();
+    // Fault every page in, then settle at a barrier.
+    for pid in 0..4 {
+        let mut ctx = cluster.exec_ctx(pid);
+        for w in (pid * WORDS / 4)..((pid + 1) * WORDS / 4) {
+            arr.set(&mut ctx, w, w as f64);
+        }
+    }
+    cluster.barrier_app(None);
+    let mut g = c.benchmark_group("state_hash");
+    g.bench_function("cached_clean", |b| {
+        b.iter(|| black_box(&cluster).state_hash());
+    });
+    g.bench_function("cached_sparse", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            {
+                let mut ctx = cluster.exec_ctx(0);
+                arr.set(&mut ctx, 0, i as f64);
+                i += 1;
+            }
+            black_box(&cluster).state_hash()
+        });
+    });
+    g.bench_function("uncached_dense", |b| {
+        b.iter(|| black_box(&cluster).state_hash_uncached());
+    });
     g.finish();
 }
 
@@ -130,6 +207,8 @@ fn bench_fft(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_diff,
+    bench_ranged_diff,
+    bench_state_hash,
     bench_twin,
     bench_page_store,
     bench_copyset,

@@ -1,11 +1,50 @@
 //! The run matrix: execute (application × protocol) combinations, with
 //! sequential baselines for speedups, in parallel across host threads.
+//!
+//! Parallelism is capped at the host's `available_parallelism`: a full
+//! matrix is dozens of runs, and one thread per run just thrashes the
+//! scheduler (and the memory bus — every run owns page-sized buffers).
+//! A shared atomic cursor over the plan list keeps the workers busy
+//! without any per-run thread spawn beyond the cap.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use dsm_apps::{all_apps, AppSpec, Scale};
 use dsm_core::{run_app, ProtocolKind, RunConfig, RunReport};
 use dsm_sim::Time;
+
+/// Run `worker` over `items` on at most `available_parallelism` threads,
+/// preserving item order in the results. The work queue is an atomic
+/// cursor: each worker claims the next unclaimed index until none remain.
+fn run_capped<T: Sync, R: Send>(items: &[T], worker: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(n);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = worker(&items[i]);
+                *slots[i].lock().expect("result slot") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("result slot").expect("worker ran"))
+        .collect()
+}
 
 /// One planned run.
 #[derive(Clone)]
@@ -97,41 +136,22 @@ pub fn run_matrix(
         .filter(|a| apps.contains(&a.name))
         .collect();
 
-    // Baselines in parallel.
-    let baselines: HashMap<&'static str, (Time, f64)> = std::thread::scope(|s| {
-        let handles: Vec<_> = specs
-            .iter()
-            .map(|spec| {
-                let spec = *spec;
-                s.spawn(move || (spec.name, run_baseline(&spec, scale, None)))
-            })
-            .collect();
-        handles
+    // Baselines in parallel (capped).
+    let baselines: HashMap<&'static str, (Time, f64)> =
+        run_capped(&specs, |spec| (spec.name, run_baseline(spec, scale, None)))
             .into_iter()
-            .map(|h| h.join().expect("baseline run"))
-            .collect()
-    });
+            .collect();
 
-    // The matrix in parallel.
+    // The matrix in parallel (capped).
     let mut plans = Vec::new();
     for app in apps {
         for &p in protocols {
             plans.push(RunPlan::new(app, p, scale, nprocs));
         }
     }
-    let outcomes: Vec<Outcome> = std::thread::scope(|s| {
-        let handles: Vec<_> = plans
-            .iter()
-            .map(|plan| {
-                let (seq, _) = baselines[plan.app];
-                let plan = plan.clone();
-                s.spawn(move || run_one(&plan, Some(seq)))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("matrix run"))
-            .collect()
+    let outcomes: Vec<Outcome> = run_capped(&plans, |plan| {
+        let (seq, _) = baselines[plan.app];
+        run_one(plan, Some(seq))
     });
 
     for o in &outcomes {

@@ -46,6 +46,9 @@ struct CheckState {
     /// Epoch currently executing (the cluster's counter advances after the
     /// release event, so we track it from the releases).
     cur_epoch: u64,
+    /// Reusable buffer for the writer's LRC-expected view on the write
+    /// path (silent-store detection); one simulated store per fill.
+    scratch: Vec<u8>,
 }
 
 impl CheckState {
@@ -67,6 +70,7 @@ impl CheckState {
             oracle,
             inv,
             cur_epoch,
+            scratch,
         } = self;
         report.events += 1;
         let mut found: Vec<Violation> = Vec::new();
@@ -102,9 +106,9 @@ impl CheckState {
                 // The writer's own LRC view, so the race detector can
                 // discard silent stores (words rewritten with the value the
                 // writer already sees never produce a diff).
-                let cur = oracle.expected(pid, addr, data.len());
+                oracle.expected_into(pid, addr, data.len(), scratch);
                 let mut hits = Vec::new();
-                race.on_write(pid, addr, data, &cur, &mut hits);
+                race.on_write(pid, addr, data, scratch, &mut hits);
                 for h in hits {
                     found.push(Violation::Race {
                         kind: h.kind,
@@ -212,6 +216,7 @@ impl Checker {
                 oracle: OracleState::new(n, ps),
                 inv: InvariantState::new(n, copyset_rule(cfg.protocol)),
                 cur_epoch: 1,
+                scratch: Vec::new(),
             })),
         }
     }

@@ -12,7 +12,7 @@
 //! fold into `committed` at every barrier release in pid order (the order
 //! only matters for racy words, and those are suppressed at read time).
 
-use std::collections::{HashMap, HashSet};
+use dsm_sim::FastSet;
 
 use crate::report::Violation;
 
@@ -38,39 +38,62 @@ impl Overlay {
 /// The oracle's shadow of the shared segment.
 pub struct OracleState {
     page_size: usize,
-    /// Globally committed bytes (everything up to the last barrier).
-    /// Untouched pages are implicitly zero, matching the cluster's
-    /// zero-initialized image.
-    committed: HashMap<u32, Vec<u8>>,
-    /// Per-process current-epoch overlays.
-    overlays: Vec<HashMap<u32, Overlay>>,
+    /// `log2(page_size)` / `page_size - 1`: page sizes are powers of two
+    /// by the VM's own assertion, so the per-access page/offset split is a
+    /// shift and a mask instead of a division by a runtime value.
+    ps_shift: u32,
+    ps_mask: usize,
+    /// Globally committed bytes (everything up to the last barrier),
+    /// indexed densely by page number (`None` = untouched, implicitly
+    /// zero, matching the cluster's zero-initialized image). Dense
+    /// indexing keeps the per-access lookup a bounds check, not a hash.
+    committed: Vec<Option<Vec<u8>>>,
+    /// Per-process current-epoch overlays, same dense indexing.
+    overlays: Vec<Vec<Option<Overlay>>>,
+    /// Overlays retired at barriers, masks wiped, awaiting reuse — the
+    /// fold would otherwise free and re-`calloc` two page-sized buffers
+    /// per touched page per epoch.
+    spare: Vec<Overlay>,
     /// Word keys already reported stale (one violation per word).
-    flagged: HashSet<u64>,
+    flagged: FastSet<u64>,
+    /// Reusable buffer for the expected-bytes computation in `on_read`;
+    /// the read path runs once per simulated load, so allocating it fresh
+    /// each time dominates the checker's host cost.
+    scratch: Vec<u8>,
 }
 
 impl OracleState {
     pub fn new(nprocs: usize, page_size: usize) -> OracleState {
+        assert!(page_size.is_power_of_two());
         OracleState {
             page_size,
-            committed: HashMap::new(),
-            overlays: vec![HashMap::new(); nprocs],
-            flagged: HashSet::new(),
+            ps_shift: page_size.trailing_zeros(),
+            ps_mask: page_size - 1,
+            committed: Vec::new(),
+            overlays: vec![Vec::new(); nprocs],
+            spare: Vec::new(),
+            flagged: FastSet::default(),
+            scratch: Vec::new(),
         }
     }
 
-    fn committed_page(&mut self, page: u32) -> &mut Vec<u8> {
+    fn committed_page(&mut self, page: usize) -> &mut Vec<u8> {
         let ps = self.page_size;
-        self.committed.entry(page).or_insert_with(|| vec![0; ps])
+        if page >= self.committed.len() {
+            self.committed.resize_with(page + 1, || None);
+        }
+        self.committed[page].get_or_insert_with(|| vec![0; ps])
     }
 
     /// Setup-time write: goes straight into the committed image.
     pub fn image_write(&mut self, addr: usize, data: &[u8]) {
         let ps = self.page_size;
+        let (shift, mask) = (self.ps_shift, self.ps_mask);
         let mut done = 0;
         while done < data.len() {
             let a = addr + done;
-            let page = (a / ps) as u32;
-            let off = a % ps;
+            let page = a >> shift;
+            let off = a & mask;
             let n = (ps - off).min(data.len() - done);
             self.committed_page(page)[off..off + n].copy_from_slice(&data[done..done + n]);
             done += n;
@@ -81,15 +104,24 @@ impl OracleState {
     /// barrier commits it.
     pub fn on_write(&mut self, pid: usize, addr: usize, data: &[u8]) {
         let ps = self.page_size;
+        let (shift, mask) = (self.ps_shift, self.ps_mask);
+        // Split borrow: the overlay slot and the spare list are mutated
+        // together when a page is touched for the first time this epoch.
+        let OracleState {
+            overlays, spare, ..
+        } = self;
+        let slots = &mut overlays[pid];
         let mut done = 0;
         while done < data.len() {
             let a = addr + done;
-            let page = (a / ps) as u32;
-            let off = a % ps;
+            let page = a >> shift;
+            let off = a & mask;
             let n = (ps - off).min(data.len() - done);
-            let ov = self.overlays[pid]
-                .entry(page)
-                .or_insert_with(|| Overlay::new(ps));
+            if page >= slots.len() {
+                slots.resize_with(page + 1, || None);
+            }
+            let ov =
+                slots[page].get_or_insert_with(|| spare.pop().unwrap_or_else(|| Overlay::new(ps)));
             ov.data[off..off + n].copy_from_slice(&data[done..done + n]);
             for m in &mut ov.mask[off..off + n] {
                 *m = 1;
@@ -100,20 +132,23 @@ impl OracleState {
 
     /// What LRC says `pid` must observe at `[addr, addr+len)`. Also the
     /// reference the race detector compares writes against to recognize
-    /// silent stores.
-    pub(crate) fn expected(&self, pid: usize, addr: usize, len: usize) -> Vec<u8> {
+    /// silent stores. Fills `out` (a caller-owned reusable buffer) instead
+    /// of returning a fresh allocation: this runs once per simulated access.
+    pub(crate) fn expected_into(&self, pid: usize, addr: usize, len: usize, out: &mut Vec<u8>) {
         let ps = self.page_size;
-        let mut out = vec![0u8; len];
+        let (shift, mask) = (self.ps_shift, self.ps_mask);
+        out.clear();
+        out.resize(len, 0);
         let mut done = 0;
         while done < len {
             let a = addr + done;
-            let page = (a / ps) as u32;
-            let off = a % ps;
+            let page = a >> shift;
+            let off = a & mask;
             let n = (ps - off).min(len - done);
-            if let Some(c) = self.committed.get(&page) {
+            if let Some(Some(c)) = self.committed.get(page) {
                 out[done..done + n].copy_from_slice(&c[off..off + n]);
             }
-            if let Some(ov) = self.overlays[pid].get(&page) {
+            if let Some(Some(ov)) = self.overlays[pid].get(page) {
                 for i in 0..n {
                     if ov.mask[off + i] != 0 {
                         out[done + i] = ov.data[off + i];
@@ -122,7 +157,6 @@ impl OracleState {
             }
             done += n;
         }
-        out
     }
 
     /// Compare an observed read against the oracle. Mismatching words that
@@ -141,51 +175,56 @@ impl OracleState {
         if observed.is_empty() {
             return;
         }
-        let expected = self.expected(pid, addr, observed.len());
-        if expected == observed {
-            return;
-        }
-        // Walk the mismatch word by word so racy-word suppression and
-        // violation dedup stay at the race detector's granularity.
-        let mut i = 0;
-        while i < observed.len() {
-            let a = addr + i;
-            let word_start = a - a % WORD;
-            let word_end = (word_start + WORD).min(addr + observed.len());
-            let lo = word_start.max(addr) - addr;
-            let hi = word_end - addr;
-            if expected[lo..hi] != observed[lo..hi] {
-                let key = (word_start / WORD) as u64;
-                if !is_racy(word_start) && self.flagged.insert(key) {
-                    out.push(Violation::StaleRead {
-                        pid,
-                        addr: word_start.max(addr),
-                        epoch,
-                        expected: expected[lo..hi].to_vec(),
-                        observed: observed[lo..hi].to_vec(),
-                    });
+        // Borrow the scratch buffer out of self so `expected_into` can take
+        // `&self`; put it back before every return.
+        let mut expected = core::mem::take(&mut self.scratch);
+        self.expected_into(pid, addr, observed.len(), &mut expected);
+        if expected != observed {
+            // Walk the mismatch word by word so racy-word suppression and
+            // violation dedup stay at the race detector's granularity.
+            let mut i = 0;
+            while i < observed.len() {
+                let a = addr + i;
+                let word_start = a - a % WORD;
+                let word_end = (word_start + WORD).min(addr + observed.len());
+                let lo = word_start.max(addr) - addr;
+                let hi = word_end - addr;
+                if expected[lo..hi] != observed[lo..hi] {
+                    let key = (word_start / WORD) as u64;
+                    if !is_racy(word_start) && self.flagged.insert(key) {
+                        out.push(Violation::StaleRead {
+                            pid,
+                            addr: word_start.max(addr),
+                            epoch,
+                            expected: expected[lo..hi].to_vec(),
+                            observed: observed[lo..hi].to_vec(),
+                        });
+                    }
                 }
+                i = hi;
             }
-            i = hi;
         }
+        self.scratch = expected;
     }
 
     /// Barrier release: every process's epoch writes become globally
-    /// committed. Folding runs pid-ascending; the order is only observable
-    /// on racy words, which the read path suppresses.
+    /// committed. Folding runs pid-ascending, pages ascending (the dense
+    /// slot order); the order is only observable on racy words, which the
+    /// read path suppresses. Retired overlays go to the spare list.
     pub fn barrier_release(&mut self) {
-        let ps = self.page_size;
         for pid in 0..self.overlays.len() {
-            let overlays = core::mem::take(&mut self.overlays[pid]);
-            let mut pages: Vec<(u32, Overlay)> = overlays.into_iter().collect();
-            pages.sort_by_key(|(p, _)| *p);
-            for (page, ov) in pages {
-                let c = self.committed.entry(page).or_insert_with(|| vec![0; ps]);
+            for page in 0..self.overlays[pid].len() {
+                let Some(mut ov) = self.overlays[pid][page].take() else {
+                    continue;
+                };
+                let c = self.committed_page(page);
                 for (i, b) in c.iter_mut().enumerate() {
                     if ov.mask[i] != 0 {
                         *b = ov.data[i];
                     }
                 }
+                ov.mask.fill(0);
+                self.spare.push(ov);
             }
         }
     }

@@ -19,7 +19,7 @@
 //! "read-modify-rewrite the whole row" idioms from reporting races on the
 //! words they pass through unchanged.
 
-use std::collections::{HashMap, HashSet};
+use dsm_sim::FastSet;
 
 use crate::report::RaceKind;
 
@@ -63,14 +63,20 @@ const WORD: usize = 8;
 /// The race detector.
 pub struct RaceState {
     clocks: Vec<VectorClock>,
-    /// Shadow cells, one boxed slice per touched page.
-    shadow: HashMap<u32, Box<[Word]>>,
+    /// Shadow cells, indexed densely by page number (`None` = untouched).
+    /// Page numbers come from segment offsets, so the vector stays small;
+    /// dense indexing keeps the per-access lookup a bounds check instead
+    /// of a hash probe.
+    shadow: Vec<Option<Box<[Word]>>>,
     /// Word keys (addr / 8) found racy; used for dedup and to let the
     /// coherence oracle suppress mismatches on racy words (under LRC a racy
     /// read may legally return either value).
-    racy: HashSet<u64>,
+    racy: FastSet<u64>,
     words_per_page: usize,
-    page_size: usize,
+    /// `log2(words_per_page)`; page sizes are powers of two by the VM's
+    /// own assertion, and a shift beats a division by a runtime value in
+    /// the per-access loop.
+    wpp_shift: u32,
 }
 
 /// A race found by one access, before deduplication.
@@ -83,16 +89,18 @@ pub struct RaceHit {
 
 impl RaceState {
     pub fn new(nprocs: usize, page_size: usize) -> RaceState {
+        assert!(page_size.is_power_of_two() && page_size >= WORD);
         let mut clocks = vec![VectorClock::new(nprocs); nprocs];
         for (p, c) in clocks.iter_mut().enumerate() {
             c.0[p] = 1;
         }
+        let words_per_page = page_size / WORD;
         RaceState {
             clocks,
-            shadow: HashMap::new(),
-            racy: HashSet::new(),
-            words_per_page: page_size / WORD,
-            page_size,
+            shadow: Vec::new(),
+            racy: FastSet::default(),
+            words_per_page,
+            wpp_shift: words_per_page.trailing_zeros(),
         }
     }
 
@@ -118,7 +126,8 @@ impl RaceState {
     }
 
     pub fn words_shadowed(&self) -> u64 {
-        (self.shadow.len() * self.words_per_page) as u64
+        let touched = self.shadow.iter().filter(|s| s.is_some()).count();
+        (touched * self.words_per_page) as u64
     }
 
     /// Record a write of `new` at `addr` by `pid`; push newly racy words
@@ -154,22 +163,33 @@ impl RaceState {
             return;
         }
         let is_write = write.is_some();
-        let clock = self.clocks[pid].clone();
+        // Split borrow: the accessor's clock is only read, while the shadow
+        // cells and racy set are mutated; destructuring keeps the borrow
+        // checker happy without cloning the clock on every access.
+        let RaceState {
+            clocks,
+            shadow,
+            racy,
+            words_per_page,
+            wpp_shift,
+        } = self;
+        let wpp = *words_per_page;
+        let shift = *wpp_shift;
+        let clock = &clocks[pid];
         let c = clock.0[pid];
         let first = addr / WORD;
         let last = (addr + len - 1) / WORD;
-        let ps = self.page_size;
         let mut w = first;
         while w <= last {
-            let page = (w * WORD / ps) as u32;
-            let base = page as usize * self.words_per_page;
-            let end_of_page = base + self.words_per_page - 1;
+            let page = w >> shift;
+            let base = page << shift;
+            let end_of_page = base + wpp - 1;
             let hi = last.min(end_of_page);
-            let wpp = self.words_per_page;
-            let cells = self
-                .shadow
-                .entry(page)
-                .or_insert_with(|| vec![Word::default(); wpp].into_boxed_slice());
+            if page >= shadow.len() {
+                shadow.resize_with(page + 1, || None);
+            }
+            let cells =
+                shadow[page].get_or_insert_with(|| vec![Word::default(); wpp].into_boxed_slice());
             for widx in (w - base)..=(hi - base) {
                 let cell = &mut cells[widx];
                 let key = (base + widx) as u64;
@@ -180,7 +200,16 @@ impl RaceState {
                     let ws = key as usize * WORD;
                     let lo = ws.max(addr) - addr;
                     let hi_b = (ws + WORD).min(addr + len) - addr;
-                    if new[lo..hi_b] == cur[lo..hi_b] {
+                    // Whole-word case (the overwhelmingly common one for
+                    // 8-byte scalar stores): one u64 compare, no memcmp.
+                    let silent = if hi_b - lo == WORD {
+                        let a = u64::from_le_bytes(new[lo..lo + WORD].try_into().unwrap());
+                        let b = u64::from_le_bytes(cur[lo..lo + WORD].try_into().unwrap());
+                        a == b
+                    } else {
+                        new[lo..hi_b] == cur[lo..hi_b]
+                    };
+                    if silent {
                         continue;
                     }
                 }
@@ -188,7 +217,7 @@ impl RaceState {
                 if cell.wc != 0
                     && cell.wp as usize != pid
                     && !clock.covers(cell.wc, cell.wp as usize)
-                    && self.racy.insert(key)
+                    && racy.insert(key)
                 {
                     out.push(RaceHit {
                         kind: if is_write {
@@ -210,7 +239,7 @@ impl RaceState {
                             let q = bits.trailing_zeros() as usize;
                             bits &= bits - 1;
                             if !clock.covers(cell.rc, q) {
-                                if self.racy.insert(key) {
+                                if racy.insert(key) {
                                     out.push(RaceHit {
                                         kind: RaceKind::ReadWrite,
                                         word_key: key,

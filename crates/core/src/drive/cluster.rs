@@ -14,7 +14,7 @@ use std::rc::Rc;
 
 use dsm_net::Network;
 use dsm_sim::{Category, Clock, DetRng, SharedScheduler, Time, VirtualTimeScheduler};
-use dsm_vm::{as_bytes, FaultKind, PageBuf, PageId, PageStore, Pod, Protection};
+use dsm_vm::{as_bytes, BufPool, FaultKind, PageBuf, PageId, PageStore, Pod, Protection};
 
 use crate::check::{CheckEvent, CheckSink};
 use crate::config::{ProtocolKind, RunConfig};
@@ -110,6 +110,10 @@ pub struct Cluster {
     /// A migration decision was ready but the scheduler deferred it to a
     /// later barrier (exploration only; always false on the default path).
     pub(crate) migration_pending: bool,
+    /// Host-side free-lists recycling twin buffers and diff run storage
+    /// across flushes. Pure wall-clock optimization: pooled memory is
+    /// always fully overwritten before reuse and carries no virtual cost.
+    pub(crate) pool: BufPool,
 }
 
 impl Cluster {
@@ -161,6 +165,7 @@ impl Cluster {
             exploring: false,
             trace_hash: 0,
             migration_pending: false,
+            pool: BufPool::new(),
             cfg,
         }
     }
@@ -392,9 +397,9 @@ impl Cluster {
     /// Make `[addr, addr+bytes)` accessible to `pid`, faulting as needed.
     pub(crate) fn ensure_access(&mut self, pid: usize, addr: usize, bytes: usize, write: bool) {
         debug_assert!(bytes > 0);
-        let ps = self.page_size();
-        let first = addr / ps;
-        let last = (addr + bytes - 1) / ps;
+        let shift = self.page_size().trailing_zeros();
+        let first = addr >> shift;
+        let last = (addr + bytes - 1) >> shift;
         for pg in first..=last {
             self.ensure_page(pid, PageId(pg as u32), write);
         }
@@ -426,13 +431,13 @@ impl Cluster {
         };
         let image = &self.image[page.index()];
         let f = self.procs[pid].store.frame_mut(page);
-        f.data.copy_from(image);
-        f.prot = if valid {
+        f.fill_from(image);
+        f.set_prot(if valid {
             Protection::Read
         } else {
             Protection::Invalid
-        };
-        f.version_seen = 1;
+        });
+        f.set_version_seen(1);
         // Acquiring a cached copy makes this process part of the page's
         // copyset ("bitmaps that specify which processors cache a given
         // page"); the home-based update protocols push to it from now on.
@@ -471,10 +476,9 @@ impl Cluster {
                 let ps = self.page_size();
                 let page = PageId::containing(target, ps);
                 let off = PageId::offset(target, ps);
-                let val = self.procs[pid]
-                    .store
-                    .frame(page)
-                    .map(|f| f64::from_ne_bytes(f.data.bytes()[off..off + 8].try_into().unwrap()));
+                let val = self.procs[pid].store.frame(page).map(|f| {
+                    f64::from_ne_bytes(f.data().bytes()[off..off + 8].try_into().unwrap())
+                });
                 eprintln!("[watch] {what} pid={pid} epoch={} val={val:?}", self.epoch);
             }
         }
@@ -497,7 +501,7 @@ impl Cluster {
             .store
             .frame(page)
             .expect("faulted page present");
-        let v = f.data.typed::<T>(off..off + sz)[0];
+        let v = f.data().typed::<T>(off..off + sz)[0];
         self.emit(CheckEvent::Read {
             pid,
             addr,
@@ -513,8 +517,10 @@ impl Cluster {
         let ps = self.page_size();
         let page = PageId::containing(addr, ps);
         let off = PageId::offset(addr, ps);
-        let f = self.procs[pid].store.frame_mut(page);
-        f.data.typed_mut::<T>(off..off + sz)[0] = v;
+        self.procs[pid]
+            .store
+            .frame_mut(page)
+            .write_at(off, as_bytes(core::slice::from_ref(&v)));
         self.emit(CheckEvent::Write {
             pid,
             addr,
@@ -540,7 +546,7 @@ impl Cluster {
                 .store
                 .frame(page)
                 .expect("faulted page present");
-            out[done..done + n].copy_from_slice(&f.data.bytes()[off..off + n]);
+            out[done..done + n].copy_from_slice(&f.data().bytes()[off..off + n]);
             done += n;
         }
         self.emit(CheckEvent::Read {
@@ -563,8 +569,10 @@ impl Cluster {
             let page = PageId::containing(a, ps);
             let off = PageId::offset(a, ps);
             let n = (ps - off).min(src.len() - done);
-            let f = self.procs[pid].store.frame_mut(page);
-            f.data.bytes_mut()[off..off + n].copy_from_slice(&src[done..done + n]);
+            self.procs[pid]
+                .store
+                .frame_mut(page)
+                .write_at(off, &src[done..done + n]);
             done += n;
         }
         self.watch_hit(pid, addr, src.len(), "write");
@@ -603,7 +611,7 @@ impl Cluster {
             ProtocolKind::Seq => self.procs[0]
                 .store
                 .frame(page)
-                .map_or_else(|| self.image[page.index()].clone(), |f| f.data.clone()),
+                .map_or_else(|| self.image[page.index()].clone(), |f| f.data().clone()),
             p if p.is_lmw() => self.lmw_snapshot_page(page),
             _ => {
                 // Home-based: the home copy is current after the last barrier.
@@ -611,7 +619,7 @@ impl Cluster {
                 self.procs[home]
                     .store
                     .frame(page)
-                    .map_or_else(|| self.image[page.index()].clone(), |f| f.data.clone())
+                    .map_or_else(|| self.image[page.index()].clone(), |f| f.data().clone())
             }
         }
     }

@@ -53,16 +53,26 @@ impl StateHasher {
         self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
     }
 
+    /// Fold a byte slice, 8 bytes per multiply. Chunking changes hash
+    /// *values* relative to byte-at-a-time FNV but not equality semantics:
+    /// the hash stays a deterministic function of the folded stream, which
+    /// is all the visited set and trace hash rely on — and it makes the
+    /// per-event fold (the explorer's hottest loop) ~8x cheaper.
     #[inline]
     pub(crate) fn bytes(&mut self, bs: &[u8]) {
-        for &b in bs {
+        let mut chunks = bs.chunks_exact(8);
+        for c in &mut chunks {
+            let v = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            self.0 = (self.0 ^ v).wrapping_mul(FNV_PRIME);
+        }
+        for &b in chunks.remainder() {
             self.byte(b);
         }
     }
 
     #[inline]
     pub(crate) fn u64(&mut self, v: u64) {
-        self.bytes(&v.to_le_bytes());
+        self.0 = (self.0 ^ v).wrapping_mul(FNV_PRIME);
     }
 
     #[inline]
@@ -169,11 +179,53 @@ pub(crate) fn fold_event(acc: u64, ev: &CheckEvent<'_>) -> u64 {
     h.0
 }
 
+/// Structural hash of one frame: protection, versions, contents, twin.
+/// A pure function of the frame's observable state, so it can be cached
+/// keyed on [`dsm_vm::Frame::revision`] — every mutation path bumps the
+/// revision, invalidating the cache (`frame.rs` enforces this by making
+/// the fields private).
+fn frame_hash(f: &dsm_vm::Frame) -> u64 {
+    let mut h = StateHasher::new();
+    h.byte(f.prot() as u8);
+    h.u64(u64::from(f.version_seen()));
+    h.u64(f.applied_through());
+    h.bytes(f.data().bytes());
+    match f.twin() {
+        Some(t) => {
+            h.byte(1);
+            h.bytes(t.bytes());
+        }
+        None => h.byte(0),
+    }
+    h.finish()
+}
+
 impl Cluster {
     /// Structural 64-bit hash of everything that can influence future
     /// control flow or checker verdicts (see the module docs for the
     /// inventory and the deliberate exclusion of virtual time).
+    ///
+    /// Per-frame hashes are served from each frame's revision-keyed cache:
+    /// at a barrier, only frames mutated since the previous barrier are
+    /// re-walked, turning the explorer's dominant cost from O(total
+    /// resident memory) to O(mutated memory) per checkpoint. Hash
+    /// *equality semantics* are unchanged — two states hash equal exactly
+    /// when their observable frame states are equal — so visited-set
+    /// pruning (and every explore baseline) is byte-identical to the
+    /// uncached fold, which [`Cluster::state_hash_uncached`] preserves as
+    /// the differential-testing reference.
     pub fn state_hash(&self) -> u64 {
+        self.state_hash_with(|f| f.cached_u64(frame_hash))
+    }
+
+    /// [`Cluster::state_hash`] recomputing every frame hash from scratch,
+    /// bypassing the per-frame caches. Exists so tests can prove cache
+    /// coherence: any missed invalidation makes the two disagree.
+    pub fn state_hash_uncached(&self) -> u64 {
+        self.state_hash_with(frame_hash)
+    }
+
+    fn state_hash_with(&self, frame_hash_of: impl Fn(&dsm_vm::Frame) -> u64) -> u64 {
         let mut h = StateHasher::new();
         h.u64(self.epoch);
         h.usize(self.iter);
@@ -216,17 +268,7 @@ impl Cluster {
                     continue;
                 };
                 h.byte(1);
-                h.byte(f.prot as u8);
-                h.u64(u64::from(f.version_seen));
-                h.u64(f.applied_through);
-                h.bytes(f.data.bytes());
-                match &f.twin {
-                    Some(t) => {
-                        h.byte(1);
-                        h.bytes(t.bytes());
-                    }
-                    None => h.byte(0),
-                }
+                h.u64(frame_hash_of(f));
             }
             for &d in &p.dirty {
                 h.u64(u64::from(d.0));

@@ -19,7 +19,7 @@
 
 use dsm_net::MsgKind;
 use dsm_sim::{Category, Time};
-use dsm_vm::{Diff, FaultKind, PageId, Protection};
+use dsm_vm::{Diff, FaultKind, Frame, PageId, Protection};
 
 use crate::check::CheckEvent;
 use crate::drive::cluster::Cluster;
@@ -85,7 +85,10 @@ impl Cluster {
                     && self.copysets[page.index()].others(pid).next().is_some());
             if need_twin {
                 let cost = self.cfg.sim.costs.twin_create(self.page_size());
-                self.procs[pid].store.frame_mut(page).make_twin();
+                self.procs[pid]
+                    .store
+                    .frame_mut(page)
+                    .make_twin_in(&mut self.pool);
                 self.charge(pid, Category::Os, cost);
                 self.stats.twins += 1;
             }
@@ -128,15 +131,10 @@ impl Cluster {
         let version = self.versions[page.index()];
         {
             let (me, hm) = Cluster::pair_mut(&mut self.procs, pid, home);
-            let src = hm
-                .store
-                .frame(page)
-                .expect("home frame present")
-                .data
-                .clone();
+            let src = hm.store.frame(page).expect("home frame present");
             let f = me.store.frame_mut(page);
-            f.data.copy_from(&src);
-            f.version_seen = version;
+            f.fill_from(src.data());
+            f.set_version_seen(version);
         }
         self.set_prot(pid, page, Protection::Read);
         self.stats.remote_misses += 1;
@@ -169,7 +167,7 @@ impl Cluster {
             let has_twin = self.procs[pid]
                 .store
                 .frame(page)
-                .is_some_and(|f| f.twin.is_some());
+                .is_some_and(Frame::has_twin);
             // The home effect decides at diff time: a home page with no
             // consumers never needs its modifications summarized, even if
             // overdrive armed a (pure-overhead) twin on it.
@@ -177,15 +175,23 @@ impl Cluster {
                 && (pid != home
                     || (is_update && self.copysets[page.index()].others(pid).next().is_some()));
             if has_twin && !use_diff {
-                self.procs[pid].store.frame_mut(page).drop_twin();
+                self.procs[pid]
+                    .store
+                    .frame_mut(page)
+                    .drop_twin_into(&mut self.pool);
             }
             if use_diff {
                 let scan = self.cfg.sim.costs.diff_create(ps);
                 self.charge(pid, Category::Os, scan);
                 self.stats.diffs_created += 1;
-                let f = self.procs[pid].store.frame_mut(page);
-                let diff = f.diff_against_twin(page);
-                f.drop_twin();
+                let diff = self.procs[pid]
+                    .store
+                    .frame_mut(page)
+                    .diff_against_twin_in(page, &mut self.pool);
+                self.procs[pid]
+                    .store
+                    .frame_mut(page)
+                    .drop_twin_into(&mut self.pool);
                 if diff.is_empty() {
                     self.stats.empty_diffs += 1;
                     if self.od_mode == OdMode::Overdrive {
@@ -241,6 +247,9 @@ impl Cluster {
                         }
                     }
                 }
+                // The clones rode into the delivery queues; the original's
+                // storage goes back to the free-lists.
+                self.pool.put_diff(diff);
             } else {
                 // Home wrote, no consumers needing a diff: version bump only
                 // ("modifications made by the home node are merely noted
@@ -278,8 +287,8 @@ impl Cluster {
             let cost = self.cfg.sim.costs.diff_apply(diff.payload_bytes());
             self.charge(pid, Category::Os, cost);
             self.materialize_home_frame(pid, page);
-            let f = self.procs[pid].store.frame_mut(page);
-            diff.apply_to(&mut f.data);
+            self.procs[pid].store.frame_mut(page).apply_diff(&diff);
+            self.pool.put_diff(diff);
         }
 
         // 2. The home's copy is current for every page bumped this barrier.
@@ -287,7 +296,7 @@ impl Cluster {
         for &(page, _, newv) in &bumps {
             if self.homes[page.index()] == pid {
                 self.materialize_home_frame(pid, page);
-                self.procs[pid].store.frame_mut(page).version_seen = newv;
+                self.procs[pid].store.frame_mut(page).set_version_seen(newv);
             }
         }
 
@@ -326,7 +335,7 @@ impl Cluster {
             let expected = (newv - oldv) as usize - my_contrib;
             let current = {
                 let f = self.procs[pid].store.frame(page);
-                f.is_some_and(|f| f.prot.readable() && f.version_seen == oldv)
+                f.is_some_and(|f| f.prot().readable() && f.version_seen() == oldv)
                     && received.len() == expected
             };
             if current {
@@ -336,9 +345,15 @@ impl Cluster {
                 }
                 let f = self.procs[pid].store.frame_mut(page);
                 for diff in received {
-                    diff.apply_to(&mut f.data);
+                    f.apply_diff(diff);
                 }
-                f.version_seen = newv;
+                f.set_version_seen(newv);
+            }
+        }
+        // The update diffs' lifetime ends here; recycle their storage.
+        for (_, diffs) in by_page {
+            for d in diffs {
+                self.pool.put_diff(d);
             }
         }
 
@@ -352,7 +367,7 @@ impl Cluster {
             let stale = self.procs[pid]
                 .store
                 .frame(page)
-                .is_some_and(|f| f.prot.readable() && f.version_seen < newv);
+                .is_some_and(|f| f.prot().readable() && f.version_seen() < newv);
             if stale {
                 self.set_prot(pid, page, Protection::Invalid);
             }
@@ -369,9 +384,9 @@ impl Cluster {
         }
         let image = &self.image[page.index()];
         let f = self.procs[pid].store.frame_mut(page);
-        f.data.copy_from(image);
-        f.prot = Protection::Read;
-        f.version_seen = 1;
+        f.fill_from(image);
+        f.set_prot(Protection::Read);
+        f.set_version_seen(1);
     }
 
     // ------------------------------------------------------------------
@@ -416,17 +431,12 @@ impl Cluster {
             let version = self.versions[pg];
             {
                 let (old_p, new_p) = Cluster::pair_mut(&mut self.procs, old_home, new_home);
-                let src = old_p
-                    .store
-                    .frame(page)
-                    .expect("old home frame")
-                    .data
-                    .clone();
+                let src = old_p.store.frame(page).expect("old home frame");
                 let f = new_p.store.frame_mut(page);
-                f.data.copy_from(&src);
-                f.version_seen = version;
-                if !f.prot.readable() {
-                    f.prot = Protection::Read;
+                f.fill_from(src.data());
+                f.set_version_seen(version);
+                if !f.prot().readable() {
+                    f.set_prot(Protection::Read);
                 }
                 // Drop any stale twin at the new home: its next write will
                 // re-evaluate the home effect.

@@ -27,7 +27,7 @@ use std::collections::HashMap;
 
 use dsm_net::MsgKind;
 use dsm_sim::{Category, Time};
-use dsm_vm::{Diff, FaultKind, PageBuf, PageId, Protection};
+use dsm_vm::{Diff, FaultKind, Frame, PageBuf, PageId, Protection};
 
 use crate::check::CheckEvent;
 use crate::config::{PlantedBug, ProtocolKind};
@@ -89,9 +89,11 @@ impl Cluster {
             self.lmw_validate(pid, page);
         }
         if kind.is_write() {
-            let f = self.procs[pid].store.frame_mut(page);
-            if f.twin.is_none() {
-                f.make_twin();
+            if !self.procs[pid].store.frame_mut(page).has_twin() {
+                self.procs[pid]
+                    .store
+                    .frame_mut(page)
+                    .make_twin_in(&mut self.pool);
                 let twin_cost = self.cfg.sim.costs.twin_create(self.page_size());
                 self.charge(pid, Category::Os, twin_cost);
                 self.stats.twins += 1;
@@ -118,11 +120,17 @@ impl Cluster {
         let scan = self.cfg.sim.costs.diff_create(self.page_size());
         self.charge(writer, cat, scan);
         self.stats.diffs_created += 1;
-        let f = self.procs[writer].store.frame_mut(page);
-        let diff = f.diff_against_twin(page);
-        f.drop_twin();
+        let diff = self.procs[writer]
+            .store
+            .frame_mut(page)
+            .diff_against_twin_in(page, &mut self.pool);
+        self.procs[writer]
+            .store
+            .frame_mut(page)
+            .drop_twin_into(&mut self.pool);
         if diff.is_empty() {
             self.stats.empty_diffs += 1;
+            self.pool.put_diff(diff);
             return true;
         }
         self.procs[writer]
@@ -156,7 +164,7 @@ impl Cluster {
         let floor = self.procs[pid]
             .store
             .frame(page)
-            .map_or(0, |f| f.applied_through);
+            .map_or(0, Frame::applied_through);
         let applied_w = |lmw: &LmwProc, w: u16| -> u64 {
             lmw.applied
                 .get(&(page.0, w))
@@ -278,11 +286,14 @@ impl Cluster {
         }
         let f = self.procs[pid].store.frame_mut(page);
         for (_, _, _, diff) in &to_apply {
-            diff.apply_to(&mut f.data);
+            f.apply_diff(diff);
         }
         for (hi, _, w, _) in &to_apply {
             let e = self.procs[pid].lmw.applied.entry((page.0, *w)).or_insert(0);
             *e = (*e).max(*hi);
+        }
+        for (_, _, _, diff) in to_apply {
+            self.pool.put_diff(diff);
         }
 
         self.set_prot(pid, page, Protection::Read);
@@ -329,11 +340,11 @@ impl Cluster {
         let epoch = self.last_write_epoch[page.index()];
         {
             let (me, srv) = Cluster::pair_mut(&mut self.procs, pid, writer);
-            let src = srv.store.frame(page).expect("server frame").data.clone();
+            let src = srv.store.frame(page).expect("server frame");
             let f = me.store.frame_mut(page);
-            f.data.copy_from(&src);
+            f.fill_from(src.data());
             // A full copy raises the all-writers floor.
-            f.applied_through = f.applied_through.max(epoch);
+            f.raise_applied_through(epoch);
         }
         self.set_prot(pid, page, Protection::Read);
         self.stats.remote_misses += 1;
@@ -528,8 +539,16 @@ impl Cluster {
             self.stats.gc_diffs_discarded += dropped;
             self.charge(pid, Category::Os, gc_per_diff.scale(dropped));
             let lmw = &mut self.procs[pid].lmw;
-            lmw.segments.clear();
-            lmw.pending_updates.clear();
+            for (_, segs) in lmw.segments.drain() {
+                for s in segs {
+                    self.pool.put_diff(s.diff);
+                }
+            }
+            for (_, ups) in lmw.pending_updates.drain() {
+                for (_, _, _, d) in ups {
+                    self.pool.put_diff(d);
+                }
+            }
             lmw.known_notices.clear();
             lmw.applied.clear();
         }
@@ -544,8 +563,8 @@ impl Cluster {
         let mut buf = p0
             .store
             .frame(page)
-            .map_or_else(|| self.image[page.index()].clone(), |f| f.data.clone());
-        let floor = p0.store.frame(page).map_or(0, |f| f.applied_through);
+            .map_or_else(|| self.image[page.index()].clone(), |f| f.data().clone());
+        let floor = p0.store.frame(page).map_or(0, Frame::applied_through);
         let applied_w = |w: u16| -> u64 {
             p0.lmw
                 .applied
@@ -582,7 +601,7 @@ impl Cluster {
             }
             if let Some(&(lo, hi)) = proc.lmw.pending.get(&page.0) {
                 if let Some(f) = proc.store.frame(page) {
-                    if f.twin.is_some() && hi > since {
+                    if f.has_twin() && hi > since {
                         to_apply.push((hi, lo, w, f.diff_against_twin(page)));
                     }
                 }

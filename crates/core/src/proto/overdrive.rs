@@ -148,7 +148,10 @@ impl Cluster {
                 // twinned eagerly; for pages the home effect would not have
                 // diffed, the twin is pure overhead (dropped undiffed at
                 // the next barrier).
-                self.procs[pid].store.frame_mut(page).refresh_twin();
+                self.procs[pid]
+                    .store
+                    .frame_mut(page)
+                    .refresh_twin_in(&mut self.pool);
                 self.charge(pid, Category::Os, twin_cost);
                 self.stats.twins += 1;
                 if bar_s {
@@ -167,9 +170,11 @@ impl Cluster {
                 let pages: Vec<u32> = self.procs[pid].od.pre_enabled.iter().copied().collect();
                 for pg in pages {
                     let page = PageId(pg);
-                    let f = self.procs[pid].store.frame_mut(page);
-                    if f.twin.is_none() {
-                        f.refresh_twin();
+                    if !self.procs[pid].store.frame_mut(page).has_twin() {
+                        self.procs[pid]
+                            .store
+                            .frame_mut(page)
+                            .refresh_twin_in(&mut self.pool);
                     }
                 }
             }
@@ -229,11 +234,14 @@ impl Cluster {
                 let Some(f) = self.procs[pid].store.frame(page) else {
                     continue;
                 };
-                if f.twin.is_some() && !f.diff_against_twin(page).is_empty() {
+                if f.has_twin() && !f.diff_against_twin(page).is_empty() {
                     self.stats.consistency_violations += 1;
                 }
                 // Refresh the shadow twin for the next epoch's check.
-                self.procs[pid].store.frame_mut(page).refresh_twin();
+                self.procs[pid]
+                    .store
+                    .frame_mut(page)
+                    .refresh_twin_in(&mut self.pool);
             }
         }
     }

@@ -1,0 +1,103 @@
+//! Cache-coherence proof for the explorer's structural hash.
+//!
+//! `Cluster::state_hash` folds revision-cached per-frame hashes;
+//! `Cluster::state_hash_uncached` recomputes every frame from scratch.
+//! They must agree at *every* observation point of *any* execution — a
+//! single missed revision bump on any frame mutation path (write, fetch,
+//! diff application, protection change, twin lifecycle) makes them
+//! diverge. Random race-free barrier programs across all protocols give
+//! the mutation paths good coverage, including GC and overdrive twins.
+
+use dsm_sim::prop::{check, Gen};
+
+use dsm_core::{Cluster, DivergencePolicy, ProtocolKind, RunConfig, SharedArray};
+
+const NPROCS: usize = 3;
+const NPAGES: usize = 3;
+const PAGE_WORDS: usize = 1024; // 8 KB of f64
+const LANE: usize = PAGE_WORDS / NPROCS;
+
+fn assert_coherent(cluster: &Cluster, at: &str, protocol: ProtocolKind) {
+    assert_eq!(
+        cluster.state_hash(),
+        cluster.state_hash_uncached(),
+        "cached frame hash went stale {at} under {}",
+        protocol.label()
+    );
+}
+
+fn run_program(g: &mut Gen, cfg: &RunConfig) {
+    let protocol = cfg.protocol;
+    let epochs = g.range(3, 7);
+    // A race-free program: each process writes only its own page lane.
+    let program: Vec<Vec<Vec<(usize, usize, f64)>>> = g.vec_of(epochs, |g| {
+        g.vec_of(NPROCS, |g| {
+            let n = g.below(5);
+            g.vec_of(n, |g| {
+                (
+                    g.below(NPAGES),
+                    g.below(LANE),
+                    (g.range(0, 2000) as f64 - 1000.0) * 0.5,
+                )
+            })
+        })
+    });
+
+    let mut cluster = Cluster::new(cfg.clone());
+    let pages: Vec<SharedArray<f64>> = {
+        let mut s = cluster.setup_ctx();
+        (0..NPAGES)
+            .map(|i| s.alloc_array::<f64>(&format!("pg{i}"), PAGE_WORDS))
+            .collect()
+    };
+    cluster.set_phases_per_iter(1);
+    cluster.distribute();
+    assert_coherent(&cluster, "after distribute", protocol);
+
+    for epoch in &program {
+        for (pid, writes) in epoch.iter().enumerate() {
+            let mut ctx = cluster.exec_ctx(pid);
+            for &(page, idx, value) in writes {
+                let word = pid * LANE + idx;
+                pages[page].set(&mut ctx, word, value);
+                let _ = pages[page].get(&mut ctx, word);
+            }
+        }
+        assert_coherent(&cluster, "mid-epoch", protocol);
+        cluster.barrier_app(None);
+        assert_coherent(&cluster, "after barrier", protocol);
+    }
+}
+
+#[test]
+fn cached_hash_equals_uncached_hash() {
+    check("cached_hash_equals_uncached_hash", 24, |g| {
+        for protocol in [
+            ProtocolKind::LmwI,
+            ProtocolKind::LmwU,
+            ProtocolKind::BarI,
+            ProtocolKind::BarU,
+            ProtocolKind::BarS,
+            ProtocolKind::BarM,
+        ] {
+            let mut cfg = RunConfig::with_nprocs(protocol, NPROCS);
+            cfg.warmup_iters = 0;
+            cfg.overdrive.policy = DivergencePolicy::Revert;
+            run_program(g, &cfg);
+        }
+    });
+}
+
+/// Same property with GC forced aggressively: the stop-the-world sweep
+/// mutates frames through validation and full fetches.
+#[test]
+fn cached_hash_survives_gc() {
+    check("cached_hash_survives_gc", 12, |g| {
+        for protocol in [ProtocolKind::LmwI, ProtocolKind::LmwU] {
+            let mut cfg = RunConfig::with_nprocs(protocol, NPROCS);
+            cfg.warmup_iters = 0;
+            cfg.gc_diff_threshold = 2;
+            run_program(g, &cfg);
+        }
+    });
+}

@@ -10,14 +10,13 @@
 //! replayable choice trace.
 
 use std::cell::RefCell;
-use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::Once;
 
 use dsm_check::{CheckReport, Checker};
 use dsm_core::{run_app_scheduled, DsmApp, RunConfig};
-use dsm_sim::{ExplorePruned, SharedScheduler};
+use dsm_sim::{ExplorePruned, FastSet, SharedScheduler};
 
 use crate::sched::{Bounds, ChoicePoint, ExploreScheduler, Visited};
 use crate::trace::ChoiceTrace;
@@ -98,7 +97,7 @@ where
     let visited: Option<Visited> = opts
         .bounds
         .state_prune
-        .then(|| Rc::new(RefCell::new(HashSet::new())));
+        .then(|| Rc::new(RefCell::new(FastSet::default())));
     let mut prefix: Vec<u32> = Vec::new();
     let mut out = ExploreReport {
         schedules: 0,
@@ -138,7 +137,7 @@ where
             None => out.pruned += 1,
         }
         if let Some(p) = next_prefix(&log) {
-            prefix = p
+            prefix = p;
         } else {
             out.frontier_exhausted = true;
             break;

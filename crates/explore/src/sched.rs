@@ -28,10 +28,9 @@
 //! (deliver / execute now) is forced without recording a choice point.
 
 use std::cell::RefCell;
-use std::collections::HashSet;
 use std::rc::Rc;
 
-use dsm_sim::{Candidate, ChoiceKind, Scheduler};
+use dsm_sim::{Candidate, ChoiceKind, FastSet, Scheduler};
 
 /// One resolved choice point.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,7 +68,7 @@ impl Default for Bounds {
 }
 
 /// Shared visited set (survives across schedules within one exploration).
-pub type Visited = Rc<RefCell<HashSet<u64>>>;
+pub type Visited = Rc<RefCell<FastSet<u64>>>;
 
 /// The enumerating scheduler driving exactly one schedule.
 pub struct ExploreScheduler {
@@ -292,7 +291,7 @@ mod tests {
 
     #[test]
     fn visited_set_prunes_second_visit_only_past_prefix() {
-        let visited: Visited = Rc::new(RefCell::new(HashSet::new()));
+        let visited: Visited = Rc::new(RefCell::new(FastSet::default()));
         let mut a = ExploreScheduler::new(Bounds::default(), vec![], Some(Rc::clone(&visited)));
         assert!(a.observe_barrier(41), "first visit continues");
         assert!(a.observe_barrier(42));

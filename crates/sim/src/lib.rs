@@ -35,6 +35,7 @@ pub mod breakdown;
 pub mod clock;
 pub mod config;
 pub mod costs;
+pub mod fasthash;
 pub mod prop;
 pub mod rng;
 pub mod sched;
@@ -45,6 +46,7 @@ pub use breakdown::{Category, TimeBreakdown};
 pub use clock::Clock;
 pub use config::SimConfig;
 pub use costs::CostModel;
+pub use fasthash::{FastBuild, FastMap, FastSet, IntHasher};
 pub use rng::DetRng;
 pub use sched::{
     Candidate, ChoiceKind, ExplorePruned, Scheduler, SharedScheduler, VirtualTimeScheduler,

@@ -5,9 +5,23 @@
 //! (a copy taken at the first write) and its current contents — exactly the
 //! TreadMarks/CVM mechanism the paper describes: "A diff is a run-length
 //! encoding of the changes made to a single virtual memory page."
+//!
+//! Two host-side fast paths (neither changes the produced runs by a byte):
+//!
+//! * **range scanning** — [`Diff::between_ranges`] restricts the comparison
+//!   to the [`DirtyRanges`] a frame recorded at write time. Words outside
+//!   the recorded ranges are guaranteed equal to the twin, so skipping
+//!   them cannot drop or alter a run, and runs cannot span a gap (the gap
+//!   words are equal, which is what terminates a run in a full scan too);
+//! * **chunked comparison** — within a candidate span, clean stretches are
+//!   skipped [`CHUNK_WORDS`] words at a time with a slice equality test
+//!   (compiled to `memcmp`), falling back to the word walk only around
+//!   actual differences.
 
 use crate::buf::PageBuf;
+use crate::dirty::DirtyRanges;
 use crate::page::PageId;
+use crate::pool::BufPool;
 
 /// One contiguous modified byte range.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -46,38 +60,121 @@ pub struct Diff {
 /// word-comparison loop of the original implementation.
 const WORD: usize = 8;
 
-impl Diff {
-    /// Compute the diff between `twin` (contents at the first write) and
-    /// `current`. Runs cover every word that differs; adjacent differing
-    /// words coalesce into a single run.
-    pub fn between(page: PageId, twin: &PageBuf, current: &PageBuf) -> Diff {
-        assert_eq!(twin.len(), current.len(), "page size mismatch");
-        let t = twin.bytes();
-        let c = current.bytes();
-        let mut runs: Vec<DiffRun> = Vec::new();
-        let mut open: Option<(usize, usize)> = None; // [start, end) in bytes
-        for w in (0..t.len()).step_by(WORD) {
-            let differs = t[w..w + WORD] != c[w..w + WORD];
-            match (&mut open, differs) {
-                (Some((_, end)), true) => *end = w + WORD,
-                (Some((start, end)), false) => {
-                    runs.push(DiffRun {
-                        offset: *start as u32,
-                        data: c[*start..*end].to_vec(),
-                    });
-                    open = None;
-                }
-                (None, true) => open = Some((w, w + WORD)),
-                (None, false) => {}
+/// Clean-prefix skip width: equal stretches are consumed this many words at
+/// a time via slice equality (`memcmp`) before any per-word comparison.
+const CHUNK_WORDS: usize = 32;
+
+/// Scan the word span `[lo, hi)` (word indices) of `tw`/`cw`, appending
+/// runs for every differing word (adjacent differing words coalesce).
+/// `cb` is the current page as bytes, for run payload extraction.
+fn scan_span(
+    runs: &mut Vec<DiffRun>,
+    pool: &mut Option<&mut BufPool>,
+    tw: &[u64],
+    cw: &[u64],
+    cb: &[u8],
+    lo: usize,
+    hi: usize,
+) {
+    let mut push_run = |pool: &mut Option<&mut BufPool>, start_w: usize, end_w: usize| {
+        let (s, e) = (start_w * WORD, end_w * WORD);
+        let mut data = match pool {
+            Some(p) => p.take_run_buf(),
+            None => Vec::new(),
+        };
+        data.extend_from_slice(&cb[s..e]);
+        runs.push(DiffRun {
+            offset: s as u32,
+            data,
+        });
+    };
+    let mut w = lo;
+    while w < hi {
+        // Fast path: skip clean chunks with a memcmp-style slice compare.
+        loop {
+            let n = (hi - w).min(CHUNK_WORDS);
+            if n == 0 || tw[w..w + n] != cw[w..w + n] {
+                break;
+            }
+            w += n;
+        }
+        if w >= hi {
+            break;
+        }
+        // The chunk at `w` contains a difference: walk to it.
+        while tw[w] == cw[w] {
+            w += 1;
+        }
+        // Open a run and extend it over consecutive differing words.
+        let start = w;
+        while w < hi && tw[w] != cw[w] {
+            w += 1;
+        }
+        push_run(pool, start, w);
+    }
+}
+
+/// Shared scanner: full page when `ranges` is `None` or collapsed,
+/// recorded ranges otherwise; storage from `pool` when provided.
+fn scan(
+    page: PageId,
+    twin: &PageBuf,
+    current: &PageBuf,
+    ranges: Option<&DirtyRanges>,
+    mut pool: Option<&mut BufPool>,
+) -> Diff {
+    assert_eq!(twin.len(), current.len(), "page size mismatch");
+    let len = twin.len();
+    let mut runs = match pool.as_deref_mut() {
+        Some(p) => p.take_runs(),
+        None => Vec::new(),
+    };
+    let tw = twin.typed::<u64>(0..len);
+    let cw = current.typed::<u64>(0..len);
+    let cb = current.bytes();
+    match ranges {
+        Some(r) if !r.is_all() => {
+            for (s, e) in r.iter() {
+                let lo = s as usize / WORD;
+                let hi = (e as usize).min(len) / WORD;
+                scan_span(&mut runs, &mut pool, tw, cw, cb, lo, hi);
             }
         }
-        if let Some((start, end)) = open {
-            runs.push(DiffRun {
-                offset: start as u32,
-                data: c[start..end].to_vec(),
-            });
-        }
-        Diff { page, runs }
+        _ => scan_span(&mut runs, &mut pool, tw, cw, cb, 0, len / WORD),
+    }
+    Diff { page, runs }
+}
+
+impl Diff {
+    /// Compute the diff between `twin` (contents at the first write) and
+    /// `current` by a full-page scan. Runs cover every word that differs;
+    /// adjacent differing words coalesce into a single run.
+    pub fn between(page: PageId, twin: &PageBuf, current: &PageBuf) -> Diff {
+        scan(page, twin, current, None, None)
+    }
+
+    /// [`Diff::between`], restricted to `ranges`. Produces byte-identical
+    /// runs **provided** every word where `current` differs from `twin`
+    /// lies inside `ranges` — the invariant [`crate::Frame`] maintains by
+    /// recording every write while a twin exists.
+    pub fn between_ranges(
+        page: PageId,
+        twin: &PageBuf,
+        current: &PageBuf,
+        ranges: &DirtyRanges,
+    ) -> Diff {
+        scan(page, twin, current, Some(ranges), None)
+    }
+
+    /// [`Diff::between_ranges`] drawing run storage from `pool`.
+    pub fn between_ranges_in(
+        page: PageId,
+        twin: &PageBuf,
+        current: &PageBuf,
+        ranges: &DirtyRanges,
+        pool: &mut BufPool,
+    ) -> Diff {
+        scan(page, twin, current, Some(ranges), Some(pool))
     }
 
     /// True if the twin and current contents were identical — the paper's
@@ -183,6 +280,21 @@ mod tests {
     }
 
     #[test]
+    fn run_spanning_chunk_boundary() {
+        // A run crossing the CHUNK_WORDS boundary must not split.
+        let twin = PageBuf::zeroed(1024);
+        let mut cur = twin.clone();
+        let boundary = CHUNK_WORDS * WORD;
+        for b in &mut cur.bytes_mut()[boundary - 16..boundary + 16] {
+            *b = 7;
+        }
+        let d = Diff::between(PageId(0), &twin, &cur);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.runs[0].offset as usize, boundary - 16);
+        assert_eq!(d.runs[0].data.len(), 32);
+    }
+
+    #[test]
     fn apply_reconstructs_current() {
         let twin = page_with(&[(0, 7), (100, 8)], 256);
         let mut cur = twin.clone();
@@ -214,6 +326,35 @@ mod tests {
         assert_eq!(d.runs.len(), 2);
         assert_eq!(d.payload_bytes(), 16);
         assert_eq!(d.wire_bytes(), 8 + (8 + 8) + (8 + 8));
+    }
+
+    #[test]
+    fn ranged_scan_matches_full_scan_when_ranges_cover() {
+        let twin = PageBuf::zeroed(256);
+        let mut cur = twin.clone();
+        cur.bytes_mut()[8] = 1;
+        cur.bytes_mut()[200] = 2;
+        let mut ranges = DirtyRanges::new();
+        ranges.insert(8, 1);
+        ranges.insert(200, 1);
+        // A range that was written but not actually changed (silent store).
+        ranges.insert(64, 8);
+        let full = Diff::between(PageId(3), &twin, &cur);
+        let ranged = Diff::between_ranges(PageId(3), &twin, &cur, &ranges);
+        assert_eq!(full, ranged);
+        // Collapsed ranges degrade to the full scan.
+        let mut all = DirtyRanges::new();
+        all.mark_all();
+        assert_eq!(full, Diff::between_ranges(PageId(3), &twin, &cur, &all));
+    }
+
+    #[test]
+    fn empty_ranges_give_empty_diff_without_scanning() {
+        let twin = PageBuf::zeroed(256);
+        let mut cur = twin.clone();
+        cur.bytes_mut()[0] = 9; // differs, but no range recorded
+        let d = Diff::between_ranges(PageId(0), &twin, &cur, &DirtyRanges::new());
+        assert!(d.is_empty(), "no recorded range means nothing is scanned");
     }
 }
 
@@ -300,6 +441,47 @@ mod proptests {
             db.apply_to(&mut ba);
             da.apply_to(&mut ba);
             assert_eq!(ab.bytes(), ba.bytes());
+        });
+    }
+
+    /// The tentpole equivalence: a range-restricted scan over any ranges
+    /// that cover every modified byte produces byte-identical runs to the
+    /// full-page scan — with and without pooled storage, across page sizes
+    /// that exercise the chunked fast path (2048 B = 256 words > chunk).
+    #[test]
+    fn ranged_diff_equals_full_diff() {
+        check("ranged_diff_equals_full_diff", 300, |g| {
+            let size = if g.chance(0.5) { 256 } else { 2048 };
+            let mut twin = PageBuf::zeroed(size);
+            twin.bytes_mut().copy_from_slice(&g.bytes(size));
+            let mut cur = twin.clone();
+            let mut ranges = DirtyRanges::new();
+            // Random writes, each recorded; some are silent stores
+            // (recorded but writing the bytes already there).
+            for _ in 0..g.range(0, 20) {
+                let len = g.range(1, 40);
+                let at = g.below(size - len);
+                ranges.insert(at, len);
+                if g.chance(0.8) {
+                    cur.bytes_mut()[at..at + len].copy_from_slice(&g.bytes(len));
+                }
+            }
+            // Over-approximation is allowed: extra ranges that cover
+            // nothing modified must not change the output.
+            if g.chance(0.3) {
+                ranges.insert(g.below(size - 8), 8);
+            }
+            let full = Diff::between(PageId(1), &twin, &cur);
+            let ranged = Diff::between_ranges(PageId(1), &twin, &cur, &ranges);
+            assert_eq!(full, ranged);
+            let mut pool = BufPool::new();
+            // Round-trip the pool twice so the second diff runs on
+            // recycled (stale-capacity) storage.
+            let p1 = Diff::between_ranges_in(PageId(1), &twin, &cur, &ranges, &mut pool);
+            assert_eq!(full, p1);
+            pool.put_diff(p1);
+            let p2 = Diff::between_ranges_in(PageId(1), &twin, &cur, &ranges, &mut pool);
+            assert_eq!(full, p2, "recycled buffers must not leak stale bytes");
         });
     }
 }

@@ -1,0 +1,188 @@
+//! Dirty word-range tracking for twinned frames.
+//!
+//! While a frame holds a twin, every mutation of its contents is recorded
+//! here as a word-aligned byte range. The set is a *conservative superset*
+//! of the words that differ from the twin (a silent store dirties its range
+//! without changing any byte), which is exactly what incremental diffing
+//! needs: words outside every recorded range are guaranteed equal to the
+//! twin, so [`crate::Diff::between_ranges`] can skip them entirely and
+//! still produce byte-identical output to a full-page scan.
+//!
+//! The representation is a short sorted vector of disjoint,
+//! non-adjacent `[start, end)` ranges. Scattered write patterns that
+//! exceed [`DirtyRanges::MAX_RANGES`] collapse to "the whole page" —
+//! at that point a full scan is no slower than a ranged one, and the
+//! bookkeeping stays O(1) per write.
+
+/// Diff granularity in bytes; ranges are aligned to this.
+const WORD: usize = 8;
+
+/// A conservative, word-aligned summary of the byte ranges written since
+/// the current twin was taken.
+#[derive(Clone, Debug, Default)]
+pub struct DirtyRanges {
+    /// Disjoint, non-adjacent, sorted `[start, end)` byte ranges.
+    ranges: Vec<(u32, u32)>,
+    /// Collapsed state: the entire page must be scanned.
+    all: bool,
+}
+
+impl DirtyRanges {
+    /// Range-count cap; beyond it the set collapses to the whole page.
+    pub const MAX_RANGES: usize = 24;
+
+    /// An empty set (nothing written).
+    pub fn new() -> DirtyRanges {
+        DirtyRanges::default()
+    }
+
+    /// True if no range has been recorded (and not collapsed).
+    pub fn is_clean(&self) -> bool {
+        !self.all && self.ranges.is_empty()
+    }
+
+    /// True if the set collapsed to the whole page.
+    pub fn is_all(&self) -> bool {
+        self.all
+    }
+
+    /// Forget everything (a fresh twin was just taken).
+    pub fn clear(&mut self) {
+        self.all = false;
+        self.ranges.clear();
+    }
+
+    /// Collapse to the whole page (a bulk mutation bypassed tracking).
+    pub fn mark_all(&mut self) {
+        self.all = true;
+        self.ranges.clear();
+    }
+
+    /// Record a write of `len` bytes at byte offset `start`, widened to
+    /// word alignment. Overlapping and adjacent ranges merge.
+    pub fn insert(&mut self, start: usize, len: usize) {
+        if self.all || len == 0 {
+            return;
+        }
+        let s = (start & !(WORD - 1)) as u32;
+        let e = ((start + len + WORD - 1) & !(WORD - 1)) as u32;
+        // First range whose end reaches s (merge candidates start here;
+        // `>=` merges the adjacent case, keeping ranges non-adjacent).
+        let i = self.ranges.partition_point(|&(_, re)| re < s);
+        // First range that starts strictly past e (not mergeable).
+        let j = i + self.ranges[i..].partition_point(|&(rs, _)| rs <= e);
+        if i == j {
+            self.ranges.insert(i, (s, e));
+        } else {
+            let ns = self.ranges[i].0.min(s);
+            let ne = self.ranges[j - 1].1.max(e);
+            self.ranges[i] = (ns, ne);
+            self.ranges.drain(i + 1..j);
+        }
+        if self.ranges.len() > Self::MAX_RANGES {
+            self.mark_all();
+        }
+    }
+
+    /// The recorded ranges, in ascending order. Meaningless when
+    /// [`DirtyRanges::is_all`]; callers must check that first.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.ranges.iter().copied()
+    }
+
+    /// Number of recorded ranges (0 when collapsed).
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True when no ranges are recorded. Note a collapsed set is "empty"
+    /// by range count but dirty everywhere; use [`DirtyRanges::is_clean`]
+    /// to test for "no writes at all".
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// True if byte `offset` falls inside a recorded range (or the set
+    /// collapsed). Test / assertion helper.
+    pub fn covers(&self, offset: usize) -> bool {
+        if self.all {
+            return true;
+        }
+        let o = offset as u32;
+        self.ranges.iter().any(|&(s, e)| s <= o && o < e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_clean() {
+        let d = DirtyRanges::new();
+        assert!(d.is_clean());
+        assert!(!d.is_all());
+        assert_eq!(d.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_widens_to_words() {
+        let mut d = DirtyRanges::new();
+        d.insert(13, 3); // bytes [13,16) -> words [8,16)
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![(8, 16)]);
+        assert!(d.covers(8) && d.covers(15) && !d.covers(16));
+    }
+
+    #[test]
+    fn adjacent_and_overlapping_merge() {
+        let mut d = DirtyRanges::new();
+        d.insert(0, 8);
+        d.insert(8, 8); // adjacent
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![(0, 16)]);
+        d.insert(32, 8);
+        d.insert(4, 40); // spans both
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![(0, 48)]);
+    }
+
+    #[test]
+    fn disjoint_ranges_stay_sorted() {
+        let mut d = DirtyRanges::new();
+        d.insert(64, 8);
+        d.insert(0, 8);
+        d.insert(128, 16);
+        assert_eq!(
+            d.iter().collect::<Vec<_>>(),
+            vec![(0, 8), (64, 72), (128, 144)]
+        );
+    }
+
+    #[test]
+    fn collapses_past_cap() {
+        let mut d = DirtyRanges::new();
+        for i in 0..=DirtyRanges::MAX_RANGES {
+            d.insert(i * 64, 8); // far apart: never merge
+        }
+        assert!(d.is_all());
+        assert_eq!(d.len(), 0);
+        assert!(d.covers(999_999));
+        // Inserts after collapse are no-ops.
+        d.insert(0, 8);
+        assert!(d.is_all());
+    }
+
+    #[test]
+    fn clear_resets_collapse() {
+        let mut d = DirtyRanges::new();
+        d.mark_all();
+        assert!(d.is_all());
+        d.clear();
+        assert!(d.is_clean());
+    }
+
+    #[test]
+    fn zero_len_ignored() {
+        let mut d = DirtyRanges::new();
+        d.insert(40, 0);
+        assert!(d.is_clean());
+    }
+}

@@ -1,8 +1,32 @@
 //! One process's copy of one shared page.
+//!
+//! The frame is the choke point every mutation of page state funnels
+//! through, which lets it maintain two host-side accelerators invisibly:
+//!
+//! * **dirty word ranges** — while a twin exists, every content write is
+//!   recorded in a [`DirtyRanges`], so [`Frame::diff_against_twin`] scans
+//!   only the written ranges instead of the whole page (byte-identical
+//!   output; see `diff.rs`);
+//! * **a revision counter** — every observable mutation bumps `rev`,
+//!   letting callers cache derived values (the explorer's structural
+//!   frame hash) keyed on the revision, with writes and protocol
+//!   mutations invalidating the cache for free.
+//!
+//! Neither affects *virtual* cost: twins, diffs, and protection changes
+//! are charged by the protocol layer exactly as before; dirty tracking
+//! and revision bumps are bookkeeping on the host running the simulation.
+//!
+//! Fields are private on purpose: a mutation path that bypassed the
+//! recording methods would silently break the range-diff equivalence and
+//! the hash-cache invalidation, so there is no such path.
+
+use core::cell::Cell;
 
 use crate::buf::PageBuf;
 use crate::diff::Diff;
+use crate::dirty::DirtyRanges;
 use crate::page::{FaultKind, PageId, Protection};
+use crate::pool::BufPool;
 
 /// A page frame: local contents, protection, and (when write-trapped) the
 /// twin copy taken at the first write of the interval.
@@ -11,17 +35,26 @@ pub struct Frame {
     /// Local copy of the page contents. Retained even while `Invalid`,
     /// because homeless protocols validate by applying diffs to the stale
     /// replica.
-    pub data: PageBuf,
+    data: PageBuf,
     /// Current protection.
-    pub prot: Protection,
+    prot: Protection,
     /// Twin created at the first write of the current interval, if any.
-    pub twin: Option<PageBuf>,
+    twin: Option<PageBuf>,
     /// Version of the page contents this frame reflects (home-based
     /// protocols); unused by homeless protocols.
-    pub version_seen: u32,
+    version_seen: u32,
     /// Epoch index of the last local modification interval applied to this
     /// frame (homeless protocols' "applied through" watermark).
-    pub applied_through: u64,
+    applied_through: u64,
+    /// Word ranges written since the current twin was taken (conservative
+    /// superset of the words differing from the twin). Maintained only
+    /// while `twin` exists; cleared whenever a twin is (re)taken.
+    dirty: DirtyRanges,
+    /// Bumped on every observable mutation; keys derived-value caches.
+    rev: u64,
+    /// Revision-keyed cache slot for a derived 64-bit value (the
+    /// explorer's structural frame hash): `(revision, value)`.
+    hash_cache: Cell<Option<(u64, u64)>>,
 }
 
 impl Frame {
@@ -33,7 +66,69 @@ impl Frame {
             twin: None,
             version_seen: 0,
             applied_through: 0,
+            dirty: DirtyRanges::new(),
+            rev: 0,
+            hash_cache: Cell::new(None),
         }
+    }
+
+    /// Invalidate derived-value caches after a mutation.
+    #[inline]
+    fn touch(&mut self) {
+        self.rev += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Read access
+    // ------------------------------------------------------------------
+
+    /// The page contents.
+    #[inline]
+    pub fn data(&self) -> &PageBuf {
+        &self.data
+    }
+
+    /// Current protection.
+    #[inline]
+    pub fn prot(&self) -> Protection {
+        self.prot
+    }
+
+    /// The twin, if one exists.
+    #[inline]
+    pub fn twin(&self) -> Option<&PageBuf> {
+        self.twin.as_ref()
+    }
+
+    /// True while a twin exists.
+    #[inline]
+    pub fn has_twin(&self) -> bool {
+        self.twin.is_some()
+    }
+
+    /// Version of the contents this frame reflects (home-based protocols).
+    #[inline]
+    pub fn version_seen(&self) -> u32 {
+        self.version_seen
+    }
+
+    /// Homeless "applied through" epoch watermark.
+    #[inline]
+    pub fn applied_through(&self) -> u64 {
+        self.applied_through
+    }
+
+    /// The dirty ranges recorded since the current twin was taken.
+    #[inline]
+    pub fn dirty_ranges(&self) -> &DirtyRanges {
+        &self.dirty
+    }
+
+    /// Mutation counter; increases on every observable change. Equal
+    /// revisions on the same frame imply equal observable state.
+    #[inline]
+    pub fn revision(&self) -> u64 {
+        self.rev
     }
 
     /// Classify an access against the current protection, or `None` if the
@@ -48,26 +143,123 @@ impl Frame {
         }
     }
 
-    /// Take a twin of the current contents (idempotent: keeps the first).
+    /// Revision-keyed cache for a derived 64-bit value: returns the cached
+    /// value if it was stored at the current revision, otherwise computes,
+    /// stores, and returns it. The caller must pass a pure function of the
+    /// frame's observable state (contents, twin, protection, versions).
+    pub fn cached_u64(&self, compute: impl FnOnce(&Frame) -> u64) -> u64 {
+        if let Some((rev, v)) = self.hash_cache.get() {
+            if rev == self.rev {
+                return v;
+            }
+        }
+        let v = compute(self);
+        self.hash_cache.set(Some((self.rev, v)));
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation (every path records dirtiness and bumps the revision)
+    // ------------------------------------------------------------------
+
+    /// Set the protection; returns the old value.
+    pub fn set_prot(&mut self, prot: Protection) -> Protection {
+        if prot != self.prot {
+            self.touch();
+        }
+        core::mem::replace(&mut self.prot, prot)
+    }
+
+    /// Set the reflected version (home-based protocols).
+    pub fn set_version_seen(&mut self, v: u32) {
+        if v != self.version_seen {
+            self.version_seen = v;
+            self.touch();
+        }
+    }
+
+    /// Raise the homeless applied-through watermark to at least `epoch`.
+    pub fn raise_applied_through(&mut self, epoch: u64) {
+        if epoch > self.applied_through {
+            self.applied_through = epoch;
+            self.touch();
+        }
+    }
+
+    /// Write `src` into the contents at byte `offset` — the application
+    /// write path. Records the range while a twin exists.
+    pub fn write_at(&mut self, offset: usize, src: &[u8]) {
+        self.data.bytes_mut()[offset..offset + src.len()].copy_from_slice(src);
+        if self.twin.is_some() {
+            self.dirty.insert(offset, src.len());
+        }
+        self.touch();
+    }
+
+    /// Replace the whole contents with `src` (page fetch / migration).
+    /// Conservatively marks everything dirty if a twin exists.
+    pub fn fill_from(&mut self, src: &PageBuf) {
+        self.data.copy_from(src);
+        if self.twin.is_some() {
+            self.dirty.mark_all();
+        }
+        self.touch();
+    }
+
+    /// Apply a diff's runs to the contents, recording each run's range.
+    pub fn apply_diff(&mut self, diff: &Diff) {
+        diff.apply_to(&mut self.data);
+        if self.twin.is_some() {
+            for run in &diff.runs {
+                self.dirty.insert(run.offset as usize, run.data.len());
+            }
+        }
+        self.touch();
+    }
+
+    /// Take a twin of the current contents (idempotent: keeps the first,
+    /// and crucially keeps the dirty ranges already recorded against it).
     pub fn make_twin(&mut self) {
         if self.twin.is_none() {
             self.twin = Some(self.data.clone());
+            self.dirty.clear();
+            self.touch();
+        }
+    }
+
+    /// [`Frame::make_twin`] drawing the twin buffer from `pool`. The
+    /// recycled buffer is fully overwritten by the page copy.
+    pub fn make_twin_in(&mut self, pool: &mut BufPool) {
+        if self.twin.is_none() {
+            let mut t = pool.take_page(self.data.len());
+            t.copy_from(&self.data);
+            self.twin = Some(t);
+            self.dirty.clear();
+            self.touch();
         }
     }
 
     /// Discard the twin, if any. Returns whether one existed.
     pub fn drop_twin(&mut self) -> bool {
-        self.twin.take().is_some()
+        let had = self.twin.take().is_some();
+        if had {
+            self.dirty.clear();
+            self.touch();
+        }
+        had
     }
 
-    /// Create the diff of modifications since the twin was taken, leaving
-    /// the twin in place. Panics if no twin exists.
-    pub fn diff_against_twin(&self, page: PageId) -> Diff {
-        let twin = self
-            .twin
-            .as_ref()
-            .expect("diff_against_twin called without a twin");
-        Diff::between(page, twin, &self.data)
+    /// [`Frame::drop_twin`], recycling the buffer into `pool`.
+    pub fn drop_twin_into(&mut self, pool: &mut BufPool) -> bool {
+        match self.twin.take() {
+            Some(t) => {
+                pool.put_page(t);
+                self.dirty.clear();
+                self.touch();
+                true
+            }
+            None => false,
+        }
     }
 
     /// Refresh the twin to match current contents (overdrive protocols
@@ -77,6 +269,43 @@ impl Frame {
             Some(t) => t.copy_from(&self.data),
             None => self.twin = Some(self.data.clone()),
         }
+        self.dirty.clear();
+        self.touch();
+    }
+
+    /// [`Frame::refresh_twin`] drawing a fresh twin (when none exists)
+    /// from `pool`.
+    pub fn refresh_twin_in(&mut self, pool: &mut BufPool) {
+        if let Some(t) = &mut self.twin {
+            t.copy_from(&self.data);
+        } else {
+            let mut t = pool.take_page(self.data.len());
+            t.copy_from(&self.data);
+            self.twin = Some(t);
+        }
+        self.dirty.clear();
+        self.touch();
+    }
+
+    /// Create the diff of modifications since the twin was taken, leaving
+    /// the twin in place. Scans only the recorded dirty ranges — words
+    /// outside them are equal to the twin by construction, so the result
+    /// is byte-identical to a full-page scan. Panics if no twin exists.
+    pub fn diff_against_twin(&self, page: PageId) -> Diff {
+        let twin = self
+            .twin
+            .as_ref()
+            .expect("diff_against_twin called without a twin");
+        Diff::between_ranges(page, twin, &self.data, &self.dirty)
+    }
+
+    /// [`Frame::diff_against_twin`] drawing run storage from `pool`.
+    pub fn diff_against_twin_in(&self, page: PageId, pool: &mut BufPool) -> Diff {
+        let twin = self
+            .twin
+            .as_ref()
+            .expect("diff_against_twin called without a twin");
+        Diff::between_ranges_in(page, twin, &self.data, &self.dirty, pool)
     }
 }
 
@@ -87,9 +316,9 @@ mod tests {
     #[test]
     fn new_frame_is_invalid_and_zeroed() {
         let f = Frame::new(64);
-        assert_eq!(f.prot, Protection::Invalid);
-        assert!(f.twin.is_none());
-        assert!(f.data.bytes().iter().all(|&b| b == 0));
+        assert_eq!(f.prot(), Protection::Invalid);
+        assert!(!f.has_twin());
+        assert!(f.data().bytes().iter().all(|&b| b == 0));
     }
 
     #[test]
@@ -97,10 +326,10 @@ mod tests {
         let mut f = Frame::new(64);
         assert_eq!(f.check(false), Some(FaultKind::ReadInvalid));
         assert_eq!(f.check(true), Some(FaultKind::WriteInvalid));
-        f.prot = Protection::Read;
+        f.set_prot(Protection::Read);
         assert_eq!(f.check(false), None);
         assert_eq!(f.check(true), Some(FaultKind::WriteReadOnly));
-        f.prot = Protection::ReadWrite;
+        f.set_prot(Protection::ReadWrite);
         assert_eq!(f.check(false), None);
         assert_eq!(f.check(true), None);
     }
@@ -108,22 +337,23 @@ mod tests {
     #[test]
     fn make_twin_is_idempotent() {
         let mut f = Frame::new(64);
-        f.data.bytes_mut()[0] = 1;
+        f.write_at(0, &[1]);
         f.make_twin();
-        f.data.bytes_mut()[0] = 2;
-        f.make_twin(); // must keep the first twin
-        assert_eq!(f.twin.as_ref().unwrap().bytes()[0], 1);
+        f.write_at(0, &[2]);
+        f.make_twin(); // must keep the first twin (and the dirty ranges)
+        assert_eq!(f.twin().unwrap().bytes()[0], 1);
+        assert!(f.dirty_ranges().covers(0), "second make_twin kept ranges");
     }
 
     #[test]
     fn diff_against_twin_sees_changes() {
         let mut f = Frame::new(64);
         f.make_twin();
-        f.data.bytes_mut()[8] = 42;
+        f.write_at(8, &[42]);
         let d = f.diff_against_twin(PageId(5));
         assert_eq!(d.page, PageId(5));
         assert_eq!(d.runs.len(), 1);
-        assert!(f.twin.is_some(), "diff creation must not consume the twin");
+        assert!(f.has_twin(), "diff creation must not consume the twin");
     }
 
     #[test]
@@ -137,9 +367,10 @@ mod tests {
     fn refresh_twin_tracks_current() {
         let mut f = Frame::new(64);
         f.make_twin();
-        f.data.bytes_mut()[0] = 9;
+        f.write_at(0, &[9]);
         f.refresh_twin();
         assert!(f.diff_against_twin(PageId(0)).is_empty());
+        assert!(f.dirty_ranges().is_clean());
     }
 
     #[test]
@@ -148,6 +379,142 @@ mod tests {
         assert!(!f.drop_twin());
         f.make_twin();
         assert!(f.drop_twin());
-        assert!(f.twin.is_none());
+        assert!(!f.has_twin());
+    }
+
+    #[test]
+    fn writes_before_twin_are_not_tracked() {
+        let mut f = Frame::new(64);
+        f.write_at(0, &[1, 2, 3]);
+        assert!(f.dirty_ranges().is_clean());
+        f.make_twin();
+        assert!(f.dirty_ranges().is_clean());
+        f.write_at(32, &[4]);
+        assert!(f.dirty_ranges().covers(32));
+        assert!(!f.dirty_ranges().covers(0));
+    }
+
+    #[test]
+    fn fill_and_apply_mark_conservatively() {
+        let mut f = Frame::new(64);
+        f.make_twin();
+        let src = PageBuf::zeroed(64);
+        f.fill_from(&src);
+        assert!(f.dirty_ranges().is_all(), "bulk replace marks everything");
+        let mut g = Frame::new(64);
+        g.make_twin();
+        let d = Diff {
+            page: PageId(0),
+            runs: vec![crate::diff::DiffRun {
+                offset: 16,
+                data: vec![7; 8],
+            }],
+        };
+        g.apply_diff(&d);
+        assert!(g.dirty_ranges().covers(16));
+        assert!(!g.dirty_ranges().covers(40));
+        assert_eq!(g.data().bytes()[16], 7);
+    }
+
+    #[test]
+    fn revision_bumps_on_every_mutation() {
+        let mut f = Frame::new(64);
+        let r0 = f.revision();
+        f.write_at(0, &[1]);
+        let r1 = f.revision();
+        assert!(r1 > r0);
+        f.set_prot(Protection::Read);
+        let r2 = f.revision();
+        assert!(r2 > r1);
+        f.set_prot(Protection::Read); // no change, no bump
+        assert_eq!(f.revision(), r2);
+        f.set_version_seen(3);
+        f.raise_applied_through(5);
+        f.raise_applied_through(4); // lower: no bump
+        let r3 = f.revision();
+        f.make_twin();
+        assert!(f.revision() > r3);
+    }
+
+    #[test]
+    fn cached_u64_invalidates_on_mutation() {
+        let mut f = Frame::new(64);
+        let calls = Cell::new(0u32);
+        let compute = |fr: &Frame| {
+            calls.set(calls.get() + 1);
+            u64::from(fr.data().bytes()[0])
+        };
+        assert_eq!(f.cached_u64(compute), 0);
+        assert_eq!(f.cached_u64(compute), 0);
+        assert_eq!(calls.get(), 1, "second call served from cache");
+        f.write_at(0, &[9]);
+        assert_eq!(f.cached_u64(compute), 9);
+        assert_eq!(calls.get(), 2, "mutation invalidated the cache");
+    }
+
+    #[test]
+    fn pooled_twin_cycle_matches_fresh() {
+        let mut pool = BufPool::new();
+        // Seed the pool with a stale buffer so reuse is exercised.
+        let mut stale = PageBuf::zeroed(64);
+        stale.bytes_mut().fill(0xEE);
+        pool.put_page(stale);
+        let mut f = Frame::new(64);
+        f.write_at(0, &[5, 6, 7]);
+        f.make_twin_in(&mut pool);
+        assert_eq!(pool.sizes().0, 0, "twin came from the pool");
+        f.write_at(8, &[1]);
+        let pooled = f.diff_against_twin_in(PageId(2), &mut pool);
+        let fresh = f.diff_against_twin(PageId(2));
+        assert_eq!(pooled, fresh, "pooled twin leaked no stale bytes");
+        assert!(f.drop_twin_into(&mut pool));
+        assert_eq!(pool.sizes().0, 1, "twin buffer recycled");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::pool::BufPool;
+    use dsm_sim::prop::check;
+
+    /// Drive a frame through a random write/twin lifecycle; at every diff
+    /// point, the range-restricted diff must equal a full scan of the same
+    /// twin/current pair, pooled or not — and recycled pool storage must
+    /// never leak bytes into later diffs.
+    #[test]
+    fn tracked_diff_equals_full_scan() {
+        check("tracked_diff_equals_full_scan", 150, |g| {
+            const SIZE: usize = 512;
+            let mut f = Frame::new(SIZE);
+            let mut pool = BufPool::new();
+            for _ in 0..g.range(0, 40) {
+                match g.below(10) {
+                    0 => f.make_twin(),
+                    1 => f.make_twin_in(&mut pool),
+                    2 => {
+                        f.drop_twin_into(&mut pool);
+                    }
+                    3 => f.refresh_twin_in(&mut pool),
+                    4 => {
+                        let mut src = PageBuf::zeroed(SIZE);
+                        src.bytes_mut().copy_from_slice(&g.bytes(SIZE));
+                        f.fill_from(&src);
+                    }
+                    _ => {
+                        let len = g.range(1, 32);
+                        let at = g.below(SIZE - len);
+                        f.write_at(at, &g.bytes(len));
+                    }
+                }
+                if f.has_twin() {
+                    let full = crate::diff::Diff::between(PageId(0), f.twin().unwrap(), f.data());
+                    assert_eq!(f.diff_against_twin(PageId(0)), full);
+                    let pooled = f.diff_against_twin_in(PageId(0), &mut pool);
+                    assert_eq!(pooled, full);
+                    pool.put_diff(pooled);
+                }
+            }
+        });
     }
 }

@@ -16,19 +16,26 @@
 //!   slice casts (the only `unsafe` in the workspace).
 //! * [`diff`] — run-length-encoded page diffs: creation by twin comparison,
 //!   application, sizing.
+//! * [`dirty`] — word-aligned dirty-range tracking for twinned frames,
+//!   feeding the incremental diff fast path.
 //! * [`frame`] — one process's copy of one page: data + protection + twin.
+//! * [`pool`] — free-lists recycling twin buffers and diff run storage.
 //! * [`store`] — a process's page table over the shared segment.
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod buf;
 pub mod diff;
+pub mod dirty;
 pub mod frame;
 pub mod page;
+pub mod pool;
 pub mod store;
 
 pub use buf::{as_bytes, as_bytes_mut, cast_slice, cast_slice_mut, PageBuf, Pod};
 pub use diff::{Diff, DiffRun};
+pub use dirty::DirtyRanges;
 pub use frame::Frame;
 pub use page::{FaultKind, PageId, Protection};
+pub use pool::BufPool;
 pub use store::PageStore;

@@ -11,7 +11,9 @@ impl PageId {
     #[inline]
     pub fn containing(addr: usize, page_size: usize) -> PageId {
         debug_assert!(page_size.is_power_of_two());
-        PageId((addr / page_size) as u32)
+        // Shift, not divide: page_size is a runtime value, and this sits
+        // on the per-access path of every simulated load and store.
+        PageId((addr >> page_size.trailing_zeros()) as u32)
     }
 
     /// Byte offset of `addr` within its page.

@@ -68,7 +68,7 @@ impl PageStore {
         self.frames
             .get(page.index())
             .and_then(|f| f.as_deref())
-            .map_or(Protection::Invalid, |f| f.prot)
+            .map_or(Protection::Invalid, Frame::prot)
     }
 
     /// Immutable access to a materialized frame.
@@ -92,8 +92,7 @@ impl PageStore {
     ///
     /// The *caller* charges the mprotect cost — the store is pure state.
     pub fn set_protection(&mut self, page: PageId, prot: Protection) -> Protection {
-        let f = self.frame_mut(page);
-        core::mem::replace(&mut f.prot, prot)
+        self.frame_mut(page).set_prot(prot)
     }
 
     /// Iterate over materialized `(PageId, &Frame)` pairs in page order.
@@ -123,9 +122,9 @@ mod tests {
     fn frame_mut_materializes() {
         let mut s = PageStore::new(8192);
         s.ensure_pages(4);
-        s.frame_mut(PageId(1)).data.bytes_mut()[0] = 7;
+        s.frame_mut(PageId(1)).write_at(0, &[7]);
         assert_eq!(s.resident(), 1);
-        assert_eq!(s.frame(PageId(1)).unwrap().data.bytes()[0], 7);
+        assert_eq!(s.frame(PageId(1)).unwrap().data().bytes()[0], 7);
         assert!(s.frame(PageId(0)).is_none());
     }
 
