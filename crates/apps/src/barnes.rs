@@ -18,7 +18,12 @@
 //! is why barnes is excluded from the overdrive protocols (its write sets
 //! never stabilize) and why lmw-u's stored-update structures hurt it.
 
+use std::rc::Rc;
+
 use dsm_core::{CheckCtx, DsmApp, ExecCtx, PhaseEnd, SetupCtx, SharedGrid2};
+use dsm_plan::{
+    AccessDecl, AppPlan, ArrayShape, Cols, PhasePlan, PlannedApp, RowArgs, RowFn, Rows,
+};
 
 use crate::common::{seeded01, Scale};
 
@@ -73,18 +78,7 @@ impl Barnes {
     /// Deterministic per-iteration assignment: band boundaries shifted by a
     /// seeded jitter, identical on every process.
     fn assignment(&self, iter: usize, nprocs: usize) -> Vec<usize> {
-        let n = self.nbodies;
-        let mut cuts = Vec::with_capacity(nprocs + 1);
-        cuts.push(0);
-        for k in 1..nprocs {
-            let base = k * n / nprocs;
-            let j = (seeded01(iter * 31 + k, k * 17 + 5, 0x00BA_41E5) * (2.0 * self.jitter as f64))
-                as usize;
-            let shifted = base + j - self.jitter.min(base);
-            cuts.push(shifted.clamp(cuts[k - 1] + 1, n - (nprocs - k)));
-        }
-        cuts.push(n);
-        cuts
+        body_cuts(self.nbodies, self.jitter, iter, nprocs)
     }
 
     fn my_range(&self, iter: usize, pid: usize, nprocs: usize) -> (usize, usize) {
@@ -211,6 +205,24 @@ impl Barnes {
         ctx.work_flops(20 * visited);
         acc
     }
+}
+
+/// The jittered body-assignment cuts for one iteration: `nprocs + 1`
+/// boundaries with `cuts[0] == 0`, `cuts[nprocs] == nbodies`, and every
+/// band non-empty. Free-standing so [`Barnes::plan`] can declare the same
+/// cuts symbolically.
+pub fn body_cuts(nbodies: usize, jitter: usize, iter: usize, nprocs: usize) -> Vec<usize> {
+    let n = nbodies;
+    let mut cuts = Vec::with_capacity(nprocs + 1);
+    cuts.push(0);
+    for k in 1..nprocs {
+        let base = k * n / nprocs;
+        let j = (seeded01(iter * 31 + k, k * 17 + 5, 0x00BA_41E5) * (2.0 * jitter as f64)) as usize;
+        let shifted = base + j - jitter.min(base);
+        cuts.push(shifted.clamp(cuts[k - 1] + 1, n - (nprocs - k)));
+    }
+    cuts.push(n);
+    cuts
 }
 
 const EMPTY: i64 = i64::MIN;
@@ -428,6 +440,76 @@ impl DsmApp for Barnes {
             acc += row[0] + 2.0 * row[1] + 3.0 * row[2] + 0.1 * (row[3] + row[4] + row[5]);
         }
         acc
+    }
+}
+
+impl PlannedApp for Barnes {
+    fn plan(&self) -> AppPlan {
+        let (nbodies, jitter) = (self.nbodies, self.jitter);
+        // This iteration's assigned body band — the only iteration-varying
+        // row expression in the suite.
+        let cut: RowFn = Rc::new(move |a: &RowArgs| {
+            let cuts = body_cuts(nbodies, jitter, a.iter, a.nprocs);
+            vec![(cuts[a.pid], cuts[a.pid + 1])]
+        });
+        // Inexact: maketree writes `[0, used)` node rows with `used` data-
+        // dependent, and force traversal prunes its node/leaf reads by the
+        // opening criterion. Both are over-approximated to full arrays, so
+        // only containment and race checks apply — no flush prediction.
+        AppPlan {
+            app: "barnes",
+            exact: false,
+            arrays: vec![
+                ArrayShape {
+                    name: "bh_bodies",
+                    rows: nbodies,
+                    cols: BODY_COLS,
+                },
+                ArrayShape {
+                    name: "bh_nodes_f",
+                    rows: self.max_nodes,
+                    cols: NODEF_COLS,
+                },
+                ArrayShape {
+                    name: "bh_nodes_c",
+                    rows: self.max_nodes,
+                    cols: NODE_KIDS,
+                },
+            ],
+            phases: vec![
+                // Serial maketree on process 0.
+                PhasePlan::new(vec![
+                    AccessDecl::load("bh_bodies", Rows::All, Cols::All).by(0),
+                    AccessDecl::store("bh_nodes_f", Rows::All, Cols::All).by(0),
+                    AccessDecl::store("bh_nodes_c", Rows::All, Cols::All).by(0),
+                ]),
+                // Forces: tree traversal + peer body positions/masses; the
+                // velocity columns of the assigned cut are rewritten.
+                PhasePlan::new(vec![
+                    AccessDecl::load("bh_nodes_f", Rows::All, Cols::All),
+                    AccessDecl::load("bh_nodes_c", Rows::All, Cols::All),
+                    AccessDecl::load("bh_bodies", Rows::Custom(Rc::clone(&cut)), Cols::All),
+                    AccessDecl::load("bh_bodies", Rows::All, Cols::Range(0, 3)),
+                    AccessDecl::load("bh_bodies", Rows::All, Cols::Range(6, 7)),
+                    AccessDecl::store_mods(
+                        "bh_bodies",
+                        Rows::Custom(Rc::clone(&cut)),
+                        Cols::All,
+                        Cols::Range(3, 6),
+                    ),
+                ]),
+                // Advance: integrate positions of the same cut.
+                PhasePlan::new(vec![
+                    AccessDecl::load("bh_bodies", Rows::Custom(Rc::clone(&cut)), Cols::All),
+                    AccessDecl::store_mods(
+                        "bh_bodies",
+                        Rows::Custom(cut),
+                        Cols::All,
+                        Cols::Range(0, 3),
+                    ),
+                ]),
+            ],
+        }
     }
 }
 

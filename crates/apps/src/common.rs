@@ -11,6 +11,18 @@ pub enum Scale {
 
 /// Contiguous band `[lo, hi)` of `count` items for process `pid` of
 /// `nprocs` (owner-computes row decomposition).
+///
+/// Invariants (relied on by every kernel and by the `dsm-plan` analyzer,
+/// which re-derives this function symbolically):
+///
+/// * bands are contiguous and partition `[0, count)` exactly:
+///   `band(c, p, n).1 == band(c, p+1, n).0` and the union covers `count`;
+/// * ceil division front-loads the work: when `count < nprocs` the first
+///   `count` processes get one item each and every **trailing** process
+///   gets an *empty* band (`lo == hi == count`). Kernels must therefore
+///   tolerate `lo == hi` (skip the loop, touch nothing) — a phase whose
+///   writer set lowers empty everywhere is flagged by the analyzer as a
+///   mis-scoped decomposition.
 pub fn band(count: usize, pid: usize, nprocs: usize) -> (usize, usize) {
     let per = count.div_ceil(nprocs);
     let lo = (pid * per).min(count);
@@ -19,7 +31,9 @@ pub fn band(count: usize, pid: usize, nprocs: usize) -> (usize, usize) {
 }
 
 /// Band over the interior rows `[1, rows-1)` of a grid with fixed
-/// boundaries.
+/// boundaries. Inherits [`band`]'s invariants shifted by one: trailing
+/// processes get empty bands when `rows - 2 < nprocs`, and `hi <= rows-1`
+/// always, so `r+1` never touches past the fixed boundary row.
 pub fn interior_band(rows: usize, pid: usize, nprocs: usize) -> (usize, usize) {
     let (lo, hi) = band(rows - 2, pid, nprocs);
     (lo + 1, hi + 1)
@@ -68,6 +82,30 @@ mod tests {
         let (_, hi_last) = interior_band(rows, n - 1, n);
         assert_eq!(lo0, 1);
         assert_eq!(hi_last, rows - 1);
+    }
+
+    #[test]
+    fn degenerate_shapes_give_trailing_empty_bands() {
+        // count < nprocs: ceil division gives one item to each of the
+        // first `count` processes and an empty band to the rest.
+        for (count, n) in [(3usize, 8usize), (1, 4), (5, 8), (0, 3)] {
+            let mut nonempty = 0;
+            for pid in 0..n {
+                let (lo, hi) = band(count, pid, n);
+                assert!(lo <= hi && hi <= count);
+                if pid >= count {
+                    assert_eq!((lo, hi), (count, count), "trailing bands are empty");
+                }
+                nonempty += usize::from(hi > lo);
+            }
+            assert_eq!(nonempty, count.min(n));
+        }
+        // interior_band with rows - 2 < nprocs: same shape, shifted.
+        for pid in 0..8 {
+            let (lo, hi) = interior_band(5, pid, 8);
+            assert!(lo >= 1 && hi <= 4);
+            assert_eq!(hi > lo, pid < 3);
+        }
     }
 
     #[test]

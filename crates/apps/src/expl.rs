@@ -7,6 +7,7 @@
 //! reduction).
 
 use dsm_core::{CheckCtx, DsmApp, ExecCtx, PhaseEnd, SetupCtx, SharedGrid2};
+use dsm_plan::{AccessDecl, AppPlan, ArrayShape, Cols, PhasePlan, PlannedApp, Rows};
 
 use crate::common::{interior_band, seeded01, Scale};
 
@@ -114,6 +115,44 @@ impl DsmApp for Expl {
 
     fn check(&self, c: &CheckCtx<'_>) -> f64 {
         c.grid_checksum(self.a.unwrap())
+    }
+}
+
+impl PlannedApp for Expl {
+    fn plan(&self) -> AppPlan {
+        let cols = self.cols;
+        // Same shape as jacobi's sweeps: halo loads, full-row band stores,
+        // interior-column mods (boundary columns copy through silently).
+        let sweep = |from: &'static str, to: &'static str| {
+            PhasePlan::new(vec![
+                AccessDecl::load(
+                    from,
+                    Rows::InteriorHalo {
+                        before: 1,
+                        after: 1,
+                    },
+                    Cols::All,
+                ),
+                AccessDecl::store_mods(to, Rows::Interior, Cols::All, Cols::Range(1, cols - 1)),
+            ])
+        };
+        AppPlan {
+            app: "expl",
+            exact: true,
+            arrays: vec![
+                ArrayShape {
+                    name: "expl_a",
+                    rows: self.rows,
+                    cols,
+                },
+                ArrayShape {
+                    name: "expl_b",
+                    rows: self.rows,
+                    cols,
+                },
+            ],
+            phases: vec![sweep("expl_a", "expl_b"), sweep("expl_b", "expl_a")],
+        }
     }
 }
 

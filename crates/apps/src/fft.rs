@@ -23,6 +23,7 @@
 //! 3. z-owners: gather their z-slice of every B row, `A := ifft_xy(·)`.
 
 use dsm_core::{CheckCtx, DsmApp, ExecCtx, PhaseEnd, SetupCtx, SharedGrid2};
+use dsm_plan::{AccessDecl, AppPlan, ArrayShape, Cols, PhasePlan, PlannedApp, Rows};
 
 use crate::common::{band, seeded01, Scale};
 use crate::fft_math::{fft_flops, fft_inplace};
@@ -242,6 +243,64 @@ impl DsmApp for Fft3d {
 
     fn check(&self, c: &CheckCtx<'_>) -> f64 {
         c.grid_checksum(self.a.unwrap())
+    }
+}
+
+impl PlannedApp for Fft3d {
+    fn plan(&self) -> AppPlan {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        // The transpose gathers are the interesting part: every A (resp. B)
+        // row is read, but only the reader's contiguous x- (resp. z-) slice
+        // of it — a column band scaled by the ny*2 doubles per line. FFTs of
+        // generic data perturb every word, so stores modify everything they
+        // touch (mods default to the store's column set).
+        AppPlan {
+            app: "fft",
+            exact: true,
+            arrays: vec![
+                ArrayShape {
+                    name: "fft_a",
+                    rows: nz,
+                    cols: nx * ny * 2,
+                },
+                ArrayShape {
+                    name: "fft_b",
+                    rows: nx,
+                    cols: ny * nz * 2,
+                },
+            ],
+            phases: vec![
+                // In-place 2-D FFT over the owned z-slabs of A.
+                PhasePlan::new(vec![
+                    AccessDecl::load("fft_a", Rows::Band, Cols::All),
+                    AccessDecl::store("fft_a", Rows::Band, Cols::All),
+                ]),
+                // Gather owned x-slice of every A row; write owned B rows.
+                PhasePlan::new(vec![
+                    AccessDecl::load(
+                        "fft_a",
+                        Rows::All,
+                        Cols::ScaledBand {
+                            count: nx,
+                            scale: ny * 2,
+                        },
+                    ),
+                    AccessDecl::store("fft_b", Rows::Band, Cols::All),
+                ]),
+                // Gather owned z-slice of every B row; write owned A rows.
+                PhasePlan::new(vec![
+                    AccessDecl::load(
+                        "fft_b",
+                        Rows::All,
+                        Cols::ScaledBand {
+                            count: nz,
+                            scale: ny * 2,
+                        },
+                    ),
+                    AccessDecl::store("fft_a", Rows::Band, Cols::All),
+                ]),
+            ],
+        }
     }
 }
 

@@ -7,6 +7,7 @@
 //! memory (extra barriers and diff traffic), as SUIF-generated code would.
 
 use dsm_core::{CheckCtx, DsmApp, ExecCtx, PhaseEnd, ReduceOp, SetupCtx, SharedGrid2};
+use dsm_plan::{AccessDecl, AppPlan, ArrayShape, Cols, PhasePlan, PlannedApp, Rows};
 
 use crate::common::{interior_band, seeded01, Scale};
 
@@ -131,6 +132,50 @@ impl DsmApp for Jacobi {
 
     fn check(&self, c: &CheckCtx<'_>) -> f64 {
         c.grid_checksum(self.a.unwrap())
+    }
+}
+
+impl PlannedApp for Jacobi {
+    fn plan(&self) -> AppPlan {
+        let cols = self.cols;
+        // A sweep reads the source grid's band plus one halo row on each
+        // side and rewrites the destination band rows in full; only the
+        // interior columns change value (the boundary columns are copied
+        // through unchanged, a silent store).
+        let sweep = |from: &'static str, to: &'static str| {
+            PhasePlan::new(vec![
+                AccessDecl::load(
+                    from,
+                    Rows::InteriorHalo {
+                        before: 1,
+                        after: 1,
+                    },
+                    Cols::All,
+                ),
+                AccessDecl::store_mods(to, Rows::Interior, Cols::All, Cols::Range(1, cols - 1)),
+            ])
+        };
+        AppPlan {
+            app: "jacobi",
+            exact: true,
+            arrays: vec![
+                ArrayShape {
+                    name: "jacobi_a",
+                    rows: self.rows,
+                    cols,
+                },
+                ArrayShape {
+                    name: "jacobi_b",
+                    rows: self.rows,
+                    cols,
+                },
+            ],
+            phases: vec![
+                sweep("jacobi_a", "jacobi_b"),
+                sweep("jacobi_b", "jacobi_a"),
+                PhasePlan::new(vec![]).with_reduce(1),
+            ],
+        }
     }
 }
 

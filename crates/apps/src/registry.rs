@@ -1,6 +1,7 @@
 //! The application registry: the paper's Table 1 suite, in row order.
 
 use dsm_core::DsmApp;
+use dsm_plan::PlannedApp;
 
 use crate::common::Scale;
 
@@ -13,12 +14,18 @@ pub struct AppSpec {
     /// "sharing pattern, although iterative, is highly dynamic").
     pub in_overdrive_figure: bool,
     make: fn(Scale) -> Box<dyn DsmApp>,
+    make_planned: fn(Scale) -> Box<dyn PlannedApp>,
 }
 
 impl AppSpec {
     /// Instantiate the application at `scale`.
     pub fn build(&self, scale: Scale) -> Box<dyn DsmApp> {
         (self.make)(scale)
+    }
+
+    /// Instantiate the application with its symbolic access plan attached.
+    pub fn build_planned(&self, scale: Scale) -> Box<dyn PlannedApp> {
+        (self.make_planned)(scale)
     }
 }
 
@@ -29,41 +36,49 @@ pub fn all_apps() -> Vec<AppSpec> {
             name: "barnes",
             in_overdrive_figure: false,
             make: |s| Box::new(crate::barnes::Barnes::new(s)),
+            make_planned: |s| Box::new(crate::barnes::Barnes::new(s)),
         },
         AppSpec {
             name: "expl",
             in_overdrive_figure: true,
             make: |s| Box::new(crate::expl::Expl::new(s)),
+            make_planned: |s| Box::new(crate::expl::Expl::new(s)),
         },
         AppSpec {
             name: "fft",
             in_overdrive_figure: true,
             make: |s| Box::new(crate::fft::Fft3d::new(s)),
+            make_planned: |s| Box::new(crate::fft::Fft3d::new(s)),
         },
         AppSpec {
             name: "jacobi",
             in_overdrive_figure: true,
             make: |s| Box::new(crate::jacobi::Jacobi::new(s)),
+            make_planned: |s| Box::new(crate::jacobi::Jacobi::new(s)),
         },
         AppSpec {
             name: "shallow",
             in_overdrive_figure: true,
             make: |s| Box::new(crate::shallow::Shallow::new(s)),
+            make_planned: |s| Box::new(crate::shallow::Shallow::new(s)),
         },
         AppSpec {
             name: "sor",
             in_overdrive_figure: true,
             make: |s| Box::new(crate::sor::Sor::new(s)),
+            make_planned: |s| Box::new(crate::sor::Sor::new(s)),
         },
         AppSpec {
             name: "swm",
             in_overdrive_figure: true,
             make: |s| Box::new(crate::swm::Swm::new(s)),
+            make_planned: |s| Box::new(crate::swm::Swm::new(s)),
         },
         AppSpec {
             name: "tomcat",
             in_overdrive_figure: true,
             make: |s| Box::new(crate::tomcatv::Tomcatv::new(s)),
+            make_planned: |s| Box::new(crate::tomcatv::Tomcatv::new(s)),
         },
     ]
 }
@@ -76,6 +91,11 @@ pub fn app_by_name(name: &str) -> Option<AppSpec> {
 /// Instantiate one application by name at `scale`.
 pub fn make_app(name: &str, scale: Scale) -> Option<Box<dyn DsmApp>> {
     app_by_name(name).map(|a| a.build(scale))
+}
+
+/// Instantiate one planned application by name at `scale`.
+pub fn make_planned(name: &str, scale: Scale) -> Option<Box<dyn PlannedApp>> {
+    app_by_name(name).map(|a| a.build_planned(scale))
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 //! energy reduction.
 
 use dsm_core::{CheckCtx, DsmApp, ExecCtx, PhaseEnd, SetupCtx, SharedGrid2};
+use dsm_plan::{AccessDecl, AppPlan, ArrayShape, Cols, PhasePlan, PlannedApp, Rows};
 
 use crate::common::{band, Scale};
 
@@ -134,6 +135,8 @@ impl SwmCore {
 
     /// Loop 100: compute `cu`, `cv`, `z`, `h` over the band. `which` masks
     /// the outputs so swm can split this into four phases.
+    // The mask is four independent output toggles, not an encoded state.
+    #[allow(clippy::fn_params_excessive_bools)]
     pub fn loop100(&self, ctx: &mut ExecCtx<'_>, do_cu: bool, do_cv: bool, do_z: bool, do_h: bool) {
         let f = self.f.expect("setup first");
         let n = self.n;
@@ -319,6 +322,194 @@ impl SwmCore {
     }
 }
 
+/// Static field names for one allocation prefix — plans carry
+/// `&'static str` array names, so the two instantiations are spelled out.
+#[derive(Clone, Copy)]
+pub struct FieldNames {
+    pub u: &'static str,
+    pub v: &'static str,
+    pub p: &'static str,
+    pub unew: &'static str,
+    pub vnew: &'static str,
+    pub pnew: &'static str,
+    pub uold: &'static str,
+    pub vold: &'static str,
+    pub pold: &'static str,
+    pub cu: &'static str,
+    pub cv: &'static str,
+    pub z: &'static str,
+    pub h: &'static str,
+}
+
+impl FieldNames {
+    /// All thirteen names in `Fields` declaration order.
+    pub fn all(&self) -> [&'static str; 13] {
+        [
+            self.u, self.v, self.p, self.unew, self.vnew, self.pnew, self.uold, self.vold,
+            self.pold, self.cu, self.cv, self.z, self.h,
+        ]
+    }
+}
+
+/// Field names of the `shal_*` (coarse-grain) instantiation.
+pub const SHAL_FIELDS: FieldNames = FieldNames {
+    u: "shal_u",
+    v: "shal_v",
+    p: "shal_p",
+    unew: "shal_unew",
+    vnew: "shal_vnew",
+    pnew: "shal_pnew",
+    uold: "shal_uold",
+    vold: "shal_vold",
+    pold: "shal_pold",
+    cu: "shal_cu",
+    cv: "shal_cv",
+    z: "shal_z",
+    h: "shal_h",
+};
+
+/// Field names of the `swm_*` (fine-grain) instantiation.
+pub const SWM_FIELDS: FieldNames = FieldNames {
+    u: "swm_u",
+    v: "swm_v",
+    p: "swm_p",
+    unew: "swm_unew",
+    vnew: "swm_vnew",
+    pnew: "swm_pnew",
+    uold: "swm_uold",
+    vold: "swm_vold",
+    pold: "swm_pold",
+    cu: "swm_cu",
+    cv: "swm_cv",
+    z: "swm_z",
+    h: "swm_h",
+};
+
+/// Plan for [`SwmCore::loop100`] with the given output mask. The prognostic
+/// reads are unconditional in the kernel (the row buffers are filled before
+/// the mask is consulted), so they are declared unconditionally too.
+// Mirrors the kernel's signature: four independent output toggles.
+#[allow(clippy::fn_params_excessive_bools)]
+pub fn loop100_plan(f: &FieldNames, do_cu: bool, do_cv: bool, do_z: bool, do_h: bool) -> PhasePlan {
+    let mut acc = vec![
+        AccessDecl::load(
+            f.p,
+            Rows::BandHaloWrap {
+                before: 1,
+                after: 0,
+            },
+            Cols::All,
+        ),
+        AccessDecl::load(
+            f.u,
+            Rows::BandHaloWrap {
+                before: 1,
+                after: 0,
+            },
+            Cols::All,
+        ),
+        AccessDecl::load(
+            f.v,
+            Rows::BandHaloWrap {
+                before: 0,
+                after: 1,
+            },
+            Cols::All,
+        ),
+    ];
+    for (on, out) in [(do_cu, f.cu), (do_cv, f.cv), (do_z, f.z), (do_h, f.h)] {
+        if on {
+            acc.push(AccessDecl::store(out, Rows::Band, Cols::All));
+        }
+    }
+    PhasePlan::new(acc)
+}
+
+/// Plan for [`SwmCore::loop200`] with the given output mask.
+pub fn loop200_plan(f: &FieldNames, do_u: bool, do_v: bool, do_p: bool) -> PhasePlan {
+    let mut acc = vec![
+        AccessDecl::load(
+            f.z,
+            Rows::BandHaloWrap {
+                before: 0,
+                after: 1,
+            },
+            Cols::All,
+        ),
+        AccessDecl::load(
+            f.cv,
+            Rows::BandHaloWrap {
+                before: 1,
+                after: 1,
+            },
+            Cols::All,
+        ),
+        AccessDecl::load(
+            f.cu,
+            Rows::BandHaloWrap {
+                before: 1,
+                after: 0,
+            },
+            Cols::All,
+        ),
+        AccessDecl::load(
+            f.h,
+            Rows::BandHaloWrap {
+                before: 1,
+                after: 1,
+            },
+            Cols::All,
+        ),
+    ];
+    for (on, old, new) in [
+        (do_u, f.uold, f.unew),
+        (do_v, f.vold, f.vnew),
+        (do_p, f.pold, f.pnew),
+    ] {
+        if on {
+            acc.push(AccessDecl::load(old, Rows::Band, Cols::All));
+            acc.push(AccessDecl::store(new, Rows::Band, Cols::All));
+        }
+    }
+    PhasePlan::new(acc)
+}
+
+/// Accesses of [`SwmCore::loop300`] for one `(which, part)` selection,
+/// appended to `acc` (shallow fuses the three triples into one phase).
+pub fn loop300_accesses(
+    f: &FieldNames,
+    which: usize,
+    part: Option<usize>,
+    acc: &mut Vec<AccessDecl>,
+) {
+    let (old, cur, new) = match which {
+        0 => (f.uold, f.u, f.unew),
+        1 => (f.vold, f.v, f.vnew),
+        _ => (f.pold, f.p, f.pnew),
+    };
+    acc.push(AccessDecl::load(new, Rows::Band, Cols::All));
+    if part.is_none_or(|p| p == 0) {
+        acc.push(AccessDecl::load(cur, Rows::Band, Cols::All));
+        acc.push(AccessDecl::load(old, Rows::Band, Cols::All));
+        acc.push(AccessDecl::store(old, Rows::Band, Cols::All));
+    }
+    if part.is_none_or(|p| p == 1) {
+        acc.push(AccessDecl::store(cur, Rows::Band, Cols::All));
+    }
+}
+
+/// The thirteen `n × n` array shapes for one instantiation.
+pub fn swm_array_shapes(f: &FieldNames, n: usize) -> Vec<ArrayShape> {
+    f.all()
+        .into_iter()
+        .map(|name| ArrayShape {
+            name,
+            rows: n,
+            cols: n,
+        })
+        .collect()
+}
+
 /// The coarse-grain shallow-water application: three phases per iteration.
 pub struct Shallow {
     core: SwmCore,
@@ -370,6 +561,26 @@ impl DsmApp for Shallow {
 
     fn check(&self, c: &CheckCtx<'_>) -> f64 {
         self.core.checksum(c)
+    }
+}
+
+impl PlannedApp for Shallow {
+    fn plan(&self) -> AppPlan {
+        let f = &SHAL_FIELDS;
+        let mut filter_rotate = Vec::new();
+        for which in 0..3 {
+            loop300_accesses(f, which, None, &mut filter_rotate);
+        }
+        AppPlan {
+            app: "shallow",
+            exact: true,
+            arrays: swm_array_shapes(f, self.core.n),
+            phases: vec![
+                loop100_plan(f, true, true, true, true),
+                loop200_plan(f, true, true, true),
+                PhasePlan::new(filter_rotate),
+            ],
+        }
     }
 }
 

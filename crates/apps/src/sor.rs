@@ -5,7 +5,12 @@
 //! half-sweep. Each process updates the interior points of its row band in
 //! place; only the band-boundary rows are communicated.
 
+use std::rc::Rc;
+
 use dsm_core::{CheckCtx, DsmApp, ExecCtx, PhaseEnd, SetupCtx, SharedGrid2};
+use dsm_plan::{
+    AccessDecl, AppPlan, ArrayShape, Cols, PhasePlan, PlannedApp, RowArgs, RowFn, Rows,
+};
 
 use crate::common::{interior_band, seeded01, Scale};
 
@@ -134,6 +139,73 @@ impl DsmApp for Sor {
 
     fn check(&self, c: &CheckCtx<'_>) -> f64 {
         c.grid_checksum(self.grid.unwrap())
+    }
+}
+
+impl PlannedApp for Sor {
+    fn plan(&self) -> AppPlan {
+        let (rows, cols) = (self.rows, self.cols);
+        // Bulk row loads: the band itself, plus the fixed boundary rows
+        // when the band touches them (r == 1 reads row 0 in full; the last
+        // interior row reads row rows-1 in full).
+        let full_rows: RowFn = Rc::new(move |a: &RowArgs| {
+            let (lo, hi) = interior_band(a.rows, a.pid, a.nprocs);
+            if lo == hi {
+                return Vec::new();
+            }
+            let start = if lo == 1 { 0 } else { lo };
+            let end = if hi == a.rows - 1 { a.rows } else { hi };
+            vec![(start, end)]
+        });
+        // Point loads of the neighbour-owned boundary rows: only the
+        // opposite-colour columns the stencil consumes.
+        let upper_halo: RowFn = Rc::new(move |a: &RowArgs| {
+            let (lo, hi) = interior_band(a.rows, a.pid, a.nprocs);
+            if lo < hi && lo > 1 {
+                vec![(lo - 1, lo)]
+            } else {
+                Vec::new()
+            }
+        });
+        let lower_halo: RowFn = Rc::new(move |a: &RowArgs| {
+            let (lo, hi) = interior_band(a.rows, a.pid, a.nprocs);
+            if lo < hi && hi < a.rows - 1 {
+                vec![(hi, hi + 1)]
+            } else {
+                Vec::new()
+            }
+        });
+        let half_sweep = |colour: usize| {
+            // A point at (r, c) is updated when (r + c) % 2 == colour; the
+            // point loads in a neighbour row r' therefore hit the opposite
+            // parity (r' + c) % 2 == (colour + 1) % 2.
+            let touched = Cols::Parity {
+                colour,
+                lo: 1,
+                hi: cols - 1,
+            };
+            let halo = Cols::Parity {
+                colour: (colour + 1) % 2,
+                lo: 1,
+                hi: cols - 1,
+            };
+            PhasePlan::new(vec![
+                AccessDecl::load("sor_grid", Rows::Custom(Rc::clone(&full_rows)), Cols::All),
+                AccessDecl::load("sor_grid", Rows::Custom(Rc::clone(&upper_halo)), halo),
+                AccessDecl::load("sor_grid", Rows::Custom(Rc::clone(&lower_halo)), halo),
+                AccessDecl::store_mods("sor_grid", Rows::Interior, Cols::All, touched),
+            ])
+        };
+        AppPlan {
+            app: "sor",
+            exact: true,
+            arrays: vec![ArrayShape {
+                name: "sor_grid",
+                rows,
+                cols,
+            }],
+            phases: vec![half_sweep(0), half_sweep(1)],
+        }
     }
 }
 

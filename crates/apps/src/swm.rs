@@ -7,9 +7,12 @@
 //! lowest speedups and the largest OS overhead fraction.
 
 use dsm_core::{CheckCtx, DsmApp, ExecCtx, PhaseEnd, ReduceOp, SetupCtx};
+use dsm_plan::{AccessDecl, AppPlan, Cols, PhasePlan, PlannedApp, Rows};
 
 use crate::common::Scale;
-use crate::shallow::SwmCore;
+use crate::shallow::{
+    loop100_plan, loop200_plan, loop300_accesses, swm_array_shapes, SwmCore, SWM_FIELDS,
+};
 
 /// Fine-grain shallow water with reductions.
 pub struct Swm {
@@ -82,6 +85,43 @@ impl DsmApp for Swm {
 
     fn check(&self, c: &CheckCtx<'_>) -> f64 {
         self.core.checksum(c)
+    }
+}
+
+impl PlannedApp for Swm {
+    fn plan(&self) -> AppPlan {
+        let f = &SWM_FIELDS;
+        let mut phases = vec![
+            loop100_plan(f, true, false, false, false),
+            loop100_plan(f, false, true, false, false),
+            loop100_plan(f, false, false, true, false),
+            loop100_plan(f, false, false, false, true),
+            loop200_plan(f, true, false, false),
+            loop200_plan(f, false, true, false),
+            loop200_plan(f, false, false, true),
+        ];
+        for which in 0..3 {
+            for part in 0..2 {
+                let mut acc = Vec::new();
+                loop300_accesses(f, which, Some(part), &mut acc);
+                phases.push(PhasePlan::new(acc));
+            }
+        }
+        // Energy diagnostic + sum reduction.
+        phases.push(
+            PhasePlan::new(vec![
+                AccessDecl::load(f.u, Rows::Band, Cols::All),
+                AccessDecl::load(f.v, Rows::Band, Cols::All),
+                AccessDecl::load(f.p, Rows::Band, Cols::All),
+            ])
+            .with_reduce(1),
+        );
+        AppPlan {
+            app: "swm",
+            exact: true,
+            arrays: swm_array_shapes(f, self.core.n),
+            phases,
+        }
     }
 }
 

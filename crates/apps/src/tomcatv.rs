@@ -8,6 +8,7 @@
 //! the residual stencils communicate (band boundaries).
 
 use dsm_core::{CheckCtx, DsmApp, ExecCtx, PhaseEnd, ReduceOp, SetupCtx, SharedGrid2};
+use dsm_plan::{AccessDecl, AppPlan, ArrayShape, Cols, PhasePlan, PlannedApp, Rows};
 
 use crate::common::{interior_band, Scale};
 
@@ -227,6 +228,72 @@ impl DsmApp for Tomcatv {
 
     fn check(&self, c: &CheckCtx<'_>) -> f64 {
         c.grid_checksum(self.x.unwrap()) + 2.0 * c.grid_checksum(self.y.unwrap())
+    }
+}
+
+impl PlannedApp for Tomcatv {
+    fn plan(&self) -> AppPlan {
+        let n = self.n;
+        let halo = Rows::InteriorHalo {
+            before: 1,
+            after: 1,
+        };
+        let interior = Cols::Range(1, n - 1);
+        let shape = |name: &'static str| ArrayShape {
+            name,
+            rows: n,
+            cols: n,
+        };
+        AppPlan {
+            app: "tomcat",
+            exact: true,
+            arrays: vec![
+                shape("tc_x"),
+                shape("tc_y"),
+                shape("tc_rx"),
+                shape("tc_ry"),
+                shape("tc_aa"),
+                shape("tc_dd"),
+            ],
+            phases: vec![
+                // x-residuals + tridiagonal coefficients. Both meshes feed
+                // the metric terms, so both are read on either pass. The
+                // written rows only change in the interior columns (out_r's
+                // boundary zeros and out_aa's are silent re-stores).
+                PhasePlan::new(vec![
+                    AccessDecl::load("tc_x", halo.clone(), Cols::All),
+                    AccessDecl::load("tc_y", halo.clone(), Cols::All),
+                    AccessDecl::store_mods("tc_rx", Rows::Interior, Cols::All, interior),
+                    AccessDecl::store_mods("tc_aa", Rows::Interior, Cols::All, interior),
+                    AccessDecl::store_mods("tc_dd", Rows::Interior, Cols::All, interior),
+                ]),
+                // y-residuals.
+                PhasePlan::new(vec![
+                    AccessDecl::load("tc_x", halo.clone(), Cols::All),
+                    AccessDecl::load("tc_y", halo, Cols::All),
+                    AccessDecl::store_mods("tc_ry", Rows::Interior, Cols::All, interior),
+                ]),
+                // Max-residual reduction.
+                PhasePlan::new(vec![]).with_reduce(1),
+                // Row-local Thomas solves + mesh correction. The initial
+                // mesh has straight verticals — x is linear in i and
+                // constant in j — so the x-residual is zero up to rounding
+                // (~1 ulp of the metric terms) and the correction
+                // `x += 0.5 * rel * rxr` rounds to no change: every tc_x
+                // store is silent for the entire run, and its modified set
+                // is empty. Only the curved y-mesh actually relaxes.
+                PhasePlan::new(vec![
+                    AccessDecl::load("tc_aa", Rows::Interior, Cols::All),
+                    AccessDecl::load("tc_dd", Rows::Interior, Cols::All),
+                    AccessDecl::load("tc_rx", Rows::Interior, Cols::All),
+                    AccessDecl::load("tc_ry", Rows::Interior, Cols::All),
+                    AccessDecl::load("tc_x", Rows::Interior, Cols::All),
+                    AccessDecl::load("tc_y", Rows::Interior, Cols::All),
+                    AccessDecl::store_mods("tc_x", Rows::Interior, Cols::All, Cols::Range(0, 0)),
+                    AccessDecl::store_mods("tc_y", Rows::Interior, Cols::All, interior),
+                ]),
+            ],
+        }
     }
 }
 

@@ -1,0 +1,140 @@
+//! Property tests tying the plan layer's symbolic band arithmetic to the
+//! runtime's concrete decomposition.
+//!
+//! `dsm_plan::band` / `interior_band` are deliberate duplicates of the
+//! `dsm_apps::common` versions (see the rationale in `crates/plan/src/
+//! lower.rs`); these properties are the proof obligation that duplication
+//! creates: on every `(count, pid, nprocs)` the static model and the
+//! running code must agree exactly, including the degenerate
+//! `count < nprocs` shapes where trailing processes get empty bands.
+
+use dsm_apps::common;
+use dsm_plan::{lower_rows, RowArgs, Rows};
+use dsm_sim::prop::{check, Gen};
+
+fn args(rows: usize, pid: usize, nprocs: usize) -> RowArgs {
+    RowArgs {
+        rows,
+        pid,
+        nprocs,
+        iter: 0,
+    }
+}
+
+#[test]
+fn band_model_matches_runtime() {
+    check("band_model_matches_runtime", 2000, |g: &mut Gen| {
+        let nprocs = g.range(1, 33);
+        let count = g.below(512);
+        let pid = g.below(nprocs);
+        assert_eq!(
+            dsm_plan::band(count, pid, nprocs),
+            common::band(count, pid, nprocs),
+            "band({count}, {pid}, {nprocs})"
+        );
+    });
+}
+
+#[test]
+fn interior_band_model_matches_runtime() {
+    check(
+        "interior_band_model_matches_runtime",
+        2000,
+        |g: &mut Gen| {
+            let nprocs = g.range(1, 33);
+            let rows = g.range(2, 512);
+            let pid = g.below(nprocs);
+            assert_eq!(
+                dsm_plan::interior_band(rows, pid, nprocs),
+                common::interior_band(rows, pid, nprocs),
+                "interior_band({rows}, {pid}, {nprocs})"
+            );
+        },
+    );
+}
+
+/// Bands partition `[0, count)`: lowering `Rows::Band` for every pid yields
+/// disjoint, contiguous, exhaustive coverage — the invariant every plan and
+/// the race checker lean on.
+#[test]
+fn lowered_bands_partition_rows() {
+    check("lowered_bands_partition_rows", 1000, |g: &mut Gen| {
+        let nprocs = g.range(1, 17);
+        let count = g.below(256);
+        let mut next = 0usize;
+        for pid in 0..nprocs {
+            for (lo, hi) in lower_rows(&Rows::Band, &args(count, pid, nprocs)) {
+                assert_eq!(lo, next, "gap/overlap at pid {pid} of {nprocs}");
+                next = hi;
+            }
+        }
+        assert_eq!(next, count, "bands must cover [0, {count})");
+    });
+}
+
+/// `Rows::Interior` lowers to exactly the rows the runtime's
+/// `interior_band` walks, for every pid, and the union is `[1, rows-1)`.
+#[test]
+fn lowered_interior_matches_runtime_loops() {
+    check(
+        "lowered_interior_matches_runtime_loops",
+        1000,
+        |g: &mut Gen| {
+            let nprocs = g.range(1, 17);
+            let rows = g.range(2, 256);
+            let mut covered = vec![false; rows];
+            for pid in 0..nprocs {
+                // The rows a runtime worker actually iterates.
+                let (lo, hi) = common::interior_band(rows, pid, nprocs);
+                let mut want = vec![false; rows];
+                want[lo..hi.max(lo)].fill(true);
+                let mut got = vec![false; rows];
+                for (rlo, rhi) in lower_rows(&Rows::Interior, &args(rows, pid, nprocs)) {
+                    for r in rlo..rhi {
+                        assert!(!got[r], "row {r} lowered twice");
+                        got[r] = true;
+                        covered[r] = true;
+                    }
+                }
+                assert_eq!(got, want, "pid {pid} of {nprocs}, rows {rows}");
+            }
+            for (r, c) in covered.iter().enumerate() {
+                assert_eq!(*c, r >= 1 && r < rows - 1, "row {r} coverage");
+            }
+        },
+    );
+}
+
+/// `Rows::BandHaloWrap` lowers to the owned band plus the cyclic halo rows
+/// the runtime reads via `(i + n ± k) % n` indexing — checked row-by-row
+/// against a direct modular enumeration.
+#[test]
+fn wrap_halo_matches_modular_indexing() {
+    check("wrap_halo_matches_modular_indexing", 1000, |g: &mut Gen| {
+        let nprocs = g.range(1, 17);
+        let rows = g.range(1, 128);
+        let pid = g.below(nprocs);
+        let before = g.below(3);
+        let after = g.below(3);
+        let (lo, hi) = common::band(rows, pid, nprocs);
+        let mut want = vec![false; rows];
+        for r in lo..hi {
+            want[r] = true;
+            for k in 1..=before {
+                want[(r + rows - (k % rows)) % rows] = true;
+            }
+            for k in 1..=after {
+                want[(r + k) % rows] = true;
+            }
+        }
+        let mut got = vec![false; rows];
+        let spec = Rows::BandHaloWrap { before, after };
+        for (rlo, rhi) in lower_rows(&spec, &args(rows, pid, nprocs)) {
+            got[rlo..rhi].fill(true);
+        }
+        assert_eq!(
+            got, want,
+            "rows={rows} pid={pid}/{nprocs} halo=({before},{after})"
+        );
+    });
+}

@@ -1,0 +1,176 @@
+//! Cross-validation of the static access plans against real runs.
+//!
+//! For every app × protocol in the matrix, a [`PlanSink`] watches a Small
+//! run and asserts:
+//!
+//! * **containment** — every dynamic read/write lands inside the plan's
+//!   lowered load/store spans for its `(pid, epoch)`;
+//! * **barrier count** — the run executes exactly the barriers the
+//!   schedule declares;
+//! * **flush equality** (exact plans, update protocols) — the observed
+//!   per-barrier `(writer, page, copyset)` flush triples equal the
+//!   protocol simulator's prediction, including the steady-state copyset
+//!   fixed point of the final iterations;
+//! * **zero flushes** (invalidate protocols) — no `UpdateFlush` is ever
+//!   emitted.
+//!
+//! `bar-s` runs are compared against the `bar-u` prediction: on a plan
+//! whose write sets are iteration-invariant, overdrive flushes exactly
+//! what plain bar-u flushes.
+
+use std::collections::HashMap;
+
+use dsm_apps::common::Scale;
+use dsm_apps::registry::{make_app, make_planned};
+use dsm_core::{run_app_checked, ProtocolKind, RunConfig};
+use dsm_plan::{
+    analyze, build_schedule, predict, FlushTriple, PlanSink, Prediction, SteadyCopysets,
+};
+
+const NPROCS: usize = 4;
+
+const MATRIX: [ProtocolKind; 5] = [
+    ProtocolKind::LmwI,
+    ProtocolKind::LmwU,
+    ProtocolKind::BarI,
+    ProtocolKind::BarU,
+    ProtocolKind::BarS,
+];
+
+/// Final-iteration copysets extracted from the observed flush stream must
+/// match the simulator's steady-state copyset tables.
+fn check_steady_copysets(p: &Prediction, observed: &[Vec<FlushTriple>], iters: usize, tag: &str) {
+    let nb = observed.len();
+    assert_eq!(nb % iters, 0, "{tag}: {nb} barriers over {iters} iters");
+    let per = nb / iters;
+    let last = &observed[nb - per..];
+    match &p.copysets {
+        SteadyCopysets::None => panic!("{tag}: update protocol predicted no copysets"),
+        SteadyCopysets::PerPage(v) => {
+            let table: HashMap<u32, u64> = v.iter().copied().collect();
+            for &(w, page, cs) in last.iter().flatten() {
+                assert_eq!(
+                    table.get(&page),
+                    Some(&cs),
+                    "{tag}: page {page} flushed by {w} with copyset {cs:#x} \
+                     vs steady table {:?}",
+                    table.get(&page)
+                );
+            }
+        }
+        SteadyCopysets::PerWriter(v) => {
+            let table: HashMap<(u32, u16), u64> =
+                v.iter().map(|&(pg, w, b)| ((pg, w), b)).collect();
+            for &(w, page, cs) in last.iter().flatten() {
+                assert_eq!(
+                    table.get(&(page, w)),
+                    Some(&cs),
+                    "{tag}: page {page} writer {w} copyset {cs:#x} \
+                     vs steady table {:?}",
+                    table.get(&(page, w))
+                );
+            }
+        }
+    }
+    // The fixed point itself: when the simulator predicts the flush pattern
+    // has converged, the run must have converged identically.
+    if nb >= 2 * per {
+        let plen = p.flushes.len();
+        if p.flushes[plen - per..] == p.flushes[plen - 2 * per..plen - per] {
+            assert_eq!(
+                &observed[nb - per..],
+                &observed[nb - 2 * per..nb - per],
+                "{tag}: predicted steady state not observed"
+            );
+        }
+    }
+}
+
+fn crossval(name: &str, proto: ProtocolKind) {
+    let tag = format!("{name}/{}", proto.label());
+    let mut probe = make_planned(name, Scale::Small).expect("known app");
+    let an = analyze(probe.as_mut(), NPROCS);
+    let sched = build_schedule(&an.plan, proto, an.iters);
+    let barriers = sched.iter().filter(|s| s.barrier).count();
+
+    let (sink, outcome) = PlanSink::new(an.plan.clone(), an.layout.clone(), sched.clone());
+    let mut app = make_app(name, Scale::Small).expect("known app");
+    let _ = run_app_checked(
+        app.as_mut(),
+        RunConfig::with_nprocs(proto, NPROCS),
+        Box::new(sink),
+    );
+
+    let out = outcome.borrow();
+    assert!(
+        out.errors.is_empty(),
+        "{tag}: dynamic accesses escaped the declared plan:\n{}",
+        out.errors.join("\n")
+    );
+    assert_eq!(out.barriers_seen, barriers, "{tag}: barrier count");
+
+    if !proto.is_update() {
+        assert!(
+            out.observed_flushes.iter().all(Vec::is_empty),
+            "{tag}: invalidate protocol emitted update flushes"
+        );
+        return;
+    }
+    if !an.plan.exact {
+        // Barnes: containment only; the update machinery must still move
+        // data (its dynamic cuts guarantee cross-band sharing).
+        assert!(
+            out.observed_flushes.iter().any(|b| !b.is_empty()),
+            "{tag}: no update traffic at all"
+        );
+        return;
+    }
+    // Overdrive flushes what plain bar-u flushes once plans are exact and
+    // iteration-invariant in their write sets.
+    let predicted_as = if proto == ProtocolKind::BarS {
+        ProtocolKind::BarU
+    } else {
+        proto
+    };
+    let p = predict(&an.plan, &an.layout, &sched, predicted_as);
+    assert_eq!(
+        p.flushes.len(),
+        out.observed_flushes.len(),
+        "{tag}: barriers"
+    );
+    for (bi, (pred, obs)) in p.flushes.iter().zip(&out.observed_flushes).enumerate() {
+        assert_eq!(
+            pred,
+            obs,
+            "{tag}: flush triples diverge at barrier {bi} \
+             (predicted {} triples, observed {})",
+            pred.len(),
+            obs.len()
+        );
+    }
+    check_steady_copysets(&p, &out.observed_flushes, an.iters, &tag);
+}
+
+macro_rules! crossval_app {
+    ($($test:ident => $name:literal),* $(,)?) => {
+        $(
+            #[test]
+            fn $test() {
+                for proto in MATRIX {
+                    crossval($name, proto);
+                }
+            }
+        )*
+    };
+}
+
+crossval_app! {
+    crossval_barnes => "barnes",
+    crossval_expl => "expl",
+    crossval_fft => "fft",
+    crossval_jacobi => "jacobi",
+    crossval_shallow => "shallow",
+    crossval_sor => "sor",
+    crossval_swm => "swm",
+    crossval_tomcat => "tomcat",
+}

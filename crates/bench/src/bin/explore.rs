@@ -179,6 +179,7 @@ fn por_factor_section(nprocs: usize) {
             max_schedules: 5000,
             stop_on_violation: false,
             bounds: Bounds { por: true, ..base },
+            static_groups: None,
         },
     );
     let cap = 2000;
@@ -189,6 +190,7 @@ fn por_factor_section(nprocs: usize) {
             max_schedules: cap,
             stop_on_violation: false,
             bounds: Bounds { por: false, ..base },
+            static_groups: None,
         },
     );
     println!(
@@ -221,6 +223,7 @@ fn hunt_section(save_trace: Option<&str>) -> bool {
         max_schedules: 1000,
         stop_on_violation: true,
         bounds: Bounds::default(),
+        static_groups: None,
     };
     let rep = explore(|| Box::new(RegressApp::new()), &cfg, &opts);
     let Some(v) = rep.violation else {
@@ -288,6 +291,7 @@ fn main() {
                 max_schedules: budget,
                 stop_on_violation: true,
                 bounds: args.bounds,
+                static_groups: None,
             };
             let rep = explore(|| build_app(app, args.iters_cap), &cfg, &opts);
             if let Some(v) = &rep.violation {

@@ -1,0 +1,58 @@
+//! Static access-plan analysis report (`results/plan-small.txt`,
+//! `results/plan-paper.txt`).
+//!
+//! Runs the dsm-plan analyzer over every registered application at one
+//! scale: lowers each declarative plan to page-granularity footprints,
+//! proves phase-level race freedom for both schedule shapes, computes the
+//! static page-conflict groups, and predicts per-barrier update-flush
+//! traffic and steady-state copysets for the exactly-planned apps under
+//! lmw-u, bar-u, and overdrive. Output is deterministic `key=value`
+//! lines; CI regenerates it and diffs against the committed copy.
+//!
+//! Exits nonzero if any app fails the race-freedom proof — the report is
+//! also the gate.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use dsm_apps::{all_apps, Scale};
+use dsm_core::ProtocolKind;
+use dsm_plan::{render_report, PlannedApp};
+
+const NPROCS: usize = 8;
+
+const PROTOCOLS: [ProtocolKind; 3] = [ProtocolKind::LmwU, ProtocolKind::BarU, ProtocolKind::BarS];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        ["--scale", "small"] => Scale::Small,
+        ["--scale", "paper"] => Scale::Paper,
+        _ => {
+            eprintln!("usage: plan --scale <small|paper>");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scale_label = match scale {
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+    };
+    let mut apps: Vec<Box<dyn PlannedApp>> = all_apps()
+        .iter()
+        .map(|spec| spec.build_planned(scale))
+        .collect();
+    let header = format!(
+        "Static access-plan analysis: race-freedom proofs, page-conflict groups,\n\
+         and predicted update traffic per barrier (protocol simulators over the\n\
+         lowered page footprints). scale={scale_label}"
+    );
+    let (report, ok) = render_report(&header, NPROCS, &mut apps, &PROTOCOLS);
+    print!("{report}");
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("plan: race-freedom proof FAILED (see race= lines above)");
+        ExitCode::FAILURE
+    }
+}

@@ -8,6 +8,9 @@
 //! * unreliable-flush loss (correctness holds; performance degrades).
 
 #![forbid(unsafe_code)]
+// Each sweep defines its config-tweak fn right next to the matrix call
+// that uses it; hoisting them to the top would separate cause from effect.
+#![allow(clippy::items_after_statements)]
 
 use dsm_apps::{app_by_name, Scale};
 use dsm_bench::harness::{run_baseline, run_one, RunPlan};

@@ -15,7 +15,7 @@
 //!   its retained state it must hold no live (recorded but unconsumed)
 //!   write notice — a live notice names a diff that is about to vanish.
 
-use std::collections::{HashMap, HashSet};
+use dsm_sim::{FastMap, FastSet};
 
 use crate::report::Violation;
 
@@ -31,21 +31,21 @@ pub enum CopysetRule {
 }
 
 /// One process's live (recorded, not yet consumed) notices, as a multiset.
-type LiveNotices = HashMap<(u32, u16, u64), u32>;
+type LiveNotices = FastMap<(u32, u16, u64), u32>;
 
 pub struct InvariantState {
     rule: CopysetRule,
     /// Last version value seen per page.
-    versions: HashMap<u32, u32>,
+    versions: FastMap<u32, u32>,
     /// Pages already reported for a version anomaly (one report per page
     /// and kind).
-    flagged_skip: HashSet<u32>,
-    flagged_regress: HashSet<u32>,
+    flagged_skip: FastSet<u32>,
+    flagged_regress: FastSet<u32>,
     /// Fetcher bitmaps.
-    per_writer_fetchers: HashMap<(u32, u16), u64>,
-    per_page_fetchers: HashMap<u32, u64>,
+    per_writer_fetchers: FastMap<(u32, u16), u64>,
+    per_page_fetchers: FastMap<u32, u64>,
     /// (page, writer) pairs already reported for a copyset omission.
-    flagged_copyset: HashSet<(u32, u16)>,
+    flagged_copyset: FastSet<(u32, u16)>,
     live: Vec<LiveNotices>,
 }
 
@@ -53,13 +53,13 @@ impl InvariantState {
     pub fn new(nprocs: usize, rule: CopysetRule) -> InvariantState {
         InvariantState {
             rule,
-            versions: HashMap::new(),
-            flagged_skip: HashSet::new(),
-            flagged_regress: HashSet::new(),
-            per_writer_fetchers: HashMap::new(),
-            per_page_fetchers: HashMap::new(),
-            flagged_copyset: HashSet::new(),
-            live: vec![LiveNotices::new(); nprocs],
+            versions: FastMap::default(),
+            flagged_skip: FastSet::default(),
+            flagged_regress: FastSet::default(),
+            per_writer_fetchers: FastMap::default(),
+            per_page_fetchers: FastMap::default(),
+            flagged_copyset: FastSet::default(),
+            live: vec![LiveNotices::default(); nprocs],
         }
     }
 

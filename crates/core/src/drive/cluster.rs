@@ -53,6 +53,9 @@ impl Proc {
 }
 
 /// The simulated DSM cluster.
+// The flags are genuinely independent (exploring, migrated,
+// migration_pending, ...), not an encoded state machine.
+#[allow(clippy::struct_excessive_bools)]
 pub struct Cluster {
     pub(crate) cfg: RunConfig,
     pub(crate) seg: SharedSegment,

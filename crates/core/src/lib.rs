@@ -45,4 +45,4 @@ pub use drive::cluster::Cluster;
 pub use drive::ctx::{CheckCtx, ExecCtx, SetupCtx};
 pub use drive::reduce::ReduceOp;
 pub use drive::stats::{RunReport, RunStats};
-pub use mem::{SharedArray, SharedGrid2, SharedScalar};
+pub use mem::{page_friendly_stride, Alloc, SharedArray, SharedGrid2, SharedScalar, SharedSegment};

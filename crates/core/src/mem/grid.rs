@@ -34,7 +34,11 @@ impl<T: Pod> Copy for SharedGrid2<T> {}
 /// Pick a stride (in elements) such that rows never straddle page
 /// boundaries: either a power-of-two number of rows fits exactly in a page,
 /// or a row occupies a whole number of pages.
-pub(crate) fn page_friendly_stride<T: Pod>(cols: usize, page_size: usize) -> usize {
+///
+/// Public so that static tooling (`dsm-plan`) can reproduce the exact
+/// address layout [`SetupCtx::alloc_grid`](crate::drive::ctx::SetupCtx)
+/// produces without allocating anything.
+pub fn page_friendly_stride<T: Pod>(cols: usize, page_size: usize) -> usize {
     let esize = core::mem::size_of::<T>();
     let row_bytes = cols * esize;
     let padded = row_bytes.next_power_of_two();

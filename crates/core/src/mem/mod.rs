@@ -11,8 +11,8 @@ pub mod grid;
 pub mod segment;
 
 pub use array::SharedArray;
-pub use grid::SharedGrid2;
-pub use segment::SharedSegment;
+pub use grid::{page_friendly_stride, SharedGrid2};
+pub use segment::{Alloc, SharedSegment};
 
 use dsm_vm::Pod;
 

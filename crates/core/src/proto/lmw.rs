@@ -23,10 +23,8 @@
 //!   to see if all required diffs are present when the next access to that
 //!   page occurs. This next access is signaled by a segmentation fault."
 
-use std::collections::HashMap;
-
 use dsm_net::MsgKind;
-use dsm_sim::{Category, Time};
+use dsm_sim::{Category, FastMap, Time};
 use dsm_vm::{Diff, FaultKind, Frame, PageBuf, PageId, Protection};
 
 use crate::check::CheckEvent;
@@ -52,22 +50,22 @@ pub struct Segment {
 pub struct LmwProc {
     /// Sealed segments this process created, per page, ascending `hi`.
     /// Retained until GC (the paper's "voracious appetite for memory").
-    pub segments: HashMap<u32, Vec<Segment>>,
+    pub segments: FastMap<u32, Vec<Segment>>,
     /// Pages with an accumulating (un-diffed) twin:
     /// page → (first dirty epoch, last dirty epoch).
-    pub pending: HashMap<u32, (u64, u64)>,
+    pub pending: FastMap<u32, (u64, u64)>,
     /// Write notices received but not yet applied locally, per page.
-    pub known_notices: HashMap<u32, Vec<WriteNotice>>,
+    pub known_notices: FastMap<u32, Vec<WriteNotice>>,
     /// lmw-u: updates that arrived by flush: page → (writer, lo, hi, diff).
-    pub pending_updates: HashMap<u32, Vec<(u16, u64, u64, Diff)>>,
+    pub pending_updates: FastMap<u32, Vec<(u16, u64, u64, Diff)>>,
     /// lmw-u: this process's view of who caches each page it writes.
-    pub copysets: HashMap<u32, CopySet>,
+    pub copysets: FastMap<u32, CopySet>,
     /// Per (page, writer): highest segment `hi` applied locally. Together
     /// with the frame's `applied_through` floor (raised by full-page
     /// fetches) this decides exactly which intervals still need fetching —
     /// a coarser single watermark would re-apply multi-epoch segments whose
     /// older words can clobber this process's own newer writes.
-    pub applied: HashMap<(u32, u16), u64>,
+    pub applied: FastMap<(u32, u16), u64>,
 }
 
 impl LmwProc {
@@ -189,7 +187,7 @@ impl Cluster {
         // Coverage is per epoch *range*: a stored update for intervals
         // [lo, hi] says nothing about the same writer's earlier (or
         // dropped) intervals, which must still be fetched.
-        let mut covered: HashMap<u16, Vec<(u64, u64)>> = HashMap::new();
+        let mut covered: FastMap<u16, Vec<(u64, u64)>> = FastMap::default();
         if self.cfg.protocol == ProtocolKind::LmwU {
             let stored = self.procs[pid]
                 .lmw
@@ -206,7 +204,7 @@ impl Cluster {
             }
         }
         let planted = self.cfg.planted;
-        let is_covered = move |covered: &HashMap<u16, Vec<(u64, u64)>>, w: u16, e: u64| {
+        let is_covered = move |covered: &FastMap<u16, Vec<(u64, u64)>>, w: u16, e: u64| {
             covered.get(&w).is_some_and(|v| {
                 v.iter().any(|&(lo, hi)| match planted {
                     PlantedBug::None => lo <= e && e <= hi,
@@ -306,9 +304,6 @@ impl Cluster {
 
     /// Full-page fetch from the page's last writer (cold fault after GC).
     fn lmw_fetch_full(&mut self, pid: usize, page: PageId) {
-        if std::env::var_os("DSM_DEBUG").is_some() {
-            eprintln!("fetch_full pid={pid} page={page:?} epoch={}", self.epoch);
-        }
         let writer = self.last_writer[page.index()] as usize;
         if writer == pid || self.last_write_epoch[page.index()] == 0 {
             // Our own copy (or the initial image) is already current.

@@ -18,11 +18,11 @@ use dsm_check::{CheckReport, Checker};
 use dsm_core::{run_app_scheduled, DsmApp, RunConfig};
 use dsm_sim::{ExplorePruned, FastSet, SharedScheduler};
 
-use crate::sched::{Bounds, ChoicePoint, ExploreScheduler, Visited};
+use crate::sched::{Bounds, ChoicePoint, ExploreScheduler, StaticGroups, Visited};
 use crate::trace::ChoiceTrace;
 
 /// Exploration options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExploreOpts {
     /// Hard cap on executed schedules (budget).
     pub max_schedules: usize,
@@ -30,6 +30,11 @@ pub struct ExploreOpts {
     /// Stop at the first violating schedule (replay artifacts want the
     /// shortest trace; baselines want the full count).
     pub stop_on_violation: bool,
+    /// Statically predicted page-conflict groups from
+    /// `dsm_plan::static_page_groups`; when set, debug builds assert that
+    /// every dynamic conflict component the POR computes refines one
+    /// static group.
+    pub static_groups: Option<StaticGroups>,
 }
 
 impl Default for ExploreOpts {
@@ -38,6 +43,7 @@ impl Default for ExploreOpts {
             max_schedules: 1000,
             bounds: Bounds::default(),
             stop_on_violation: true,
+            static_groups: None,
         }
     }
 }
@@ -117,6 +123,7 @@ where
             opts.bounds,
             prefix.clone(),
             visited.clone(),
+            opts.static_groups.clone(),
         );
         out.schedules += 1;
         out.max_points = out.max_points.max(log.len());
@@ -153,11 +160,16 @@ fn run_one<F>(
     bounds: Bounds,
     prefix: Vec<u32>,
     visited: Option<Visited>,
+    static_groups: Option<StaticGroups>,
 ) -> (Vec<ChoicePoint>, Option<CheckReport>)
 where
     F: FnMut() -> Box<dyn DsmApp>,
 {
-    let sched = Rc::new(RefCell::new(ExploreScheduler::new(bounds, prefix, visited)));
+    let mut scheduler = ExploreScheduler::new(bounds, prefix, visited);
+    if let Some(groups) = static_groups {
+        scheduler.set_static_groups(groups);
+    }
+    let sched = Rc::new(RefCell::new(scheduler));
     let shared: SharedScheduler = Rc::<RefCell<ExploreScheduler>>::clone(&sched);
     let result = catch_unwind(AssertUnwindSafe(|| {
         let mut app = make_app();
@@ -206,7 +218,7 @@ where
         ..trace.bounds
     };
     let prefix: Vec<u32> = trace.choices.iter().map(|c| c.chosen).collect();
-    let (log, result) = run_one(&mut make_app, cfg, bounds, prefix, None);
+    let (log, result) = run_one(&mut make_app, cfg, bounds, prefix, None, None);
     let report = result.expect("replay never prunes");
     assert_eq!(
         log, trace.choices,

@@ -31,5 +31,5 @@ pub use driver::{
     ViolationFound,
 };
 pub use regress::{CappedApp, RegressApp};
-pub use sched::{Bounds, ChoicePoint, ExploreScheduler, Visited};
+pub use sched::{Bounds, ChoicePoint, ExploreScheduler, StaticGroups, Visited};
 pub use trace::{protocol_by_label, ChoiceTrace};

@@ -30,7 +30,12 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use dsm_sim::{Candidate, ChoiceKind, FastSet, Scheduler};
+use dsm_sim::{Candidate, ChoiceKind, FastMap, FastSet, Scheduler};
+
+/// Statically predicted page-conflict groups: page → canonical group page,
+/// as computed by `dsm_plan::static_page_groups` for the run's plan and
+/// schedule.
+pub type StaticGroups = Rc<FastMap<u32, u32>>;
 
 /// One resolved choice point.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -88,6 +93,9 @@ pub struct ExploreScheduler {
     /// Cross-schedule visited set; `None` disables pruning regardless of
     /// `bounds.state_prune`.
     visited: Option<Visited>,
+    /// Statically predicted page groups; when present, debug builds assert
+    /// every dynamic conflict component refines exactly one static group.
+    static_groups: Option<StaticGroups>,
 }
 
 impl ExploreScheduler {
@@ -100,6 +108,43 @@ impl ExploreScheduler {
             defers: 0,
             barriers: 0,
             visited,
+            static_groups: None,
+        }
+    }
+
+    /// Install the statically predicted page groups. Subsequent ordering
+    /// choice points debug-assert the refinement: the pages of a dynamic
+    /// conflict component all map to one static group root.
+    pub fn set_static_groups(&mut self, groups: StaticGroups) {
+        self.static_groups = Some(groups);
+    }
+
+    /// The refinement oracle (debug builds): every dynamic dirty set is
+    /// contained in some process-epoch's static store set, and the static
+    /// groups are closed under page sharing — so a dynamic conflict
+    /// component whose pages span two static groups (or touch a page no
+    /// static store set contains) means either an app's plan or the POR
+    /// footprint logic is wrong.
+    fn assert_refines_static(&self, cands: &[Candidate], in_comp: &[bool]) {
+        let Some(groups) = &self.static_groups else {
+            return;
+        };
+        let mut root: Option<u32> = None;
+        for (i, c) in cands.iter().enumerate() {
+            if !in_comp[i] {
+                continue;
+            }
+            for &page in &c.footprint {
+                let Some(&r) = groups.get(&page) else {
+                    panic!("page {page} in a dynamic footprint but in no static store set");
+                };
+                assert!(
+                    root.is_none_or(|prev| prev == r),
+                    "dynamic conflict component spans static page groups \
+                     ({root:?} vs {r} at page {page})"
+                );
+                root = Some(r);
+            }
         }
     }
 
@@ -169,6 +214,9 @@ impl Scheduler for ExploreScheduler {
                         frontier.push(j);
                     }
                 }
+            }
+            if cfg!(debug_assertions) {
+                self.assert_refines_static(cands, &in_comp);
             }
             (0..cands.len()).filter(|&i| in_comp[i]).collect()
         } else {
@@ -312,5 +360,46 @@ mod tests {
     fn divergent_prefix_is_detected() {
         let mut s = ExploreScheduler::new(Bounds::default(), vec![5], None);
         s.flush_drop(0, 1, 0.0); // a drop point has only 2 alternatives
+    }
+
+    fn groups_of(pairs: &[(u32, u32)]) -> StaticGroups {
+        let mut g = FastMap::default();
+        for &(page, root) in pairs {
+            g.insert(page, root);
+        }
+        Rc::new(g)
+    }
+
+    #[test]
+    fn refinement_holds_when_component_sits_in_one_group() {
+        let mut s = ExploreScheduler::new(Bounds::default(), vec![], None);
+        s.set_static_groups(groups_of(&[(7, 7), (8, 7), (9, 9)]));
+        // {0,2} conflict on page 7 and drag in page 8 — both rooted at 7;
+        // candidate 1's page 9 is outside the component entirely.
+        let cands = [cand(0, &[7]), cand(1, &[9]), cand(2, &[7, 8])];
+        assert_eq!(s.choose(ChoiceKind::Arrival, &cands), 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "spans static page groups")]
+    fn refinement_violation_is_detected() {
+        let mut s = ExploreScheduler::new(Bounds::default(), vec![], None);
+        s.set_static_groups(groups_of(&[(7, 7), (8, 8)]));
+        // One dynamic component over pages {7, 8}, but the static analysis
+        // put those pages in different groups: the dynamic graph is
+        // coarser than predicted.
+        let cands = [cand(0, &[7, 8]), cand(1, &[7])];
+        s.choose(ChoiceKind::Arrival, &cands);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "in no static store set")]
+    fn unmapped_footprint_page_is_detected() {
+        let mut s = ExploreScheduler::new(Bounds::default(), vec![], None);
+        s.set_static_groups(groups_of(&[(7, 7)]));
+        let cands = [cand(0, &[7, 42]), cand(1, &[7])];
+        s.choose(ChoiceKind::Arrival, &cands);
     }
 }

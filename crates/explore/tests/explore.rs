@@ -27,6 +27,7 @@ fn regress_is_clean_under_every_schedule_without_the_bug() {
         max_schedules: 2000,
         stop_on_violation: true,
         bounds: Bounds::default(),
+        static_groups: None,
     };
     let rep = explore(make_regress, &cfg, &opts);
     assert!(rep.violation.is_none(), "correct protocol must stay clean");
@@ -45,6 +46,7 @@ fn planted_ordering_bug_is_found_quickly() {
         max_schedules: 1000,
         stop_on_violation: true,
         bounds: Bounds::default(),
+        static_groups: None,
     };
     let rep = explore(make_regress, &cfg, &opts);
     let v = rep
@@ -68,6 +70,7 @@ fn violating_schedule_replays_to_the_same_report() {
         max_schedules: 1000,
         stop_on_violation: true,
         bounds: Bounds::default(),
+        static_groups: None,
     };
     let rep = explore(make_regress, &cfg, &opts);
     let v = rep.violation.expect("bug found");
@@ -126,6 +129,7 @@ fn por_cuts_the_schedule_count_at_least_10x() {
                 state_prune: false,
                 ..Bounds::default()
             },
+            static_groups: None,
         },
     );
     assert!(on.frontier_exhausted);
@@ -141,6 +145,7 @@ fn por_cuts_the_schedule_count_at_least_10x() {
                 state_prune: false,
                 ..Bounds::default()
             },
+            static_groups: None,
         },
     );
     assert!(
@@ -159,6 +164,7 @@ fn paper_app_is_clean_under_bounded_exploration() {
         max_schedules: 300,
         stop_on_violation: true,
         bounds: Bounds::default(),
+        static_groups: None,
     };
     let rep = explore(
         || Box::new(CappedApp::new(spec.build(Scale::Small), 2)),

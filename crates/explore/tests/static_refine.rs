@@ -1,0 +1,66 @@
+//! The plan layer's static page groups must coarsen every dynamic
+//! conflict component the explorer's partial-order reduction computes.
+//!
+//! `dsm_plan::static_page_groups` unions every page a process-epoch
+//! statically stores and chains logical phases across iterations; every
+//! dynamic dirty set is contained in some epoch's static store set, so a
+//! dynamic conflict component crossing two static groups would mean an
+//! app's plan (or the POR footprint logic) is wrong. The scheduler
+//! debug-asserts this at every ordering choice point once the groups are
+//! installed via [`ExploreOpts::static_groups`]; this test drives real
+//! apps through bounded exploration with the assertion armed.
+
+use std::rc::Rc;
+
+use dsm_apps::common::Scale;
+use dsm_apps::registry::{make_app, make_planned};
+use dsm_core::{ProtocolKind, RunConfig};
+use dsm_explore::{explore, Bounds, CappedApp, ExploreOpts, StaticGroups};
+use dsm_plan::{analyze, build_schedule, static_page_groups};
+
+const NPROCS: usize = 2;
+const ITERS_CAP: usize = 2;
+
+fn groups_for(name: &str, proto: ProtocolKind) -> StaticGroups {
+    let mut planned = make_planned(name, Scale::Small).expect("registry app");
+    let an = analyze(planned.as_mut(), NPROCS);
+    let sched = build_schedule(&an.plan, proto, ITERS_CAP);
+    Rc::new(static_page_groups(&an.plan, &an.layout, &sched))
+}
+
+fn explore_with_groups(name: &str, proto: ProtocolKind) {
+    let cfg = RunConfig::with_nprocs(proto, NPROCS);
+    let opts = ExploreOpts {
+        max_schedules: 40,
+        stop_on_violation: true,
+        bounds: Bounds::default(),
+        static_groups: Some(groups_for(name, proto)),
+    };
+    let rep = explore(
+        || {
+            Box::new(CappedApp::new(
+                make_app(name, Scale::Small).unwrap(),
+                ITERS_CAP,
+            ))
+        },
+        &cfg,
+        &opts,
+    );
+    assert!(
+        rep.violation.is_none(),
+        "{name}/{}: clean app must stay clean with refinement checks armed",
+        proto.label()
+    );
+    assert!(rep.schedules > 1, "{name}: exploration must branch");
+}
+
+#[test]
+fn jacobi_components_refine_static_groups() {
+    explore_with_groups("jacobi", ProtocolKind::LmwU);
+    explore_with_groups("jacobi", ProtocolKind::BarU);
+}
+
+#[test]
+fn sor_components_refine_static_groups() {
+    explore_with_groups("sor", ProtocolKind::LmwU);
+}

@@ -1,0 +1,315 @@
+//! dsm-lint: the determinism contract, mechanically enforced.
+//!
+//! The whole point of the virtual cluster is bit-identical replay: every
+//! run, every explored schedule, every committed `results/*.txt` must be a
+//! pure function of `(protocol, nprocs, scale, seed)`. That property dies
+//! quietly — one `Instant::now()` in a hot path, one default-hasher
+//! `HashMap` whose iteration order leaks into a trace, one `std::env`
+//! read that changes behavior between machines. This binary scans the
+//! library sources of the deterministic crates and fails on:
+//!
+//! * `instant` — `std::time::Instant` / `Instant::now` (wall-clock time;
+//!   the simulator has its own virtual clock);
+//! * `system-time` — `std::time::SystemTime` (same, worse);
+//! * `default-hasher` — `HashMap` / `HashSet` mentions outside
+//!   `dsm_sim::fasthash` (RandomState seeds per-process: iteration order
+//!   is not reproducible; use `FastMap` / `FastSet`);
+//! * `thread-rng` — `thread_rng` / `rand::` (ambient RNG; use
+//!   `dsm_sim::DetRng`);
+//! * `env-read` — `std::env` reads in library code (behavior must not
+//!   depend on the invoking environment).
+//!
+//! Deliberate exceptions live in `lint-allow.toml` at the workspace root
+//! (hand-parsed here — the workspace is dependency-free by design). Every
+//! entry names a file, a rule, and a reason; stale entries that no longer
+//! match anything are themselves errors, so the allowlist cannot rot.
+//!
+//! Comments and string literals are stripped before matching: the rules
+//! bind to code, not to prose about code.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Library source trees under the determinism contract. `bench` (host
+/// timing is its job) and this crate are deliberately outside it; test
+/// directories are too (asserting over a `HashMap` is harmless).
+const CRATES: [&str; 8] = [
+    "sim", "vm", "net", "core", "check", "explore", "apps", "plan",
+];
+
+/// One banned-pattern rule: an id for the allowlist, the needles that
+/// trigger it, and the contract it protects.
+struct Rule {
+    id: &'static str,
+    needles: &'static [&'static str],
+    why: &'static str,
+}
+
+const RULES: [Rule; 5] = [
+    Rule {
+        id: "instant",
+        needles: &["std::time::Instant", "Instant::now"],
+        why: "wall-clock time; use the simulator's virtual clock",
+    },
+    Rule {
+        id: "system-time",
+        needles: &["SystemTime"],
+        why: "wall-clock time; use the simulator's virtual clock",
+    },
+    Rule {
+        id: "default-hasher",
+        needles: &["HashMap", "HashSet"],
+        why: "RandomState iteration order is not reproducible; use dsm_sim::{FastMap, FastSet}",
+    },
+    Rule {
+        id: "thread-rng",
+        needles: &["thread_rng", "rand::"],
+        why: "ambient RNG; use dsm_sim::DetRng",
+    },
+    Rule {
+        id: "env-read",
+        needles: &["std::env", "env::var"],
+        why: "library behavior must not depend on the invoking environment",
+    },
+];
+
+/// One `[[allow]]` entry from lint-allow.toml.
+#[derive(Debug)]
+struct Allow {
+    file: String,
+    rule: String,
+    reason: String,
+    /// Set once a violation consumes the entry; unused entries are stale.
+    used: bool,
+}
+
+/// Hand-rolled parser for the tiny TOML subset the allowlist uses:
+/// `[[allow]]` table headers and `key = "value"` pairs. Anything else is
+/// a hard error — the format is the contract.
+fn parse_allowlist(text: &str) -> Result<Vec<Allow>, String> {
+    let mut out: Vec<Allow> = Vec::new();
+    let mut cur: Option<(Option<String>, Option<String>, Option<String>)> = None;
+    let finish = |cur: &mut Option<(Option<String>, Option<String>, Option<String>)>,
+                  out: &mut Vec<Allow>|
+     -> Result<(), String> {
+        if let Some((f, r, why)) = cur.take() {
+            let entry = Allow {
+                file: f.ok_or("entry missing `file`")?,
+                rule: r.ok_or("entry missing `rule`")?,
+                reason: why.ok_or("entry missing `reason`")?,
+                used: false,
+            };
+            out.push(entry);
+        }
+        Ok(())
+    };
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(&mut cur, &mut out)?;
+            cur = Some((None, None, None));
+            continue;
+        }
+        let Some((key, val)) = line.split_once('=') else {
+            return Err(format!("lint-allow.toml:{}: unparseable line", ln + 1));
+        };
+        let key = key.trim();
+        let val = val.trim();
+        let Some(val) = val.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+            return Err(format!(
+                "lint-allow.toml:{}: value must be a double-quoted string",
+                ln + 1
+            ));
+        };
+        let Some(entry) = cur.as_mut() else {
+            return Err(format!(
+                "lint-allow.toml:{}: key outside an [[allow]] entry",
+                ln + 1
+            ));
+        };
+        let slot = match key {
+            "file" => &mut entry.0,
+            "rule" => &mut entry.1,
+            "reason" => &mut entry.2,
+            other => return Err(format!("lint-allow.toml:{}: unknown key `{other}`", ln + 1)),
+        };
+        if slot.replace(val.to_string()).is_some() {
+            return Err(format!("lint-allow.toml:{}: duplicate `{key}`", ln + 1));
+        }
+    }
+    finish(&mut cur, &mut out)?;
+    Ok(out)
+}
+
+/// Strip `//` comments and the contents of ordinary string literals, so
+/// rules match code only. Char literals and raw strings don't occur with
+/// banned needles in this codebase; the stripper stays simple on purpose.
+fn strip_noise(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    in_str = false;
+                    out.push('"');
+                }
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '/' if chars.peek() == Some(&'/') => break,
+            '"' => {
+                in_str = true;
+                out.push('"');
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            rust_sources(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn run(root: &Path) -> Result<Vec<String>, String> {
+    let allow_text = fs::read_to_string(root.join("lint-allow.toml"))
+        .map_err(|e| format!("reading lint-allow.toml: {e}"))?;
+    let mut allows = parse_allowlist(&allow_text)?;
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for c in CRATES {
+        let dir = root.join("crates").join(c).join("src");
+        rust_sources(&dir, &mut files).map_err(|e| format!("walking {}: {e}", dir.display()))?;
+    }
+    files.sort();
+
+    let mut findings: Vec<String> = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        for (ln, raw) in text.lines().enumerate() {
+            let code = strip_noise(raw);
+            for rule in &RULES {
+                if !rule.needles.iter().any(|n| code.contains(n)) {
+                    continue;
+                }
+                if let Some(a) = allows
+                    .iter_mut()
+                    .find(|a| a.rule == rule.id && a.file == rel)
+                {
+                    a.used = true;
+                    continue;
+                }
+                findings.push(format!(
+                    "{rel}:{}: [{}] {} ({})",
+                    ln + 1,
+                    rule.id,
+                    raw.trim(),
+                    rule.why
+                ));
+            }
+        }
+    }
+    for a in &allows {
+        if !a.used {
+            findings.push(format!(
+                "lint-allow.toml: stale entry: file=\"{}\" rule=\"{}\" matches nothing \
+                 (reason was: {})",
+                a.file, a.rule, a.reason
+            ));
+        }
+    }
+    Ok(findings)
+}
+
+fn main() -> ExitCode {
+    // Resolve the workspace root: the directory holding lint-allow.toml,
+    // searched upward from the CWD so the binary works from any subdir.
+    let mut root = std::env::current_dir().expect("cwd");
+    while !root.join("lint-allow.toml").exists() {
+        if !root.pop() {
+            eprintln!("dsm-lint: no lint-allow.toml between CWD and filesystem root");
+            return ExitCode::FAILURE;
+        }
+    }
+    match run(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("dsm-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            let mut msg = String::new();
+            for f in &findings {
+                let _ = writeln!(msg, "dsm-lint: {f}");
+            }
+            eprint!("{msg}");
+            eprintln!("dsm-lint: {} violation(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("dsm-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowlist_round_trips() {
+        let text = r#"
+# comment
+[[allow]]
+file = "crates/x/src/a.rs"
+rule = "env-read"
+reason = "because"
+"#;
+        let a = parse_allowlist(text).unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].file, "crates/x/src/a.rs");
+        assert_eq!(a[0].rule, "env-read");
+    }
+
+    #[test]
+    fn malformed_allowlist_is_rejected() {
+        assert!(parse_allowlist("[[allow]]\nfile = unquoted\n").is_err());
+        assert!(parse_allowlist("file = \"orphan\"\n").is_err());
+        assert!(parse_allowlist("[[allow]]\nfile = \"f\"\n").is_err());
+        assert!(parse_allowlist("[[allow]]\nfile = \"f\"\nfile = \"g\"\n").is_err());
+    }
+
+    #[test]
+    fn noise_stripping() {
+        assert_eq!(strip_noise("let x = 1; // HashMap here"), "let x = 1; ");
+        assert_eq!(strip_noise("panic!(\"no HashMap\")"), "panic!(\"\")");
+        assert_eq!(strip_noise("a(\"q\\\"x\", b)"), "a(\"\", b)");
+        assert!(strip_noise("use std::env;").contains("std::env"));
+    }
+}

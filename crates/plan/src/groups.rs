@@ -1,0 +1,85 @@
+//! Static page-conflict groups.
+//!
+//! The exploration scheduler's partial-order reduction treats two barrier
+//! arrivals as dependent when their page footprints (the processes' dirty
+//! sets) intersect, and flood-fills connected components over that
+//! relation. The static analogue: union every page one process stores in
+//! one epoch into a single group, chain the same `(pid, site)` across
+//! iterations (overdrive predictions replay the previous iteration's write
+//! set), and take the transitive closure page-sharing induces. Every
+//! dynamic dirty set is contained in some process-epoch's static store
+//! set, so every dynamic conflict component must live inside exactly one
+//! static group — the refinement dsm-explore debug-asserts.
+
+use dsm_sim::FastMap;
+
+use crate::layout::Layout;
+use crate::schedule::{lower_epoch, EpochSpec};
+use crate::spec::AppPlan;
+
+struct UnionFind {
+    parent: FastMap<u32, u32>,
+}
+
+impl UnionFind {
+    fn find(&mut self, x: u32) -> u32 {
+        let p = *self.parent.entry(x).or_insert(x);
+        if p == x {
+            return x;
+        }
+        let root = self.find(p);
+        self.parent.insert(x, root);
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Canonical root: the smaller page, for stable output.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent.insert(hi, lo);
+        }
+    }
+}
+
+/// Compute the static page-conflict groups for one `(plan, layout,
+/// schedule)`: a map from every statically-stored page to its group's
+/// canonical (smallest) page.
+pub fn static_page_groups(
+    plan: &AppPlan,
+    lay: &Layout,
+    schedule: &[EpochSpec],
+) -> FastMap<u32, u32> {
+    let mut uf = UnionFind {
+        parent: FastMap::default(),
+    };
+    // Representative store page per (pid, site, kind discriminant), to
+    // chain the same logical phase across iterations.
+    let mut site_rep: FastMap<(u16, u16, u8), u32> = FastMap::default();
+    for spec in schedule {
+        for pid in 0..lay.nprocs {
+            let acc = lower_epoch(plan, lay, spec, pid);
+            let pages = acc.stores.pages(lay.page_size);
+            let Some(&first) = pages.first() else {
+                continue;
+            };
+            for &p in &pages[1..] {
+                uf.union(first, p);
+            }
+            let key = (pid as u16, spec.site as u16, spec.kind as u8);
+            match site_rep.get(&key) {
+                Some(&rep) => uf.union(rep, first),
+                None => {
+                    site_rep.insert(key, first);
+                }
+            }
+        }
+    }
+    let keys: Vec<u32> = uf.parent.keys().copied().collect();
+    let mut out = FastMap::default();
+    for k in keys {
+        let root = uf.find(k);
+        out.insert(k, root);
+    }
+    out
+}

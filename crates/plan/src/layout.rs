@@ -1,0 +1,167 @@
+//! Concrete address layout, recovered by probing an application's `setup`
+//! against a throwaway cluster.
+//!
+//! Plans are symbolic; proofs are about byte addresses. The bridge is the
+//! allocator itself: `setup` is deterministic and protocol-independent, so
+//! running it once against a `seq` cluster yields the exact `(base, bytes)`
+//! of every shared allocation the real runs will use. The probe
+//! cross-checks each allocation against the plan's declared shapes and
+//! reconstructs the grid strides with the same `page_friendly_stride` the
+//! allocator used.
+
+use dsm_core::{page_friendly_stride, Cluster, DsmApp, ProtocolKind, RunConfig};
+
+use crate::spec::AppPlan;
+
+/// Concrete placement of one declared array. `stride` is in 8-byte
+/// elements (equals `cols` for unpadded 1-D allocations).
+#[derive(Clone, Debug)]
+pub struct ArrayLayout {
+    pub name: String,
+    pub base: u64,
+    pub rows: usize,
+    pub cols: usize,
+    pub stride: usize,
+}
+
+impl ArrayLayout {
+    /// Byte length of the allocation.
+    pub fn bytes(&self) -> u64 {
+        (self.rows * self.stride) as u64 * crate::lower::ESIZE
+    }
+}
+
+/// The full concrete layout for one `(app, nprocs)` instantiation.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    pub page_size: u64,
+    pub nprocs: usize,
+    /// Declared arrays in allocation order, plus the reduction scratch
+    /// arrays (`__reduce_slots`, `__reduce_result`) when the plan contains
+    /// a reduction — those are allocated lazily by the homeless-protocol
+    /// reduction emulation, so the probe computes their addresses
+    /// analytically from the allocator's bump pointer.
+    pub arrays: Vec<ArrayLayout>,
+}
+
+/// Name of the emulated-reduction contribution array.
+pub const REDUCE_SLOTS: &str = "__reduce_slots";
+/// Name of the emulated-reduction result array.
+pub const REDUCE_RESULT: &str = "__reduce_result";
+
+impl Layout {
+    pub fn array(&self, name: &str) -> &ArrayLayout {
+        self.arrays
+            .iter()
+            .find(|a| a.name == name)
+            .unwrap_or_else(|| panic!("layout has no array named {name}"))
+    }
+
+    /// Page index of byte address `addr`.
+    pub fn page_of(&self, addr: u64) -> u32 {
+        (addr / self.page_size) as u32
+    }
+}
+
+/// Run `setup` against a throwaway `seq` cluster and reconcile the
+/// resulting allocation table with the plan.
+///
+/// Panics when the plan and the program disagree — an undeclared
+/// allocation, a missing one, or a shape whose row/column counts don't
+/// reproduce the allocation's byte length under the allocator's stride
+/// rule. A layout that probes cleanly is the anchor for every later
+/// claim: the analyzer's address arithmetic is the allocator's.
+pub fn probe_layout<A: DsmApp + ?Sized>(app: &mut A, plan: &AppPlan, nprocs: usize) -> Layout {
+    let mut cl = Cluster::new(RunConfig::with_nprocs(ProtocolKind::Seq, nprocs));
+    let mut ctx = cl.setup_ctx();
+    app.setup(&mut ctx);
+    let page_size = ctx.page_size() as u64;
+    let reserved = ctx.segment().reserved_bytes() as u64;
+
+    let mut arrays: Vec<ArrayLayout> = Vec::new();
+    for alloc in ctx.segment().allocs() {
+        let shape = plan.array(&alloc.name).unwrap_or_else(|| {
+            panic!(
+                "{}: allocation `{}` ({} bytes) is not declared in the plan",
+                plan.app, alloc.name, alloc.bytes
+            )
+        });
+        // Reconstruct the element stride: 1-D allocations are exact,
+        // 2-D allocations use the page-friendly stride.
+        let flat = shape.rows * shape.cols * 8;
+        let padded_stride = page_friendly_stride::<f64>(shape.cols, page_size as usize);
+        let stride = if alloc.bytes == flat {
+            shape.cols
+        } else if alloc.bytes == shape.rows * padded_stride * 8 {
+            padded_stride
+        } else {
+            panic!(
+                "{}: allocation `{}` is {} bytes but the declared {}x{} shape \
+                 gives {} (flat) or {} (stride {padded_stride})",
+                plan.app,
+                alloc.name,
+                alloc.bytes,
+                shape.rows,
+                shape.cols,
+                flat,
+                shape.rows * padded_stride * 8,
+            )
+        };
+        arrays.push(ArrayLayout {
+            name: alloc.name.clone(),
+            base: alloc.base as u64,
+            rows: shape.rows,
+            cols: shape.cols,
+            stride,
+        });
+    }
+
+    for shape in &plan.arrays {
+        assert!(
+            arrays.iter().any(|a| a.name == shape.name),
+            "{}: plan declares `{}` but setup never allocated it",
+            plan.app,
+            shape.name
+        );
+    }
+
+    // The homeless protocols emulate reductions in shared memory and
+    // allocate the scratch arrays lazily at the first reduction barrier.
+    // The bump allocator is deterministic, so their placement follows
+    // directly from the post-setup reservation point.
+    let k_max = plan.phases.iter().filter_map(|p| p.reduce).max();
+    if let Some(k) = k_max {
+        // The emulation grows the slot array in place only when a later
+        // reduction is wider than every earlier one, which would move the
+        // result array. All in-tree apps use a single width; the analytic
+        // placement below relies on that.
+        assert!(
+            plan.phases.iter().filter_map(|p| p.reduce).all(|r| r == k),
+            "{}: reductions of differing widths would relocate the scratch arrays",
+            plan.app
+        );
+        let slots_len = nprocs * k;
+        let slots_bytes = (slots_len as u64) * 8;
+        let slots_pages = slots_bytes.div_ceil(page_size);
+        arrays.push(ArrayLayout {
+            name: REDUCE_SLOTS.into(),
+            base: reserved,
+            rows: 1,
+            cols: slots_len,
+            stride: slots_len,
+        });
+        arrays.push(ArrayLayout {
+            name: REDUCE_RESULT.into(),
+            base: reserved + slots_pages * page_size,
+            rows: 1,
+            cols: k,
+            stride: k,
+        });
+    }
+
+    Layout {
+        page_size,
+        nprocs,
+        arrays,
+    }
+}

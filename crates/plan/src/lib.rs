@@ -1,0 +1,45 @@
+//! dsm-plan: symbolic access plans and a static analyzer for the virtual
+//! cluster's applications.
+//!
+//! Each application declares, per barrier phase, the regions of each
+//! shared array it loads, stores, and actually modifies, as symbolic bands
+//! over `(pid, nprocs, scale)` ([`spec`]). The analyzer lowers a plan to
+//! byte spans and page footprints for a concrete `(nprocs, scale)`
+//! ([`lower`], [`layout`], [`schedule`]) and then:
+//!
+//! * proves phase-level data-race freedom ([`race`]);
+//! * predicts the steady-state per-page copysets and the exact per-barrier
+//!   update-flush traffic by running abstract transcriptions of the
+//!   protocols over the page-granularity footprints ([`protosim`]);
+//! * computes static page-conflict groups that the exploration scheduler's
+//!   dynamic conflict components must refine ([`groups`]);
+//! * emits deterministic machine-readable reports ([`report`]).
+//!
+//! The predictions are falsifiable: [`dynamic::PlanSink`] replays a real
+//! run's check-event stream against the plan, asserting dynamic accesses ⊆
+//! declared spans and observed flushes == predicted flushes.
+
+pub mod dynamic;
+pub mod groups;
+pub mod layout;
+pub mod lower;
+pub mod protosim;
+pub mod race;
+pub mod report;
+pub mod schedule;
+pub mod spec;
+
+pub use dynamic::{PlanOutcome, PlanSink};
+pub use groups::static_page_groups;
+pub use layout::{probe_layout, ArrayLayout, Layout, REDUCE_RESULT, REDUCE_SLOTS};
+pub use lower::{band, interior_band, lower_rows, SpanSet, ESIZE};
+pub use protosim::{predict, total_pages, FlushTriple, Prediction, SteadyCopysets};
+pub use race::{check_races, RaceReport, RaceWitness};
+pub use report::{analyze, render_app_report, render_report, AppAnalysis};
+pub use schedule::{
+    build_schedule, epoch_touches, lower_epoch, EpochAccess, EpochKind, EpochSpec, EpochTouch,
+};
+pub use spec::{
+    AccessDecl, AccessKind, AppPlan, ArrayShape, Cols, PhasePlan, PlannedApp, RowArgs, RowFn, Rows,
+    Who,
+};

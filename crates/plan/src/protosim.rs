@@ -1,0 +1,694 @@
+//! Abstract protocol simulators: page-granularity transcriptions of the
+//! update protocols, driven by the lowered plan instead of real memory.
+//!
+//! Why this is exact (for exact plans): within an epoch the virtual
+//! cluster runs processes sequentially in pid order, protocol state is
+//! independent across pages, and the order of one process's accesses to a
+//! page never changes the resulting metadata — so a simulator that replays
+//! per-(process, page, epoch) digests `{read, written, mod_words}` in pid
+//! order reproduces the exact fault, twin, copyset, version, and home
+//! evolution of the real run, and therefore its exact per-barrier
+//! `UpdateFlush` sequence. The two simulators below are line-for-line
+//! transcriptions of `dsm_core::proto::{bar, lmw}` under that abstraction;
+//! deviations are bugs, which is precisely what the tier-1
+//! cross-validation test would catch.
+//!
+//! Supported: `bar-i`/`bar-u` (and `bar-s`, whose flush behaviour is
+//! identical to `bar-u` on exact plans — overdrive's eager twins change
+//! *when* twins are made, not what is diffed), and `lmw-u`. `lmw-i` and
+//! `seq` trivially predict zero update flushes. `bar-m` is not modeled:
+//! without per-barrier reprotection its diffs span whole overdrive phases.
+
+use dsm_sim::FastMap;
+
+use dsm_core::ProtocolKind;
+
+use crate::layout::Layout;
+use crate::schedule::{epoch_touches, lower_epoch, EpochSpec, EpochTouch};
+use crate::spec::AppPlan;
+
+/// One predicted update flush, matching the `UpdateFlush` check event:
+/// `(writer, page, copyset_bits)`.
+pub type FlushTriple = (u16, u32, u64);
+
+/// Steady-state (end-of-run) copysets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SteadyCopysets {
+    /// Invalidate protocols and `seq`: no copysets maintained.
+    None,
+    /// Home-based update protocols: one global set per page
+    /// (`(page, member_bits)`, sorted, non-empty entries only).
+    PerPage(Vec<(u32, u64)>),
+    /// `lmw-u`: per-writer sets (`(page, writer, member_bits)`, sorted,
+    /// non-empty entries only).
+    PerWriter(Vec<(u32, u16, u64)>),
+}
+
+/// The full static prediction for one `(app, protocol, nprocs, scale)`.
+#[derive(Clone, Debug)]
+pub struct Prediction {
+    pub protocol: ProtocolKind,
+    /// Sorted flush triples per barrier, in barrier order. Length equals
+    /// the number of barriers in the schedule.
+    pub flushes: Vec<Vec<FlushTriple>>,
+    /// Total update messages (one per flush triple per copyset recipient).
+    pub flush_msgs: u64,
+    /// Total flushed payload words across all update messages.
+    pub flush_words: u64,
+    pub copysets: SteadyCopysets,
+    /// Final page-to-home assignment (bar family; initial all-zero map
+    /// otherwise).
+    pub homes: Vec<u16>,
+    /// Pages whose home migrated away from process 0.
+    pub migrations: usize,
+}
+
+/// Total page count implied by a layout (the allocator's reservation
+/// high-water mark, including the lazily allocated reduction arrays).
+pub fn total_pages(lay: &Layout) -> usize {
+    lay.arrays
+        .iter()
+        .map(|a| ((a.base + a.bytes()).div_ceil(lay.page_size)) as usize)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Run the abstract simulator for `protocol` over the full schedule and
+/// return the prediction.
+///
+/// Panics on `bar-m` (not modeled) and on inexact plans (their declared
+/// mods over-approximate, so flush prediction would be unsound to trust).
+pub fn predict(
+    plan: &AppPlan,
+    lay: &Layout,
+    schedule: &[EpochSpec],
+    protocol: ProtocolKind,
+) -> Prediction {
+    assert!(
+        plan.exact,
+        "{}: flush prediction requires an exact plan",
+        plan.app
+    );
+    assert!(
+        protocol != ProtocolKind::BarM,
+        "bar-m diffs span overdrive phases and are not modeled"
+    );
+    let nbarriers = schedule.iter().filter(|e| e.barrier).count();
+    match protocol {
+        ProtocolKind::Seq | ProtocolKind::LmwI => Prediction {
+            protocol,
+            flushes: vec![Vec::new(); nbarriers],
+            flush_msgs: 0,
+            flush_words: 0,
+            copysets: SteadyCopysets::None,
+            homes: vec![0; total_pages(lay)],
+            migrations: 0,
+        },
+        ProtocolKind::LmwU => LmwSim::new(lay).run(plan, lay, schedule),
+        ProtocolKind::BarI | ProtocolKind::BarU | ProtocolKind::BarS => {
+            let update = protocol.is_update();
+            let mut p = BarSim::new(lay, update).run(plan, lay, schedule);
+            p.protocol = protocol;
+            p
+        }
+        ProtocolKind::BarM => unreachable!(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Home-based family (bar-i / bar-u / bar-s)
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+struct BarFrame {
+    readable: bool,
+    version_seen: u32,
+}
+
+struct BarSim {
+    update: bool,
+    n: usize,
+    np: usize,
+    homes: Vec<u16>,
+    versions: Vec<u32>,
+    copysets: Vec<u64>,
+    /// `pid * np + page`.
+    frames: Vec<Option<BarFrame>>,
+    /// First-iteration write tracking for the migration decision.
+    iter_writers: Vec<u64>,
+    /// `page * n + pid`: epochs in which pid write-faulted the page.
+    iter_counts: Vec<u32>,
+    migrated: bool,
+    /// Per pid: `(page, has_twin, mod_words)` in fault order.
+    dirty: Vec<Vec<(u32, bool, u32)>>,
+}
+
+impl BarSim {
+    fn new(lay: &Layout, update: bool) -> BarSim {
+        let n = lay.nprocs;
+        let np = total_pages(lay);
+        BarSim {
+            update,
+            n,
+            np,
+            homes: vec![0; np],
+            versions: vec![1; np],
+            copysets: vec![0; np],
+            frames: vec![None; n * np],
+            iter_writers: vec![0; np],
+            iter_counts: vec![0; np * n],
+            migrated: false,
+            dirty: vec![Vec::new(); n],
+        }
+    }
+
+    /// `materialize_pristine`: first touch fills from the image; validity
+    /// is "still at the initial version"; update protocols learn the
+    /// copyset member here.
+    fn materialize(&mut self, pid: usize, pg: usize) {
+        let fi = pid * self.np + pg;
+        if self.frames[fi].is_none() {
+            self.frames[fi] = Some(BarFrame {
+                readable: self.versions[pg] == 1,
+                version_seen: 1,
+            });
+            if self.update {
+                self.copysets[pg] |= 1u64 << pid;
+            }
+        }
+    }
+
+    fn epoch(&mut self, touches: &[Vec<EpochTouch>]) {
+        for (pid, tl) in touches.iter().enumerate() {
+            for t in tl {
+                let pg = t.page as usize;
+                self.materialize(pid, pg);
+                let fi = pid * self.np + pg;
+                if !self.frames[fi].expect("just materialized").readable {
+                    // bar_fetch_page: whole-page fetch from the home.
+                    let home = self.homes[pg] as usize;
+                    debug_assert_ne!(home, pid, "home copy must always be current");
+                    self.materialize(home, pg);
+                    debug_assert!(self.frames[home * self.np + pg].expect("present").readable);
+                    let f = self.frames[fi].as_mut().expect("present");
+                    f.readable = true;
+                    f.version_seen = self.versions[pg];
+                    if self.update {
+                        self.copysets[pg] |= 1u64 << pid;
+                    }
+                }
+                if t.written {
+                    // bar_fault write path: twin decision at fault time.
+                    let home = self.homes[pg] as usize;
+                    let others = self.copysets[pg] & !(1u64 << pid);
+                    let has_twin = pid != home || (self.update && others != 0);
+                    self.dirty[pid].push((t.page, has_twin, t.mod_words));
+                    if !self.migrated {
+                        self.iter_writers[pg] |= 1u64 << pid;
+                        self.iter_counts[pg * self.n + pid] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `bar_pre_barrier` + `bar_post_release` for every process, canonical
+    /// arrival order. Returns the barrier's flush triples plus traffic.
+    fn barrier(&mut self, flush_msgs: &mut u64, flush_words: &mut u64) -> Vec<FlushTriple> {
+        let mut flushes: Vec<FlushTriple> = Vec::new();
+        // The version ledger extends same-page entries: (old, new) per page.
+        let mut bumps: Vec<(u32, u32, u32)> = Vec::new();
+        let mut bump_idx: FastMap<u32, usize> = FastMap::default();
+        let mut my_contrib: FastMap<(u16, u32), u32> = FastMap::default();
+        let mut delivered: FastMap<(u16, u32), u32> = FastMap::default();
+        for pid in 0..self.n {
+            let dirty = core::mem::take(&mut self.dirty[pid]);
+            for (page, has_twin, mod_words) in dirty {
+                let pg = page as usize;
+                let home = self.homes[pg] as usize;
+                let others = self.copysets[pg] & !(1u64 << pid);
+                let use_diff = has_twin && (pid != home || (self.update && others != 0));
+                let mut bump = |s: &mut BarSim| {
+                    s.versions[pg] += 1;
+                    if let Some(&i) = bump_idx.get(&page) {
+                        bumps[i].2 = s.versions[pg];
+                    } else {
+                        bump_idx.insert(page, bumps.len());
+                        bumps.push((page, s.versions[pg] - 1, s.versions[pg]));
+                    }
+                    *my_contrib.entry((pid as u16, page)).or_insert(0) += 1;
+                };
+                if use_diff {
+                    if mod_words == 0 {
+                        // Empty diff: twin dropped, nothing else happens.
+                        continue;
+                    }
+                    bump(self);
+                    if self.update {
+                        flushes.push((pid as u16, page, self.copysets[pg]));
+                        let mut m = others;
+                        while m != 0 {
+                            let q = m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            if q != home {
+                                *delivered.entry((q as u16, page)).or_insert(0) += 1;
+                                *flush_msgs += 1;
+                                *flush_words += u64::from(mod_words);
+                            }
+                        }
+                    }
+                } else {
+                    // Home wrote with no consumers needing a diff: version
+                    // bump only — even when every store was silent.
+                    debug_assert_eq!(pid, home, "non-home dirty pages always have twins");
+                    bump(self);
+                }
+            }
+        }
+        // Post-release, per process.
+        for pid in 0..self.n {
+            for &(page, old, new) in &bumps {
+                let pg = page as usize;
+                if self.homes[pg] as usize == pid {
+                    // Home self-validation (home flushes were applied).
+                    let fi = pid * self.np + pg;
+                    if self.frames[fi].is_none() {
+                        // materialize_home_frame: always valid.
+                        self.frames[fi] = Some(BarFrame {
+                            readable: true,
+                            version_seen: 1,
+                        });
+                    }
+                    let f = self.frames[fi].as_mut().expect("present");
+                    f.readable = true;
+                    f.version_seen = new;
+                } else {
+                    let fi = pid * self.np + pg;
+                    let rcv = delivered.get(&(pid as u16, page)).copied().unwrap_or(0);
+                    let mine = my_contrib.get(&(pid as u16, page)).copied().unwrap_or(0);
+                    let expected = (new - old) - mine;
+                    if let Some(f) = self.frames[fi].as_mut() {
+                        if f.readable && f.version_seen == old && rcv == expected {
+                            f.version_seen = new;
+                        } else if f.readable && f.version_seen < new {
+                            f.readable = false;
+                        }
+                    }
+                }
+            }
+        }
+        flushes.sort_unstable();
+        flushes
+    }
+
+    /// `bar_migrate`: first-iteration decision, heaviest writer wins, ties
+    /// to the lowest pid, pages already written by their home stay put.
+    fn migrate(&mut self) {
+        self.migrated = true;
+        for pg in 0..self.np {
+            let writers = self.iter_writers[pg];
+            let old_home = self.homes[pg] as usize;
+            if writers == 0 || writers & (1u64 << old_home) != 0 {
+                continue;
+            }
+            let mut best = 0usize;
+            let mut best_c = 0u32;
+            for pid in 0..self.n {
+                let c = self.iter_counts[pg * self.n + pid];
+                if c > best_c {
+                    best_c = c;
+                    best = pid;
+                }
+            }
+            // Old home keeps a (now possibly stale) copy.
+            let ofi = old_home * self.np + pg;
+            if self.frames[ofi].is_none() {
+                self.frames[ofi] = Some(BarFrame {
+                    readable: true,
+                    version_seen: 1,
+                });
+            }
+            // New home receives the current content.
+            let nfi = best * self.np + pg;
+            let v = self.versions[pg];
+            match self.frames[nfi].as_mut() {
+                Some(f) => {
+                    f.readable = true;
+                    f.version_seen = v;
+                }
+                None => {
+                    self.frames[nfi] = Some(BarFrame {
+                        readable: true,
+                        version_seen: v,
+                    });
+                }
+            }
+            self.homes[pg] = best as u16;
+        }
+    }
+
+    fn run(mut self, plan: &AppPlan, lay: &Layout, schedule: &[EpochSpec]) -> Prediction {
+        let mut flushes = Vec::new();
+        let (mut flush_msgs, mut flush_words) = (0u64, 0u64);
+        for spec in schedule {
+            let touches: Vec<Vec<EpochTouch>> = (0..self.n)
+                .map(|pid| epoch_touches(&lower_epoch(plan, lay, spec, pid), lay.page_size))
+                .collect();
+            self.epoch(&touches);
+            if spec.barrier {
+                flushes.push(self.barrier(&mut flush_msgs, &mut flush_words));
+            }
+            if spec.migrate_after {
+                self.migrate();
+            }
+        }
+        let copysets = if self.update {
+            SteadyCopysets::PerPage(
+                self.copysets
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &b)| b != 0)
+                    .map(|(pg, &b)| (pg as u32, b))
+                    .collect(),
+            )
+        } else {
+            SteadyCopysets::None
+        };
+        let migrations = self.homes.iter().filter(|&&h| h != 0).count();
+        Prediction {
+            protocol: if self.update {
+                ProtocolKind::BarU
+            } else {
+                ProtocolKind::BarI
+            },
+            flushes,
+            flush_msgs,
+            flush_words,
+            copysets,
+            homes: self.homes,
+            migrations,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Homeless hybrid (lmw-u)
+// ---------------------------------------------------------------------
+
+/// An update segment `(writer, lo_epoch, hi_epoch)` filed at a consumer.
+type ArrivedSeg = (u16, u64, u64);
+/// A retained sealed segment `(lo_epoch, hi_epoch, diff_words)`.
+type SealedSeg = (u64, u64, u64);
+
+#[derive(Clone, Copy)]
+struct LmwFrame {
+    readable: bool,
+    /// `applied_through`: the all-writers floor raised by full fetches.
+    floor: u64,
+}
+
+struct LmwSim {
+    n: usize,
+    np: usize,
+    epoch: u64,
+    last_write_epoch: Vec<u64>,
+    last_writer: Vec<u16>,
+    /// `pid * np + page`.
+    frames: Vec<Option<LmwFrame>>,
+    /// Per consumer: highest segment `hi` applied, keyed `(pid, page, writer)`.
+    applied: FastMap<(u16, u32, u16), u64>,
+    /// Per consumer: recorded, unconsumed notices `(writer, epoch)`.
+    known: Vec<FastMap<u32, Vec<(u16, u64)>>>,
+    /// Per consumer: arrived update segments `(writer, lo, hi)`.
+    pending_updates: Vec<FastMap<u32, Vec<ArrivedSeg>>>,
+    /// Per writer: open accumulation `(lo, hi, acc_mod_words)` — exists
+    /// iff the twin exists.
+    pending: Vec<FastMap<u32, (u64, u64, u64)>>,
+    /// Per writer: retained sealed segments `(lo, hi, words)`.
+    segments: Vec<FastMap<u32, Vec<SealedSeg>>>,
+    /// Per writer: its copyset per page.
+    copysets: Vec<FastMap<u32, u64>>,
+    /// Per pid: pages write-faulted this epoch.
+    dirty: Vec<Vec<u32>>,
+}
+
+impl LmwSim {
+    fn new(lay: &Layout) -> LmwSim {
+        let n = lay.nprocs;
+        let np = total_pages(lay);
+        LmwSim {
+            n,
+            np,
+            epoch: 1,
+            last_write_epoch: vec![0; np],
+            last_writer: vec![0; np],
+            frames: vec![None; n * np],
+            applied: FastMap::default(),
+            known: vec![FastMap::default(); n],
+            pending_updates: vec![FastMap::default(); n],
+            pending: vec![FastMap::default(); n],
+            segments: vec![FastMap::default(); n],
+            copysets: vec![FastMap::default(); n],
+            dirty: vec![Vec::new(); n],
+        }
+    }
+
+    /// `lmw_seal`: close `writer`'s open accumulation for `page`. Empty
+    /// diffs leave no segment but still consume the twin.
+    fn seal(&mut self, writer: usize, page: u32) {
+        if let Some((lo, hi, words)) = self.pending[writer].remove(&page) {
+            if words > 0 {
+                self.segments[writer]
+                    .entry(page)
+                    .or_default()
+                    .push((lo, hi, words));
+            }
+        }
+    }
+
+    /// `lmw_validate`: consume notices, apply stored updates, fetch what
+    /// remains uncovered (with serve-time sealing), leave the frame
+    /// readable.
+    fn validate(&mut self, pid: usize, page: u32) {
+        let pg = page as usize;
+        let fi = pid * self.np + pg;
+        let floor = self.frames[fi].map_or(0, |f| f.floor);
+        let notices = self.known[pid].remove(&page).unwrap_or_default();
+        let applied_w = |s: &LmwSim, w: u16| -> u64 {
+            s.applied
+                .get(&(pid as u16, page, w))
+                .copied()
+                .unwrap_or(0)
+                .max(floor)
+        };
+        if notices.is_empty() {
+            // Cold fault: full copy from the last writer.
+            let writer = self.last_writer[pg] as usize;
+            if writer == pid || self.last_write_epoch[pg] == 0 {
+                self.frames[fi].as_mut().expect("frame present").readable = true;
+                return;
+            }
+            if !self.frames[writer * self.np + pg].is_some_and(|f| f.readable) {
+                self.validate(writer, page);
+            }
+            let lwe = self.last_write_epoch[pg];
+            let f = self.frames[fi].as_mut().expect("frame present");
+            f.readable = true;
+            f.floor = f.floor.max(lwe);
+            *self.copysets[writer].entry(page).or_insert(0) |= 1u64 << pid;
+            return;
+        }
+        // Stored updates first.
+        let stored = self.pending_updates[pid].remove(&page).unwrap_or_default();
+        let mut covered: FastMap<u16, Vec<(u64, u64)>> = FastMap::default();
+        let mut to_apply: Vec<(u16, u64, u64)> = Vec::new();
+        for (w, lo, hi) in stored {
+            if hi > applied_w(self, w) {
+                covered.entry(w).or_default().push((lo, hi));
+                to_apply.push((w, lo, hi));
+            }
+        }
+        // Writers whose notices the stored updates don't cover.
+        let mut fetch_writers: Vec<u16> = notices
+            .iter()
+            .filter(|&&(w, e)| {
+                e > applied_w(self, w)
+                    && !covered
+                        .get(&w)
+                        .is_some_and(|v| v.iter().any(|&(lo, hi)| lo <= e && e <= hi))
+            })
+            .map(|&(w, _)| w)
+            .collect();
+        fetch_writers.sort_unstable();
+        fetch_writers.dedup();
+        for w in fetch_writers {
+            let wu = w as usize;
+            // Serve-time seal: the fetch closes the writer's open
+            // accumulation so the reply carries everything so far.
+            self.seal(wu, page);
+            let since = applied_w(self, w);
+            if let Some(segs) = self.segments[wu].get(&page) {
+                for &(lo, hi, _) in segs {
+                    if hi > since && !to_apply.contains(&(w, lo, hi)) {
+                        to_apply.push((w, lo, hi));
+                    }
+                }
+            }
+            *self.copysets[wu].entry(page).or_insert(0) |= 1u64 << pid;
+        }
+        for (w, _, hi) in to_apply {
+            let k = (pid as u16, page, w);
+            let cur = self.applied.get(&k).copied().unwrap_or(0);
+            if hi > cur {
+                self.applied.insert(k, hi);
+            }
+        }
+        self.frames[fi].as_mut().expect("frame present").readable = true;
+    }
+
+    fn epoch_step(&mut self, touches: &[Vec<EpochTouch>]) {
+        for (pid, tl) in touches.iter().enumerate() {
+            for t in tl {
+                let pg = t.page as usize;
+                let fi = pid * self.np + pg;
+                if self.frames[fi].is_none() {
+                    self.frames[fi] = Some(LmwFrame {
+                        readable: self.last_write_epoch[pg] == 0,
+                        floor: 0,
+                    });
+                }
+                if !self.frames[fi].expect("present").readable {
+                    self.validate(pid, t.page);
+                }
+                if t.written {
+                    let e = self.epoch;
+                    let entry = self.pending[pid].entry(t.page).or_insert((e, e, 0));
+                    entry.1 = e;
+                    entry.2 += u64::from(t.mod_words);
+                    self.dirty[pid].push(t.page);
+                }
+            }
+        }
+    }
+
+    fn barrier(&mut self, flush_msgs: &mut u64, flush_words: &mut u64) -> Vec<FlushTriple> {
+        let mut flushes: Vec<FlushTriple> = Vec::new();
+        // (epoch, page, writer) — all notices carry the current epoch, so
+        // merged order is (page, writer).
+        let mut notices: Vec<(u32, u16)> = Vec::new();
+        // Updates staged for delivery: (consumer, page, writer, lo, hi).
+        let mut staged: Vec<(u16, u32, u16, u64, u64)> = Vec::new();
+        for pid in 0..self.n {
+            let dirty = core::mem::take(&mut self.dirty[pid]);
+            for page in dirty {
+                let cs = self.copysets[pid].get(&page).copied().unwrap_or(0);
+                let others = cs & !(1u64 << pid);
+                if others != 0 {
+                    self.seal(pid, page);
+                    let seg = self.segments[pid]
+                        .get(&page)
+                        .and_then(|v| v.last())
+                        .copied()
+                        .filter(|&(_, hi, _)| hi == self.epoch);
+                    let Some((lo, hi, words)) = seg else {
+                        // The seal produced an empty diff: no notice, no
+                        // flush.
+                        continue;
+                    };
+                    notices.push((page, pid as u16));
+                    flushes.push((pid as u16, page, cs));
+                    let mut m = others;
+                    while m != 0 {
+                        let q = m.trailing_zeros() as u16;
+                        m &= m - 1;
+                        staged.push((q, page, pid as u16, lo, hi));
+                        *flush_msgs += 1;
+                        *flush_words += words;
+                    }
+                } else {
+                    // Invalidate path: notice only, twin keeps
+                    // accumulating.
+                    notices.push((page, pid as u16));
+                }
+            }
+        }
+        notices.sort_unstable();
+        // Interval bookkeeping: the merged notices advance the page's
+        // last-writer record (ties within the epoch go to the highest
+        // writer, matching the merged sort order).
+        for &(page, writer) in &notices {
+            let pg = page as usize;
+            if self.epoch >= self.last_write_epoch[pg] {
+                self.last_write_epoch[pg] = self.epoch;
+                self.last_writer[pg] = writer;
+            }
+        }
+        // Post-release, per process.
+        for pid in 0..self.n {
+            for &(page, writer) in &notices {
+                if writer as usize == pid {
+                    continue;
+                }
+                let pg = page as usize;
+                // A foreign write seals our own accumulation for the page.
+                if self.pending[pid].contains_key(&page) {
+                    self.seal(pid, page);
+                }
+                if self.frames[pid * self.np + pg].is_some() {
+                    *self.copysets[pid].entry(page).or_insert(0) |= 1u64 << writer;
+                }
+                self.known[pid]
+                    .entry(page)
+                    .or_default()
+                    .push((writer, self.epoch));
+                if let Some(f) = self.frames[pid * self.np + pg].as_mut() {
+                    if f.readable {
+                        f.readable = false;
+                    }
+                }
+            }
+            // File the delivered updates.
+        }
+        for (q, page, w, lo, hi) in staged {
+            self.pending_updates[q as usize]
+                .entry(page)
+                .or_default()
+                .push((w, lo, hi));
+        }
+        self.epoch += 1;
+        flushes.sort_unstable();
+        flushes
+    }
+
+    fn run(mut self, plan: &AppPlan, lay: &Layout, schedule: &[EpochSpec]) -> Prediction {
+        let mut flushes = Vec::new();
+        let (mut flush_msgs, mut flush_words) = (0u64, 0u64);
+        for spec in schedule {
+            let touches: Vec<Vec<EpochTouch>> = (0..self.n)
+                .map(|pid| epoch_touches(&lower_epoch(plan, lay, spec, pid), lay.page_size))
+                .collect();
+            self.epoch_step(&touches);
+            if spec.barrier {
+                flushes.push(self.barrier(&mut flush_msgs, &mut flush_words));
+            }
+        }
+        let mut per_writer: Vec<(u32, u16, u64)> = Vec::new();
+        for (w, cs) in self.copysets.iter().enumerate() {
+            for (&page, &bits) in cs {
+                if bits != 0 {
+                    per_writer.push((page, w as u16, bits));
+                }
+            }
+        }
+        per_writer.sort_unstable();
+        Prediction {
+            protocol: ProtocolKind::LmwU,
+            flushes,
+            flush_msgs,
+            flush_words,
+            copysets: SteadyCopysets::PerWriter(per_writer),
+            homes: vec![0; self.np],
+            migrations: 0,
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Phase-level data-race freedom.
+//!
+//! The barrier programming model promises that within one epoch no
+//! process's *modifications* overlap any other process's accesses: diffs
+//! from the same epoch must be mergeable in any order (multi-writer
+//! pages), and no process may read a word while another changes it. The
+//! prover lowers every epoch of the schedule and checks, for every ordered
+//! process pair `(p, q)`, that `mods(p) ∩ (loads(q) ∪ stores(q)) = ∅` at
+//! byte granularity.
+//!
+//! Using `mods` rather than `stores` on the writer side is what makes the
+//! red-black and boundary-column kernels provable: sor bulk-stores full
+//! rows whose off-colour words are rewritten unchanged while a neighbour
+//! reads them — a benign silent store the protocols are built to tolerate
+//! (empty diff entries), not a race. The consumer side uses full `loads ∪
+//! stores`, so a genuinely changed word that anyone else touches is always
+//! flagged.
+
+use crate::layout::Layout;
+use crate::lower::SpanSet;
+use crate::schedule::{lower_epoch, EpochKind, EpochSpec};
+use crate::spec::{AccessKind, AppPlan};
+
+/// One overlap witness.
+#[derive(Clone, Debug)]
+pub struct RaceWitness {
+    pub epoch_index: usize,
+    pub iter: usize,
+    pub site: usize,
+    /// The writer whose modifications overlap.
+    pub writer: usize,
+    /// The other accessor.
+    pub other: usize,
+    /// Overlapping byte range.
+    pub lo: u64,
+    pub hi: u64,
+    /// Array containing the overlap, for the report.
+    pub array: String,
+}
+
+/// Result of the race-freedom proof over a whole schedule.
+#[derive(Clone, Debug, Default)]
+pub struct RaceReport {
+    pub epochs_checked: usize,
+    pub pairs_checked: usize,
+    pub races: Vec<RaceWitness>,
+    /// `(iter, site)` pairs whose phase declares stores but lowers to an
+    /// all-empty writer set — a degenerate decomposition (count < nprocs
+    /// everywhere) that usually means the plan or the scale is wrong.
+    pub empty_writer_phases: Vec<(usize, usize)>,
+}
+
+impl RaceReport {
+    pub fn race_free(&self) -> bool {
+        self.races.is_empty()
+    }
+}
+
+fn array_containing(lay: &Layout, addr: u64) -> String {
+    lay.arrays
+        .iter()
+        .find(|a| a.base <= addr && addr < a.base + a.bytes())
+        .map_or_else(|| format!("@{addr:#x}"), |a| a.name.clone())
+}
+
+/// Does this epoch declare any stores at all (for any process)?
+fn declares_stores(plan: &AppPlan, spec: &EpochSpec) -> bool {
+    match spec.kind {
+        EpochKind::Body => {
+            spec.slot_writes.is_some()
+                || plan.phases[spec.site]
+                    .accesses
+                    .iter()
+                    .any(|a| a.kind == AccessKind::Store)
+        }
+        EpochKind::ReduceCombine => true,
+        EpochKind::Tail => false,
+    }
+}
+
+/// Prove (or refute) phase-level race freedom for every epoch of the
+/// schedule. Also flags store-declaring epochs whose writer set lowers
+/// empty everywhere — and `debug_assert`s against them, since a plan that
+/// declares work nobody does is almost certainly mis-scoped.
+pub fn check_races(plan: &AppPlan, lay: &Layout, schedule: &[EpochSpec]) -> RaceReport {
+    let n = lay.nprocs;
+    let mut report = RaceReport::default();
+    for (ei, spec) in schedule.iter().enumerate() {
+        let lowered: Vec<(SpanSet, SpanSet, bool)> = (0..n)
+            .map(|pid| {
+                let acc = lower_epoch(plan, lay, spec, pid);
+                let touched = acc.loads.union(&acc.stores);
+                (acc.mods, touched, !acc.stores.is_empty())
+            })
+            .collect();
+        if declares_stores(plan, spec) && !lowered.iter().any(|l| l.2) {
+            // All-empty across loads AND stores is the degenerate-band
+            // signature; report per (iter, site) once.
+            if !report.empty_writer_phases.contains(&(spec.iter, spec.site)) {
+                report.empty_writer_phases.push((spec.iter, spec.site));
+            }
+        }
+        for p in 0..n {
+            if lowered[p].0.is_empty() {
+                continue;
+            }
+            for (q, (_, touched_q, _)) in lowered.iter().enumerate() {
+                if p == q {
+                    continue;
+                }
+                report.pairs_checked += 1;
+                if let Some((lo, hi)) = lowered[p].0.first_overlap(touched_q) {
+                    report.races.push(RaceWitness {
+                        epoch_index: ei,
+                        iter: spec.iter,
+                        site: spec.site,
+                        writer: p,
+                        other: q,
+                        lo,
+                        hi,
+                        array: array_containing(lay, lo),
+                    });
+                }
+            }
+        }
+        report.epochs_checked += 1;
+    }
+    debug_assert!(
+        report.empty_writer_phases.is_empty(),
+        "{}: store-declaring phases lower to an all-empty writer set: {:?}",
+        plan.app,
+        report.empty_writer_phases
+    );
+    report
+}

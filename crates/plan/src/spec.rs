@@ -1,0 +1,249 @@
+//! The symbolic plan language.
+//!
+//! An [`AppPlan`] is a declarative description of everything an application
+//! does to shared memory: per phase, which regions of which arrays each
+//! process loads, stores, and actually *modifies*, as symbolic bands over
+//! `(pid, nprocs, scale)`. The row/column vocabulary mirrors the block-row
+//! decompositions the applications use (`band` / `interior_band` in
+//! `dsm-apps`), so a plan reads like the loop header of the phase it
+//! describes.
+//!
+//! The distinction between *stores* and *mods* is load-bearing: several
+//! kernels bulk-write whole rows of which only a subset of words change
+//! value (red-black points, fixed boundary columns). Silent stores generate
+//! page traffic but empty diff entries, so the protocol analyzers work from
+//! `mods`, while dynamic containment checks work from `stores`.
+
+use std::rc::Rc;
+
+use dsm_core::DsmApp;
+
+/// Arguments available to a symbolic row expression.
+#[derive(Clone, Copy, Debug)]
+pub struct RowArgs {
+    /// Row count of the array being described.
+    pub rows: usize,
+    /// Process evaluating the plan.
+    pub pid: usize,
+    /// Cluster size.
+    pub nprocs: usize,
+    /// Iteration of the time-step loop (plans are usually
+    /// iteration-invariant; Barnes' jittered body cuts are not).
+    pub iter: usize,
+}
+
+/// An explicit row-lowering function: disjoint half-open row ranges for a
+/// concrete [`RowArgs`].
+pub type RowFn = Rc<dyn Fn(&RowArgs) -> Vec<(usize, usize)>>;
+
+/// A symbolic row expression, lowered to a set of half-open row ranges for
+/// a concrete `(pid, nprocs, iter)`.
+#[derive(Clone)]
+pub enum Rows {
+    /// Every row.
+    All,
+    /// The fixed range `[lo, hi)`.
+    Fixed(usize, usize),
+    /// This process's block band `band(rows, pid, nprocs)`.
+    Band,
+    /// This process's interior band `interior_band(rows, pid, nprocs)`
+    /// (boundary rows excluded).
+    Interior,
+    /// The block band extended by halo rows on each side, clamped to
+    /// `[0, rows)`. Empty bands stay empty.
+    InteriorHalo {
+        /// Extra rows below the interior band's `lo`.
+        before: usize,
+        /// Extra rows past the interior band's `hi`.
+        after: usize,
+    },
+    /// The block band extended by halo rows on each side with *wraparound*
+    /// (periodic boundary, as the shallow-water kernels index
+    /// `(j + n - 1) % n`). Empty bands stay empty.
+    BandHaloWrap {
+        /// Extra rows before `lo`, modulo `rows`.
+        before: usize,
+        /// Extra rows past `hi`, modulo `rows`.
+        after: usize,
+    },
+    /// Anything else: an explicit lowering function returning disjoint
+    /// half-open row ranges (sor's conditional boundary rows, Barnes'
+    /// per-iteration body cuts).
+    Custom(RowFn),
+}
+
+impl core::fmt::Debug for Rows {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Rows::All => write!(f, "All"),
+            Rows::Fixed(lo, hi) => write!(f, "Fixed({lo}, {hi})"),
+            Rows::Band => write!(f, "Band"),
+            Rows::Interior => write!(f, "Interior"),
+            Rows::InteriorHalo { before, after } => {
+                write!(f, "InteriorHalo {{ before: {before}, after: {after} }}")
+            }
+            Rows::BandHaloWrap { before, after } => {
+                write!(f, "BandHaloWrap {{ before: {before}, after: {after} }}")
+            }
+            Rows::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+/// A symbolic column expression, lowered per row.
+#[derive(Clone, Copy, Debug)]
+pub enum Cols {
+    /// Every used column (padding columns are never accessed).
+    All,
+    /// The fixed range `[lo, hi)`.
+    Range(usize, usize),
+    /// `band(count, pid, nprocs)` scaled by `scale` columns per band
+    /// element — the fft transpose reads, where a "column band" over one
+    /// axis maps to `scale` consecutive f64 columns per element.
+    ScaledBand { count: usize, scale: usize },
+    /// Columns `c` in `[lo, hi)` with `(r + c) % 2 == colour` — red-black
+    /// points (sor).
+    Parity { colour: usize, lo: usize, hi: usize },
+}
+
+/// Load or store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    Load,
+    Store,
+}
+
+/// Which processes perform the access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Who {
+    /// Every process (with its own pid substituted into the bands).
+    All,
+    /// Exactly one process (serial phases: Barnes tree build, reductions'
+    /// combine step).
+    One(usize),
+}
+
+/// One declared access: `who` applies `kind` to `rows × cols` of `array`.
+#[derive(Clone, Debug)]
+pub struct AccessDecl {
+    /// Array name, matching the allocation name used in `setup`.
+    pub array: &'static str,
+    pub kind: AccessKind,
+    pub who: Who,
+    pub rows: Rows,
+    pub cols: Cols,
+    /// For stores: the columns (over the *same* rows) whose values actually
+    /// change. `None` means every stored word may change. Ignored for
+    /// loads.
+    pub mods: Option<Cols>,
+}
+
+impl AccessDecl {
+    /// A load by every process.
+    pub fn load(array: &'static str, rows: Rows, cols: Cols) -> AccessDecl {
+        AccessDecl {
+            array,
+            kind: AccessKind::Load,
+            who: Who::All,
+            rows,
+            cols,
+            mods: None,
+        }
+    }
+
+    /// A store by every process, all stored words potentially modified.
+    pub fn store(array: &'static str, rows: Rows, cols: Cols) -> AccessDecl {
+        AccessDecl {
+            array,
+            kind: AccessKind::Store,
+            who: Who::All,
+            rows,
+            cols,
+            mods: None,
+        }
+    }
+
+    /// A store by every process with an explicit modified-column subset.
+    pub fn store_mods(array: &'static str, rows: Rows, cols: Cols, mods: Cols) -> AccessDecl {
+        AccessDecl {
+            array,
+            kind: AccessKind::Store,
+            who: Who::All,
+            rows,
+            cols,
+            mods: Some(mods),
+        }
+    }
+
+    /// Restrict this access to a single process.
+    #[must_use]
+    pub fn by(mut self, pid: usize) -> AccessDecl {
+        self.who = Who::One(pid);
+        self
+    }
+}
+
+/// One barrier phase: its shared accesses and an optional reduction.
+#[derive(Clone, Debug, Default)]
+pub struct PhasePlan {
+    pub accesses: Vec<AccessDecl>,
+    /// `Some(k)`: the phase ends in a reduction barrier carrying `k`
+    /// contributions per process. On the homeless protocols this implies
+    /// the shared-memory emulation's extra accesses and barriers.
+    pub reduce: Option<usize>,
+}
+
+impl PhasePlan {
+    pub fn new(accesses: Vec<AccessDecl>) -> PhasePlan {
+        PhasePlan {
+            accesses,
+            reduce: None,
+        }
+    }
+
+    #[must_use]
+    pub fn with_reduce(mut self, k: usize) -> PhasePlan {
+        self.reduce = Some(k);
+        self
+    }
+}
+
+/// Declared shape of one shared array (every element is 8 bytes; the apps
+/// share f64/i64 grids exclusively). 1-D arrays and scalars declare
+/// `rows = 1`.
+#[derive(Clone, Copy, Debug)]
+pub struct ArrayShape {
+    pub name: &'static str,
+    pub rows: usize,
+    pub cols: usize,
+}
+
+/// A full application plan.
+#[derive(Clone, Debug)]
+pub struct AppPlan {
+    /// Application name (matches `DsmApp::name`).
+    pub app: &'static str,
+    /// True if every declared region is *exact*: lowered loads/stores equal
+    /// the dynamic access sets and `mods` are precisely the words whose
+    /// values change. Exact plans support flush-set prediction; inexact
+    /// plans (Barnes' force cutoffs make its read sets data-dependent)
+    /// support containment and race checks only, with loads over-approximated.
+    pub exact: bool,
+    pub arrays: Vec<ArrayShape>,
+    /// One entry per barrier site, in site order.
+    pub phases: Vec<PhasePlan>,
+}
+
+impl AppPlan {
+    /// Shape of `name`, if declared.
+    pub fn array(&self, name: &str) -> Option<&ArrayShape> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+}
+
+/// An application that carries a symbolic access plan.
+pub trait PlannedApp: DsmApp {
+    /// The declarative access plan. Must be safe to call before `setup`
+    /// (the analyzer probes layout and plan on a fresh instance).
+    fn plan(&self) -> AppPlan;
+}

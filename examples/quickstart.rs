@@ -6,13 +6,13 @@
 use rdsm::core::{Cluster, ProtocolKind, ReduceOp, RunConfig};
 
 fn main() {
+    const N: usize = 64 * 1024;
     // An 8-process cluster running the paper's best protocol, bar-u.
     let cfg = RunConfig::new(ProtocolKind::BarU);
     let mut cluster = Cluster::new(cfg);
     let nprocs = cluster.nprocs();
 
     // Allocate and initialize two shared vectors.
-    const N: usize = 64 * 1024;
     let (xs, ys) = {
         let mut setup = cluster.setup_ctx();
         let xs = setup.alloc_array::<f64>("xs", N);
