@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! explore [--apps a,b,..] [--protocols lmw-u,bar-u,..] [--nprocs N]
-//!         [--iters-cap N] [--budget N] [--drop-points N] [--defers N]
-//!         [--no-por] [--no-prune] [--por-factor] [--hunt]
+//!         [--iters-cap N] [--budget N] [--drop-points N] [--dup-points N]
+//!         [--defers N] [--no-por] [--no-prune] [--por-factor] [--hunt]
 //!         [--save-trace PATH] [--replay FILE]
 //! ```
 //!
@@ -112,6 +112,9 @@ fn parse_args() -> Args {
                     "--budget" => args.budget = Some(val.parse().expect("--budget")),
                     "--drop-points" => {
                         args.bounds.max_drop_points = val.parse().expect("--drop-points");
+                    }
+                    "--dup-points" => {
+                        args.bounds.max_dup_points = val.parse().expect("--dup-points");
                     }
                     "--defers" => args.bounds.max_defers = val.parse().expect("--defers"),
                     "--save-trace" => args.save_trace = Some(val),
@@ -260,8 +263,15 @@ fn main() {
     }
 
     println!("== bounded schedule/fault-space exploration ==");
+    // The dup-points knob is printed only when enabled so the committed
+    // dup-free baselines keep their exact config line.
+    let dups = if args.bounds.max_dup_points > 0 {
+        format!(" dup-points={}", args.bounds.max_dup_points)
+    } else {
+        String::new()
+    };
     println!(
-        "config: nprocs={} iters-cap={} drop-points={} defers={} por={} prune={}",
+        "config: nprocs={} iters-cap={} drop-points={}{dups} defers={} por={} prune={}",
         args.nprocs,
         args.iters_cap,
         args.bounds.max_drop_points,

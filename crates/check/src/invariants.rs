@@ -13,7 +13,13 @@
 //! * **GC safety** (homeless family): garbage collection validates every
 //!   noticed page before discarding, so at the moment a process discards
 //!   its retained state it must hold no live (recorded but unconsumed)
-//!   write notice — a live notice names a diff that is about to vanish.
+//!   write notice — a live notice names a diff that is about to vanish;
+//! * **duplicate grounding** (lossy wire): a duplicated flush delivery must
+//!   replay a flush the writer genuinely issued this epoch, toward a
+//!   destination that flush addressed — the wire may repeat messages but
+//!   can never invent receivers or payloads. (That the repeat is *safe* is
+//!   checked by the coherence oracle: a non-idempotent double application
+//!   would surface as a stale read at the next barrier.)
 
 use dsm_sim::{FastMap, FastSet};
 
@@ -47,6 +53,11 @@ pub struct InvariantState {
     /// (page, writer) pairs already reported for a copyset omission.
     flagged_copyset: FastSet<(u32, u16)>,
     live: Vec<LiveNotices>,
+    /// Copysets of flushes issued this epoch, per (page, writer); cleared
+    /// at every barrier release. Grounds duplicate deliveries.
+    flushed_this_epoch: FastMap<(u32, u16), u64>,
+    /// (page, writer, dst) triples already reported as ungrounded dups.
+    flagged_dup: FastSet<(u32, u16, u16)>,
 }
 
 impl InvariantState {
@@ -60,6 +71,8 @@ impl InvariantState {
             per_page_fetchers: FastMap::default(),
             flagged_copyset: FastSet::default(),
             live: vec![LiveNotices::default(); nprocs],
+            flushed_this_epoch: FastMap::default(),
+            flagged_dup: FastSet::default(),
         }
     }
 
@@ -114,6 +127,36 @@ impl InvariantState {
                 missing,
             });
         }
+        *self
+            .flushed_this_epoch
+            .entry((page, writer as u16))
+            .or_insert(0) |= copyset;
+    }
+
+    /// A duplicated flush delivery: the wire handed `dst` a second copy of
+    /// `writer`'s update of `page`. Legal only if that flush really
+    /// happened this epoch and addressed `dst`.
+    pub fn on_dup_delivery(
+        &mut self,
+        writer: usize,
+        page: u32,
+        dst: usize,
+        out: &mut Vec<Violation>,
+    ) {
+        let cs = self
+            .flushed_this_epoch
+            .get(&(page, writer as u16))
+            .copied()
+            .unwrap_or(0);
+        if cs & (1u64 << dst) == 0 && self.flagged_dup.insert((page, writer as u16, dst as u16)) {
+            out.push(Violation::UngroundedDup { page, writer, dst });
+        }
+    }
+
+    /// Barrier release: in-flight flushes of the closing epoch are all
+    /// applied, so any later duplicate must replay a *new* flush.
+    pub fn on_barrier_release(&mut self) {
+        self.flushed_this_epoch.clear();
     }
 
     pub fn on_notice_record(&mut self, pid: usize, page: u32, writer: u16, epoch: u64) {
@@ -254,6 +297,38 @@ mod tests {
         ));
         // State cleared after report.
         assert!(take(|v| inv.on_gc_discard(1, v)).is_empty());
+    }
+
+    #[test]
+    fn grounded_dup_is_clean() {
+        let mut inv = InvariantState::new(4, CopysetRule::PerPage);
+        inv.on_fetch(2, 0, 7);
+        assert!(take(|v| inv.on_update_flush(0, 7, 0b0100, v)).is_empty());
+        assert!(take(|v| inv.on_dup_delivery(0, 7, 2, v)).is_empty());
+    }
+
+    #[test]
+    fn ungrounded_dup_flagged_once() {
+        let mut inv = InvariantState::new(4, CopysetRule::PerPage);
+        let v = take(|v| inv.on_dup_delivery(1, 7, 2, v));
+        assert!(matches!(
+            v[0],
+            Violation::UngroundedDup {
+                page: 7,
+                writer: 1,
+                dst: 2
+            }
+        ));
+        assert!(take(|v| inv.on_dup_delivery(1, 7, 2, v)).is_empty());
+    }
+
+    #[test]
+    fn dup_after_barrier_is_ungrounded() {
+        let mut inv = InvariantState::new(4, CopysetRule::PerPage);
+        assert!(take(|v| inv.on_update_flush(0, 7, 0b0100, v)).is_empty());
+        inv.on_barrier_release();
+        let v = take(|v| inv.on_dup_delivery(0, 7, 2, v));
+        assert_eq!(v.len(), 1);
     }
 
     #[test]

@@ -125,6 +125,7 @@ impl CheckState {
                 report.barriers += 1;
                 report.hb_edges += race.barrier();
                 oracle.barrier_release();
+                inv.on_barrier_release();
                 *cur_epoch = epoch + 1;
             }
             CheckEvent::Reduction { .. } => {
@@ -167,6 +168,14 @@ impl CheckState {
             CheckEvent::GcDiscard { pid, .. } => {
                 report.gc_discards += 1;
                 inv.on_gc_discard(pid, &mut found);
+            }
+            CheckEvent::DupDelivery { writer, page, dst } => {
+                report.dup_deliveries += 1;
+                inv.on_dup_delivery(writer, page, dst, &mut found);
+            }
+            CheckEvent::WireRetransmit { attempts, .. } => {
+                report.wire_retransmits += 1;
+                report.wire_extra_attempts += u64::from(attempts.saturating_sub(1));
             }
         }
         for v in found {

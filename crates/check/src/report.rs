@@ -68,6 +68,13 @@ pub enum Violation {
         writer: u16,
         epoch: u64,
     },
+    /// A duplicated delivery with no matching flush this epoch: the wire
+    /// claimed to repeat a message `writer` never sent toward `dst`.
+    UngroundedDup {
+        page: u32,
+        writer: usize,
+        dst: usize,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -117,6 +124,10 @@ impl fmt::Display for Violation {
                 f,
                 "GC discarded state while p{pid} held a live notice for page {page} (writer p{writer}, epoch {epoch})"
             ),
+            Violation::UngroundedDup { page, writer, dst } => write!(
+                f,
+                "duplicate delivery of page {page} from p{writer} to p{dst} matches no flush this epoch"
+            ),
         }
     }
 }
@@ -137,6 +148,13 @@ pub struct CheckReport {
     pub notices_recorded: u64,
     pub notices_consumed: u64,
     pub gc_discards: u64,
+    /// Duplicated flush deliveries observed (lossy wire only; zero on a
+    /// faultless run).
+    pub dup_deliveries: u64,
+    /// Reliable messages that needed more than one transmission.
+    pub wire_retransmits: u64,
+    /// Total extra transmissions across all retried messages.
+    pub wire_extra_attempts: u64,
     /// Happens-before edges induced by barriers (arrive + release fan-in/out).
     pub hb_edges: u64,
     /// 8-byte words with shadow state (allocated shadow pages × words/page).
@@ -200,6 +218,15 @@ impl CheckReport {
             "hb edges {}, words shadowed {}",
             self.hb_edges, self.words_shadowed
         );
+        // Wire-fault telemetry is only printed when faults actually fired,
+        // so faultless baselines are byte-identical to the pre-wire format.
+        if self.wire_retransmits > 0 || self.dup_deliveries > 0 {
+            let _ = writeln!(
+                s,
+                "wire: {} retransmitted msgs (+{} extra attempts), {} duplicated flushes",
+                self.wire_retransmits, self.wire_extra_attempts, self.dup_deliveries
+            );
+        }
         if self.is_clean() {
             let _ = writeln!(s, "violations: none");
         } else {

@@ -1,0 +1,86 @@
+//! At-least-once delivery is safe: a wire that duplicates *every*
+//! droppable update flush must leave the computation's result untouched
+//! and every oracle clean. `lmw-u` re-applies the identical absolute-value
+//! segment (idempotent by construction); the home-based update family
+//! notices the unexpected extra delivery in self-validation and falls back
+//! to invalidation — slower, never wrong.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dsm_apps::{app_by_name, Scale};
+use dsm_check::Checker;
+use dsm_core::{run_app, run_app_scheduled, ProtocolKind, RunConfig};
+use dsm_sim::Scheduler;
+
+/// Duplicates every droppable flush and never drops anything.
+struct DuplicateEverything;
+
+impl Scheduler for DuplicateEverything {
+    fn flush_drop(&mut self, _src: usize, _dst: usize, _prob: f64) -> bool {
+        false
+    }
+
+    fn flush_duplicate(&mut self, _src: usize, _dst: usize, _prob: f64) -> bool {
+        true
+    }
+}
+
+#[test]
+fn duplicated_update_flushes_are_idempotent() {
+    for protocol in [ProtocolKind::LmwU, ProtocolKind::BarU, ProtocolKind::BarS] {
+        let spec = app_by_name("jacobi").expect("registry app");
+        let cfg = RunConfig::with_nprocs(protocol, 4);
+        let plain = run_app(spec.build(Scale::Small).as_mut(), cfg.clone());
+
+        let checker = Checker::new(&cfg);
+        let sched: dsm_sim::SharedScheduler = Rc::new(RefCell::new(DuplicateEverything));
+        let run = run_app_scheduled(
+            spec.build(Scale::Small).as_mut(),
+            cfg,
+            Some(checker.sink()),
+            sched,
+        );
+        let report = checker.report();
+
+        assert_eq!(
+            run.checksum,
+            plain.checksum,
+            "{}: duplicated deliveries changed the result",
+            protocol.label()
+        );
+        assert!(
+            report.is_clean(),
+            "{}: oracles must stay clean under duplication:\n{}",
+            protocol.label(),
+            report.summary()
+        );
+        assert!(
+            report.dup_deliveries > 0,
+            "{}: the forced-duplicate wire produced no duplicates",
+            protocol.label()
+        );
+    }
+}
+
+#[test]
+fn invalidate_protocols_have_nothing_to_duplicate() {
+    // Invalidate protocols send no droppable flushes, so the duplicating
+    // scheduler is inert: bit-identical run, zero dup deliveries.
+    let spec = app_by_name("jacobi").expect("registry app");
+    let cfg = RunConfig::with_nprocs(ProtocolKind::BarI, 4);
+    let plain = run_app(spec.build(Scale::Small).as_mut(), cfg.clone());
+    let checker = Checker::new(&cfg);
+    let sched: dsm_sim::SharedScheduler = Rc::new(RefCell::new(DuplicateEverything));
+    let run = run_app_scheduled(
+        spec.build(Scale::Small).as_mut(),
+        cfg,
+        Some(checker.sink()),
+        sched,
+    );
+    let report = checker.report();
+    assert_eq!(run.elapsed, plain.elapsed);
+    assert_eq!(run.checksum, plain.checksum);
+    assert_eq!(report.dup_deliveries, 0);
+    assert!(report.is_clean());
+}

@@ -67,6 +67,25 @@ pub enum CheckEvent<'a> {
     /// `pid` discarded all retained diffs/notices in a garbage collection;
     /// `retained` is the diff count dropped.
     GcDiscard { pid: usize, retained: usize },
+    /// A droppable flush was duplicated in flight: `dst` receives `writer`'s
+    /// update of `page` twice. The checker verifies the double application
+    /// is idempotent (update application must tolerate at-least-once
+    /// delivery on the lossy wire).
+    DupDelivery {
+        writer: usize,
+        page: u32,
+        dst: usize,
+    },
+    /// A reliable message from `src` to `dst` needed `attempts` (> 1)
+    /// transmissions before its ack landed. Pure wire telemetry: never
+    /// affects protocol state, but lets the oracles assert that faults
+    /// stayed below the transport (and folds into the trace hash so an
+    /// explorer cannot conflate a retried schedule with a clean one).
+    WireRetransmit {
+        src: usize,
+        dst: usize,
+        attempts: u32,
+    },
 }
 
 /// Receiver for the cluster's event stream.

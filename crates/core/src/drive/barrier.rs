@@ -150,11 +150,26 @@ impl Cluster {
         }
         let mut land = self.procs[master].clock.now();
         for (pid, payload) in payloads.iter().enumerate().skip(1) {
-            let tr = self
-                .net
-                .send(pid, master, MsgKind::BarrierArrive, payload + red_payload);
+            let sent_at = self.procs[pid].clock.now();
+            let tr = self.net.send_reliable(
+                pid,
+                master,
+                MsgKind::BarrierArrive,
+                payload + red_payload,
+                sent_at,
+            );
             self.charge(pid, Category::Os, tr.sender);
-            land = land.max(self.procs[pid].clock.now() + tr.wire);
+            land = land.max(sent_at + tr.sender + tr.wire);
+            // Retransmission overhead delays the master's release: the
+            // annex lands on the clock that ends up waiting.
+            self.procs[master].clock.note_retrans(tr.retrans_wait);
+            if tr.attempts > 1 {
+                self.emit(CheckEvent::WireRetransmit {
+                    src: pid,
+                    dst: master,
+                    attempts: tr.attempts,
+                });
+            }
             self.charge(master, Category::Sigio, tr.receiver);
         }
         self.procs[master].clock.wait_until(land);
@@ -187,11 +202,26 @@ impl Cluster {
             self.bar_deliveries.bumps.len() * BUMP_WIRE_BYTES
         } + red_payload;
         for pid in 1..n {
-            let tr = self
-                .net
-                .send(master, pid, MsgKind::BarrierRelease, release_payload);
+            let sent_at = self.procs[master].clock.now();
+            let tr = self.net.send_reliable(
+                master,
+                pid,
+                MsgKind::BarrierRelease,
+                release_payload,
+                sent_at,
+            );
             self.charge(master, Category::Os, tr.sender);
-            let deliver_at = self.procs[master].clock.now() + tr.wire;
+            let deliver_at = sent_at + tr.sender + tr.wire;
+            // A retransmitted release stalls the released process, not the
+            // master: annotate the waiter's clock.
+            self.procs[pid].clock.note_retrans(tr.retrans_wait);
+            if tr.attempts > 1 {
+                self.emit(CheckEvent::WireRetransmit {
+                    src: master,
+                    dst: pid,
+                    attempts: tr.attempts,
+                });
+            }
             self.procs[pid].clock.wait_until(deliver_at);
             self.charge(pid, Category::Os, tr.receiver);
         }

@@ -136,6 +136,7 @@ impl Cluster {
             nprocs.max(2), // a 1-proc baseline still constructs a network
             cfg.sim.costs.clone(),
             cfg.sim.flush_drop_prob,
+            cfg.sim.fault.clone(),
             Rc::clone(&sched),
         );
         Cluster {

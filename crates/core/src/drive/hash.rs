@@ -175,6 +175,18 @@ pub(crate) fn fold_event(acc: u64, ev: &CheckEvent<'_>) -> u64 {
             h.usize(pid);
             h.usize(retained);
         }
+        CheckEvent::DupDelivery { writer, page, dst } => {
+            h.byte(13);
+            h.usize(writer);
+            h.u64(u64::from(page));
+            h.usize(dst);
+        }
+        CheckEvent::WireRetransmit { src, dst, attempts } => {
+            h.byte(14);
+            h.usize(src);
+            h.usize(dst);
+            h.u64(u64::from(attempts));
+        }
     }
     h.0
 }

@@ -118,15 +118,39 @@ impl Cluster {
             "home copy must always be current"
         );
         let ps = self.page_size();
-        let req = self.net.send(pid, home, MsgKind::PageRequest, 0);
-        let rep = self.net.send(home, pid, MsgKind::PageReply, ps);
         let prep = Time::from_ns(self.cfg.sim.costs.page_prep_ns);
         let fixed = Time::from_ns(self.cfg.sim.costs.page_fault_fixed_ns);
+        let now = self.procs[pid].clock.now();
+        let req = self
+            .net
+            .send_reliable(pid, home, MsgKind::PageRequest, 0, now);
+        let rep =
+            self.net
+                .send_reliable(home, pid, MsgKind::PageReply, ps, now + req.total() + prep);
         self.charge(
             pid,
             Category::Wait,
             req.total() + prep + rep.total() + fixed,
         );
+        // The faulting process experiences any retransmission delay of
+        // either leg of the round trip.
+        self.procs[pid]
+            .clock
+            .note_retrans(req.retrans_wait + rep.retrans_wait);
+        if req.attempts > 1 {
+            self.emit(CheckEvent::WireRetransmit {
+                src: pid,
+                dst: home,
+                attempts: req.attempts,
+            });
+        }
+        if rep.attempts > 1 {
+            self.emit(CheckEvent::WireRetransmit {
+                src: home,
+                dst: pid,
+                attempts: rep.attempts,
+            });
+        }
         self.charge(home, Category::Sigio, req.receiver + prep + rep.sender);
         let version = self.versions[page.index()];
         {
@@ -209,10 +233,22 @@ impl Cluster {
                     self.bar_deliveries.writer_bumps.push((pid, page));
                     contributions += 1;
                     if pid != home {
-                        let tr =
-                            self.net
-                                .send(pid, home, MsgKind::DiffFlushHome, diff.wire_bytes());
+                        let sent_at = self.procs[pid].clock.now();
+                        let tr = self.net.send_reliable(
+                            pid,
+                            home,
+                            MsgKind::DiffFlushHome,
+                            diff.wire_bytes(),
+                            sent_at,
+                        );
                         self.charge(pid, Category::Os, tr.sender);
+                        if tr.attempts > 1 {
+                            self.emit(CheckEvent::WireRetransmit {
+                                src: pid,
+                                dst: home,
+                                attempts: tr.attempts,
+                            });
+                        }
                         self.bar_deliveries.home_flushes.push((
                             home,
                             page,
@@ -232,17 +268,38 @@ impl Cluster {
                             .filter(|&q| q != home)
                             .collect();
                         for q in members {
-                            let tr = self
-                                .net
-                                .send(pid, q, MsgKind::UpdateFlush, diff.wire_bytes());
-                            self.charge(pid, Category::Os, tr.sender);
-                            if tr.delivered {
+                            let out = self.net.send_flush(
+                                pid,
+                                q,
+                                MsgKind::UpdateFlush,
+                                diff.wire_bytes(),
+                            );
+                            self.charge(pid, Category::Os, out.transit.sender);
+                            if out.delivered {
                                 self.bar_deliveries.bar_updates.push((
                                     q,
                                     page,
                                     diff.clone(),
-                                    tr.receiver,
+                                    out.transit.receiver,
                                 ));
+                                if out.duplicated {
+                                    // The faulty wire delivered the flush
+                                    // twice: queue a second, identical copy.
+                                    // Self-validation sees one update too
+                                    // many and falls back to invalidation —
+                                    // slower, never wrong.
+                                    self.emit(CheckEvent::DupDelivery {
+                                        writer: pid,
+                                        page: page.0,
+                                        dst: q,
+                                    });
+                                    self.bar_deliveries.bar_updates.push((
+                                        q,
+                                        page,
+                                        diff.clone(),
+                                        out.transit.receiver,
+                                    ));
+                                }
                             }
                         }
                     }
@@ -425,8 +482,18 @@ impl Cluster {
             // Hand over the current content (the old home is current by
             // construction: all diffs were flushed to it).
             self.materialize_home_frame(old_home, page);
-            let tr = self.net.send(old_home, new_home, MsgKind::PageMigrate, ps);
+            let sent_at = self.procs[old_home].clock.now();
+            let tr = self
+                .net
+                .send_reliable(old_home, new_home, MsgKind::PageMigrate, ps, sent_at);
             self.charge(old_home, Category::Os, tr.sender);
+            if tr.attempts > 1 {
+                self.emit(CheckEvent::WireRetransmit {
+                    src: old_home,
+                    dst: new_home,
+                    attempts: tr.attempts,
+                });
+            }
             self.charge(new_home, Category::Sigio, tr.receiver);
             let version = self.versions[pg];
             {

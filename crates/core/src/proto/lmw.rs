@@ -239,9 +239,10 @@ impl Cluster {
             // The writer seals any pending accumulation on demand (lazy
             // diff creation) — served in its sigio handler.
             self.lmw_seal(writer, page, Category::Sigio);
-            let req = self
-                .net
-                .send(pid, writer, MsgKind::DiffRequest, NOTICE_WIRE_BYTES);
+            let now = self.procs[pid].clock.now();
+            let req =
+                self.net
+                    .send_reliable(pid, writer, MsgKind::DiffRequest, NOTICE_WIRE_BYTES, now);
             let since = applied_w(&self.procs[pid].lmw, w);
             let segs: Vec<Segment> = self.procs[writer]
                 .lmw
@@ -250,9 +251,32 @@ impl Cluster {
                 .map(|v| v.iter().filter(|s| s.hi > since).cloned().collect())
                 .unwrap_or_default();
             let reply_bytes: usize = segs.iter().map(|s| s.diff.wire_bytes()).sum();
-            let rep = self.net.send(writer, pid, MsgKind::DiffReply, reply_bytes);
             let prep = Time::from_ns(self.cfg.sim.costs.page_prep_ns);
+            let rep = self.net.send_reliable(
+                writer,
+                pid,
+                MsgKind::DiffReply,
+                reply_bytes,
+                now + req.total() + prep,
+            );
             self.charge(pid, Category::Wait, req.total() + prep + rep.total());
+            self.procs[pid]
+                .clock
+                .note_retrans(req.retrans_wait + rep.retrans_wait);
+            if req.attempts > 1 {
+                self.emit(CheckEvent::WireRetransmit {
+                    src: pid,
+                    dst: writer,
+                    attempts: req.attempts,
+                });
+            }
+            if rep.attempts > 1 {
+                self.emit(CheckEvent::WireRetransmit {
+                    src: writer,
+                    dst: pid,
+                    attempts: rep.attempts,
+                });
+            }
             self.charge(writer, Category::Sigio, req.receiver + prep + rep.sender);
             for s in segs {
                 // Skip duplicates of segments already covered by updates.
@@ -322,15 +346,41 @@ impl Cluster {
             page: page.0,
         });
         let ps = self.page_size();
-        let req = self.net.send(pid, writer, MsgKind::PageRequest, 0);
-        let rep = self.net.send(writer, pid, MsgKind::PageReply, ps);
         let prep = Time::from_ns(self.cfg.sim.costs.page_prep_ns);
         let fixed = Time::from_ns(self.cfg.sim.costs.page_fault_fixed_ns);
+        let now = self.procs[pid].clock.now();
+        let req = self
+            .net
+            .send_reliable(pid, writer, MsgKind::PageRequest, 0, now);
+        let rep = self.net.send_reliable(
+            writer,
+            pid,
+            MsgKind::PageReply,
+            ps,
+            now + req.total() + prep,
+        );
         self.charge(
             pid,
             Category::Wait,
             req.total() + prep + rep.total() + fixed,
         );
+        self.procs[pid]
+            .clock
+            .note_retrans(req.retrans_wait + rep.retrans_wait);
+        if req.attempts > 1 {
+            self.emit(CheckEvent::WireRetransmit {
+                src: pid,
+                dst: writer,
+                attempts: req.attempts,
+            });
+        }
+        if rep.attempts > 1 {
+            self.emit(CheckEvent::WireRetransmit {
+                src: writer,
+                dst: pid,
+                attempts: rep.attempts,
+            });
+        }
         self.charge(writer, Category::Sigio, req.receiver + prep + rep.sender);
         let epoch = self.last_write_epoch[page.index()];
         {
@@ -399,11 +449,11 @@ impl Cluster {
                 });
                 let members: Vec<usize> = cs.others(pid).collect();
                 for q in members {
-                    let tr = self
-                        .net
-                        .send(pid, q, MsgKind::UpdateFlush, seg.diff.wire_bytes());
-                    self.charge(pid, Category::Os, tr.sender);
-                    if tr.delivered {
+                    let out =
+                        self.net
+                            .send_flush(pid, q, MsgKind::UpdateFlush, seg.diff.wire_bytes());
+                    self.charge(pid, Category::Os, out.transit.sender);
+                    if out.delivered {
                         self.bar_deliveries.lmw_updates.push((
                             q,
                             page,
@@ -411,8 +461,28 @@ impl Cluster {
                             seg.lo,
                             seg.hi,
                             seg.diff.clone(),
-                            tr.receiver,
+                            out.transit.receiver,
                         ));
+                        if out.duplicated {
+                            // Duplicated in flight: the receiver applies the
+                            // same absolute-valued segment twice, which is
+                            // idempotent by construction (the oracle checks
+                            // this).
+                            self.emit(CheckEvent::DupDelivery {
+                                writer: pid,
+                                page: page.0,
+                                dst: q,
+                            });
+                            self.bar_deliveries.lmw_updates.push((
+                                q,
+                                page,
+                                pid as u16,
+                                seg.lo,
+                                seg.hi,
+                                seg.diff.clone(),
+                                out.transit.receiver,
+                            ));
+                        }
                     }
                 }
             } else {

@@ -23,9 +23,12 @@
 //!   verdicts are part of the key); a schedule reaching an
 //!   already-visited hash past the replay prefix is abandoned.
 //!
-//! Fault-space bounds: drop choice points and migration deferrals are
-//! binary and capped by budgets; beyond the budget the canonical outcome
-//! (deliver / execute now) is forced without recording a choice point.
+//! Fault-space bounds: drop choice points, duplicate-delivery choice
+//! points, and migration deferrals are binary and capped by budgets;
+//! beyond the budget the canonical outcome (deliver once / execute now)
+//! is forced without recording a choice point. The duplicate budget
+//! defaults to zero, so explorations that never ask for it enumerate
+//! exactly the pre-wire schedule space.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -53,6 +56,10 @@ pub struct Bounds {
     /// Maximum number of *branching* drop decisions per schedule; further
     /// droppable flushes are delivered unconditionally.
     pub max_drop_points: usize,
+    /// Maximum number of *branching* duplicate-delivery decisions per
+    /// schedule; zero (the default) removes duplication from the explored
+    /// fault space entirely, keeping legacy baselines byte-identical.
+    pub max_dup_points: usize,
     /// Maximum migration deferrals per schedule.
     pub max_defers: usize,
     /// Dynamic partial-order reduction on ordering choice points.
@@ -65,6 +72,7 @@ impl Default for Bounds {
     fn default() -> Bounds {
         Bounds {
             max_drop_points: 6,
+            max_dup_points: 0,
             max_defers: 2,
             por: true,
             state_prune: true,
@@ -84,6 +92,8 @@ pub struct ExploreScheduler {
     log: Vec<ChoicePoint>,
     /// Branching drop decisions taken so far.
     drop_points: usize,
+    /// Branching duplicate decisions taken so far.
+    dup_points: usize,
     /// Migration deferrals taken so far.
     defers: usize,
     /// Barriers observed so far (mixed into the visited key so identical
@@ -105,6 +115,7 @@ impl ExploreScheduler {
             prefix,
             log: Vec::new(),
             drop_points: 0,
+            dup_points: 0,
             defers: 0,
             barriers: 0,
             visited,
@@ -198,6 +209,17 @@ impl Scheduler for ExploreScheduler {
         }
         self.drop_points += 1;
         self.decide(ChoiceKind::Drop, 2) == 1
+    }
+
+    fn flush_duplicate(&mut self, _src: usize, _dst: usize, _prob: f64) -> bool {
+        // Same discipline as drops: probability-free exhaustive branching
+        // within the budget. At the default budget of zero this is pure
+        // pass-through — no branch, no choice point, no schedule growth.
+        if self.dup_points >= self.bounds.max_dup_points {
+            return false;
+        }
+        self.dup_points += 1;
+        self.decide(ChoiceKind::Duplicate, 2) == 1
     }
 
     fn choose(&mut self, kind: ChoiceKind, cands: &[Candidate]) -> usize {
@@ -298,6 +320,29 @@ mod tests {
         assert!(s.flush_drop(0, 1, 0.0));
         assert!(!s.flush_drop(0, 1, 0.0), "budget spent: forced deliver");
         assert_eq!(s.log().len(), 2, "forced decisions record no choice point");
+    }
+
+    #[test]
+    fn dup_budget_zero_is_pass_through() {
+        let mut s = ExploreScheduler::new(Bounds::default(), vec![], None);
+        assert!(!s.flush_duplicate(0, 1, 0.9));
+        assert!(
+            s.log().is_empty(),
+            "no dup budget: no choice point, baselines unchanged"
+        );
+    }
+
+    #[test]
+    fn dup_budget_branches_then_forces_single_delivery() {
+        let bounds = Bounds {
+            max_dup_points: 1,
+            ..Bounds::default()
+        };
+        let mut s = ExploreScheduler::new(bounds, vec![1], None);
+        assert!(s.flush_duplicate(0, 1, 0.0), "prefix forces the duplicate");
+        assert_eq!(s.log()[0].kind, ChoiceKind::Duplicate);
+        assert!(!s.flush_duplicate(0, 1, 0.0), "budget spent: deliver once");
+        assert_eq!(s.log().len(), 1);
     }
 
     #[test]

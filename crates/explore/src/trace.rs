@@ -42,6 +42,12 @@ impl ChoiceTrace {
         let _ = writeln!(out, "iters-cap {}", self.iters_cap);
         let _ = writeln!(out, "planted {}", self.planted.label());
         let _ = writeln!(out, "drop-points {}", self.bounds.max_drop_points);
+        if self.bounds.max_dup_points > 0 {
+            // Written only when the duplicate fault space was enabled, so
+            // traces from dup-free explorations (including every committed
+            // repro trace) keep their exact legacy bytes.
+            let _ = writeln!(out, "dup-points {}", self.bounds.max_dup_points);
+        }
         let _ = writeln!(out, "defers {}", self.bounds.max_defers);
         let _ = writeln!(out, "por {}", if self.bounds.por { "on" } else { "off" });
         let _ = writeln!(out, "choices {}", self.choices.len());
@@ -82,6 +88,7 @@ impl ChoiceTrace {
                         .ok_or_else(|| format!("unknown planted bug {val}"))?;
                 }
                 "drop-points" => bounds.max_drop_points = parse_num(key, val)?,
+                "dup-points" => bounds.max_dup_points = parse_num(key, val)?,
                 "defers" => bounds.max_defers = parse_num(key, val)?,
                 "por" => bounds.por = val == "on",
                 "choices" => {
@@ -160,6 +167,7 @@ mod tests {
             planted: PlantedBug::LmwUCoverageGap,
             bounds: Bounds {
                 max_drop_points: 5,
+                max_dup_points: 2,
                 max_defers: 1,
                 por: true,
                 state_prune: true,
@@ -183,9 +191,30 @@ mod tests {
         assert_eq!(parsed.nprocs, t.nprocs);
         assert_eq!(parsed.planted, t.planted);
         assert_eq!(parsed.bounds.max_drop_points, 5);
+        assert_eq!(parsed.bounds.max_dup_points, 2);
         assert_eq!(parsed.bounds.max_defers, 1);
         assert!(parsed.bounds.por);
         assert_eq!(parsed.choices, t.choices);
+    }
+
+    #[test]
+    fn dup_free_trace_keeps_legacy_bytes() {
+        let t = ChoiceTrace {
+            app: "regress".to_string(),
+            protocol: ProtocolKind::LmwU,
+            nprocs: 2,
+            iters_cap: 0,
+            planted: PlantedBug::None,
+            bounds: Bounds::default(),
+            choices: vec![],
+        };
+        let text = t.to_text();
+        assert!(
+            !text.contains("dup-points"),
+            "default bounds must serialize without the dup-points key"
+        );
+        let parsed = ChoiceTrace::parse(&text).unwrap();
+        assert_eq!(parsed.bounds.max_dup_points, 0, "missing key defaults to 0");
     }
 
     #[test]

@@ -179,6 +179,73 @@ fn paper_app_is_clean_under_bounded_exploration() {
 }
 
 #[test]
+fn duplicate_fault_space_stays_clean_on_regress() {
+    // With a duplicate budget the explorer branches on flush duplication
+    // too; double-applied updates must stay idempotent under the full
+    // oracle stack on every schedule.
+    let cfg = regress_cfg(PlantedBug::None);
+    let bounds = Bounds {
+        max_dup_points: 3,
+        ..Bounds::default()
+    };
+    let opts = ExploreOpts {
+        max_schedules: 3000,
+        stop_on_violation: true,
+        bounds,
+        static_groups: None,
+    };
+    let rep = explore(make_regress, &cfg, &opts);
+    assert!(
+        rep.violation.is_none(),
+        "duplicated deliveries must be idempotent: {}",
+        rep.violation
+            .as_ref()
+            .map_or(String::new(), |v| v.report.summary())
+    );
+    let baseline = explore(
+        make_regress,
+        &cfg,
+        &ExploreOpts {
+            max_schedules: 3000,
+            stop_on_violation: true,
+            bounds: Bounds::default(),
+            static_groups: None,
+        },
+    );
+    assert!(
+        rep.schedules > baseline.schedules,
+        "the dup budget must enlarge the explored fault space \
+         ({} vs {} schedules)",
+        rep.schedules,
+        baseline.schedules
+    );
+}
+
+#[test]
+fn duplicate_fault_space_stays_clean_on_jacobi() {
+    let spec = app_by_name("jacobi").expect("registry app");
+    let cfg = RunConfig::with_nprocs(ProtocolKind::LmwU, 2);
+    let opts = ExploreOpts {
+        max_schedules: 300,
+        stop_on_violation: true,
+        bounds: Bounds {
+            max_dup_points: 2,
+            ..Bounds::default()
+        },
+        static_groups: None,
+    };
+    let rep = explore(
+        || Box::new(CappedApp::new(spec.build(Scale::Small), 2)),
+        &cfg,
+        &opts,
+    );
+    assert!(
+        rep.violation.is_none(),
+        "jacobi under lmw-u must tolerate duplicated update flushes"
+    );
+}
+
+#[test]
 fn explicit_default_scheduler_matches_run_app() {
     let spec = app_by_name("jacobi").expect("registry app");
     let cfg = RunConfig::with_nprocs(ProtocolKind::BarU, 4);

@@ -3,21 +3,29 @@
 //! Plays the role of the SP-2 High-Performance Switch and CVM's UDP/IP
 //! messaging layer. The network does not buffer data — the protocol layer
 //! in `dsm-core` moves the actual bytes — but every logical message passes
-//! through [`network::Network::send`], which:
+//! through the typed send API ([`network::Network::send_reliable`] /
+//! [`network::Network::send_flush`]), which:
 //!
 //! * computes the three cost legs (sender overhead, wire, receiver
 //!   overhead) from the `dsm_sim` cost model,
 //! * classifies the message (data request / sync request / reply / flush)
 //!   and updates the statistics that become the paper's Table 1 columns,
+//! * runs reliable kinds through the [`wire`] reliability sublayer
+//!   (ack/timeout/exponential-backoff retransmission, sequence-numbered
+//!   duplicate suppression, per-channel in-order delivery under a
+//!   `dsm_sim` fault profile),
 //! * applies optional unreliable-flush loss (the paper: flushes "can be
-//!   unreliable, and therefore do not need to be acknowledged").
+//!   unreliable, and therefore do not need to be acknowledged") — and, on
+//!   a faulty wire, flush duplication.
 
 #![forbid(unsafe_code)]
 
 pub mod message;
 pub mod network;
 pub mod stats;
+pub mod wire;
 
 pub use message::{MsgCategory, MsgKind, HEADER_BYTES};
-pub use network::{Network, Transit};
+pub use network::{FlushOutcome, Network, Transit};
 pub use stats::NetStats;
+pub use wire::{FlushDelivery, ReliableDelivery, Wire, WireTuning};

@@ -4,22 +4,33 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use dsm_sim::{CostModel, DetRng, SharedScheduler, Time, VirtualTimeScheduler};
+use dsm_sim::{CostModel, DetRng, FaultProfile, SharedScheduler, Time, VirtualTimeScheduler};
 
 use crate::message::{MsgKind, HEADER_BYTES};
 use crate::stats::NetStats;
+use crate::wire::{Wire, WireTuning};
 
 /// The time legs of one message: the sender is charged `sender`, the
 /// receiving handler is charged `receiver`, and anyone synchronously waiting
 /// for the message experiences `total()`.
+///
+/// Reliable sends always produce a delivered `Transit` — the wire's
+/// reliability sublayer retransmits until the message lands, and whatever it
+/// cost is already folded into `wire` (itemized in `retrans_wait`). Only
+/// [`Network::send_flush`] can lose a message, and it says so in its
+/// [`FlushOutcome`], not here: there is no `delivered` flag for callers of
+/// reliable kinds to ignore.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Transit {
     pub sender: Time,
     pub wire: Time,
     pub receiver: Time,
-    /// False if the message was dropped by the unreliable channel (the
-    /// sender still paid `sender`; nothing arrives).
-    pub delivered: bool,
+    /// Data attempts until delivery (1 on a clean wire).
+    pub attempts: u32,
+    /// Portion of `wire` that is fault overhead (retransmission backoff,
+    /// slow paths, head-of-line blocking, slow-node stretch). Zero on a
+    /// faultless run; callers feed it to `Clock::note_retrans`.
+    pub retrans_wait: Time,
 }
 
 impl Transit {
@@ -29,8 +40,20 @@ impl Transit {
     }
 }
 
-/// The cluster interconnect: full crossbar, per-link counters, optional
-/// unreliable-flush loss.
+/// The result of a fire-and-forget flush: the legs, and what the unreliable
+/// wire did with the message. The sender has paid `transit.sender` either
+/// way (charge-then-drop); `delivered == false` means nothing arrives, and
+/// `duplicated == true` means the receiver gets the message *twice* and
+/// must treat the second copy idempotently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlushOutcome {
+    pub transit: Transit,
+    pub delivered: bool,
+    pub duplicated: bool,
+}
+
+/// The cluster interconnect: full crossbar, per-link counters, a reliability
+/// sublayer for acked kinds, and optional unreliable-flush loss.
 pub struct Network {
     nprocs: usize,
     costs: CostModel,
@@ -38,9 +61,12 @@ pub struct Network {
     /// Per (src, dst) message counts, for diagnostics and tests.
     link_msgs: Vec<u64>,
     drop_prob: f64,
-    /// Resolves the drop decision for droppable kinds. The default wraps
-    /// the RNG stream handed to [`Network::new`]; an exploration driver
-    /// swaps in its own via [`Network::set_scheduler`].
+    /// The fault-injecting transport (sequence numbers, bursts, FIFO,
+    /// retransmission timers).
+    wire: Wire,
+    /// Resolves every random decision (legacy flush drops and wire fault
+    /// draws). The default wraps the RNG stream handed to [`Network::new`];
+    /// an exploration driver swaps in its own via [`Network::set_scheduler`].
     sched: SharedScheduler,
 }
 
@@ -49,15 +75,22 @@ impl fmt::Debug for Network {
         f.debug_struct("Network")
             .field("nprocs", &self.nprocs)
             .field("drop_prob", &self.drop_prob)
+            .field("fault", self.wire.fault())
             .field("stats", &self.stats)
             .finish_non_exhaustive()
     }
 }
 
 impl Network {
-    pub fn new(nprocs: usize, costs: CostModel, drop_prob: f64, rng: DetRng) -> Network {
+    pub fn new(
+        nprocs: usize,
+        costs: CostModel,
+        drop_prob: f64,
+        fault: FaultProfile,
+        rng: DetRng,
+    ) -> Network {
         let sched = Rc::new(RefCell::new(VirtualTimeScheduler::new(rng)));
-        Network::with_scheduler(nprocs, costs, drop_prob, sched)
+        Network::with_scheduler(nprocs, costs, drop_prob, fault, sched)
     }
 
     /// Build with an explicit decision scheduler (shared with the cluster).
@@ -65,16 +98,19 @@ impl Network {
         nprocs: usize,
         costs: CostModel,
         drop_prob: f64,
+        fault: FaultProfile,
         sched: SharedScheduler,
     ) -> Network {
         assert!(nprocs >= 1);
         assert!((0.0..=1.0).contains(&drop_prob));
+        assert!(fault.validate(nprocs).is_empty(), "invalid fault profile");
         Network {
             nprocs,
             costs,
             stats: NetStats::new(),
             link_msgs: vec![0; nprocs * nprocs],
             drop_prob,
+            wire: Wire::new(nprocs, fault, WireTuning::default()),
             sched,
         }
     }
@@ -84,34 +120,101 @@ impl Network {
         self.sched = sched;
     }
 
-    /// Send a message of `kind` with `payload` bytes from `src` to `dst`.
-    ///
-    /// Records statistics and returns the cost legs; the caller applies them
-    /// to the right clocks. Unreliable kinds may be dropped when the network
-    /// is configured lossy.
-    ///
-    /// Charge-then-drop: statistics and the full cost legs — including the
-    /// sender leg — are committed *before* the drop decision. This is the
-    /// paper's semantics: flushes "can be unreliable, and therefore do not
-    /// need to be acknowledged", so the sender cannot know the message was
-    /// lost and pays its send-side cost either way. Only the `delivered`
-    /// flag (and the receiver's behaviour) differ for a dropped flush.
-    pub fn send(&mut self, src: usize, dst: usize, kind: MsgKind, payload: usize) -> Transit {
+    /// Common bookkeeping for any send: endpoint checks, Table 1 statistics,
+    /// link counters, and the faultless cost legs.
+    fn prepare(
+        &mut self,
+        src: usize,
+        dst: usize,
+        kind: MsgKind,
+        payload: usize,
+    ) -> (Time, Time, Time) {
         assert!(src < self.nprocs && dst < self.nprocs, "bad endpoint");
         assert_ne!(src, dst, "no self-messages: local work is not a message");
         self.stats.record(kind, payload);
         self.link_msgs[src * self.nprocs + dst] += 1;
-        let (sender, wire, receiver) = self.costs.msg_legs(payload + HEADER_BYTES);
-        let dropped =
-            kind.droppable() && self.sched.borrow_mut().flush_drop(src, dst, self.drop_prob);
-        if dropped {
-            self.stats.flushes_dropped += 1;
+        self.costs.msg_legs(payload + HEADER_BYTES)
+    }
+
+    /// Send a reliable message of `kind` from `src` to `dst` at the
+    /// sender's virtual instant `now`.
+    ///
+    /// Reliable kinds cannot be lost: the wire acks, times out, and
+    /// retransmits until the message lands, and the cost of doing so is
+    /// folded into the returned legs (`wire` includes backoff and
+    /// head-of-line delay; `retrans_wait` itemizes it). `now` anchors the
+    /// per-channel FIFO clamp; on a faultless wire it is ignored and the
+    /// legs are exactly the cost model's.
+    pub fn send_reliable(
+        &mut self,
+        src: usize,
+        dst: usize,
+        kind: MsgKind,
+        payload: usize,
+        now: Time,
+    ) -> Transit {
+        assert!(!kind.droppable(), "droppable kinds go through send_flush");
+        let legs = self.prepare(src, dst, kind, payload);
+        let d = self
+            .wire
+            .resolve_reliable(src, dst, legs, now, &mut *self.sched.borrow_mut());
+        if d.retransmits > 0 {
+            self.stats.retransmits += d.retransmits;
+            self.stats.retransmit_bytes += (payload + HEADER_BYTES) as u64 * d.retransmits;
+            self.stats.dups_suppressed += d.dup_suppressed;
         }
         Transit {
-            sender,
-            wire,
-            receiver,
-            delivered: !dropped,
+            sender: d.sender,
+            wire: d.wire,
+            receiver: d.receiver,
+            attempts: d.attempts,
+            retrans_wait: d.retrans_wait,
+        }
+    }
+
+    /// Send a fire-and-forget flush of `kind` (an unreliable, droppable
+    /// kind) from `src` to `dst`.
+    ///
+    /// Charge-then-drop: statistics and the full cost legs — including the
+    /// sender leg — are committed *before* the loss decision. This is the
+    /// paper's semantics: flushes "can be unreliable, and therefore do not
+    /// need to be acknowledged", so the sender cannot know the message was
+    /// lost and pays its send-side cost either way. The faulty wire may
+    /// additionally deliver the flush twice; the outcome says so and the
+    /// receiver must apply the copy idempotently.
+    pub fn send_flush(
+        &mut self,
+        src: usize,
+        dst: usize,
+        kind: MsgKind,
+        payload: usize,
+    ) -> FlushOutcome {
+        assert!(kind.droppable(), "reliable kinds go through send_reliable");
+        let legs = self.prepare(src, dst, kind, payload);
+        let mut sched = self.sched.borrow_mut();
+        // Legacy draw first (bit-identity: the only draw on a clean wire),
+        // then the fault-profile wire resolution for survivors.
+        let dropped = sched.flush_drop(src, dst, self.drop_prob);
+        let f = self.wire.resolve_flush(src, dst, legs, &mut *sched);
+        drop(sched);
+        let delivered = !dropped && !f.lost;
+        if !delivered {
+            self.stats.flushes_dropped += 1;
+        }
+        let duplicated = delivered && f.duplicated;
+        if duplicated {
+            self.stats.flushes_duplicated += 1;
+        }
+        FlushOutcome {
+            transit: Transit {
+                sender: f.sender,
+                wire: f.wire,
+                receiver: f.receiver,
+                attempts: 1,
+                retrans_wait: Time::ZERO,
+            },
+            delivered,
+            duplicated,
         }
     }
 
@@ -126,6 +229,8 @@ impl Network {
     }
 
     /// Clear the statistics window (used to exclude warmup, like the paper).
+    /// Wire channel state (sequence numbers, FIFO clamps) is
+    /// connection-lifetime and survives the reset.
     pub fn reset_stats(&mut self) {
         self.stats = NetStats::new();
         self.link_msgs.iter_mut().for_each(|c| *c = 0);
@@ -138,6 +243,11 @@ impl Network {
     pub fn costs(&self) -> &CostModel {
         &self.costs
     }
+
+    /// The transport's fault profile.
+    pub fn fault(&self) -> &FaultProfile {
+        self.wire.fault()
+    }
 }
 
 #[cfg(test)]
@@ -145,14 +255,24 @@ mod tests {
     use super::*;
 
     fn net(drop: f64) -> Network {
-        Network::new(4, CostModel::default(), drop, DetRng::new(1))
+        Network::new(
+            4,
+            CostModel::default(),
+            drop,
+            FaultProfile::none(),
+            DetRng::new(1),
+        )
+    }
+
+    fn faulty(fault: FaultProfile) -> Network {
+        Network::new(4, CostModel::default(), 0.0, fault, DetRng::new(1))
     }
 
     #[test]
     fn send_records_stats_and_links() {
         let mut n = net(0.0);
-        n.send(0, 1, MsgKind::PageRequest, 0);
-        n.send(1, 0, MsgKind::PageReply, 8192);
+        n.send_reliable(0, 1, MsgKind::PageRequest, 0, Time::ZERO);
+        n.send_reliable(1, 0, MsgKind::PageReply, 8192, Time::ZERO);
         assert_eq!(n.stats().msgs_of(MsgKind::PageRequest), 1);
         assert_eq!(n.stats().bytes_of(MsgKind::PageReply), 8192);
         assert_eq!(n.link_count(0, 1), 1);
@@ -163,13 +283,19 @@ mod tests {
     #[test]
     fn transit_legs_match_cost_model() {
         let mut n = net(0.0);
-        let t = n.send(0, 1, MsgKind::UpdateFlush, 100);
+        let out = n.send_flush(0, 1, MsgKind::UpdateFlush, 100);
         let (s, w, r) = CostModel::default().msg_legs(100 + HEADER_BYTES);
+        let t = out.transit;
         assert_eq!(t.sender, s);
         assert_eq!(t.wire, w);
         assert_eq!(t.receiver, r);
         assert_eq!(t.total(), s + w + r);
-        assert!(t.delivered);
+        assert!(out.delivered);
+        assert!(!out.duplicated);
+        let t = n.send_reliable(0, 1, MsgKind::DiffRequest, 100, Time::ZERO);
+        assert_eq!((t.sender, t.wire, t.receiver), (s, w, r));
+        assert_eq!(t.attempts, 1);
+        assert_eq!(t.retrans_wait, Time::ZERO);
     }
 
     #[test]
@@ -184,19 +310,33 @@ mod tests {
     #[test]
     #[should_panic(expected = "no self-messages")]
     fn self_send_rejected() {
-        net(0.0).send(2, 2, MsgKind::UpdateFlush, 0);
+        net(0.0).send_flush(2, 2, MsgKind::UpdateFlush, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "droppable kinds go through send_flush")]
+    fn reliable_api_rejects_droppable_kinds() {
+        net(0.0).send_reliable(0, 1, MsgKind::UpdateFlush, 0, Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "reliable kinds go through send_reliable")]
+    fn flush_api_rejects_reliable_kinds() {
+        net(0.0).send_flush(0, 1, MsgKind::PageRequest, 0);
     }
 
     #[test]
     fn lossy_network_drops_only_flushes() {
         let mut n = net(1.0);
-        let t = n.send(0, 1, MsgKind::UpdateFlush, 10);
-        assert!(!t.delivered);
+        let out = n.send_flush(0, 1, MsgKind::UpdateFlush, 10);
+        assert!(!out.delivered);
+        assert!(!out.duplicated, "a lost flush cannot be duplicated");
         assert_eq!(n.stats().flushes_dropped, 1);
-        let t = n.send(0, 1, MsgKind::PageRequest, 0);
-        assert!(t.delivered, "reliable kinds never drop");
-        let t = n.send(0, 1, MsgKind::DiffFlushHome, 10);
-        assert!(t.delivered, "home flushes are reliable");
+        // Reliable kinds don't even expose a drop: the type says delivered.
+        let t = n.send_reliable(0, 1, MsgKind::PageRequest, 0, Time::ZERO);
+        assert_eq!(t.attempts, 1, "drop_prob does not touch reliable kinds");
+        let t = n.send_reliable(0, 1, MsgKind::DiffFlushHome, 10, Time::ZERO);
+        assert_eq!(t.attempts, 1, "home flushes are reliable");
     }
 
     #[test]
@@ -207,10 +347,11 @@ mod tests {
         // drop counter) differ.
         let mut lossy = net(1.0);
         let mut clean = net(0.0);
-        let t_drop = lossy.send(0, 1, MsgKind::UpdateFlush, 256);
-        let t_ok = clean.send(0, 1, MsgKind::UpdateFlush, 256);
-        assert!(!t_drop.delivered);
-        assert!(t_ok.delivered);
+        let out_drop = lossy.send_flush(0, 1, MsgKind::UpdateFlush, 256);
+        let out_ok = clean.send_flush(0, 1, MsgKind::UpdateFlush, 256);
+        assert!(!out_drop.delivered);
+        assert!(out_ok.delivered);
+        let (t_drop, t_ok) = (out_drop.transit, out_ok.transit);
         assert_eq!(t_drop.sender, t_ok.sender, "sender leg charged either way");
         assert_eq!(t_drop.wire, t_ok.wire);
         assert_eq!(t_drop.receiver, t_ok.receiver);
@@ -238,19 +379,26 @@ mod tests {
             }
         }
         let sched: dsm_sim::SharedScheduler = Rc::new(RefCell::new(EveryOther(0)));
-        let mut n = Network::with_scheduler(2, CostModel::default(), 0.0, sched);
-        assert!(n.send(0, 1, MsgKind::UpdateFlush, 8).delivered);
-        assert!(!n.send(0, 1, MsgKind::UpdateFlush, 8).delivered);
-        assert!(n.send(0, 1, MsgKind::UpdateFlush, 8).delivered);
+        let mut n =
+            Network::with_scheduler(2, CostModel::default(), 0.0, FaultProfile::none(), sched);
+        assert!(n.send_flush(0, 1, MsgKind::UpdateFlush, 8).delivered);
+        assert!(!n.send_flush(0, 1, MsgKind::UpdateFlush, 8).delivered);
+        assert!(n.send_flush(0, 1, MsgKind::UpdateFlush, 8).delivered);
         assert_eq!(n.stats().flushes_dropped, 1);
     }
 
     #[test]
     fn partial_loss_is_deterministic_per_seed() {
         let run = |seed| {
-            let mut n = Network::new(2, CostModel::default(), 0.5, DetRng::new(seed));
+            let mut n = Network::new(
+                2,
+                CostModel::default(),
+                0.5,
+                FaultProfile::none(),
+                DetRng::new(seed),
+            );
             (0..100)
-                .map(|_| n.send(0, 1, MsgKind::UpdateFlush, 8).delivered)
+                .map(|_| n.send_flush(0, 1, MsgKind::UpdateFlush, 8).delivered)
                 .collect::<Vec<bool>>()
         };
         assert_eq!(run(7), run(7));
@@ -260,9 +408,42 @@ mod tests {
     }
 
     #[test]
+    fn faulty_wire_counts_retransmits() {
+        let mut n = faulty(FaultProfile {
+            loss: 0.5,
+            ..FaultProfile::none()
+        });
+        let mut total_wait = Time::ZERO;
+        for i in 0..50 {
+            let t = n.send_reliable(0, 1, MsgKind::PageRequest, 64, Time::from_ms(i * 20));
+            total_wait += t.retrans_wait;
+        }
+        assert!(n.stats().retransmits > 0, "50% loss must retransmit");
+        assert!(n.stats().retransmit_bytes > 0);
+        assert!(total_wait > Time::ZERO, "backoff shows up in transits");
+        assert_eq!(
+            n.stats().msgs_of(MsgKind::PageRequest),
+            50,
+            "Table 1 counts logical messages, not copies"
+        );
+    }
+
+    #[test]
+    fn faulty_wire_duplicates_flushes() {
+        let mut n = faulty(FaultProfile {
+            duplicate: 1.0,
+            ..FaultProfile::none()
+        });
+        let out = n.send_flush(0, 1, MsgKind::UpdateFlush, 8);
+        assert!(out.delivered);
+        assert!(out.duplicated);
+        assert_eq!(n.stats().flushes_duplicated, 1);
+    }
+
+    #[test]
     fn reset_stats_clears_window() {
         let mut n = net(0.0);
-        n.send(0, 1, MsgKind::PageRequest, 0);
+        n.send_reliable(0, 1, MsgKind::PageRequest, 0, Time::ZERO);
         n.reset_stats();
         assert_eq!(n.stats().total_msgs(), 0);
         assert_eq!(n.link_count(0, 1), 0);

@@ -1,6 +1,6 @@
 //! Traffic statistics — the raw material of the paper's Table 1.
 
-use crate::message::{MsgCategory, MsgKind};
+use crate::message::{MsgCategory, MsgKind, HEADER_BYTES};
 
 /// Message and byte counters, per kind.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -9,6 +9,19 @@ pub struct NetStats {
     payload_bytes: [u64; MsgKind::ALL.len()],
     /// Flush messages dropped by the unreliable channel.
     pub flushes_dropped: u64,
+    /// Flush messages the faulty wire delivered twice.
+    pub flushes_duplicated: u64,
+    /// Extra copies of reliable messages put on the wire (timeout
+    /// retransmissions, whether triggered by data or ack loss). Not counted
+    /// in the per-kind `msgs` — Table 1 counts logical messages; this is
+    /// the overhead on top.
+    pub retransmits: u64,
+    /// Bytes (payload + header) carried by those extra copies: the
+    /// retransmit overhead against which goodput is measured.
+    pub retransmit_bytes: u64,
+    /// Duplicate reliable deliveries the receiver suppressed by sequence
+    /// number (ack-loss echoes; invisible to the protocol layer).
+    pub dups_suppressed: u64,
 }
 
 impl NetStats {
@@ -60,6 +73,18 @@ impl NetStats {
         self.payload_bytes.iter().sum()
     }
 
+    /// Fraction of all bytes on the wire that were retransmitted copies
+    /// (0 on a clean wire): wire overhead vs. goodput.
+    pub fn retransmit_overhead(&self) -> f64 {
+        let good = self.total_payload_bytes() + HEADER_BYTES as u64 * self.total_msgs();
+        let extra = self.retransmit_bytes;
+        if good + extra == 0 {
+            0.0
+        } else {
+            extra as f64 / (good + extra) as f64
+        }
+    }
+
     /// The paper's "Data (kbytes)" column.
     pub fn data_kbytes(&self) -> f64 {
         self.total_payload_bytes() as f64 / 1024.0
@@ -72,6 +97,10 @@ impl NetStats {
             self.payload_bytes[i] += other.payload_bytes[i];
         }
         self.flushes_dropped += other.flushes_dropped;
+        self.flushes_duplicated += other.flushes_duplicated;
+        self.retransmits += other.retransmits;
+        self.retransmit_bytes += other.retransmit_bytes;
+        self.dups_suppressed += other.dups_suppressed;
     }
 }
 
@@ -127,14 +156,34 @@ mod tests {
         let mut a = NetStats::new();
         a.record(MsgKind::UpdateFlush, 10);
         a.flushes_dropped = 1;
+        a.retransmits = 2;
+        a.retransmit_bytes = 100;
         let mut b = NetStats::new();
         b.record(MsgKind::UpdateFlush, 20);
         b.record(MsgKind::PageRequest, 0);
         b.flushes_dropped = 2;
+        b.flushes_duplicated = 1;
+        b.retransmits = 3;
+        b.retransmit_bytes = 50;
+        b.dups_suppressed = 4;
         a.merge(&b);
         assert_eq!(a.msgs_of(MsgKind::UpdateFlush), 2);
         assert_eq!(a.bytes_of(MsgKind::UpdateFlush), 30);
         assert_eq!(a.msgs_of(MsgKind::PageRequest), 1);
         assert_eq!(a.flushes_dropped, 3);
+        assert_eq!(a.flushes_duplicated, 1);
+        assert_eq!(a.retransmits, 5);
+        assert_eq!(a.retransmit_bytes, 150);
+        assert_eq!(a.dups_suppressed, 4);
+    }
+
+    #[test]
+    fn retransmit_overhead_fraction() {
+        let mut s = NetStats::new();
+        assert_eq!(s.retransmit_overhead(), 0.0, "empty window has no overhead");
+        s.record(MsgKind::PageReply, 8192 - HEADER_BYTES as u64 as usize);
+        assert_eq!(s.retransmit_overhead(), 0.0, "clean wire has no overhead");
+        s.retransmit_bytes = 8192;
+        assert!((s.retransmit_overhead() - 0.5).abs() < 1e-12);
     }
 }

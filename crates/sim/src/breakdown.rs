@@ -55,6 +55,12 @@ pub struct TimeBreakdown {
     pub sigio: Time,
     /// Remote-operation and barrier wait time.
     pub wait: Time,
+    /// Annex, not a fifth category: of the time already attributed to the
+    /// four buckets above, how much was induced by wire retransmissions
+    /// (backoff waits on lossy channels). Excluded from [`Self::total`] and
+    /// the figure output; it separates goodput from retransmit overhead
+    /// without changing the paper's four-way split.
+    pub retrans: Time,
 }
 
 impl TimeBreakdown {
@@ -64,7 +70,15 @@ impl TimeBreakdown {
         os: Time::ZERO,
         sigio: Time::ZERO,
         wait: Time::ZERO,
+        retrans: Time::ZERO,
     };
+
+    /// Note that `dt` of already-charged time was retransmission overhead.
+    /// Pure annotation: the clock does not move and no bucket changes.
+    #[inline]
+    pub fn note_retrans(&mut self, dt: Time) {
+        self.retrans += dt;
+    }
 
     /// Add `dt` to the bucket for `cat`.
     #[inline]
@@ -113,6 +127,7 @@ impl Add for TimeBreakdown {
             os: self.os + rhs.os,
             sigio: self.sigio + rhs.sigio,
             wait: self.wait + rhs.wait,
+            retrans: self.retrans + rhs.retrans,
         }
     }
 }
@@ -181,6 +196,25 @@ mod tests {
         let mut d = a;
         d += b;
         assert_eq!(d, c);
+    }
+
+    #[test]
+    fn retrans_annex_stays_out_of_total_and_display() {
+        let mut b = TimeBreakdown::ZERO;
+        b.charge(Category::Wait, Time::from_us(100));
+        b.note_retrans(Time::from_us(40));
+        assert_eq!(
+            b.total(),
+            Time::from_us(100),
+            "annex must not inflate total"
+        );
+        assert_eq!(b.retrans, Time::from_us(40));
+        assert_eq!(
+            format!("{b}"),
+            "app 0.0% | os 0.0% | sigio 0.0% | wait 100.0%"
+        );
+        let sum = b + b;
+        assert_eq!(sum.retrans, Time::from_us(80), "annex merges additively");
     }
 
     #[test]

@@ -59,6 +59,13 @@ impl Clock {
         self.breakdown = TimeBreakdown::ZERO;
     }
 
+    /// Annotate `dt` of already-charged time as retransmission overhead
+    /// (see [`TimeBreakdown::note_retrans`]). The clock does not move.
+    #[inline]
+    pub fn note_retrans(&mut self, dt: Time) {
+        self.breakdown.note_retrans(dt);
+    }
+
     /// Attribution of the current measurement window.
     #[inline]
     pub fn breakdown(&self) -> TimeBreakdown {
@@ -97,6 +104,21 @@ mod tests {
         c.wait_until(Time::from_us(4));
         assert_eq!(c.now(), Time::from_us(10));
         assert_eq!(c.breakdown().wait, Time::ZERO);
+    }
+
+    #[test]
+    fn note_retrans_annotates_without_advancing() {
+        let mut c = Clock::new();
+        c.advance(Category::Wait, Time::from_us(20));
+        c.note_retrans(Time::from_us(8));
+        assert_eq!(c.now(), Time::from_us(20), "annotation must not move time");
+        assert_eq!(c.breakdown().retrans, Time::from_us(8));
+        c.reset_measurement();
+        assert_eq!(
+            c.breakdown().retrans,
+            Time::ZERO,
+            "window reset clears annex"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Simulation-wide configuration shared by the higher layers.
 
 use crate::costs::CostModel;
+use crate::fault::FaultProfile;
 use crate::stress::StressModel;
 
 /// Default page size: the paper ran CVM with 8 KB protection granularity on
@@ -28,6 +29,10 @@ pub struct SimConfig {
     /// notes flushes "can be unreliable, and therefore do not need to be
     /// acknowledged"; default 0, raised only by robustness tests.
     pub flush_drop_prob: f64,
+    /// Wire fault profile for *all* traffic (reliable kinds retransmit,
+    /// flushes are simply lost). Default [`FaultProfile::none`], under
+    /// which the transport is bit-identical to a perfect wire.
+    pub fault: FaultProfile,
 }
 
 impl Default for SimConfig {
@@ -39,6 +44,7 @@ impl Default for SimConfig {
             stress: StressModel::default(),
             seed: 0x5EED_CAFE,
             flush_drop_prob: 0.0,
+            fault: FaultProfile::none(),
         }
     }
 }
@@ -78,6 +84,7 @@ impl SimConfig {
                 self.flush_drop_prob
             ));
         }
+        errs.extend(self.fault.validate(self.nprocs));
         errs
     }
 }

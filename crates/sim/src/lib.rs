@@ -21,6 +21,11 @@
 //! * [`sched`] — the decision [`sched::Scheduler`] trait behind which every
 //!   environment choice (flush loss, message ordering, migration timing)
 //!   lives, with the bit-identical default [`sched::VirtualTimeScheduler`].
+//! * [`fault`] — wire [`fault::FaultProfile`]s (iid/burst loss, duplication,
+//!   reordering, per-node slowdown) consumed by `dsm-net`'s reliability
+//!   sublayer; the default profile is a perfect wire.
+//! * [`timer`] — the deterministic [`timer::TimerQueue`] behind
+//!   retransmission timeouts.
 //! * [`prop`] — a small deterministic property-test harness built on
 //!   [`rng::DetRng`] (the workspace builds offline and carries no external
 //!   test dependencies).
@@ -36,20 +41,24 @@ pub mod clock;
 pub mod config;
 pub mod costs;
 pub mod fasthash;
+pub mod fault;
 pub mod prop;
 pub mod rng;
 pub mod sched;
 pub mod stress;
 pub mod time;
+pub mod timer;
 
 pub use breakdown::{Category, TimeBreakdown};
 pub use clock::Clock;
 pub use config::SimConfig;
 pub use costs::CostModel;
 pub use fasthash::{FastBuild, FastMap, FastSet, IntHasher};
+pub use fault::FaultProfile;
 pub use rng::DetRng;
 pub use sched::{
     Candidate, ChoiceKind, ExplorePruned, Scheduler, SharedScheduler, VirtualTimeScheduler,
 };
 pub use stress::StressModel;
 pub use time::Time;
+pub use timer::{TimerId, TimerQueue};

@@ -1,10 +1,11 @@
 //! The decision scheduler: every nondeterministic choice the virtual
 //! cluster makes, behind one trait.
 //!
-//! The protocols above this crate contain exactly four kinds of
+//! The protocols above this crate contain exactly five kinds of
 //! "environment" decisions:
 //!
 //! * **drop** — whether an unreliable flush message is lost in transit;
+//! * **duplicate** — whether a delivered unreliable flush arrives twice;
 //! * **arrival** — the order in which processes run their end-of-epoch
 //!   consistency work (which is the queueing order of their in-flight
 //!   flushes);
@@ -12,6 +13,10 @@
 //!   messages addressed to it at a barrier release;
 //! * **migration** — whether a pending home-migration decision executes at
 //!   this barrier or is deferred to a later one.
+//!
+//! In addition the wire's reliability sublayer (see `dsm-net`) consults
+//! [`Scheduler::wire_chance`] for fault-profile Bernoulli draws and reports
+//! retransmission timer firings through [`Scheduler::observe_timer`].
 //!
 //! The default [`VirtualTimeScheduler`] resolves them exactly the way the
 //! cluster always has: drops come from a [`DetRng`] Bernoulli draw and every
@@ -41,6 +46,8 @@ pub enum ChoiceKind {
     Delivery,
     /// Execute-now/defer for a pending home migration.
     Migration,
+    /// Duplicate-in-flight for one delivered unreliable flush.
+    Duplicate,
 }
 
 impl ChoiceKind {
@@ -51,6 +58,7 @@ impl ChoiceKind {
             ChoiceKind::Arrival => "arrival",
             ChoiceKind::Delivery => "delivery",
             ChoiceKind::Migration => "migration",
+            ChoiceKind::Duplicate => "duplicate",
         }
     }
 
@@ -61,6 +69,7 @@ impl ChoiceKind {
             "arrival" => Some(ChoiceKind::Arrival),
             "delivery" => Some(ChoiceKind::Delivery),
             "migration" => Some(ChoiceKind::Migration),
+            "duplicate" => Some(ChoiceKind::Duplicate),
             _ => None,
         }
     }
@@ -111,6 +120,33 @@ pub trait Scheduler {
     /// configured loss probability (the default implementation draws on
     /// it; an explorer enumerates instead).
     fn flush_drop(&mut self, src: usize, dst: usize, prob: f64) -> bool;
+
+    /// One Bernoulli draw for a wire-level fault event (loss, duplication,
+    /// slow-pathing) under a `FaultProfile`. The default scheduler draws on
+    /// its stream; like [`DetRng::chance`], a `prob <= 0` call must consume
+    /// no generator state — the zero-fault bit-identity guarantee depends
+    /// on it. The base default returns `false` so scripted test schedulers
+    /// see a faultless wire unless they opt in.
+    fn wire_chance(&mut self, prob: f64) -> bool {
+        let _ = prob;
+        false
+    }
+
+    /// Whether a *delivered* unreliable flush `src → dst` is duplicated in
+    /// flight. Defaults to a [`Scheduler::wire_chance`] draw; an explorer
+    /// may enumerate it as a [`ChoiceKind::Duplicate`] choice point
+    /// instead.
+    fn flush_duplicate(&mut self, src: usize, dst: usize, prob: f64) -> bool {
+        let _ = (src, dst);
+        self.wire_chance(prob)
+    }
+
+    /// Observe one retransmission timer firing for a reliable message
+    /// (`attempt` is the 1-based attempt the firing triggers). Purely a
+    /// notification — timers are deterministic, not a choice point.
+    fn observe_timer(&mut self, src: usize, dst: usize, attempt: u32) {
+        let _ = (src, dst, attempt);
+    }
 
     /// Pick the next candidate to schedule.
     fn choose(&mut self, kind: ChoiceKind, cands: &[Candidate]) -> usize {
@@ -170,6 +206,10 @@ impl Scheduler for VirtualTimeScheduler {
     fn flush_drop(&mut self, _src: usize, _dst: usize, prob: f64) -> bool {
         self.rng.chance(prob)
     }
+
+    fn wire_chance(&mut self, prob: f64) -> bool {
+        self.rng.chance(prob)
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +263,37 @@ mod tests {
     }
 
     #[test]
+    fn wire_chance_matches_raw_rng_and_zero_is_free() {
+        let mut s = VirtualTimeScheduler::new(DetRng::new(11));
+        let mut r = DetRng::new(11);
+        for _ in 0..10 {
+            assert!(!s.wire_chance(0.0), "zero-prob wire draw must be false");
+            assert!(!s.flush_duplicate(0, 1, 0.0));
+        }
+        // No state was consumed above: the streams still agree.
+        for i in 0..32 {
+            let p = f64::from(i % 4) * 0.3;
+            assert_eq!(s.wire_chance(p), r.chance(p));
+        }
+    }
+
+    #[test]
+    fn base_scheduler_defaults_see_a_faultless_wire() {
+        // A scripted scheduler that only implements flush_drop inherits
+        // fault-free wire defaults and ignores timer notifications.
+        struct DropAll;
+        impl Scheduler for DropAll {
+            fn flush_drop(&mut self, _s: usize, _d: usize, _p: f64) -> bool {
+                true
+            }
+        }
+        let mut s = DropAll;
+        assert!(!s.wire_chance(1.0));
+        assert!(!s.flush_duplicate(0, 1, 1.0));
+        s.observe_timer(0, 1, 2);
+    }
+
+    #[test]
     fn conflict_detection_is_set_intersection() {
         let a = Candidate {
             actor: 0,
@@ -253,6 +324,7 @@ mod tests {
             ChoiceKind::Arrival,
             ChoiceKind::Delivery,
             ChoiceKind::Migration,
+            ChoiceKind::Duplicate,
         ] {
             assert_eq!(ChoiceKind::from_label(k.label()), Some(k));
         }
