@@ -21,21 +21,27 @@
 
 #![forbid(unsafe_code)]
 
-use dsm_apps::{all_apps, app_by_name, Scale};
+use std::sync::Arc;
+
+use dsm_apps::{all_apps, app_by_name, AppSpec, Scale};
 use dsm_bench::table::TextTable;
 use dsm_check::checked_run;
-use dsm_core::{ProtocolKind, RunConfig};
+use dsm_core::{ProtocolKind, RegionTable, RunConfig};
+use dsm_plan::{analyze, build_schedule, prove_regions};
 use dsm_sim::FaultProfile;
 
-/// All six real protocols: the five unconditionally-sound ones plus
-/// `bar-m`, whose write sets are stable on every paper app.
-const PROTOCOLS: [ProtocolKind; 6] = [
+/// All seven real protocols: the five unconditionally-sound ones,
+/// `bar-m` (write sets stable on every paper app), and `bar-r` (runs with
+/// its proven region table installed — the campaign doubles as the fault
+/// gate for the region fast paths).
+const PROTOCOLS: [ProtocolKind; 7] = [
     ProtocolKind::LmwI,
     ProtocolKind::LmwU,
     ProtocolKind::BarI,
     ProtocolKind::BarU,
     ProtocolKind::BarS,
     ProtocolKind::BarM,
+    ProtocolKind::BarR,
 ];
 
 fn protocol_by_label(label: &str) -> ProtocolKind {
@@ -47,6 +53,7 @@ fn protocol_by_label(label: &str) -> ProtocolKind {
         ProtocolKind::BarU,
         ProtocolKind::BarS,
         ProtocolKind::BarM,
+        ProtocolKind::BarR,
     ];
     all.into_iter()
         .find(|p| p.label() == label)
@@ -87,7 +94,7 @@ fn parse_args() -> Args {
             // diff gate; the full campaign runs in its own job.
             args.smoke = true;
             args.apps = vec!["jacobi", "fft"];
-            args.protocols = vec![ProtocolKind::LmwU, ProtocolKind::BarU];
+            args.protocols = vec![ProtocolKind::LmwU, ProtocolKind::BarU, ProtocolKind::BarR];
             continue;
         }
         let val = it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
@@ -117,6 +124,15 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// Prove the region table for one (app, nprocs, scale) cell, exactly as
+/// the `regions` report bin does.
+fn region_table(spec: &AppSpec, nprocs: usize, scale: Scale) -> RegionTable {
+    let mut probe = spec.build_planned(scale);
+    let an = analyze(probe.as_mut(), nprocs);
+    let sched = build_schedule(&an.plan, ProtocolKind::BarR, an.iters);
+    prove_regions(&an.plan, &an.layout, &sched)
 }
 
 #[allow(clippy::cast_precision_loss)]
@@ -152,10 +168,17 @@ fn main() {
     for app in &args.apps {
         let spec = app_by_name(app).unwrap();
         for &protocol in &args.protocols {
+            // bar-r cells run with the app's proven region table installed,
+            // so the campaign exercises the twin-free capture, clipped
+            // pushes, and elision under every fault profile.
+            let regions = protocol
+                .is_region()
+                .then(|| Arc::new(region_table(&spec, args.nprocs, args.scale)));
             let mut base_elapsed = 0u64;
             let mut base_checksum = 0.0f64;
             for (pname, profile) in &profiles {
                 let mut cfg = RunConfig::with_nprocs(protocol, args.nprocs);
+                cfg.regions.clone_from(&regions);
                 cfg.sim.fault = profile.clone();
                 let (run, check) = checked_run(spec.build(args.scale).as_mut(), cfg);
                 let elapsed = run.elapsed.as_ns();

@@ -47,7 +47,7 @@ fn default_budget(p: ProtocolKind) -> usize {
         ProtocolKind::LmwI => 64,
         ProtocolKind::LmwU => 256,
         ProtocolKind::BarI => 96,
-        ProtocolKind::BarU => 192,
+        ProtocolKind::BarU | ProtocolKind::BarR => 192,
         ProtocolKind::BarS | ProtocolKind::BarM => 128,
     }
 }

@@ -20,7 +20,16 @@
 //!   can never invent receivers or payloads. (That the repeat is *safe* is
 //!   checked by the coherence oracle: a non-idempotent double application
 //!   would surface as a stale read at the next barrier.)
+//! * **elision grounding** (`bar-r`): every update push the protocol skips
+//!   must be excused by the static region certificate — the skipped member
+//!   is proven to never load the writer's spans. An elision with no
+//!   certificate behind it (no table, uncertified page, unknown writer, or
+//!   a bit naming a proven reader) is a coherence hole the value-level
+//!   oracle might never see, so the invariant layer flags it directly.
 
+use std::sync::Arc;
+
+use dsm_core::RegionTable;
 use dsm_sim::{FastMap, FastSet};
 
 use crate::report::Violation;
@@ -58,10 +67,19 @@ pub struct InvariantState {
     flushed_this_epoch: FastMap<(u32, u16), u64>,
     /// (page, writer, dst) triples already reported as ungrounded dups.
     flagged_dup: FastSet<(u32, u16, u16)>,
+    /// The static region certificates the run was configured with (bar-r
+    /// only); elision events are validated against these.
+    regions: Option<Arc<RegionTable>>,
+    /// (page, writer) pairs already reported for an ungrounded elision.
+    flagged_elision: FastSet<(u32, u16)>,
 }
 
 impl InvariantState {
-    pub fn new(nprocs: usize, rule: CopysetRule) -> InvariantState {
+    pub fn new(
+        nprocs: usize,
+        rule: CopysetRule,
+        regions: Option<Arc<RegionTable>>,
+    ) -> InvariantState {
         InvariantState {
             rule,
             versions: FastMap::default(),
@@ -73,6 +91,8 @@ impl InvariantState {
             live: vec![LiveNotices::default(); nprocs],
             flushed_this_epoch: FastMap::default(),
             flagged_dup: FastSet::default(),
+            regions,
+            flagged_elision: FastSet::default(),
         }
     }
 
@@ -159,6 +179,36 @@ impl InvariantState {
         self.flushed_this_epoch.clear();
     }
 
+    /// A `bar-r` elision event: `writer` skipped its update push toward
+    /// every process in `elided`. Each bit must be statically excusable —
+    /// the run carries a region table, the page's certificate is a
+    /// single-writer or commuting-writer proof, the certificate names this
+    /// writer, and the skipped process is neither the writer itself nor
+    /// one of its proven readers.
+    pub fn on_false_share_elided(
+        &mut self,
+        writer: usize,
+        page: u32,
+        elided: u64,
+        out: &mut Vec<Violation>,
+    ) {
+        let excused = self
+            .regions
+            .as_ref()
+            .and_then(|rt| rt.cert(page))
+            .filter(|c| c.certified())
+            .and_then(|c| c.writer(writer))
+            .map_or(0, |wr| !wr.readers & !(1u64 << writer));
+        let ungrounded = elided & !excused;
+        if ungrounded != 0 && self.flagged_elision.insert((page, writer as u16)) {
+            out.push(Violation::UngroundedElision {
+                page,
+                writer,
+                ungrounded,
+            });
+        }
+    }
+
     pub fn on_notice_record(&mut self, pid: usize, page: u32, writer: u16, epoch: u64) {
         *self.live[pid].entry((page, writer, epoch)).or_insert(0) += 1;
     }
@@ -199,14 +249,14 @@ mod tests {
 
     #[test]
     fn version_plus_one_is_clean() {
-        let mut inv = InvariantState::new(2, CopysetRule::PerPage);
+        let mut inv = InvariantState::new(2, CopysetRule::PerPage, None);
         assert!(take(|v| inv.on_version_bump(3, 1, 2, v)).is_empty());
         assert!(take(|v| inv.on_version_bump(3, 2, 3, v)).is_empty());
     }
 
     #[test]
     fn version_skip_flagged_once() {
-        let mut inv = InvariantState::new(2, CopysetRule::PerPage);
+        let mut inv = InvariantState::new(2, CopysetRule::PerPage, None);
         let v = take(|v| inv.on_version_bump(3, 1, 4, v));
         assert!(matches!(
             v[0],
@@ -221,7 +271,7 @@ mod tests {
 
     #[test]
     fn version_regression_flagged() {
-        let mut inv = InvariantState::new(2, CopysetRule::PerPage);
+        let mut inv = InvariantState::new(2, CopysetRule::PerPage, None);
         assert!(take(|v| inv.on_version_bump(3, 1, 2, v)).is_empty());
         let v = take(|v| inv.on_version_bump(3, 1, 2, v));
         assert!(matches!(
@@ -236,7 +286,7 @@ mod tests {
 
     #[test]
     fn per_page_copyset_omission() {
-        let mut inv = InvariantState::new(4, CopysetRule::PerPage);
+        let mut inv = InvariantState::new(4, CopysetRule::PerPage, None);
         inv.on_fetch(1, 0, 7);
         inv.on_fetch(2, 0, 7);
         // Copyset covers p1 but not p2.
@@ -255,7 +305,7 @@ mod tests {
 
     #[test]
     fn per_writer_copyset_tracks_writer() {
-        let mut inv = InvariantState::new(4, CopysetRule::PerWriter);
+        let mut inv = InvariantState::new(4, CopysetRule::PerWriter, None);
         inv.on_fetch(2, 1, 7); // p2 fetched p1's diffs
                                // p3 flushing page 7 owes nothing to p1's fetchers.
         assert!(take(|v| inv.on_update_flush(3, 7, 0, v)).is_empty());
@@ -273,14 +323,14 @@ mod tests {
 
     #[test]
     fn writer_itself_never_missing() {
-        let mut inv = InvariantState::new(4, CopysetRule::PerPage);
+        let mut inv = InvariantState::new(4, CopysetRule::PerPage, None);
         inv.on_fetch(1, 0, 7);
         assert!(take(|v| inv.on_update_flush(1, 7, 0, v)).is_empty());
     }
 
     #[test]
     fn gc_with_live_notice_flagged() {
-        let mut inv = InvariantState::new(2, CopysetRule::None);
+        let mut inv = InvariantState::new(2, CopysetRule::None, None);
         inv.on_notice_record(1, 4, 0, 9);
         inv.on_notice_record(1, 4, 0, 9);
         inv.on_notice_consume(1, 4, 0, 9);
@@ -301,7 +351,7 @@ mod tests {
 
     #[test]
     fn grounded_dup_is_clean() {
-        let mut inv = InvariantState::new(4, CopysetRule::PerPage);
+        let mut inv = InvariantState::new(4, CopysetRule::PerPage, None);
         inv.on_fetch(2, 0, 7);
         assert!(take(|v| inv.on_update_flush(0, 7, 0b0100, v)).is_empty());
         assert!(take(|v| inv.on_dup_delivery(0, 7, 2, v)).is_empty());
@@ -309,7 +359,7 @@ mod tests {
 
     #[test]
     fn ungrounded_dup_flagged_once() {
-        let mut inv = InvariantState::new(4, CopysetRule::PerPage);
+        let mut inv = InvariantState::new(4, CopysetRule::PerPage, None);
         let v = take(|v| inv.on_dup_delivery(1, 7, 2, v));
         assert!(matches!(
             v[0],
@@ -324,16 +374,82 @@ mod tests {
 
     #[test]
     fn dup_after_barrier_is_ungrounded() {
-        let mut inv = InvariantState::new(4, CopysetRule::PerPage);
+        let mut inv = InvariantState::new(4, CopysetRule::PerPage, None);
         assert!(take(|v| inv.on_update_flush(0, 7, 0b0100, v)).is_empty());
         inv.on_barrier_release();
         let v = take(|v| inv.on_dup_delivery(0, 7, 2, v));
         assert_eq!(v.len(), 1);
     }
 
+    fn region_table() -> Arc<RegionTable> {
+        use dsm_core::{PageCert, PageClass, WriterRegions};
+        Arc::new(RegionTable::new(vec![PageCert {
+            page: 7,
+            class: PageClass::FalseShared,
+            writers: vec![
+                WriterRegions {
+                    writer: 0,
+                    spans: vec![(0, 64)],
+                    readers: 0b0010,
+                },
+                WriterRegions {
+                    writer: 1,
+                    spans: vec![(64, 128)],
+                    readers: 0b0001,
+                },
+            ],
+            loads: vec![],
+        }]))
+    }
+
+    #[test]
+    fn certified_elision_is_clean() {
+        let mut inv = InvariantState::new(4, CopysetRule::PerPage, Some(region_table()));
+        // p0's only proven reader is p1; eliding p2 and p3 is excused.
+        assert!(take(|v| inv.on_false_share_elided(0, 7, 0b1100, v)).is_empty());
+    }
+
+    #[test]
+    fn eliding_a_proven_reader_flagged_once() {
+        let mut inv = InvariantState::new(4, CopysetRule::PerPage, Some(region_table()));
+        // p1 is a proven reader of p0's spans: skipping it is ungrounded.
+        let v = take(|v| inv.on_false_share_elided(0, 7, 0b0110, v));
+        assert!(matches!(
+            v[0],
+            Violation::UngroundedElision {
+                page: 7,
+                writer: 0,
+                ungrounded: 0b0010
+            }
+        ));
+        assert!(take(|v| inv.on_false_share_elided(0, 7, 0b0010, v)).is_empty());
+    }
+
+    #[test]
+    fn elision_without_table_flagged() {
+        let mut inv = InvariantState::new(4, CopysetRule::PerPage, None);
+        let v = take(|v| inv.on_false_share_elided(0, 7, 0b0100, v));
+        assert!(matches!(
+            v[0],
+            Violation::UngroundedElision {
+                page: 7,
+                writer: 0,
+                ungrounded: 0b0100
+            }
+        ));
+    }
+
+    #[test]
+    fn elision_by_unknown_writer_flagged() {
+        let mut inv = InvariantState::new(4, CopysetRule::PerPage, Some(region_table()));
+        // p2 holds no certificate on page 7.
+        let v = take(|v| inv.on_false_share_elided(2, 7, 0b1000, v));
+        assert_eq!(v.len(), 1);
+    }
+
     #[test]
     fn balanced_notices_are_clean() {
-        let mut inv = InvariantState::new(2, CopysetRule::None);
+        let mut inv = InvariantState::new(2, CopysetRule::None, None);
         inv.on_notice_record(0, 4, 1, 9);
         inv.on_notice_consume(0, 4, 1, 9);
         assert!(take(|v| inv.on_gc_discard(0, v)).is_empty());

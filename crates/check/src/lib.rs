@@ -10,8 +10,10 @@
 //!    "last barrier's state plus my own epoch writes" — the signal that
 //!    catches `bar-m`'s silent divergence when write prediction misses;
 //! 3. **protocol invariants** ([`invariants`]): version-index
-//!    monotonicity, copyset ⊇ fetcher-set coverage for update flushes, and
-//!    no GC while a live write notice names a retained diff.
+//!    monotonicity, copyset ⊇ fetcher-set coverage for update flushes, no
+//!    GC while a live write notice names a retained diff, and — for the
+//!    region-granularity `bar-r` — every elided update push grounded by
+//!    the static false-sharing certificate.
 //!
 //! The checker is observational: it never re-enters the cluster, charges no
 //! virtual time, and a run with no sink installed is bit-identical to an
@@ -177,6 +179,14 @@ impl CheckState {
                 report.wire_retransmits += 1;
                 report.wire_extra_attempts += u64::from(attempts.saturating_sub(1));
             }
+            CheckEvent::FalseShareElided {
+                writer,
+                page,
+                elided,
+            } => {
+                report.false_share_elisions += 1;
+                inv.on_false_share_elided(writer, page, elided, &mut found);
+            }
         }
         for v in found {
             Self::push(report, v);
@@ -223,7 +233,7 @@ impl Checker {
                 report: CheckReport::default(),
                 race: RaceState::new(n, ps),
                 oracle: OracleState::new(n, ps),
-                inv: InvariantState::new(n, copyset_rule(cfg.protocol)),
+                inv: InvariantState::new(n, copyset_rule(cfg.protocol), cfg.regions.clone()),
                 cur_epoch: 1,
                 scratch: Vec::new(),
             })),

@@ -75,6 +75,16 @@ pub enum Violation {
         writer: usize,
         dst: usize,
     },
+    /// A `bar-r` push elision not excused by the static region
+    /// certificate: the protocol skipped an update push toward processes
+    /// (bitmap `ungrounded`) that the certificate does not prove to be
+    /// non-readers of `writer`'s spans — or the page has no usable
+    /// certificate at all.
+    UngroundedElision {
+        page: u32,
+        writer: usize,
+        ungrounded: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -128,6 +138,14 @@ impl fmt::Display for Violation {
                 f,
                 "duplicate delivery of page {page} from p{writer} to p{dst} matches no flush this epoch"
             ),
+            Violation::UngroundedElision {
+                page,
+                writer,
+                ungrounded,
+            } => write!(
+                f,
+                "push elision on page {page} by p{writer} not excused by the region certificate (bitmap {ungrounded:#b})"
+            ),
         }
     }
 }
@@ -153,6 +171,10 @@ pub struct CheckReport {
     pub dup_deliveries: u64,
     /// Reliable messages that needed more than one transmission.
     pub wire_retransmits: u64,
+    /// `bar-r` elision events (each names one or more copyset members a
+    /// certificate excused from an update push); zero for every other
+    /// protocol.
+    pub false_share_elisions: u64,
     /// Total extra transmissions across all retried messages.
     pub wire_extra_attempts: u64,
     /// Happens-before edges induced by barriers (arrive + release fan-in/out).
@@ -225,6 +247,15 @@ impl CheckReport {
                 s,
                 "wire: {} retransmitted msgs (+{} extra attempts), {} duplicated flushes",
                 self.wire_retransmits, self.wire_extra_attempts, self.dup_deliveries
+            );
+        }
+        // Region telemetry only appears for bar-r runs, keeping every
+        // other protocol's baseline byte-identical.
+        if self.false_share_elisions > 0 {
+            let _ = writeln!(
+                s,
+                "regions: {} certified push elisions",
+                self.false_share_elisions
             );
         }
         if self.is_clean() {

@@ -76,6 +76,17 @@ pub enum CheckEvent<'a> {
         page: u32,
         dst: usize,
     },
+    /// Region-granularity traffic elision (`bar-r`): `writer` flushed its
+    /// delta of `page` but skipped the update push to the copyset members
+    /// in the `elided` bitmap, on the strength of a static certificate
+    /// proving none of them ever reads the writer's proven spans. The
+    /// checker grounds every elision against the certificate — an elided
+    /// member outside the proof is a violation, not an optimization.
+    FalseShareElided {
+        writer: usize,
+        page: u32,
+        elided: u64,
+    },
     /// A reliable message from `src` to `dst` needed `attempts` (> 1)
     /// transmissions before its ack landed. Pure wire telemetry: never
     /// affects protocol state, but lets the oracles assert that faults

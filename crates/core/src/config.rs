@@ -13,6 +13,14 @@ pub enum ProtocolKind {
     BarI,
     /// Home-based barrier protocol with update pushes (paper: `bar-u`).
     BarU,
+    /// Region-granularity bar-u (`bar-r`): identical to bar-u except on
+    /// pages carrying a static commuting-writer certificate (see
+    /// [`crate::mem::RegionTable`]), where the twin is skipped — the
+    /// delta is captured from twin-free dirty tracking over the proven
+    /// write spans — and update pushes are elided for copyset members the
+    /// plan proves never read the writer's region. With no region table
+    /// installed it degenerates to exactly bar-u.
+    BarR,
     /// Overdrive: bar-u without segvs (paper: `bar-s`).
     BarS,
     /// Overdrive: bar-s without mprotects (paper: `bar-m`).
@@ -32,6 +40,7 @@ impl ProtocolKind {
             ProtocolKind::LmwU => "lmw-u",
             ProtocolKind::BarI => "bar-i",
             ProtocolKind::BarU => "bar-u",
+            ProtocolKind::BarR => "bar-r",
             ProtocolKind::BarS => "bar-s",
             ProtocolKind::BarM => "bar-m",
             ProtocolKind::Seq => "seq",
@@ -55,7 +64,11 @@ impl ProtocolKind {
     pub fn is_bar(self) -> bool {
         matches!(
             self,
-            ProtocolKind::BarI | ProtocolKind::BarU | ProtocolKind::BarS | ProtocolKind::BarM
+            ProtocolKind::BarI
+                | ProtocolKind::BarU
+                | ProtocolKind::BarR
+                | ProtocolKind::BarS
+                | ProtocolKind::BarM
         )
     }
 
@@ -63,8 +76,18 @@ impl ProtocolKind {
     pub fn is_update(self) -> bool {
         matches!(
             self,
-            ProtocolKind::LmwU | ProtocolKind::BarU | ProtocolKind::BarS | ProtocolKind::BarM
+            ProtocolKind::LmwU
+                | ProtocolKind::BarU
+                | ProtocolKind::BarR
+                | ProtocolKind::BarS
+                | ProtocolKind::BarM
         )
+    }
+
+    /// True for the region-granularity variant, the only protocol that
+    /// consumes a [`crate::mem::RegionTable`].
+    pub fn is_region(self) -> bool {
+        matches!(self, ProtocolKind::BarR)
     }
 
     /// True for the overdrive variants.
@@ -175,6 +198,10 @@ pub struct RunConfig {
     /// Seeded bug under exploration regression tests; [`PlantedBug::None`]
     /// everywhere else.
     pub planted: PlantedBug,
+    /// Statically proven region certificates consumed by `bar-r` (and by
+    /// the checker to ground `FalseShareElided` events). Ignored by every
+    /// other protocol; `None` makes bar-r behave exactly like bar-u.
+    pub regions: Option<std::sync::Arc<crate::mem::RegionTable>>,
 }
 
 impl RunConfig {
@@ -188,6 +215,7 @@ impl RunConfig {
             migration: true,
             gc_diff_threshold: 1_000_000,
             planted: PlantedBug::default(),
+            regions: None,
         }
     }
 
@@ -230,6 +258,12 @@ mod tests {
         assert!(ProtocolKind::BarM.is_update());
         assert!(ProtocolKind::BarM.is_overdrive());
         assert!(!ProtocolKind::BarU.is_overdrive());
+        assert!(ProtocolKind::BarR.is_bar());
+        assert!(ProtocolKind::BarR.is_update());
+        assert!(!ProtocolKind::BarR.is_overdrive());
+        assert!(ProtocolKind::BarR.is_region());
+        assert!(!ProtocolKind::BarU.is_region());
+        assert_eq!(ProtocolKind::BarR.label(), "bar-r");
     }
 
     #[test]

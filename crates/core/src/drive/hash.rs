@@ -187,6 +187,16 @@ pub(crate) fn fold_event(acc: u64, ev: &CheckEvent<'_>) -> u64 {
             h.usize(dst);
             h.u64(u64::from(attempts));
         }
+        CheckEvent::FalseShareElided {
+            writer,
+            page,
+            elided,
+        } => {
+            h.byte(15);
+            h.usize(writer);
+            h.u64(u64::from(page));
+            h.u64(elided);
+        }
     }
     h.0
 }
@@ -208,6 +218,24 @@ fn frame_hash(f: &dsm_vm::Frame) -> u64 {
             h.bytes(t.bytes());
         }
         None => h.byte(0),
+    }
+    // Twin-free dirty tracking (bar-r): the recorded ranges determine the
+    // next region delta, so they are observable state. Folded only while
+    // tracking is armed — no other protocol arms it, so every existing
+    // protocol's hash stream (and all committed explore baselines) is
+    // byte-identical to before this tag existed.
+    if f.tracking() {
+        h.byte(2);
+        let d = f.dirty_ranges();
+        if d.is_all() {
+            h.byte(1);
+        } else {
+            h.byte(0);
+            for (s, e) in d.iter() {
+                h.u64(u64::from(s));
+                h.u64(u64::from(e));
+            }
+        }
     }
     h.finish()
 }

@@ -45,11 +45,44 @@ pub struct RunStats {
     pub overdrive_reversions: u64,
     /// bar-m validate mode: modifications the protocol missed.
     pub consistency_violations: u64,
+    /// bar-r: write faults on certified pages where the twin (and its
+    /// creation cost) was skipped in favor of twin-free dirty tracking.
+    pub region_twin_skips: u64,
+    /// bar-r: update pushes elided because the certificate proves the
+    /// copyset member never reads the writer's spans.
+    pub region_elided_pushes: u64,
+    /// bar-r: wire bytes saved by clipping update pushes to the
+    /// receiver's proven load spans (full delta minus clipped delta,
+    /// summed over every non-elided push).
+    pub region_push_bytes_saved: u64,
+    /// Flushed diff wire bytes per page (home flushes plus update pushes),
+    /// indexed by page; grown on demand, so pages past the last flushed
+    /// one are absent. Maintained by the home-based protocols — this is
+    /// the per-page ledger the bar-r vs bar-u traffic comparison reads.
+    pub flush_bytes_by_page: Vec<u64>,
+    /// Flushed diff message count per page, same indexing.
+    pub flush_msgs_by_page: Vec<u64>,
     /// Network counters.
     pub net: NetStats,
 }
 
 impl RunStats {
+    /// Record `bytes` of flushed diff traffic for `page` in the per-page
+    /// ledger, growing it on demand.
+    pub fn note_flush(&mut self, page: usize, bytes: u64) {
+        if self.flush_bytes_by_page.len() <= page {
+            self.flush_bytes_by_page.resize(page + 1, 0);
+            self.flush_msgs_by_page.resize(page + 1, 0);
+        }
+        self.flush_bytes_by_page[page] += bytes;
+        self.flush_msgs_by_page[page] += 1;
+    }
+
+    /// Total flushed diff wire bytes across all pages.
+    pub fn flush_bytes_total(&self) -> u64 {
+        self.flush_bytes_by_page.iter().sum()
+    }
+
     /// The paper's "Messages" column.
     pub fn paper_messages(&self) -> u64 {
         self.net.paper_messages()

@@ -14,6 +14,7 @@
 //! | [`ProtocolKind::LmwU`] | homeless LRC | hybrid invalidate/update: copyset-driven single-message flushes; arriving updates are stored and applied at the next local fault |
 //! | [`ProtocolKind::BarI`] | home-based | statically homed pages with runtime home migration; diffs flushed to the home and discarded; whole-page fault service; per-page version indices |
 //! | [`ProtocolKind::BarU`] | home-based | bar-i plus copyset-driven update pushes applied inside the barrier (no consumer segv / protection change) |
+//! | [`ProtocolKind::BarR`] | home-based | bar-u at sub-page region granularity: on pages whose writers carry a static commuting-writer certificate ([`mem::RegionTable`]), twins are skipped (twin-free dirty tracking bounds the delta), update pushes are clipped to each reader's proven load spans, and pushes to proven non-readers are elided |
 //! | [`ProtocolKind::BarS`] | overdrive | bar-u minus segvs: per-barrier-site write prediction, eager twins, eager write-enables |
 //! | [`ProtocolKind::BarM`] | overdrive | bar-s minus mprotects: predicted pages stay writable for the whole overdrive phase |
 //!
@@ -45,4 +46,7 @@ pub use drive::cluster::Cluster;
 pub use drive::ctx::{CheckCtx, ExecCtx, SetupCtx};
 pub use drive::reduce::ReduceOp;
 pub use drive::stats::{RunReport, RunStats};
-pub use mem::{page_friendly_stride, Alloc, SharedArray, SharedGrid2, SharedScalar, SharedSegment};
+pub use mem::{
+    page_friendly_stride, Alloc, PageCert, PageClass, ReaderLoads, RegionTable, SharedArray,
+    SharedGrid2, SharedScalar, SharedSegment, WriterRegions,
+};

@@ -8,10 +8,12 @@
 
 pub mod array;
 pub mod grid;
+pub mod regions;
 pub mod segment;
 
 pub use array::SharedArray;
 pub use grid::{page_friendly_stride, SharedGrid2};
+pub use regions::{PageCert, PageClass, ReaderLoads, RegionTable, WriterRegions};
 pub use segment::{Alloc, SharedSegment};
 
 use dsm_vm::Pod;

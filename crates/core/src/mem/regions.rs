@@ -1,0 +1,328 @@
+//! Statically proven sub-page region certificates.
+//!
+//! The plan layer (crate `dsm-plan`) intersects every application's
+//! per-process write bands with each page's footprint and emits a
+//! [`RegionTable`]: one [`PageCert`] per shared page that is written at
+//! all, classifying it and — when the proof obligations hold — carrying
+//! per-writer span certificates. The region-granularity protocol `bar-r`
+//! and the region-aware checker consume the table; `dsm-core` defines the
+//! types so both sides (producer in `dsm-plan`, consumers in `dsm-core`
+//! and `dsm-check`) agree on one vocabulary without a dependency cycle.
+//!
+//! The proof obligation, in Darcs-commutation form: two writers' deltas
+//! commute iff their spans do not intersect. A page whose writers have
+//! pairwise-disjoint store spans is *false-shared* — the page-granularity
+//! protocols ship twins and diffs for it, yet no word is ever contended —
+//! and every writer receives a commuting-writer certificate: its delta may
+//! be captured without a twin (sole writer of each span ⇒ its local span
+//! contents are globally freshest) and merged in any order.
+
+/// Static sharing classification of one page.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PageClass {
+    /// Exactly one process ever writes the page.
+    Exclusive,
+    /// Two or more writers with at least one overlapping word: deltas may
+    /// not commute, no certificate — the protocol must keep twins.
+    TrueShared,
+    /// Two or more writers with pairwise-disjoint store spans: all deltas
+    /// commute; every writer holds a certificate.
+    FalseShared,
+}
+
+impl PageClass {
+    /// Short label used by reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PageClass::Exclusive => "exclusive",
+            PageClass::TrueShared => "true-shared",
+            PageClass::FalseShared => "false-shared",
+        }
+    }
+}
+
+/// One writer's proven footprint on one page.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WriterRegions {
+    /// The writing process.
+    pub writer: u16,
+    /// Sorted, disjoint, word-aligned `[start, end)` byte spans within the
+    /// page: the union of every store band the plan lowers for this writer
+    /// on this page, over all epochs. Dynamic dirty ranges must stay
+    /// inside these spans (the certificate's grounding obligation).
+    pub spans: Vec<(u32, u32)>,
+    /// Bitmap of processes whose *load* spans (over all epochs) intersect
+    /// this writer's store spans — the only processes that can ever
+    /// observe this writer's values. An update push to any process
+    /// outside this set (and outside the home, which needs every delta)
+    /// is provably wasted traffic.
+    pub readers: u64,
+}
+
+impl WriterRegions {
+    /// Total proven span bytes.
+    pub fn span_bytes(&self) -> u64 {
+        self.spans.iter().map(|&(s, e)| u64::from(e - s)).sum()
+    }
+}
+
+/// One process's proven load footprint on one page.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReaderLoads {
+    /// The loading process.
+    pub reader: u16,
+    /// Sorted, disjoint, word-aligned `[start, end)` byte spans within
+    /// the page: the union of every load band the plan lowers for this
+    /// process on this page, over all epochs — an over-approximation of
+    /// the words it can ever read.
+    pub spans: Vec<(u32, u32)>,
+}
+
+/// The certificate for one page.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PageCert {
+    /// Page index within the shared segment.
+    pub page: u32,
+    /// Sharing classification.
+    pub class: PageClass,
+    /// Per-writer footprints, sorted by writer. Populated for every class
+    /// (the prover knows the spans regardless); *certified* — usable by
+    /// the protocol — only when [`PageCert::certified`] holds.
+    pub writers: Vec<WriterRegions>,
+    /// Per-process load footprints, sorted by reader — every process the
+    /// plan shows loading any word of this page. On certified pages an
+    /// update push to process `q` may be clipped to `q`'s load spans: the
+    /// words outside them are provably never read by `q`, so shipping
+    /// them is pure false-sharing traffic. The home is exempt — its copy
+    /// is canonical and always receives the full delta.
+    pub loads: Vec<ReaderLoads>,
+}
+
+impl PageCert {
+    /// True when every writer's delta is proven to commute with every
+    /// other's: the page is exclusive (one writer commutes trivially) or
+    /// false-shared (pairwise-disjoint spans). Certified pages may be
+    /// handled twin-free at region granularity.
+    pub fn certified(&self) -> bool {
+        matches!(self.class, PageClass::Exclusive | PageClass::FalseShared)
+    }
+
+    /// This page's footprint for `writer`, if it writes the page.
+    pub fn writer(&self, writer: usize) -> Option<&WriterRegions> {
+        self.writers
+            .iter()
+            .find(|w| usize::from(w.writer) == writer)
+    }
+
+    /// This page's proven load spans for `reader`, if it loads the page.
+    pub fn loads_of(&self, reader: usize) -> Option<&[(u32, u32)]> {
+        self.loads
+            .iter()
+            .find(|l| usize::from(l.reader) == reader)
+            .map(|l| l.spans.as_slice())
+    }
+}
+
+/// All page certificates for one (app, nprocs, scale) configuration,
+/// sorted by page for binary-search lookup.
+///
+/// Constructed by `dsm-plan`'s false-sharing prover and carried into runs
+/// via `RunConfig::regions`; pages without a certificate entry (never
+/// written, or outside the analyzed segment) are handled at page
+/// granularity exactly as under bar-u.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RegionTable {
+    certs: Vec<PageCert>,
+}
+
+impl RegionTable {
+    /// Build a table from per-page certificates. Sorts by page and checks
+    /// the structural invariants every consumer relies on: unique pages,
+    /// per-writer spans sorted / disjoint / word-aligned / non-empty, and
+    /// writers sorted with no duplicates.
+    pub fn new(mut certs: Vec<PageCert>) -> RegionTable {
+        certs.sort_by_key(|c| c.page);
+        for pair in certs.windows(2) {
+            assert_ne!(pair[0].page, pair[1].page, "duplicate page certificate");
+        }
+        for c in &certs {
+            for pair in c.writers.windows(2) {
+                assert!(
+                    pair[0].writer < pair[1].writer,
+                    "page {}: writers unsorted or duplicated",
+                    c.page
+                );
+            }
+            for w in &c.writers {
+                assert!(!w.spans.is_empty(), "page {}: writer without spans", c.page);
+                check_spans(c.page, &w.spans);
+            }
+            for pair in c.loads.windows(2) {
+                assert!(
+                    pair[0].reader < pair[1].reader,
+                    "page {}: readers unsorted or duplicated",
+                    c.page
+                );
+            }
+            for l in &c.loads {
+                assert!(!l.spans.is_empty(), "page {}: reader without spans", c.page);
+                check_spans(c.page, &l.spans);
+            }
+        }
+        RegionTable { certs }
+    }
+
+    /// The certificate for `page`, if one was proven.
+    pub fn cert(&self, page: u32) -> Option<&PageCert> {
+        self.certs
+            .binary_search_by_key(&page, |c| c.page)
+            .ok()
+            .map(|i| &self.certs[i])
+    }
+
+    /// All certificates, in page order.
+    pub fn iter(&self) -> impl Iterator<Item = &PageCert> {
+        self.certs.iter()
+    }
+
+    /// Number of certified (twin-free eligible) pages.
+    pub fn certified_pages(&self) -> usize {
+        self.certs.iter().filter(|c| c.certified()).count()
+    }
+
+    /// Number of page certificates.
+    pub fn len(&self) -> usize {
+        self.certs.len()
+    }
+
+    /// True when no page was analyzed.
+    pub fn is_empty(&self) -> bool {
+        self.certs.is_empty()
+    }
+}
+
+/// Shared span-list invariant: sorted, disjoint, word-aligned, non-empty.
+fn check_spans(page: u32, spans: &[(u32, u32)]) {
+    let mut prev_end = 0u32;
+    for (i, &(s, e)) in spans.iter().enumerate() {
+        assert!(s < e, "page {page}: empty span");
+        assert!(s % 8 == 0 && e % 8 == 0, "page {page}: unaligned span");
+        assert!(
+            i == 0 || s >= prev_end,
+            "page {page}: spans unsorted or overlapping"
+        );
+        prev_end = e;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> RegionTable {
+        RegionTable::new(vec![
+            PageCert {
+                page: 4,
+                class: PageClass::FalseShared,
+                writers: vec![
+                    WriterRegions {
+                        writer: 0,
+                        spans: vec![(0, 64)],
+                        readers: 0b10,
+                    },
+                    WriterRegions {
+                        writer: 1,
+                        spans: vec![(64, 128), (256, 264)],
+                        readers: 0b01,
+                    },
+                ],
+                loads: vec![
+                    ReaderLoads {
+                        reader: 0,
+                        spans: vec![(64, 128)],
+                    },
+                    ReaderLoads {
+                        reader: 1,
+                        spans: vec![(0, 64)],
+                    },
+                ],
+            },
+            PageCert {
+                page: 2,
+                class: PageClass::TrueShared,
+                writers: vec![WriterRegions {
+                    writer: 0,
+                    spans: vec![(0, 8)],
+                    readers: !0,
+                }],
+                loads: vec![],
+            },
+        ])
+    }
+
+    #[test]
+    fn lookup_is_sorted_binary_search() {
+        let t = table();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cert(2).unwrap().class, PageClass::TrueShared);
+        assert_eq!(t.cert(4).unwrap().class, PageClass::FalseShared);
+        assert!(t.cert(3).is_none());
+        assert_eq!(t.certified_pages(), 1);
+    }
+
+    #[test]
+    fn cert_predicates() {
+        let t = table();
+        let c = t.cert(4).unwrap();
+        assert!(c.certified());
+        assert!(!t.cert(2).unwrap().certified());
+        assert_eq!(c.writer(1).unwrap().span_bytes(), 72);
+        assert!(c.writer(5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate page")]
+    fn duplicate_pages_rejected() {
+        let c = PageCert {
+            page: 1,
+            class: PageClass::Exclusive,
+            writers: vec![WriterRegions {
+                writer: 0,
+                spans: vec![(0, 8)],
+                readers: 0,
+            }],
+            loads: vec![],
+        };
+        let _ = RegionTable::new(vec![c.clone(), c]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned span")]
+    fn unaligned_spans_rejected() {
+        let _ = RegionTable::new(vec![PageCert {
+            page: 0,
+            class: PageClass::Exclusive,
+            writers: vec![WriterRegions {
+                writer: 0,
+                spans: vec![(0, 12)],
+                readers: 0,
+            }],
+            loads: vec![],
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsorted or overlapping")]
+    fn overlapping_spans_rejected() {
+        let _ = RegionTable::new(vec![PageCert {
+            page: 0,
+            class: PageClass::Exclusive,
+            writers: vec![WriterRegions {
+                writer: 0,
+                spans: vec![(0, 16), (8, 24)],
+                readers: 0,
+            }],
+            loads: vec![],
+        }]);
+    }
+}

@@ -50,7 +50,7 @@ impl BarDeliveries {
     /// Record one version bump contribution for `page`, returning nothing;
     /// consecutive bumps of the same page within one barrier extend the
     /// same ledger entry.
-    fn bump(&mut self, page: PageId, versions: &mut [u32]) {
+    pub(crate) fn bump(&mut self, page: PageId, versions: &mut [u32]) {
         let old = versions[page.index()];
         versions[page.index()] = old + 1;
         if let Some(e) = self.bumps.iter_mut().find(|e| e.0 == page) {
@@ -84,13 +84,22 @@ impl Cluster {
                 || (self.cfg.protocol.is_update()
                     && self.copysets[page.index()].others(pid).next().is_some());
             if need_twin {
-                let cost = self.cfg.sim.costs.twin_create(self.page_size());
-                self.procs[pid]
-                    .store
-                    .frame_mut(page)
-                    .make_twin_in(&mut self.pool);
-                self.charge(pid, Category::Os, cost);
-                self.stats.twins += 1;
+                if self.barr_twin_free(pid, page) {
+                    // bar-r with a commuting-writer certificate: the delta
+                    // can be captured from twin-free dirty tracking over
+                    // the proven spans, so the twin (and its copy cost) is
+                    // skipped entirely.
+                    self.procs[pid].store.frame_mut(page).arm_dirty_tracking();
+                    self.stats.region_twin_skips += 1;
+                } else {
+                    let cost = self.cfg.sim.costs.twin_create(self.page_size());
+                    self.procs[pid]
+                        .store
+                        .frame_mut(page)
+                        .make_twin_in(&mut self.pool);
+                    self.charge(pid, Category::Os, cost);
+                    self.stats.twins += 1;
+                }
             }
             self.set_prot(pid, page, Protection::ReadWrite);
             self.procs[pid].dirty.push(page);
@@ -188,6 +197,21 @@ impl Cluster {
         let mut contributions = 0usize;
         for page in dirty {
             let home = self.homes[page.index()];
+            let tracked = self.procs[pid]
+                .store
+                .frame(page)
+                .is_some_and(Frame::tracking);
+            if tracked {
+                // bar-r region path: capture the delta from the recorded
+                // dirty ranges, grounded against the static certificate.
+                if self.barr_pre_barrier_page(pid, page) {
+                    contributions += 1;
+                }
+                if reprotect {
+                    self.set_prot(pid, page, Protection::Read);
+                }
+                continue;
+            }
             let has_twin = self.procs[pid]
                 .store
                 .frame(page)
@@ -242,6 +266,8 @@ impl Cluster {
                             sent_at,
                         );
                         self.charge(pid, Category::Os, tr.sender);
+                        self.stats
+                            .note_flush(page.index(), diff.wire_bytes() as u64);
                         if tr.attempts > 1 {
                             self.emit(CheckEvent::WireRetransmit {
                                 src: pid,
@@ -275,6 +301,8 @@ impl Cluster {
                                 diff.wire_bytes(),
                             );
                             self.charge(pid, Category::Os, out.transit.sender);
+                            self.stats
+                                .note_flush(page.index(), diff.wire_bytes() as u64);
                             if out.delivered {
                                 self.bar_deliveries.bar_updates.push((
                                     q,
@@ -383,13 +411,18 @@ impl Cluster {
                 .iter()
                 .find(|(p, _)| *p == page)
                 .map_or(&[], |(_, v)| v.as_slice());
-            let my_contrib = self
-                .bar_deliveries
-                .writer_bumps
-                .iter()
-                .filter(|&&(w, p)| w == pid && p == page)
-                .count();
-            let expected = (newv - oldv) as usize - my_contrib;
+            // bar-r certified page: elided pushes must not read as lost
+            // flushes, so the expectation counts only writers that
+            // actually push to this process.
+            let expected = self.barr_expected_updates(pid, page).unwrap_or_else(|| {
+                let my_contrib = self
+                    .bar_deliveries
+                    .writer_bumps
+                    .iter()
+                    .filter(|&&(w, p)| w == pid && p == page)
+                    .count();
+                (newv - oldv) as usize - my_contrib
+            });
             let current = {
                 let f = self.procs[pid].store.frame(page);
                 f.is_some_and(|f| f.prot().readable() && f.version_seen() == oldv)

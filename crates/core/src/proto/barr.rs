@@ -1,0 +1,299 @@
+//! `bar-r`: the region-granularity variant of `bar-u`.
+//!
+//! bar-r is bar-u plus a statically proven fast path. The plan layer's
+//! false-sharing prover ([`crate::mem::RegionTable`]) certifies pages
+//! whose writers have pairwise-disjoint store spans; on those pages:
+//!
+//! * the **twin is skipped** at write-fault time — the frame arms
+//!   twin-free dirty tracking instead, and the end-of-epoch delta is a
+//!   verbatim capture of the recorded ranges ([`Diff::capture_in`]).
+//!   Soundness is the commuting-writer certificate: each span has a
+//!   single writer, so the writer's local span contents are globally
+//!   freshest and shipping them verbatim commutes with every concurrent
+//!   delta (Darcs-style: deltas commute iff their spans are disjoint).
+//!   The recorded dynamic ranges are debug-asserted to stay inside the
+//!   proven spans — the certificate's grounding obligation;
+//! * **update pushes are flushed at region granularity**: a push to a
+//!   proven reader is *clipped* to that reader's proven load spans — the
+//!   delta words it provably never reads are false-sharing traffic and
+//!   stay home — and a push to a copyset member the plan proves loads
+//!   none of the writer's spans is *elided* outright. The home still
+//!   receives every full delta (its copy must stay canonical), and the
+//!   `UpdateFlush` event keeps the full copyset so the checker's
+//!   copyset-omission invariant is unchanged; a
+//!   [`CheckEvent::FalseShareElided`] event names the skipped members,
+//!   and the region-aware checker verifies each one against the
+//!   certificate.
+//!
+//! Pages without a certificate — true-shared, unanalyzed, or with no
+//! region table installed at all — take the bar-u paths byte-for-byte.
+//! Dispatch lives at three points in `bar.rs`: the fault-time twin
+//! decision, the pre-barrier per-page flush, and the post-release
+//! expected-update count (an elided member must not mistake the missing
+//! push for a lost flush and invalidate a provably clean copy).
+
+use dsm_net::MsgKind;
+use dsm_sim::Category;
+use dsm_vm::{Diff, PageId};
+
+/// Intersect a sorted, disjoint range iterator with sorted, disjoint
+/// spans. The result covers exactly `ranges ∩ spans`; since every actual
+/// store landed inside the spans, it still covers every written word.
+fn clip_to_spans(
+    ranges: impl Iterator<Item = (u32, u32)>,
+    spans: &[(u32, u32)],
+) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for (rs, re) in ranges {
+        let i = spans.partition_point(|&(_, se)| se <= rs);
+        for &(ss, se) in &spans[i..] {
+            if ss >= re {
+                break;
+            }
+            let (lo, hi) = (rs.max(ss), re.min(se));
+            if lo < hi {
+                out.push((lo, hi));
+            }
+        }
+    }
+    out
+}
+
+use crate::check::CheckEvent;
+use crate::drive::cluster::Cluster;
+use crate::mem::RegionTable;
+
+impl Cluster {
+    /// True when `pid`'s write fault on `page` may skip the twin: bar-r
+    /// with a region table whose certificate covers the page and names
+    /// `pid` as one of its proven writers.
+    pub(crate) fn barr_twin_free(&self, pid: usize, page: PageId) -> bool {
+        if !self.cfg.protocol.is_region() {
+            return false;
+        }
+        let Some(rt) = &self.cfg.regions else {
+            return false;
+        };
+        rt.cert(page.0)
+            .is_some_and(|c| c.certified() && c.writer(pid).is_some())
+    }
+
+    /// End-of-epoch flush for one tracked (twin-free) page. Mirrors the
+    /// bar-u diff branch of `bar_pre_barrier` with the delta captured
+    /// from dirty ranges instead of a twin comparison, pushes clipped to
+    /// each reader's proven load spans, and pushes elided entirely for
+    /// certified non-readers. Returns whether this page contributed a
+    /// version bump.
+    pub(crate) fn barr_pre_barrier_page(&mut self, pid: usize, page: PageId) -> bool {
+        let home = self.homes[page.index()];
+        let rt: std::sync::Arc<RegionTable> = self
+            .cfg
+            .regions
+            .clone()
+            .expect("twin-free tracking armed without a region table");
+        let cert = rt.cert(page.0).expect("tracked page without certificate");
+        let wr = cert
+            .writer(pid)
+            .expect("tracked page without a writer certificate");
+
+        let d = self.procs[pid].store.frame(page).expect("tracked frame");
+        let ranges = d.dirty_ranges();
+        if ranges.is_clean() {
+            // Defensive: an armed page with no recorded write flushes
+            // nothing (bar-u's empty-diff case).
+            self.procs[pid]
+                .store
+                .frame_mut(page)
+                .disarm_dirty_tracking();
+            self.stats.empty_diffs += 1;
+            return false;
+        }
+        // The certificate's dynamic grounding: every recorded range must
+        // lie inside the statically proven spans. A collapsed range set
+        // lost that information, so the capture falls back to the full
+        // proven spans — still sound (single writer per span), merely
+        // bigger. A *coarse* cover (scattered writes merged past the
+        // range cap) may straddle the gaps between this writer's spans,
+        // so it is clipped back to them: capturing another writer's words
+        // would ship stale bytes over fresh ones.
+        let spans: Vec<(u32, u32)> = if ranges.is_all() {
+            wr.spans.clone()
+        } else if ranges.is_coarse() {
+            clip_to_spans(ranges.iter(), &wr.spans)
+        } else {
+            debug_assert!(
+                ranges.within(&wr.spans),
+                "region certificate violated: page {} writer {pid} wrote outside proven spans",
+                page.0
+            );
+            ranges.iter().collect()
+        };
+        let captured: usize = spans.iter().map(|&(s, e)| (e - s) as usize).sum();
+        // The region scan touches only the captured bytes (no page-wide
+        // twin comparison), but pays the same fixed diff overhead.
+        let scan = self.cfg.sim.costs.diff_create(captured);
+        self.charge(pid, Category::Os, scan);
+        self.stats.diffs_created += 1;
+        let diff = Diff::capture_in(
+            page,
+            self.procs[pid].store.frame(page).expect("frame").data(),
+            &spans,
+            &mut self.pool,
+        );
+        self.procs[pid]
+            .store
+            .frame_mut(page)
+            .disarm_dirty_tracking();
+        debug_assert!(!diff.is_empty(), "non-clean ranges captured no runs");
+
+        let old = self.versions[page.index()];
+        self.bar_deliveries.bump(page, &mut self.versions);
+        let new = self.versions[page.index()];
+        self.emit(CheckEvent::VersionBump {
+            page: page.0,
+            old,
+            new,
+        });
+        self.bar_deliveries.writer_bumps.push((pid, page));
+
+        if pid != home {
+            let sent_at = self.procs[pid].clock.now();
+            let tr = self.net.send_reliable(
+                pid,
+                home,
+                MsgKind::DiffFlushHome,
+                diff.wire_bytes(),
+                sent_at,
+            );
+            self.charge(pid, Category::Os, tr.sender);
+            self.stats
+                .note_flush(page.index(), diff.wire_bytes() as u64);
+            if tr.attempts > 1 {
+                self.emit(CheckEvent::WireRetransmit {
+                    src: pid,
+                    dst: home,
+                    attempts: tr.attempts,
+                });
+            }
+            self.bar_deliveries
+                .home_flushes
+                .push((home, page, diff.clone(), tr.receiver));
+        }
+
+        // Update pushes: full-copyset event (the copyset-omission
+        // invariant is unchanged), pushes only to proven readers, an
+        // elision event naming everyone the certificate excused. Each
+        // push is *clipped* to the receiver's proven load spans — the
+        // region-granularity flush proper: words of the delta the
+        // receiver provably never reads are false-sharing traffic and
+        // stay home. (The receiver's copy goes stale on those words,
+        // which is exactly what the certificate licenses; the home's
+        // canonical copy got the full delta above.)
+        let cs = self.copysets[page.index()];
+        self.emit(CheckEvent::UpdateFlush {
+            writer: pid,
+            page: page.0,
+            copyset: cs.bits(),
+        });
+        let readers = wr.readers;
+        let mut elided = 0u64;
+        let members: Vec<usize> = cs.others(pid).filter(|&q| q != home).collect();
+        for q in members {
+            if readers & (1 << q) == 0 {
+                elided |= 1 << q;
+                self.stats.region_elided_pushes += 1;
+                continue;
+            }
+            let pdiff = match cert.loads_of(q) {
+                Some(lq) => {
+                    let clipped = clip_to_spans(spans.iter().copied(), lq);
+                    if clipped == spans {
+                        diff.clone()
+                    } else {
+                        Diff::capture_in(
+                            page,
+                            self.procs[pid].store.frame(page).expect("frame").data(),
+                            &clipped,
+                            &mut self.pool,
+                        )
+                    }
+                }
+                // No load footprint recorded for a proven reader: the
+                // bitmap was computed from the same data, so this cannot
+                // happen with a prover-built table — stay conservative.
+                None => diff.clone(),
+            };
+            self.stats.region_push_bytes_saved += (diff.wire_bytes() - pdiff.wire_bytes()) as u64;
+            let out = self
+                .net
+                .send_flush(pid, q, MsgKind::UpdateFlush, pdiff.wire_bytes());
+            self.charge(pid, Category::Os, out.transit.sender);
+            self.stats
+                .note_flush(page.index(), pdiff.wire_bytes() as u64);
+            if out.delivered {
+                self.bar_deliveries.bar_updates.push((
+                    q,
+                    page,
+                    pdiff.clone(),
+                    out.transit.receiver,
+                ));
+                if out.duplicated {
+                    self.emit(CheckEvent::DupDelivery {
+                        writer: pid,
+                        page: page.0,
+                        dst: q,
+                    });
+                    self.bar_deliveries.bar_updates.push((
+                        q,
+                        page,
+                        pdiff.clone(),
+                        out.transit.receiver,
+                    ));
+                }
+            }
+            self.pool.put_diff(pdiff);
+        }
+        if elided != 0 {
+            self.emit(CheckEvent::FalseShareElided {
+                writer: pid,
+                page: page.0,
+                elided,
+            });
+        }
+        self.pool.put_diff(diff);
+        true
+    }
+
+    /// The update count a non-home process must receive for `page` to
+    /// self-validate, when bar-r elision changes it from the bar-u
+    /// default (`bumps - own contributions`). `None` means "use the
+    /// default": not bar-r, no table, or the page is uncertified.
+    ///
+    /// On a certified page the expectation counts only the bumps whose
+    /// writer actually pushes to `pid`: writers whose proven spans `pid`
+    /// loads (plus, conservatively, any writer the certificate does not
+    /// name — such a writer took the twin path and pushed to everyone).
+    /// An elided member therefore expects zero and self-validates for
+    /// free — sound because it provably never loads the stale words.
+    pub(crate) fn barr_expected_updates(&self, pid: usize, page: PageId) -> Option<usize> {
+        if !self.cfg.protocol.is_region() {
+            return None;
+        }
+        let rt = self.cfg.regions.as_ref()?;
+        let cert = rt.cert(page.0)?;
+        if !cert.certified() {
+            return None;
+        }
+        let n = self
+            .bar_deliveries
+            .writer_bumps
+            .iter()
+            .filter(|&&(w, p)| {
+                p == page
+                    && w != pid
+                    && cert.writer(w).is_none_or(|wr| wr.readers & (1 << pid) != 0)
+            })
+            .count();
+        Some(n)
+    }
+}

@@ -8,6 +8,9 @@
 //! * [`bar`] — home-based barrier protocols (`bar-i`, `bar-u`): version
 //!   indices, diff flushes to homes, whole-page fault service, runtime home
 //!   migration, copyset-driven update pushes.
+//! * [`barr`] — the region-granularity variant (`bar-r`): twin-free
+//!   deltas and push elision on pages with a static commuting-writer
+//!   certificate.
 //! * [`overdrive`] — write-set prediction and the `bar-s` / `bar-m`
 //!   steady-state trap elimination.
 //!
@@ -16,6 +19,7 @@
 //! calls); this module holds their state types and pure helpers.
 
 pub mod bar;
+pub mod barr;
 pub mod copyset;
 pub mod lmw;
 pub mod notice;

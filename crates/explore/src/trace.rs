@@ -147,6 +147,7 @@ pub fn protocol_by_label(s: &str) -> Option<ProtocolKind> {
         ProtocolKind::BarU,
         ProtocolKind::BarS,
         ProtocolKind::BarM,
+        ProtocolKind::BarR,
         ProtocolKind::Seq,
     ]
     .into_iter()

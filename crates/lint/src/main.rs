@@ -19,6 +19,20 @@
 //! * `env-read` — `std::env` reads in library code (behavior must not
 //!   depend on the invoking environment).
 //!
+//! A second, structural pass enforces the transport discipline:
+//!
+//! * `send-raw` — `send_reliable` / `send_flush` call sites outside the
+//!   protocol engine (`crates/core/src/proto/`, `crates/core/src/drive/`)
+//!   and the transport itself (`crates/net/src/`), plus any use of the
+//!   wire internals (`resolve_reliable` / `resolve_flush`) outside
+//!   `crates/net/src/`. Every message must flow through the protocol
+//!   layer so costs, statistics, and fault injection cannot be bypassed;
+//! * `flush-outcome` — a `send_flush` whose [`FlushOutcome`] is discarded
+//!   (expression statement, or bound to `_`). Flushes are charge-then-
+//!   drop: the `delivered` / `duplicated` flags are the only record that
+//!   the message may have been lost or delivered twice, and a caller that
+//!   drops them silently treats a lossy wire as reliable.
+//!
 //! Deliberate exceptions live in `lint-allow.toml` at the workspace root
 //! (hand-parsed here — the workspace is dependency-free by design). Every
 //! entry names a file, a rule, and a reason; stale entries that no longer
@@ -179,6 +193,116 @@ fn strip_noise(line: &str) -> String {
     out
 }
 
+/// Source prefixes allowed to call the transport's send entry points.
+const SEND_ALLOWED: [&str; 3] = [
+    "crates/net/src/",
+    "crates/core/src/proto/",
+    "crates/core/src/drive/",
+];
+
+/// The structural transport pass over one file's comment- and
+/// string-stripped lines: raw send call sites outside the protocol
+/// engine, wire internals outside the transport, and discarded
+/// `FlushOutcome`s. Returns `(line, rule, message)` findings.
+fn check_sends(rel: &str, stripped: &[String]) -> Vec<(usize, &'static str, String)> {
+    let mut findings = Vec::new();
+    // Join with line-offset bookkeeping so statement prefixes can cross
+    // lines (rustfmt splits `self.net.send_flush(..)` freely).
+    let mut joined = String::new();
+    let mut line_at = Vec::new();
+    for (ln, code) in stripped.iter().enumerate() {
+        for _ in code.chars() {
+            line_at.push(ln + 1);
+        }
+        line_at.push(ln + 1);
+        joined.push_str(code);
+        joined.push('\n');
+    }
+    let in_engine = SEND_ALLOWED.iter().any(|p| rel.starts_with(p));
+    let in_net = rel.starts_with("crates/net/src/");
+    for needle in [
+        "send_reliable(",
+        "send_flush(",
+        "resolve_reliable(",
+        "resolve_flush(",
+    ] {
+        let wire_internal = needle.starts_with("resolve_");
+        let mut from = 0;
+        while let Some(i) = joined[from..].find(needle) {
+            let at = from + i;
+            from = at + needle.len();
+            let line = line_at[at];
+            // The statement this occurrence belongs to, for definition
+            // detection and binding analysis.
+            let stmt = joined[..at].rfind([';', '{', '}']).map_or(0, |p| p + 1);
+            let prefix = joined[stmt..at].trim();
+            if prefix.split_whitespace().any(|t| t == "fn") {
+                continue; // the definition itself, not a call site
+            }
+            if wire_internal {
+                if !in_net {
+                    findings.push((
+                        line,
+                        "send-raw",
+                        format!(
+                            "wire internal `{needle}..)` used outside crates/net \
+                             (go through send_reliable/send_flush)"
+                        ),
+                    ));
+                }
+                continue;
+            }
+            if !in_engine {
+                findings.push((
+                    line,
+                    "send-raw",
+                    format!(
+                        "direct network `{needle}..)` outside the protocol engine \
+                         (messages must flow through crates/core proto/drive \
+                         so costs, stats, and fault injection apply)"
+                    ),
+                ));
+                continue;
+            }
+            if needle == "send_flush(" {
+                // The FlushOutcome must be bound to a real name: an
+                // expression statement or a `_` binding silently treats
+                // the lossy wire as reliable.
+                let bound = prefix
+                    .split_once("let")
+                    .and_then(|(_, r)| r.split_once('='))
+                    .map(|(name, _)| name.trim().to_string());
+                let discarded = match &bound {
+                    Some(name) => name == "_" || name.starts_with('_'),
+                    // No `let`: the outcome is consumed when the call is
+                    // nested in a larger expression (an argument or macro
+                    // operand leaves an open paren in the prefix, a
+                    // `match`/`return`/`if` scrutinee flows onward); a
+                    // bare receiver chain is an expression statement that
+                    // drops it.
+                    None => {
+                        !prefix.contains('=')
+                            && !prefix.contains('(')
+                            && !prefix
+                                .split_whitespace()
+                                .any(|t| matches!(t, "match" | "return" | "if" | "while"))
+                    }
+                };
+                if discarded {
+                    findings.push((
+                        line,
+                        "flush-outcome",
+                        "FlushOutcome discarded: the delivered/duplicated flags are \
+                         the only record of loss or duplication and must be consumed"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
 fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let path = entry?.path();
@@ -212,6 +336,7 @@ fn run(root: &Path) -> Result<Vec<String>, String> {
             .replace('\\', "/");
         let text =
             fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let mut stripped: Vec<String> = Vec::new();
         for (ln, raw) in text.lines().enumerate() {
             let code = strip_noise(raw);
             for rule in &RULES {
@@ -233,6 +358,14 @@ fn run(root: &Path) -> Result<Vec<String>, String> {
                     rule.why
                 ));
             }
+            stripped.push(code);
+        }
+        for (line, rule, msg) in check_sends(&rel, &stripped) {
+            if let Some(a) = allows.iter_mut().find(|a| a.rule == rule && a.file == rel) {
+                a.used = true;
+                continue;
+            }
+            findings.push(format!("{rel}:{line}: [{rule}] {msg}"));
         }
     }
     for a in &allows {
@@ -303,6 +436,53 @@ reason = "because"
         assert!(parse_allowlist("file = \"orphan\"\n").is_err());
         assert!(parse_allowlist("[[allow]]\nfile = \"f\"\n").is_err());
         assert!(parse_allowlist("[[allow]]\nfile = \"f\"\nfile = \"g\"\n").is_err());
+    }
+
+    fn lines(src: &str) -> Vec<String> {
+        src.lines().map(strip_noise).collect()
+    }
+
+    #[test]
+    fn raw_send_outside_engine_flagged() {
+        let src = "let tr = self.net.send_reliable(a, b, k, 0, now);";
+        let f = check_sends("crates/apps/src/sor.rs", &lines(src));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].1, "send-raw");
+        // The same call site inside the protocol engine is fine.
+        assert!(check_sends("crates/core/src/proto/bar.rs", &lines(src)).is_empty());
+    }
+
+    #[test]
+    fn wire_internals_outside_net_flagged() {
+        let src = "let d = self.wire.resolve_flush(src, dst, legs, s);";
+        assert_eq!(
+            check_sends("crates/core/src/proto/bar.rs", &lines(src)).len(),
+            1
+        );
+        assert!(check_sends("crates/net/src/network.rs", &lines(src)).is_empty());
+    }
+
+    #[test]
+    fn discarded_flush_outcome_flagged() {
+        // Expression statement, `_` binding, and a multi-line split all
+        // discard the outcome; a real binding consumes it.
+        for src in [
+            "self.net.send_flush(p, q, k, n);",
+            "let _ = self.net.send_flush(p, q, k, n);",
+            "let _out = self\n    .net\n    .send_flush(p, q, k, n);",
+        ] {
+            let f = check_sends("crates/core/src/proto/bar.rs", &lines(src));
+            assert_eq!(f.len(), 1, "{src}");
+            assert_eq!(f[0].1, "flush-outcome", "{src}");
+        }
+        let ok = "let out = self\n    .net\n    .send_flush(p, q, k, n);\nuse_(out.delivered);";
+        assert!(check_sends("crates/core/src/proto/bar.rs", &lines(ok)).is_empty());
+    }
+
+    #[test]
+    fn send_definitions_not_flagged() {
+        let src = "pub fn send_flush(&mut self, src: usize) -> FlushOutcome {";
+        assert!(check_sends("crates/net/src/network.rs", &lines(src)).is_empty());
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! ([`lower`], [`layout`], [`schedule`]) and then:
 //!
 //! * proves phase-level data-race freedom ([`race`]);
+//! * classifies every written page as exclusive / true-shared /
+//!   false-shared and emits commuting-writer region certificates
+//!   ([`falseshare`]), grounded against real runs by [`regions`];
 //! * predicts the steady-state per-page copysets and the exact per-barrier
 //!   update-flush traffic by running abstract transcriptions of the
 //!   protocols over the page-granularity footprints ([`protosim`]);
@@ -20,21 +23,25 @@
 //! declared spans and observed flushes == predicted flushes.
 
 pub mod dynamic;
+pub mod falseshare;
 pub mod groups;
 pub mod layout;
 pub mod lower;
 pub mod protosim;
 pub mod race;
+pub mod regions;
 pub mod report;
 pub mod schedule;
 pub mod spec;
 
 pub use dynamic::{PlanOutcome, PlanSink};
+pub use falseshare::{prove_regions, run_footprints, RunFootprints};
 pub use groups::static_page_groups;
 pub use layout::{probe_layout, ArrayLayout, Layout, REDUCE_RESULT, REDUCE_SLOTS};
 pub use lower::{band, interior_band, lower_rows, SpanSet, ESIZE};
 pub use protosim::{predict, total_pages, FlushTriple, Prediction, SteadyCopysets};
 pub use race::{check_races, RaceReport, RaceWitness};
+pub use regions::{region_digest, render_region_report, RegionOutcome, RegionSink};
 pub use report::{analyze, render_app_report, render_report, AppAnalysis};
 pub use schedule::{
     build_schedule, epoch_touches, lower_epoch, EpochAccess, EpochKind, EpochSpec, EpochTouch,

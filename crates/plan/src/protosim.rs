@@ -93,6 +93,11 @@ pub fn predict(
         protocol != ProtocolKind::BarM,
         "bar-m diffs span overdrive phases and are not modeled"
     );
+    assert!(
+        protocol != ProtocolKind::BarR,
+        "bar-r region flushes are validated by the regions cross-check, \
+         not the page-granularity simulator"
+    );
     let nbarriers = schedule.iter().filter(|e| e.barrier).count();
     match protocol {
         ProtocolKind::Seq | ProtocolKind::LmwI => Prediction {
@@ -111,7 +116,7 @@ pub fn predict(
             p.protocol = protocol;
             p
         }
-        ProtocolKind::BarM => unreachable!(),
+        ProtocolKind::BarM | ProtocolKind::BarR => unreachable!(),
     }
 }
 

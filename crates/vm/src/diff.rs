@@ -177,6 +177,54 @@ impl Diff {
         scan(page, twin, current, Some(ranges), Some(pool))
     }
 
+    /// Capture the raw contents of `current` over `spans` (sorted,
+    /// disjoint, word-aligned `[start, end)` byte spans) as one run per
+    /// span — no twin, no comparison. This is the twin-free delta of a
+    /// region-granularity protocol: when a static certificate proves the
+    /// caller is the only writer of every span, the span contents *are*
+    /// the freshest value of those words, so shipping them verbatim
+    /// commutes with every concurrent writer's delta by construction.
+    pub fn capture(page: PageId, current: &PageBuf, spans: &[(u32, u32)]) -> Diff {
+        Self::capture_impl(page, current, spans, None)
+    }
+
+    /// [`Diff::capture`] drawing run storage from `pool`.
+    pub fn capture_in(
+        page: PageId,
+        current: &PageBuf,
+        spans: &[(u32, u32)],
+        pool: &mut BufPool,
+    ) -> Diff {
+        Self::capture_impl(page, current, spans, Some(pool))
+    }
+
+    fn capture_impl(
+        page: PageId,
+        current: &PageBuf,
+        spans: &[(u32, u32)],
+        mut pool: Option<&mut BufPool>,
+    ) -> Diff {
+        let len = current.len() as u32;
+        let cb = current.bytes();
+        let mut runs = match pool.as_deref_mut() {
+            Some(p) => p.take_runs(),
+            None => Vec::new(),
+        };
+        for &(s, e) in spans {
+            let e = e.min(len);
+            if s >= e {
+                continue;
+            }
+            let mut data = match pool.as_deref_mut() {
+                Some(p) => p.take_run_buf(),
+                None => Vec::new(),
+            };
+            data.extend_from_slice(&cb[s as usize..e as usize]);
+            runs.push(DiffRun { offset: s, data });
+        }
+        Diff { page, runs }
+    }
+
     /// True if the twin and current contents were identical — the paper's
     /// "zero-length diff", which overdrive protocols use to skip flushes.
     pub fn is_empty(&self) -> bool {
@@ -346,6 +394,28 @@ mod tests {
         let mut all = DirtyRanges::new();
         all.mark_all();
         assert_eq!(full, Diff::between_ranges(PageId(3), &twin, &cur, &all));
+    }
+
+    #[test]
+    fn capture_ships_span_contents_verbatim() {
+        let cur = page_with(&[(8, 1), (9, 2), (64, 3)], 128);
+        let d = Diff::capture(PageId(7), &cur, &[(8, 16), (64, 72)]);
+        assert_eq!(d.runs.len(), 2);
+        assert_eq!(d.runs[0].offset, 8);
+        assert_eq!(&d.runs[0].data[..2], &[1, 2]);
+        assert_eq!(d.runs[1].offset, 64);
+        assert_eq!(d.runs[1].data[0], 3);
+        // Spans past the page end clip; empty spans drop.
+        let e = Diff::capture(PageId(0), &cur, &[(120, 200), (40, 40)]);
+        assert_eq!(e.runs.len(), 1);
+        assert_eq!(e.runs[0].data.len(), 8);
+        // Pooled storage must not leak stale bytes.
+        let mut pool = BufPool::new();
+        let p1 = Diff::capture_in(PageId(7), &cur, &[(8, 16), (64, 72)], &mut pool);
+        assert_eq!(p1, d);
+        pool.put_diff(p1);
+        let p2 = Diff::capture_in(PageId(7), &cur, &[(8, 16), (64, 72)], &mut pool);
+        assert_eq!(p2, d);
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub struct DirtyRanges {
     ranges: Vec<(u32, u32)>,
     /// Collapsed state: the entire page must be scanned.
     all: bool,
+    /// Coarsened state: [`DirtyRanges::insert_coarse`] merged across a
+    /// gap, so the ranges are a cover of the written words rather than an
+    /// exact record.
+    coarse: bool,
 }
 
 impl DirtyRanges {
@@ -46,9 +50,16 @@ impl DirtyRanges {
         self.all
     }
 
+    /// True if [`DirtyRanges::insert_coarse`] ever merged across a gap:
+    /// the ranges cover the written words but may include unwritten ones.
+    pub fn is_coarse(&self) -> bool {
+        self.coarse
+    }
+
     /// Forget everything (a fresh twin was just taken).
     pub fn clear(&mut self) {
         self.all = false;
+        self.coarse = false;
         self.ranges.clear();
     }
 
@@ -64,6 +75,15 @@ impl DirtyRanges {
         if self.all || len == 0 {
             return;
         }
+        self.merge_in(start, len);
+        if self.ranges.len() > Self::MAX_RANGES {
+            self.mark_all();
+        }
+    }
+
+    /// Word-align `[start, start+len)` and merge it into the sorted set,
+    /// with no cap policy applied.
+    fn merge_in(&mut self, start: usize, len: usize) {
         let s = (start & !(WORD - 1)) as u32;
         let e = ((start + len + WORD - 1) & !(WORD - 1)) as u32;
         // First range whose end reaches s (merge candidates start here;
@@ -79,8 +99,44 @@ impl DirtyRanges {
             self.ranges[i] = (ns, ne);
             self.ranges.drain(i + 1..j);
         }
-        if self.ranges.len() > Self::MAX_RANGES {
-            self.mark_all();
+    }
+
+    /// Like [`DirtyRanges::insert`], but *coarsen* instead of collapsing
+    /// when the range count would exceed [`DirtyRanges::MAX_RANGES`]: the
+    /// two ranges separated by the smallest gap are merged into one. The
+    /// set is then a bounded *cover* of the written words — every write is
+    /// inside some range, but a range may include words never written.
+    ///
+    /// Twin-free (region-granularity) flushing uses this: a cover can
+    /// still be captured verbatim, and for the scattered single-word
+    /// patterns that defeat exact tracking, absorbing a one-word gap costs
+    /// exactly the run header it saves, so the capture stays byte-neutral
+    /// with an exact diff. Callers that need containment proofs must
+    /// check [`DirtyRanges::is_coarse`]: a coarse cover may straddle span
+    /// gaps and has to be clipped against the proven spans instead.
+    ///
+    /// Twin-based diffing never uses this path — a cover would only add
+    /// equal-word comparisons there, and the collapse heuristic's exact
+    /// semantics are load-bearing for the twin protocols' cost model.
+    pub fn insert_coarse(&mut self, start: usize, len: usize) {
+        if self.all || len == 0 {
+            return;
+        }
+        self.merge_in(start, len);
+        while self.ranges.len() > Self::MAX_RANGES {
+            // Merge the pair with the smallest gap (ties: the leftmost).
+            let mut best = 0;
+            let mut best_gap = u32::MAX;
+            for i in 0..self.ranges.len() - 1 {
+                let gap = self.ranges[i + 1].0 - self.ranges[i].1;
+                if gap < best_gap {
+                    best_gap = gap;
+                    best = i;
+                }
+            }
+            self.ranges[best].1 = self.ranges[best + 1].1;
+            self.ranges.remove(best + 1);
+            self.coarse = true;
         }
     }
 
@@ -110,6 +166,23 @@ impl DirtyRanges {
         }
         let o = offset as u32;
         self.ranges.iter().any(|&(s, e)| s <= o && o < e)
+    }
+
+    /// True if every recorded range lies inside the union of `spans`
+    /// (sorted, disjoint `[start, end)` byte spans). A collapsed set is
+    /// contained by nothing — the caller lost the information needed to
+    /// prove containment. This is the dynamic grounding check for static
+    /// write-set certificates: a writer's recorded dirty ranges must stay
+    /// within its statically proven spans.
+    pub fn within(&self, spans: &[(u32, u32)]) -> bool {
+        if self.all {
+            return false;
+        }
+        self.ranges.iter().all(|&(s, e)| {
+            // Containment in a union of disjoint sorted spans means one
+            // single span covers the whole range (ranges are contiguous).
+            spans.iter().any(|&(ss, se)| ss <= s && e <= se)
+        })
     }
 }
 
@@ -184,5 +257,65 @@ mod tests {
         let mut d = DirtyRanges::new();
         d.insert(40, 0);
         assert!(d.is_clean());
+    }
+
+    #[test]
+    fn coarse_insert_never_collapses() {
+        let mut d = DirtyRanges::new();
+        for i in 0..4 * DirtyRanges::MAX_RANGES {
+            d.insert_coarse(i * 64, 8); // far apart: never merge exactly
+        }
+        assert!(!d.is_all());
+        assert!(d.is_coarse());
+        assert!(d.len() <= DirtyRanges::MAX_RANGES);
+        // Still a cover: every written word is inside some range.
+        for i in 0..4 * DirtyRanges::MAX_RANGES {
+            assert!(d.covers(i * 64), "write at {} escaped the cover", i * 64);
+        }
+        d.clear();
+        assert!(!d.is_coarse() && d.is_clean());
+    }
+
+    #[test]
+    fn coarse_insert_merges_smallest_gap_first() {
+        let mut d = DirtyRanges::new();
+        // MAX_RANGES ranges with one 8-byte gap between the first two and
+        // huge gaps elsewhere.
+        d.insert_coarse(0, 8);
+        d.insert_coarse(16, 8);
+        for i in 2..DirtyRanges::MAX_RANGES {
+            d.insert_coarse(i * 4096, 8);
+        }
+        assert_eq!(d.len(), DirtyRanges::MAX_RANGES);
+        assert!(!d.is_coarse());
+        // One more range forces a single merge: the 8-byte gap goes.
+        d.insert_coarse(2000, 8);
+        assert!(d.is_coarse());
+        assert_eq!(d.len(), DirtyRanges::MAX_RANGES);
+        assert_eq!(d.iter().next(), Some((0, 24)));
+    }
+
+    #[test]
+    fn coarse_insert_below_cap_stays_exact() {
+        let mut d = DirtyRanges::new();
+        d.insert_coarse(0, 8);
+        d.insert_coarse(64, 16);
+        assert!(!d.is_coarse());
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![(0, 8), (64, 80)]);
+        assert!(d.within(&[(0, 128)]));
+    }
+
+    #[test]
+    fn within_checks_span_containment() {
+        let mut d = DirtyRanges::new();
+        d.insert(8, 8);
+        d.insert(64, 16);
+        assert!(d.within(&[(0, 32), (64, 128)]));
+        assert!(d.within(&[(8, 80)]));
+        assert!(!d.within(&[(0, 32)]), "second range uncovered");
+        assert!(!d.within(&[(0, 70)]), "range straddles span end");
+        assert!(DirtyRanges::new().within(&[]), "clean set within anything");
+        d.mark_all();
+        assert!(!d.within(&[(0, 8192)]), "collapsed proves nothing");
     }
 }

@@ -47,9 +47,15 @@ pub struct Frame {
     /// frame (homeless protocols' "applied through" watermark).
     applied_through: u64,
     /// Word ranges written since the current twin was taken (conservative
-    /// superset of the words differing from the twin). Maintained only
-    /// while `twin` exists; cleared whenever a twin is (re)taken.
+    /// superset of the words differing from the twin). Maintained while
+    /// `twin` exists or `tracking` is armed; cleared whenever a twin is
+    /// (re)taken or tracking is (dis)armed.
     dirty: DirtyRanges,
+    /// Twin-free dirty tracking: when armed, writes are recorded in
+    /// `dirty` even without a twin. Region-granularity protocols use this
+    /// on pages whose writers hold a static commuting-writer certificate —
+    /// the recorded ranges alone (no twin comparison) bound the delta.
+    tracking: bool,
     /// Bumped on every observable mutation; keys derived-value caches.
     rev: u64,
     /// Revision-keyed cache slot for a derived 64-bit value (the
@@ -67,6 +73,7 @@ impl Frame {
             version_seen: 0,
             applied_through: 0,
             dirty: DirtyRanges::new(),
+            tracking: false,
             rev: 0,
             hash_cache: Cell::new(None),
         }
@@ -118,10 +125,17 @@ impl Frame {
         self.applied_through
     }
 
-    /// The dirty ranges recorded since the current twin was taken.
+    /// The dirty ranges recorded since the current twin was taken (or
+    /// since twin-free tracking was armed).
     #[inline]
     pub fn dirty_ranges(&self) -> &DirtyRanges {
         &self.dirty
+    }
+
+    /// True while twin-free dirty tracking is armed.
+    #[inline]
+    pub fn tracking(&self) -> bool {
+        self.tracking
     }
 
     /// Mutation counter; increases on every observable change. Equal
@@ -187,20 +201,26 @@ impl Frame {
     }
 
     /// Write `src` into the contents at byte `offset` — the application
-    /// write path. Records the range while a twin exists.
+    /// write path. Records the range while a twin exists or tracking is
+    /// armed.
     pub fn write_at(&mut self, offset: usize, src: &[u8]) {
         self.data.bytes_mut()[offset..offset + src.len()].copy_from_slice(src);
         if self.twin.is_some() {
             self.dirty.insert(offset, src.len());
+        } else if self.tracking {
+            // Twin-free: the recorded ranges ARE the delta (no twin to
+            // compare against), so a bounded cover beats collapse-to-all.
+            self.dirty.insert_coarse(offset, src.len());
         }
         self.touch();
     }
 
     /// Replace the whole contents with `src` (page fetch / migration).
-    /// Conservatively marks everything dirty if a twin exists.
+    /// Conservatively marks everything dirty if a twin exists or tracking
+    /// is armed.
     pub fn fill_from(&mut self, src: &PageBuf) {
         self.data.copy_from(src);
-        if self.twin.is_some() {
+        if self.twin.is_some() || self.tracking {
             self.dirty.mark_all();
         }
         self.touch();
@@ -213,8 +233,43 @@ impl Frame {
             for run in &diff.runs {
                 self.dirty.insert(run.offset as usize, run.data.len());
             }
+        } else if self.tracking {
+            for run in &diff.runs {
+                self.dirty
+                    .insert_coarse(run.offset as usize, run.data.len());
+            }
         }
         self.touch();
+    }
+
+    /// Arm twin-free dirty tracking, starting a fresh recording interval.
+    /// Used by region-granularity protocols on pages whose writers carry a
+    /// commuting-writer certificate: the recorded ranges bound the delta
+    /// without ever paying for a twin. No-op while a twin exists (the
+    /// twin's ranges already record every write).
+    pub fn arm_dirty_tracking(&mut self) {
+        if !self.tracking {
+            self.tracking = true;
+            if self.twin.is_none() {
+                self.dirty.clear();
+            }
+            self.touch();
+        }
+    }
+
+    /// Disarm twin-free tracking and forget the recorded ranges (unless a
+    /// twin still needs them). Returns whether tracking was armed.
+    pub fn disarm_dirty_tracking(&mut self) -> bool {
+        if self.tracking {
+            self.tracking = false;
+            if self.twin.is_none() {
+                self.dirty.clear();
+            }
+            self.touch();
+            true
+        } else {
+            false
+        }
     }
 
     /// Take a twin of the current contents (idempotent: keeps the first,
@@ -414,6 +469,37 @@ mod tests {
         assert!(g.dirty_ranges().covers(16));
         assert!(!g.dirty_ranges().covers(40));
         assert_eq!(g.data().bytes()[16], 7);
+    }
+
+    #[test]
+    fn tracking_records_without_twin() {
+        let mut f = Frame::new(64);
+        f.write_at(0, &[1]);
+        assert!(f.dirty_ranges().is_clean(), "untracked writes unrecorded");
+        f.arm_dirty_tracking();
+        assert!(f.tracking());
+        f.write_at(16, &[2, 3]);
+        assert!(!f.has_twin());
+        assert!(f.dirty_ranges().covers(16));
+        assert!(!f.dirty_ranges().covers(0), "pre-arm write not recorded");
+        assert!(f.disarm_dirty_tracking());
+        assert!(!f.tracking());
+        assert!(f.dirty_ranges().is_clean(), "disarm forgets ranges");
+        assert!(!f.disarm_dirty_tracking(), "second disarm is a no-op");
+    }
+
+    #[test]
+    fn tracking_arm_is_noop_under_twin() {
+        let mut f = Frame::new(64);
+        f.make_twin();
+        f.write_at(8, &[1]);
+        f.arm_dirty_tracking();
+        assert!(f.dirty_ranges().covers(8), "arming kept the twin's ranges");
+        f.disarm_dirty_tracking();
+        assert!(
+            f.dirty_ranges().covers(8),
+            "disarm must not forget ranges the twin still needs"
+        );
     }
 
     #[test]

@@ -35,5 +35,6 @@ pub use dsm_apps as apps;
 pub use dsm_check as check;
 pub use dsm_core as core;
 pub use dsm_net as net;
+pub use dsm_plan as plan;
 pub use dsm_sim as sim;
 pub use dsm_vm as vm;
