@@ -459,6 +459,7 @@ impl PlannedApp for Barnes {
         AppPlan {
             app: "barnes",
             exact: false,
+            value_exact: false,
             arrays: vec![
                 ArrayShape {
                     name: "bh_bodies",

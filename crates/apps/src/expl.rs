@@ -139,6 +139,7 @@ impl PlannedApp for Expl {
         AppPlan {
             app: "expl",
             exact: true,
+            value_exact: true,
             arrays: vec![
                 ArrayShape {
                     name: "expl_a",

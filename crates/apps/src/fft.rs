@@ -257,6 +257,7 @@ impl PlannedApp for Fft3d {
         AppPlan {
             app: "fft",
             exact: true,
+            value_exact: true,
             arrays: vec![
                 ArrayShape {
                     name: "fft_a",

@@ -18,7 +18,11 @@ pub struct Jacobi {
     iters: usize,
     a: Option<SharedGrid2<f64>>,
     b: Option<SharedGrid2<f64>>,
-    residual: f64,
+    /// Per-process residuals: one app instance simulates every process,
+    /// so per-process scratch must be indexed by pid (a single field
+    /// would leak the last-simulated process's value into everyone's
+    /// reduction contribution).
+    residuals: Vec<f64>,
     /// Residual history (one entry per completed iteration), for tests.
     pub residual_history: Vec<f64>,
 }
@@ -40,13 +44,15 @@ impl Jacobi {
             iters,
             a: None,
             b: None,
-            residual: f64::NAN,
+            residuals: Vec::new(),
             residual_history: Vec::new(),
         }
     }
 
     fn sweep(&mut self, ctx: &mut ExecCtx<'_>, from: SharedGrid2<f64>, to: SharedGrid2<f64>) {
         let (lo, hi) = interior_band(self.rows, ctx.pid(), ctx.nprocs());
+        self.residuals
+            .resize(ctx.nprocs().max(self.residuals.len()), 0.0);
         let cols = self.cols;
         let mut up = vec![0.0; cols];
         let mut mid = vec![0.0; cols];
@@ -66,7 +72,7 @@ impl Jacobi {
             to.write_row(ctx, r, &out);
             ctx.work_flops(6 * cols as u64);
         }
-        self.residual = res;
+        self.residuals[ctx.pid()] = res;
     }
 
     /// The primary grid handle (diagnostics/tests).
@@ -125,7 +131,7 @@ impl DsmApp for Jacobi {
                         self.residual_history.push(r);
                     }
                 }
-                PhaseEnd::Reduce(ReduceOp::Max, vec![self.residual])
+                PhaseEnd::Reduce(ReduceOp::Max, vec![self.residuals[ctx.pid()]])
             }
         }
     }
@@ -158,6 +164,7 @@ impl PlannedApp for Jacobi {
         AppPlan {
             app: "jacobi",
             exact: true,
+            value_exact: true,
             arrays: vec![
                 ArrayShape {
                     name: "jacobi_a",

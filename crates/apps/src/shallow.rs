@@ -574,6 +574,7 @@ impl PlannedApp for Shallow {
         AppPlan {
             app: "shallow",
             exact: true,
+            value_exact: false,
             arrays: swm_array_shapes(f, self.core.n),
             phases: vec![
                 loop100_plan(f, true, true, true, true),

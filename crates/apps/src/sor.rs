@@ -199,6 +199,7 @@ impl PlannedApp for Sor {
         AppPlan {
             app: "sor",
             exact: true,
+            value_exact: true,
             arrays: vec![ArrayShape {
                 name: "sor_grid",
                 rows,

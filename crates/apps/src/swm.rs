@@ -119,6 +119,7 @@ impl PlannedApp for Swm {
         AppPlan {
             app: "swm",
             exact: true,
+            value_exact: false,
             arrays: swm_array_shapes(f, self.core.n),
             phases,
         }

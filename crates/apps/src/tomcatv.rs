@@ -23,7 +23,11 @@ pub struct Tomcatv {
     ry: Option<SharedGrid2<f64>>,
     aa: Option<SharedGrid2<f64>>,
     dd: Option<SharedGrid2<f64>>,
-    band_residual: f64,
+    /// Per-process band residuals: one app instance simulates every
+    /// process, so per-process scratch is indexed by pid (a single field
+    /// would leak the last-simulated process's value into everyone's
+    /// reduction contribution).
+    band_residuals: Vec<f64>,
     /// Max-residual history per iteration (tests check convergence).
     pub residual_history: Vec<f64>,
 }
@@ -44,7 +48,7 @@ impl Tomcatv {
             ry: None,
             aa: None,
             dd: None,
-            band_residual: 0.0,
+            band_residuals: Vec::new(),
             residual_history: Vec::new(),
         }
     }
@@ -109,11 +113,10 @@ impl Tomcatv {
                 ctx.work_flops(25 * n as u64);
             }
         }
-        if x_pass {
-            self.band_residual = res;
-        } else {
-            self.band_residual = self.band_residual.max(res);
-        }
+        self.band_residuals
+            .resize(ctx.nprocs().max(self.band_residuals.len()), 0.0);
+        let slot = &mut self.band_residuals[ctx.pid()];
+        *slot = if x_pass { res } else { slot.max(res) };
     }
 
     /// Thomas solve along each owned line, then correct the mesh. Entirely
@@ -219,7 +222,7 @@ impl DsmApp for Tomcatv {
                         self.residual_history.push(r);
                     }
                 }
-                return PhaseEnd::Reduce(ReduceOp::Max, vec![self.band_residual]);
+                return PhaseEnd::Reduce(ReduceOp::Max, vec![self.band_residuals[ctx.pid()]]);
             }
             _ => self.solve_and_update(ctx),
         }
@@ -247,6 +250,7 @@ impl PlannedApp for Tomcatv {
         AppPlan {
             app: "tomcat",
             exact: true,
+            value_exact: false,
             arrays: vec![
                 shape("tc_x"),
                 shape("tc_y"),

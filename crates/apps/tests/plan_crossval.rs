@@ -22,6 +22,7 @@ use std::collections::HashMap;
 
 use dsm_apps::common::Scale;
 use dsm_apps::registry::{make_app, make_planned};
+use dsm_core::proto::CopySet;
 use dsm_core::{run_app_checked, ProtocolKind, RunConfig};
 use dsm_plan::{
     analyze, build_schedule, predict, FlushTriple, PlanSink, Prediction, SteadyCopysets,
@@ -47,27 +48,27 @@ fn check_steady_copysets(p: &Prediction, observed: &[Vec<FlushTriple>], iters: u
     match &p.copysets {
         SteadyCopysets::None => panic!("{tag}: update protocol predicted no copysets"),
         SteadyCopysets::PerPage(v) => {
-            let table: HashMap<u32, u64> = v.iter().copied().collect();
-            for &(w, page, cs) in last.iter().flatten() {
+            let table: HashMap<u32, &CopySet> = v.iter().map(|(p, cs)| (*p, cs)).collect();
+            for (w, page, cs) in last.iter().flatten() {
                 assert_eq!(
-                    table.get(&page),
+                    table.get(page),
                     Some(&cs),
-                    "{tag}: page {page} flushed by {w} with copyset {cs:#x} \
+                    "{tag}: page {page} flushed by {w} with copyset {cs:?} \
                      vs steady table {:?}",
-                    table.get(&page)
+                    table.get(page)
                 );
             }
         }
         SteadyCopysets::PerWriter(v) => {
-            let table: HashMap<(u32, u16), u64> =
-                v.iter().map(|&(pg, w, b)| ((pg, w), b)).collect();
-            for &(w, page, cs) in last.iter().flatten() {
+            let table: HashMap<(u32, u16), &CopySet> =
+                v.iter().map(|(pg, w, cs)| ((*pg, *w), cs)).collect();
+            for (w, page, cs) in last.iter().flatten() {
                 assert_eq!(
-                    table.get(&(page, w)),
+                    table.get(&(*page, *w)),
                     Some(&cs),
-                    "{tag}: page {page} writer {w} copyset {cs:#x} \
+                    "{tag}: page {page} writer {w} copyset {cs:?} \
                      vs steady table {:?}",
-                    table.get(&(page, w))
+                    table.get(&(*page, *w))
                 );
             }
         }

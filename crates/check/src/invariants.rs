@@ -29,6 +29,7 @@
 
 use std::sync::Arc;
 
+use dsm_core::proto::CopySet;
 use dsm_core::RegionTable;
 use dsm_sim::{FastMap, FastSet};
 
@@ -56,15 +57,15 @@ pub struct InvariantState {
     /// and kind).
     flagged_skip: FastSet<u32>,
     flagged_regress: FastSet<u32>,
-    /// Fetcher bitmaps.
-    per_writer_fetchers: FastMap<(u32, u16), u64>,
-    per_page_fetchers: FastMap<u32, u64>,
+    /// Fetcher sets (sparse: entries appear on first fetch).
+    per_writer_fetchers: FastMap<(u32, u16), CopySet>,
+    per_page_fetchers: FastMap<u32, CopySet>,
     /// (page, writer) pairs already reported for a copyset omission.
     flagged_copyset: FastSet<(u32, u16)>,
     live: Vec<LiveNotices>,
     /// Copysets of flushes issued this epoch, per (page, writer); cleared
     /// at every barrier release. Grounds duplicate deliveries.
-    flushed_this_epoch: FastMap<(u32, u16), u64>,
+    flushed_this_epoch: FastMap<(u32, u16), CopySet>,
     /// (page, writer, dst) triples already reported as ungrounded dups.
     flagged_dup: FastSet<(u32, u16, u16)>,
     /// The static region certificates the run was configured with (bar-r
@@ -112,13 +113,13 @@ impl InvariantState {
         match self.rule {
             CopysetRule::None => {}
             CopysetRule::PerWriter => {
-                *self
-                    .per_writer_fetchers
+                self.per_writer_fetchers
                     .entry((page, from as u16))
-                    .or_insert(0) |= 1u64 << pid;
+                    .or_default()
+                    .insert(pid);
             }
             CopysetRule::PerPage => {
-                *self.per_page_fetchers.entry(page).or_insert(0) |= 1u64 << pid;
+                self.per_page_fetchers.entry(page).or_default().insert(pid);
             }
         }
     }
@@ -127,30 +128,31 @@ impl InvariantState {
         &mut self,
         writer: usize,
         page: u32,
-        copyset: u64,
+        copyset: &CopySet,
         out: &mut Vec<Violation>,
     ) {
+        static EMPTY: CopySet = CopySet::EMPTY;
         let fetchers = match self.rule {
             CopysetRule::None => return,
             CopysetRule::PerWriter => self
                 .per_writer_fetchers
                 .get(&(page, writer as u16))
-                .copied()
-                .unwrap_or(0),
-            CopysetRule::PerPage => self.per_page_fetchers.get(&page).copied().unwrap_or(0),
+                .unwrap_or(&EMPTY),
+            CopysetRule::PerPage => self.per_page_fetchers.get(&page).unwrap_or(&EMPTY),
         };
-        let missing = fetchers & !copyset & !(1u64 << writer);
-        if missing != 0 && self.flagged_copyset.insert((page, writer as u16)) {
+        let mut missing = fetchers.minus(copyset);
+        missing.remove(writer);
+        if !missing.is_empty() && self.flagged_copyset.insert((page, writer as u16)) {
             out.push(Violation::CopysetOmission {
                 page,
                 writer,
                 missing,
             });
         }
-        *self
-            .flushed_this_epoch
+        self.flushed_this_epoch
             .entry((page, writer as u16))
-            .or_insert(0) |= copyset;
+            .or_default()
+            .union_with(copyset);
     }
 
     /// A duplicated flush delivery: the wire handed `dst` a second copy of
@@ -163,12 +165,11 @@ impl InvariantState {
         dst: usize,
         out: &mut Vec<Violation>,
     ) {
-        let cs = self
+        let grounded = self
             .flushed_this_epoch
             .get(&(page, writer as u16))
-            .copied()
-            .unwrap_or(0);
-        if cs & (1u64 << dst) == 0 && self.flagged_dup.insert((page, writer as u16, dst as u16)) {
+            .is_some_and(|cs| cs.contains(dst));
+        if !grounded && self.flagged_dup.insert((page, writer as u16, dst as u16)) {
             out.push(Violation::UngroundedDup { page, writer, dst });
         }
     }
@@ -189,18 +190,26 @@ impl InvariantState {
         &mut self,
         writer: usize,
         page: u32,
-        elided: u64,
+        elided: &CopySet,
         out: &mut Vec<Violation>,
     ) {
-        let excused = self
+        // Excused: every process except the writer and its proven readers.
+        // Ungrounded is therefore the elided members that ARE the writer or
+        // one of its readers — or, with no usable certificate, all of them.
+        let cert = self
             .regions
             .as_ref()
             .and_then(|rt| rt.cert(page))
             .filter(|c| c.certified())
-            .and_then(|c| c.writer(writer))
-            .map_or(0, |wr| !wr.readers & !(1u64 << writer));
-        let ungrounded = elided & !excused;
-        if ungrounded != 0 && self.flagged_elision.insert((page, writer as u16)) {
+            .and_then(|c| c.writer(writer));
+        let ungrounded: CopySet = match cert {
+            None => elided.clone(),
+            Some(wr) => elided
+                .iter()
+                .filter(|&q| q == writer || wr.readers.contains(q))
+                .collect(),
+        };
+        if !ungrounded.is_empty() && self.flagged_elision.insert((page, writer as u16)) {
             out.push(Violation::UngroundedElision {
                 page,
                 writer,
@@ -284,23 +293,27 @@ mod tests {
         ));
     }
 
+    fn omission(v: &Violation) -> (u32, usize, &CopySet) {
+        match v {
+            Violation::CopysetOmission {
+                page,
+                writer,
+                missing,
+            } => (*page, *writer, missing),
+            other => panic!("expected CopysetOmission, got {other:?}"),
+        }
+    }
+
     #[test]
     fn per_page_copyset_omission() {
         let mut inv = InvariantState::new(4, CopysetRule::PerPage, None);
         inv.on_fetch(1, 0, 7);
         inv.on_fetch(2, 0, 7);
         // Copyset covers p1 but not p2.
-        let v = take(|v| inv.on_update_flush(0, 7, 0b0010, v));
-        assert!(matches!(
-            v[0],
-            Violation::CopysetOmission {
-                page: 7,
-                writer: 0,
-                missing: 0b0100
-            }
-        ));
+        let v = take(|v| inv.on_update_flush(0, 7, &CopySet::single(1), v));
+        assert_eq!(omission(&v[0]), (7, 0, &CopySet::single(2)));
         // Dedup per (page, writer).
-        assert!(take(|v| inv.on_update_flush(0, 7, 0b0010, v)).is_empty());
+        assert!(take(|v| inv.on_update_flush(0, 7, &CopySet::single(1), v)).is_empty());
     }
 
     #[test]
@@ -308,24 +321,27 @@ mod tests {
         let mut inv = InvariantState::new(4, CopysetRule::PerWriter, None);
         inv.on_fetch(2, 1, 7); // p2 fetched p1's diffs
                                // p3 flushing page 7 owes nothing to p1's fetchers.
-        assert!(take(|v| inv.on_update_flush(3, 7, 0, v)).is_empty());
+        assert!(take(|v| inv.on_update_flush(3, 7, &CopySet::EMPTY, v)).is_empty());
         // p1 flushing without p2 in the copyset is an omission.
-        let v = take(|v| inv.on_update_flush(1, 7, 0, v));
-        assert!(matches!(
-            v[0],
-            Violation::CopysetOmission {
-                page: 7,
-                writer: 1,
-                missing: 0b0100
-            }
-        ));
+        let v = take(|v| inv.on_update_flush(1, 7, &CopySet::EMPTY, v));
+        assert_eq!(omission(&v[0]), (7, 1, &CopySet::single(2)));
     }
 
     #[test]
     fn writer_itself_never_missing() {
         let mut inv = InvariantState::new(4, CopysetRule::PerPage, None);
         inv.on_fetch(1, 0, 7);
-        assert!(take(|v| inv.on_update_flush(1, 7, 0, v)).is_empty());
+        assert!(take(|v| inv.on_update_flush(1, 7, &CopySet::EMPTY, v)).is_empty());
+    }
+
+    #[test]
+    fn fetchers_past_pid_64_tracked() {
+        // The sparse fetcher sets have no 64-process ceiling: a fetch by
+        // pid 200 must surface in the omission just like any other.
+        let mut inv = InvariantState::new(256, CopysetRule::PerPage, None);
+        inv.on_fetch(200, 0, 7);
+        let v = take(|v| inv.on_update_flush(0, 7, &CopySet::EMPTY, v));
+        assert_eq!(omission(&v[0]), (7, 0, &CopySet::single(200)));
     }
 
     #[test]
@@ -353,7 +369,7 @@ mod tests {
     fn grounded_dup_is_clean() {
         let mut inv = InvariantState::new(4, CopysetRule::PerPage, None);
         inv.on_fetch(2, 0, 7);
-        assert!(take(|v| inv.on_update_flush(0, 7, 0b0100, v)).is_empty());
+        assert!(take(|v| inv.on_update_flush(0, 7, &CopySet::single(2), v)).is_empty());
         assert!(take(|v| inv.on_dup_delivery(0, 7, 2, v)).is_empty());
     }
 
@@ -375,7 +391,7 @@ mod tests {
     #[test]
     fn dup_after_barrier_is_ungrounded() {
         let mut inv = InvariantState::new(4, CopysetRule::PerPage, None);
-        assert!(take(|v| inv.on_update_flush(0, 7, 0b0100, v)).is_empty());
+        assert!(take(|v| inv.on_update_flush(0, 7, &CopySet::single(2), v)).is_empty());
         inv.on_barrier_release();
         let v = take(|v| inv.on_dup_delivery(0, 7, 2, v));
         assert_eq!(v.len(), 1);
@@ -390,60 +406,59 @@ mod tests {
                 WriterRegions {
                     writer: 0,
                     spans: vec![(0, 64)],
-                    readers: 0b0010,
+                    readers: CopySet::single(1),
                 },
                 WriterRegions {
                     writer: 1,
                     spans: vec![(64, 128)],
-                    readers: 0b0001,
+                    readers: CopySet::single(0),
                 },
             ],
             loads: vec![],
         }]))
     }
 
+    fn ungrounded(v: &Violation) -> (u32, usize, &CopySet) {
+        match v {
+            Violation::UngroundedElision {
+                page,
+                writer,
+                ungrounded,
+            } => (*page, *writer, ungrounded),
+            other => panic!("expected UngroundedElision, got {other:?}"),
+        }
+    }
+
     #[test]
     fn certified_elision_is_clean() {
         let mut inv = InvariantState::new(4, CopysetRule::PerPage, Some(region_table()));
         // p0's only proven reader is p1; eliding p2 and p3 is excused.
-        assert!(take(|v| inv.on_false_share_elided(0, 7, 0b1100, v)).is_empty());
+        let elided: CopySet = [2usize, 3].into_iter().collect();
+        assert!(take(|v| inv.on_false_share_elided(0, 7, &elided, v)).is_empty());
     }
 
     #[test]
     fn eliding_a_proven_reader_flagged_once() {
         let mut inv = InvariantState::new(4, CopysetRule::PerPage, Some(region_table()));
         // p1 is a proven reader of p0's spans: skipping it is ungrounded.
-        let v = take(|v| inv.on_false_share_elided(0, 7, 0b0110, v));
-        assert!(matches!(
-            v[0],
-            Violation::UngroundedElision {
-                page: 7,
-                writer: 0,
-                ungrounded: 0b0010
-            }
-        ));
-        assert!(take(|v| inv.on_false_share_elided(0, 7, 0b0010, v)).is_empty());
+        let elided: CopySet = [1usize, 2].into_iter().collect();
+        let v = take(|v| inv.on_false_share_elided(0, 7, &elided, v));
+        assert_eq!(ungrounded(&v[0]), (7, 0, &CopySet::single(1)));
+        assert!(take(|v| inv.on_false_share_elided(0, 7, &CopySet::single(1), v)).is_empty());
     }
 
     #[test]
     fn elision_without_table_flagged() {
         let mut inv = InvariantState::new(4, CopysetRule::PerPage, None);
-        let v = take(|v| inv.on_false_share_elided(0, 7, 0b0100, v));
-        assert!(matches!(
-            v[0],
-            Violation::UngroundedElision {
-                page: 7,
-                writer: 0,
-                ungrounded: 0b0100
-            }
-        ));
+        let v = take(|v| inv.on_false_share_elided(0, 7, &CopySet::single(2), v));
+        assert_eq!(ungrounded(&v[0]), (7, 0, &CopySet::single(2)));
     }
 
     #[test]
     fn elision_by_unknown_writer_flagged() {
         let mut inv = InvariantState::new(4, CopysetRule::PerPage, Some(region_table()));
         // p2 holds no certificate on page 7.
-        let v = take(|v| inv.on_false_share_elided(2, 7, 0b1000, v));
+        let v = take(|v| inv.on_false_share_elided(2, 7, &CopySet::single(3), v));
         assert_eq!(v.len(), 1);
     }
 

@@ -5,9 +5,9 @@
 //! the clocks agree — but the detector does not rely on that and performs
 //! the general FastTrack-style epoch test). Every 8-byte word of touched
 //! shared memory has a shadow cell holding the last write (clock, pid) and
-//! the last read clock with a reader bitmap; an access races with a prior
-//! access iff the prior stamp is not `<=` the accessor's clock entry for
-//! the prior pid.
+//! the concurrent reader set (one reader inline, more spilled to a side
+//! table); an access races with a prior access iff the prior stamp is not
+//! `<=` the accessor's clock entry for the prior pid.
 //!
 //! **Silent stores are not writes.** The protocols under test propagate
 //! writes by twin/diff comparison: a store of the value the writer's view
@@ -19,7 +19,7 @@
 //! "read-modify-rewrite the whole row" idioms from reporting races on the
 //! words they pass through unchanged.
 
-use dsm_sim::FastSet;
+use dsm_sim::{FastMap, FastSet};
 
 use crate::report::RaceKind;
 
@@ -53,10 +53,19 @@ struct Word {
     /// Last write: the writer's clock value and pid.
     wc: u32,
     wp: u16,
-    /// Last read clock and the bitmap of pids that read at that clock.
+    /// Sole reader pid while the word has one concurrent reader;
+    /// [`READERS_SHARED`] once a second reader appears, at which point
+    /// the full `(clock, pid)` set lives in `RaceState::read_sets`. A
+    /// pid-indexed bitmap here would cap the cluster at the word width
+    /// (the dense-by-nodes bug class); the spill table scales to any
+    /// process count while keeping the cell 16 bytes.
+    rp: u16,
+    /// Highest read clock across the tracked readers.
     rc: u32,
-    rp: u64,
 }
+
+/// Sentinel for `Word::rp`: the reader set has spilled to the side table.
+const READERS_SHARED: u16 = u16::MAX;
 
 const WORD: usize = 8;
 
@@ -72,6 +81,9 @@ pub struct RaceState {
     /// coherence oracle suppress mismatches on racy words (under LRC a racy
     /// read may legally return either value).
     racy: FastSet<u64>,
+    /// Spilled reader sets, keyed by word: `(read clock, pid)` per reader,
+    /// populated only for words with two or more concurrent readers.
+    read_sets: FastMap<u64, Vec<(u32, u16)>>,
     words_per_page: usize,
     /// `log2(words_per_page)`; page sizes are powers of two by the VM's
     /// own assertion, and a shift beats a division by a runtime value in
@@ -90,6 +102,7 @@ pub struct RaceHit {
 impl RaceState {
     pub fn new(nprocs: usize, page_size: usize) -> RaceState {
         assert!(page_size.is_power_of_two() && page_size >= WORD);
+        assert!(nprocs < READERS_SHARED as usize, "pid space exhausted");
         let mut clocks = vec![VectorClock::new(nprocs); nprocs];
         for (p, c) in clocks.iter_mut().enumerate() {
             c.0[p] = 1;
@@ -99,6 +112,7 @@ impl RaceState {
             clocks,
             shadow: Vec::new(),
             racy: FastSet::default(),
+            read_sets: FastMap::default(),
             words_per_page,
             wpp_shift: words_per_page.trailing_zeros(),
         }
@@ -170,6 +184,7 @@ impl RaceState {
             clocks,
             shadow,
             racy,
+            read_sets,
             words_per_page,
             wpp_shift,
         } = self;
@@ -233,35 +248,52 @@ impl RaceState {
                 if is_write {
                     // Prior reads vs this write.
                     if cell.rc != 0 {
-                        let others = cell.rp & !(1u64 << pid);
-                        let mut bits = others;
-                        while bits != 0 {
-                            let q = bits.trailing_zeros() as usize;
-                            bits &= bits - 1;
-                            if !clock.covers(cell.rc, q) {
-                                if racy.insert(key) {
-                                    out.push(RaceHit {
-                                        kind: RaceKind::ReadWrite,
-                                        word_key: key,
-                                        first_pid: q,
-                                        second_pid: pid,
-                                    });
+                        if cell.rp == READERS_SHARED {
+                            let set = read_sets.get(&key).expect("spilled read set");
+                            for &(qc, q) in set {
+                                if q as usize != pid && !clock.covers(qc, q as usize) {
+                                    if racy.insert(key) {
+                                        out.push(RaceHit {
+                                            kind: RaceKind::ReadWrite,
+                                            word_key: key,
+                                            first_pid: q as usize,
+                                            second_pid: pid,
+                                        });
+                                    }
+                                    break;
                                 }
-                                break;
                             }
+                        } else if cell.rp as usize != pid
+                            && !clock.covers(cell.rc, cell.rp as usize)
+                            && racy.insert(key)
+                        {
+                            out.push(RaceHit {
+                                kind: RaceKind::ReadWrite,
+                                word_key: key,
+                                first_pid: cell.rp as usize,
+                                second_pid: pid,
+                            });
                         }
                     }
                     cell.wc = c;
                     cell.wp = pid as u16;
                 } else {
-                    // Record the read: same-clock reads accumulate in the
-                    // bitmap, a newer clock restarts it.
-                    if c > cell.rc {
-                        cell.rc = c;
-                        cell.rp = 1u64 << pid;
+                    // Record the read. One reader is tracked inline; a
+                    // second spills the set — each reader keeping its own
+                    // clock — to the side table.
+                    if cell.rc == 0 || cell.rp == pid as u16 {
+                        cell.rp = pid as u16;
+                    } else if cell.rp == READERS_SHARED {
+                        let set = read_sets.get_mut(&key).expect("spilled read set");
+                        match set.iter_mut().find(|(_, q)| *q == pid as u16) {
+                            Some(e) => e.0 = e.0.max(c),
+                            None => set.push((c, pid as u16)),
+                        }
                     } else {
-                        cell.rp |= 1u64 << pid;
+                        read_sets.insert(key, vec![(cell.rc, cell.rp), (c, pid as u16)]);
+                        cell.rp = READERS_SHARED;
                     }
+                    cell.rc = cell.rc.max(c);
                 }
             }
             w = hi + 1;

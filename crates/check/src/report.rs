@@ -2,6 +2,20 @@
 
 use std::fmt;
 
+use dsm_core::proto::CopySet;
+
+/// Render a pid set for a violation message: sorted pids, comma-separated.
+fn pid_list(cs: &CopySet) -> String {
+    let mut s = String::new();
+    for (i, q) in cs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = fmt::Write::write_fmt(&mut s, format_args!("p{q}"));
+    }
+    s
+}
+
 /// What kind of unsynchronized access pair a race is.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RaceKind {
@@ -54,11 +68,11 @@ pub enum Violation {
     /// checker saw for that page (the index went backwards).
     VersionRegression { page: u32, prev: u32, old: u32 },
     /// An update flush whose copyset omitted processes that had fetched
-    /// the page (bitmap of the missing pids).
+    /// the page (the set of missing pids).
     CopysetOmission {
         page: u32,
         writer: usize,
-        missing: u64,
+        missing: CopySet,
     },
     /// A garbage collection discarded state while `pid` still held a live
     /// (recorded but never consumed) write notice naming a diff.
@@ -77,13 +91,13 @@ pub enum Violation {
     },
     /// A `bar-r` push elision not excused by the static region
     /// certificate: the protocol skipped an update push toward processes
-    /// (bitmap `ungrounded`) that the certificate does not prove to be
+    /// (`ungrounded`) that the certificate does not prove to be
     /// non-readers of `writer`'s spans — or the page has no usable
     /// certificate at all.
     UngroundedElision {
         page: u32,
         writer: usize,
-        ungrounded: u64,
+        ungrounded: CopySet,
     },
 }
 
@@ -123,7 +137,8 @@ impl fmt::Display for Violation {
                 missing,
             } => write!(
                 f,
-                "update flush of page {page} by p{writer} omitted cached readers (bitmap {missing:#b})"
+                "update flush of page {page} by p{writer} omitted cached readers ({})",
+                pid_list(missing)
             ),
             Violation::GcLiveNotice {
                 pid,
@@ -144,7 +159,8 @@ impl fmt::Display for Violation {
                 ungrounded,
             } => write!(
                 f,
-                "push elision on page {page} by p{writer} not excused by the region certificate (bitmap {ungrounded:#b})"
+                "push elision on page {page} by p{writer} not excused by the region certificate ({})",
+                pid_list(ungrounded)
             ),
         }
     }

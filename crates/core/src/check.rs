@@ -42,11 +42,11 @@ pub enum CheckEvent<'a> {
     Reduction { op: &'static str, len: usize },
     /// `pid` fetched page content (diffs or a full copy) from `from`.
     Fetch { pid: usize, from: usize, page: u32 },
-    /// `writer` pushed its diff of `page` toward `copyset` (bitmap).
+    /// `writer` pushed its diff of `page` toward the members of `copyset`.
     UpdateFlush {
         writer: usize,
         page: u32,
-        copyset: u64,
+        copyset: &'a crate::proto::CopySet,
     },
     /// The per-page version index moved `old` → `new` (home-based family).
     VersionBump { page: u32, old: u32, new: u32 },
@@ -77,15 +77,15 @@ pub enum CheckEvent<'a> {
         dst: usize,
     },
     /// Region-granularity traffic elision (`bar-r`): `writer` flushed its
-    /// delta of `page` but skipped the update push to the copyset members
-    /// in the `elided` bitmap, on the strength of a static certificate
-    /// proving none of them ever reads the writer's proven spans. The
-    /// checker grounds every elision against the certificate — an elided
-    /// member outside the proof is a violation, not an optimization.
+    /// delta of `page` but skipped the update push to the `elided` copyset
+    /// members, on the strength of a static certificate proving none of
+    /// them ever reads the writer's proven spans. The checker grounds
+    /// every elision against the certificate — an elided member outside
+    /// the proof is a violation, not an optimization.
     FalseShareElided {
         writer: usize,
         page: u32,
-        elided: u64,
+        elided: &'a crate::proto::CopySet,
     },
     /// A reliable message from `src` to `dst` needed `attempts` (> 1)
     /// transmissions before its ack landed. Pure wire telemetry: never

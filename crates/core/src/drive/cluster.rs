@@ -13,7 +13,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use dsm_net::Network;
-use dsm_sim::{Category, Clock, DetRng, SharedScheduler, Time, VirtualTimeScheduler};
+use dsm_sim::{Category, Clock, DetRng, FastMap, SharedScheduler, Time, VirtualTimeScheduler};
 use dsm_vm::{as_bytes, BufPool, FaultKind, PageBuf, PageId, PageStore, Pod, Protection};
 
 use crate::check::{CheckEvent, CheckSink};
@@ -74,16 +74,21 @@ pub struct Cluster {
     /// Per-page version index, logically maintained by the home.
     pub(crate) versions: Vec<u32>,
     /// Per-page copysets, home-maintained and globally distributed at
-    /// barriers (bar-u family).
-    pub(crate) copysets: Vec<CopySet>,
+    /// barriers (bar-u family). Sparse: a page gets an entry the first
+    /// time any process caches it, so resident memory tracks actual
+    /// sharing — O(shared pages × sharers) — never O(nodes × pages).
+    pub(crate) copysets: FastMap<u32, CopySet>,
     /// Latest epoch in which each page was (noticed as) written, and by
     /// whom — maintained from merged barrier notices (homeless protocols).
     pub(crate) last_write_epoch: Vec<u64>,
     pub(crate) last_writer: Vec<u16>,
     /// Writers observed during the first iteration (migration input).
-    pub(crate) iter_writers: Vec<CopySet>,
-    /// Write-epoch counts per (page, pid), flattened `page * nprocs + pid`.
-    pub(crate) iter_write_counts: Vec<u32>,
+    /// Sparse: entries exist only for pages somebody wrote.
+    pub(crate) iter_writers: FastMap<u32, CopySet>,
+    /// Write-epoch counts, keyed by (page, pid); entries exist only for
+    /// pairs that actually wrote (the dense predecessor was a
+    /// `page * nprocs + pid` flattened vector — O(nodes × pages)).
+    pub(crate) iter_write_counts: FastMap<(u32, u16), u32>,
     pub(crate) migrated: bool,
     /// Overdrive cluster mode.
     pub(crate) od_mode: OdMode,
@@ -151,11 +156,11 @@ impl Cluster {
             phases_per_iter: 1,
             homes: Vec::new(),
             versions: Vec::new(),
-            copysets: Vec::new(),
+            copysets: FastMap::default(),
             last_write_epoch: Vec::new(),
             last_writer: Vec::new(),
-            iter_writers: Vec::new(),
-            iter_write_counts: Vec::new(),
+            iter_writers: FastMap::default(),
+            iter_write_counts: FastMap::default(),
             migrated: false,
             od_mode: OdMode::Learning,
             od_revert_pending: false,
@@ -288,11 +293,10 @@ impl Cluster {
         }
         self.homes.resize(n, 0);
         self.versions.resize(n, 1);
-        self.copysets.resize(n, CopySet::EMPTY);
+        // copysets / iter_writers / iter_write_counts are sparse maps:
+        // entries appear lazily on first sharing, never here.
         self.last_write_epoch.resize(n, 0);
         self.last_writer.resize(n, 0);
-        self.iter_writers.resize(n, CopySet::EMPTY);
-        self.iter_write_counts.resize(n * self.nprocs(), 0);
         for p in &mut self.procs {
             p.store.ensure_pages(n);
         }
@@ -446,8 +450,22 @@ impl Cluster {
         // copyset ("bitmaps that specify which processors cache a given
         // page"); the home-based update protocols push to it from now on.
         if self.cfg.protocol.is_bar() && self.cfg.protocol.is_update() {
-            self.copysets[page.index()].insert(pid);
+            self.copyset_mut(page).insert(pid);
         }
+    }
+
+    /// The copyset of `page` (empty if no process has ever cached it).
+    #[inline]
+    pub(crate) fn copyset(&self, page: PageId) -> &CopySet {
+        static EMPTY: CopySet = CopySet::EMPTY;
+        self.copysets.get(&page.0).unwrap_or(&EMPTY)
+    }
+
+    /// The copyset of `page`, materializing its (sparse) entry on first
+    /// sharing.
+    #[inline]
+    pub(crate) fn copyset_mut(&mut self, page: PageId) -> &mut CopySet {
+        self.copysets.entry(page.0).or_default()
     }
 
     fn handle_fault(&mut self, pid: usize, page: PageId, kind: FaultKind) {

@@ -138,7 +138,9 @@ pub(crate) fn fold_event(acc: u64, ev: &CheckEvent<'_>) -> u64 {
             h.byte(8);
             h.usize(writer);
             h.u64(u64::from(page));
-            h.u64(copyset);
+            for w in copyset.digest_words() {
+                h.u64(w);
+            }
         }
         CheckEvent::VersionBump { page, old, new } => {
             h.byte(9);
@@ -195,7 +197,9 @@ pub(crate) fn fold_event(acc: u64, ev: &CheckEvent<'_>) -> u64 {
             h.byte(15);
             h.usize(writer);
             h.u64(u64::from(page));
-            h.u64(elided);
+            for w in elided.digest_words() {
+                h.u64(w);
+            }
         }
     }
     h.0
@@ -280,20 +284,33 @@ impl Cluster {
         for &v in &self.versions {
             h.u64(u64::from(v));
         }
-        for cs in &self.copysets {
-            h.u64(cs.bits());
-        }
+        // The sparse tables fold in sorted key order with empty sets
+        // skipped, so a page whose copyset was only ever empty hashes the
+        // same whether its entry exists or was never created. Hash values
+        // differ from the dense fold, but equality semantics — equal
+        // observable states hash equal — are preserved, which is all the
+        // explorer's visited set relies on.
+        fold_sparse_sets(&mut h, &self.copysets);
         for &e in &self.last_write_epoch {
             h.u64(e);
         }
         for &w in &self.last_writer {
             h.u64(u64::from(w));
         }
-        for cs in &self.iter_writers {
-            h.u64(cs.bits());
-        }
-        for &c in &self.iter_write_counts {
-            h.u64(u64::from(c));
+        fold_sparse_sets(&mut h, &self.iter_writers);
+        {
+            let mut keys: Vec<(u32, u16)> = self
+                .iter_write_counts
+                .iter()
+                .filter(|&(_, &c)| c != 0)
+                .map(|(&k, _)| k)
+                .collect();
+            keys.sort_unstable();
+            for k in keys {
+                h.u64(u64::from(k.0));
+                h.u64(u64::from(k.1));
+                h.u64(u64::from(self.iter_write_counts[&k]));
+            }
         }
         for &r in &self.last_reduction {
             h.u64(r.to_bits());
@@ -357,7 +374,9 @@ impl Cluster {
             keys.sort_unstable();
             for k in keys {
                 h.u64(u64::from(k));
-                h.u64(lmw.copysets[&k].bits());
+                for w in lmw.copysets[&k].digest_words() {
+                    h.u64(w);
+                }
             }
             let mut keys: Vec<(u32, u16)> = lmw.applied.keys().copied().collect();
             keys.sort_unstable();
@@ -464,6 +483,23 @@ impl Cluster {
         let go = self.sched.borrow_mut().observe_barrier(combined);
         if !go {
             std::panic::panic_any(dsm_sim::ExplorePruned);
+        }
+    }
+}
+
+/// Fold a sparse page → member-set table: sorted page order, empty sets
+/// skipped (absent entry ≡ empty entry).
+fn fold_sparse_sets(h: &mut StateHasher, sets: &dsm_sim::FastMap<u32, crate::proto::CopySet>) {
+    let mut pages: Vec<u32> = sets
+        .iter()
+        .filter(|&(_, cs)| !cs.is_empty())
+        .map(|(&p, _)| p)
+        .collect();
+    pages.sort_unstable();
+    for p in pages {
+        h.u64(u64::from(p));
+        for w in sets[&p].digest_words() {
+            h.u64(w);
         }
     }
 }

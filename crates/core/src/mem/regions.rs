@@ -51,12 +51,12 @@ pub struct WriterRegions {
     /// on this page, over all epochs. Dynamic dirty ranges must stay
     /// inside these spans (the certificate's grounding obligation).
     pub spans: Vec<(u32, u32)>,
-    /// Bitmap of processes whose *load* spans (over all epochs) intersect
+    /// The processes whose *load* spans (over all epochs) intersect
     /// this writer's store spans — the only processes that can ever
     /// observe this writer's values. An update push to any process
     /// outside this set (and outside the home, which needs every delta)
     /// is provably wasted traffic.
-    pub readers: u64,
+    pub readers: crate::proto::CopySet,
 }
 
 impl WriterRegions {
@@ -218,6 +218,7 @@ fn check_spans(page: u32, spans: &[(u32, u32)]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::proto::CopySet;
 
     fn table() -> RegionTable {
         RegionTable::new(vec![
@@ -228,12 +229,12 @@ mod tests {
                     WriterRegions {
                         writer: 0,
                         spans: vec![(0, 64)],
-                        readers: 0b10,
+                        readers: CopySet::single(1),
                     },
                     WriterRegions {
                         writer: 1,
                         spans: vec![(64, 128), (256, 264)],
-                        readers: 0b01,
+                        readers: CopySet::single(0),
                     },
                 ],
                 loads: vec![
@@ -253,7 +254,7 @@ mod tests {
                 writers: vec![WriterRegions {
                     writer: 0,
                     spans: vec![(0, 8)],
-                    readers: !0,
+                    readers: (0..64).collect(),
                 }],
                 loads: vec![],
             },
@@ -289,7 +290,7 @@ mod tests {
             writers: vec![WriterRegions {
                 writer: 0,
                 spans: vec![(0, 8)],
-                readers: 0,
+                readers: CopySet::EMPTY,
             }],
             loads: vec![],
         };
@@ -305,7 +306,7 @@ mod tests {
             writers: vec![WriterRegions {
                 writer: 0,
                 spans: vec![(0, 12)],
-                readers: 0,
+                readers: CopySet::EMPTY,
             }],
             loads: vec![],
         }]);
@@ -320,7 +321,7 @@ mod tests {
             writers: vec![WriterRegions {
                 writer: 0,
                 spans: vec![(0, 16), (8, 24)],
-                readers: 0,
+                readers: CopySet::EMPTY,
             }],
             loads: vec![],
         }]);

@@ -82,7 +82,7 @@ impl Cluster {
             // bar-u must push them to a non-empty copyset.
             let need_twin = pid != home
                 || (self.cfg.protocol.is_update()
-                    && self.copysets[page.index()].others(pid).next().is_some());
+                    && self.copyset(page).others(pid).next().is_some());
             if need_twin {
                 if self.barr_twin_free(pid, page) {
                     // bar-r with a commuting-writer certificate: the delta
@@ -111,9 +111,9 @@ impl Cluster {
 
     /// Record first-iteration write behaviour for the migration decision.
     fn note_write(&mut self, pid: usize, page: PageId) {
-        self.iter_writers[page.index()].insert(pid);
-        let n = self.nprocs();
-        self.iter_write_counts[page.index() * n + pid] += 1;
+        self.iter_writers.entry(page.0).or_default().insert(pid);
+        let w = u16::try_from(pid).expect("pid exceeds u16 range");
+        *self.iter_write_counts.entry((page.0, w)).or_insert(0) += 1;
     }
 
     /// Validate by fetching a complete copy from the home — "always exactly
@@ -179,7 +179,7 @@ impl Cluster {
         if self.cfg.protocol.is_update() {
             // The home learns its consumers; distribution of copyset
             // changes piggybacks on the next barrier release.
-            self.copysets[page.index()].insert(pid);
+            self.copyset_mut(page).insert(pid);
         }
     }
 
@@ -220,8 +220,7 @@ impl Cluster {
             // consumers never needs its modifications summarized, even if
             // overdrive armed a (pure-overhead) twin on it.
             let use_diff = has_twin
-                && (pid != home
-                    || (is_update && self.copysets[page.index()].others(pid).next().is_some()));
+                && (pid != home || (is_update && self.copyset(page).others(pid).next().is_some()));
             if has_twin && !use_diff {
                 self.procs[pid]
                     .store
@@ -283,16 +282,13 @@ impl Cluster {
                         ));
                     }
                     if is_update {
-                        let cs = self.copysets[page.index()];
+                        let cs = self.copyset(page).clone();
                         self.emit(CheckEvent::UpdateFlush {
                             writer: pid,
                             page: page.0,
-                            copyset: cs.bits(),
+                            copyset: &cs,
                         });
-                        let members: Vec<usize> = self.copysets[page.index()]
-                            .others(pid)
-                            .filter(|&q| q != home)
-                            .collect();
+                        let members: Vec<usize> = cs.others(pid).filter(|&q| q != home).collect();
                         for q in members {
                             let out = self.net.send_flush(
                                 pid,
@@ -492,11 +488,12 @@ impl Cluster {
             return;
         }
         self.migrated = true;
-        let n = self.nprocs();
         let ps = self.page_size();
         for pg in 0..self.seg.npages() {
             let page = PageId(pg as u32);
-            let writers = self.iter_writers[pg];
+            let Some(writers) = self.iter_writers.get(&page.0) else {
+                continue;
+            };
             let old_home = self.homes[pg];
             if writers.is_empty() || writers.contains(old_home) {
                 continue;
@@ -505,7 +502,8 @@ impl Cluster {
             let mut new_home = usize::MAX;
             let mut best = 0u32;
             for w in writers.iter() {
-                let c = self.iter_write_counts[pg * n + w];
+                let key = (page.0, u16::try_from(w).expect("pid exceeds u16 range"));
+                let c = self.iter_write_counts.get(&key).copied().unwrap_or(0);
                 if c > best {
                     best = c;
                     new_home = w;

@@ -189,18 +189,18 @@ impl Cluster {
         // stay home. (The receiver's copy goes stale on those words,
         // which is exactly what the certificate licenses; the home's
         // canonical copy got the full delta above.)
-        let cs = self.copysets[page.index()];
+        let cs = self.copyset(page).clone();
         self.emit(CheckEvent::UpdateFlush {
             writer: pid,
             page: page.0,
-            copyset: cs.bits(),
+            copyset: &cs,
         });
-        let readers = wr.readers;
-        let mut elided = 0u64;
+        let readers = &wr.readers;
+        let mut elided = crate::proto::CopySet::EMPTY;
         let members: Vec<usize> = cs.others(pid).filter(|&q| q != home).collect();
         for q in members {
-            if readers & (1 << q) == 0 {
-                elided |= 1 << q;
+            if !readers.contains(q) {
+                elided.insert(q);
                 self.stats.region_elided_pushes += 1;
                 continue;
             }
@@ -253,11 +253,11 @@ impl Cluster {
             }
             self.pool.put_diff(pdiff);
         }
-        if elided != 0 {
+        if !elided.is_empty() {
             self.emit(CheckEvent::FalseShareElided {
                 writer: pid,
                 page: page.0,
-                elided,
+                elided: &elided,
             });
         }
         self.pool.put_diff(diff);
@@ -289,9 +289,7 @@ impl Cluster {
             .writer_bumps
             .iter()
             .filter(|&&(w, p)| {
-                p == page
-                    && w != pid
-                    && cert.writer(w).is_none_or(|wr| wr.readers & (1 << pid) != 0)
+                p == page && w != pid && cert.writer(w).is_none_or(|wr| wr.readers.contains(pid))
             })
             .count();
         Some(n)

@@ -2,14 +2,35 @@
 //!
 //! "Accesses to shared pages are tracked by using per-page copysets, which
 //! are bitmaps that specify which processors cache a given page" (§2.1.2).
-
-/// A set of processor ids, as a 64-bit bitmap.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
-pub struct CopySet(u64);
+//!
+//! The paper's prototype ran on 8 nodes, so a 64-bit bitmap was ample.
+//! Making node count a first-class axis (ROADMAP: up to 1024) needs a set
+//! with no 64-pid ceiling whose cost still tracks *occupancy*, not cluster
+//! size: the scaling prover certifies that for every app the number of
+//! sharers per page is bounded by a small constant independent of N, so
+//! the common case must stay allocation-free. The representation is
+//! therefore hybrid: pids below 64 live in an inline bitmap word, pids 64
+//! and above spill into a sorted vector. A set that never sees a pid ≥ 64
+//! — every run at the paper's scale — never allocates, and its
+//! [`CopySet::digest_words`] stream is exactly the single bitmap word the
+//! pre-scaling format hashed, keeping all committed results byte-stable.
+/// A set of processor ids: inline bitmap for pids 0..64, sorted spillover
+/// for the rest. Equality, hashing, and ordering are canonical (the spill
+/// vector is kept sorted and duplicate-free, and never holds pids < 64).
+#[derive(Clone, PartialEq, Eq, Debug, Default, Hash, PartialOrd, Ord)]
+pub struct CopySet {
+    /// Bit `p` set iff process `p < 64` is a member.
+    lo: u64,
+    /// Members `>= 64`, ascending, no duplicates.
+    spill: Vec<u16>,
+}
 
 impl CopySet {
     /// The empty set.
-    pub const EMPTY: CopySet = CopySet(0);
+    pub const EMPTY: CopySet = CopySet {
+        lo: 0,
+        spill: Vec::new(),
+    };
 
     /// A singleton set.
     pub fn single(pid: usize) -> CopySet {
@@ -18,56 +39,87 @@ impl CopySet {
         s
     }
 
-    /// The raw bitmap (bit `p` set iff process `p` is a member).
-    #[inline]
-    pub fn bits(self) -> u64 {
-        self.0
-    }
-
-    /// Reconstruct a set from its raw bitmap.
-    #[inline]
-    pub fn from_bits(bits: u64) -> CopySet {
-        CopySet(bits)
-    }
-
     #[inline]
     pub fn insert(&mut self, pid: usize) {
-        debug_assert!(pid < 64);
-        self.0 |= 1 << pid;
+        if pid < 64 {
+            self.lo |= 1 << pid;
+        } else {
+            let pid = u16::try_from(pid).expect("pid exceeds u16 range");
+            if let Err(at) = self.spill.binary_search(&pid) {
+                self.spill.insert(at, pid);
+            }
+        }
     }
 
     #[inline]
     pub fn remove(&mut self, pid: usize) {
-        debug_assert!(pid < 64);
-        self.0 &= !(1 << pid);
+        if pid < 64 {
+            self.lo &= !(1 << pid);
+        } else if let Ok(pid) = u16::try_from(pid) {
+            if let Ok(at) = self.spill.binary_search(&pid) {
+                self.spill.remove(at);
+            }
+        }
     }
 
     #[inline]
     pub fn contains(&self, pid: usize) -> bool {
-        debug_assert!(pid < 64);
-        self.0 & (1 << pid) != 0
+        if pid < 64 {
+            self.lo & (1 << pid) != 0
+        } else {
+            u16::try_from(pid).is_ok_and(|p| self.spill.binary_search(&p).is_ok())
+        }
     }
 
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.0 == 0
+        self.lo == 0 && self.spill.is_empty()
     }
 
     #[inline]
     pub fn len(&self) -> usize {
-        self.0.count_ones() as usize
+        self.lo.count_ones() as usize + self.spill.len()
     }
 
     /// Union in place.
-    #[inline]
-    pub fn union_with(&mut self, other: CopySet) {
-        self.0 |= other.0;
+    pub fn union_with(&mut self, other: &CopySet) {
+        self.lo |= other.lo;
+        if !other.spill.is_empty() {
+            for &p in &other.spill {
+                if let Err(at) = self.spill.binary_search(&p) {
+                    self.spill.insert(at, p);
+                }
+            }
+        }
+    }
+
+    /// Members of `self` not in `other` (set difference).
+    #[must_use]
+    pub fn minus(&self, other: &CopySet) -> CopySet {
+        CopySet {
+            lo: self.lo & !other.lo,
+            spill: self
+                .spill
+                .iter()
+                .copied()
+                .filter(|p| other.spill.binary_search(p).is_err())
+                .collect(),
+        }
     }
 
     /// Iterate members in ascending pid order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        let bits = self.0;
-        (0..64).filter(move |i| bits & (1 << i) != 0)
+        let mut bits = self.lo;
+        let inline = std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let p = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(p)
+            }
+        });
+        inline.chain(self.spill.iter().map(|&p| usize::from(p)))
     }
 
     /// Members other than `pid`, ascending.
@@ -77,11 +129,28 @@ impl CopySet {
 
     /// The member with the lowest pid, if any.
     pub fn first(&self) -> Option<usize> {
-        if self.is_empty() {
-            None
+        if self.lo != 0 {
+            Some(self.lo.trailing_zeros() as usize)
         } else {
-            Some(self.0.trailing_zeros() as usize)
+            self.spill.first().map(|&p| usize::from(p))
         }
+    }
+
+    /// The canonical word stream digests and structural hashes fold. A set
+    /// with no spillover members yields exactly one word — the inline
+    /// bitmap — which is bit-identical to the raw-`u64` stream the
+    /// pre-scaling format hashed, so every committed digest over runs with
+    /// fewer than 64 processes is unchanged. Spillover members follow as
+    /// one word each, ascending.
+    pub fn digest_words(&self) -> impl Iterator<Item = u64> + '_ {
+        std::iter::once(self.lo).chain(self.spill.iter().map(|&p| u64::from(p)))
+    }
+
+    /// Heap bytes resident for this set (zero without spillover). The
+    /// scaling prover's table-memory formulas count these, so the
+    /// definition is part of the cross-validated surface.
+    pub fn heap_bytes(&self) -> usize {
+        self.spill.capacity() * size_of::<u16>()
     }
 }
 
@@ -117,7 +186,9 @@ mod tests {
         let mut s = CopySet::EMPTY;
         s.insert(5);
         s.insert(5);
-        assert_eq!(s.len(), 1);
+        s.insert(100);
+        s.insert(100);
+        assert_eq!(s.len(), 2);
     }
 
     #[test]
@@ -137,7 +208,7 @@ mod tests {
     fn union_and_first() {
         let mut a: CopySet = [1, 2].into_iter().collect();
         let b: CopySet = [2, 6].into_iter().collect();
-        a.union_with(b);
+        a.union_with(&b);
         assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 6]);
         assert_eq!(a.first(), Some(1));
         assert_eq!(CopySet::EMPTY.first(), None);
@@ -156,5 +227,34 @@ mod tests {
         let s = CopySet::single(9);
         assert_eq!(s.len(), 1);
         assert!(s.contains(9));
+    }
+
+    #[test]
+    fn spillover_past_64() {
+        let s: CopySet = [2, 63, 64, 200, 1000].into_iter().collect();
+        assert_eq!(s.len(), 5);
+        assert!(s.contains(64) && s.contains(1000) && !s.contains(65));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 63, 64, 200, 1000]);
+        let mut t = s.clone();
+        t.remove(200);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![2, 63, 64, 1000]);
+        assert_eq!(CopySet::single(64).first(), Some(64));
+    }
+
+    #[test]
+    fn minus_is_pointwise_difference() {
+        let a: CopySet = [1, 5, 64, 100].into_iter().collect();
+        let b: CopySet = [5, 100, 200].into_iter().collect();
+        let d = a.minus(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 64]);
+    }
+
+    #[test]
+    fn digest_words_match_inline_bitmap() {
+        let s: CopySet = [1, 3].into_iter().collect();
+        assert_eq!(s.digest_words().collect::<Vec<_>>(), vec![0b1010]);
+        let t: CopySet = [1, 70].into_iter().collect();
+        assert_eq!(t.digest_words().collect::<Vec<_>>(), vec![0b10, 70]);
+        assert!(s.heap_bytes() == 0);
     }
 }

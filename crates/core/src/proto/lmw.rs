@@ -421,7 +421,7 @@ impl Cluster {
                     .lmw
                     .copysets
                     .get(&page.0)
-                    .copied()
+                    .cloned()
                     .unwrap_or(CopySet::EMPTY)
             } else {
                 CopySet::EMPTY
@@ -445,7 +445,7 @@ impl Cluster {
                 self.emit(CheckEvent::UpdateFlush {
                     writer: pid,
                     page: page.0,
-                    copyset: cs.bits(),
+                    copyset: &cs,
                 });
                 let members: Vec<usize> = cs.others(pid).collect();
                 for q in members {

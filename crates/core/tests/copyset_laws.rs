@@ -1,14 +1,22 @@
 //! Algebraic laws of `CopySet`, checked over random member sets. The
 //! protocol stack leans on these silently — update flushes iterate
 //! copysets, the checker's copyset invariant compares them against fetcher
-//! bitmaps — so the laws are pinned here rather than assumed.
+//! sets — so the laws are pinned here rather than assumed.
+//!
+//! The pid domain deliberately straddles the 64-member inline bitmap: pids
+//! are drawn from `0..200`, so every law is exercised across the inline
+//! word, the sorted spillover, and the boundary between them.
 
 use dsm_core::proto::CopySet;
 use dsm_sim::prop::{check, Gen};
 
+/// Pids past 64 force spillover; the mix below keeps both representations
+/// and the 63/64 boundary in every run.
+const PID_DOMAIN: usize = 200;
+
 fn random_pids(g: &mut Gen) -> Vec<usize> {
     let n = g.below(12);
-    g.vec_of(n, |g| g.below(64))
+    g.vec_of(n, |g| g.below(PID_DOMAIN))
 }
 
 fn build(pids: &[usize]) -> CopySet {
@@ -20,7 +28,7 @@ fn membership_matches_construction() {
     check("membership_matches_construction", 256, |g| {
         let pids = random_pids(g);
         let s = build(&pids);
-        for p in 0..64 {
+        for p in 0..PID_DOMAIN {
             assert_eq!(s.contains(p), pids.contains(&p), "pid {p} of {pids:?}");
         }
         assert_eq!(s.is_empty(), pids.is_empty());
@@ -61,17 +69,21 @@ fn union_is_a_semilattice() {
             build(&random_pids(g)),
             build(&random_pids(g)),
         );
-        let u = |mut x: CopySet, y: CopySet| {
+        let u = |mut x: CopySet, y: &CopySet| {
             x.union_with(y);
             x
         };
-        assert_eq!(u(a, b), u(b, a), "commutative");
-        assert_eq!(u(u(a, b), c), u(a, u(b, c)), "associative");
-        assert_eq!(u(a, a), a, "idempotent");
-        assert_eq!(u(a, CopySet::EMPTY), a, "identity");
+        assert_eq!(u(a.clone(), &b), u(b.clone(), &a), "commutative");
+        assert_eq!(
+            u(u(a.clone(), &b), &c),
+            u(a.clone(), &u(b.clone(), &c)),
+            "associative"
+        );
+        assert_eq!(u(a.clone(), &a), a, "idempotent");
+        assert_eq!(u(a.clone(), &CopySet::EMPTY), a, "identity");
         // Union membership is pointwise disjunction.
-        let ab = u(a, b);
-        for p in 0..64 {
+        let ab = u(a.clone(), &b);
+        for p in 0..PID_DOMAIN {
             assert_eq!(ab.contains(p), a.contains(p) || b.contains(p));
         }
     });
@@ -81,10 +93,10 @@ fn union_is_a_semilattice() {
 fn remove_inverts_insert_on_fresh_members() {
     check("remove_inverts_insert", 256, |g| {
         let mut pids = random_pids(g);
-        let fresh = g.below(64);
+        let fresh = g.below(PID_DOMAIN);
         pids.retain(|&p| p != fresh);
         let before = build(&pids);
-        let mut s = before;
+        let mut s = before.clone();
         s.insert(fresh);
         assert!(s.contains(fresh));
         assert_eq!(s.len(), before.len() + 1);
@@ -97,16 +109,40 @@ fn remove_inverts_insert_on_fresh_members() {
 }
 
 #[test]
-fn bits_round_trip_and_singletons() {
-    check("bits_round_trip", 256, |g| {
-        let s = build(&random_pids(g));
-        assert_eq!(CopySet::from_bits(s.bits()), s);
-        assert_eq!(s.bits().count_ones() as usize, s.len());
-        let p = g.below(64);
+fn minus_is_pointwise_difference() {
+    check("minus_is_pointwise_difference", 256, |g| {
+        let a = build(&random_pids(g));
+        let b = build(&random_pids(g));
+        let d = a.minus(&b);
+        for p in 0..PID_DOMAIN {
+            assert_eq!(d.contains(p), a.contains(p) && !b.contains(p));
+        }
+        assert_eq!(a.minus(&CopySet::EMPTY), a, "right identity");
+        assert!(a.minus(&a).is_empty(), "self-difference empties");
+    });
+}
+
+#[test]
+fn digest_words_are_canonical_and_singletons_hold() {
+    check("digest_words_canonical", 256, |g| {
+        let pids = random_pids(g);
+        let forward = build(&pids);
+        let reversed: CopySet = pids.iter().rev().copied().collect();
+        // Equal sets fold identically regardless of construction order.
+        let fw: Vec<u64> = forward.digest_words().collect();
+        let rw: Vec<u64> = reversed.digest_words().collect();
+        assert_eq!(fw, rw);
+        // Members below 64 stay in the leading inline word, so sets with no
+        // spillover fold exactly as the historical one-word bitmap did.
+        if pids.iter().all(|&p| p < 64) {
+            let bits = pids.iter().fold(0u64, |acc, &p| acc | 1u64 << p);
+            assert_eq!(fw, vec![bits]);
+        }
+        let p = g.below(PID_DOMAIN);
         let single = CopySet::single(p);
         assert_eq!(single.len(), 1);
         assert_eq!(single.first(), Some(p));
-        assert_eq!(single.bits(), 1u64 << p);
+        assert!(single.contains(p));
     });
 }
 
@@ -114,9 +150,28 @@ fn bits_round_trip_and_singletons() {
 fn others_is_iter_minus_self() {
     check("others_is_iter_minus_self", 256, |g| {
         let s = build(&random_pids(g));
-        let p = g.below(64);
+        let p = g.below(PID_DOMAIN);
         let others: Vec<usize> = s.others(p).collect();
         let expect: Vec<usize> = s.iter().filter(|&q| q != p).collect();
         assert_eq!(others, expect);
+    });
+}
+
+#[test]
+fn spillover_straddles_the_inline_boundary() {
+    check("spillover_straddles_boundary", 256, |g| {
+        // Force members on both sides of pid 64 plus the boundary pids.
+        let mut pids = random_pids(g);
+        pids.push(63);
+        pids.push(64);
+        pids.push(g.below(64));
+        pids.push(64 + g.below(PID_DOMAIN - 64));
+        let s = build(&pids);
+        pids.sort_unstable();
+        pids.dedup();
+        assert_eq!(s.iter().collect::<Vec<_>>(), pids);
+        assert_eq!(s.len(), pids.len());
+        // heap_bytes only reports spillover storage.
+        assert!(s.heap_bytes() >= (pids.iter().filter(|&&p| p >= 64).count()) * 2);
     });
 }

@@ -33,6 +33,17 @@
 //!   the message may have been lost or delivered twice, and a caller that
 //!   drops them silently treats a lossy wire as reliable.
 //!
+//! A third pass enforces the sparse-scaling contract from `dsm-scale`:
+//!
+//! * `dense-by-nodes` — node-count-sized allocations
+//!   (`vec![..; nprocs]`-shaped) inside the protocol engine
+//!   (`crates/core/src/proto/`), and fixed 64-wide pid arithmetic
+//!   (`1 << pid` bitmaps, `% 64` / `& 63` folds, `0..64` sweeps) there or
+//!   in the checker (`crates/check/src/`). The sparsity certificates
+//!   prove per-page protocol state stays O(sharers); a dense table
+//!   re-densifies it and a word-width pid assumption breaks silently at
+//!   N > 64 — the exact bug class the lazy sparse refactor removed.
+//!
 //! Deliberate exceptions live in `lint-allow.toml` at the workspace root
 //! (hand-parsed here — the workspace is dependency-free by design). Every
 //! entry names a file, a rule, and a reason; stale entries that no longer
@@ -191,6 +202,59 @@ fn strip_noise(line: &str) -> String {
         }
     }
     out
+}
+
+/// Source trees under the sparse-scaling contract: protocol state must
+/// not be allocated dense by node count, and nothing may assume a 64-wide
+/// pid space. The `dsm-scale` sparsity certificates prove per-page state
+/// stays O(sharers); a `vec![..; nprocs]` table or a `1u64 << pid` bitmap
+/// silently re-densifies it (or, worse, wraps past pid 63 — the race-
+/// detector reader-bitmap bug this rule was written against).
+const DENSE_SCOPE: [&str; 2] = ["crates/core/src/proto/", "crates/check/src/"];
+
+/// The node-count-indexed allocation check only applies to per-page
+/// protocol state; top-level one-entry-per-process vectors elsewhere
+/// (clocks, per-proc overlays) are the intended shape.
+const DENSE_ALLOC_SCOPE: [&str; 1] = ["crates/core/src/proto/"];
+
+/// The structural dense-by-nodes pass over one file's stripped lines:
+/// `vec![..; nprocs]`-shaped allocations in protocol state, and fixed
+/// word-width pid arithmetic anywhere in scope.
+fn check_dense(rel: &str, stripped: &[String]) -> Vec<(usize, &'static str, String)> {
+    let mut findings = Vec::new();
+    if !DENSE_SCOPE.iter().any(|p| rel.starts_with(p)) {
+        return findings;
+    }
+    let alloc_scope = DENSE_ALLOC_SCOPE.iter().any(|p| rel.starts_with(p));
+    for (ln, code) in stripped.iter().enumerate() {
+        if alloc_scope
+            && code.contains("vec![")
+            && ["; nprocs", "nprocs()]", "; nodes"]
+                .iter()
+                .any(|n| code.contains(n))
+        {
+            findings.push((
+                ln + 1,
+                "dense-by-nodes",
+                "node-count-sized allocation in protocol state: per-page tables \
+                 must stay sparse (O(sharers), not O(N))"
+                    .to_string(),
+            ));
+        }
+        if ["0..64", "<< pid", "% 64", "& 63"]
+            .iter()
+            .any(|n| code.contains(n))
+        {
+            findings.push((
+                ln + 1,
+                "dense-by-nodes",
+                "fixed 64-wide pid arithmetic: breaks silently for pid >= 64 \
+                 (use CopySet or a spill table)"
+                    .to_string(),
+            ));
+        }
+    }
+    findings
 }
 
 /// Source prefixes allowed to call the transport's send entry points.
@@ -360,7 +424,10 @@ fn run(root: &Path) -> Result<Vec<String>, String> {
             }
             stripped.push(code);
         }
-        for (line, rule, msg) in check_sends(&rel, &stripped) {
+        let structural = check_sends(&rel, &stripped)
+            .into_iter()
+            .chain(check_dense(&rel, &stripped));
+        for (line, rule, msg) in structural {
             if let Some(a) = allows.iter_mut().find(|a| a.rule == rule && a.file == rel) {
                 a.used = true;
                 continue;
@@ -483,6 +550,49 @@ reason = "because"
     fn send_definitions_not_flagged() {
         let src = "pub fn send_flush(&mut self, src: usize) -> FlushOutcome {";
         assert!(check_sends("crates/net/src/network.rs", &lines(src)).is_empty());
+    }
+
+    #[test]
+    fn dense_alloc_in_proto_flagged() {
+        let src = "let owners = vec![0u32; nprocs];";
+        let f = check_dense("crates/core/src/proto/bar.rs", &lines(src));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].1, "dense-by-nodes");
+        // Per-process vectors outside the protocol engine are the
+        // intended shape (clocks, overlays) — and out-of-scope crates
+        // are never scanned at all.
+        assert!(check_dense("crates/check/src/race.rs", &lines(src)).is_empty());
+        assert!(check_dense("crates/sim/src/lib.rs", &lines(src)).is_empty());
+    }
+
+    #[test]
+    fn fixed_pid_width_flagged() {
+        for src in [
+            "mask |= 1u64 << pid;",
+            "for p in 0..64 {",
+            "let slot = pid % 64;",
+            "let bit = pid & 63;",
+        ] {
+            for rel in [
+                "crates/core/src/proto/copyset.rs",
+                "crates/check/src/race.rs",
+            ] {
+                let f = check_dense(rel, &lines(src));
+                assert_eq!(f.len(), 1, "{rel}: {src}");
+                assert_eq!(f[0].1, "dense-by-nodes", "{rel}: {src}");
+            }
+        }
+        // N-sized arithmetic is fine; so is the same pattern in prose.
+        assert!(check_dense(
+            "crates/core/src/proto/bar.rs",
+            &lines("let home = page % nprocs;")
+        )
+        .is_empty());
+        assert!(check_dense(
+            "crates/core/src/proto/bar.rs",
+            &lines("// the old bitmap did 1 << pid and wrapped at % 64")
+        )
+        .is_empty());
     }
 
     #[test]

@@ -124,7 +124,7 @@ impl CheckSink for PlanSink {
                 writer,
                 page,
                 copyset,
-            } => self.bucket.push((writer as u16, page, copyset)),
+            } => self.bucket.push((writer as u16, page, copyset.clone())),
             CheckEvent::BarrierRelease { .. } => {
                 let mut bucket = core::mem::take(&mut self.bucket);
                 bucket.sort_unstable();

@@ -84,11 +84,9 @@ fn overlaps(a: &[(u64, u64)], b: &[(u64, u64)]) -> bool {
 
 /// Prove the region table for one `(plan, layout, schedule)`: one
 /// [`PageCert`] per written page. Pages nobody writes get no entry (the
-/// protocol has nothing to flush for them).
-///
-/// Panics when `nprocs > 64` (reader sets are bitmaps, like copysets).
+/// protocol has nothing to flush for them). Reader sets are [`CopySet`]s,
+/// so any process count the simulator accepts is provable.
 pub fn prove_regions(plan: &AppPlan, lay: &Layout, sched: &[EpochSpec]) -> RegionTable {
-    assert!(lay.nprocs <= 64, "reader bitmaps hold at most 64 processes");
     let fp = run_footprints(plan, lay, sched);
     let ps = lay.page_size;
 
@@ -127,12 +125,13 @@ pub fn prove_regions(plan: &AppPlan, lay: &Layout, sched: &[EpochSpec]) -> Regio
         let writers = per_writer
             .into_iter()
             .map(|(pid, spans)| {
-                let readers = fp
+                let readers: dsm_core::proto::CopySet = fp
                     .loads
                     .iter()
                     .enumerate()
                     .filter(|&(q, loads)| q != pid && overlaps(&clip(loads, lo, hi), &spans))
-                    .fold(0u64, |acc, (q, _)| acc | (1 << q));
+                    .map(|(q, _)| q)
+                    .collect();
                 WriterRegions {
                     writer: pid as u16,
                     spans: spans
@@ -181,6 +180,7 @@ mod tests {
         let plan = AppPlan {
             app: "fixture",
             exact: true,
+            value_exact: true,
             arrays: vec![crate::spec::ArrayShape {
                 name: "g",
                 rows: 4,
@@ -228,14 +228,14 @@ mod tests {
         assert_eq!(c1.writers[0].writer, 0);
         assert_eq!(c1.writers[0].spans, vec![(0, 4096)]);
         // p1 loads row 1 as its halo: it is a reader of p0's region.
-        assert_eq!(c1.writers[0].readers, 0b10);
+        assert_eq!(c1.writers[0].readers.iter().collect::<Vec<_>>(), vec![1]);
         // Both processes' load footprints cover the full page (band +
         // halo), so a push to p1 has nothing to clip here.
         assert_eq!(c1.loads_of(0), Some(&[(0, 4096)][..]));
         assert_eq!(c1.loads_of(1), Some(&[(0, 4096)][..]));
         let c2 = rt.cert(2).unwrap();
         assert_eq!(c2.writers[0].writer, 1);
-        assert_eq!(c2.writers[0].readers, 0b01);
+        assert_eq!(c2.writers[0].readers.iter().collect::<Vec<_>>(), vec![0]);
     }
 
     #[test]
@@ -249,6 +249,7 @@ mod tests {
         let plan = AppPlan {
             app: "fixture",
             exact: true,
+            value_exact: true,
             arrays: vec![crate::spec::ArrayShape {
                 name: "g",
                 rows: 6,
@@ -278,7 +279,7 @@ mod tests {
         assert_eq!(c.writers[0].spans, vec![(0, 2048)]);
         assert_eq!(c.writers[1].spans, vec![(2048, 4096)]);
         // Nobody loads: empty reader sets, no load footprints at all.
-        assert_eq!(c.writers[0].readers, 0);
+        assert!(c.writers[0].readers.is_empty());
         assert!(c.loads.is_empty());
         assert_eq!(c.loads_of(0), None);
     }
@@ -288,6 +289,7 @@ mod tests {
         let plan = AppPlan {
             app: "fixture",
             exact: true,
+            value_exact: true,
             arrays: vec![crate::spec::ArrayShape {
                 name: "g",
                 rows: 1,

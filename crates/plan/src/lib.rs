@@ -16,6 +16,9 @@
 //!   protocols over the page-granularity footprints ([`protosim`]);
 //! * computes static page-conflict groups that the exploration scheduler's
 //!   dynamic conflict components must refine ([`groups`]);
+//! * lifts the traffic predictions to a symbolic node count, deriving
+//!   certified piecewise-polynomial formulas in `N` and per-app sparsity
+//!   certificates for the copyset tables ([`scaling`]);
 //! * emits deterministic machine-readable reports ([`report`]).
 //!
 //! The predictions are falsifiable: [`dynamic::PlanSink`] replays a real
@@ -31,6 +34,7 @@ pub mod protosim;
 pub mod race;
 pub mod regions;
 pub mod report;
+pub mod scaling;
 pub mod schedule;
 pub mod spec;
 
@@ -43,6 +47,7 @@ pub use protosim::{predict, total_pages, FlushTriple, Prediction, SteadyCopysets
 pub use race::{check_races, RaceReport, RaceWitness};
 pub use regions::{region_digest, render_region_report, RegionOutcome, RegionSink};
 pub use report::{analyze, render_app_report, render_report, AppAnalysis};
+pub use scaling::{derive_law, measure, Formula, Piece, ScaleLaw, ScaleSample, Sparsity, METRICS};
 pub use schedule::{
     build_schedule, epoch_touches, lower_epoch, EpochAccess, EpochKind, EpochSpec, EpochTouch,
 };

@@ -162,6 +162,26 @@ impl SpanSet {
         }
         out
     }
+
+    /// Per-page count of maximal covered runs (sorted by page). Spans are
+    /// merged maximal by construction, so each span × page intersection is
+    /// one run — the shape a diff of these covered bytes takes on the
+    /// wire, one `(offset, length)` header per run.
+    pub fn page_runs(&self, page_size: u64) -> Vec<(u32, u32)> {
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        let mut add = |page: u32| match out.last_mut() {
+            Some(last) if last.0 == page => last.1 += 1,
+            _ => out.push((page, 1)),
+        };
+        for &(lo, hi) in &self.spans {
+            let first = lo / page_size;
+            let last = (hi - 1) / page_size;
+            for p in first..=last {
+                add(p as u32);
+            }
+        }
+        out
+    }
 }
 
 /// Lower a row expression to disjoint, sorted half-open row ranges.
@@ -339,6 +359,17 @@ mod tests {
         // with aligned input instead:
         let s = SpanSet::from_raw(vec![(4088, 4112)]);
         assert_eq!(s.page_words(4096), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn spanset_page_runs() {
+        // Two disjoint runs on page 0; the merged span (0,16) is one run.
+        let s = SpanSet::from_raw(vec![(0, 8), (8, 16), (32, 40)]);
+        assert_eq!(s.page_runs(4096), vec![(0, 2)]);
+        // A span straddling a page boundary contributes one run to each
+        // side — the diff encoding restarts its run header per page.
+        let s = SpanSet::from_raw(vec![(4088, 4112), (4120, 4128)]);
+        assert_eq!(s.page_runs(4096), vec![(0, 1), (1, 2)]);
     }
 
     #[test]

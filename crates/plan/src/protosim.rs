@@ -19,8 +19,9 @@
 //! `seq` trivially predict zero update flushes. `bar-m` is not modeled:
 //! without per-barrier reprotection its diffs span whole overdrive phases.
 
-use dsm_sim::FastMap;
+use dsm_sim::{FastMap, FastSet};
 
+use dsm_core::proto::CopySet;
 use dsm_core::ProtocolKind;
 
 use crate::layout::Layout;
@@ -28,8 +29,9 @@ use crate::schedule::{epoch_touches, lower_epoch, EpochSpec, EpochTouch};
 use crate::spec::AppPlan;
 
 /// One predicted update flush, matching the `UpdateFlush` check event:
-/// `(writer, page, copyset_bits)`.
-pub type FlushTriple = (u16, u32, u64);
+/// `(writer, page, copyset)`. Ties on `(writer, page)` cannot occur, so
+/// the derived ordering sorts exactly as the old bitmask triples did.
+pub type FlushTriple = (u16, u32, CopySet);
 
 /// Steady-state (end-of-run) copysets.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -37,11 +39,11 @@ pub enum SteadyCopysets {
     /// Invalidate protocols and `seq`: no copysets maintained.
     None,
     /// Home-based update protocols: one global set per page
-    /// (`(page, member_bits)`, sorted, non-empty entries only).
-    PerPage(Vec<(u32, u64)>),
-    /// `lmw-u`: per-writer sets (`(page, writer, member_bits)`, sorted,
+    /// (`(page, members)`, sorted, non-empty entries only).
+    PerPage(Vec<(u32, CopySet)>),
+    /// `lmw-u`: per-writer sets (`(page, writer, members)`, sorted,
     /// non-empty entries only).
-    PerWriter(Vec<(u32, u16, u64)>),
+    PerWriter(Vec<(u32, u16, CopySet)>),
 }
 
 /// The full static prediction for one `(app, protocol, nprocs, scale)`.
@@ -55,7 +57,16 @@ pub struct Prediction {
     pub flush_msgs: u64,
     /// Total flushed payload words across all update messages.
     pub flush_words: u64,
+    /// Total diff runs across all update messages (one wire run header
+    /// each; with the 8-byte page and 8-byte run headers this closes the
+    /// exact wire-byte model `8·(msgs + runs + words)`).
+    pub flush_runs: u64,
     pub copysets: SteadyCopysets,
+    /// Write-notice control records: version bumps for the bar family,
+    /// notice records filed at consumers (`notices × (n-1)`) for the lmw
+    /// family, zero for `seq`. This is the scaling model's third traffic
+    /// metric alongside `flush_msgs` and `flush_words`.
+    pub notices: u64,
     /// Final page-to-home assignment (bar family; initial all-zero map
     /// otherwise).
     pub homes: Vec<u16>,
@@ -105,7 +116,13 @@ pub fn predict(
             flushes: vec![Vec::new(); nbarriers],
             flush_msgs: 0,
             flush_words: 0,
+            flush_runs: 0,
             copysets: SteadyCopysets::None,
+            notices: if protocol == ProtocolKind::LmwI {
+                lmw_invalidate_notices(plan, lay, schedule)
+            } else {
+                0
+            },
             homes: vec![0; total_pages(lay)],
             migrations: 0,
         },
@@ -118,6 +135,30 @@ pub fn predict(
         }
         ProtocolKind::BarM | ProtocolKind::BarR => unreachable!(),
     }
+}
+
+/// Write-notice records filed under `lmw-i`, a pure function of the plan:
+/// per barrier window, each `(writer, page)` write-faulted in the window
+/// files one notice at every other process. (No empty-diff suppression —
+/// the invalidate path never seals a diff at the barrier.)
+fn lmw_invalidate_notices(plan: &AppPlan, lay: &Layout, schedule: &[EpochSpec]) -> u64 {
+    let n = lay.nprocs as u64;
+    let mut total = 0u64;
+    let mut window: FastSet<(u16, u32)> = FastSet::default();
+    for spec in schedule {
+        for pid in 0..lay.nprocs {
+            for t in epoch_touches(&lower_epoch(plan, lay, spec, pid), lay.page_size) {
+                if t.written {
+                    window.insert((pid as u16, t.page));
+                }
+            }
+        }
+        if spec.barrier {
+            total += window.len() as u64 * (n - 1);
+            window.clear();
+        }
+    }
+    total
 }
 
 // ---------------------------------------------------------------------
@@ -136,16 +177,18 @@ struct BarSim {
     np: usize,
     homes: Vec<u16>,
     versions: Vec<u32>,
-    copysets: Vec<u64>,
+    copysets: Vec<CopySet>,
     /// `pid * np + page`.
     frames: Vec<Option<BarFrame>>,
     /// First-iteration write tracking for the migration decision.
-    iter_writers: Vec<u64>,
+    iter_writers: Vec<CopySet>,
     /// `page * n + pid`: epochs in which pid write-faulted the page.
     iter_counts: Vec<u32>,
     migrated: bool,
-    /// Per pid: `(page, has_twin, mod_words)` in fault order.
-    dirty: Vec<Vec<(u32, bool, u32)>>,
+    /// Version bumps performed (the bar family's notice analogue).
+    notices: u64,
+    /// Per pid: `(page, has_twin, mod_words, mod_runs)` in fault order.
+    dirty: Vec<Vec<(u32, bool, u32, u32)>>,
 }
 
 impl BarSim {
@@ -158,11 +201,12 @@ impl BarSim {
             np,
             homes: vec![0; np],
             versions: vec![1; np],
-            copysets: vec![0; np],
+            copysets: vec![CopySet::EMPTY; np],
             frames: vec![None; n * np],
-            iter_writers: vec![0; np],
+            iter_writers: vec![CopySet::EMPTY; np],
             iter_counts: vec![0; np * n],
             migrated: false,
+            notices: 0,
             dirty: vec![Vec::new(); n],
         }
     }
@@ -178,7 +222,7 @@ impl BarSim {
                 version_seen: 1,
             });
             if self.update {
-                self.copysets[pg] |= 1u64 << pid;
+                self.copysets[pg].insert(pid);
             }
         }
     }
@@ -199,17 +243,17 @@ impl BarSim {
                     f.readable = true;
                     f.version_seen = self.versions[pg];
                     if self.update {
-                        self.copysets[pg] |= 1u64 << pid;
+                        self.copysets[pg].insert(pid);
                     }
                 }
                 if t.written {
                     // bar_fault write path: twin decision at fault time.
                     let home = self.homes[pg] as usize;
-                    let others = self.copysets[pg] & !(1u64 << pid);
-                    let has_twin = pid != home || (self.update && others != 0);
-                    self.dirty[pid].push((t.page, has_twin, t.mod_words));
+                    let has_others = self.copysets[pg].others(pid).next().is_some();
+                    let has_twin = pid != home || (self.update && has_others);
+                    self.dirty[pid].push((t.page, has_twin, t.mod_words, t.mod_runs));
                     if !self.migrated {
-                        self.iter_writers[pg] |= 1u64 << pid;
+                        self.iter_writers[pg].insert(pid);
                         self.iter_counts[pg * self.n + pid] += 1;
                     }
                 }
@@ -219,7 +263,12 @@ impl BarSim {
 
     /// `bar_pre_barrier` + `bar_post_release` for every process, canonical
     /// arrival order. Returns the barrier's flush triples plus traffic.
-    fn barrier(&mut self, flush_msgs: &mut u64, flush_words: &mut u64) -> Vec<FlushTriple> {
+    fn barrier(
+        &mut self,
+        flush_msgs: &mut u64,
+        flush_words: &mut u64,
+        flush_runs: &mut u64,
+    ) -> Vec<FlushTriple> {
         let mut flushes: Vec<FlushTriple> = Vec::new();
         // The version ledger extends same-page entries: (old, new) per page.
         let mut bumps: Vec<(u32, u32, u32)> = Vec::new();
@@ -228,13 +277,15 @@ impl BarSim {
         let mut delivered: FastMap<(u16, u32), u32> = FastMap::default();
         for pid in 0..self.n {
             let dirty = core::mem::take(&mut self.dirty[pid]);
-            for (page, has_twin, mod_words) in dirty {
+            for (page, has_twin, mod_words, mod_runs) in dirty {
                 let pg = page as usize;
                 let home = self.homes[pg] as usize;
-                let others = self.copysets[pg] & !(1u64 << pid);
-                let use_diff = has_twin && (pid != home || (self.update && others != 0));
+                let cs = self.copysets[pg].clone();
+                let has_others = cs.others(pid).next().is_some();
+                let use_diff = has_twin && (pid != home || (self.update && has_others));
                 let mut bump = |s: &mut BarSim| {
                     s.versions[pg] += 1;
+                    s.notices += 1;
                     if let Some(&i) = bump_idx.get(&page) {
                         bumps[i].2 = s.versions[pg];
                     } else {
@@ -250,17 +301,15 @@ impl BarSim {
                     }
                     bump(self);
                     if self.update {
-                        flushes.push((pid as u16, page, self.copysets[pg]));
-                        let mut m = others;
-                        while m != 0 {
-                            let q = m.trailing_zeros() as usize;
-                            m &= m - 1;
+                        for q in cs.others(pid) {
                             if q != home {
                                 *delivered.entry((q as u16, page)).or_insert(0) += 1;
                                 *flush_msgs += 1;
                                 *flush_words += u64::from(mod_words);
+                                *flush_runs += u64::from(mod_runs);
                             }
                         }
+                        flushes.push((pid as u16, page, cs));
                     }
                 } else {
                     // Home wrote with no consumers needing a diff: version
@@ -311,9 +360,9 @@ impl BarSim {
     fn migrate(&mut self) {
         self.migrated = true;
         for pg in 0..self.np {
-            let writers = self.iter_writers[pg];
             let old_home = self.homes[pg] as usize;
-            if writers == 0 || writers & (1u64 << old_home) != 0 {
+            let writers = &self.iter_writers[pg];
+            if writers.is_empty() || writers.contains(old_home) {
                 continue;
             }
             let mut best = 0usize;
@@ -354,14 +403,14 @@ impl BarSim {
 
     fn run(mut self, plan: &AppPlan, lay: &Layout, schedule: &[EpochSpec]) -> Prediction {
         let mut flushes = Vec::new();
-        let (mut flush_msgs, mut flush_words) = (0u64, 0u64);
+        let (mut flush_msgs, mut flush_words, mut flush_runs) = (0u64, 0u64, 0u64);
         for spec in schedule {
             let touches: Vec<Vec<EpochTouch>> = (0..self.n)
                 .map(|pid| epoch_touches(&lower_epoch(plan, lay, spec, pid), lay.page_size))
                 .collect();
             self.epoch(&touches);
             if spec.barrier {
-                flushes.push(self.barrier(&mut flush_msgs, &mut flush_words));
+                flushes.push(self.barrier(&mut flush_msgs, &mut flush_words, &mut flush_runs));
             }
             if spec.migrate_after {
                 self.migrate();
@@ -372,8 +421,8 @@ impl BarSim {
                 self.copysets
                     .iter()
                     .enumerate()
-                    .filter(|&(_, &b)| b != 0)
-                    .map(|(pg, &b)| (pg as u32, b))
+                    .filter(|(_, cs)| !cs.is_empty())
+                    .map(|(pg, cs)| (pg as u32, cs.clone()))
                     .collect(),
             )
         } else {
@@ -389,7 +438,9 @@ impl BarSim {
             flushes,
             flush_msgs,
             flush_words,
+            flush_runs,
             copysets,
+            notices: self.notices,
             homes: self.homes,
             migrations,
         }
@@ -402,8 +453,8 @@ impl BarSim {
 
 /// An update segment `(writer, lo_epoch, hi_epoch)` filed at a consumer.
 type ArrivedSeg = (u16, u64, u64);
-/// A retained sealed segment `(lo_epoch, hi_epoch, diff_words)`.
-type SealedSeg = (u64, u64, u64);
+/// A retained sealed segment `(lo_epoch, hi_epoch, diff_words, diff_runs)`.
+type SealedSeg = (u64, u64, u64, u64);
 
 #[derive(Clone, Copy)]
 struct LmwFrame {
@@ -428,11 +479,13 @@ struct LmwSim {
     pending_updates: Vec<FastMap<u32, Vec<ArrivedSeg>>>,
     /// Per writer: open accumulation `(lo, hi, acc_mod_words)` — exists
     /// iff the twin exists.
-    pending: Vec<FastMap<u32, (u64, u64, u64)>>,
-    /// Per writer: retained sealed segments `(lo, hi, words)`.
+    pending: Vec<FastMap<u32, (u64, u64, u64, u64)>>,
+    /// Per writer: retained sealed segments `(lo, hi, words, runs)`.
     segments: Vec<FastMap<u32, Vec<SealedSeg>>>,
     /// Per writer: its copyset per page.
-    copysets: Vec<FastMap<u32, u64>>,
+    copysets: Vec<FastMap<u32, CopySet>>,
+    /// Notice records filed at consumers.
+    notice_records: u64,
     /// Per pid: pages write-faulted this epoch.
     dirty: Vec<Vec<u32>>,
 }
@@ -454,6 +507,7 @@ impl LmwSim {
             pending: vec![FastMap::default(); n],
             segments: vec![FastMap::default(); n],
             copysets: vec![FastMap::default(); n],
+            notice_records: 0,
             dirty: vec![Vec::new(); n],
         }
     }
@@ -461,12 +515,12 @@ impl LmwSim {
     /// `lmw_seal`: close `writer`'s open accumulation for `page`. Empty
     /// diffs leave no segment but still consume the twin.
     fn seal(&mut self, writer: usize, page: u32) {
-        if let Some((lo, hi, words)) = self.pending[writer].remove(&page) {
+        if let Some((lo, hi, words, runs)) = self.pending[writer].remove(&page) {
             if words > 0 {
                 self.segments[writer]
                     .entry(page)
                     .or_default()
-                    .push((lo, hi, words));
+                    .push((lo, hi, words, runs));
             }
         }
     }
@@ -500,7 +554,7 @@ impl LmwSim {
             let f = self.frames[fi].as_mut().expect("frame present");
             f.readable = true;
             f.floor = f.floor.max(lwe);
-            *self.copysets[writer].entry(page).or_insert(0) |= 1u64 << pid;
+            self.copysets[writer].entry(page).or_default().insert(pid);
             return;
         }
         // Stored updates first.
@@ -533,13 +587,13 @@ impl LmwSim {
             self.seal(wu, page);
             let since = applied_w(self, w);
             if let Some(segs) = self.segments[wu].get(&page) {
-                for &(lo, hi, _) in segs {
+                for &(lo, hi, _, _) in segs {
                     if hi > since && !to_apply.contains(&(w, lo, hi)) {
                         to_apply.push((w, lo, hi));
                     }
                 }
             }
-            *self.copysets[wu].entry(page).or_insert(0) |= 1u64 << pid;
+            self.copysets[wu].entry(page).or_default().insert(pid);
         }
         for (w, _, hi) in to_apply {
             let k = (pid as u16, page, w);
@@ -567,16 +621,22 @@ impl LmwSim {
                 }
                 if t.written {
                     let e = self.epoch;
-                    let entry = self.pending[pid].entry(t.page).or_insert((e, e, 0));
+                    let entry = self.pending[pid].entry(t.page).or_insert((e, e, 0, 0));
                     entry.1 = e;
                     entry.2 += u64::from(t.mod_words);
+                    entry.3 += u64::from(t.mod_runs);
                     self.dirty[pid].push(t.page);
                 }
             }
         }
     }
 
-    fn barrier(&mut self, flush_msgs: &mut u64, flush_words: &mut u64) -> Vec<FlushTriple> {
+    fn barrier(
+        &mut self,
+        flush_msgs: &mut u64,
+        flush_words: &mut u64,
+        flush_runs: &mut u64,
+    ) -> Vec<FlushTriple> {
         let mut flushes: Vec<FlushTriple> = Vec::new();
         // (epoch, page, writer) — all notices carry the current epoch, so
         // merged order is (page, writer).
@@ -586,30 +646,30 @@ impl LmwSim {
         for pid in 0..self.n {
             let dirty = core::mem::take(&mut self.dirty[pid]);
             for page in dirty {
-                let cs = self.copysets[pid].get(&page).copied().unwrap_or(0);
-                let others = cs & !(1u64 << pid);
-                if others != 0 {
+                let cs = self.copysets[pid]
+                    .get(&page)
+                    .cloned()
+                    .unwrap_or(CopySet::EMPTY);
+                if cs.others(pid).next().is_some() {
                     self.seal(pid, page);
                     let seg = self.segments[pid]
                         .get(&page)
                         .and_then(|v| v.last())
                         .copied()
-                        .filter(|&(_, hi, _)| hi == self.epoch);
-                    let Some((lo, hi, words)) = seg else {
+                        .filter(|&(_, hi, _, _)| hi == self.epoch);
+                    let Some((lo, hi, words, runs)) = seg else {
                         // The seal produced an empty diff: no notice, no
                         // flush.
                         continue;
                     };
                     notices.push((page, pid as u16));
-                    flushes.push((pid as u16, page, cs));
-                    let mut m = others;
-                    while m != 0 {
-                        let q = m.trailing_zeros() as u16;
-                        m &= m - 1;
-                        staged.push((q, page, pid as u16, lo, hi));
+                    for q in cs.others(pid) {
+                        staged.push((q as u16, page, pid as u16, lo, hi));
                         *flush_msgs += 1;
                         *flush_words += words;
+                        *flush_runs += runs;
                     }
+                    flushes.push((pid as u16, page, cs));
                 } else {
                     // Invalidate path: notice only, twin keeps
                     // accumulating.
@@ -618,6 +678,7 @@ impl LmwSim {
             }
         }
         notices.sort_unstable();
+        self.notice_records += notices.len() as u64 * (self.n as u64 - 1);
         // Interval bookkeeping: the merged notices advance the page's
         // last-writer record (ties within the epoch go to the highest
         // writer, matching the merged sort order).
@@ -640,7 +701,10 @@ impl LmwSim {
                     self.seal(pid, page);
                 }
                 if self.frames[pid * self.np + pg].is_some() {
-                    *self.copysets[pid].entry(page).or_insert(0) |= 1u64 << writer;
+                    self.copysets[pid]
+                        .entry(page)
+                        .or_default()
+                        .insert(usize::from(writer));
                 }
                 self.known[pid]
                     .entry(page)
@@ -667,21 +731,21 @@ impl LmwSim {
 
     fn run(mut self, plan: &AppPlan, lay: &Layout, schedule: &[EpochSpec]) -> Prediction {
         let mut flushes = Vec::new();
-        let (mut flush_msgs, mut flush_words) = (0u64, 0u64);
+        let (mut flush_msgs, mut flush_words, mut flush_runs) = (0u64, 0u64, 0u64);
         for spec in schedule {
             let touches: Vec<Vec<EpochTouch>> = (0..self.n)
                 .map(|pid| epoch_touches(&lower_epoch(plan, lay, spec, pid), lay.page_size))
                 .collect();
             self.epoch_step(&touches);
             if spec.barrier {
-                flushes.push(self.barrier(&mut flush_msgs, &mut flush_words));
+                flushes.push(self.barrier(&mut flush_msgs, &mut flush_words, &mut flush_runs));
             }
         }
-        let mut per_writer: Vec<(u32, u16, u64)> = Vec::new();
+        let mut per_writer: Vec<(u32, u16, CopySet)> = Vec::new();
         for (w, cs) in self.copysets.iter().enumerate() {
-            for (&page, &bits) in cs {
-                if bits != 0 {
-                    per_writer.push((page, w as u16, bits));
+            for (&page, members) in cs {
+                if !members.is_empty() {
+                    per_writer.push((page, w as u16, members.clone()));
                 }
             }
         }
@@ -691,7 +755,9 @@ impl LmwSim {
             flushes,
             flush_msgs,
             flush_words,
+            flush_runs,
             copysets: SteadyCopysets::PerWriter(per_writer),
+            notices: self.notice_records,
             homes: vec![0; self.np],
             migrations: 0,
         }

@@ -47,7 +47,10 @@ pub fn region_digest(rt: &RegionTable) -> u64 {
         let mut vs = vec![u64::from(c.page), class];
         for w in &c.writers {
             vs.push(u64::from(w.writer));
-            vs.push(w.readers);
+            // The member-set word stream: inline bitmap word first, then
+            // one word per spillover pid — identical to the old raw-u64
+            // fold whenever every reader pid is below 64.
+            vs.extend(w.readers.digest_words());
             for &(s, e) in &w.spans {
                 vs.push(u64::from(s));
                 vs.push(u64::from(e));
@@ -99,7 +102,12 @@ pub fn render_region_report(out: &mut String, app: &str, rt: &RegionTable) {
                 }
                 let _ = write!(line, "[{s},{e})");
             }
-            let _ = write!(line, "/r{:#x}", w.readers);
+            let mut words = w.readers.digest_words();
+            let inline = words.next().unwrap_or(0);
+            let _ = write!(line, "/r{inline:#x}");
+            for spill in words {
+                let _ = write!(line, "+p{spill}");
+            }
         }
         let _ = writeln!(out, "{line}");
     }
@@ -275,12 +283,12 @@ mod tests {
                 WriterRegions {
                     writer: 0,
                     spans: vec![(0, 2048)],
-                    readers: 0,
+                    readers: dsm_core::proto::CopySet::EMPTY,
                 },
                 WriterRegions {
                     writer: 1,
                     spans: vec![(2048, 4096)],
-                    readers: 0,
+                    readers: dsm_core::proto::CopySet::EMPTY,
                 },
             ],
             loads: vec![],

@@ -55,7 +55,12 @@ fn copyset_fields(out: &mut String, cs: &SteadyCopysets) {
             let _ = write!(out, " copysets=none");
         }
         SteadyCopysets::PerPage(v) => {
-            let digest = fnv1a64(v.iter().flat_map(|&(p, b)| [u64::from(p), b]));
+            // `digest_words()` folds exactly like the old inline bitmask
+            // for sets with no spillover, keeping committed reports stable.
+            let digest = fnv1a64(
+                v.iter()
+                    .flat_map(|(p, cs)| core::iter::once(u64::from(*p)).chain(cs.digest_words())),
+            );
             let _ = write!(
                 out,
                 " copysets=per-page copyset_entries={} copyset_digest={digest:#018x}",
@@ -63,10 +68,11 @@ fn copyset_fields(out: &mut String, cs: &SteadyCopysets) {
             );
         }
         SteadyCopysets::PerWriter(v) => {
-            let digest = fnv1a64(
-                v.iter()
-                    .flat_map(|&(p, w, b)| [u64::from(p), u64::from(w), b]),
-            );
+            let digest = fnv1a64(v.iter().flat_map(|(p, w, cs)| {
+                [u64::from(*p), u64::from(*w)]
+                    .into_iter()
+                    .chain(cs.digest_words())
+            }));
             let _ = write!(
                 out,
                 " copysets=per-writer copyset_entries={} copyset_digest={digest:#018x}",
@@ -78,10 +84,11 @@ fn copyset_fields(out: &mut String, cs: &SteadyCopysets) {
 
 fn flush_digest(p: &Prediction) -> u64 {
     fnv1a64(p.flushes.iter().enumerate().flat_map(|(bi, fs)| {
-        core::iter::once(bi as u64).chain(
-            fs.iter()
-                .flat_map(|&(w, pg, cs)| [u64::from(w), u64::from(pg), cs]),
-        )
+        core::iter::once(bi as u64).chain(fs.iter().flat_map(|(w, pg, cs)| {
+            [u64::from(*w), u64::from(*pg)]
+                .into_iter()
+                .chain(cs.digest_words())
+        }))
     }))
 }
 

@@ -110,6 +110,28 @@ pub struct EpochAccess {
     pub mods: SpanSet,
 }
 
+/// Does `pid` modify any shared words in any body phase of iteration
+/// `iter`? Decides whether its reduction-slot contribution (the residual
+/// or energy of its band) changes value: a process that computes nothing
+/// republishes the same value, a silent store.
+fn active_in_iter(plan: &AppPlan, lay: &Layout, iter: usize, pid: usize) -> bool {
+    let nprocs = lay.nprocs;
+    plan.phases.iter().any(|ph| {
+        ph.accesses.iter().any(|decl| {
+            let arr = lay.array(decl.array);
+            let args = RowArgs {
+                rows: arr.rows,
+                pid,
+                nprocs,
+                iter,
+            };
+            let mut mods = Vec::new();
+            lower_access_into(decl, arr, &args, Facet::Mods, &mut mods);
+            mods.iter().any(|&(lo, hi)| hi > lo)
+        })
+    })
+}
+
 /// Lower one epoch for one process against a concrete layout.
 pub fn lower_epoch(plan: &AppPlan, lay: &Layout, spec: &EpochSpec, pid: usize) -> EpochAccess {
     let mut loads = Vec::new();
@@ -131,12 +153,19 @@ pub fn lower_epoch(plan: &AppPlan, lay: &Layout, spec: &EpochSpec, pid: usize) -
                 lower_access_into(decl, arr, &args, Facet::Mods, &mut mods);
             }
             if let Some(k) = spec.slot_writes {
-                // Slot publications are modeled as always-modifying: the
-                // contributions are iteration-varying reduction inputs.
+                // Slot publications change value only when the process
+                // computes something this iteration. A process whose body
+                // phases modify no words (an empty band once `N` exceeds
+                // the row count) folds over nothing and publishes the same
+                // contribution every iteration — a silent store whose
+                // diff is empty, producing no flush (and, on the update
+                // path, no notice).
                 let slots = lay.array(REDUCE_SLOTS);
                 let lo = slots.base + (pid * k) as u64 * ESIZE;
                 stores.push((lo, lo + k as u64 * ESIZE));
-                mods.push((lo, lo + k as u64 * ESIZE));
+                if active_in_iter(plan, lay, spec.iter, pid) {
+                    mods.push((lo, lo + k as u64 * ESIZE));
+                }
             }
         }
         EpochKind::ReduceCombine => {
@@ -169,6 +198,9 @@ pub struct EpochTouch {
     pub written: bool,
     /// Modified words on this page this epoch (diff size contribution).
     pub mod_words: u32,
+    /// Maximal modified runs on this page this epoch (one wire run header
+    /// each when the diff is flushed).
+    pub mod_runs: u32,
 }
 
 /// Collapse lowered spans to sorted per-page touch records.
@@ -185,6 +217,7 @@ pub fn epoch_touches(acc: &EpochAccess, page_size: u64) -> Vec<EpochTouch> {
                         read: false,
                         written: false,
                         mod_words: 0,
+                        mod_runs: 0,
                     },
                 );
                 i
@@ -203,6 +236,10 @@ pub fn epoch_touches(acc: &EpochAccess, page_size: u64) -> Vec<EpochTouch> {
         let i = touch(p, &mut out);
         out[i].mod_words = words;
     }
+    for (p, runs) in acc.mods.page_runs(page_size) {
+        let i = touch(p, &mut out);
+        out[i].mod_runs = runs;
+    }
     out
 }
 
@@ -219,6 +256,7 @@ mod tests {
         AppPlan {
             app: "t",
             exact: true,
+            value_exact: true,
             arrays: vec![],
             phases,
         }

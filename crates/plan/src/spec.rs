@@ -224,11 +224,19 @@ pub struct AppPlan {
     /// Application name (matches `DsmApp::name`).
     pub app: &'static str,
     /// True if every declared region is *exact*: lowered loads/stores equal
-    /// the dynamic access sets and `mods` are precisely the words whose
-    /// values change. Exact plans support flush-set prediction; inexact
-    /// plans (Barnes' force cutoffs make its read sets data-dependent)
-    /// support containment and race checks only, with loads over-approximated.
+    /// the dynamic access sets and `mods` are precisely the words the app
+    /// writes with intent to change. Exact plans support flush-set
+    /// prediction; inexact plans (Barnes' force cutoffs make its read sets
+    /// data-dependent) support containment and race checks only, with
+    /// loads over-approximated.
     pub exact: bool,
+    /// True if, additionally, every `mods` word changes *value* each time
+    /// it is written. Then diffs never shrink and runs never fragment, so
+    /// the byte-level wire model `8·(msgs + runs + words)` is exact.
+    /// Relaxation codes whose stencils can reproduce a word's previous
+    /// value (silent stores: shallow, swm, tomcat) keep the flush *sets*
+    /// exact but make the byte formula an upper bound only.
+    pub value_exact: bool,
     pub arrays: Vec<ArrayShape>,
     /// One entry per barrier site, in site order.
     pub phases: Vec<PhasePlan>,
