@@ -9,7 +9,7 @@
 use dsm_core::{CheckCtx, DsmApp, ExecCtx, PhaseEnd, ReduceOp, SetupCtx, SharedGrid2};
 use dsm_plan::{AccessDecl, AppPlan, ArrayShape, Cols, PhasePlan, PlannedApp, Rows};
 
-use crate::common::{interior_band, seeded01, Scale};
+use crate::common::{interior_band, load_f64s, save_f64s, seeded01, Scale};
 
 /// Jacobi solver with convergence reduction.
 pub struct Jacobi {
@@ -138,6 +138,16 @@ impl DsmApp for Jacobi {
 
     fn check(&self, c: &CheckCtx<'_>) -> f64 {
         c.grid_checksum(self.a.unwrap())
+    }
+
+    fn save_state(&self, w: &mut dsm_sim::SnapWriter) {
+        save_f64s(w, &self.residuals);
+        save_f64s(w, &self.residual_history);
+    }
+
+    fn load_state(&mut self, r: &mut dsm_sim::SnapReader<'_>) {
+        self.residuals = load_f64s(r);
+        self.residual_history = load_f64s(r);
     }
 }
 

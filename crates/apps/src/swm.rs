@@ -9,7 +9,7 @@
 use dsm_core::{CheckCtx, DsmApp, ExecCtx, PhaseEnd, ReduceOp, SetupCtx};
 use dsm_plan::{AccessDecl, AppPlan, Cols, PhasePlan, PlannedApp, Rows};
 
-use crate::common::Scale;
+use crate::common::{load_f64s, save_f64s, Scale};
 use crate::shallow::{
     loop100_plan, loop200_plan, loop300_accesses, swm_array_shapes, SwmCore, SWM_FIELDS,
 };
@@ -85,6 +85,16 @@ impl DsmApp for Swm {
 
     fn check(&self, c: &CheckCtx<'_>) -> f64 {
         self.core.checksum(c)
+    }
+
+    fn save_state(&self, w: &mut dsm_sim::SnapWriter) {
+        w.f64(self.energy);
+        save_f64s(w, &self.energy_history);
+    }
+
+    fn load_state(&mut self, r: &mut dsm_sim::SnapReader<'_>) {
+        self.energy = r.f64();
+        self.energy_history = load_f64s(r);
     }
 }
 

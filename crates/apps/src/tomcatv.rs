@@ -10,7 +10,7 @@
 use dsm_core::{CheckCtx, DsmApp, ExecCtx, PhaseEnd, ReduceOp, SetupCtx, SharedGrid2};
 use dsm_plan::{AccessDecl, AppPlan, ArrayShape, Cols, PhasePlan, PlannedApp, Rows};
 
-use crate::common::{interior_band, Scale};
+use crate::common::{interior_band, load_f64s, save_f64s, Scale};
 
 /// SLOR mesh generation.
 pub struct Tomcatv {
@@ -231,6 +231,16 @@ impl DsmApp for Tomcatv {
 
     fn check(&self, c: &CheckCtx<'_>) -> f64 {
         c.grid_checksum(self.x.unwrap()) + 2.0 * c.grid_checksum(self.y.unwrap())
+    }
+
+    fn save_state(&self, w: &mut dsm_sim::SnapWriter) {
+        save_f64s(w, &self.band_residuals);
+        save_f64s(w, &self.residual_history);
+    }
+
+    fn load_state(&mut self, r: &mut dsm_sim::SnapReader<'_>) {
+        self.band_residuals = load_f64s(r);
+        self.residual_history = load_f64s(r);
     }
 }
 

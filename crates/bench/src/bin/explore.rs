@@ -4,7 +4,7 @@
 //! explore [--apps a,b,..] [--protocols lmw-u,bar-u,..] [--nprocs N]
 //!         [--iters-cap N] [--budget N] [--drop-points N] [--dup-points N]
 //!         [--defers N] [--no-por] [--no-prune] [--por-factor] [--hunt]
-//!         [--save-trace PATH] [--replay FILE]
+//!         [--jobs N] [--save-trace PATH] [--replay FILE]
 //! ```
 //!
 //! Default mode explores every requested app × protocol cell up to a
@@ -14,6 +14,12 @@
 //! the planted-bug regression section (the two extra sections of the
 //! committed `results/explore-baseline.txt`). `--replay FILE` re-executes
 //! a saved violating schedule instead and prints its findings.
+//!
+//! `--jobs N` fans the independent app × protocol cells out over N worker
+//! threads (capped at the host's available parallelism; default 1). Cells
+//! share nothing — each exploration owns its visited set — and results are
+//! merged in the fixed cell order, so the output is byte-identical at any
+//! job count.
 //!
 //! All output is deterministic (schedule counts, not wall-clock), so the
 //! committed baselines can be `diff`ed byte-for-byte in CI.
@@ -61,6 +67,7 @@ struct Args {
     bounds: Bounds,
     por_factor: bool,
     hunt: bool,
+    jobs: usize,
     save_trace: Option<String>,
     replay: Option<String>,
 }
@@ -75,6 +82,7 @@ fn parse_args() -> Args {
         bounds: Bounds::default(),
         por_factor: false,
         hunt: false,
+        jobs: 1,
         save_trace: None,
         replay: None,
     };
@@ -117,6 +125,12 @@ fn parse_args() -> Args {
                         args.bounds.max_dup_points = val.parse().expect("--dup-points");
                     }
                     "--defers" => args.bounds.max_defers = val.parse().expect("--defers"),
+                    "--jobs" => {
+                        let want: usize = val.parse().expect("--jobs");
+                        let avail = std::thread::available_parallelism()
+                            .map_or(1, std::num::NonZeroUsize::get);
+                        args.jobs = want.clamp(1, avail);
+                    }
                     "--save-trace" => args.save_trace = Some(val),
                     "--replay" => args.replay = Some(val),
                     other => panic!("unknown flag {other:?}"),
@@ -137,6 +151,91 @@ fn build_app(name: &str, iters_cap: usize) -> Box<dyn DsmApp> {
         let spec = app_by_name(name).unwrap_or_else(|| panic!("unknown app {name:?}"));
         Box::new(CappedApp::new(spec.build(Scale::Small), iters_cap))
     }
+}
+
+/// One explored app x protocol cell, rendered: the table row plus any
+/// violation text destined for stderr.
+struct CellOut {
+    row: Vec<String>,
+    stderr: String,
+}
+
+/// Explore one cell; pure function of the arguments, so cells can run on
+/// any worker thread in any order.
+fn run_cell(app: &'static str, protocol: ProtocolKind, args: &Args) -> CellOut {
+    let budget = args.budget.unwrap_or_else(|| default_budget(protocol));
+    let cfg = RunConfig::with_nprocs(protocol, args.nprocs);
+    let opts = ExploreOpts {
+        max_schedules: budget,
+        stop_on_violation: true,
+        bounds: args.bounds,
+        static_groups: None,
+    };
+    let rep = explore(|| build_app(app, args.iters_cap), &cfg, &opts);
+    let stderr = rep.violation.as_ref().map_or_else(String::new, |v| {
+        format!(
+            "--- {app} under {} (schedule {}):\n{}\n",
+            protocol.label(),
+            v.schedule_index,
+            v.report.summary()
+        )
+    });
+    CellOut {
+        row: vec![
+            app.to_string(),
+            protocol.label().to_string(),
+            budget.to_string(),
+            rep.schedules.to_string(),
+            rep.completed.to_string(),
+            rep.pruned.to_string(),
+            rep.max_points.to_string(),
+            if rep.frontier_exhausted {
+                "done"
+            } else {
+                "budget"
+            }
+            .to_string(),
+            if rep.violation.is_some() {
+                "FLAGGED"
+            } else {
+                "clean"
+            }
+            .to_string(),
+        ],
+        stderr,
+    }
+}
+
+/// Run every cell on `args.jobs` worker threads pulling from a shared
+/// queue, then hand the results back in the fixed cell order — output is
+/// byte-identical at any job count.
+fn run_cells(cells: &[(&'static str, ProtocolKind)], args: &Args) -> Vec<CellOut> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let workers = args.jobs.min(cells.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CellOut>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(app, protocol)) = cells.get(i) else {
+                    break;
+                };
+                let out = run_cell(app, protocol, args);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("every cell ran")
+        })
+        .collect()
 }
 
 fn replay_mode(path: &str) -> ! {
@@ -281,6 +380,13 @@ fn main() {
     );
     println!();
 
+    let cells: Vec<(&'static str, ProtocolKind)> = args
+        .apps
+        .iter()
+        .flat_map(|&app| args.protocols.iter().map(move |&p| (app, p)))
+        .collect();
+    let outs = run_cells(&cells, &args);
+
     let mut t = TextTable::new(vec![
         "app",
         "protocol",
@@ -293,48 +399,12 @@ fn main() {
         "verdict",
     ]);
     let mut dirty = 0usize;
-    for app in &args.apps {
-        for &protocol in &args.protocols {
-            let budget = args.budget.unwrap_or_else(|| default_budget(protocol));
-            let cfg = RunConfig::with_nprocs(protocol, args.nprocs);
-            let opts = ExploreOpts {
-                max_schedules: budget,
-                stop_on_violation: true,
-                bounds: args.bounds,
-                static_groups: None,
-            };
-            let rep = explore(|| build_app(app, args.iters_cap), &cfg, &opts);
-            if let Some(v) = &rep.violation {
-                dirty += 1;
-                eprintln!(
-                    "--- {app} under {} (schedule {}):\n{}",
-                    protocol.label(),
-                    v.schedule_index,
-                    v.report.summary()
-                );
-            }
-            t.row(vec![
-                (*app).to_string(),
-                protocol.label().to_string(),
-                budget.to_string(),
-                rep.schedules.to_string(),
-                rep.completed.to_string(),
-                rep.pruned.to_string(),
-                rep.max_points.to_string(),
-                if rep.frontier_exhausted {
-                    "done"
-                } else {
-                    "budget"
-                }
-                .to_string(),
-                if rep.violation.is_some() {
-                    "FLAGGED"
-                } else {
-                    "clean"
-                }
-                .to_string(),
-            ]);
+    for out in outs {
+        if !out.stderr.is_empty() {
+            dirty += 1;
+            eprint!("{}", out.stderr);
         }
+        t.row(out.row);
     }
     print!("{}", t.render());
 

@@ -31,6 +31,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use dsm_core::{CheckEvent, CheckSink, DsmApp, ProtocolKind, RunConfig, RunReport};
+use dsm_sim::{SnapReader, SnapWriter};
 
 use invariants::{CopysetRule, InvariantState};
 use oracle::OracleState;
@@ -252,6 +253,34 @@ impl Checker {
         let mut st = self.state.borrow_mut();
         st.report.words_shadowed = st.race.words_shadowed();
         st.report.clone()
+    }
+
+    /// Encode the complete checker state — report, race detector, oracle,
+    /// invariants, current epoch — for a snapshot. A restored checker
+    /// produces a bit-identical event trace and final report to one that
+    /// replayed the run from the start.
+    pub fn encode_state(&self, w: &mut SnapWriter) {
+        let st = self.state.borrow();
+        st.report.encode_state(w);
+        st.race.encode_state(w);
+        st.oracle.encode_state(w);
+        st.inv.encode_state(w);
+        w.u64(st.cur_epoch);
+    }
+
+    /// Restore a [`Checker::encode_state`] capture. The checker must have
+    /// been built from the same [`RunConfig`].
+    pub fn restore_state(&self, r: &mut SnapReader<'_>) {
+        let mut st = self.state.borrow_mut();
+        st.report.restore_state(r);
+        let CheckState {
+            race, oracle, inv, ..
+        } = &mut *st;
+        race.restore_state(r);
+        oracle.restore_state(r);
+        inv.restore_state(r);
+        st.cur_epoch = r.u64();
+        st.scratch.clear();
     }
 }
 

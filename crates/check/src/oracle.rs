@@ -12,7 +12,7 @@
 //! fold into `committed` at every barrier release in pid order (the order
 //! only matters for racy words, and those are suppressed at read time).
 
-use dsm_sim::FastSet;
+use dsm_sim::{FastSet, SnapReader, SnapWriter};
 
 use crate::report::Violation;
 
@@ -205,6 +205,75 @@ impl OracleState {
             }
         }
         self.scratch = expected;
+    }
+
+    /// Encode the oracle state for a snapshot. Touched pages are written
+    /// sparsely in page order; page buffers are raw `page_size`-byte
+    /// images (the size is construction-time configuration). The spare
+    /// list and scratch buffer are pure caches and are not captured.
+    pub fn encode_state(&self, w: &mut SnapWriter) {
+        let ps = self.page_size;
+        w.usize(self.committed.len());
+        let touched: Vec<usize> = (0..self.committed.len())
+            .filter(|&p| self.committed[p].is_some())
+            .collect();
+        w.usize(touched.len());
+        for &page in &touched {
+            w.usize(page);
+            let c = self.committed[page].as_ref().unwrap();
+            debug_assert_eq!(c.len(), ps);
+            w.raw(c);
+        }
+        w.usize(self.overlays.len());
+        for slots in &self.overlays {
+            w.usize(slots.len());
+            let live: Vec<usize> = (0..slots.len()).filter(|&p| slots[p].is_some()).collect();
+            w.usize(live.len());
+            for &page in &live {
+                w.usize(page);
+                let ov = slots[page].as_ref().unwrap();
+                w.raw(&ov.data);
+                w.raw(&ov.mask);
+            }
+        }
+        let mut flagged: Vec<u64> = self.flagged.iter().copied().collect();
+        flagged.sort_unstable();
+        w.usize(flagged.len());
+        for k in flagged {
+            w.u64(k);
+        }
+    }
+
+    /// Restore an [`OracleState::encode_state`] capture. The oracle must
+    /// have been built with the same `nprocs` and `page_size`.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) {
+        let ps = self.page_size;
+        let len = r.usize();
+        self.committed.clear();
+        self.committed.resize_with(len, || None);
+        for _ in 0..r.usize() {
+            let page = r.usize();
+            self.committed[page] = Some(r.raw(ps).to_vec());
+        }
+        let np = r.usize();
+        assert_eq!(np, self.overlays.len(), "snapshot from a different nprocs");
+        for slots in &mut self.overlays {
+            let len = r.usize();
+            slots.clear();
+            slots.resize_with(len, || None);
+            for _ in 0..r.usize() {
+                let page = r.usize();
+                let data = r.raw(ps).to_vec();
+                let mask = r.raw(ps).to_vec();
+                slots[page] = Some(Overlay { data, mask });
+            }
+        }
+        self.spare.clear();
+        self.flagged = FastSet::default();
+        for _ in 0..r.usize() {
+            self.flagged.insert(r.u64());
+        }
+        self.scratch.clear();
     }
 
     /// Barrier release: every process's epoch writes become globally

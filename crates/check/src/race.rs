@@ -19,7 +19,7 @@
 //! "read-modify-rewrite the whole row" idioms from reporting races on the
 //! words they pass through unchanged.
 
-use dsm_sim::{FastMap, FastSet};
+use dsm_sim::{FastMap, FastSet, SnapReader, SnapWriter};
 
 use crate::report::RaceKind;
 
@@ -142,6 +142,103 @@ impl RaceState {
     pub fn words_shadowed(&self) -> u64 {
         let touched = self.shadow.iter().filter(|s| s.is_some()).count();
         (touched * self.words_per_page) as u64
+    }
+
+    /// Encode the detector state for a snapshot. Hash-container contents
+    /// are written in sorted key order (their iteration order is
+    /// arbitrary), except the *inside* of a spilled reader set, which keeps
+    /// its insertion order verbatim: `on_access` scans it front-to-back and
+    /// stops at the first unordered reader, so the order is observable.
+    pub fn encode_state(&self, w: &mut SnapWriter) {
+        w.usize(self.clocks.len());
+        for c in &self.clocks {
+            for &v in &c.0 {
+                w.u32(v);
+            }
+        }
+        w.usize(self.shadow.len());
+        let touched: Vec<usize> = (0..self.shadow.len())
+            .filter(|&p| self.shadow[p].is_some())
+            .collect();
+        w.usize(touched.len());
+        for &page in &touched {
+            let cells = self.shadow[page].as_ref().unwrap();
+            w.usize(page);
+            let live: Vec<(usize, &Word)> = cells
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.wc != 0 || c.wp != 0 || c.rp != 0 || c.rc != 0)
+                .collect();
+            w.usize(live.len());
+            for (widx, c) in live {
+                w.u32(widx as u32);
+                w.u32(c.wc);
+                w.u16(c.wp);
+                w.u16(c.rp);
+                w.u32(c.rc);
+            }
+        }
+        let mut racy: Vec<u64> = self.racy.iter().copied().collect();
+        racy.sort_unstable();
+        w.usize(racy.len());
+        for k in racy {
+            w.u64(k);
+        }
+        let mut keys: Vec<u64> = self.read_sets.keys().copied().collect();
+        keys.sort_unstable();
+        w.usize(keys.len());
+        for k in keys {
+            w.u64(k);
+            let set = &self.read_sets[&k];
+            w.usize(set.len());
+            for &(qc, q) in set {
+                w.u32(qc);
+                w.u16(q);
+            }
+        }
+    }
+
+    /// Restore a [`RaceState::encode_state`] capture. The detector must
+    /// have been built with the same `nprocs` and `page_size`.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) {
+        let n = r.usize();
+        assert_eq!(n, self.clocks.len(), "snapshot from a different nprocs");
+        for c in &mut self.clocks {
+            for v in &mut c.0 {
+                *v = r.u32();
+            }
+        }
+        let npages = r.usize();
+        self.shadow.clear();
+        self.shadow.resize_with(npages, || None);
+        for _ in 0..r.usize() {
+            let page = r.usize();
+            let mut cells = vec![Word::default(); self.words_per_page].into_boxed_slice();
+            for _ in 0..r.usize() {
+                let widx = r.u32() as usize;
+                cells[widx] = Word {
+                    wc: r.u32(),
+                    wp: r.u16(),
+                    rp: r.u16(),
+                    rc: r.u32(),
+                };
+            }
+            self.shadow[page] = Some(cells);
+        }
+        self.racy = FastSet::default();
+        for _ in 0..r.usize() {
+            self.racy.insert(r.u64());
+        }
+        self.read_sets = FastMap::default();
+        for _ in 0..r.usize() {
+            let k = r.u64();
+            let len = r.usize();
+            let mut set = Vec::with_capacity(len);
+            for _ in 0..len {
+                set.push((r.u32(), r.u16()));
+            }
+            self.read_sets.insert(k, set);
+        }
     }
 
     /// Record a write of `new` at `addr` by `pid`; push newly racy words

@@ -44,6 +44,15 @@ pub trait DsmApp {
     /// Produce a result checksum from the final shared state; must be
     /// protocol-independent for a correct protocol.
     fn check(&self, c: &CheckCtx<'_>) -> f64;
+
+    /// Serialize application-side mutable state that lives *outside* the
+    /// shared segment (recorded residuals, private per-iteration buffers)
+    /// for a snapshot. Apps whose only mutable state is shared memory keep
+    /// the default no-op.
+    fn save_state(&self, _w: &mut dsm_sim::SnapWriter) {}
+
+    /// Restore a [`DsmApp::save_state`] capture.
+    fn load_state(&mut self, _r: &mut dsm_sim::SnapReader<'_>) {}
 }
 
 /// Execute `app` under `cfg` and report statistics, time breakdown, and the
@@ -86,44 +95,125 @@ fn run_app_inner<A: DsmApp + ?Sized>(
     sink: Option<Box<dyn CheckSink>>,
     sched: Option<dsm_sim::SharedScheduler>,
 ) -> RunReport {
-    let mut cl = Cluster::new(cfg);
-    if let Some(sched) = sched {
-        cl.install_scheduler(sched);
-    }
-    if let Some(sink) = sink {
-        cl.install_check_sink(sink);
-    }
-    {
-        let mut s = SetupCtx { cl: &mut cl };
-        app.setup(&mut s);
-    }
-    cl.phases_per_iter = app.phases().max(1);
-    cl.distribute();
+    let mut run = StepRun::new(app, cfg, sink, sched);
+    while run.step() {}
+    run.finish()
+}
 
-    let total_iters = app.iters();
-    let warmup = cl.config().warmup_iters.min(total_iters.saturating_sub(1));
-    let nprocs = cl.nprocs();
+/// A run broken into externally-driven steps, one phase + barrier each.
+///
+/// The runner derives its position from the cluster's own `(iter, site)`
+/// counters rather than loop variables, so a cluster restored from a
+/// snapshot (`Cluster::restore_state`) resumes mid-run and executes
+/// exactly the steps a from-scratch run would — this is what the explore
+/// driver's checkpoint-restore DFS and the `travel` time-travel bench
+/// build on.
+pub struct StepRun<'a, A: DsmApp + ?Sized> {
+    app: &'a mut A,
+    cl: Cluster,
+    total_iters: usize,
+    warmup: usize,
+}
 
-    for iter in 0..total_iters {
-        if iter == warmup {
-            cl.start_measurement();
+impl<'a, A: DsmApp + ?Sized> StepRun<'a, A> {
+    /// Set up `app` under `cfg` (scheduler and sink installed before
+    /// setup, as [`run_app_scheduled`] does) and stop at the first step
+    /// boundary: nothing has executed yet.
+    pub fn new(
+        app: &'a mut A,
+        cfg: RunConfig,
+        sink: Option<Box<dyn CheckSink>>,
+        sched: Option<dsm_sim::SharedScheduler>,
+    ) -> StepRun<'a, A> {
+        let mut cl = Cluster::new(cfg);
+        if let Some(sched) = sched {
+            cl.install_scheduler(sched);
         }
-        for site in 0..app.phases() {
-            let mut ends: Vec<PhaseEnd> = Vec::with_capacity(nprocs);
-            for pid in 0..nprocs {
-                let mut ctx = ExecCtx { cl: &mut cl, pid };
-                ends.push(app.phase(&mut ctx, iter, site));
-            }
-            let reduce = coalesce_phase_ends(ends);
-            cl.barrier_app(reduce);
+        if let Some(sink) = sink {
+            cl.install_check_sink(sink);
+        }
+        {
+            let mut s = SetupCtx { cl: &mut cl };
+            app.setup(&mut s);
+        }
+        cl.phases_per_iter = app.phases().max(1);
+        cl.distribute();
+        let total_iters = app.iters();
+        let warmup = cl.config().warmup_iters.min(total_iters.saturating_sub(1));
+        StepRun {
+            app,
+            cl,
+            total_iters,
+            warmup,
         }
     }
 
-    let checksum = {
-        let c = CheckCtx { cl: &cl };
-        app.check(&c)
-    };
-    cl.report(app.name(), checksum)
+    /// True once every iteration has run (or the execution was pruned).
+    pub fn done(&self) -> bool {
+        self.cl.pruned() || self.cl.cur_iter() >= self.total_iters
+    }
+
+    /// Execute one phase body on every process plus the ending barrier.
+    /// Returns false when there is nothing further to execute — run
+    /// complete or execution pruned by an exploring scheduler.
+    pub fn step(&mut self) -> bool {
+        if self.done() {
+            return false;
+        }
+        let iter = self.cl.cur_iter();
+        let site = self.cl.cur_site();
+        if site == 0 && iter == self.warmup {
+            self.cl.start_measurement();
+        }
+        let nprocs = self.cl.nprocs();
+        let mut ends: Vec<PhaseEnd> = Vec::with_capacity(nprocs);
+        for pid in 0..nprocs {
+            let mut ctx = ExecCtx {
+                cl: &mut self.cl,
+                pid,
+            };
+            ends.push(self.app.phase(&mut ctx, iter, site));
+        }
+        let reduce = coalesce_phase_ends(ends);
+        self.cl.barrier_app(reduce);
+        !self.done()
+    }
+
+    /// The cluster, e.g. for `state_hash` or snapshot encoding.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cl
+    }
+
+    /// Mutable cluster access, e.g. for snapshot restore.
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cl
+    }
+
+    /// The application (its `save_state`/`load_state` pair with the
+    /// cluster's codec snapshots the whole run).
+    pub fn app(&self) -> &A {
+        self.app
+    }
+
+    /// Mutable application access.
+    pub fn app_mut(&mut self) -> &mut A {
+        self.app
+    }
+
+    /// Split borrow for snapshot restore: cluster and app together.
+    pub fn cluster_and_app_mut(&mut self) -> (&mut Cluster, &mut A) {
+        (&mut self.cl, self.app)
+    }
+
+    /// Compute the checksum and produce the report. Call only on a
+    /// completed (not pruned) run.
+    pub fn finish(self) -> RunReport {
+        let checksum = {
+            let c = CheckCtx { cl: &self.cl };
+            self.app.check(&c)
+        };
+        self.cl.report(self.app.name(), checksum)
+    }
 }
 
 /// Convenience: run `app` under `cfg` and attach a sequential baseline run

@@ -49,6 +49,11 @@ impl Cluster {
             }
             other => self.barrier_core(other),
         }
+        if self.pruned {
+            // Pruned mid-barrier: skip the remaining protocol work (the
+            // panic-unwind path used to); state past here is unspecified.
+            return;
+        }
 
         if self.cfg.protocol.is_bar() {
             // The migration decision is ready at the end of the first

@@ -111,6 +111,11 @@ pub struct Cluster {
     /// Cached `sched.exploring()` so the default path pays one branch per
     /// choice point and never constructs candidates.
     pub(crate) exploring: bool,
+    /// Set when an exploring scheduler declines to continue at a barrier
+    /// checkpoint: the execution is abandoned — callers unwind by early
+    /// return, skipping all remaining protocol work, and the driver
+    /// discards (or restores over) the now-inconsistent cluster.
+    pub(crate) pruned: bool,
     /// Incremental hash of every event emitted so far (exploration only);
     /// folded into the visited-set key so pruning can never hide a checker
     /// verdict.
@@ -172,6 +177,7 @@ impl Cluster {
             check: None,
             sched,
             exploring: false,
+            pruned: false,
             trace_hash: 0,
             migration_pending: false,
             pool: BufPool::new(),
@@ -217,6 +223,30 @@ impl Cluster {
     /// Number of processes.
     pub fn nprocs(&self) -> usize {
         self.procs.len()
+    }
+
+    /// True once an exploring scheduler has pruned this execution; the
+    /// cluster's state is then unspecified until restored or discarded.
+    pub fn pruned(&self) -> bool {
+        self.pruned
+    }
+
+    /// The running fold over every check event emitted while exploring
+    /// (zero outside exploration). Two executions with equal trace hashes
+    /// emitted bit-identical event streams — the equivalence oracle the
+    /// checkpoint-restore DFS debug-asserts against.
+    pub fn trace_hash(&self) -> u64 {
+        self.trace_hash
+    }
+
+    /// Current iteration of the time-step loop.
+    pub fn cur_iter(&self) -> usize {
+        self.iter
+    }
+
+    /// Current phase site within the iteration.
+    pub fn cur_site(&self) -> usize {
+        self.site
     }
 
     /// The run configuration.

@@ -470,9 +470,10 @@ impl Cluster {
     }
 
     /// End-of-barrier exploration checkpoint: hand the combined
-    /// structural + trace hash to the scheduler; abandon the execution
-    /// (unwinding with [`dsm_sim::ExplorePruned`]) if it declines to
-    /// continue. No-op outside exploration.
+    /// structural + trace hash to the scheduler; if it declines to
+    /// continue, raise the cluster's `pruned` flag — every caller on the
+    /// barrier path returns early past it, and the driver discards or
+    /// restores over the abandoned state. No-op outside exploration.
     pub(crate) fn explore_barrier_checkpoint(&mut self) {
         if !self.exploring {
             return;
@@ -482,7 +483,7 @@ impl Cluster {
         let combined = h.finish();
         let go = self.sched.borrow_mut().observe_barrier(combined);
         if !go {
-            std::panic::panic_any(dsm_sim::ExplorePruned);
+            self.pruned = true;
         }
     }
 }

@@ -92,6 +92,9 @@ impl Cluster {
             }
         }
         self.barrier_core(None);
+        if self.pruned {
+            return;
+        }
 
         // Process 0 combines serially and publishes the result.
         let combine = Time::from_ns(self.cfg.sim.costs.reduction_combine_ns);
@@ -107,6 +110,9 @@ impl Cluster {
             self.write_scalar::<f64>(0, result.addr_of(j), v);
         }
         self.barrier_core(None);
+        if self.pruned {
+            return;
+        }
 
         // Everyone reads the result (faulting on process 0's page).
         for pid in 0..n {

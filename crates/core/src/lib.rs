@@ -40,12 +40,13 @@ pub mod proto;
 pub use check::{CheckEvent, CheckSink, CountingSink};
 pub use config::{DivergencePolicy, OverdriveConfig, PlantedBug, ProtocolKind, RunConfig};
 pub use drive::app::{
-    run_app, run_app_checked, run_app_scheduled, run_app_with_baseline, DsmApp, PhaseEnd,
+    run_app, run_app_checked, run_app_scheduled, run_app_with_baseline, DsmApp, PhaseEnd, StepRun,
 };
 pub use drive::cluster::Cluster;
 pub use drive::ctx::{CheckCtx, ExecCtx, SetupCtx};
 pub use drive::reduce::ReduceOp;
 pub use drive::stats::{RunReport, RunStats};
+pub use dsm_sim::{SnapReader, SnapWriter};
 pub use mem::{
     page_friendly_stride, Alloc, PageCert, PageClass, ReaderLoads, RegionTable, SharedArray,
     SharedGrid2, SharedScalar, SharedSegment, WriterRegions,

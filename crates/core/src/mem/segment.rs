@@ -72,6 +72,32 @@ impl SharedSegment {
     pub fn page_of(&self, addr: usize) -> PageId {
         PageId::containing(addr, self.page_size)
     }
+
+    /// Encode the allocation map for a snapshot. `page_size` is
+    /// construction-time configuration and is not captured.
+    pub fn encode_state(&self, w: &mut dsm_sim::SnapWriter) {
+        w.usize(self.next_page);
+        w.usize(self.allocs.len());
+        for a in &self.allocs {
+            w.bytes(a.name.as_bytes());
+            w.usize(a.base);
+            w.usize(a.bytes);
+        }
+    }
+
+    /// Restore an [`SharedSegment::encode_state`] capture into a segment
+    /// built with the same page size.
+    pub fn restore_state(&mut self, r: &mut dsm_sim::SnapReader<'_>) {
+        self.next_page = r.usize();
+        let n = r.usize();
+        self.allocs.clear();
+        for _ in 0..n {
+            let name = String::from_utf8(r.bytes().to_vec()).expect("alloc name not utf-8");
+            let base = r.usize();
+            let bytes = r.usize();
+            self.allocs.push(Alloc { name, base, bytes });
+        }
+    }
 }
 
 #[cfg(test)]

@@ -152,6 +152,24 @@ impl CopySet {
     pub fn heap_bytes(&self) -> usize {
         self.spill.capacity() * size_of::<u16>()
     }
+
+    /// Encode for a snapshot: member count, then each pid ascending.
+    pub fn encode_state(&self, w: &mut dsm_sim::SnapWriter) {
+        w.usize(self.len());
+        for p in self.iter() {
+            w.u16(u16::try_from(p).expect("pid exceeds u16 range"));
+        }
+    }
+
+    /// Decode a [`CopySet::encode_state`] capture.
+    pub fn decode_state(r: &mut dsm_sim::SnapReader<'_>) -> CopySet {
+        let n = r.usize();
+        let mut s = CopySet::EMPTY;
+        for _ in 0..n {
+            s.insert(usize::from(r.u16()));
+        }
+        s
+    }
 }
 
 impl FromIterator<usize> for CopySet {

@@ -1,24 +1,31 @@
-//! The stateless DFS driver: enumerate schedules, check each one.
+//! The checkpointing DFS driver: enumerate schedules, check each one.
 //!
-//! Every schedule is a full from-scratch execution of the application
-//! under an [`ExploreScheduler`] carrying a forced choice prefix; the
-//! driver backtracks by re-running with the deepest not-yet-exhausted
-//! choice point incremented (standard stateless model checking à la
-//! Loom/Shuttle/VeriSoft). Each execution runs under the full `dsm-check`
-//! oracle stack — race detector, LRC coherence oracle, protocol
-//! invariants — and the first violating schedule is reported as a
-//! replayable choice trace.
+//! Schedules are enumerated by deepest-first backtracking over resolved
+//! choice points (standard stateless model checking à la Loom/Shuttle/
+//! VeriSoft), but executions are *not* stateless: the driver snapshots the
+//! full simulation state (`dsm-snap`) at every step boundary where new
+//! choice points were resolved, and backtracking restores the deepest
+//! checkpoint at or above the divergence point instead of re-executing the
+//! shared prefix from epoch 0. The explored tree, the schedule order, and
+//! every per-schedule observation are identical to the stateless driver —
+//! debug builds assert it, re-executing each restored prefix from scratch
+//! and comparing structural state hashes and folded check-event traces.
+//!
+//! Each execution runs under the full `dsm-check` oracle stack — race
+//! detector, LRC coherence oracle, protocol invariants — and the first
+//! violating schedule is reported as a replayable choice trace. Pruning is
+//! a typed outcome ([`ExploreOutcome::Pruned`]): an exploring scheduler
+//! declining a barrier checkpoint raises the cluster's `pruned` flag and
+//! the step loop simply stops — no panic, no unwinding control flow.
 
 use std::cell::RefCell;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
-use std::sync::Once;
 
 use dsm_check::{CheckReport, Checker};
-use dsm_core::{run_app_scheduled, DsmApp, RunConfig};
-use dsm_sim::{ExplorePruned, FastSet, SharedScheduler};
+use dsm_core::{DsmApp, RunConfig, StepRun};
+use dsm_sim::{FastSet, SharedScheduler};
 
-use crate::sched::{Bounds, ChoicePoint, ExploreScheduler, StaticGroups, Visited};
+use crate::sched::{Bounds, ChoicePoint, ExploreScheduler, SchedCheckpoint, StaticGroups, Visited};
 use crate::trace::ChoiceTrace;
 
 /// Exploration options.
@@ -75,36 +82,42 @@ pub struct ExploreReport {
     pub violation: Option<ViolationFound>,
 }
 
-/// Suppress the default panic-hook output for [`ExplorePruned`] unwinds —
-/// pruning is control flow here, not failure. Installed once per process;
-/// all other panics still reach the previous hook.
-pub fn silence_prune_panics() {
-    static ONCE: Once = Once::new();
-    ONCE.call_once(|| {
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<ExplorePruned>().is_none() {
-                prev(info);
-            }
-        }));
-    });
+/// How one explored schedule ended.
+#[derive(Clone, Debug)]
+pub enum ExploreOutcome {
+    /// The schedule ran to the end and was checked.
+    Completed(CheckReport),
+    /// The schedule was abandoned by visited-state pruning at a barrier.
+    Pruned,
+}
+
+/// One checkpoint of the DFS: the cluster/checker/app snapshot plus the
+/// scheduler's position, taken at a step boundary after `depth` choice
+/// points had been resolved. Usable for any later schedule whose forced
+/// prefix agrees on the first `depth` choices.
+struct Checkpoint {
+    depth: usize,
+    /// Steps executed at capture (drives the debug re-execution oracle).
+    steps: usize,
+    sched: SchedCheckpoint,
+    bytes: Vec<u8>,
 }
 
 /// Systematically explore the bounded schedule/fault space of `make_app`
 /// under `cfg`, running every schedule under the full `dsm-check` oracles.
 ///
-/// `make_app` is called once per schedule: every execution needs a fresh
-/// application instance (stateless model checking replays from scratch).
+/// `make_app` builds the single application instance the exploration steps
+/// and restores over (plus, in debug builds, fresh instances for the
+/// restore-equivalence oracle); its post-`setup` state must be a pure
+/// function of the configuration.
 pub fn explore<F>(mut make_app: F, cfg: &RunConfig, opts: &ExploreOpts) -> ExploreReport
 where
     F: FnMut() -> Box<dyn DsmApp>,
 {
-    silence_prune_panics();
     let visited: Option<Visited> = opts
         .bounds
         .state_prune
         .then(|| Rc::new(RefCell::new(FastSet::default())));
-    let mut prefix: Vec<u32> = Vec::new();
     let mut out = ExploreReport {
         schedules: 0,
         completed: 0,
@@ -113,55 +126,148 @@ where
         max_points: 0,
         violation: None,
     };
+
+    let checker = Checker::new(cfg);
+    let mut scheduler = ExploreScheduler::new(opts.bounds, Vec::new(), visited.clone());
+    if let Some(groups) = &opts.static_groups {
+        scheduler.set_static_groups(groups.clone());
+    }
+    let sched = Rc::new(RefCell::new(scheduler));
+    let shared: SharedScheduler = Rc::<RefCell<ExploreScheduler>>::clone(&sched);
+    let mut app = make_app();
+    let mut run = StepRun::new(
+        app.as_mut(),
+        cfg.clone(),
+        Some(checker.sink()),
+        Some(shared),
+    );
+
+    // Checkpoint stack along the current DFS path, strictly increasing in
+    // depth; the root (depth 0, nothing executed) is always restorable.
+    let mut stack: Vec<Checkpoint> = vec![Checkpoint {
+        depth: 0,
+        steps: 0,
+        sched: sched.borrow().checkpoint(),
+        bytes: dsm_snap::snapshot_run(&run, Some(&checker)),
+    }];
+    let mut steps = 0usize;
+
     loop {
         if out.schedules >= opts.max_schedules {
             break;
         }
-        let (log, result) = run_one(
-            &mut make_app,
-            cfg,
-            opts.bounds,
-            prefix.clone(),
-            visited.clone(),
-            opts.static_groups.clone(),
-        );
+        // Execute the remainder of the current schedule, checkpointing each
+        // step boundary that resolved new choice points.
+        while !run.done() {
+            run.step();
+            steps += 1;
+            if run.done() {
+                break;
+            }
+            let depth = sched.borrow().log().len();
+            if depth > stack.last().map_or(0, |c| c.depth) {
+                stack.push(Checkpoint {
+                    depth,
+                    steps,
+                    sched: sched.borrow().checkpoint(),
+                    bytes: dsm_snap::snapshot_run(&run, Some(&checker)),
+                });
+            }
+        }
         out.schedules += 1;
+        let log = sched.borrow().log().to_vec();
         out.max_points = out.max_points.max(log.len());
-        match result {
-            Some(check) => {
-                out.completed += 1;
-                if !check.is_clean() && out.violation.is_none() {
-                    out.violation = Some(ViolationFound {
-                        schedule_index: out.schedules - 1,
-                        choices: log.clone(),
-                        report: check,
-                    });
-                    if opts.stop_on_violation {
-                        break;
-                    }
+        if run.cluster().pruned() {
+            out.pruned += 1;
+        } else {
+            out.completed += 1;
+            let check = checker.report();
+            if !check.is_clean() && out.violation.is_none() {
+                out.violation = Some(ViolationFound {
+                    schedule_index: out.schedules - 1,
+                    choices: log.clone(),
+                    report: check,
+                });
+                if opts.stop_on_violation {
+                    break;
                 }
             }
-            None => out.pruned += 1,
         }
-        if let Some(p) = next_prefix(&log) {
-            prefix = p;
-        } else {
+        let Some(prefix) = next_prefix(&log) else {
             out.frontier_exhausted = true;
             break;
+        };
+        // Backtrack: drop checkpoints below the divergence, restore the
+        // deepest one whose choices the new prefix still agrees with.
+        let keep = prefix.len() - 1;
+        while stack.last().is_some_and(|c| c.depth > keep) {
+            stack.pop();
         }
+        let cp = stack.last().expect("the depth-0 root is always usable");
+        dsm_snap::restore_run(&cp.bytes, &mut run, Some(&checker));
+        steps = cp.steps;
+        #[cfg(debug_assertions)]
+        verify_restore(&mut make_app, cfg, opts.bounds, cp, run.cluster());
+        let mut resumed =
+            ExploreScheduler::resume(opts.bounds, prefix, visited.clone(), cp.sched.clone());
+        if let Some(groups) = &opts.static_groups {
+            resumed.set_static_groups(groups.clone());
+        }
+        *sched.borrow_mut() = resumed;
     }
     out
 }
 
-/// Execute one schedule; `None` result means the execution was pruned.
-fn run_one<F>(
+/// The restore-equivalence oracle (debug builds): re-execute the
+/// checkpointed prefix from scratch under the same forced choices and
+/// assert the restored cluster is observationally identical — same
+/// structural state hash, same folded check-event trace.
+#[cfg(debug_assertions)]
+fn verify_restore<F>(
+    make_app: &mut F,
+    cfg: &RunConfig,
+    bounds: Bounds,
+    cp: &Checkpoint,
+    restored: &dsm_core::Cluster,
+) where
+    F: FnMut() -> Box<dyn DsmApp>,
+{
+    let scheduler = ExploreScheduler::new(bounds, cp.sched.choices(), None);
+    let sched = Rc::new(RefCell::new(scheduler));
+    let shared: SharedScheduler = Rc::<RefCell<ExploreScheduler>>::clone(&sched);
+    let mut app = make_app();
+    // No sink: the trace hash folds independently of checker presence, and
+    // trace equality subsumes checker-state equality.
+    let mut run = StepRun::new(app.as_mut(), cfg.clone(), None, Some(shared));
+    for _ in 0..cp.steps {
+        run.step();
+    }
+    assert_eq!(
+        sched.borrow().log().len(),
+        cp.depth,
+        "re-executed prefix resolved different choice points"
+    );
+    assert_eq!(
+        run.cluster().state_hash(),
+        restored.state_hash(),
+        "restored state diverges from from-scratch execution"
+    );
+    assert_eq!(
+        run.cluster().trace_hash(),
+        restored.trace_hash(),
+        "restored check-event trace diverges from from-scratch execution"
+    );
+}
+
+/// Execute one complete schedule from scratch under the forced `prefix`.
+fn run_schedule<F>(
     make_app: &mut F,
     cfg: &RunConfig,
     bounds: Bounds,
     prefix: Vec<u32>,
     visited: Option<Visited>,
     static_groups: Option<StaticGroups>,
-) -> (Vec<ChoicePoint>, Option<CheckReport>)
+) -> (Vec<ChoicePoint>, ExploreOutcome)
 where
     F: FnMut() -> Box<dyn DsmApp>,
 {
@@ -171,23 +277,22 @@ where
     }
     let sched = Rc::new(RefCell::new(scheduler));
     let shared: SharedScheduler = Rc::<RefCell<ExploreScheduler>>::clone(&sched);
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        let mut app = make_app();
-        let checker = Checker::new(cfg);
-        run_app_scheduled(app.as_mut(), cfg.clone(), Some(checker.sink()), shared);
-        checker.report()
-    }));
+    let mut app = make_app();
+    let checker = Checker::new(cfg);
+    let mut run = StepRun::new(
+        app.as_mut(),
+        cfg.clone(),
+        Some(checker.sink()),
+        Some(shared),
+    );
+    while run.step() {}
     let log = sched.borrow().log().to_vec();
-    match result {
-        Ok(check) => (log, Some(check)),
-        Err(payload) => {
-            if payload.downcast_ref::<ExplorePruned>().is_some() {
-                (log, None)
-            } else {
-                std::panic::resume_unwind(payload);
-            }
-        }
-    }
+    let outcome = if run.cluster().pruned() {
+        ExploreOutcome::Pruned
+    } else {
+        ExploreOutcome::Completed(checker.report())
+    };
+    (log, outcome)
 }
 
 /// Deepest-first backtracking: the next DFS prefix, or `None` when every
@@ -218,8 +323,10 @@ where
         ..trace.bounds
     };
     let prefix: Vec<u32> = trace.choices.iter().map(|c| c.chosen).collect();
-    let (log, result) = run_one(&mut make_app, cfg, bounds, prefix, None, None);
-    let report = result.expect("replay never prunes");
+    let (log, outcome) = run_schedule(&mut make_app, cfg, bounds, prefix, None, None);
+    let ExploreOutcome::Completed(report) = outcome else {
+        panic!("replay never prunes");
+    };
     assert_eq!(
         log, trace.choices,
         "replayed choice points diverged from the trace"

@@ -27,9 +27,8 @@ pub mod sched;
 pub mod trace;
 
 pub use driver::{
-    config_for_trace, explore, replay, silence_prune_panics, ExploreOpts, ExploreReport,
-    ViolationFound,
+    config_for_trace, explore, replay, ExploreOpts, ExploreOutcome, ExploreReport, ViolationFound,
 };
 pub use regress::{CappedApp, RegressApp};
-pub use sched::{Bounds, ChoicePoint, ExploreScheduler, StaticGroups, Visited};
+pub use sched::{Bounds, ChoicePoint, ExploreScheduler, SchedCheckpoint, StaticGroups, Visited};
 pub use trace::{protocol_by_label, ChoiceTrace};

@@ -150,4 +150,12 @@ impl DsmApp for CappedApp {
     fn check(&self, c: &CheckCtx<'_>) -> f64 {
         self.inner.check(c)
     }
+
+    fn save_state(&self, w: &mut dsm_sim::SnapWriter) {
+        self.inner.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut dsm_sim::SnapReader<'_>) {
+        self.inner.load_state(r);
+    }
 }

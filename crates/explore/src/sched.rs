@@ -108,6 +108,31 @@ pub struct ExploreScheduler {
     static_groups: Option<StaticGroups>,
 }
 
+/// The scheduler's position at a step boundary, captured alongside a
+/// cluster snapshot so a later schedule sharing the same choice prefix can
+/// resume from it instead of re-executing from epoch 0.
+#[derive(Clone, Debug)]
+pub struct SchedCheckpoint {
+    pub(crate) log: Vec<ChoicePoint>,
+    pub(crate) drop_points: usize,
+    pub(crate) dup_points: usize,
+    pub(crate) defers: usize,
+    pub(crate) barriers: u64,
+}
+
+impl SchedCheckpoint {
+    /// The chosen alternative of every resolved point — the forced prefix
+    /// a from-scratch execution would need to reach this position.
+    pub fn choices(&self) -> Vec<u32> {
+        self.log.iter().map(|c| c.chosen).collect()
+    }
+
+    /// Number of choice points resolved at the capture.
+    pub fn depth(&self) -> usize {
+        self.log.len()
+    }
+}
+
 impl ExploreScheduler {
     pub fn new(bounds: Bounds, prefix: Vec<u32>, visited: Option<Visited>) -> ExploreScheduler {
         ExploreScheduler {
@@ -118,6 +143,45 @@ impl ExploreScheduler {
             dup_points: 0,
             defers: 0,
             barriers: 0,
+            visited,
+            static_groups: None,
+        }
+    }
+
+    /// Capture the scheduler's position for a checkpoint.
+    pub fn checkpoint(&self) -> SchedCheckpoint {
+        SchedCheckpoint {
+            log: self.log.clone(),
+            drop_points: self.drop_points,
+            dup_points: self.dup_points,
+            defers: self.defers,
+            barriers: self.barriers,
+        }
+    }
+
+    /// A scheduler resuming mid-schedule from `cp`, driving the remainder
+    /// under the forced `prefix`. Every choice the checkpoint embodies must
+    /// agree with the prefix — the restored cluster state already reflects
+    /// those decisions.
+    pub fn resume(
+        bounds: Bounds,
+        prefix: Vec<u32>,
+        visited: Option<Visited>,
+        cp: SchedCheckpoint,
+    ) -> ExploreScheduler {
+        debug_assert!(cp.log.len() <= prefix.len(), "checkpoint past the prefix");
+        debug_assert!(
+            cp.log.iter().zip(&prefix).all(|(c, &p)| c.chosen == p),
+            "checkpoint choices disagree with the resumed prefix"
+        );
+        ExploreScheduler {
+            bounds,
+            prefix,
+            log: cp.log,
+            drop_points: cp.drop_points,
+            dup_points: cp.dup_points,
+            defers: cp.defers,
+            barriers: cp.barriers,
             visited,
             static_groups: None,
         }

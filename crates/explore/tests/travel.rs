@@ -1,0 +1,101 @@
+//! Time-travel over the committed repro trace: stepping the schedule
+//! forward with a snapshot at every boundary and walking the checkpoints
+//! backward must reproduce every state and trace hash — and the replayed
+//! schedule must still produce the committed violation.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dsm_check::Checker;
+use dsm_core::StepRun;
+use dsm_explore::{
+    config_for_trace, Bounds, ChoiceTrace, ExploreScheduler, RegressApp, SchedCheckpoint,
+};
+use dsm_sim::SharedScheduler;
+
+#[test]
+fn committed_trace_travels_forward_and_backward() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/repro/lmw-u-coverage-gap.trace"
+    );
+    let text = std::fs::read_to_string(path).expect("committed trace exists");
+    let trace = ChoiceTrace::parse(&text).expect("committed trace parses");
+    assert_eq!(trace.app, "regress");
+    let cfg = config_for_trace(&trace);
+
+    let bounds = Bounds {
+        state_prune: false,
+        ..trace.bounds
+    };
+    let prefix: Vec<u32> = trace.choices.iter().map(|c| c.chosen).collect();
+    let sched = Rc::new(RefCell::new(ExploreScheduler::new(
+        bounds,
+        prefix.clone(),
+        None,
+    )));
+    let shared: SharedScheduler = Rc::<RefCell<ExploreScheduler>>::clone(&sched);
+    let checker = Checker::new(&cfg);
+    let mut app = RegressApp::new();
+    let mut run = StepRun::new(&mut app, cfg.clone(), Some(checker.sink()), Some(shared));
+
+    // Forward pass: checkpoint every step boundary.
+    let mut marks: Vec<(u64, u64, SchedCheckpoint, Vec<u8>)> = Vec::new();
+    loop {
+        marks.push((
+            run.cluster().state_hash(),
+            run.cluster().trace_hash(),
+            sched.borrow().checkpoint(),
+            dsm_snap::snapshot_run(&run, Some(&checker)),
+        ));
+        if !run.step() {
+            break;
+        }
+    }
+    let final_state = run.cluster().state_hash();
+    assert!(marks.len() > 2, "the repro schedule spans several steps");
+    assert_eq!(
+        sched.borrow().log(),
+        &trace.choices[..],
+        "replayed choice points diverged from the trace"
+    );
+    let report = checker.report();
+    assert!(
+        !report.is_clean() && report.stale_reads() > 0,
+        "the committed violation must still reproduce: {}",
+        report.summary()
+    );
+
+    // Backward pass: every restored checkpoint reproduces its hashes.
+    for (i, (state, events, _, bytes)) in marks.iter().enumerate().rev() {
+        dsm_snap::restore_run(bytes, &mut run, Some(&checker));
+        assert_eq!(
+            run.cluster().state_hash(),
+            *state,
+            "backward step {i}: state hash mismatch"
+        );
+        assert_eq!(
+            run.cluster().trace_hash(),
+            *events,
+            "backward step {i}: trace hash mismatch"
+        );
+    }
+
+    // And a restored mid-run checkpoint still finds the violation when
+    // stepped to completion.
+    let mid = marks.len() / 2;
+    dsm_snap::restore_run(&marks[mid].3, &mut run, Some(&checker));
+    *sched.borrow_mut() = ExploreScheduler::resume(bounds, prefix, None, marks[mid].2.clone());
+    while run.step() {}
+    let resumed = checker.report();
+    assert_eq!(
+        resumed.stale_reads(),
+        report.stale_reads(),
+        "resuming from a mid-run checkpoint lost the violation"
+    );
+    assert_eq!(
+        run.cluster().state_hash(),
+        final_state,
+        "resumed final state differs"
+    );
+}

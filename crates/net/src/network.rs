@@ -4,7 +4,10 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use dsm_sim::{CostModel, DetRng, FaultProfile, SharedScheduler, Time, VirtualTimeScheduler};
+use dsm_sim::{
+    CostModel, DetRng, FaultProfile, SharedScheduler, SnapReader, SnapWriter, Time,
+    VirtualTimeScheduler,
+};
 
 use crate::message::{MsgKind, HEADER_BYTES};
 use crate::stats::NetStats;
@@ -234,6 +237,29 @@ impl Network {
     pub fn reset_stats(&mut self) {
         self.stats = NetStats::new();
         self.link_msgs.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Encode the network's dynamic state: statistics window, per-link
+    /// counters, and the wire sublayer. Cost model, drop probability, and
+    /// fault profile are configuration; the scheduler snapshots itself.
+    pub fn encode_state(&self, w: &mut SnapWriter) {
+        self.stats.encode_state(w);
+        w.usize(self.link_msgs.len());
+        for &c in &self.link_msgs {
+            w.u64(c);
+        }
+        self.wire.encode_state(w);
+    }
+
+    /// Restore a [`Network::encode_state`] capture.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) {
+        self.stats.restore_state(r);
+        let n = r.usize();
+        assert_eq!(n, self.link_msgs.len(), "snapshot from a different nprocs");
+        for c in &mut self.link_msgs {
+            *c = r.u64();
+        }
+        self.wire.restore_state(r);
     }
 
     pub fn nprocs(&self) -> usize {

@@ -33,7 +33,7 @@
 //! therefore byte-identical to one built without the sublayer; the
 //! committed `results/*.txt` files pin this.
 
-use dsm_sim::{FaultProfile, Scheduler, Time, TimerQueue};
+use dsm_sim::{FaultProfile, Scheduler, SnapReader, SnapWriter, Time, TimerQueue};
 
 /// Backoff/retry policy for reliable kinds.
 #[derive(Clone, Debug)]
@@ -167,6 +167,50 @@ impl Wire {
         self.channels = vec![ChannelState::default(); self.nprocs * self.nprocs];
         self.timers = TimerQueue::new();
         self.timer_fires = 0;
+    }
+
+    /// Encode the wire's dynamic state: per-channel sequence/burst/FIFO
+    /// bookkeeping, live retransmission timers, and the firing count.
+    /// `nprocs`, the fault profile, and the tuning are configuration, not
+    /// state.
+    pub fn encode_state(&self, w: &mut SnapWriter) {
+        w.usize(self.channels.len());
+        for c in &self.channels {
+            w.u64(c.next_seq);
+            w.u64(c.delivered_seq);
+            w.u32(c.burst_left);
+            w.u64(c.clear_at.as_ns());
+        }
+        let (live, next_id) = self.timers.snapshot_state();
+        w.usize(live.len());
+        for (at, id) in live {
+            w.u64(at.as_ns());
+            w.u64(id);
+        }
+        w.u64(next_id);
+        w.u64(self.timer_fires);
+    }
+
+    /// Restore a [`Wire::encode_state`] capture.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) {
+        let n = r.usize();
+        assert_eq!(n, self.channels.len(), "snapshot from a different nprocs");
+        for c in &mut self.channels {
+            c.next_seq = r.u64();
+            c.delivered_seq = r.u64();
+            c.burst_left = r.u32();
+            c.clear_at = Time::from_ns(r.u64());
+        }
+        let nlive = r.usize();
+        let live: Vec<(Time, u64)> = (0..nlive)
+            .map(|_| {
+                let at = Time::from_ns(r.u64());
+                (at, r.u64())
+            })
+            .collect();
+        let next_id = r.u64();
+        self.timers.restore_state(&live, next_id);
+        self.timer_fires = r.u64();
     }
 
     /// Scale legs for the per-node slowdown, if `src` or `dst` is slow.

@@ -71,6 +71,19 @@ impl Clock {
     pub fn breakdown(&self) -> TimeBreakdown {
         self.breakdown
     }
+
+    /// Full clock state `(now, base, breakdown)` for snapshot encoding.
+    pub fn snapshot_state(&self) -> (Time, Time, TimeBreakdown) {
+        (self.now, self.base, self.breakdown)
+    }
+
+    /// Restore a [`Clock::snapshot_state`] capture, measurement window and
+    /// attribution included.
+    pub fn restore_state(&mut self, now: Time, base: Time, breakdown: TimeBreakdown) {
+        self.now = now;
+        self.base = base;
+        self.breakdown = breakdown;
+    }
 }
 
 #[cfg(test)]

@@ -29,6 +29,8 @@
 //! * [`prop`] — a small deterministic property-test harness built on
 //!   [`rng::DetRng`] (the workspace builds offline and carries no external
 //!   test dependencies).
+//! * [`snapio`] — the byte-level encoder/decoder primitives behind the
+//!   `dsm-snap` snapshot format.
 //! * [`config`] — simulation-wide configuration shared by the higher layers.
 //!
 //! Nothing in this crate knows about pages, messages, or protocols; those
@@ -45,6 +47,7 @@ pub mod fault;
 pub mod prop;
 pub mod rng;
 pub mod sched;
+pub mod snapio;
 pub mod stress;
 pub mod time;
 pub mod timer;
@@ -56,9 +59,8 @@ pub use costs::CostModel;
 pub use fasthash::{FastBuild, FastMap, FastSet, IntHasher};
 pub use fault::FaultProfile;
 pub use rng::DetRng;
-pub use sched::{
-    Candidate, ChoiceKind, ExplorePruned, Scheduler, SharedScheduler, VirtualTimeScheduler,
-};
+pub use sched::{Candidate, ChoiceKind, Scheduler, SharedScheduler, VirtualTimeScheduler};
+pub use snapio::{SnapReader, SnapWriter};
 pub use stress::StressModel;
 pub use time::Time;
 pub use timer::{TimerId, TimerQueue};

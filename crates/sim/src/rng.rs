@@ -38,6 +38,18 @@ impl DetRng {
         DetRng { s }
     }
 
+    /// The raw generator state, for snapshot/restore. The four words are
+    /// opaque; only [`DetRng::from_state`] should consume them.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator mid-stream from a [`DetRng::state`] capture. The
+    /// restored generator continues the exact output sequence.
+    pub fn from_state(s: [u64; 4]) -> DetRng {
+        DetRng { s }
+    }
+
     /// Next raw 64-bit output (xoshiro256++).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

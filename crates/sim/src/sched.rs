@@ -162,22 +162,30 @@ pub trait Scheduler {
     }
 
     /// Observe the cluster's structural state hash at the end of a
-    /// barrier. Returning `false` abandons the execution (the cluster
-    /// unwinds with an [`ExplorePruned`] payload); the default continues.
+    /// barrier. Returning `false` abandons the execution (the cluster sets
+    /// its pruned flag and returns early); the default continues.
     fn observe_barrier(&mut self, state_hash: u64) -> bool {
         let _ = state_hash;
         true
+    }
+
+    /// The scheduler's RNG stream state, if it owns one — snapshots must
+    /// capture it so restored runs draw the same future sequence. `None`
+    /// means the scheduler is stateless here (exploration schedulers keep
+    /// their own state outside the cluster snapshot).
+    fn rng_state(&self) -> Option<[u64; 4]> {
+        None
+    }
+
+    /// Restore a stream captured by [`Scheduler::rng_state`]. No-op for
+    /// schedulers that returned `None`.
+    fn set_rng_state(&mut self, state: [u64; 4]) {
+        let _ = state;
     }
 }
 
 /// Shared handle: the cluster and the network consult the same scheduler.
 pub type SharedScheduler = Rc<RefCell<dyn Scheduler>>;
-
-/// Panic payload used to abandon a pruned execution. Carried through
-/// `panic_any` so an exploration driver can `catch_unwind` and count it
-/// without treating it as a failure.
-#[derive(Clone, Copy, Debug)]
-pub struct ExplorePruned;
 
 /// The default scheduler: the cluster's historical behaviour.
 ///
@@ -209,6 +217,14 @@ impl Scheduler for VirtualTimeScheduler {
 
     fn wire_chance(&mut self, prob: f64) -> bool {
         self.rng.chance(prob)
+    }
+
+    fn rng_state(&self) -> Option<[u64; 4]> {
+        Some(self.rng.state())
+    }
+
+    fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = DetRng::from_state(state);
     }
 }
 

@@ -1,0 +1,263 @@
+//! Snapshot byte primitives.
+//!
+//! The snapshot format (see `dsm-snap` and DESIGN.md §16) is a flat
+//! little-endian byte stream; every layer encodes its own state with these
+//! two types so the framing conventions live in exactly one place:
+//!
+//! * integers are fixed-width little-endian (`u8`/`u16`/`u32`/`u64`);
+//! * `f64` is encoded as its IEEE-754 bit pattern (`to_bits`), so restored
+//!   values are bit-identical, NaN payloads included;
+//! * variable-length data is a `u64` count followed by the elements;
+//! * map/set content must be written in sorted key order — the simulator's
+//!   `FastMap`/`FastSet` iterate in unspecified order, and the golden-format
+//!   test diffs snapshots byte-for-byte.
+//!
+//! The reader panics on truncated or malformed input. Snapshots are
+//! produced and consumed by the same binary within one process (explore
+//! checkpoints) or committed by the golden test; corruption is a bug, not
+//! an input-validation case.
+
+/// Append-only snapshot encoder.
+#[derive(Default, Debug)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    pub fn new() -> SnapWriter {
+        SnapWriter::default()
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    #[inline]
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    #[inline]
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `usize` is always encoded as `u64` so 32- and 64-bit hosts agree.
+    #[inline]
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    #[inline]
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    #[inline]
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Raw bytes with no length prefix (the caller frames them).
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Patch a previously written `u64` at byte offset `at` (section length
+    /// back-patching).
+    pub fn patch_u64(&mut self, at: usize, v: u64) {
+        self.buf[at..at + 8].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Sequential snapshot decoder over a borrowed byte slice.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    pub fn new(buf: &'a [u8]) -> SnapReader<'a> {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Current read offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        assert!(
+            self.remaining() >= n,
+            "snapshot truncated: need {n} bytes at offset {}, have {}",
+            self.pos,
+            self.remaining()
+        );
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    #[inline]
+    pub fn u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    #[inline]
+    pub fn u16(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().unwrap())
+    }
+
+    #[inline]
+    pub fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    #[inline]
+    pub fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    #[inline]
+    pub fn usize(&mut self) -> usize {
+        usize::try_from(self.u64()).expect("snapshot length overflows usize")
+    }
+
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        f64::from_bits(self.u64())
+    }
+
+    #[inline]
+    pub fn bool(&mut self) -> bool {
+        match self.u8() {
+            0 => false,
+            1 => true,
+            b => panic!("snapshot corrupt: bool byte {b}"),
+        }
+    }
+
+    /// Length-prefixed raw bytes (see [`SnapWriter::bytes`]).
+    pub fn bytes(&mut self) -> &'a [u8] {
+        let n = self.usize();
+        self.take(n)
+    }
+
+    /// Raw bytes with no length prefix.
+    pub fn raw(&mut self, n: usize) -> &'a [u8] {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut w = SnapWriter::new();
+        w.u8(7);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.usize(12345);
+        w.f64(-0.125);
+        w.bool(true);
+        w.bool(false);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.u8(), 7);
+        assert_eq!(r.u16(), 0xBEEF);
+        assert_eq!(r.u32(), 0xDEAD_BEEF);
+        assert_eq!(r.u64(), u64::MAX - 3);
+        assert_eq!(r.usize(), 12345);
+        assert_eq!(r.f64(), -0.125);
+        assert!(r.bool());
+        assert!(!r.bool());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn f64_is_bit_exact() {
+        let nan = f64::from_bits(0x7FF8_0000_0000_1234);
+        let mut w = SnapWriter::new();
+        w.f64(nan);
+        w.f64(-0.0);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.f64().to_bits(), nan.to_bits());
+        assert_eq!(r.f64().to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn byte_slices_round_trip() {
+        let mut w = SnapWriter::new();
+        w.bytes(b"hello");
+        w.bytes(b"");
+        w.raw(b"xyz");
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.bytes(), b"hello");
+        assert_eq!(r.bytes(), b"");
+        assert_eq!(r.raw(3), b"xyz");
+    }
+
+    #[test]
+    fn patching_back_fills_lengths() {
+        let mut w = SnapWriter::new();
+        let at = w.len();
+        w.u64(0);
+        w.raw(b"payload");
+        w.patch_u64(at, 7);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.u64(), 7);
+        assert_eq!(r.raw(7), b"payload");
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot truncated")]
+    fn truncation_panics() {
+        let mut r = SnapReader::new(&[1, 2, 3]);
+        let _ = r.u64();
+    }
+
+    #[test]
+    #[should_panic(expected = "bool byte")]
+    fn bad_bool_panics() {
+        let mut r = SnapReader::new(&[9]);
+        let _ = r.bool();
+    }
+}

@@ -88,6 +88,31 @@ impl TimerQueue {
     pub fn pending(&self) -> usize {
         self.live
     }
+
+    /// Snapshot the live timers in firing order plus the id counter.
+    ///
+    /// Cancelled-but-unpopped heap entries are dropped: they can never fire,
+    /// so a queue restored without them behaves identically. `next_id` is
+    /// preserved exactly so ids armed after a restore sort after every
+    /// restored id (ties fire in arming order).
+    pub fn snapshot_state(&self) -> (Vec<(Time, u64)>, u64) {
+        let mut live: Vec<(Time, u64)> = self
+            .heap
+            .iter()
+            .map(|&Reverse(e)| e)
+            .filter(|(_, id)| !self.cancelled.contains(id))
+            .collect();
+        live.sort_unstable();
+        (live, self.next_id)
+    }
+
+    /// Rebuild a queue from a [`TimerQueue::snapshot_state`] capture.
+    pub fn restore_state(&mut self, live: &[(Time, u64)], next_id: u64) {
+        self.heap = live.iter().map(|&e| Reverse(e)).collect();
+        self.cancelled = FastSet::default();
+        self.next_id = next_id;
+        self.live = live.len();
+    }
 }
 
 #[cfg(test)]

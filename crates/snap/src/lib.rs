@@ -1,0 +1,253 @@
+//! # dsm-snap — versioned, delta-encoded snapshots of full simulation state.
+//!
+//! A snapshot captures everything a run can observe — VM frames, twins and
+//! dirty ranges (delta-encoded against the pristine image), protocol
+//! tables, in-flight wire state, virtual-time clocks, scheduler RNG, and
+//! (when a checker is attached) the race-detector and LRC-oracle shadow
+//! state — such that a restored run is observationally identical to one
+//! that re-executed from the start: same `state_hash`, same check-event
+//! trace, same final results.
+//!
+//! ## Format
+//!
+//! ```text
+//! magic    8 bytes  b"DSMSNAP\0"
+//! version  u8       SNAP_VERSION (1)
+//! flags    u8       bit 0: CHECK section present
+//! digest   u64      configuration digest (see [`config_digest`])
+//! sections ...      tag u32 (fourcc) + length u64 + payload, in order:
+//!   "CORE"          Cluster::encode_state
+//!   "CHCK"          Checker::encode_state   (iff flags bit 0)
+//!   "APP\0"         DsmApp::save_state
+//! ```
+//!
+//! All integers are little-endian (the `dsm_sim::SnapWriter` convention).
+//! Unknown trailing sections are an error — the format is closed per
+//! version; readers of version N reject every other version byte, which
+//! keeps compatibility logic out of the simulator entirely (the committed
+//! golden snapshot test pins the byte layout instead).
+
+#![forbid(unsafe_code)]
+
+use dsm_check::Checker;
+use dsm_core::{Cluster, DsmApp, RunConfig, StepRun};
+use dsm_sim::{SnapReader, SnapWriter};
+
+/// The one and only snapshot format version this crate reads and writes.
+pub const SNAP_VERSION: u8 = 1;
+
+/// Magic prefix of every snapshot.
+pub const SNAP_MAGIC: [u8; 8] = *b"DSMSNAP\0";
+
+const TAG_CORE: u32 = u32::from_le_bytes(*b"CORE");
+const TAG_CHECK: u32 = u32::from_le_bytes(*b"CHCK");
+const TAG_APP: u32 = u32::from_le_bytes(*b"APP\0");
+
+const FLAG_CHECK: u8 = 1;
+
+/// Digest of the configuration facets a snapshot depends on. Restoring
+/// under a different protocol, geometry, seed, or fault profile would
+/// silently diverge, so [`read_snapshot`] asserts digest equality first.
+pub fn config_digest(cfg: &RunConfig) -> u64 {
+    // FNV-1a, same constants as the simulator's state hasher.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    fold(cfg.protocol.label().as_bytes());
+    fold(cfg.planted.label().as_bytes());
+    fold(&(cfg.sim.nprocs as u64).to_le_bytes());
+    fold(&(cfg.sim.page_size as u64).to_le_bytes());
+    fold(&cfg.sim.seed.to_le_bytes());
+    fold(&(cfg.warmup_iters as u64).to_le_bytes());
+    fold(&[u8::from(cfg.migration)]);
+    fold(&(cfg.gc_diff_threshold as u64).to_le_bytes());
+    fold(&cfg.sim.flush_drop_prob.to_bits().to_le_bytes());
+    let f = &cfg.sim.fault;
+    fold(&f.loss.to_bits().to_le_bytes());
+    fold(&f.burst_start.to_bits().to_le_bytes());
+    fold(&u64::from(f.burst_len).to_le_bytes());
+    fold(&f.duplicate.to_bits().to_le_bytes());
+    fold(&f.reorder.to_bits().to_le_bytes());
+    fold(&(f.slow_node.map_or(u64::MAX, |n| n as u64)).to_le_bytes());
+    fold(&f.slow_factor.to_bits().to_le_bytes());
+    h
+}
+
+fn begin_section(w: &mut SnapWriter, tag: u32) -> usize {
+    w.u32(tag);
+    let at = w.len();
+    w.u64(0); // length, patched by end_section
+    at
+}
+
+fn end_section(w: &mut SnapWriter, at: usize) {
+    let len = (w.len() - at - 8) as u64;
+    w.patch_u64(at, len);
+}
+
+/// Serialize `cluster` (+ optional checker + application state) into a
+/// self-describing snapshot.
+pub fn write_snapshot<A: DsmApp + ?Sized>(
+    cluster: &Cluster,
+    app: &A,
+    checker: Option<&Checker>,
+) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.raw(&SNAP_MAGIC);
+    w.u8(SNAP_VERSION);
+    w.u8(if checker.is_some() { FLAG_CHECK } else { 0 });
+    w.u64(config_digest(cluster.config()));
+
+    let at = begin_section(&mut w, TAG_CORE);
+    cluster.encode_state(&mut w);
+    end_section(&mut w, at);
+
+    if let Some(ck) = checker {
+        let at = begin_section(&mut w, TAG_CHECK);
+        ck.encode_state(&mut w);
+        end_section(&mut w, at);
+    }
+
+    let at = begin_section(&mut w, TAG_APP);
+    app.save_state(&mut w);
+    end_section(&mut w, at);
+
+    w.into_bytes()
+}
+
+/// Restore a [`write_snapshot`] capture into `cluster`/`app` (and the
+/// checker, when the snapshot carries a CHECK section — in which case a
+/// checker must be supplied). The cluster must come from the same
+/// configuration and completed setup; panics on any mismatch, truncation,
+/// or version skew.
+pub fn read_snapshot<A: DsmApp + ?Sized>(
+    bytes: &[u8],
+    cluster: &mut Cluster,
+    app: &mut A,
+    checker: Option<&Checker>,
+) {
+    let mut r = SnapReader::new(bytes);
+    assert_eq!(r.raw(8), &SNAP_MAGIC[..], "not a DSM snapshot");
+    let version = r.u8();
+    assert_eq!(
+        version, SNAP_VERSION,
+        "unsupported snapshot version {version}"
+    );
+    let flags = r.u8();
+    assert_eq!(
+        r.u64(),
+        config_digest(cluster.config()),
+        "snapshot from a different configuration"
+    );
+
+    expect_section(&mut r, TAG_CORE, |r| cluster.restore_state(r));
+    if flags & FLAG_CHECK != 0 {
+        let ck = checker.expect("snapshot carries checker state but no checker was supplied");
+        expect_section(&mut r, TAG_CHECK, |r| ck.restore_state(r));
+    }
+    expect_section(&mut r, TAG_APP, |r| app.load_state(r));
+    assert_eq!(r.remaining(), 0, "trailing bytes after the last section");
+}
+
+fn expect_section(r: &mut SnapReader<'_>, tag: u32, body: impl FnOnce(&mut SnapReader<'_>)) {
+    let got = r.u32();
+    assert_eq!(
+        got.to_le_bytes(),
+        tag.to_le_bytes(),
+        "unexpected snapshot section {:?}",
+        String::from_utf8_lossy(&got.to_le_bytes()),
+    );
+    let len = r.u64() as usize;
+    let payload = r.raw(len);
+    let mut sub = SnapReader::new(payload);
+    body(&mut sub);
+    assert_eq!(
+        sub.remaining(),
+        0,
+        "section {:?} not fully consumed",
+        String::from_utf8_lossy(&tag.to_le_bytes()),
+    );
+}
+
+/// [`write_snapshot`] over a [`StepRun`]: the convenience entry the
+/// explore driver and the travel bench use.
+pub fn snapshot_run<A: DsmApp + ?Sized>(
+    run: &StepRun<'_, A>,
+    checker: Option<&Checker>,
+) -> Vec<u8> {
+    write_snapshot(run.cluster(), run.app(), checker)
+}
+
+/// [`read_snapshot`] over a [`StepRun`].
+pub fn restore_run<A: DsmApp + ?Sized>(
+    bytes: &[u8],
+    run: &mut StepRun<'_, A>,
+    checker: Option<&Checker>,
+) {
+    let (cl, app) = run.cluster_and_app_mut();
+    read_snapshot(bytes, cl, app, checker);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_core::ProtocolKind;
+
+    #[test]
+    fn digest_distinguishes_configs() {
+        let a = RunConfig::new(ProtocolKind::BarU);
+        let mut b = RunConfig::new(ProtocolKind::BarU);
+        assert_eq!(config_digest(&a), config_digest(&b));
+        b.sim.seed ^= 1;
+        assert_ne!(config_digest(&a), config_digest(&b));
+        let c = RunConfig::new(ProtocolKind::LmwU);
+        assert_ne!(config_digest(&a), config_digest(&c));
+    }
+
+    #[test]
+    fn header_layout_is_pinned() {
+        struct Nop;
+        impl DsmApp for Nop {
+            fn name(&self) -> &'static str {
+                "nop"
+            }
+            fn phases(&self) -> usize {
+                1
+            }
+            fn iters(&self) -> usize {
+                0
+            }
+            fn setup(&mut self, _s: &mut dsm_core::SetupCtx<'_>) {}
+            fn phase(
+                &mut self,
+                _ctx: &mut dsm_core::ExecCtx<'_>,
+                _iter: usize,
+                _site: usize,
+            ) -> dsm_core::PhaseEnd {
+                dsm_core::PhaseEnd::Barrier
+            }
+            fn check(&self, _c: &dsm_core::CheckCtx<'_>) -> f64 {
+                0.0
+            }
+        }
+        let mut app = Nop;
+        let mut run = StepRun::new(
+            &mut app,
+            RunConfig::with_nprocs(ProtocolKind::BarU, 2),
+            None,
+            None,
+        );
+        let bytes = snapshot_run(&run, None);
+        assert_eq!(&bytes[..8], &SNAP_MAGIC);
+        assert_eq!(bytes[8], SNAP_VERSION);
+        assert_eq!(bytes[9], 0); // no checker
+        assert_eq!(&bytes[18..22], b"CORE");
+        restore_run(&bytes, &mut run, None);
+        let again = snapshot_run(&run, None);
+        assert_eq!(bytes, again, "restore must round-trip byte-identically");
+    }
+}

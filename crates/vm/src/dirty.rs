@@ -168,6 +168,28 @@ impl DirtyRanges {
         self.ranges.iter().any(|&(s, e)| s <= o && o < e)
     }
 
+    /// The raw representation `(ranges, all, coarse)` for snapshot
+    /// encoding.
+    pub fn snapshot_parts(&self) -> (&[(u32, u32)], bool, bool) {
+        (&self.ranges, self.all, self.coarse)
+    }
+
+    /// Rebuild from [`DirtyRanges::snapshot_parts`]. `ranges` must be the
+    /// sorted, disjoint, non-adjacent set a tracking interval produced —
+    /// snapshots only ever round-trip values this type itself emitted.
+    pub fn from_parts(ranges: Vec<(u32, u32)>, all: bool, coarse: bool) -> DirtyRanges {
+        debug_assert!(
+            ranges.windows(2).all(|w| w[0].1 < w[1].0),
+            "dirty ranges not sorted/disjoint: {ranges:?}"
+        );
+        debug_assert!(!all || ranges.is_empty(), "collapsed set carries ranges");
+        DirtyRanges {
+            ranges,
+            all,
+            coarse,
+        }
+    }
+
     /// True if every recorded range lies inside the union of `spans`
     /// (sorted, disjoint `[start, end)` byte spans). A collapsed set is
     /// contained by nothing — the caller lost the information needed to

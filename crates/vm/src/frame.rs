@@ -342,6 +342,47 @@ impl Frame {
         self.touch();
     }
 
+    /// Snapshot restore: rebuild the frame's full observable state in
+    /// place. `base` is the pristine page image; `data_runs` and
+    /// `twin_runs` express the restored contents as deltas (against `base`
+    /// and against the restored data respectively); `twin_present`
+    /// distinguishes "no twin" from "twin equal to data". Buffers recycle
+    /// through `pool`, and the revision bumps so derived-value caches
+    /// refresh.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore_state(
+        &mut self,
+        base: &PageBuf,
+        data_runs: &Diff,
+        twin_present: bool,
+        twin_runs: &Diff,
+        prot: Protection,
+        version_seen: u32,
+        applied_through: u64,
+        dirty: DirtyRanges,
+        tracking: bool,
+        pool: &mut BufPool,
+    ) {
+        self.data.copy_from(base);
+        data_runs.apply_to(&mut self.data);
+        if twin_present {
+            if self.twin.is_none() {
+                self.twin = Some(pool.take_page(self.data.len()));
+            }
+            let t = self.twin.as_mut().unwrap();
+            t.copy_from(&self.data);
+            twin_runs.apply_to(t);
+        } else if let Some(t) = self.twin.take() {
+            pool.put_page(t);
+        }
+        self.prot = prot;
+        self.version_seen = version_seen;
+        self.applied_through = applied_through;
+        self.dirty = dirty;
+        self.tracking = tracking;
+        self.touch();
+    }
+
     /// Create the diff of modifications since the twin was taken, leaving
     /// the twin in place. Scans only the recorded dirty ranges — words
     /// outside them are equal to the twin by construction, so the result

@@ -95,6 +95,24 @@ impl PageStore {
         self.frame_mut(page).set_prot(prot)
     }
 
+    /// Remove a materialized frame — snapshot restore de-materializes
+    /// pages resident now but absent from the restored state, so an
+    /// untouched-page lookup behaves exactly as before the page was ever
+    /// touched. No-op for never-materialized pages.
+    pub fn clear_frame(&mut self, page: PageId) {
+        if let Some(slot) = self.frames.get_mut(page.index()) {
+            *slot = None;
+        }
+    }
+
+    /// Shrink the table back to `npages` pages, dropping any frames past
+    /// the cut (snapshot restore of an earlier, smaller segment).
+    pub fn truncate_pages(&mut self, npages: usize) {
+        if npages < self.frames.len() {
+            self.frames.truncate(npages);
+        }
+    }
+
     /// Iterate over materialized `(PageId, &Frame)` pairs in page order.
     pub fn iter(&self) -> impl Iterator<Item = (PageId, &Frame)> + '_ {
         self.frames
