@@ -13,10 +13,18 @@ use crate::common::{interior_band, load_f64s, save_f64s, seeded01, Scale};
 
 /// Jacobi solver with convergence reduction.
 pub struct Jacobi {
+    // audit: skip(snap): construction parameter, re-supplied when the app is
+    // rebuilt for restore
     rows: usize,
+    // audit: skip(snap): construction parameter, re-supplied on rebuild
     cols: usize,
+    // audit: skip(snap): construction parameter, re-supplied on rebuild
     iters: usize,
+    // audit: skip(snap): grid handle; the data lives in shared segment pages,
+    // captured by the snapshot's CORE image, and the handle is re-derived in init
     a: Option<SharedGrid2<f64>>,
+    // audit: skip(snap): grid handle; data lives in shared segment pages and
+    // the handle is re-derived in init
     b: Option<SharedGrid2<f64>>,
     /// Per-process residuals: one app instance simulates every process,
     /// so per-process scratch must be indexed by pid (a single field

@@ -16,7 +16,10 @@ use crate::shallow::{
 
 /// Fine-grain shallow water with reductions.
 pub struct Swm {
+    // audit: skip(snap): geometry constants and grid handles; all field data
+    // lives in shared segment pages, captured by the snapshot's CORE image
     core: SwmCore,
+    // audit: skip(snap): construction parameter, re-supplied on rebuild
     iters: usize,
     energy: f64,
     /// Global energy per iteration (for tests / diagnostics).

@@ -14,14 +14,25 @@ use crate::common::{interior_band, load_f64s, save_f64s, Scale};
 
 /// SLOR mesh generation.
 pub struct Tomcatv {
+    // audit: skip(snap): construction parameter, re-supplied when the app is
+    // rebuilt for restore
     n: usize,
+    // audit: skip(snap): construction parameter, re-supplied on rebuild
     iters: usize,
+    // audit: skip(snap): construction constant (relaxation factor)
     rel: f64,
+    // audit: skip(snap): grid handle; the data lives in shared segment pages,
+    // captured by the snapshot's CORE image, and the handle is re-derived in init
     x: Option<SharedGrid2<f64>>,
+    // audit: skip(snap): grid handle, re-derived in init
     y: Option<SharedGrid2<f64>>,
+    // audit: skip(snap): grid handle, re-derived in init
     rx: Option<SharedGrid2<f64>>,
+    // audit: skip(snap): grid handle, re-derived in init
     ry: Option<SharedGrid2<f64>>,
+    // audit: skip(snap): grid handle, re-derived in init
     aa: Option<SharedGrid2<f64>>,
+    // audit: skip(snap): grid handle, re-derived in init
     dd: Option<SharedGrid2<f64>>,
     /// Per-process band residuals: one app instance simulates every
     /// process, so per-process scratch is indexed by pid (a single field

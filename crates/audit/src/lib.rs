@@ -1,0 +1,42 @@
+//! dsm-audit: structural state-coverage proving for the DSM simulator.
+//!
+//! The workspace's first real syntax-level analysis pass. Where
+//! `dsm-lint` bans patterns (needles over stripped lines), this crate
+//! *proves a completeness property*: every field of every state-bearing
+//! struct reachable from the cluster, the wire, the checker oracles, and
+//! the `DsmApp::save_state` implementors is either
+//!
+//! * covered by the snapshot codec (**snap** ledger),
+//! * folded into `state_hash` (**hash** ledger),
+//! * cleared on the measurement-reset paths (**reset** ledger, opt-in
+//!   via `// audit: scratch`),
+//!
+//! or carries an explicit in-source exemption with a mandatory reason
+//! (`// audit: skip(snap, hash): why`). Uncovered fields are errors;
+//! so are exemptions that no longer bind to anything or sit outside
+//! their ledger's reachable domain — the same no-rot contract as the
+//! stale-entry check on `lint-allow.toml`.
+//!
+//! The crate layers:
+//!
+//! * [`lexer`] — a deliberately partial Rust tokenizer (comments and
+//!   string contents dropped; `// audit:` comments captured);
+//! * [`parse`] — item-level parsing: struct fields with type idents and
+//!   bound annotations, function bodies with `impl` self types;
+//! * [`model`] — the per-ledger reachability walk and the prover;
+//! * [`rules`] — the structural transport/scaling lint rules
+//!   (`send-raw`, `flush-outcome`, `dense-by-nodes`), token-level ports
+//!   of the dsm-lint originals, consumed by the `dsm-lint` bin;
+//! * [`allow`] — the shared `lint-allow.toml` parser, also consumed by
+//!   `dsm-lint`.
+//!
+//! The `audit` bin wires [`model`] to the workspace sources and emits
+//! the deterministic report committed as `results/audit.txt`.
+
+#![forbid(unsafe_code)]
+
+pub mod allow;
+pub mod lexer;
+pub mod model;
+pub mod parse;
+pub mod rules;

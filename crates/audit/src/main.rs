@@ -1,0 +1,83 @@
+//! The `audit` bin: run the state-coverage prover over the workspace's
+//! library sources and emit the deterministic coverage report.
+//!
+//! * stdout — the report (committed as `results/audit.txt`; CI re-runs
+//!   the bin and byte-diffs the two);
+//! * stderr + nonzero exit — every violation: uncovered fields, stale
+//!   or dead annotations, parse-level annotation errors.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use dsm_audit::model::{audit, AuditConfig, SourceFile};
+
+/// Library source trees under the state-coverage contract: everything
+/// that owns simulator state reachable from the audit roots. `explore`
+/// and `plan` drive clusters but own no snapshotted state of their own;
+/// `bench`/`lint`/`scale` are host-side tools.
+const CRATES: [&str; 7] = ["sim", "vm", "net", "core", "check", "snap", "apps"];
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            rust_sources(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn run(root: &Path) -> Result<(String, Vec<String>), String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for c in CRATES {
+        let dir = root.join("crates").join(c).join("src");
+        rust_sources(&dir, &mut paths).map_err(|e| format!("walking {}: {e}", dir.display()))?;
+    }
+    paths.sort();
+    let mut files: Vec<SourceFile> = Vec::new();
+    for path in &paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        files.push(SourceFile { rel, text });
+    }
+    let out = audit(&files, &AuditConfig::default());
+    Ok((out.report, out.errors))
+}
+
+fn main() -> ExitCode {
+    // Resolve the workspace root: the directory holding lint-allow.toml,
+    // searched upward from the CWD so the binary works from any subdir.
+    let mut root = std::env::current_dir().expect("cwd");
+    while !root.join("lint-allow.toml").exists() {
+        if !root.pop() {
+            eprintln!("audit: no lint-allow.toml between CWD and filesystem root");
+            return ExitCode::FAILURE;
+        }
+    }
+    match run(&root) {
+        Ok((report, errors)) => {
+            print!("{report}");
+            if errors.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                for e in &errors {
+                    eprintln!("audit: {e}");
+                }
+                eprintln!("audit: {} violation(s)", errors.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("audit: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

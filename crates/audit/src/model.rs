@@ -1,0 +1,444 @@
+//! The three coverage ledgers and the prover over them.
+//!
+//! For every struct reachable from the audit roots, every field must be
+//! **proved** in each applicable ledger — or carry an explicit,
+//! reasoned exemption:
+//!
+//! * **snap** — the field is serialized by the snapshot codec: its name
+//!   is used inside a codec function body (`encode_state`,
+//!   `restore_state`, `save_state`, …, or any function in
+//!   `drive/snap.rs`), or its whole struct is constructed there (a
+//!   struct-literal decode is complete by construction — the compiler
+//!   rejects a literal missing a field).
+//! * **hash** — same proof against the `state_hash` fold
+//!   (`drive/hash.rs`).
+//! * **reset** — opt-in via `// audit: scratch: reason`: the field must
+//!   be used (cleared, reassigned, or asserted empty) on a reset path
+//!   (`start_measurement`, `reset_measurement`, `reset_stats`, `reset`,
+//!   `barrier_core`).
+//!
+//! "Used" is a structural, token-level judgment: a `.field` access, a
+//! `field:` struct-literal/pattern key, a field-init shorthand between
+//! braces, a `.0` tuple index, or a wholesale construction of the owning
+//! struct (`S { .. }`, `S(..)`, `S::..`, `Self::..`). It deliberately
+//! over-approximates — the prover is a drift tripwire, not a semantic
+//! verifier: a field that is *never named anywhere* in the codec cannot
+//! possibly be serialized, and that is the bug class this catches.
+//!
+//! Reachability is per-ledger: an exempted field prunes the walk, so
+//! `Cluster.cfg: skip(snap)` keeps the whole `RunConfig` subtree out of
+//! the snap ledger. Exemptions on structs outside their ledger's domain
+//! are errors — annotations must never rot.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use crate::lexer::TokKind;
+use crate::parse::{parse_file, Ledger, ParsedFile};
+
+/// One source file handed to the prover (workspace-relative path + text).
+pub struct SourceFile {
+    pub rel: String,
+    pub text: String,
+}
+
+/// What counts as a root, a codec span, a hash span, and a reset span.
+/// The defaults encode this workspace's conventions; the planted-drift
+/// fixture tests drive the same prover through the same defaults.
+pub struct AuditConfig {
+    /// Snap roots in addition to auto-detected `save_state` implementors.
+    pub snap_roots: Vec<String>,
+    pub hash_roots: Vec<String>,
+    pub reset_roots: Vec<String>,
+    /// Function names whose bodies are snapshot-codec spans anywhere.
+    pub snap_fns: Vec<String>,
+    /// File suffixes whose *every* function body is a snap span (the
+    /// cluster codec module with its private helpers).
+    pub snap_files: Vec<String>,
+    pub hash_fns: Vec<String>,
+    pub hash_files: Vec<String>,
+    pub reset_fns: Vec<String>,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        let v = |s: &[&str]| s.iter().map(|x| (*x).to_string()).collect();
+        Self {
+            snap_roots: v(&["Cluster", "Checker"]),
+            hash_roots: v(&["Cluster"]),
+            reset_roots: v(&["Cluster"]),
+            snap_fns: v(&[
+                "encode_state",
+                "restore_state",
+                "decode_state",
+                "save_state",
+                "load_state",
+                "snapshot_state",
+                "snapshot_parts",
+                "from_parts",
+                "rng_state",
+                "set_rng_state",
+            ]),
+            snap_files: v(&["crates/core/src/drive/snap.rs"]),
+            hash_fns: v(&[]),
+            hash_files: v(&["crates/core/src/drive/hash.rs"]),
+            reset_fns: v(&[
+                "start_measurement",
+                "reset_measurement",
+                "reset_stats",
+                "reset",
+                "barrier_core",
+            ]),
+        }
+    }
+}
+
+/// Prover output: the deterministic coverage report (committed under
+/// `results/audit.txt`) and every violation, already formatted.
+pub struct Outcome {
+    pub report: String,
+    pub errors: Vec<String>,
+}
+
+/// Field-name and construction mentions collected from one ledger's spans.
+#[derive(Default)]
+struct Mentions {
+    names: BTreeSet<String>,
+    tuple_idx: BTreeSet<String>,
+    constructed: BTreeSet<String>,
+}
+
+impl Mentions {
+    fn collect(&mut self, file: &ParsedFile, body: (usize, usize), self_ty: Option<&str>) {
+        let toks = &file.toks[body.0..body.1];
+        for (k, t) in toks.iter().enumerate() {
+            let next = toks.get(k + 1);
+            let prev = k.checked_sub(1).and_then(|p| toks.get(p));
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, ".") => {
+                    if let Some(n) = next {
+                        match n.kind {
+                            TokKind::Ident => {
+                                self.names.insert(n.text.clone());
+                            }
+                            TokKind::Lit if n.text.bytes().all(|b| b.is_ascii_digit()) => {
+                                self.tuple_idx.insert(n.text.clone());
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                (TokKind::Ident, name) => {
+                    let constructs = next
+                        .is_some_and(|n| matches!(n.text.as_str(), "{" | "(" | "::"))
+                        && name.chars().next().is_some_and(char::is_uppercase);
+                    if constructs {
+                        if name == "Self" {
+                            if let Some(ty) = self_ty {
+                                self.constructed.insert(ty.to_string());
+                            }
+                        } else {
+                            self.constructed.insert(name.to_string());
+                        }
+                        continue;
+                    }
+                    // `field: value` in a struct literal or pattern (the
+                    // lexer merges `::`, so a single `:` is reliable).
+                    if next.is_some_and(|n| n.text == ":") {
+                        self.names.insert(name.to_string());
+                        continue;
+                    }
+                    // Field-init/pattern shorthand: `{ field, other }`.
+                    let shorthand = prev.is_some_and(|p| matches!(p.text.as_str(), "{" | ","))
+                        && next.is_some_and(|n| matches!(n.text.as_str(), "," | "}"));
+                    if shorthand {
+                        self.names.insert(name.to_string());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn covers(&self, struct_name: &str, field: &str, tuple: bool) -> bool {
+        self.constructed.contains(struct_name)
+            || if tuple {
+                self.tuple_idx.contains(field)
+            } else {
+                self.names.contains(field)
+            }
+    }
+}
+
+/// Run the prover over a parsed source set.
+pub fn audit(files: &[SourceFile], cfg: &AuditConfig) -> Outcome {
+    let parsed: Vec<ParsedFile> = files.iter().map(|f| parse_file(&f.rel, &f.text)).collect();
+    let mut errors: Vec<String> = Vec::new();
+    for p in &parsed {
+        errors.extend(p.errors.iter().cloned());
+    }
+
+    // Struct table: name -> every definition site (descend into all on a
+    // name collision; shadowing would hide drift).
+    let mut table: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+    for (fi, p) in parsed.iter().enumerate() {
+        for (si, s) in p.structs.iter().enumerate() {
+            table.entry(&s.name).or_default().push((fi, si));
+        }
+    }
+
+    // Ledger spans -> mentions.
+    let mut snap_roots: BTreeSet<String> = cfg.snap_roots.iter().cloned().collect();
+    let mut mentions: BTreeMap<Ledger, Mentions> = BTreeMap::new();
+    for l in [Ledger::Snap, Ledger::Hash, Ledger::Reset] {
+        mentions.insert(l, Mentions::default());
+    }
+    for p in &parsed {
+        let snap_file = cfg.snap_files.iter().any(|s| p.rel.ends_with(s.as_str()));
+        let hash_file = cfg.hash_files.iter().any(|s| p.rel.ends_with(s.as_str()));
+        for f in &p.fns {
+            let in_ = |names: &[String]| names.contains(&f.name);
+            if snap_file || in_(&cfg.snap_fns) {
+                mentions
+                    .get_mut(&Ledger::Snap)
+                    .unwrap()
+                    .collect(p, f.body, f.self_ty.as_deref());
+            }
+            if hash_file || in_(&cfg.hash_fns) {
+                mentions
+                    .get_mut(&Ledger::Hash)
+                    .unwrap()
+                    .collect(p, f.body, f.self_ty.as_deref());
+            }
+            if in_(&cfg.reset_fns) {
+                mentions
+                    .get_mut(&Ledger::Reset)
+                    .unwrap()
+                    .collect(p, f.body, f.self_ty.as_deref());
+            }
+            // Every `save_state` implementor is a snap root: the APP
+            // section serializes whatever the app owns.
+            if f.name == "save_state" {
+                if let Some(ty) = &f.self_ty {
+                    if table.contains_key(ty.as_str()) {
+                        snap_roots.insert(ty.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    // Per-ledger reachability (BFS by type name through field types).
+    let reach = |roots: &BTreeSet<String>, ledger: Ledger| -> Vec<(usize, usize)> {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut order: Vec<(usize, usize)> = Vec::new();
+        let mut queue: Vec<String> = roots.iter().cloned().collect();
+        while let Some(name) = queue.pop() {
+            if !seen.insert(name.clone()) {
+                continue;
+            }
+            let Some(defs) = table.get(name.as_str()) else {
+                continue;
+            };
+            for &(fi, si) in defs {
+                order.push((fi, si));
+                let s = &parsed[fi].structs[si];
+                if s.leaf.is_some() {
+                    continue;
+                }
+                for f in &s.fields {
+                    if f.cfg_test {
+                        continue;
+                    }
+                    // An exempted field prunes the walk for its ledger;
+                    // the reset walk is structural (scratch is opt-in).
+                    if ledger != Ledger::Reset && f.skips.iter().any(|(l, _)| *l == ledger) {
+                        continue;
+                    }
+                    for ty in &f.ty_idents {
+                        if table.contains_key(ty.as_str()) {
+                            queue.push(ty.clone());
+                        }
+                    }
+                }
+            }
+        }
+        order.sort_by(|a, b| {
+            (&parsed[a.0].rel, &parsed[a.0].structs[a.1].name)
+                .cmp(&(&parsed[b.0].rel, &parsed[b.0].structs[b.1].name))
+        });
+        order
+    };
+
+    let hash_roots: BTreeSet<String> = cfg.hash_roots.iter().cloned().collect();
+    let reset_roots: BTreeSet<String> = cfg.reset_roots.iter().cloned().collect();
+    let domains: Vec<(Ledger, Vec<(usize, usize)>)> = vec![
+        (Ledger::Snap, reach(&snap_roots, Ledger::Snap)),
+        (Ledger::Hash, reach(&hash_roots, Ledger::Hash)),
+        (Ledger::Reset, reach(&reset_roots, Ledger::Reset)),
+    ];
+
+    // The audit proper, and the report alongside it.
+    let mut report = String::new();
+    let _ = writeln!(report, "dsm-audit: state-coverage ledgers");
+    let _ = writeln!(report, "=================================");
+    let mut totals: Vec<(Ledger, usize, usize, usize)> = Vec::new();
+    // Exemptions actually sitting inside their ledger's domain, for the
+    // dead-annotation check afterwards.
+    let mut live_skips: BTreeSet<(usize, usize, String, Ledger)> = BTreeSet::new();
+    let mut live_wholesale: BTreeSet<(usize, usize, String, Ledger)> = BTreeSet::new();
+    let mut live_scratch: BTreeSet<(usize, usize, String)> = BTreeSet::new();
+
+    for (ledger, domain) in &domains {
+        let m = &mentions[ledger];
+        let _ = writeln!(report);
+        match ledger {
+            Ledger::Snap => {
+                let roots: Vec<&str> = snap_roots.iter().map(String::as_str).collect();
+                let _ = writeln!(report, "[snap] roots: {}", roots.join(", "));
+            }
+            Ledger::Hash => {
+                let roots: Vec<&str> = hash_roots.iter().map(String::as_str).collect();
+                let _ = writeln!(report, "[hash] roots: {}", roots.join(", "));
+            }
+            Ledger::Reset => {
+                let _ = writeln!(
+                    report,
+                    "[reset] scratch fields, proven cleared on the reset paths"
+                );
+            }
+        }
+        let (mut covered, mut exempt, mut audited) = (0usize, 0usize, 0usize);
+        for &(fi, si) in domain {
+            let p = &parsed[fi];
+            let s = &p.structs[si];
+            if let Some(reason) = &s.leaf {
+                if *ledger != Ledger::Reset {
+                    let _ = writeln!(report, "  {} {}: leaf ({reason})", p.rel, s.name);
+                }
+                continue;
+            }
+            let mut lines: Vec<String> = Vec::new();
+            let (mut c, mut e) = (0usize, 0usize);
+            for f in &s.fields {
+                if f.cfg_test {
+                    continue;
+                }
+                if *ledger == Ledger::Reset {
+                    let Some(reason) = &f.scratch else { continue };
+                    live_scratch.insert((fi, si, f.name.clone()));
+                    audited += 1;
+                    if m.covers(&s.name, &f.name, s.tuple) {
+                        covered += 1;
+                        let _ = writeln!(
+                            report,
+                            "  {} {}.{}: cleared ({reason})",
+                            p.rel, s.name, f.name
+                        );
+                    } else {
+                        errors.push(format!(
+                            "[reset] {}:{}: `{}.{}` is marked scratch ({reason}) but no reset \
+                             path ever touches it",
+                            p.rel, f.line, s.name, f.name
+                        ));
+                    }
+                    continue;
+                }
+                audited += 1;
+                if let Some((_, reason)) = f.skips.iter().find(|(l, _)| *l == *ledger) {
+                    e += 1;
+                    live_skips.insert((fi, si, f.name.clone(), *ledger));
+                    lines.push(format!("    - {}: exempt ({reason})", f.name));
+                } else if let Some((_, reason)) = f.wholesale.iter().find(|(l, _)| *l == *ledger) {
+                    e += 1;
+                    live_wholesale.insert((fi, si, f.name.clone(), *ledger));
+                    lines.push(format!("    - {}: wholesale ({reason})", f.name));
+                } else if m.covers(&s.name, &f.name, s.tuple) {
+                    c += 1;
+                } else {
+                    errors.push(format!(
+                        "[{}] {}:{}: `{}.{}` is not covered: no {} function names it \
+                         (serialize it, or annotate `// audit: skip({}): reason`)",
+                        ledger.label(),
+                        p.rel,
+                        f.line,
+                        s.name,
+                        f.name,
+                        match ledger {
+                            Ledger::Snap => "snapshot codec",
+                            Ledger::Hash => "state-hash fold",
+                            Ledger::Reset => "reset-path",
+                        },
+                        ledger.label(),
+                    ));
+                }
+            }
+            covered += c;
+            exempt += e;
+            if *ledger != Ledger::Reset {
+                let _ = writeln!(
+                    report,
+                    "  {} {}: {} fields, {c} covered, {e} exempt",
+                    p.rel,
+                    s.name,
+                    c + e
+                );
+                for l in lines {
+                    let _ = writeln!(report, "{l}");
+                }
+            }
+        }
+        totals.push((*ledger, audited, covered, exempt));
+    }
+
+    // Dead annotations: an exemption or scratch mark on a field whose
+    // struct never entered the corresponding domain proves nothing and
+    // must go — the in-source twin of a stale lint-allow entry.
+    for (fi, p) in parsed.iter().enumerate() {
+        for (si, s) in p.structs.iter().enumerate() {
+            for f in &s.fields {
+                for (kind, list, live) in [
+                    ("skip", &f.skips, &live_skips),
+                    ("wholesale", &f.wholesale, &live_wholesale),
+                ] {
+                    for (l, _) in list {
+                        if !live.contains(&(fi, si, f.name.clone(), *l)) {
+                            errors.push(format!(
+                                "[{}] {}:{}: dead exemption: `{}.{}` is outside the {} domain \
+                                 (unreachable from its roots) — delete the {kind}",
+                                l.label(),
+                                p.rel,
+                                f.line,
+                                s.name,
+                                f.name,
+                                l.label(),
+                            ));
+                        }
+                    }
+                }
+                if f.scratch.is_some() && !live_scratch.contains(&(fi, si, f.name.clone())) {
+                    errors.push(format!(
+                        "[reset] {}:{}: dead scratch mark: `{}.{}` is outside the reset \
+                         domain — delete the annotation",
+                        p.rel, f.line, s.name, f.name
+                    ));
+                }
+            }
+        }
+    }
+
+    let _ = writeln!(report);
+    for (l, audited, covered, exempt) in &totals {
+        let _ = writeln!(
+            report,
+            "coverage[{}]: {} fields audited, {} covered, {} exempt, {} uncovered",
+            l.label(),
+            audited,
+            covered,
+            exempt,
+            audited - covered - exempt
+        );
+    }
+    errors.sort();
+    Outcome { report, errors }
+}

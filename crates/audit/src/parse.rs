@@ -1,0 +1,942 @@
+//! Item-level parsing: structs with their fields, functions with their
+//! body spans, and the `// audit:` annotations that bind to them.
+//!
+//! This is not a general Rust parser. It recognizes exactly the item
+//! shapes the workspace uses — `struct` declarations (named, tuple,
+//! unit), `impl`/`trait` blocks with their `fn` bodies, inline modules —
+//! and skips everything else with balanced-delimiter scanning. The
+//! extraction is pinned by its own unit tests (generics, `cfg`-gated
+//! fields, tuple structs, visibility), independent of the live codebase.
+//!
+//! ## Annotation grammar
+//!
+//! An annotation is a `// audit:` line comment immediately preceding the
+//! item it describes (attribute and doc-comment lines may intervene):
+//!
+//! ```text
+//! // audit: skip(snap): reason          — field: exempt from a ledger
+//! // audit: skip(snap, hash): reason    — field: exempt from several
+//! // audit: wholesale(hash): reason     — field: handled through an
+//!                                         accessor; exempt from the
+//!                                         name-proof but still descended
+//! // audit: scratch: reason             — field: must be cleared on reset
+//! // audit: leaf: reason                — struct: value type, not walked
+//! ```
+//!
+//! The reason is mandatory, and may wrap onto immediately following
+//! plain `//` lines (doc comments and further `audit:` lines end the
+//! continuation). A comment that binds to nothing (the field was removed
+//! or renamed) is a hard error — the same no-rot contract as
+//! `lint-allow.toml`.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// Ledgers a field can be exempted from. `Reset` is opt-in (via
+/// `scratch`), so `skip(reset)` does not exist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Ledger {
+    Snap,
+    Hash,
+    Reset,
+}
+
+impl Ledger {
+    pub fn label(self) -> &'static str {
+        match self {
+            Ledger::Snap => "snap",
+            Ledger::Hash => "hash",
+            Ledger::Reset => "reset",
+        }
+    }
+}
+
+/// One struct field, named or positional (`0`, `1`, … for tuple structs).
+#[derive(Clone, Debug)]
+pub struct FieldDef {
+    pub name: String,
+    /// Identifier tokens of the field's type, in order (`Vec<FastMap<PageId,
+    /// CopySet>>` → `["Vec", "FastMap", "PageId", "CopySet"]`).
+    pub ty_idents: Vec<String>,
+    /// Line of the field name (declaration line for tuple fields).
+    pub line: usize,
+    /// First line of the field's leading attributes (== `line` if none);
+    /// annotations bind against this.
+    pub start_line: usize,
+    /// Declared visibility: `""`, `"pub"`, `"pub(crate)"`, …
+    pub vis: String,
+    /// `true` when a `#[cfg(test)]` attribute gates the field: test-only
+    /// state is outside every ledger.
+    pub cfg_test: bool,
+    /// Ledger exemptions from `// audit: skip(..): reason`. A skip also
+    /// prunes the reachability walk at this field for its ledger.
+    pub skips: Vec<(Ledger, String)>,
+    /// `// audit: wholesale(..): reason` — the field is serialized or
+    /// folded through an accessor (an iterator, a span view), so the
+    /// name-proof is waived, but unlike `skip` the walk still descends
+    /// into the field's type: the *contents* stay audited.
+    pub wholesale: Vec<(Ledger, String)>,
+    /// `// audit: scratch: reason` — membership in the reset ledger.
+    pub scratch: Option<String>,
+}
+
+/// One struct declaration.
+#[derive(Clone, Debug)]
+pub struct StructDef {
+    pub name: String,
+    pub line: usize,
+    /// First line of the leading attributes; annotations bind here.
+    pub start_line: usize,
+    pub tuple: bool,
+    pub fields: Vec<FieldDef>,
+    /// `// audit: leaf: reason` — treat as a value type: fields are not
+    /// audited and the reachability walk does not descend.
+    pub leaf: Option<String>,
+}
+
+/// One function with a body, and the `impl`/`trait` self type it belongs
+/// to (None for free functions).
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    pub name: String,
+    pub self_ty: Option<String>,
+    /// Token index range of the body, *inside* the braces.
+    pub body: (usize, usize),
+    pub line: usize,
+}
+
+/// A fully parsed source file.
+#[derive(Debug)]
+pub struct ParsedFile {
+    pub rel: String,
+    pub toks: Vec<Tok>,
+    pub structs: Vec<StructDef>,
+    pub fns: Vec<FnDef>,
+    /// Annotation and binding errors, each already formatted `rel:line: …`.
+    pub errors: Vec<String>,
+}
+
+/// Parse one file. `rel` is the workspace-relative path used in
+/// diagnostics and scope decisions.
+pub fn parse_file(rel: &str, src: &str) -> ParsedFile {
+    let lexed = lex(src);
+    let mut p = Parser {
+        toks: &lexed.toks,
+        i: 0,
+        structs: Vec::new(),
+        fns: Vec::new(),
+    };
+    p.items(None);
+    let mut out = ParsedFile {
+        rel: rel.to_string(),
+        structs: p.structs,
+        fns: p.fns,
+        toks: lexed.toks,
+        errors: Vec::new(),
+    };
+    bind_annotations(&mut out, src, &lexed.comments);
+    out
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    i: usize,
+    structs: Vec<StructDef>,
+    fns: Vec<FnDef>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Tok> {
+        self.toks.get(self.i)
+    }
+
+    fn at(&self, text: &str) -> bool {
+        self.peek().is_some_and(|t| t.text == text)
+    }
+
+    fn bump(&mut self) -> Option<&'a Tok> {
+        let t = self.toks.get(self.i);
+        self.i += 1;
+        t
+    }
+
+    /// Skip a balanced `open`…`close` region starting at the current
+    /// `open` token; leaves the cursor past the closing token.
+    fn skip_balanced(&mut self, open: &str, close: &str) {
+        debug_assert!(self.at(open));
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    self.i += 1;
+                    return;
+                }
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Consume leading attributes; returns (first attr line, cfg-test?,
+    /// any-cfg?). The cursor ends on the token after the attributes.
+    fn attrs(&mut self) -> (Option<usize>, bool) {
+        let mut first_line = None;
+        let mut cfg_test = false;
+        while self.at("#") {
+            let line = self.peek().unwrap().line;
+            first_line.get_or_insert(line);
+            self.i += 1; // '#'
+            if self.at("!") {
+                self.i += 1;
+            }
+            if self.at("[") {
+                let start = self.i;
+                self.skip_balanced("[", "]");
+                let body: Vec<&str> = self.toks[start..self.i]
+                    .iter()
+                    .map(|t| t.text.as_str())
+                    .collect();
+                if body.contains(&"cfg") && body.contains(&"test") {
+                    cfg_test = true;
+                }
+            }
+        }
+        (first_line, cfg_test)
+    }
+
+    /// Consume a visibility qualifier if present; returns its text.
+    fn visibility(&mut self) -> String {
+        if !self.at("pub") {
+            return String::new();
+        }
+        self.i += 1;
+        if self.at("(") {
+            let start = self.i;
+            self.skip_balanced("(", ")");
+            let inner: Vec<&str> = self.toks[start + 1..self.i - 1]
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect();
+            return format!("pub({})", inner.join("::"));
+        }
+        "pub".to_string()
+    }
+
+    /// Skip the remainder of an item we do not model: everything up to a
+    /// top-level `;`, or through one balanced brace block. Only `(`/`[`
+    /// nest-protect the semicolon — `<` is ambiguous with comparison and
+    /// shift operators in const initializers, and `;` cannot occur inside
+    /// generic arguments anyway (array lengths sit inside `[`).
+    fn skip_item(&mut self) {
+        let mut paren = 0i64;
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "(" | "[" => paren += 1,
+                ")" | "]" => paren -= 1,
+                "{" => {
+                    self.skip_balanced("{", "}");
+                    return;
+                }
+                ";" if paren <= 0 => {
+                    self.i += 1;
+                    return;
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Scan items until the end of the stream or a closing `}` (for inline
+    /// modules). `self_ty` is set inside `impl`/`trait` bodies.
+    fn items(&mut self, self_ty: Option<&str>) {
+        'items: while let Some(t) = self.peek() {
+            if t.text == "}" {
+                self.i += 1;
+                return;
+            }
+            let (_, cfg_test) = self.attrs();
+            let _vis = self.visibility();
+            // Leading qualifiers on functions; `const NAME: T = ..;` is an
+            // item of its own, not a qualified `fn`.
+            while let Some(q) = self.peek() {
+                match q.text.as_str() {
+                    "const" if self.toks.get(self.i + 1).is_some_and(|n| n.text != "fn") => {
+                        self.skip_item();
+                        continue 'items;
+                    }
+                    "const" | "unsafe" | "async" => self.i += 1,
+                    "extern" => {
+                        self.i += 1;
+                        if self.at("\"\"") {
+                            self.i += 1;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            if cfg_test {
+                // Test-only items (fixture structs, #[cfg(test)] mods,
+                // test impls) are invisible to the audit.
+                self.skip_item();
+                continue;
+            }
+            let Some(t) = self.peek() else { return };
+            match t.text.as_str() {
+                "struct" => {
+                    self.i += 1;
+                    self.parse_struct();
+                }
+                "fn" => {
+                    self.i += 1;
+                    self.parse_fn(self_ty);
+                }
+                "impl" => {
+                    self.i += 1;
+                    self.parse_impl();
+                }
+                "trait" => {
+                    self.i += 1;
+                    let name = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+                    if self.at("<") {
+                        self.skip_balanced("<", ">");
+                    }
+                    while let Some(t) = self.peek() {
+                        if t.text == "{" {
+                            break;
+                        }
+                        self.i += 1;
+                    }
+                    if self.at("{") {
+                        self.i += 1;
+                        self.items(Some(&name));
+                    }
+                }
+                "mod" => {
+                    self.i += 1;
+                    self.bump(); // name
+                    if self.at("{") {
+                        self.i += 1;
+                        self.items(self_ty);
+                    } else if self.at(";") {
+                        self.i += 1;
+                    }
+                }
+                _ => self.skip_item(),
+            }
+        }
+    }
+
+    fn parse_struct(&mut self) {
+        let Some(name_tok) = self.bump() else { return };
+        let name = name_tok.text.clone();
+        let line = name_tok.line;
+        if self.at("<") {
+            self.skip_balanced("<", ">");
+        }
+        // Named-struct where clause sits before the braces.
+        while self.peek().is_some() && !self.at("{") && !self.at("(") && !self.at(";") {
+            self.i += 1;
+        }
+        let mut def = StructDef {
+            name,
+            line,
+            start_line: line, // patched by the caller via attrs? kept simple: annotations allow attr lines in the gap
+            tuple: false,
+            fields: Vec::new(),
+            leaf: None,
+        };
+        if self.at(";") {
+            self.i += 1; // unit struct
+        } else if self.at("(") {
+            def.tuple = true;
+            self.i += 1;
+            let mut idx = 0usize;
+            while self.peek().is_some() && !self.at(")") {
+                let (_, cfg_test) = self.attrs();
+                let vis = self.visibility();
+                let (ty_idents, first_line) = self.type_until(&[",", ")"]);
+                def.fields.push(FieldDef {
+                    name: idx.to_string(),
+                    ty_idents,
+                    line: first_line.unwrap_or(line),
+                    start_line: first_line.unwrap_or(line),
+                    vis,
+                    cfg_test,
+                    skips: Vec::new(),
+                    wholesale: Vec::new(),
+                    scratch: None,
+                });
+                idx += 1;
+                if self.at(",") {
+                    self.i += 1;
+                }
+            }
+            if self.at(")") {
+                self.i += 1;
+            }
+            // Optional where clause, then the terminating semicolon.
+            self.skip_item();
+        } else if self.at("{") {
+            self.i += 1;
+            while self.peek().is_some() && !self.at("}") {
+                let (attr_line, cfg_test) = self.attrs();
+                let vis = self.visibility();
+                let Some(name_tok) = self.bump() else { break };
+                let fname = name_tok.text.clone();
+                let fline = name_tok.line;
+                if !self.at(":") {
+                    // Not a field (malformed input); resynchronize.
+                    continue;
+                }
+                self.i += 1;
+                let (ty_idents, _) = self.type_until(&[",", "}"]);
+                def.fields.push(FieldDef {
+                    name: fname,
+                    ty_idents,
+                    line: fline,
+                    start_line: attr_line.unwrap_or(fline),
+                    vis,
+                    cfg_test,
+                    skips: Vec::new(),
+                    wholesale: Vec::new(),
+                    scratch: None,
+                });
+                if self.at(",") {
+                    self.i += 1;
+                }
+            }
+            if self.at("}") {
+                self.i += 1;
+            }
+        }
+        self.structs.push(def);
+    }
+
+    /// Consume type tokens until one of `stop` at bracket depth zero;
+    /// returns the identifier tokens and the first token's line.
+    fn type_until(&mut self, stop: &[&str]) -> (Vec<String>, Option<usize>) {
+        let mut idents = Vec::new();
+        let mut first_line = None;
+        let mut depth = 0i64;
+        while let Some(t) = self.peek() {
+            if depth == 0 && stop.contains(&t.text.as_str()) {
+                break;
+            }
+            first_line.get_or_insert(t.line);
+            match t.text.as_str() {
+                "(" | "[" | "<" => depth += 1,
+                ")" | "]" | ">" => depth -= 1,
+                _ => {}
+            }
+            if t.kind == TokKind::Ident && !is_type_keyword(&t.text) {
+                idents.push(t.text.clone());
+            }
+            self.i += 1;
+        }
+        (idents, first_line)
+    }
+
+    fn parse_fn(&mut self, self_ty: Option<&str>) {
+        let Some(name_tok) = self.bump() else { return };
+        let name = name_tok.text.clone();
+        let line = name_tok.line;
+        if self.at("<") {
+            self.skip_balanced("<", ">");
+        }
+        if self.at("(") {
+            self.skip_balanced("(", ")");
+        }
+        // Return type and where clause, up to the body or a declaration
+        // semicolon. Angle depth guards `where F: Fn() -> T` arrows — the
+        // lexer merges `->`, so only `<`…`>` pairs appear here.
+        let mut depth = 0i64;
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                "{" if depth <= 0 => break,
+                ";" if depth <= 0 => {
+                    self.i += 1;
+                    return; // declaration without body
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+        if !self.at("{") {
+            return;
+        }
+        let open = self.i;
+        self.skip_balanced("{", "}");
+        self.fns.push(FnDef {
+            name,
+            self_ty: self_ty.map(str::to_string),
+            body: (open + 1, self.i - 1),
+            line,
+        });
+    }
+
+    fn parse_impl(&mut self) {
+        if self.at("<") {
+            self.skip_balanced("<", ">");
+        }
+        // Everything up to the body brace; a `for` splits trait from type.
+        let start = self.i;
+        let mut for_at = None;
+        let mut depth = 0i64;
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "<" | "(" | "[" => depth += 1,
+                ">" | ")" | "]" => depth -= 1,
+                "for" if depth == 0 => for_at = Some(self.i),
+                "{" if depth <= 0 => break,
+                _ => {}
+            }
+            self.i += 1;
+        }
+        let ty_toks = &self.toks[for_at.map_or(start, |f| f + 1)..self.i];
+        let self_ty = impl_self_ty(ty_toks);
+        if self.at("{") {
+            self.i += 1;
+            self.items(self_ty.as_deref());
+        }
+    }
+}
+
+fn is_type_keyword(t: &str) -> bool {
+    matches!(
+        t,
+        "dyn" | "mut" | "const" | "fn" | "as" | "impl" | "where" | "for"
+    )
+}
+
+/// The struct name an `impl` block attaches to: the last path identifier
+/// before the generic arguments open.
+fn impl_self_ty(toks: &[Tok]) -> Option<String> {
+    let mut last = None;
+    for t in toks {
+        if t.text == "<" {
+            break;
+        }
+        if t.kind == TokKind::Ident && !is_type_keyword(&t.text) {
+            last = Some(t.text.clone());
+        }
+    }
+    last
+}
+
+/// Bind `// audit:` comments to the struct or field that starts on the
+/// next code line (attribute and comment lines may intervene), and parse
+/// the directives into the defs. Unbound or malformed annotations become
+/// errors — annotations must never rot.
+fn bind_annotations(file: &mut ParsedFile, src: &str, comments: &[crate::lexer::Comment]) {
+    enum Anchor {
+        Struct(usize),
+        Field(usize, usize),
+    }
+    let mut anchors: Vec<(usize, Anchor)> = Vec::new();
+    for (si, s) in file.structs.iter().enumerate() {
+        anchors.push((s.start_line, Anchor::Struct(si)));
+        for (fi, f) in s.fields.iter().enumerate() {
+            if !s.tuple {
+                anchors.push((f.start_line, Anchor::Field(si, fi)));
+            }
+        }
+    }
+    anchors.sort_by_key(|(l, _)| *l);
+    let lines: Vec<&str> = src.lines().collect();
+
+    for (ci, c) in comments.iter().enumerate() {
+        let Some(payload) = c.text.trim_start().strip_prefix("audit:") else {
+            continue;
+        };
+        // A reason may wrap: plain `//` comment lines on the immediately
+        // following lines continue it. Doc comments and further `audit:`
+        // lines end the continuation.
+        let mut payload = payload.trim().to_string();
+        for (next_line, cont) in (c.line + 1..).zip(&comments[ci + 1..]) {
+            let t = cont.text.trim_start();
+            if cont.line != next_line || t.starts_with('/') || t.starts_with("audit:") {
+                break;
+            }
+            payload.push(' ');
+            payload.push_str(t.trim_end());
+        }
+        let here = format!("{}:{}", file.rel, c.line);
+        let target = anchors.iter().find(|(l, _)| *l > c.line);
+        let bound = target.filter(|(l, _)| {
+            // Every line strictly between the comment and the anchor must
+            // be a comment or an attribute — otherwise the annotation
+            // dangles over unrelated code.
+            (c.line..l - 1).all(|ln| {
+                let t = lines.get(ln).map_or("", |s| s.trim_start());
+                t.starts_with("//") || t.starts_with('#')
+            })
+        });
+        let Some((_, anchor)) = bound else {
+            file.errors.push(format!(
+                "{here}: stale `// audit:` annotation: no struct or field starts below it \
+                 (was the field removed or renamed?)"
+            ));
+            continue;
+        };
+        match parse_directive(&payload) {
+            Err(e) => file.errors.push(format!("{here}: {e}")),
+            Ok(Directive::Leaf(reason)) => match anchor {
+                Anchor::Struct(si) => file.structs[*si].leaf = Some(reason),
+                Anchor::Field(si, fi) => file.errors.push(format!(
+                    "{here}: `leaf` annotates a struct, but binds to field `{}.{}`",
+                    file.structs[*si].name, file.structs[*si].fields[*fi].name
+                )),
+            },
+            Ok(Directive::Scratch(reason)) => match anchor {
+                Anchor::Field(si, fi) => {
+                    file.structs[*si].fields[*fi].scratch = Some(reason);
+                }
+                Anchor::Struct(si) => file.errors.push(format!(
+                    "{here}: `scratch` annotates a field, but binds to struct `{}`",
+                    file.structs[*si].name
+                )),
+            },
+            Ok(d @ (Directive::Skip(..) | Directive::Wholesale(..))) => {
+                let (kind, ledgers, reason) = match d {
+                    Directive::Skip(l, r) => ("skip", l, r),
+                    Directive::Wholesale(l, r) => ("wholesale", l, r),
+                    _ => unreachable!(),
+                };
+                match anchor {
+                    Anchor::Field(si, fi) => {
+                        let f = &mut file.structs[*si].fields[*fi];
+                        for l in ledgers {
+                            if f.skips.iter().chain(&f.wholesale).any(|(e, _)| *e == l) {
+                                file.errors.push(format!(
+                                    "{here}: duplicate exemption for ledger `{}` on `{}`",
+                                    l.label(),
+                                    f.name
+                                ));
+                            } else if kind == "skip" {
+                                f.skips.push((l, reason.clone()));
+                            } else {
+                                f.wholesale.push((l, reason.clone()));
+                            }
+                        }
+                    }
+                    Anchor::Struct(si) => file.errors.push(format!(
+                        "{here}: `{kind}` annotates a field, but binds to struct `{}`",
+                        file.structs[*si].name
+                    )),
+                }
+            }
+        }
+    }
+}
+
+enum Directive {
+    Skip(Vec<Ledger>, String),
+    Wholesale(Vec<Ledger>, String),
+    Scratch(String),
+    Leaf(String),
+}
+
+fn parse_directive(s: &str) -> Result<Directive, String> {
+    let reason_of = |rest: &str| -> Result<String, String> {
+        let r = rest
+            .strip_prefix(':')
+            .ok_or("missing `: reason`")?
+            .trim()
+            .to_string();
+        if r.is_empty() {
+            return Err("empty reason: every exemption must say why".to_string());
+        }
+        Ok(r)
+    };
+    let ledger_list = |kind: &str, rest: &str| -> Result<(Vec<Ledger>, String), String> {
+        let inner = rest
+            .trim_start()
+            .strip_prefix('(')
+            .and_then(|r| r.split_once(')'))
+            .ok_or_else(|| format!("malformed {kind}: expected `{kind}(ledger, ..): reason`"))?;
+        let mut ledgers = Vec::new();
+        for name in inner.0.split(',') {
+            match name.trim() {
+                "snap" => ledgers.push(Ledger::Snap),
+                "hash" => ledgers.push(Ledger::Hash),
+                other => {
+                    return Err(format!(
+                        "unknown ledger `{other}` (exemptable ledgers: snap, hash)"
+                    ))
+                }
+            }
+        }
+        if ledgers.is_empty() {
+            return Err(format!("{kind}() names no ledger"));
+        }
+        Ok((ledgers, reason_of(inner.1.trim_start())?))
+    };
+    if let Some(rest) = s.strip_prefix("skip") {
+        let (ledgers, reason) = ledger_list("skip", rest)?;
+        return Ok(Directive::Skip(ledgers, reason));
+    }
+    if let Some(rest) = s.strip_prefix("wholesale") {
+        let (ledgers, reason) = ledger_list("wholesale", rest)?;
+        return Ok(Directive::Wholesale(ledgers, reason));
+    }
+    if let Some(rest) = s.strip_prefix("scratch") {
+        return Ok(Directive::Scratch(reason_of(rest.trim_start())?));
+    }
+    if let Some(rest) = s.strip_prefix("leaf") {
+        return Ok(Directive::Leaf(reason_of(rest.trim_start())?));
+    }
+    Err(format!(
+        "unknown audit directive `{s}` (expected skip/wholesale/scratch/leaf)"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_struct(src: &str) -> StructDef {
+        let f = parse_file("t.rs", src);
+        assert!(f.errors.is_empty(), "{:?}", f.errors);
+        assert_eq!(f.structs.len(), 1, "{:?}", f.structs);
+        f.structs.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn named_fields_with_generics() {
+        let s = one_struct(
+            "pub struct Table<K: Ord, V> where V: Clone {\n\
+             \x20   pub map: FastMap<PageId, Vec<V>>,\n\
+             \x20   count: usize,\n\
+             }\n",
+        );
+        assert_eq!(s.name, "Table");
+        assert!(!s.tuple);
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[0].name, "map");
+        assert_eq!(s.fields[0].vis, "pub");
+        assert_eq!(s.fields[0].ty_idents, ["FastMap", "PageId", "Vec", "V"]);
+        assert_eq!(s.fields[1].name, "count");
+        assert_eq!(s.fields[1].vis, "");
+    }
+
+    #[test]
+    fn tuple_struct_fields_are_positional() {
+        let s = one_struct("pub struct Pair(pub u32, Vec<u8>);\n");
+        assert!(s.tuple);
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[0].name, "0");
+        assert_eq!(s.fields[0].vis, "pub");
+        assert_eq!(s.fields[1].name, "1");
+        assert_eq!(s.fields[1].ty_idents, ["Vec", "u8"]);
+    }
+
+    #[test]
+    fn cfg_gated_field_is_marked() {
+        let s = one_struct(
+            "struct S {\n\
+             \x20   #[cfg(test)]\n\
+             \x20   probe: u64,\n\
+             \x20   live: u64,\n\
+             }\n",
+        );
+        assert!(s.fields[0].cfg_test);
+        assert!(!s.fields[1].cfg_test);
+    }
+
+    #[test]
+    fn pub_crate_visibility_recorded() {
+        let s = one_struct("struct S { pub(crate) x: u8, pub(super) y: u8 }\n");
+        assert_eq!(s.fields[0].vis, "pub(crate)");
+        assert_eq!(s.fields[1].vis, "pub(super)");
+    }
+
+    #[test]
+    fn phantom_and_fn_pointer_types_parse() {
+        let s = one_struct("struct S<T> { _t: PhantomData<fn() -> T>, f: fn(u32) -> u64 }\n");
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[0].ty_idents, ["PhantomData", "T"]);
+    }
+
+    #[test]
+    fn impl_and_trait_bodies_attach_self_type() {
+        let f = parse_file(
+            "t.rs",
+            "struct A { x: u8 }\n\
+             impl A { fn encode_state(&self) { self.x; } }\n\
+             impl Display for A { fn fmt(&self) {} }\n\
+             trait T { fn save_state(&self) {} }\n\
+             fn free() {}\n",
+        );
+        let names: Vec<(String, Option<String>)> = f
+            .fns
+            .iter()
+            .map(|g| (g.name.clone(), g.self_ty.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                ("encode_state".into(), Some("A".into())),
+                ("fmt".into(), Some("A".into())),
+                ("save_state".into(), Some("T".into())),
+                ("free".into(), None),
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_items_are_invisible() {
+        let f = parse_file(
+            "t.rs",
+            "struct Live { x: u8 }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             \x20   struct Fixture { y: u8 }\n\
+             \x20   fn encode_state() {}\n\
+             }\n",
+        );
+        assert_eq!(f.structs.len(), 1);
+        assert!(f.fns.is_empty());
+    }
+
+    #[test]
+    fn annotations_bind_through_attrs_and_docs() {
+        let f = parse_file(
+            "t.rs",
+            "struct S {\n\
+             \x20   // audit: skip(snap, hash): host-only cache\n\
+             \x20   /// doc line\n\
+             \x20   #[allow(dead_code)]\n\
+             \x20   cache: u64,\n\
+             \x20   // audit: scratch: cleared by reset_stats\n\
+             \x20   count: u64,\n\
+             }\n",
+        );
+        assert!(f.errors.is_empty(), "{:?}", f.errors);
+        let s = &f.structs[0];
+        assert_eq!(
+            s.fields[0].skips,
+            [
+                (Ledger::Snap, "host-only cache".to_string()),
+                (Ledger::Hash, "host-only cache".to_string())
+            ]
+        );
+        assert_eq!(
+            s.fields[1].scratch.as_deref(),
+            Some("cleared by reset_stats")
+        );
+    }
+
+    #[test]
+    fn leaf_binds_to_struct() {
+        let f = parse_file(
+            "t.rs",
+            "// audit: leaf: plain value type\n\
+             #[derive(Clone)]\n\
+             pub struct Time(pub u64);\n",
+        );
+        assert!(f.errors.is_empty(), "{:?}", f.errors);
+        assert_eq!(f.structs[0].leaf.as_deref(), Some("plain value type"));
+    }
+
+    #[test]
+    fn wholesale_binds_and_conflicts_with_skip() {
+        let f = parse_file(
+            "t.rs",
+            "struct S {\n\
+             \x20   // audit: wholesale(hash): folded via span view\n\
+             \x20   spans: Vec<Span>,\n\
+             }\n",
+        );
+        assert!(f.errors.is_empty(), "{:?}", f.errors);
+        assert_eq!(
+            f.structs[0].fields[0].wholesale,
+            [(Ledger::Hash, "folded via span view".to_string())]
+        );
+        let g = parse_file(
+            "t.rs",
+            "struct S {\n\
+             \x20   // audit: skip(hash): gone\n\
+             \x20   // audit: wholesale(hash): also here\n\
+             \x20   spans: Vec<Span>,\n\
+             }\n",
+        );
+        assert_eq!(g.errors.len(), 1, "{:?}", g.errors);
+        assert!(
+            g.errors[0].contains("duplicate exemption"),
+            "{}",
+            g.errors[0]
+        );
+    }
+
+    #[test]
+    fn reasons_continue_on_following_comment_lines() {
+        let f = parse_file(
+            "t.rs",
+            "struct S {\n\
+             \x20   // audit: skip(snap): a reason that wraps\n\
+             \x20   // onto the next line\n\
+             \x20   /// doc text is not part of it\n\
+             \x20   x: u64,\n\
+             }\n",
+        );
+        assert!(f.errors.is_empty(), "{:?}", f.errors);
+        assert_eq!(
+            f.structs[0].fields[0].skips,
+            [(
+                Ledger::Snap,
+                "a reason that wraps onto the next line".to_string()
+            )]
+        );
+    }
+
+    #[test]
+    fn stale_annotation_is_an_error() {
+        let f = parse_file(
+            "t.rs",
+            "struct S {\n\
+             \x20   x: u64,\n\
+             \x20   // audit: skip(snap): the field below was deleted\n\
+             }\n",
+        );
+        assert_eq!(f.errors.len(), 1, "{:?}", f.errors);
+        assert!(f.errors[0].contains("stale"), "{}", f.errors[0]);
+        assert!(f.errors[0].contains("t.rs:3"), "{}", f.errors[0]);
+    }
+
+    #[test]
+    fn reasonless_exemption_is_an_error() {
+        let f = parse_file(
+            "t.rs",
+            "struct S {\n    // audit: skip(snap):\n    x: u64,\n}\n",
+        );
+        assert_eq!(f.errors.len(), 1);
+        assert!(f.errors[0].contains("empty reason"), "{}", f.errors[0]);
+    }
+
+    #[test]
+    fn annotation_over_code_gap_is_stale() {
+        let f = parse_file(
+            "t.rs",
+            "struct S {\n\
+             \x20   // audit: skip(snap): dangles\n\
+             \x20   x: u64, y: u64,\n\
+             }\n\
+             struct R { z: u64 }\n",
+        );
+        // Binds to field x (next anchored line) — fine. Now sever the gap:
+        assert!(f.errors.is_empty());
+        let g = parse_file(
+            "t.rs",
+            "fn noise() {}\n\
+             // audit: skip(snap): dangles\n\
+             fn more_noise() {}\n\
+             struct R { z: u64 }\n",
+        );
+        assert_eq!(g.errors.len(), 1);
+        assert!(g.errors[0].contains("stale"));
+    }
+}

@@ -1,0 +1,311 @@
+//! The structural lint rules, rebuilt on the token layer.
+//!
+//! These started life in dsm-lint as substring needles over
+//! comment-stripped lines; here they bind to syntax: call sites are
+//! identifier-followed-by-`(` tokens (never `fn` definitions), statement
+//! boundaries are `;`/`{`/`}` tokens, and the pid-width patterns match
+//! token sequences, so prose, strings, and creative formatting can
+//! neither trigger nor dodge them.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One rule finding: source line, rule id, message.
+#[derive(Debug)]
+pub struct Finding {
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+/// Source prefixes allowed to call the transport's send entry points.
+pub const SEND_ALLOWED: [&str; 3] = [
+    "crates/net/src/",
+    "crates/core/src/proto/",
+    "crates/core/src/drive/",
+];
+
+/// Source trees under the sparse-scaling contract (`dense-by-nodes`).
+pub const DENSE_SCOPE: [&str; 2] = ["crates/core/src/proto/", "crates/check/src/"];
+
+/// The node-count-indexed allocation check only applies to per-page
+/// protocol state; one-entry-per-process vectors elsewhere are fine.
+pub const DENSE_ALLOC_SCOPE: [&str; 1] = ["crates/core/src/proto/"];
+
+/// Transport discipline: raw send call sites outside the protocol
+/// engine, wire internals outside the transport, and discarded
+/// [`FlushOutcome`]s. `rel` is the workspace-relative path.
+pub fn check_sends(rel: &str, toks: &[Tok]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let in_engine = SEND_ALLOWED.iter().any(|p| rel.starts_with(p));
+    let in_net = rel.starts_with("crates/net/src/");
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let wire_internal = matches!(t.text.as_str(), "resolve_reliable" | "resolve_flush");
+        if !wire_internal && !matches!(t.text.as_str(), "send_reliable" | "send_flush") {
+            continue;
+        }
+        if toks.get(i + 1).is_none_or(|n| n.text != "(") {
+            continue; // a mention, not a call or definition
+        }
+        if i > 0 && toks[i - 1].text == "fn" {
+            continue; // the definition itself
+        }
+        if wire_internal {
+            if !in_net {
+                findings.push(Finding {
+                    line: t.line,
+                    rule: "send-raw",
+                    msg: format!(
+                        "wire internal `{}(..)` used outside crates/net \
+                         (go through send_reliable/send_flush)",
+                        t.text
+                    ),
+                });
+            }
+            continue;
+        }
+        if !in_engine {
+            findings.push(Finding {
+                line: t.line,
+                rule: "send-raw",
+                msg: format!(
+                    "direct network `{}(..)` outside the protocol engine \
+                     (messages must flow through crates/core proto/drive \
+                     so costs, stats, and fault injection apply)",
+                    t.text
+                ),
+            });
+            continue;
+        }
+        if t.text == "send_flush" && flush_outcome_discarded(toks, i) {
+            findings.push(Finding {
+                line: t.line,
+                rule: "flush-outcome",
+                msg: "FlushOutcome discarded: the delivered/duplicated flags are \
+                      the only record of loss or duplication and must be consumed"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// Statement-prefix binding analysis for a `send_flush` call at token
+/// index `at`: the outcome is discarded when the call is an expression
+/// statement or is bound to a `_`-named local.
+fn flush_outcome_discarded(toks: &[Tok], at: usize) -> bool {
+    // The statement this call belongs to.
+    let stmt = toks[..at]
+        .iter()
+        .rposition(|t| matches!(t.text.as_str(), ";" | "{" | "}"))
+        .map_or(0, |p| p + 1);
+    let prefix = &toks[stmt..at];
+    if let Some(let_at) = prefix.iter().position(|t| t.text == "let") {
+        // The bound name: first identifier after `let` (skipping `mut`).
+        let name = prefix[let_at + 1..]
+            .iter()
+            .find(|t| t.text != "mut")
+            .map_or("", |t| t.text.as_str());
+        return name.starts_with('_');
+    }
+    // No `let`: consumed when nested in a larger expression (an argument
+    // or macro operand leaves an open paren in the prefix; an assignment
+    // leaves an `=`; a `match`/`return`/`if`/`while` scrutinee flows
+    // onward). A bare receiver chain is an expression statement.
+    !prefix.iter().any(|t| {
+        t.text.contains('=')
+            || t.text == "("
+            || matches!(t.text.as_str(), "match" | "return" | "if" | "while")
+    })
+}
+
+/// Sparse-scaling contract: node-count-sized allocations in protocol
+/// state, and fixed 64-wide pid arithmetic there or in the checker.
+pub fn check_dense(rel: &str, toks: &[Tok]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if !DENSE_SCOPE.iter().any(|p| rel.starts_with(p)) {
+        return findings;
+    }
+    let alloc_scope = DENSE_ALLOC_SCOPE.iter().any(|p| rel.starts_with(p));
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        // `vec![ ..; <len mentioning nprocs/nodes> ]`
+        if alloc_scope
+            && t.text == "vec"
+            && toks.get(i + 1).is_some_and(|n| n.text == "!")
+            && toks.get(i + 2).is_some_and(|n| n.text == "[")
+        {
+            let mut depth = 0i64;
+            let mut semi = None;
+            let mut j = i + 2;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "[" | "(" => depth += 1,
+                    "]" | ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ";" if depth == 1 => semi = Some(j),
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(s) = semi {
+                let len_names = toks[s + 1..j]
+                    .iter()
+                    .any(|t| matches!(t.text.as_str(), "nprocs" | "nodes"));
+                if len_names {
+                    findings.push(Finding {
+                        line: t.line,
+                        rule: "dense-by-nodes",
+                        msg: "node-count-sized allocation in protocol state: per-page \
+                              tables must stay sparse (O(sharers), not O(N))"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        // Fixed 64-wide pid arithmetic: `<< pid`, `% 64`, `& 63`, `0..64`.
+        let fixed_width = (t.text == "<"
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| n.text == "<" && n.pos == t.pos + 1)
+            && toks.get(i + 2).is_some_and(|n| n.text == "pid"))
+            || (t.text == "%" && toks.get(i + 1).is_some_and(|n| n.text == "64"))
+            || (t.text == "&" && toks.get(i + 1).is_some_and(|n| n.text == "63"))
+            || (t.text == "0"
+                && toks.get(i + 1).is_some_and(|n| n.text == "..")
+                && toks.get(i + 2).is_some_and(|n| n.text == "64"));
+        if fixed_width {
+            findings.push(Finding {
+                line: t.line,
+                rule: "dense-by-nodes",
+                msg: "fixed 64-wide pid arithmetic: breaks silently for pid >= 64 \
+                      (use CopySet or a spill table)"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).toks
+    }
+
+    #[test]
+    fn raw_send_outside_engine_flagged() {
+        let src = "let tr = self.net.send_reliable(a, b, k, 0, now);";
+        let f = check_sends("crates/apps/src/sor.rs", &toks(src));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "send-raw");
+        assert!(check_sends("crates/core/src/proto/bar.rs", &toks(src)).is_empty());
+    }
+
+    #[test]
+    fn examples_and_bench_are_not_engine_paths() {
+        let src = "net.send_flush(p, q, k, n);";
+        for rel in ["examples/quickstart.rs", "crates/bench/src/paper.rs"] {
+            let f = check_sends(rel, &toks(src));
+            assert_eq!(f.len(), 1, "{rel}");
+            assert_eq!(f[0].rule, "send-raw", "{rel}");
+        }
+    }
+
+    #[test]
+    fn wire_internals_outside_net_flagged() {
+        let src = "let d = self.wire.resolve_flush(src, dst, legs, s);";
+        assert_eq!(
+            check_sends("crates/core/src/proto/bar.rs", &toks(src)).len(),
+            1
+        );
+        assert!(check_sends("crates/net/src/network.rs", &toks(src)).is_empty());
+    }
+
+    #[test]
+    fn discarded_flush_outcome_flagged() {
+        for src in [
+            "self.net.send_flush(p, q, k, n);",
+            "let _ = self.net.send_flush(p, q, k, n);",
+            "let _out = self\n    .net\n    .send_flush(p, q, k, n);",
+            "let mut _scratch = self.net.send_flush(p, q, k, n);",
+        ] {
+            let f = check_sends("crates/core/src/proto/bar.rs", &toks(src));
+            assert_eq!(f.len(), 1, "{src}");
+            assert_eq!(f[0].rule, "flush-outcome", "{src}");
+        }
+        for ok in [
+            "let out = self\n    .net\n    .send_flush(p, q, k, n);\nuse_(out.delivered);",
+            "consume(self.net.send_flush(p, q, k, n));",
+            "match self.net.send_flush(p, q, k, n) { _ => {} }",
+            "total += self.net.send_flush(p, q, k, n).delivered as u64;",
+        ] {
+            assert!(
+                check_sends("crates/core/src/proto/bar.rs", &toks(ok)).is_empty(),
+                "{ok}"
+            );
+        }
+    }
+
+    #[test]
+    fn send_definitions_and_prose_not_flagged() {
+        let def = "pub fn send_flush(&mut self, src: usize) -> FlushOutcome {";
+        assert!(check_sends("crates/net/src/network.rs", &toks(def)).is_empty());
+        // Comments and strings never reach the token stream.
+        let prose = "// send_flush(..) is documented here\nlet s = \"send_reliable(\";";
+        assert!(check_sends("crates/apps/src/sor.rs", &toks(prose)).is_empty());
+    }
+
+    #[test]
+    fn dense_alloc_in_proto_flagged() {
+        let src = "let owners = vec![0u32; nprocs];";
+        let f = check_dense("crates/core/src/proto/bar.rs", &toks(src));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "dense-by-nodes");
+        assert!(check_dense("crates/check/src/race.rs", &toks(src)).is_empty());
+        assert!(check_dense("crates/sim/src/lib.rs", &toks(src)).is_empty());
+        // A vec sized by something else is fine.
+        let ok = "let xs = vec![0u32; npages];";
+        assert!(check_dense("crates/core/src/proto/bar.rs", &toks(ok)).is_empty());
+    }
+
+    #[test]
+    fn fixed_pid_width_flagged() {
+        for src in [
+            "mask |= 1u64 << pid;",
+            "for p in 0..64 {",
+            "let slot = pid % 64;",
+            "let bit = pid & 63;",
+        ] {
+            for rel in [
+                "crates/core/src/proto/copyset.rs",
+                "crates/check/src/race.rs",
+            ] {
+                let f = check_dense(rel, &toks(src));
+                assert_eq!(f.len(), 1, "{rel}: {src}");
+                assert_eq!(f[0].rule, "dense-by-nodes", "{rel}: {src}");
+            }
+        }
+        // N-sized arithmetic is fine; so are prose and generics.
+        for ok in [
+            "let home = page % nprocs;",
+            "// the old bitmap did 1 << pid and wrapped at % 64",
+            "let t: Vec<Vec<u64>> = grid(pid);",
+        ] {
+            assert!(
+                check_dense("crates/core/src/proto/bar.rs", &toks(ok)).is_empty(),
+                "{ok}"
+            );
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Planted-drift fixtures: the prover must catch exactly the two ways an
+//! annotation-based contract rots — a field the codec silently stopped
+//! serializing, and an exemption comment that outlived its field — and
+//! must name the struct and field precisely, because the whole value of
+//! the audit is that the diagnostic is actionable without a manual diff.
+
+use dsm_audit::model::{audit, AuditConfig, SourceFile};
+
+fn files(cluster: &str, snap: &str, hash: &str) -> Vec<SourceFile> {
+    let f = |rel: &str, text: &str| SourceFile {
+        rel: rel.to_string(),
+        text: text.to_string(),
+    };
+    vec![
+        f("crates/core/src/drive/cluster.rs", cluster),
+        f("crates/core/src/drive/snap.rs", snap),
+        f("crates/core/src/drive/hash.rs", hash),
+    ]
+}
+
+const HASH_ALL: &str = "impl Cluster {\n\
+    \x20   fn state_hash(&self) -> u64 {\n\
+    \x20       fold(self.seq, self.epoch, self.drifted)\n\
+    \x20   }\n\
+    }\n";
+
+#[test]
+fn planted_drift_is_caught_field_precisely() {
+    // `drifted` exists on the struct but the codec never names it, and a
+    // skip comment dangles where its field used to be.
+    let cluster = "pub struct Cluster {\n\
+        \x20   pub seq: u64,\n\
+        \x20   pub epoch: u64,\n\
+        \x20   pub drifted: u64,\n\
+        \x20   // audit: skip(snap): the field this excused was deleted\n\
+        }\n";
+    let snap = "impl Cluster {\n\
+        \x20   fn encode_state(&self) {\n\
+        \x20       put(self.seq);\n\
+        \x20       put(self.epoch);\n\
+        \x20   }\n\
+        }\n";
+    let out = audit(&files(cluster, snap, HASH_ALL), &AuditConfig::default());
+    assert_eq!(out.errors.len(), 2, "{:?}", out.errors);
+    let drift = out
+        .errors
+        .iter()
+        .find(|e| e.contains("`Cluster.drifted` is not covered"))
+        .expect("missing-field diagnostic");
+    assert!(drift.starts_with("[snap]"), "{drift}");
+    assert!(
+        drift.contains("crates/core/src/drive/cluster.rs:4"),
+        "{drift}"
+    );
+    let stale = out
+        .errors
+        .iter()
+        .find(|e| e.contains("stale `// audit:` annotation"))
+        .expect("stale-annotation diagnostic");
+    assert!(
+        stale.contains("crates/core/src/drive/cluster.rs:5"),
+        "{stale}"
+    );
+}
+
+#[test]
+fn corrected_fixture_passes() {
+    // Same source set with the drift repaired: the codec serializes the
+    // field and the dangling comment is gone.
+    let cluster = "pub struct Cluster {\n\
+        \x20   pub seq: u64,\n\
+        \x20   pub epoch: u64,\n\
+        \x20   pub drifted: u64,\n\
+        }\n";
+    let snap = "impl Cluster {\n\
+        \x20   fn encode_state(&self) {\n\
+        \x20       put(self.seq);\n\
+        \x20       put(self.epoch);\n\
+        \x20       put(self.drifted);\n\
+        \x20   }\n\
+        }\n";
+    let out = audit(&files(cluster, snap, HASH_ALL), &AuditConfig::default());
+    assert_eq!(out.errors, Vec::<String>::new());
+    assert!(
+        out.report
+            .contains("coverage[snap]: 3 fields audited, 3 covered, 0 exempt, 0 uncovered"),
+        "{}",
+        out.report
+    );
+}
+
+#[test]
+fn exemption_with_reason_passes_and_is_reported() {
+    // The sanctioned fix for genuinely derived state: a reasoned skip.
+    let cluster = "pub struct Cluster {\n\
+        \x20   pub seq: u64,\n\
+        \x20   pub epoch: u64,\n\
+        \x20   // audit: skip(snap): rebuilt from seq on restore\n\
+        \x20   pub drifted: u64,\n\
+        }\n";
+    let snap = "impl Cluster {\n\
+        \x20   fn encode_state(&self) {\n\
+        \x20       put(self.seq);\n\
+        \x20       put(self.epoch);\n\
+        \x20   }\n\
+        }\n";
+    let out = audit(&files(cluster, snap, HASH_ALL), &AuditConfig::default());
+    assert_eq!(out.errors, Vec::<String>::new());
+    assert!(
+        out.report
+            .contains("- drifted: exempt (rebuilt from seq on restore)"),
+        "{}",
+        out.report
+    );
+}

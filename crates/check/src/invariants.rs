@@ -50,6 +50,8 @@ pub enum CopysetRule {
 type LiveNotices = FastMap<(u32, u16, u64), u32>;
 
 pub struct InvariantState {
+    // audit: skip(snap): construction-time configuration, reinstalled by the
+    // restore path alongside the run config
     rule: CopysetRule,
     /// Last version value seen per page.
     versions: FastMap<u32, u32>,
@@ -70,6 +72,8 @@ pub struct InvariantState {
     flagged_dup: FastSet<(u32, u16, u16)>,
     /// The static region certificates the run was configured with (bar-r
     /// only); elision events are validated against these.
+    // audit: skip(snap): static region certificates from config, reinstalled
+    // at construction on restore
     regions: Option<Arc<RegionTable>>,
     /// (page, writer) pairs already reported for an ungrounded elision.
     flagged_elision: FastSet<(u32, u16)>,

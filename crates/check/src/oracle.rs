@@ -41,7 +41,9 @@ pub struct OracleState {
     /// `log2(page_size)` / `page_size - 1`: page sizes are powers of two
     /// by the VM's own assertion, so the per-access page/offset split is a
     /// shift and a mask instead of a division by a runtime value.
+    // audit: skip(snap): derived from page_size at construction
     ps_shift: u32,
+    // audit: skip(snap): derived from page_size at construction
     ps_mask: usize,
     /// Globally committed bytes (everything up to the last barrier),
     /// indexed densely by page number (`None` = untouched, implicitly

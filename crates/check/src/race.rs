@@ -88,6 +88,7 @@ pub struct RaceState {
     /// `log2(words_per_page)`; page sizes are powers of two by the VM's
     /// own assertion, and a shift beats a division by a runtime value in
     /// the per-access loop.
+    // audit: skip(snap): derived from words_per_page at construction
     wpp_shift: u32,
 }
 

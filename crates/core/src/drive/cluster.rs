@@ -27,11 +27,15 @@ use crate::proto::overdrive::{OdMode, OdProc};
 
 /// One simulated process.
 pub struct Proc {
+    // audit: skip(hash): virtual time is excluded by design — timing never
+    // influences control flow or the checker
     pub(crate) clock: Clock,
     pub(crate) store: PageStore,
     /// Pages write-trapped (or overdrive-predicted) this epoch, in order.
     pub(crate) dirty: Vec<PageId>,
     /// Protection changes issued this epoch (stress-model input).
+    // audit: skip(hash): per-epoch cost-model input, timing-only
+    // audit: scratch: per-epoch protection counter, zeroed in barrier_core
     pub(crate) protect_ops_epoch: u32,
     /// Homeless-protocol per-process state.
     pub(crate) lmw: LmwProc,
@@ -57,17 +61,29 @@ impl Proc {
 // migration_pending, ...), not an encoded state machine.
 #[allow(clippy::struct_excessive_bools)]
 pub struct Cluster {
+    // audit: skip(snap, hash): immutable per-run; the snapshot pins it as
+    // config_digest and restore re-supplies the same config
     pub(crate) cfg: RunConfig,
+    // audit: skip(hash): allocation layout is frozen at distribute() and is a
+    // pure function of the config, which the snapshot pins
     pub(crate) seg: SharedSegment,
     /// Golden initial contents of every page (what setup wrote).
+    // audit: skip(hash): frozen at distribute(); identical by construction for
+    // equal configs (restore verifies image_digest)
     pub(crate) image: Vec<PageBuf>,
     pub(crate) procs: Vec<Proc>,
+    // audit: skip(hash): wire/transport bookkeeping affects timing only;
+    // excluded like clocks and cost statistics
     pub(crate) net: Network,
+    // audit: skip(hash): cost statistics are excluded by design — timing never
+    // influences control flow or the checker
+    // audit: scratch: measurement counters, reset wholesale at start_measurement
     pub(crate) stats: RunStats,
     /// Barrier counter; the epoch between barriers `k-1` and `k` is `k`.
     pub(crate) epoch: u64,
     pub(crate) iter: usize,
     pub(crate) site: usize,
+    // audit: skip(hash): fixed per-app phase count, set once at distribute()
     pub(crate) phases_per_iter: usize,
     /// Per-page home process (bar protocols).
     pub(crate) homes: Vec<usize>,
@@ -94,15 +110,24 @@ pub struct Cluster {
     pub(crate) od_mode: OdMode,
     pub(crate) od_revert_pending: bool,
     /// Deliveries queued during the pre-barrier step, consumed at release.
+    // audit: skip(hash): intra-barrier scratch; hashes are taken at barriers,
+    // where barrier_core proves it drained
     pub(crate) bar_deliveries: BarDeliveries,
+    // audit: skip(hash): measurement-window flag; never influences protocol
+    // decisions
     pub(crate) measuring: bool,
     /// Result of the most recent reduction, visible to all processes.
     pub(crate) last_reduction: Vec<f64>,
     /// Hidden shared arrays backing reduction emulation on lmw.
+    // audit: skip(hash): base/len windows into the shared segment; the backing
+    // data lives in pages already folded by frame_hash
     pub(crate) reduce_mem: Option<crate::drive::reduce::ReduceMem>,
+    // audit: skip(hash): setup-phase latch, always true once the cluster runs
     pub(crate) distributed: bool,
     /// Optional checking sink; `None` (the default) costs one branch per
     /// choke point and leaves the run bit-identical to an unchecked one.
+    // audit: skip(hash): the sink's observable history is folded via
+    // trace_hash as events are emitted; oracle internals are derived state
     pub(crate) check: Option<Box<dyn CheckSink>>,
     /// Decision scheduler shared with the network. The default
     /// [`VirtualTimeScheduler`] reproduces historical behaviour exactly;
@@ -126,6 +151,8 @@ pub struct Cluster {
     /// Host-side free-lists recycling twin buffers and diff run storage
     /// across flushes. Pure wall-clock optimization: pooled memory is
     /// always fully overwritten before reuse and carries no virtual cost.
+    // audit: skip(hash): host-side free-list; recycled buffers carry no
+    // logical state
     pub(crate) pool: BufPool,
 }
 

@@ -9,6 +9,8 @@ use dsm_vm::Pod;
 /// Handles are plain `Copy` descriptors — all state lives in the cluster.
 /// Element and range accessors take an [`crate::drive::ctx::ExecCtx`] and go
 /// through the full protection-check/fault path.
+// audit: leaf: a plain base/len descriptor — all element data lives in shared
+// segment pages, snapshotted and hashed with the frames that hold them
 #[derive(Debug)]
 pub struct SharedArray<T: Pod> {
     base: usize,

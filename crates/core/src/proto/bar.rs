@@ -33,16 +33,21 @@ pub const BUMP_WIRE_BYTES: usize = 12;
 #[derive(Default)]
 pub struct BarDeliveries {
     /// Diffs flushed to their home: `(home, page, diff, receiver leg)`.
+    // audit: scratch: drained at release; barrier_core asserts it empty
     pub home_flushes: Vec<(usize, PageId, Diff, Time)>,
     /// Update pushes to consumers: `(dst, page, diff, receiver leg)`.
+    // audit: scratch: drained at release; barrier_core asserts it empty
     pub bar_updates: Vec<(usize, PageId, Diff, Time)>,
     /// lmw-u update flushes: `(dst, page, writer, lo, hi, diff, receiver leg)`.
+    // audit: scratch: drained at release; barrier_core asserts it empty
     pub lmw_updates: Vec<(usize, PageId, u16, u64, u64, Diff, Time)>,
     /// Pages bumped this barrier: `(page, old_version, new_version)`,
     /// page-sorted at collection time for deterministic iteration.
+    // audit: scratch: cleared in barrier_core after homes fold the bumps
     pub bumps: Vec<(PageId, u32, u32)>,
     /// Who contributed each bump: `(writer, page)`. Lets a writer account
     /// for its own modifications when deciding whether its copy is current.
+    // audit: scratch: cleared in barrier_core after homes fold the bumps
     pub writer_bumps: Vec<(usize, PageId)>,
 }
 

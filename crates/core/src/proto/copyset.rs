@@ -22,6 +22,8 @@ pub struct CopySet {
     /// Bit `p` set iff process `p < 64` is a member.
     lo: u64,
     /// Members `>= 64`, ascending, no duplicates.
+    // audit: wholesale(hash): digest_words() folds the bitmap word and every
+    // spill entry alike
     spill: Vec<u16>,
 }
 

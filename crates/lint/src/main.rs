@@ -19,35 +19,21 @@
 //! * `env-read` — `std::env` reads in library code (behavior must not
 //!   depend on the invoking environment).
 //!
-//! A second, structural pass enforces the transport discipline:
+//! A second, structural pass enforces the transport discipline
+//! (`send-raw`, `flush-outcome`) and the sparse-scaling contract
+//! (`dense-by-nodes`). Those rules live in [`dsm_audit::rules`] on the
+//! shared token layer — they bind to call-site and statement syntax, not
+//! substrings — and this binary applies them over a wider net than the
+//! determinism needles: `examples/` and `crates/bench/src` can also reach
+//! the transport, so they are scanned for raw sends and discarded
+//! [`FlushOutcome`]s too (the determinism rules stay library-only — host
+//! timing is bench's job, and examples may read the environment).
 //!
-//! * `send-raw` — `send_reliable` / `send_flush` call sites outside the
-//!   protocol engine (`crates/core/src/proto/`, `crates/core/src/drive/`)
-//!   and the transport itself (`crates/net/src/`), plus any use of the
-//!   wire internals (`resolve_reliable` / `resolve_flush`) outside
-//!   `crates/net/src/`. Every message must flow through the protocol
-//!   layer so costs, statistics, and fault injection cannot be bypassed;
-//! * `flush-outcome` — a `send_flush` whose [`FlushOutcome`] is discarded
-//!   (expression statement, or bound to `_`). Flushes are charge-then-
-//!   drop: the `delivered` / `duplicated` flags are the only record that
-//!   the message may have been lost or delivered twice, and a caller that
-//!   drops them silently treats a lossy wire as reliable.
-//!
-//! A third pass enforces the sparse-scaling contract from `dsm-scale`:
-//!
-//! * `dense-by-nodes` — node-count-sized allocations
-//!   (`vec![..; nprocs]`-shaped) inside the protocol engine
-//!   (`crates/core/src/proto/`), and fixed 64-wide pid arithmetic
-//!   (`1 << pid` bitmaps, `% 64` / `& 63` folds, `0..64` sweeps) there or
-//!   in the checker (`crates/check/src/`). The sparsity certificates
-//!   prove per-page protocol state stays O(sharers); a dense table
-//!   re-densifies it and a word-width pid assumption breaks silently at
-//!   N > 64 — the exact bug class the lazy sparse refactor removed.
-//!
-//! Deliberate exceptions live in `lint-allow.toml` at the workspace root
-//! (hand-parsed here — the workspace is dependency-free by design). Every
-//! entry names a file, a rule, and a reason; stale entries that no longer
-//! match anything are themselves errors, so the allowlist cannot rot.
+//! Deliberate exceptions live in `lint-allow.toml` at the workspace root,
+//! parsed by the shared [`dsm_audit::allow`] reader (the workspace is
+//! dependency-free by design). Every entry names a file, a rule, and a
+//! reason; stale entries that no longer match anything are themselves
+//! errors, so the allowlist cannot rot.
 //!
 //! Comments and string literals are stripped before matching: the rules
 //! bind to code, not to prose about code.
@@ -57,12 +43,21 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use dsm_audit::allow::parse_allowlist;
+use dsm_audit::lexer::lex;
+use dsm_audit::rules::{check_dense, check_sends};
+
 /// Library source trees under the determinism contract. `bench` (host
 /// timing is its job) and this crate are deliberately outside it; test
 /// directories are too (asserting over a `HashMap` is harmless).
 const CRATES: [&str; 8] = [
     "sim", "vm", "net", "core", "check", "explore", "apps", "plan",
 ];
+
+/// Extra source trees under the *transport* rules only: examples and the
+/// bench harness drive real clusters, so a raw `send_flush` there skips
+/// costs and fault injection exactly as it would in a library crate.
+const TRANSPORT_EXTRA: [&str; 2] = ["examples", "crates/bench/src"];
 
 /// One banned-pattern rule: an id for the allowlist, the needles that
 /// trigger it, and the contract it protects.
@@ -100,77 +95,6 @@ const RULES: [Rule; 5] = [
     },
 ];
 
-/// One `[[allow]]` entry from lint-allow.toml.
-#[derive(Debug)]
-struct Allow {
-    file: String,
-    rule: String,
-    reason: String,
-    /// Set once a violation consumes the entry; unused entries are stale.
-    used: bool,
-}
-
-/// Hand-rolled parser for the tiny TOML subset the allowlist uses:
-/// `[[allow]]` table headers and `key = "value"` pairs. Anything else is
-/// a hard error — the format is the contract.
-fn parse_allowlist(text: &str) -> Result<Vec<Allow>, String> {
-    let mut out: Vec<Allow> = Vec::new();
-    let mut cur: Option<(Option<String>, Option<String>, Option<String>)> = None;
-    let finish = |cur: &mut Option<(Option<String>, Option<String>, Option<String>)>,
-                  out: &mut Vec<Allow>|
-     -> Result<(), String> {
-        if let Some((f, r, why)) = cur.take() {
-            let entry = Allow {
-                file: f.ok_or("entry missing `file`")?,
-                rule: r.ok_or("entry missing `rule`")?,
-                reason: why.ok_or("entry missing `reason`")?,
-                used: false,
-            };
-            out.push(entry);
-        }
-        Ok(())
-    };
-    for (ln, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        if line == "[[allow]]" {
-            finish(&mut cur, &mut out)?;
-            cur = Some((None, None, None));
-            continue;
-        }
-        let Some((key, val)) = line.split_once('=') else {
-            return Err(format!("lint-allow.toml:{}: unparseable line", ln + 1));
-        };
-        let key = key.trim();
-        let val = val.trim();
-        let Some(val) = val.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
-            return Err(format!(
-                "lint-allow.toml:{}: value must be a double-quoted string",
-                ln + 1
-            ));
-        };
-        let Some(entry) = cur.as_mut() else {
-            return Err(format!(
-                "lint-allow.toml:{}: key outside an [[allow]] entry",
-                ln + 1
-            ));
-        };
-        let slot = match key {
-            "file" => &mut entry.0,
-            "rule" => &mut entry.1,
-            "reason" => &mut entry.2,
-            other => return Err(format!("lint-allow.toml:{}: unknown key `{other}`", ln + 1)),
-        };
-        if slot.replace(val.to_string()).is_some() {
-            return Err(format!("lint-allow.toml:{}: duplicate `{key}`", ln + 1));
-        }
-    }
-    finish(&mut cur, &mut out)?;
-    Ok(out)
-}
-
 /// Strip `//` comments and the contents of ordinary string literals, so
 /// rules match code only. Char literals and raw strings don't occur with
 /// banned needles in this codebase; the stripper stays simple on purpose.
@@ -204,169 +128,6 @@ fn strip_noise(line: &str) -> String {
     out
 }
 
-/// Source trees under the sparse-scaling contract: protocol state must
-/// not be allocated dense by node count, and nothing may assume a 64-wide
-/// pid space. The `dsm-scale` sparsity certificates prove per-page state
-/// stays O(sharers); a `vec![..; nprocs]` table or a `1u64 << pid` bitmap
-/// silently re-densifies it (or, worse, wraps past pid 63 — the race-
-/// detector reader-bitmap bug this rule was written against).
-const DENSE_SCOPE: [&str; 2] = ["crates/core/src/proto/", "crates/check/src/"];
-
-/// The node-count-indexed allocation check only applies to per-page
-/// protocol state; top-level one-entry-per-process vectors elsewhere
-/// (clocks, per-proc overlays) are the intended shape.
-const DENSE_ALLOC_SCOPE: [&str; 1] = ["crates/core/src/proto/"];
-
-/// The structural dense-by-nodes pass over one file's stripped lines:
-/// `vec![..; nprocs]`-shaped allocations in protocol state, and fixed
-/// word-width pid arithmetic anywhere in scope.
-fn check_dense(rel: &str, stripped: &[String]) -> Vec<(usize, &'static str, String)> {
-    let mut findings = Vec::new();
-    if !DENSE_SCOPE.iter().any(|p| rel.starts_with(p)) {
-        return findings;
-    }
-    let alloc_scope = DENSE_ALLOC_SCOPE.iter().any(|p| rel.starts_with(p));
-    for (ln, code) in stripped.iter().enumerate() {
-        if alloc_scope
-            && code.contains("vec![")
-            && ["; nprocs", "nprocs()]", "; nodes"]
-                .iter()
-                .any(|n| code.contains(n))
-        {
-            findings.push((
-                ln + 1,
-                "dense-by-nodes",
-                "node-count-sized allocation in protocol state: per-page tables \
-                 must stay sparse (O(sharers), not O(N))"
-                    .to_string(),
-            ));
-        }
-        if ["0..64", "<< pid", "% 64", "& 63"]
-            .iter()
-            .any(|n| code.contains(n))
-        {
-            findings.push((
-                ln + 1,
-                "dense-by-nodes",
-                "fixed 64-wide pid arithmetic: breaks silently for pid >= 64 \
-                 (use CopySet or a spill table)"
-                    .to_string(),
-            ));
-        }
-    }
-    findings
-}
-
-/// Source prefixes allowed to call the transport's send entry points.
-const SEND_ALLOWED: [&str; 3] = [
-    "crates/net/src/",
-    "crates/core/src/proto/",
-    "crates/core/src/drive/",
-];
-
-/// The structural transport pass over one file's comment- and
-/// string-stripped lines: raw send call sites outside the protocol
-/// engine, wire internals outside the transport, and discarded
-/// `FlushOutcome`s. Returns `(line, rule, message)` findings.
-fn check_sends(rel: &str, stripped: &[String]) -> Vec<(usize, &'static str, String)> {
-    let mut findings = Vec::new();
-    // Join with line-offset bookkeeping so statement prefixes can cross
-    // lines (rustfmt splits `self.net.send_flush(..)` freely).
-    let mut joined = String::new();
-    let mut line_at = Vec::new();
-    for (ln, code) in stripped.iter().enumerate() {
-        for _ in code.chars() {
-            line_at.push(ln + 1);
-        }
-        line_at.push(ln + 1);
-        joined.push_str(code);
-        joined.push('\n');
-    }
-    let in_engine = SEND_ALLOWED.iter().any(|p| rel.starts_with(p));
-    let in_net = rel.starts_with("crates/net/src/");
-    for needle in [
-        "send_reliable(",
-        "send_flush(",
-        "resolve_reliable(",
-        "resolve_flush(",
-    ] {
-        let wire_internal = needle.starts_with("resolve_");
-        let mut from = 0;
-        while let Some(i) = joined[from..].find(needle) {
-            let at = from + i;
-            from = at + needle.len();
-            let line = line_at[at];
-            // The statement this occurrence belongs to, for definition
-            // detection and binding analysis.
-            let stmt = joined[..at].rfind([';', '{', '}']).map_or(0, |p| p + 1);
-            let prefix = joined[stmt..at].trim();
-            if prefix.split_whitespace().any(|t| t == "fn") {
-                continue; // the definition itself, not a call site
-            }
-            if wire_internal {
-                if !in_net {
-                    findings.push((
-                        line,
-                        "send-raw",
-                        format!(
-                            "wire internal `{needle}..)` used outside crates/net \
-                             (go through send_reliable/send_flush)"
-                        ),
-                    ));
-                }
-                continue;
-            }
-            if !in_engine {
-                findings.push((
-                    line,
-                    "send-raw",
-                    format!(
-                        "direct network `{needle}..)` outside the protocol engine \
-                         (messages must flow through crates/core proto/drive \
-                         so costs, stats, and fault injection apply)"
-                    ),
-                ));
-                continue;
-            }
-            if needle == "send_flush(" {
-                // The FlushOutcome must be bound to a real name: an
-                // expression statement or a `_` binding silently treats
-                // the lossy wire as reliable.
-                let bound = prefix
-                    .split_once("let")
-                    .and_then(|(_, r)| r.split_once('='))
-                    .map(|(name, _)| name.trim().to_string());
-                let discarded = match &bound {
-                    Some(name) => name == "_" || name.starts_with('_'),
-                    // No `let`: the outcome is consumed when the call is
-                    // nested in a larger expression (an argument or macro
-                    // operand leaves an open paren in the prefix, a
-                    // `match`/`return`/`if` scrutinee flows onward); a
-                    // bare receiver chain is an expression statement that
-                    // drops it.
-                    None => {
-                        !prefix.contains('=')
-                            && !prefix.contains('(')
-                            && !prefix
-                                .split_whitespace()
-                                .any(|t| matches!(t, "match" | "return" | "if" | "while"))
-                    }
-                };
-                if discarded {
-                    findings.push((
-                        line,
-                        "flush-outcome",
-                        "FlushOutcome discarded: the delivered/duplicated flags are \
-                         the only record of loss or duplication and must be consumed"
-                            .to_string(),
-                    ));
-                }
-            }
-        }
-    }
-    findings
-}
-
 fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let path = entry?.path();
@@ -384,15 +145,26 @@ fn run(root: &Path) -> Result<Vec<String>, String> {
         .map_err(|e| format!("reading lint-allow.toml: {e}"))?;
     let mut allows = parse_allowlist(&allow_text)?;
 
-    let mut files: Vec<PathBuf> = Vec::new();
+    // (path, under the determinism needle rules?). The transport and
+    // dense token rules apply to every scanned file; their own path
+    // scoping decides what can fire where.
+    let mut files: Vec<(PathBuf, bool)> = Vec::new();
+    let walk = |dir: PathBuf, needles: bool, files: &mut Vec<(PathBuf, bool)>| {
+        let mut found = Vec::new();
+        rust_sources(&dir, &mut found).map_err(|e| format!("walking {}: {e}", dir.display()))?;
+        files.extend(found.into_iter().map(|p| (p, needles)));
+        Ok::<(), String>(())
+    };
     for c in CRATES {
-        let dir = root.join("crates").join(c).join("src");
-        rust_sources(&dir, &mut files).map_err(|e| format!("walking {}: {e}", dir.display()))?;
+        walk(root.join("crates").join(c).join("src"), true, &mut files)?;
+    }
+    for extra in TRANSPORT_EXTRA {
+        walk(root.join(extra), false, &mut files)?;
     }
     files.sort();
 
     let mut findings: Vec<String> = Vec::new();
-    for path in &files {
+    for (path, needles) in &files {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(path)
@@ -400,39 +172,43 @@ fn run(root: &Path) -> Result<Vec<String>, String> {
             .replace('\\', "/");
         let text =
             fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-        let mut stripped: Vec<String> = Vec::new();
-        for (ln, raw) in text.lines().enumerate() {
-            let code = strip_noise(raw);
-            for rule in &RULES {
-                if !rule.needles.iter().any(|n| code.contains(n)) {
-                    continue;
+        if *needles {
+            for (ln, raw) in text.lines().enumerate() {
+                let code = strip_noise(raw);
+                for rule in &RULES {
+                    if !rule.needles.iter().any(|n| code.contains(n)) {
+                        continue;
+                    }
+                    if let Some(a) = allows
+                        .iter_mut()
+                        .find(|a| a.rule == rule.id && a.file == rel)
+                    {
+                        a.used = true;
+                        continue;
+                    }
+                    findings.push(format!(
+                        "{rel}:{}: [{}] {} ({})",
+                        ln + 1,
+                        rule.id,
+                        raw.trim(),
+                        rule.why
+                    ));
                 }
-                if let Some(a) = allows
-                    .iter_mut()
-                    .find(|a| a.rule == rule.id && a.file == rel)
-                {
-                    a.used = true;
-                    continue;
-                }
-                findings.push(format!(
-                    "{rel}:{}: [{}] {} ({})",
-                    ln + 1,
-                    rule.id,
-                    raw.trim(),
-                    rule.why
-                ));
             }
-            stripped.push(code);
         }
-        let structural = check_sends(&rel, &stripped)
+        let toks = lex(&text).toks;
+        let structural = check_sends(&rel, &toks)
             .into_iter()
-            .chain(check_dense(&rel, &stripped));
-        for (line, rule, msg) in structural {
-            if let Some(a) = allows.iter_mut().find(|a| a.rule == rule && a.file == rel) {
+            .chain(check_dense(&rel, &toks));
+        for f in structural {
+            if let Some(a) = allows
+                .iter_mut()
+                .find(|a| a.rule == f.rule && a.file == rel)
+            {
                 a.used = true;
                 continue;
             }
-            findings.push(format!("{rel}:{line}: [{rule}] {msg}"));
+            findings.push(format!("{rel}:{}: [{}] {}", f.line, f.rule, f.msg));
         }
     }
     for a in &allows {
@@ -482,118 +258,8 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    #[test]
-    fn allowlist_round_trips() {
-        let text = r#"
-# comment
-[[allow]]
-file = "crates/x/src/a.rs"
-rule = "env-read"
-reason = "because"
-"#;
-        let a = parse_allowlist(text).unwrap();
-        assert_eq!(a.len(), 1);
-        assert_eq!(a[0].file, "crates/x/src/a.rs");
-        assert_eq!(a[0].rule, "env-read");
-    }
-
-    #[test]
-    fn malformed_allowlist_is_rejected() {
-        assert!(parse_allowlist("[[allow]]\nfile = unquoted\n").is_err());
-        assert!(parse_allowlist("file = \"orphan\"\n").is_err());
-        assert!(parse_allowlist("[[allow]]\nfile = \"f\"\n").is_err());
-        assert!(parse_allowlist("[[allow]]\nfile = \"f\"\nfile = \"g\"\n").is_err());
-    }
-
-    fn lines(src: &str) -> Vec<String> {
-        src.lines().map(strip_noise).collect()
-    }
-
-    #[test]
-    fn raw_send_outside_engine_flagged() {
-        let src = "let tr = self.net.send_reliable(a, b, k, 0, now);";
-        let f = check_sends("crates/apps/src/sor.rs", &lines(src));
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].1, "send-raw");
-        // The same call site inside the protocol engine is fine.
-        assert!(check_sends("crates/core/src/proto/bar.rs", &lines(src)).is_empty());
-    }
-
-    #[test]
-    fn wire_internals_outside_net_flagged() {
-        let src = "let d = self.wire.resolve_flush(src, dst, legs, s);";
-        assert_eq!(
-            check_sends("crates/core/src/proto/bar.rs", &lines(src)).len(),
-            1
-        );
-        assert!(check_sends("crates/net/src/network.rs", &lines(src)).is_empty());
-    }
-
-    #[test]
-    fn discarded_flush_outcome_flagged() {
-        // Expression statement, `_` binding, and a multi-line split all
-        // discard the outcome; a real binding consumes it.
-        for src in [
-            "self.net.send_flush(p, q, k, n);",
-            "let _ = self.net.send_flush(p, q, k, n);",
-            "let _out = self\n    .net\n    .send_flush(p, q, k, n);",
-        ] {
-            let f = check_sends("crates/core/src/proto/bar.rs", &lines(src));
-            assert_eq!(f.len(), 1, "{src}");
-            assert_eq!(f[0].1, "flush-outcome", "{src}");
-        }
-        let ok = "let out = self\n    .net\n    .send_flush(p, q, k, n);\nuse_(out.delivered);";
-        assert!(check_sends("crates/core/src/proto/bar.rs", &lines(ok)).is_empty());
-    }
-
-    #[test]
-    fn send_definitions_not_flagged() {
-        let src = "pub fn send_flush(&mut self, src: usize) -> FlushOutcome {";
-        assert!(check_sends("crates/net/src/network.rs", &lines(src)).is_empty());
-    }
-
-    #[test]
-    fn dense_alloc_in_proto_flagged() {
-        let src = "let owners = vec![0u32; nprocs];";
-        let f = check_dense("crates/core/src/proto/bar.rs", &lines(src));
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].1, "dense-by-nodes");
-        // Per-process vectors outside the protocol engine are the
-        // intended shape (clocks, overlays) — and out-of-scope crates
-        // are never scanned at all.
-        assert!(check_dense("crates/check/src/race.rs", &lines(src)).is_empty());
-        assert!(check_dense("crates/sim/src/lib.rs", &lines(src)).is_empty());
-    }
-
-    #[test]
-    fn fixed_pid_width_flagged() {
-        for src in [
-            "mask |= 1u64 << pid;",
-            "for p in 0..64 {",
-            "let slot = pid % 64;",
-            "let bit = pid & 63;",
-        ] {
-            for rel in [
-                "crates/core/src/proto/copyset.rs",
-                "crates/check/src/race.rs",
-            ] {
-                let f = check_dense(rel, &lines(src));
-                assert_eq!(f.len(), 1, "{rel}: {src}");
-                assert_eq!(f[0].1, "dense-by-nodes", "{rel}: {src}");
-            }
-        }
-        // N-sized arithmetic is fine; so is the same pattern in prose.
-        assert!(check_dense(
-            "crates/core/src/proto/bar.rs",
-            &lines("let home = page % nprocs;")
-        )
-        .is_empty());
-        assert!(check_dense(
-            "crates/core/src/proto/bar.rs",
-            &lines("// the old bitmap did 1 << pid and wrapped at % 64")
-        )
-        .is_empty());
-    }
+    // The structural rules (send-raw, flush-outcome, dense-by-nodes) and
+    // the allowlist parser are tested where they live, in dsm-audit.
 
     #[test]
     fn noise_stripping() {

@@ -59,10 +59,14 @@ pub struct FlushOutcome {
 /// sublayer for acked kinds, and optional unreliable-flush loss.
 pub struct Network {
     nprocs: usize,
+    // audit: skip(snap): static cost model, rebuilt from config at construction
     costs: CostModel,
+    // audit: scratch: statistics window, replaced wholesale in reset_stats
     stats: NetStats,
     /// Per (src, dst) message counts, for diagnostics and tests.
+    // audit: scratch: per-link counters, zeroed in reset_stats
     link_msgs: Vec<u64>,
+    // audit: skip(snap): per-run constant from config
     drop_prob: f64,
     /// The fault-injecting transport (sequence numbers, bursts, FIFO,
     /// retransmission timers).

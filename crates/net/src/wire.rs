@@ -127,7 +127,9 @@ pub struct FlushDelivery {
 #[derive(Debug, Clone)]
 pub struct Wire {
     nprocs: usize,
+    // audit: skip(snap): static fault profile from config, reinstalled at build
     fault: FaultProfile,
+    // audit: skip(snap): static RTO/attempt tuning from config
     tuning: WireTuning,
     channels: Vec<ChannelState>,
     timers: TimerQueue,

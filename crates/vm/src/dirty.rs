@@ -22,12 +22,18 @@ const WORD: usize = 8;
 #[derive(Clone, Debug, Default)]
 pub struct DirtyRanges {
     /// Disjoint, non-adjacent, sorted `[start, end)` byte ranges.
+    // audit: wholesale(hash): folded via the dirty_ranges() span view in
+    // frame_hash
     ranges: Vec<(u32, u32)>,
     /// Collapsed state: the entire page must be scanned.
+    // audit: wholesale(hash): collapse state is visible through the same span
+    // view (a collapsed set yields the whole-page span)
     all: bool,
     /// Coarsened state: [`DirtyRanges::insert_coarse`] merged across a
     /// gap, so the ranges are a cover of the written words rather than an
     /// exact record.
+    // audit: skip(hash): precision flag only — coarse and exact sets with the
+    // same spans scan the same bytes
     coarse: bool,
 }
 

@@ -57,9 +57,13 @@ pub struct Frame {
     /// the recorded ranges alone (no twin comparison) bound the delta.
     tracking: bool,
     /// Bumped on every observable mutation; keys derived-value caches.
+    // audit: skip(snap, hash): host-side cache key; rebuilt on restore, and a
+    // derived value by definition
     rev: u64,
     /// Revision-keyed cache slot for a derived 64-bit value (the
     /// explorer's structural frame hash): `(revision, value)`.
+    // audit: skip(snap, hash): memo of the frame hash itself; recomputed on
+    // demand, never observable
     hash_cache: Cell<Option<(u64, u64)>>,
 }
 

@@ -21,6 +21,8 @@ const RUN_BUFS_CAP: usize = 512;
 
 /// A free-list for [`PageBuf`]s (twins, copies) and the two vectors a
 /// [`Diff`] is made of (the run list and each run's payload).
+// audit: leaf: buffer recycling free-list; pooled memory is interchangeable
+// scratch, fully overwritten before reuse, never logical state
 #[derive(Debug, Default)]
 pub struct BufPool {
     pages: Vec<PageBuf>,

@@ -10,7 +10,10 @@ use crate::page::{FaultKind, PageId, Protection};
 /// an `Invalid` frame.
 #[derive(Debug)]
 pub struct PageStore {
+    // audit: skip(hash): fixed geometry, a pure function of the pinned config
     page_size: usize,
+    // audit: wholesale(snap, hash): walked via iter()/npages()/resident();
+    // coverage is proven per-field on Frame below
     frames: Vec<Option<Box<Frame>>>,
 }
 
