@@ -121,6 +121,12 @@ pub enum PlantedBug {
     /// middle flush is lost while a later one arrives — exactly the kind of
     /// fault/ordering interleaving a single schedule cannot show.
     LmwUCoverageGap,
+    /// One-sided backend only: an lmw invalidate-mode flush skips the
+    /// eager pre-barrier diff seal but still posts its write notice, so a
+    /// later one-sided fetch reads a diff table that is missing the
+    /// noticed epoch — the classic RDMA stale-read, invisible two-sided
+    /// because the server seals lazily at serve time.
+    OneSidedStaleRead,
 }
 
 impl PlantedBug {
@@ -129,6 +135,7 @@ impl PlantedBug {
         match self {
             PlantedBug::None => "none",
             PlantedBug::LmwUCoverageGap => "lmw-u-coverage-gap",
+            PlantedBug::OneSidedStaleRead => "one-sided-stale-read",
         }
     }
 
@@ -137,6 +144,7 @@ impl PlantedBug {
         match s {
             "none" => Some(PlantedBug::None),
             "lmw-u-coverage-gap" => Some(PlantedBug::LmwUCoverageGap),
+            "one-sided-stale-read" => Some(PlantedBug::OneSidedStaleRead),
             _ => None,
         }
     }

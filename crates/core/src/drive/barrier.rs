@@ -9,7 +9,7 @@
 //! charged to the `wait` bucket, exactly as the paper's Figure 3 accounts
 //! it.
 
-use dsm_net::MsgKind;
+use dsm_net::ReliableKind;
 use dsm_sim::{Category, Time};
 
 use crate::check::CheckEvent;
@@ -159,7 +159,7 @@ impl Cluster {
             let tr = self.net.send_reliable(
                 pid,
                 master,
-                MsgKind::BarrierArrive,
+                ReliableKind::BarrierArrive,
                 payload + red_payload,
                 sent_at,
             );
@@ -211,7 +211,7 @@ impl Cluster {
             let tr = self.net.send_reliable(
                 master,
                 pid,
-                MsgKind::BarrierRelease,
+                ReliableKind::BarrierRelease,
                 release_payload,
                 sent_at,
             );

@@ -169,11 +169,13 @@ impl Cluster {
         // the scheduler trait: bit-identical to the pre-scheduler code.
         let sched: SharedScheduler =
             Rc::new(RefCell::new(VirtualTimeScheduler::new(rng.derive(0xA11CE))));
-        let net = Network::with_scheduler(
+        let net = Network::with_transport(
             nprocs.max(2), // a 1-proc baseline still constructs a network
             cfg.sim.costs.clone(),
             cfg.sim.flush_drop_prob,
             cfg.sim.fault.clone(),
+            cfg.sim.transport,
+            cfg.sim.rdma.clone(),
             Rc::clone(&sched),
         );
         Cluster {
@@ -411,6 +413,14 @@ impl Cluster {
     #[inline]
     pub(crate) fn charge(&mut self, pid: usize, cat: Category, t: Time) {
         self.procs[pid].clock.advance(cat, t);
+    }
+
+    /// True when data traffic rides the one-sided RDMA backend. Protocol
+    /// code branches on this for the eager/lazy diff-seal split; sync
+    /// traffic is pinned two-sided regardless.
+    #[inline]
+    pub(crate) fn one_sided(&self) -> bool {
+        self.cfg.sim.transport == dsm_sim::transport::TransportKind::OneSided
     }
 
     /// Charge one `mprotect` with the stress multiplier and count it.

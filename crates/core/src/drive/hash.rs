@@ -428,9 +428,19 @@ impl Cluster {
             })
             .collect();
         let mut out = Vec::with_capacity(remaining.len());
+        // One-sided pushes have no receiver-side delivery event: the
+        // reorder point is which posted write *completes* (retires from
+        // its QP) first, so the explorer labels these picks as completion
+        // choices and can enumerate one-sided completion orders distinctly
+        // from two-sided delivery orders.
+        let kind = if self.one_sided() {
+            ChoiceKind::Completion
+        } else {
+            ChoiceKind::Delivery
+        };
         while remaining.len() > 1 {
             let cands: Vec<Candidate> = remaining.iter().map(|(c, _)| c.clone()).collect();
-            let idx = self.sched.borrow_mut().choose(ChoiceKind::Delivery, &cands);
+            let idx = self.sched.borrow_mut().choose(kind, &cands);
             assert!(idx < remaining.len(), "scheduler chose out of range");
             out.push(remaining.remove(idx).1);
         }

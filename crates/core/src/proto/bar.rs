@@ -17,7 +17,7 @@
 //!   diffs directly to every consumer in the page's copyset, and consumers
 //!   apply them inside the barrier — no segv, no protection change.
 
-use dsm_net::MsgKind;
+use dsm_net::{FlushKind, ReliableKind};
 use dsm_sim::{Category, Time};
 use dsm_vm::{Diff, FaultKind, Frame, PageId, Protection};
 
@@ -135,37 +135,35 @@ impl Cluster {
         let prep = Time::from_ns(self.cfg.sim.costs.page_prep_ns);
         let fixed = Time::from_ns(self.cfg.sim.costs.page_fault_fixed_ns);
         let now = self.procs[pid].clock.now();
-        let req = self
-            .net
-            .send_reliable(pid, home, MsgKind::PageRequest, 0, now);
-        let rep =
-            self.net
-                .send_reliable(home, pid, MsgKind::PageReply, ps, now + req.total() + prep);
-        self.charge(
+        let d = self.net.fetch(
             pid,
-            Category::Wait,
-            req.total() + prep + rep.total() + fixed,
+            home,
+            ReliableKind::PageRequest,
+            0,
+            ReliableKind::PageReply,
+            ps,
+            prep,
+            now,
         );
+        self.charge(pid, Category::Wait, d.wait + fixed);
         // The faulting process experiences any retransmission delay of
         // either leg of the round trip.
-        self.procs[pid]
-            .clock
-            .note_retrans(req.retrans_wait + rep.retrans_wait);
-        if req.attempts > 1 {
+        self.procs[pid].clock.note_retrans(d.retrans_wait);
+        if d.req_attempts > 1 {
             self.emit(CheckEvent::WireRetransmit {
                 src: pid,
                 dst: home,
-                attempts: req.attempts,
+                attempts: d.req_attempts,
             });
         }
-        if rep.attempts > 1 {
+        if d.rep_attempts > 1 {
             self.emit(CheckEvent::WireRetransmit {
                 src: home,
                 dst: pid,
-                attempts: rep.attempts,
+                attempts: d.rep_attempts,
             });
         }
-        self.charge(home, Category::Sigio, req.receiver + prep + rep.sender);
+        self.charge(home, Category::Sigio, d.server_cpu);
         let version = self.versions[page.index()];
         {
             let (me, hm) = Cluster::pair_mut(&mut self.procs, pid, home);
@@ -262,10 +260,10 @@ impl Cluster {
                     contributions += 1;
                     if pid != home {
                         let sent_at = self.procs[pid].clock.now();
-                        let tr = self.net.send_reliable(
+                        let tr = self.net.push_reliable(
                             pid,
                             home,
-                            MsgKind::DiffFlushHome,
+                            ReliableKind::DiffFlushHome,
                             diff.wire_bytes(),
                             sent_at,
                         );
@@ -295,11 +293,13 @@ impl Cluster {
                         });
                         let members: Vec<usize> = cs.others(pid).filter(|&q| q != home).collect();
                         for q in members {
-                            let out = self.net.send_flush(
+                            let now = self.procs[pid].clock.now();
+                            let out = self.net.push_update(
                                 pid,
                                 q,
-                                MsgKind::UpdateFlush,
+                                FlushKind::UpdateFlush,
                                 diff.wire_bytes(),
+                                now,
                             );
                             self.charge(pid, Category::Os, out.transit.sender);
                             self.stats
@@ -519,9 +519,9 @@ impl Cluster {
             // construction: all diffs were flushed to it).
             self.materialize_home_frame(old_home, page);
             let sent_at = self.procs[old_home].clock.now();
-            let tr = self
-                .net
-                .send_reliable(old_home, new_home, MsgKind::PageMigrate, ps, sent_at);
+            let tr =
+                self.net
+                    .push_reliable(old_home, new_home, ReliableKind::PageMigrate, ps, sent_at);
             self.charge(old_home, Category::Os, tr.sender);
             if tr.attempts > 1 {
                 self.emit(CheckEvent::WireRetransmit {

@@ -32,7 +32,7 @@
 //! expected-update count (an elided member must not mistake the missing
 //! push for a lost flush and invalidate a provably clean copy).
 
-use dsm_net::MsgKind;
+use dsm_net::{FlushKind, ReliableKind};
 use dsm_sim::Category;
 use dsm_vm::{Diff, PageId};
 
@@ -158,10 +158,10 @@ impl Cluster {
 
         if pid != home {
             let sent_at = self.procs[pid].clock.now();
-            let tr = self.net.send_reliable(
+            let tr = self.net.push_reliable(
                 pid,
                 home,
-                MsgKind::DiffFlushHome,
+                ReliableKind::DiffFlushHome,
                 diff.wire_bytes(),
                 sent_at,
             );
@@ -224,9 +224,10 @@ impl Cluster {
                 None => diff.clone(),
             };
             self.stats.region_push_bytes_saved += (diff.wire_bytes() - pdiff.wire_bytes()) as u64;
+            let now = self.procs[pid].clock.now();
             let out = self
                 .net
-                .send_flush(pid, q, MsgKind::UpdateFlush, pdiff.wire_bytes());
+                .push_update(pid, q, FlushKind::UpdateFlush, pdiff.wire_bytes(), now);
             self.charge(pid, Category::Os, out.transit.sender);
             self.stats
                 .note_flush(page.index(), pdiff.wire_bytes() as u64);

@@ -23,7 +23,7 @@
 //!   to see if all required diffs are present when the next access to that
 //!   page occurs. This next access is signaled by a segmentation fault."
 
-use dsm_net::MsgKind;
+use dsm_net::{FlushKind, ReliableKind};
 use dsm_sim::{Category, FastMap, Time};
 use dsm_vm::{Diff, FaultKind, Frame, PageBuf, PageId, Protection};
 
@@ -207,11 +207,13 @@ impl Cluster {
         let is_covered = move |covered: &FastMap<u16, Vec<(u64, u64)>>, w: u16, e: u64| {
             covered.get(&w).is_some_and(|v| {
                 v.iter().any(|&(lo, hi)| match planted {
-                    PlantedBug::None => lo <= e && e <= hi,
                     // Seeded regression bug: pretends a stored [lo, hi]
                     // update covers every epoch up to hi, so an earlier
                     // dropped flush from the same writer is never fetched.
                     PlantedBug::LmwUCoverageGap => e <= hi,
+                    // The stale-read plant lives in the pre-barrier seal
+                    // path, not here — coverage stays correct.
+                    PlantedBug::None | PlantedBug::OneSidedStaleRead => lo <= e && e <= hi,
                 })
             })
         };
@@ -236,13 +238,16 @@ impl Cluster {
                 from: writer,
                 page: page.0,
             });
-            // The writer seals any pending accumulation on demand (lazy
-            // diff creation) — served in its sigio handler.
-            self.lmw_seal(writer, page, Category::Sigio);
+            if !self.one_sided() {
+                // The writer seals any pending accumulation on demand
+                // (lazy diff creation) — served in its sigio handler. On
+                // the one-sided backend there is no serve-time handler to
+                // do this: segments were sealed eagerly at the writer's
+                // last pre-barrier, so everything a notice can name is
+                // already fetchable in place.
+                self.lmw_seal(writer, page, Category::Sigio);
+            }
             let now = self.procs[pid].clock.now();
-            let req =
-                self.net
-                    .send_reliable(pid, writer, MsgKind::DiffRequest, NOTICE_WIRE_BYTES, now);
             let since = applied_w(&self.procs[pid].lmw, w);
             let segs: Vec<Segment> = self.procs[writer]
                 .lmw
@@ -252,32 +257,33 @@ impl Cluster {
                 .unwrap_or_default();
             let reply_bytes: usize = segs.iter().map(|s| s.diff.wire_bytes()).sum();
             let prep = Time::from_ns(self.cfg.sim.costs.page_prep_ns);
-            let rep = self.net.send_reliable(
-                writer,
+            let d = self.net.fetch(
                 pid,
-                MsgKind::DiffReply,
+                writer,
+                ReliableKind::DiffRequest,
+                NOTICE_WIRE_BYTES,
+                ReliableKind::DiffReply,
                 reply_bytes,
-                now + req.total() + prep,
+                prep,
+                now,
             );
-            self.charge(pid, Category::Wait, req.total() + prep + rep.total());
-            self.procs[pid]
-                .clock
-                .note_retrans(req.retrans_wait + rep.retrans_wait);
-            if req.attempts > 1 {
+            self.charge(pid, Category::Wait, d.wait);
+            self.procs[pid].clock.note_retrans(d.retrans_wait);
+            if d.req_attempts > 1 {
                 self.emit(CheckEvent::WireRetransmit {
                     src: pid,
                     dst: writer,
-                    attempts: req.attempts,
+                    attempts: d.req_attempts,
                 });
             }
-            if rep.attempts > 1 {
+            if d.rep_attempts > 1 {
                 self.emit(CheckEvent::WireRetransmit {
                     src: writer,
                     dst: pid,
-                    attempts: rep.attempts,
+                    attempts: d.rep_attempts,
                 });
             }
-            self.charge(writer, Category::Sigio, req.receiver + prep + rep.sender);
+            self.charge(writer, Category::Sigio, d.server_cpu);
             for s in segs {
                 // Skip duplicates of segments already covered by updates.
                 if !to_apply
@@ -349,39 +355,33 @@ impl Cluster {
         let prep = Time::from_ns(self.cfg.sim.costs.page_prep_ns);
         let fixed = Time::from_ns(self.cfg.sim.costs.page_fault_fixed_ns);
         let now = self.procs[pid].clock.now();
-        let req = self
-            .net
-            .send_reliable(pid, writer, MsgKind::PageRequest, 0, now);
-        let rep = self.net.send_reliable(
+        let d = self.net.fetch(
+            pid,
             writer,
-            pid,
-            MsgKind::PageReply,
+            ReliableKind::PageRequest,
+            0,
+            ReliableKind::PageReply,
             ps,
-            now + req.total() + prep,
+            prep,
+            now,
         );
-        self.charge(
-            pid,
-            Category::Wait,
-            req.total() + prep + rep.total() + fixed,
-        );
-        self.procs[pid]
-            .clock
-            .note_retrans(req.retrans_wait + rep.retrans_wait);
-        if req.attempts > 1 {
+        self.charge(pid, Category::Wait, d.wait + fixed);
+        self.procs[pid].clock.note_retrans(d.retrans_wait);
+        if d.req_attempts > 1 {
             self.emit(CheckEvent::WireRetransmit {
                 src: pid,
                 dst: writer,
-                attempts: req.attempts,
+                attempts: d.req_attempts,
             });
         }
-        if rep.attempts > 1 {
+        if d.rep_attempts > 1 {
             self.emit(CheckEvent::WireRetransmit {
                 src: writer,
                 dst: pid,
-                attempts: rep.attempts,
+                attempts: d.rep_attempts,
             });
         }
-        self.charge(writer, Category::Sigio, req.receiver + prep + rep.sender);
+        self.charge(writer, Category::Sigio, d.server_cpu);
         let epoch = self.last_write_epoch[page.index()];
         {
             let (me, srv) = Cluster::pair_mut(&mut self.procs, pid, writer);
@@ -449,9 +449,14 @@ impl Cluster {
                 });
                 let members: Vec<usize> = cs.others(pid).collect();
                 for q in members {
-                    let out =
-                        self.net
-                            .send_flush(pid, q, MsgKind::UpdateFlush, seg.diff.wire_bytes());
+                    let now = self.procs[pid].clock.now();
+                    let out = self.net.push_update(
+                        pid,
+                        q,
+                        FlushKind::UpdateFlush,
+                        seg.diff.wire_bytes(),
+                        now,
+                    );
                     self.charge(pid, Category::Os, out.transit.sender);
                     if out.delivered {
                         self.bar_deliveries.lmw_updates.push((
@@ -487,7 +492,17 @@ impl Cluster {
                 }
             } else {
                 // Invalidate path: notice only; the diff stays latent in
-                // the accumulating twin until someone asks.
+                // the accumulating twin until someone asks — except on
+                // the one-sided backend, where no serve-time handler
+                // exists to seal it on demand. There the diff is sealed
+                // *eagerly*, right here, so a remote read finds every
+                // noticed epoch fetchable in place. (The planted
+                // `OneSidedStaleRead` bug skips exactly this seal while
+                // keeping the notice: the next one-sided fetch misses the
+                // segment and the oracle flags the stale read.)
+                if self.one_sided() && self.cfg.planted != PlantedBug::OneSidedStaleRead {
+                    self.lmw_seal(pid, page, Category::Os);
+                }
                 notices.push(WriteNotice::new(page, pid, self.epoch));
             }
         }

@@ -192,6 +192,30 @@ fn random_programs_agree() {
     });
 }
 
+/// The transport backend moves the messages, it must never change the
+/// answer: the same random program on the one-sided RDMA backend satisfies
+/// the per-read LRC oracle and produces the same final image as the
+/// two-sided wire, under every protocol.
+#[test]
+fn one_sided_backend_agrees() {
+    check("one_sided_backend_agrees", 48, |g| {
+        let program = gen_program(g);
+        for protocol in [
+            ProtocolKind::LmwI,
+            ProtocolKind::LmwU,
+            ProtocolKind::BarI,
+            ProtocolKind::BarU,
+            ProtocolKind::BarS,
+        ] {
+            let two = run(&program, base_cfg(protocol));
+            let mut cfg = base_cfg(protocol);
+            cfg.sim.transport = dsm_sim::transport::TransportKind::OneSided;
+            let one = run(&program, cfg); // oracle asserted inside
+            assert_eq!(two, one, "backends disagree under {}", protocol.label());
+        }
+    });
+}
+
 /// With GC forced aggressively, the homeless protocols stay correct.
 #[test]
 fn random_programs_survive_gc() {

@@ -16,16 +16,24 @@
 //!   `dsm_sim` fault profile),
 //! * applies optional unreliable-flush loss (the paper: flushes "can be
 //!   unreliable, and therefore do not need to be acknowledged") — and, on
-//!   a faulty wire, flush duplication.
+//!   a faulty wire, flush duplication,
+//! * routes *data* traffic (fetches, pushes) to the backend the run
+//!   selected: the two-sided lossy [`wire`] or the one-sided RDMA-style
+//!   [`rdma`] backend, both behind the [`transport::Transport`] trait.
+//!   Synchronization traffic always rides the two-sided reliable wire.
 
 #![forbid(unsafe_code)]
 
 pub mod message;
 pub mod network;
+pub mod rdma;
 pub mod stats;
+pub mod transport;
 pub mod wire;
 
-pub use message::{MsgCategory, MsgKind, HEADER_BYTES};
+pub use message::{FlushKind, MsgCategory, MsgKind, ReliableKind, HEADER_BYTES};
 pub use network::{FlushOutcome, Network, Transit};
+pub use rdma::Rdma;
 pub use stats::NetStats;
+pub use transport::{FetchDelivery, PushDelivery, Transport};
 pub use wire::{FlushDelivery, ReliableDelivery, Wire, WireTuning};

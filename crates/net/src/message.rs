@@ -28,6 +28,14 @@ pub enum MsgKind {
     DiffFlushHome,
     /// One-time full-page transfer when a page's home migrates.
     PageMigrate,
+    /// One-sided remote read: the initiator pulls a page or diff straight
+    /// out of the remote's memory with no receiver involvement (the
+    /// one-sided transport's collapse of a request/reply pair).
+    OneSidedRead,
+    /// One-sided remote write: the initiator deposits a diff or page into
+    /// the remote's memory (update pushes and home flushes on the
+    /// one-sided transport). Reliable-connected — never dropped.
+    OneSidedWrite,
 }
 
 /// Accounting category, the granularity of Table 1.
@@ -47,12 +55,15 @@ impl MsgKind {
     /// The accounting category of this kind.
     pub fn category(self) -> MsgCategory {
         match self {
-            MsgKind::DiffRequest | MsgKind::PageRequest => MsgCategory::DataRequest,
+            MsgKind::DiffRequest | MsgKind::PageRequest | MsgKind::OneSidedRead => {
+                MsgCategory::DataRequest
+            }
             MsgKind::BarrierArrive => MsgCategory::SyncRequest,
             MsgKind::DiffReply | MsgKind::PageReply | MsgKind::BarrierRelease => MsgCategory::Reply,
-            MsgKind::UpdateFlush | MsgKind::DiffFlushHome | MsgKind::PageMigrate => {
-                MsgCategory::Flush
-            }
+            MsgKind::UpdateFlush
+            | MsgKind::DiffFlushHome
+            | MsgKind::PageMigrate
+            | MsgKind::OneSidedWrite => MsgCategory::Flush,
         }
     }
 
@@ -64,7 +75,7 @@ impl MsgKind {
     }
 
     /// All kinds, for table-driven stats.
-    pub const ALL: [MsgKind; 9] = [
+    pub const ALL: [MsgKind; 11] = [
         MsgKind::DiffRequest,
         MsgKind::DiffReply,
         MsgKind::PageRequest,
@@ -74,6 +85,8 @@ impl MsgKind {
         MsgKind::UpdateFlush,
         MsgKind::DiffFlushHome,
         MsgKind::PageMigrate,
+        MsgKind::OneSidedRead,
+        MsgKind::OneSidedWrite,
     ];
 
     /// Dense index for array-backed counters.
@@ -88,6 +101,90 @@ impl MsgKind {
             MsgKind::UpdateFlush => 6,
             MsgKind::DiffFlushHome => 7,
             MsgKind::PageMigrate => 8,
+            MsgKind::OneSidedRead => 9,
+            MsgKind::OneSidedWrite => 10,
+        }
+    }
+}
+
+/// Message kinds a protocol may hand to the *reliable* two-sided send
+/// path. The droppable/reliable split lives in the type system: a
+/// droppable kind ([`FlushKind`]) is not constructible here, so routing a
+/// flush through the acked path is a compile error, not a runtime panic.
+/// One-sided verbs are excluded too — they are posted by the transport
+/// itself, never by a protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum ReliableKind {
+    DiffRequest,
+    DiffReply,
+    PageRequest,
+    PageReply,
+    BarrierArrive,
+    BarrierRelease,
+    DiffFlushHome,
+    PageMigrate,
+}
+
+impl ReliableKind {
+    /// The underlying wire kind.
+    pub fn kind(self) -> MsgKind {
+        match self {
+            ReliableKind::DiffRequest => MsgKind::DiffRequest,
+            ReliableKind::DiffReply => MsgKind::DiffReply,
+            ReliableKind::PageRequest => MsgKind::PageRequest,
+            ReliableKind::PageReply => MsgKind::PageReply,
+            ReliableKind::BarrierArrive => MsgKind::BarrierArrive,
+            ReliableKind::BarrierRelease => MsgKind::BarrierRelease,
+            ReliableKind::DiffFlushHome => MsgKind::DiffFlushHome,
+            ReliableKind::PageMigrate => MsgKind::PageMigrate,
+        }
+    }
+}
+
+impl TryFrom<MsgKind> for ReliableKind {
+    type Error = MsgKind;
+
+    /// Fails exactly on the kinds the reliable path must reject: droppable
+    /// flushes and transport-internal one-sided verbs.
+    fn try_from(k: MsgKind) -> Result<ReliableKind, MsgKind> {
+        match k {
+            MsgKind::DiffRequest => Ok(ReliableKind::DiffRequest),
+            MsgKind::DiffReply => Ok(ReliableKind::DiffReply),
+            MsgKind::PageRequest => Ok(ReliableKind::PageRequest),
+            MsgKind::PageReply => Ok(ReliableKind::PageReply),
+            MsgKind::BarrierArrive => Ok(ReliableKind::BarrierArrive),
+            MsgKind::BarrierRelease => Ok(ReliableKind::BarrierRelease),
+            MsgKind::DiffFlushHome => Ok(ReliableKind::DiffFlushHome),
+            MsgKind::PageMigrate => Ok(ReliableKind::PageMigrate),
+            MsgKind::UpdateFlush | MsgKind::OneSidedRead | MsgKind::OneSidedWrite => Err(k),
+        }
+    }
+}
+
+/// Message kinds a protocol may hand to the *unreliable* flush path —
+/// the type-level counterpart of [`MsgKind::droppable`]. Only update
+/// flushes qualify: every other kind would violate correctness if lost.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum FlushKind {
+    UpdateFlush,
+}
+
+impl FlushKind {
+    /// The underlying wire kind.
+    pub fn kind(self) -> MsgKind {
+        match self {
+            FlushKind::UpdateFlush => MsgKind::UpdateFlush,
+        }
+    }
+}
+
+impl TryFrom<MsgKind> for FlushKind {
+    type Error = MsgKind;
+
+    fn try_from(k: MsgKind) -> Result<FlushKind, MsgKind> {
+        match k {
+            MsgKind::UpdateFlush => Ok(FlushKind::UpdateFlush),
+            other => Err(other),
         }
     }
 }
@@ -107,6 +204,8 @@ mod tests {
         assert_eq!(MsgKind::UpdateFlush.category(), MsgCategory::Flush);
         assert_eq!(MsgKind::DiffFlushHome.category(), MsgCategory::Flush);
         assert_eq!(MsgKind::PageMigrate.category(), MsgCategory::Flush);
+        assert_eq!(MsgKind::OneSidedRead.category(), MsgCategory::DataRequest);
+        assert_eq!(MsgKind::OneSidedWrite.category(), MsgCategory::Flush);
     }
 
     #[test]
@@ -125,5 +224,30 @@ mod tests {
             seen[i] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn typed_split_partitions_the_kinds() {
+        // Every kind is reliable XOR droppable XOR one-sided, and the
+        // typed enums round-trip through the underlying MsgKind. These are
+        // the unit-coverage successors of the old runtime-assert tests
+        // (`reliable_api_rejects_droppable_kinds` and friends): rejection
+        // now happens at the type level, so we assert the conversions.
+        for kind in MsgKind::ALL {
+            let rel = ReliableKind::try_from(kind);
+            let fl = FlushKind::try_from(kind);
+            let one_sided = matches!(kind, MsgKind::OneSidedRead | MsgKind::OneSidedWrite);
+            assert_eq!(rel.is_ok(), !kind.droppable() && !one_sided, "{kind:?}");
+            assert_eq!(fl.is_ok(), kind.droppable(), "{kind:?}");
+            if let Ok(r) = rel {
+                assert_eq!(r.kind(), kind);
+            }
+            if let Ok(f) = fl {
+                assert_eq!(f.kind(), kind);
+            }
+        }
+        // The old runtime panics, as type-level rejections:
+        assert!(ReliableKind::try_from(MsgKind::UpdateFlush).is_err());
+        assert!(FlushKind::try_from(MsgKind::PageRequest).is_err());
     }
 }

@@ -1,16 +1,19 @@
-//! The charging network: cost legs, statistics, loss injection.
+//! The charging network: cost legs, statistics, loss injection, and the
+//! backend routing between the two wire personalities.
 
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
 use dsm_sim::{
-    CostModel, DetRng, FaultProfile, SharedScheduler, SnapReader, SnapWriter, Time,
-    VirtualTimeScheduler,
+    CostModel, DetRng, FaultProfile, RdmaParams, SharedScheduler, SnapReader, SnapWriter, Time,
+    TransportKind, VirtualTimeScheduler,
 };
 
-use crate::message::{MsgKind, HEADER_BYTES};
+use crate::message::{FlushKind, MsgKind, ReliableKind, HEADER_BYTES};
+use crate::rdma::Rdma;
 use crate::stats::NetStats;
+use crate::transport::{FetchDelivery, Transport};
 use crate::wire::{Wire, WireTuning};
 
 /// The time legs of one message: the sender is charged `sender`, the
@@ -22,13 +25,14 @@ use crate::wire::{Wire, WireTuning};
 /// cost is already folded into `wire` (itemized in `retrans_wait`). Only
 /// [`Network::send_flush`] can lose a message, and it says so in its
 /// [`FlushOutcome`], not here: there is no `delivered` flag for callers of
-/// reliable kinds to ignore.
+/// reliable kinds to ignore. On the one-sided backend the `receiver` leg of
+/// any data verb is zero: remote reads and writes involve no remote CPU.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Transit {
     pub sender: Time,
     pub wire: Time,
     pub receiver: Time,
-    /// Data attempts until delivery (1 on a clean wire).
+    /// Data attempts until delivery (1 on a clean wire, always 1 one-sided).
     pub attempts: u32,
     /// Portion of `wire` that is fault overhead (retransmission backoff,
     /// slow paths, head-of-line blocking, slow-node stretch). Zero on a
@@ -47,7 +51,8 @@ impl Transit {
 /// wire did with the message. The sender has paid `transit.sender` either
 /// way (charge-then-drop); `delivered == false` means nothing arrives, and
 /// `duplicated == true` means the receiver gets the message *twice* and
-/// must treat the second copy idempotently.
+/// must treat the second copy idempotently. The one-sided backend is
+/// reliable-connected: its pushes are always delivered, never duplicated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FlushOutcome {
     pub transit: Transit,
@@ -55,8 +60,12 @@ pub struct FlushOutcome {
     pub duplicated: bool,
 }
 
-/// The cluster interconnect: full crossbar, per-link counters, a reliability
-/// sublayer for acked kinds, and optional unreliable-flush loss.
+/// The cluster interconnect: full crossbar, per-link counters, and two
+/// wire personalities behind the [`Transport`] trait — the lossy two-sided
+/// [`Wire`] (acks, retransmission, droppable flushes) and the one-sided
+/// [`Rdma`] backend (remote read/write verbs, zero remote CPU). Which one
+/// carries *data* traffic is the run's [`TransportKind`]; synchronization
+/// traffic always rides the two-sided reliable wire.
 pub struct Network {
     nprocs: usize,
     // audit: skip(snap): static cost model, rebuilt from config at construction
@@ -68,9 +77,17 @@ pub struct Network {
     link_msgs: Vec<u64>,
     // audit: skip(snap): per-run constant from config
     drop_prob: f64,
-    /// The fault-injecting transport (sequence numbers, bursts, FIFO,
-    /// retransmission timers).
+    /// The two-sided fault-injecting transport (sequence numbers, bursts,
+    /// FIFO, retransmission timers). Always present: sync traffic rides it
+    /// regardless of the data backend.
     wire: Wire,
+    /// The one-sided transport (queue pairs, completion timers). Always
+    /// present so snapshots have a uniform layout; idle under
+    /// [`TransportKind::TwoSided`].
+    rdma: Rdma,
+    /// Which personality carries data traffic.
+    // audit: skip(snap): per-run constant from config
+    backend: TransportKind,
     /// Resolves every random decision (legacy flush drops and wire fault
     /// draws). The default wraps the RNG stream handed to [`Network::new`];
     /// an exploration driver swaps in its own via [`Network::set_scheduler`].
@@ -82,6 +99,7 @@ impl fmt::Debug for Network {
         f.debug_struct("Network")
             .field("nprocs", &self.nprocs)
             .field("drop_prob", &self.drop_prob)
+            .field("backend", &self.backend)
             .field("fault", self.wire.fault())
             .field("stats", &self.stats)
             .finish_non_exhaustive()
@@ -100,7 +118,8 @@ impl Network {
         Network::with_scheduler(nprocs, costs, drop_prob, fault, sched)
     }
 
-    /// Build with an explicit decision scheduler (shared with the cluster).
+    /// Build with an explicit decision scheduler (shared with the cluster)
+    /// and the default two-sided backend.
     pub fn with_scheduler(
         nprocs: usize,
         costs: CostModel,
@@ -108,9 +127,34 @@ impl Network {
         fault: FaultProfile,
         sched: SharedScheduler,
     ) -> Network {
+        Network::with_transport(
+            nprocs,
+            costs,
+            drop_prob,
+            fault,
+            TransportKind::TwoSided,
+            RdmaParams::default(),
+            sched,
+        )
+    }
+
+    /// Build with an explicit backend selection. `rdma` parameterizes the
+    /// one-sided personality; it is constructed (cheaply) either way so the
+    /// snapshot layout does not depend on the backend.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_transport(
+        nprocs: usize,
+        costs: CostModel,
+        drop_prob: f64,
+        fault: FaultProfile,
+        backend: TransportKind,
+        rdma: RdmaParams,
+        sched: SharedScheduler,
+    ) -> Network {
         assert!(nprocs >= 1);
         assert!((0.0..=1.0).contains(&drop_prob));
         assert!(fault.validate(nprocs).is_empty(), "invalid fault profile");
+        assert!(rdma.validate().is_empty(), "invalid rdma params");
         Network {
             nprocs,
             costs,
@@ -118,6 +162,8 @@ impl Network {
             link_msgs: vec![0; nprocs * nprocs],
             drop_prob,
             wire: Wire::new(nprocs, fault, WireTuning::default()),
+            rdma: Rdma::new(nprocs, rdma),
+            backend,
             sched,
         }
     }
@@ -128,23 +174,20 @@ impl Network {
     }
 
     /// Common bookkeeping for any send: endpoint checks, Table 1 statistics,
-    /// link counters, and the faultless cost legs.
-    fn prepare(
-        &mut self,
-        src: usize,
-        dst: usize,
-        kind: MsgKind,
-        payload: usize,
-    ) -> (Time, Time, Time) {
+    /// and link counters.
+    fn prepare(&mut self, src: usize, dst: usize, kind: MsgKind, payload: usize) {
         assert!(src < self.nprocs && dst < self.nprocs, "bad endpoint");
         assert_ne!(src, dst, "no self-messages: local work is not a message");
         self.stats.record(kind, payload);
         self.link_msgs[src * self.nprocs + dst] += 1;
-        self.costs.msg_legs(payload + HEADER_BYTES)
     }
 
     /// Send a reliable message of `kind` from `src` to `dst` at the
-    /// sender's virtual instant `now`.
+    /// sender's virtual instant `now`, always on the two-sided wire —
+    /// this is the synchronization path (barrier arrivals/releases), and
+    /// a one-sided verb cannot interrupt the remote CPU. Data traffic
+    /// goes through [`Network::fetch`] / [`Network::push_reliable`] /
+    /// [`Network::push_update`] instead, which route by backend.
     ///
     /// Reliable kinds cannot be lost: the wire acks, times out, and
     /// retransmits until the message lands, and the cost of doing so is
@@ -156,31 +199,24 @@ impl Network {
         &mut self,
         src: usize,
         dst: usize,
-        kind: MsgKind,
+        kind: ReliableKind,
         payload: usize,
         now: Time,
     ) -> Transit {
-        assert!(!kind.droppable(), "droppable kinds go through send_flush");
-        let legs = self.prepare(src, dst, kind, payload);
-        let d = self
-            .wire
-            .resolve_reliable(src, dst, legs, now, &mut *self.sched.borrow_mut());
-        if d.retransmits > 0 {
-            self.stats.retransmits += d.retransmits;
-            self.stats.retransmit_bytes += (payload + HEADER_BYTES) as u64 * d.retransmits;
-            self.stats.dups_suppressed += d.dup_suppressed;
-        }
-        Transit {
-            sender: d.sender,
-            wire: d.wire,
-            receiver: d.receiver,
-            attempts: d.attempts,
-            retrans_wait: d.retrans_wait,
-        }
+        self.prepare(src, dst, kind.kind(), payload);
+        let d = {
+            let mut sched = self.sched.borrow_mut();
+            self.wire
+                .push_reliable(&self.costs, src, dst, payload, now, &mut *sched)
+        };
+        self.stats.retransmits += d.retransmits;
+        self.stats.retransmit_bytes += (payload + HEADER_BYTES) as u64 * d.retransmits;
+        self.stats.dups_suppressed += d.dups_suppressed;
+        d.transit
     }
 
     /// Send a fire-and-forget flush of `kind` (an unreliable, droppable
-    /// kind) from `src` to `dst`.
+    /// kind) from `src` to `dst` on the two-sided wire.
     ///
     /// Charge-then-drop: statistics and the full cost legs — including the
     /// sender leg — are committed *before* the loss decision. This is the
@@ -193,35 +229,139 @@ impl Network {
         &mut self,
         src: usize,
         dst: usize,
-        kind: MsgKind,
+        kind: FlushKind,
         payload: usize,
     ) -> FlushOutcome {
-        assert!(kind.droppable(), "reliable kinds go through send_reliable");
-        let legs = self.prepare(src, dst, kind, payload);
-        let mut sched = self.sched.borrow_mut();
-        // Legacy draw first (bit-identity: the only draw on a clean wire),
-        // then the fault-profile wire resolution for survivors.
-        let dropped = sched.flush_drop(src, dst, self.drop_prob);
-        let f = self.wire.resolve_flush(src, dst, legs, &mut *sched);
-        drop(sched);
-        let delivered = !dropped && !f.lost;
-        if !delivered {
+        self.prepare(src, dst, kind.kind(), payload);
+        let out = {
+            let mut sched = self.sched.borrow_mut();
+            self.wire.push_update(
+                &self.costs,
+                src,
+                dst,
+                payload,
+                self.drop_prob,
+                Time::ZERO,
+                &mut *sched,
+            )
+        };
+        if !out.delivered {
             self.stats.flushes_dropped += 1;
         }
-        let duplicated = delivered && f.duplicated;
-        if duplicated {
+        if out.duplicated {
             self.stats.flushes_duplicated += 1;
         }
-        FlushOutcome {
-            transit: Transit {
-                sender: f.sender,
-                wire: f.wire,
-                receiver: f.receiver,
-                attempts: 1,
-                retrans_wait: Time::ZERO,
-            },
-            delivered,
-            duplicated,
+        out
+    }
+
+    /// Synchronously fetch data: `rep_payload` bytes from `dst`, named by
+    /// a `req_payload`-byte request, with server-side preparation `prep`.
+    ///
+    /// Two-sided this is the classic RPC pair (`req_kind` out at `now`,
+    /// `rep_kind` back after the server prepares) — draw-for-draw what the
+    /// two `send_reliable` calls used to be. One-sided it collapses into a
+    /// single `OneSidedRead` of the payload: no request message, no server
+    /// CPU, no preparation — the protocol layer has already sealed the
+    /// data in fetchable form.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fetch(
+        &mut self,
+        src: usize,
+        dst: usize,
+        req_kind: ReliableKind,
+        req_payload: usize,
+        rep_kind: ReliableKind,
+        rep_payload: usize,
+        prep: Time,
+        now: Time,
+    ) -> FetchDelivery {
+        match self.backend {
+            TransportKind::TwoSided => {
+                self.prepare(src, dst, req_kind.kind(), req_payload);
+                self.prepare(dst, src, rep_kind.kind(), rep_payload);
+            }
+            TransportKind::OneSided => {
+                self.prepare(src, dst, MsgKind::OneSidedRead, rep_payload);
+            }
+        }
+        let d = {
+            let mut sched = self.sched.borrow_mut();
+            let (t, costs) = {
+                let t: &mut dyn Transport = match self.backend {
+                    TransportKind::TwoSided => &mut self.wire,
+                    TransportKind::OneSided => &mut self.rdma,
+                };
+                (t, &self.costs)
+            };
+            t.fetch(
+                costs,
+                src,
+                dst,
+                req_payload,
+                rep_payload,
+                prep,
+                now,
+                &mut *sched,
+            )
+        };
+        self.stats.retransmits += d.req_retransmits + d.rep_retransmits;
+        self.stats.retransmit_bytes += (req_payload + HEADER_BYTES) as u64 * d.req_retransmits
+            + (rep_payload + HEADER_BYTES) as u64 * d.rep_retransmits;
+        self.stats.dups_suppressed += d.dups_suppressed;
+        d
+    }
+
+    /// Push `payload` bytes reliably (home flushes, page migrations),
+    /// routed by backend: a reliable two-sided send, or a one-sided
+    /// `OneSidedWrite` verb depositing the bytes into `dst`'s memory.
+    pub fn push_reliable(
+        &mut self,
+        src: usize,
+        dst: usize,
+        kind: ReliableKind,
+        payload: usize,
+        now: Time,
+    ) -> Transit {
+        match self.backend {
+            TransportKind::TwoSided => self.send_reliable(src, dst, kind, payload, now),
+            TransportKind::OneSided => {
+                self.prepare(src, dst, MsgKind::OneSidedWrite, payload);
+                let d = {
+                    let mut sched = self.sched.borrow_mut();
+                    self.rdma
+                        .push_reliable(&self.costs, src, dst, payload, now, &mut *sched)
+                };
+                d.transit
+            }
+        }
+    }
+
+    /// Push an update flush, routed by backend: the droppable two-sided
+    /// flush (see [`Network::send_flush`]), or a reliable-connected
+    /// one-sided write — always delivered, never duplicated, no draws.
+    pub fn push_update(
+        &mut self,
+        src: usize,
+        dst: usize,
+        kind: FlushKind,
+        payload: usize,
+        now: Time,
+    ) -> FlushOutcome {
+        match self.backend {
+            TransportKind::TwoSided => self.send_flush(src, dst, kind, payload),
+            TransportKind::OneSided => {
+                self.prepare(src, dst, MsgKind::OneSidedWrite, payload);
+                let mut sched = self.sched.borrow_mut();
+                self.rdma.push_update(
+                    &self.costs,
+                    src,
+                    dst,
+                    payload,
+                    self.drop_prob,
+                    now,
+                    &mut *sched,
+                )
+            }
         }
     }
 
@@ -236,23 +376,25 @@ impl Network {
     }
 
     /// Clear the statistics window (used to exclude warmup, like the paper).
-    /// Wire channel state (sequence numbers, FIFO clamps) is
-    /// connection-lifetime and survives the reset.
+    /// Wire channel state (sequence numbers, FIFO clamps) and queue-pair
+    /// state are connection-lifetime and survive the reset.
     pub fn reset_stats(&mut self) {
         self.stats = NetStats::new();
         self.link_msgs.iter_mut().for_each(|c| *c = 0);
     }
 
     /// Encode the network's dynamic state: statistics window, per-link
-    /// counters, and the wire sublayer. Cost model, drop probability, and
-    /// fault profile are configuration; the scheduler snapshots itself.
+    /// counters, and both transport personalities. Cost model, drop
+    /// probability, backend selection, and fault profile are configuration;
+    /// the scheduler snapshots itself.
     pub fn encode_state(&self, w: &mut SnapWriter) {
         self.stats.encode_state(w);
         w.usize(self.link_msgs.len());
         for &c in &self.link_msgs {
             w.u64(c);
         }
-        self.wire.encode_state(w);
+        Transport::encode_state(&self.wire, w);
+        Transport::encode_state(&self.rdma, w);
     }
 
     /// Restore a [`Network::encode_state`] capture.
@@ -263,7 +405,8 @@ impl Network {
         for c in &mut self.link_msgs {
             *c = r.u64();
         }
-        self.wire.restore_state(r);
+        Transport::restore_state(&mut self.wire, r);
+        Transport::restore_state(&mut self.rdma, r);
     }
 
     pub fn nprocs(&self) -> usize {
@@ -272,6 +415,16 @@ impl Network {
 
     pub fn costs(&self) -> &CostModel {
         &self.costs
+    }
+
+    /// Which personality carries data traffic.
+    pub fn transport(&self) -> TransportKind {
+        self.backend
+    }
+
+    /// The one-sided backend (verb counters, for reports and tests).
+    pub fn rdma(&self) -> &Rdma {
+        &self.rdma
     }
 
     /// The transport's fault profile.
@@ -298,11 +451,24 @@ mod tests {
         Network::new(4, CostModel::default(), 0.0, fault, DetRng::new(1))
     }
 
+    fn one_sided(drop: f64, fault: FaultProfile) -> Network {
+        let sched = Rc::new(RefCell::new(VirtualTimeScheduler::new(DetRng::new(1))));
+        Network::with_transport(
+            4,
+            CostModel::default(),
+            drop,
+            fault,
+            TransportKind::OneSided,
+            RdmaParams::default(),
+            sched,
+        )
+    }
+
     #[test]
     fn send_records_stats_and_links() {
         let mut n = net(0.0);
-        n.send_reliable(0, 1, MsgKind::PageRequest, 0, Time::ZERO);
-        n.send_reliable(1, 0, MsgKind::PageReply, 8192, Time::ZERO);
+        n.send_reliable(0, 1, ReliableKind::PageRequest, 0, Time::ZERO);
+        n.send_reliable(1, 0, ReliableKind::PageReply, 8192, Time::ZERO);
         assert_eq!(n.stats().msgs_of(MsgKind::PageRequest), 1);
         assert_eq!(n.stats().bytes_of(MsgKind::PageReply), 8192);
         assert_eq!(n.link_count(0, 1), 1);
@@ -313,7 +479,7 @@ mod tests {
     #[test]
     fn transit_legs_match_cost_model() {
         let mut n = net(0.0);
-        let out = n.send_flush(0, 1, MsgKind::UpdateFlush, 100);
+        let out = n.send_flush(0, 1, FlushKind::UpdateFlush, 100);
         let (s, w, r) = CostModel::default().msg_legs(100 + HEADER_BYTES);
         let t = out.transit;
         assert_eq!(t.sender, s);
@@ -322,7 +488,7 @@ mod tests {
         assert_eq!(t.total(), s + w + r);
         assert!(out.delivered);
         assert!(!out.duplicated);
-        let t = n.send_reliable(0, 1, MsgKind::DiffRequest, 100, Time::ZERO);
+        let t = n.send_reliable(0, 1, ReliableKind::DiffRequest, 100, Time::ZERO);
         assert_eq!((t.sender, t.wire, t.receiver), (s, w, r));
         assert_eq!(t.attempts, 1);
         assert_eq!(t.retrans_wait, Time::ZERO);
@@ -340,32 +506,124 @@ mod tests {
     #[test]
     #[should_panic(expected = "no self-messages")]
     fn self_send_rejected() {
-        net(0.0).send_flush(2, 2, MsgKind::UpdateFlush, 0);
+        net(0.0).send_flush(2, 2, FlushKind::UpdateFlush, 0);
     }
 
     #[test]
-    #[should_panic(expected = "droppable kinds go through send_flush")]
-    fn reliable_api_rejects_droppable_kinds() {
-        net(0.0).send_reliable(0, 1, MsgKind::UpdateFlush, 0, Time::ZERO);
+    fn two_sided_fetch_matches_paired_sends() {
+        // The routed fetch on the default backend must be byte-identical
+        // to the request/reply pair the call sites used to make by hand.
+        let mut routed = net(0.0);
+        let mut manual = net(0.0);
+        let prep = Time::from_us(200);
+        let d = routed.fetch(
+            0,
+            1,
+            ReliableKind::DiffRequest,
+            64,
+            ReliableKind::DiffReply,
+            4096,
+            prep,
+            Time::from_ms(1),
+        );
+        let req = manual.send_reliable(0, 1, ReliableKind::DiffRequest, 64, Time::from_ms(1));
+        let rep = manual.send_reliable(
+            1,
+            0,
+            ReliableKind::DiffReply,
+            4096,
+            Time::from_ms(1) + req.total() + prep,
+        );
+        assert_eq!(d.wait, req.total() + prep + rep.total());
+        assert_eq!(d.server_cpu, req.receiver + prep + rep.sender);
+        assert_eq!(routed.stats(), manual.stats());
+        assert_eq!(routed.link_count(0, 1), 1);
+        assert_eq!(routed.link_count(1, 0), 1);
     }
 
     #[test]
-    #[should_panic(expected = "reliable kinds go through send_reliable")]
-    fn flush_api_rejects_reliable_kinds() {
-        net(0.0).send_flush(0, 1, MsgKind::PageRequest, 0);
+    fn one_sided_fetch_is_one_read_with_no_server_cpu() {
+        let mut n = one_sided(0.0, FaultProfile::none());
+        let d = n.fetch(
+            0,
+            1,
+            ReliableKind::DiffRequest,
+            64,
+            ReliableKind::DiffReply,
+            8192,
+            Time::from_us(200),
+            Time::ZERO,
+        );
+        assert_eq!(d.server_cpu, Time::ZERO, "no remote CPU one-sided");
+        assert_eq!((d.req_attempts, d.rep_attempts), (1, 1));
+        assert_eq!(d.retrans_wait, Time::ZERO);
+        // One OneSidedRead carrying the payload; the request/reply pair
+        // and the server preparation are gone.
+        assert_eq!(n.stats().msgs_of(MsgKind::OneSidedRead), 1);
+        assert_eq!(n.stats().bytes_of(MsgKind::OneSidedRead), 8192);
+        assert_eq!(n.stats().msgs_of(MsgKind::DiffRequest), 0);
+        assert_eq!(n.stats().msgs_of(MsgKind::DiffReply), 0);
+        assert_eq!(n.link_count(0, 1), 1);
+        assert_eq!(n.link_count(1, 0), 0, "nothing flows back");
+        assert_eq!(n.rdma().completions(), 1);
+    }
+
+    #[test]
+    fn one_sided_pushes_are_reliable_connected() {
+        // Neither the legacy drop probability nor a hostile fault profile
+        // touches one-sided verbs.
+        let fault = FaultProfile {
+            loss: 1.0,
+            duplicate: 1.0,
+            ..FaultProfile::none()
+        };
+        let mut n = one_sided(1.0, fault);
+        let out = n.push_update(0, 1, FlushKind::UpdateFlush, 256, Time::ZERO);
+        assert!(out.delivered);
+        assert!(!out.duplicated);
+        assert_eq!(n.stats().flushes_dropped, 0);
+        assert_eq!(n.stats().msgs_of(MsgKind::OneSidedWrite), 1);
+        let t = n.push_reliable(0, 2, ReliableKind::DiffFlushHome, 512, Time::ZERO);
+        assert_eq!(t.attempts, 1);
+        assert_eq!(t.receiver, Time::ZERO);
+        assert_eq!(n.stats().msgs_of(MsgKind::OneSidedWrite), 2);
+        assert_eq!(n.stats().msgs_of(MsgKind::DiffFlushHome), 0);
+    }
+
+    #[test]
+    fn sync_traffic_stays_two_sided_under_one_sided_backend() {
+        let mut n = one_sided(0.0, FaultProfile::none());
+        let t = n.send_reliable(0, 1, ReliableKind::BarrierArrive, 16, Time::ZERO);
+        let (s, w, r) = CostModel::default().msg_legs(16 + HEADER_BYTES);
+        assert_eq!((t.sender, t.wire, t.receiver), (s, w, r));
+        assert_eq!(n.stats().msgs_of(MsgKind::BarrierArrive), 1);
+        assert_eq!(n.stats().msgs_of(MsgKind::OneSidedWrite), 0);
+    }
+
+    #[test]
+    fn routed_push_apis_reduce_to_legacy_sends_two_sided() {
+        let mut routed = net(0.0);
+        let mut legacy = net(0.0);
+        let a = routed.push_reliable(0, 1, ReliableKind::DiffFlushHome, 300, Time::ZERO);
+        let b = legacy.send_reliable(0, 1, ReliableKind::DiffFlushHome, 300, Time::ZERO);
+        assert_eq!(a, b);
+        let a = routed.push_update(0, 1, FlushKind::UpdateFlush, 128, Time::from_ms(1));
+        let b = legacy.send_flush(0, 1, FlushKind::UpdateFlush, 128);
+        assert_eq!(a, b);
+        assert_eq!(routed.stats(), legacy.stats());
     }
 
     #[test]
     fn lossy_network_drops_only_flushes() {
         let mut n = net(1.0);
-        let out = n.send_flush(0, 1, MsgKind::UpdateFlush, 10);
+        let out = n.send_flush(0, 1, FlushKind::UpdateFlush, 10);
         assert!(!out.delivered);
         assert!(!out.duplicated, "a lost flush cannot be duplicated");
         assert_eq!(n.stats().flushes_dropped, 1);
         // Reliable kinds don't even expose a drop: the type says delivered.
-        let t = n.send_reliable(0, 1, MsgKind::PageRequest, 0, Time::ZERO);
+        let t = n.send_reliable(0, 1, ReliableKind::PageRequest, 0, Time::ZERO);
         assert_eq!(t.attempts, 1, "drop_prob does not touch reliable kinds");
-        let t = n.send_reliable(0, 1, MsgKind::DiffFlushHome, 10, Time::ZERO);
+        let t = n.send_reliable(0, 1, ReliableKind::DiffFlushHome, 10, Time::ZERO);
         assert_eq!(t.attempts, 1, "home flushes are reliable");
     }
 
@@ -377,8 +635,8 @@ mod tests {
         // drop counter) differ.
         let mut lossy = net(1.0);
         let mut clean = net(0.0);
-        let out_drop = lossy.send_flush(0, 1, MsgKind::UpdateFlush, 256);
-        let out_ok = clean.send_flush(0, 1, MsgKind::UpdateFlush, 256);
+        let out_drop = lossy.send_flush(0, 1, FlushKind::UpdateFlush, 256);
+        let out_ok = clean.send_flush(0, 1, FlushKind::UpdateFlush, 256);
         assert!(!out_drop.delivered);
         assert!(out_ok.delivered);
         let (t_drop, t_ok) = (out_drop.transit, out_ok.transit);
@@ -411,9 +669,9 @@ mod tests {
         let sched: dsm_sim::SharedScheduler = Rc::new(RefCell::new(EveryOther(0)));
         let mut n =
             Network::with_scheduler(2, CostModel::default(), 0.0, FaultProfile::none(), sched);
-        assert!(n.send_flush(0, 1, MsgKind::UpdateFlush, 8).delivered);
-        assert!(!n.send_flush(0, 1, MsgKind::UpdateFlush, 8).delivered);
-        assert!(n.send_flush(0, 1, MsgKind::UpdateFlush, 8).delivered);
+        assert!(n.send_flush(0, 1, FlushKind::UpdateFlush, 8).delivered);
+        assert!(!n.send_flush(0, 1, FlushKind::UpdateFlush, 8).delivered);
+        assert!(n.send_flush(0, 1, FlushKind::UpdateFlush, 8).delivered);
         assert_eq!(n.stats().flushes_dropped, 1);
     }
 
@@ -428,7 +686,7 @@ mod tests {
                 DetRng::new(seed),
             );
             (0..100)
-                .map(|_| n.send_flush(0, 1, MsgKind::UpdateFlush, 8).delivered)
+                .map(|_| n.send_flush(0, 1, FlushKind::UpdateFlush, 8).delivered)
                 .collect::<Vec<bool>>()
         };
         assert_eq!(run(7), run(7));
@@ -445,7 +703,7 @@ mod tests {
         });
         let mut total_wait = Time::ZERO;
         for i in 0..50 {
-            let t = n.send_reliable(0, 1, MsgKind::PageRequest, 64, Time::from_ms(i * 20));
+            let t = n.send_reliable(0, 1, ReliableKind::PageRequest, 64, Time::from_ms(i * 20));
             total_wait += t.retrans_wait;
         }
         assert!(n.stats().retransmits > 0, "50% loss must retransmit");
@@ -464,7 +722,7 @@ mod tests {
             duplicate: 1.0,
             ..FaultProfile::none()
         });
-        let out = n.send_flush(0, 1, MsgKind::UpdateFlush, 8);
+        let out = n.send_flush(0, 1, FlushKind::UpdateFlush, 8);
         assert!(out.delivered);
         assert!(out.duplicated);
         assert_eq!(n.stats().flushes_duplicated, 1);
@@ -473,9 +731,34 @@ mod tests {
     #[test]
     fn reset_stats_clears_window() {
         let mut n = net(0.0);
-        n.send_reliable(0, 1, MsgKind::PageRequest, 0, Time::ZERO);
+        n.send_reliable(0, 1, ReliableKind::PageRequest, 0, Time::ZERO);
         n.reset_stats();
         assert_eq!(n.stats().total_msgs(), 0);
         assert_eq!(n.link_count(0, 1), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_both_personalities() {
+        let mut n = one_sided(0.0, FaultProfile::none());
+        n.fetch(
+            0,
+            1,
+            ReliableKind::PageRequest,
+            0,
+            ReliableKind::PageReply,
+            8192,
+            Time::ZERO,
+            Time::from_ms(1),
+        );
+        n.send_reliable(0, 1, ReliableKind::BarrierArrive, 16, Time::from_ms(2));
+        let mut w = SnapWriter::new();
+        n.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = one_sided(0.0, FaultProfile::none());
+        let mut r = SnapReader::new(&bytes);
+        fresh.restore_state(&mut r);
+        assert_eq!(fresh.stats(), n.stats());
+        assert_eq!(fresh.rdma().completions(), 1);
+        assert_eq!(fresh.rdma().posted(0, 1), 1);
     }
 }

@@ -72,6 +72,30 @@ pub struct Prediction {
     pub homes: Vec<u16>,
     /// Pages whose home migrated away from process 0.
     pub migrations: usize,
+    /// Predicted data fetches: page fetches from the home (bar family) or
+    /// diff/full-page fetches from writers (`lmw-u`). Each costs a
+    /// request/reply message pair on the two-sided wire but a single
+    /// one-sided read on the RDMA backend — the quantity the per-backend
+    /// traffic model pivots on. `None` where fetches are not modeled
+    /// (`lmw-i`: the trivial prediction covers notices only).
+    pub fetches: Option<u64>,
+}
+
+impl Prediction {
+    /// Predicted data-plane message count under `backend`: every fetch is
+    /// two messages (request + reply) on the two-sided wire but one
+    /// one-sided read on the RDMA backend; update flushes are one message
+    /// either way (send vs one-sided write). Sync traffic (barrier
+    /// arrive/release) is pinned two-sided and identical across backends,
+    /// so it cancels out of any ranking comparison and is excluded here.
+    /// `None` when fetches are not modeled for this protocol.
+    pub fn transport_ops(&self, backend: dsm_sim::transport::TransportKind) -> Option<u64> {
+        let fetches = self.fetches?;
+        Some(match backend {
+            dsm_sim::transport::TransportKind::TwoSided => 2 * fetches + self.flush_msgs,
+            dsm_sim::transport::TransportKind::OneSided => fetches + self.flush_msgs,
+        })
+    }
 }
 
 /// Total page count implied by a layout (the allocator's reservation
@@ -125,6 +149,11 @@ pub fn predict(
             },
             homes: vec![0; total_pages(lay)],
             migrations: 0,
+            fetches: if protocol == ProtocolKind::Seq {
+                Some(0)
+            } else {
+                None
+            },
         },
         ProtocolKind::LmwU => LmwSim::new(lay).run(plan, lay, schedule),
         ProtocolKind::BarI | ProtocolKind::BarU | ProtocolKind::BarS => {
@@ -187,6 +216,8 @@ struct BarSim {
     migrated: bool,
     /// Version bumps performed (the bar family's notice analogue).
     notices: u64,
+    /// Whole-page fetches from the home (`bar_fetch_page`).
+    fetches: u64,
     /// Per pid: `(page, has_twin, mod_words, mod_runs)` in fault order.
     dirty: Vec<Vec<(u32, bool, u32, u32)>>,
 }
@@ -207,6 +238,7 @@ impl BarSim {
             iter_counts: vec![0; np * n],
             migrated: false,
             notices: 0,
+            fetches: 0,
             dirty: vec![Vec::new(); n],
         }
     }
@@ -235,6 +267,7 @@ impl BarSim {
                 let fi = pid * self.np + pg;
                 if !self.frames[fi].expect("just materialized").readable {
                     // bar_fetch_page: whole-page fetch from the home.
+                    self.fetches += 1;
                     let home = self.homes[pg] as usize;
                     debug_assert_ne!(home, pid, "home copy must always be current");
                     self.materialize(home, pg);
@@ -443,6 +476,7 @@ impl BarSim {
             notices: self.notices,
             homes: self.homes,
             migrations,
+            fetches: Some(self.fetches),
         }
     }
 }
@@ -486,6 +520,9 @@ struct LmwSim {
     copysets: Vec<FastMap<u32, CopySet>>,
     /// Notice records filed at consumers.
     notice_records: u64,
+    /// Data fetches issued by `validate`: cold full-page copies plus
+    /// per-writer diff fetches.
+    fetches: u64,
     /// Per pid: pages write-faulted this epoch.
     dirty: Vec<Vec<u32>>,
 }
@@ -508,6 +545,7 @@ impl LmwSim {
             segments: vec![FastMap::default(); n],
             copysets: vec![FastMap::default(); n],
             notice_records: 0,
+            fetches: 0,
             dirty: vec![Vec::new(); n],
         }
     }
@@ -550,6 +588,8 @@ impl LmwSim {
             if !self.frames[writer * self.np + pg].is_some_and(|f| f.readable) {
                 self.validate(writer, page);
             }
+            // lmw_fetch_full: one whole-page request/reply pair.
+            self.fetches += 1;
             let lwe = self.last_write_epoch[pg];
             let f = self.frames[fi].as_mut().expect("frame present");
             f.readable = true;
@@ -582,6 +622,8 @@ impl LmwSim {
         fetch_writers.dedup();
         for w in fetch_writers {
             let wu = w as usize;
+            // One diff request/reply pair per uncovered writer.
+            self.fetches += 1;
             // Serve-time seal: the fetch closes the writer's open
             // accumulation so the reply carries everything so far.
             self.seal(wu, page);
@@ -760,6 +802,44 @@ impl LmwSim {
             notices: self.notice_records,
             homes: vec![0; self.np],
             migrations: 0,
+            fetches: Some(self.fetches),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_sim::transport::TransportKind;
+
+    fn pred(fetches: Option<u64>, flush_msgs: u64) -> Prediction {
+        Prediction {
+            protocol: ProtocolKind::BarU,
+            flushes: Vec::new(),
+            flush_msgs,
+            flush_words: 0,
+            flush_runs: 0,
+            copysets: SteadyCopysets::None,
+            notices: 0,
+            homes: Vec::new(),
+            migrations: 0,
+            fetches,
+        }
+    }
+
+    #[test]
+    fn transport_ops_halves_the_fetch_traffic_one_sided() {
+        // 10 fetches: 20 request/reply messages two-sided, 10 one-sided
+        // reads; 7 flushes cost one message either way.
+        let p = pred(Some(10), 7);
+        assert_eq!(p.transport_ops(TransportKind::TwoSided), Some(27));
+        assert_eq!(p.transport_ops(TransportKind::OneSided), Some(17));
+    }
+
+    #[test]
+    fn transport_ops_is_none_when_fetches_unmodeled() {
+        let p = pred(None, 3);
+        assert_eq!(p.transport_ops(TransportKind::TwoSided), None);
+        assert_eq!(p.transport_ops(TransportKind::OneSided), None);
     }
 }

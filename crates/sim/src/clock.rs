@@ -12,7 +12,9 @@ use crate::time::Time;
 #[derive(Clone, Debug, Default)]
 pub struct Clock {
     now: Time,
+    // audit: scratch: measurement-window floor, rebased in reset_measurement
     base: Time,
+    // audit: scratch: measured time split, zeroed in reset_measurement
     breakdown: TimeBreakdown,
 }
 

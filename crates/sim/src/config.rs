@@ -3,6 +3,7 @@
 use crate::costs::CostModel;
 use crate::fault::FaultProfile;
 use crate::stress::StressModel;
+use crate::transport::{RdmaParams, TransportKind};
 
 /// Default page size: the paper ran CVM with 8 KB protection granularity on
 /// AIX's 4 KB pages.
@@ -40,6 +41,13 @@ pub struct SimConfig {
     /// flushes are simply lost). Default [`FaultProfile::none`], under
     /// which the transport is bit-identical to a perfect wire.
     pub fault: FaultProfile,
+    /// Which wire personality carries data traffic (fetches, flushes).
+    /// Synchronization traffic always rides the two-sided reliable wire.
+    /// Default [`TransportKind::TwoSided`] — the paper's environment.
+    pub transport: TransportKind,
+    /// One-sided cost parameterization (only consulted under
+    /// [`TransportKind::OneSided`]).
+    pub rdma: RdmaParams,
 }
 
 impl Default for SimConfig {
@@ -52,6 +60,8 @@ impl Default for SimConfig {
             seed: 0x5EED_CAFE,
             flush_drop_prob: 0.0,
             fault: FaultProfile::none(),
+            transport: TransportKind::TwoSided,
+            rdma: RdmaParams::default(),
         }
     }
 }
@@ -92,6 +102,7 @@ impl SimConfig {
             ));
         }
         errs.extend(self.fault.validate(self.nprocs));
+        errs.extend(self.rdma.validate());
         errs
     }
 }

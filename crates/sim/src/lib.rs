@@ -26,6 +26,9 @@
 //!   sublayer; the default profile is a perfect wire.
 //! * [`timer`] — the deterministic [`timer::TimerQueue`] behind
 //!   retransmission timeouts.
+//! * [`transport`] — the [`transport::TransportKind`] backend selector and
+//!   the one-sided [`transport::RdmaParams`] cost model consumed by
+//!   `dsm-net`'s `Transport` trait.
 //! * [`prop`] — a small deterministic property-test harness built on
 //!   [`rng::DetRng`] (the workspace builds offline and carries no external
 //!   test dependencies).
@@ -51,6 +54,7 @@ pub mod snapio;
 pub mod stress;
 pub mod time;
 pub mod timer;
+pub mod transport;
 
 pub use breakdown::{Category, TimeBreakdown};
 pub use clock::Clock;
@@ -64,3 +68,4 @@ pub use snapio::{SnapReader, SnapWriter};
 pub use stress::StressModel;
 pub use time::Time;
 pub use timer::{TimerId, TimerQueue};
+pub use transport::{RdmaParams, TransportKind};

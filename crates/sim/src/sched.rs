@@ -1,7 +1,7 @@
 //! The decision scheduler: every nondeterministic choice the virtual
 //! cluster makes, behind one trait.
 //!
-//! The protocols above this crate contain exactly five kinds of
+//! The protocols above this crate contain exactly six kinds of
 //! "environment" decisions:
 //!
 //! * **drop** — whether an unreliable flush message is lost in transit;
@@ -11,6 +11,9 @@
 //!   flushes);
 //! * **delivery** — the order in which one process consumes the one-way
 //!   messages addressed to it at a barrier release;
+//! * **completion** — the order in which posted one-sided operations
+//!   retire at one initiator (the one-sided transport's analogue of
+//!   delivery: no receiver exists to consume anything);
 //! * **migration** — whether a pending home-migration decision executes at
 //!   this barrier or is deferred to a later one.
 //!
@@ -48,6 +51,12 @@ pub enum ChoiceKind {
     Migration,
     /// Duplicate-in-flight for one delivered unreliable flush.
     Duplicate,
+    /// Completion order of posted one-sided operations at one initiator
+    /// (only emitted under the one-sided transport, where there is no
+    /// receiver whose consumption order [`ChoiceKind::Delivery`] could
+    /// model — the NIC retires posted ops, and an explorer may permute
+    /// the retirement order the protocol observes).
+    Completion,
 }
 
 impl ChoiceKind {
@@ -59,6 +68,7 @@ impl ChoiceKind {
             ChoiceKind::Delivery => "delivery",
             ChoiceKind::Migration => "migration",
             ChoiceKind::Duplicate => "duplicate",
+            ChoiceKind::Completion => "completion",
         }
     }
 
@@ -70,6 +80,7 @@ impl ChoiceKind {
             "delivery" => Some(ChoiceKind::Delivery),
             "migration" => Some(ChoiceKind::Migration),
             "duplicate" => Some(ChoiceKind::Duplicate),
+            "completion" => Some(ChoiceKind::Completion),
             _ => None,
         }
     }
@@ -341,6 +352,7 @@ mod tests {
             ChoiceKind::Delivery,
             ChoiceKind::Migration,
             ChoiceKind::Duplicate,
+            ChoiceKind::Completion,
         ] {
             assert_eq!(ChoiceKind::from_label(k.label()), Some(k));
         }

@@ -12,7 +12,7 @@
 //!
 //! ```text
 //! magic    8 bytes  b"DSMSNAP\0"
-//! version  u8       SNAP_VERSION (1)
+//! version  u8       SNAP_VERSION (2)
 //! flags    u8       bit 0: CHECK section present
 //! digest   u64      configuration digest (see [`config_digest`])
 //! sections ...      tag u32 (fourcc) + length u64 + payload, in order:
@@ -34,7 +34,10 @@ use dsm_core::{Cluster, DsmApp, RunConfig, StepRun};
 use dsm_sim::{SnapReader, SnapWriter};
 
 /// The one and only snapshot format version this crate reads and writes.
-pub const SNAP_VERSION: u8 = 1;
+/// v2: the CORE section's network state carries both transport
+/// personalities (two-sided wire channels *and* one-sided QP/timer state),
+/// and the config digest folds the selected transport backend.
+pub const SNAP_VERSION: u8 = 2;
 
 /// Magic prefix of every snapshot.
 pub const SNAP_MAGIC: [u8; 8] = *b"DSMSNAP\0";
@@ -59,6 +62,7 @@ pub fn config_digest(cfg: &RunConfig) -> u64 {
     };
     fold(cfg.protocol.label().as_bytes());
     fold(cfg.planted.label().as_bytes());
+    fold(cfg.sim.transport.label().as_bytes());
     fold(&(cfg.sim.nprocs as u64).to_le_bytes());
     fold(&(cfg.sim.page_size as u64).to_le_bytes());
     fold(&cfg.sim.seed.to_le_bytes());
